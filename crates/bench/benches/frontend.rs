@@ -1,0 +1,45 @@
+//! Frontend benches: SMILES parsing, canonicalization, and full RDL
+//! compilation (the "days instead of months" part of the paper's
+//! productivity story — it must stay fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rms_suite::molecule::{canonical_key, parse_smiles};
+use rms_suite::workload::VULCANIZATION_RDL;
+use rms_suite::{compile_network, parse_rdl};
+
+fn bench_smiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smiles");
+    let inputs = [
+        ("linear_polysulfide", "CSSSSSSSSC"),
+        ("branched", "CC(C)(CS)CC(S)C=C"),
+        ("benzothiazole", "SC1=NC2=CC=CC=C2S1"),
+        ("bicyclic", "C1CC2CCC1CC2"),
+    ];
+    for (name, smiles) in inputs {
+        group.bench_function(format!("parse_{name}"), |b| {
+            b.iter(|| parse_smiles(std::hint::black_box(smiles)).unwrap())
+        });
+        let mol = parse_smiles(smiles).unwrap();
+        group.bench_function(format!("canonicalize_{name}"), |b| {
+            b.iter(|| canonical_key(std::hint::black_box(&mol)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rdl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdl");
+    group.sample_size(10);
+    group.bench_function("parse_vulcanization", |b| {
+        b.iter(|| parse_rdl(std::hint::black_box(VULCANIZATION_RDL)).unwrap())
+    });
+    let program = parse_rdl(VULCANIZATION_RDL).unwrap();
+    group.bench_function("compile_vulcanization_network", |b| {
+        b.iter(|| compile_network(std::hint::black_box(&program)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_smiles, bench_rdl);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the optimizer passes (paper §3): per-pass cost
+//! and the ablation of each pass's contribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rms_bench::system_for;
+use rms_core::{cse_forest, distribute_forest, optimize, CseOptions, ExprForest, OptLevel};
+use rms_workload::{generate_model, VulcanizationSpec};
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_passes");
+    group.sample_size(10);
+    for equations in [200usize, 450, 1000] {
+        let model = generate_model(VulcanizationSpec::for_equation_count(equations));
+        let system = system_for(&model, true);
+        let forest = ExprForest::from_system(&system);
+        group.bench_with_input(
+            BenchmarkId::new("distopt", equations),
+            &forest,
+            |b, forest| b.iter(|| distribute_forest(forest)),
+        );
+        let distributed = distribute_forest(&forest);
+        group.bench_with_input(
+            BenchmarkId::new("cse", equations),
+            &distributed,
+            |b, forest| b.iter(|| cse_forest(forest, CseOptions::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", equations),
+            &system,
+            |b, system| b.iter(|| optimize(system, OptLevel::Full)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Not a timing bench: report op-count ablation through criterion's
+    // harness so `cargo bench` prints the numbers for EXPERIMENTS.md.
+    let model = generate_model(VulcanizationSpec::for_equation_count(450));
+    // The raw (unsimplified) system is the honest baseline; §3.1 runs as
+    // part of the pipeline at every level above None.
+    let system = system_for(&model, false);
+    for level in OptLevel::ALL {
+        let compiled = optimize(&system, level);
+        println!(
+            "[ablation] level={level:<22} mults={:<7} adds={:<7} total={}",
+            compiled.stages.after_cse.mults,
+            compiled.stages.after_cse.adds,
+            compiled.stages.after_cse.total()
+        );
+    }
+    let mut group = c.benchmark_group("ablation_noop");
+    group.sample_size(10);
+    group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_ablation);
+criterion_main!(benches);

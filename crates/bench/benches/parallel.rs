@@ -1,0 +1,36 @@
+//! Parallel-runtime benches: collective overhead and scheduler cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rms_parallel::{block_schedule, lpt_schedule, run_cluster};
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_sum");
+    group.sample_size(10);
+    for ranks in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run_cluster(ranks, |comm| {
+                    let local = vec![comm.rank() as f64; 1024];
+                    comm.all_reduce_sum(&local)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let times: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 37) as f64 * 0.1).collect();
+    group.bench_function("lpt_1000_tasks_16_workers", |b| {
+        b.iter(|| lpt_schedule(&times, 16))
+    });
+    group.bench_function("block_1000_tasks_16_workers", |b| {
+        b.iter(|| block_schedule(times.len(), 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_schedulers);
+criterion_main!(benches);

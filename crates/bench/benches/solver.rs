@@ -1,0 +1,61 @@
+//! Solver benches: BDF vs RK45 vs Adams on stiff chemistry (the §4.1
+//! motivation for using the Gear solver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rms_solver::{solve_adams, solve_bdf, solve_rk45, FnRhs, SolverOptions};
+
+fn robertson() -> FnRhs<impl Fn(f64, &[f64], &mut [f64])> {
+    FnRhs::new(3, |_t, y: &[f64], ydot: &mut [f64]| {
+        ydot[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+        ydot[1] = 0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] * y[1];
+        ydot[2] = 3e7 * y[1] * y[1];
+    })
+}
+
+fn bench_stiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stiff_robertson");
+    group.sample_size(10);
+    let options = SolverOptions {
+        rtol: 1e-6,
+        atol: 1e-10,
+        max_steps: 1_000_000,
+        ..SolverOptions::default()
+    };
+    group.bench_function("bdf_to_t0.4", |b| {
+        let rhs = robertson();
+        b.iter(|| solve_bdf(&rhs, 0.0, &[1.0, 0.0, 0.0], &[0.4], options).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_nonstiff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonstiff_decay_chain");
+    group.sample_size(20);
+    // A 50-species linear decay chain, mildly stiff-free.
+    let n = 50;
+    let rhs = FnRhs::new(n, move |_t, y: &[f64], ydot: &mut [f64]| {
+        ydot[0] = -y[0];
+        for i in 1..y.len() {
+            ydot[i] = y[i - 1] - y[i];
+        }
+    });
+    let y0: Vec<f64> = std::iter::once(1.0)
+        .chain(std::iter::repeat(0.0))
+        .take(n)
+        .collect();
+    let options = SolverOptions::default();
+    group.bench_function("rk45", |b| {
+        b.iter(|| solve_rk45(&rhs, 0.0, &y0, &[5.0], options).unwrap())
+    });
+    group.bench_function("adams", |b| {
+        b.iter(|| solve_adams(&rhs, 0.0, &y0, &[5.0], options).unwrap())
+    });
+    group.bench_function("bdf", |b| {
+        b.iter(|| solve_bdf(&rhs, 0.0, &y0, &[5.0], options).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stiff, bench_nonstiff);
+criterion_main!(benches);

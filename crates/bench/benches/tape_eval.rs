@@ -1,0 +1,46 @@
+//! Tape-evaluation throughput: the solver's hot loop, optimized vs
+//! unoptimized — the source of Table 1's runtime column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rms_bench::system_for;
+use rms_core::{optimize, OptLevel};
+use rms_workload::{generate_model, VulcanizationSpec};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tape_eval");
+    group.sample_size(20);
+    for equations in [200usize, 450, 2000] {
+        let model = generate_model(VulcanizationSpec::for_equation_count(equations));
+        let raw = system_for(&model, false);
+        let simplified = system_for(&model, true);
+        let unopt = optimize(&raw, OptLevel::None);
+        let opt = optimize(&simplified, OptLevel::Full);
+        let n = raw.len();
+        let y: Vec<f64> = (0..n).map(|i| 0.1 + (i % 5) as f64 * 0.2).collect();
+
+        group.bench_with_input(BenchmarkId::new("unoptimized", equations), &(), |b, ()| {
+            let mut ydot = vec![0.0; n];
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                unopt
+                    .tape
+                    .eval_with_scratch(&raw.rate_values, &y, &mut ydot, &mut scratch);
+                std::hint::black_box(&ydot);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", equations), &(), |b, ()| {
+            let mut ydot = vec![0.0; n];
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                opt.tape
+                    .eval_with_scratch(&simplified.rate_values, &y, &mut ydot, &mut scratch);
+                std::hint::black_box(&ydot);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared helpers for the benchmark harnesses reproducing the paper's
+//! tables and figures.
+
+use std::time::Instant;
+
+use rms_core::{optimize, CompiledOde, OptLevel};
+use rms_odegen::{generate, GenerateOptions, OdeSystem};
+use rms_workload::VulcanizationModel;
+
+/// Build the (un)simplified ODE system for a model.
+pub fn system_for(model: &VulcanizationModel, simplify: bool) -> OdeSystem {
+    generate(&model.network, &model.rates, GenerateOptions { simplify })
+        .expect("workload rates are always defined")
+}
+
+/// Compile at a level, returning the compiled artifact and elapsed
+/// compile time in seconds.
+pub fn compile_timed(system: &OdeSystem, level: OptLevel) -> (CompiledOde, f64) {
+    let t0 = Instant::now();
+    let compiled = optimize(system, level);
+    (compiled, t0.elapsed().as_secs_f64())
+}
+
+/// Time `iters` evaluations of a tape over a fixed state (the solver's
+/// hot loop), returning seconds per evaluation.
+pub fn time_tape_eval(compiled: &CompiledOde, system: &OdeSystem, iters: usize) -> f64 {
+    let n = system.len();
+    let mut y: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.1).collect();
+    let mut ydot = vec![0.0; n];
+    let mut scratch = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        compiled
+            .tape
+            .eval_with_scratch(&system.rate_values, &y, &mut ydot, &mut scratch);
+        // Feed a little of the output back so the work is not dead code.
+        y[0] = 0.1 + ydot[0].abs().min(1.0) * 1e-9;
+    }
+    std::hint::black_box(&ydot);
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Pretty seconds.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Parse `--key value` style arguments.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,611 @@
+//! Domain-specific common subexpression elimination (paper §3.3, Fig. 7).
+//!
+//! The paper's CSE exploits three domain facts: variable *names* label
+//! *values* (single assignment per solver iteration, no aliasing, rate
+//! constants pre-deduplicated by value), every expression is kept in a
+//! canonical fully-non-distributed form with terms in canonical
+//! lexicographical order, and expressions are indexed by length so that
+//! equal-length matching is exact matching and shorter-vs-longer matching
+//! is *prefix* matching ("finding the longest matching prefix of e_long
+//! corresponds to finding the most redundancy").
+//!
+//! Implementation: the forest is hash-consed into a DAG (equal canonical
+//! subexpressions intern to one node — the equal-length case of Fig. 7);
+//! any interior node referenced more than once becomes a temporary. A
+//! second, length-indexed pass then performs Fig. 7's longest-first prefix
+//! matching over the node definitions, rewriting `A+B+C+D` as `temp0 + D`
+//! when `temp0 = A+B+C` exists. Temporaries are emitted in dependency
+//! order (shorter common subexpressions first), exactly as the paper
+//! requires for its write-before-read guarantee.
+
+use std::collections::HashMap;
+
+use crate::expr::{Coeff, Expr, ExprForest, TempId};
+
+/// Options for the CSE pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CseOptions {
+    /// Minimum number of uses for a subexpression to earn a temporary.
+    pub min_uses: usize,
+    /// Run the Fig. 7 prefix-matching phase (equal-length exact matching
+    /// always runs via hash-consing).
+    pub prefix_matching: bool,
+}
+
+impl Default for CseOptions {
+    fn default() -> CseOptions {
+        CseOptions {
+            min_uses: 2,
+            prefix_matching: true,
+        }
+    }
+}
+
+/// Node id within the hash-consed DAG.
+type NodeId = usize;
+
+/// Sentinel node representing the multiplicative unit (pure constants in
+/// sums reference it).
+const UNIT: NodeId = 0;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    Unit,
+    Rate(u32),
+    Species(u32),
+    /// Unit-coefficient product of ≥2 factor nodes, sorted.
+    Prod(Vec<NodeId>),
+    /// Sum of coefficient-scaled children, ≥2, sorted.
+    Sum(Vec<(Coeff, NodeId)>),
+}
+
+struct Dag {
+    nodes: Vec<Node>,
+    index: HashMap<Node, NodeId>,
+    uses: Vec<usize>,
+    /// Resolution of the *input* forest's temporaries: `Temp(t)` interns
+    /// to `temp_nodes[t]` (a coefficient and the body's node).
+    temp_nodes: Vec<(f64, NodeId)>,
+}
+
+impl Dag {
+    fn new() -> Dag {
+        let mut dag = Dag {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            uses: Vec::new(),
+            temp_nodes: Vec::new(),
+        };
+        let unit = dag.intern_node(Node::Unit);
+        debug_assert_eq!(unit, UNIT);
+        dag
+    }
+
+    fn intern_node(&mut self, node: Node) -> NodeId {
+        self.intern_node_traced(node).0
+    }
+
+    /// Intern, also reporting whether the node was newly created (children
+    /// use-counts are charged exactly once, at creation).
+    fn intern_node_traced(&mut self, node: Node) -> (NodeId, bool) {
+        if let Some(&id) = self.index.get(&node) {
+            return (id, false);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        self.uses.push(0);
+        (id, true)
+    }
+
+    /// Intern an expression, returning `(coefficient, node)` such that the
+    /// expression equals `coefficient * node`.
+    fn intern_expr(&mut self, expr: &Expr) -> (f64, NodeId) {
+        match expr {
+            Expr::Const(c) => (c.0, UNIT),
+            Expr::Rate(i) => (1.0, self.intern_node(Node::Rate(*i))),
+            Expr::Species(i) => (1.0, self.intern_node(Node::Species(*i))),
+            Expr::Temp(t) => self.temp_nodes[t.0 as usize],
+            Expr::Prod(c, factors) => {
+                let mut coeff = c.0;
+                let mut ids: Vec<NodeId> = factors
+                    .iter()
+                    .map(|f| {
+                        let (fc, id) = self.intern_expr(f);
+                        coeff *= fc;
+                        id
+                    })
+                    .collect();
+                ids.sort_unstable();
+                ids.retain(|&id| id != UNIT);
+                match ids.len() {
+                    0 => (coeff, UNIT),
+                    1 => (coeff, ids[0]),
+                    _ => {
+                        let (id, is_new) = self.intern_node_traced(Node::Prod(ids.clone()));
+                        // Children are charged one use per *distinct parent*,
+                        // at parent creation time.
+                        if is_new {
+                            for &f in &ids {
+                                self.uses[f] += 1;
+                            }
+                        }
+                        (coeff, id)
+                    }
+                }
+            }
+            Expr::Sum(children) => {
+                let mut pairs: Vec<(Coeff, NodeId)> = children
+                    .iter()
+                    .map(|ch| {
+                        let (c, id) = self.intern_expr(ch);
+                        (Coeff(c), id)
+                    })
+                    .collect();
+                pairs.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                let (id, is_new) = self.intern_node_traced(Node::Sum(pairs.clone()));
+                if is_new {
+                    for &(_, ch) in &pairs {
+                        self.uses[ch] += 1;
+                    }
+                }
+                (1.0, id)
+            }
+        }
+    }
+}
+
+/// Apply CSE to a forest (typically after the distributive optimization;
+/// the paper notes CSE is only run after the algebraic passes).
+pub fn cse_forest(forest: &ExprForest, options: CseOptions) -> ExprForest {
+    let mut dag = Dag::new();
+
+    // Existing temporaries intern first; `Temp(t)` references then resolve
+    // to the temp's *body node*, so re-running CSE (or running it after a
+    // second distributive pass) sees one shared DAG rather than inlined
+    // copies. Stale temps that lose all references simply drop out.
+    for t in &forest.temps {
+        let resolved = dag.intern_expr(t);
+        dag.temp_nodes.push(resolved);
+    }
+
+    let roots: Vec<(f64, NodeId)> = forest.rhs.iter().map(|e| dag.intern_expr(e)).collect();
+    for &(_, id) in &roots {
+        dag.uses[id] += 1;
+    }
+
+    // Which nodes deserve temporaries? Interior nodes used at least
+    // `min_uses` times.
+    let mut force_temp = vec![false; dag.nodes.len()];
+    for (id, node) in dag.nodes.iter().enumerate() {
+        if matches!(node, Node::Prod(_) | Node::Sum(_)) && dag.uses[id] >= options.min_uses {
+            force_temp[id] = true;
+        }
+    }
+
+    // Fig. 7 prefix matching over node definitions, longest first.
+    // `rewrites[id]` overrides a node's definition body.
+    let mut prod_rewrites: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut sum_rewrites: HashMap<NodeId, Vec<(Coeff, NodeId)>> = HashMap::new();
+    if options.prefix_matching {
+        prefix_pass(&dag, &mut force_temp, &mut prod_rewrites, &mut sum_rewrites);
+    }
+
+    // Topological emission order over final definitions.
+    let order = topo_order(&dag, &prod_rewrites, &sum_rewrites);
+
+    let mut temp_ids: HashMap<NodeId, TempId> = HashMap::new();
+    let mut temps: Vec<Expr> = Vec::new();
+    let mut rendered: HashMap<NodeId, Expr> = HashMap::new();
+
+    for &id in &order {
+        let body = render(
+            id,
+            &dag,
+            &prod_rewrites,
+            &sum_rewrites,
+            &temp_ids,
+            &mut rendered,
+        );
+        if force_temp[id] {
+            let t = TempId(temps.len() as u32);
+            temps.push(body);
+            temp_ids.insert(id, t);
+            rendered.insert(id, Expr::Temp(t));
+        }
+    }
+
+    let rhs: Vec<Expr> = roots
+        .iter()
+        .map(|&(c, id)| {
+            let base = render(
+                id,
+                &dag,
+                &prod_rewrites,
+                &sum_rewrites,
+                &temp_ids,
+                &mut rendered,
+            );
+            Expr::prod(c, vec![base])
+        })
+        .collect();
+
+    ExprForest {
+        temps,
+        rhs,
+        n_species: forest.n_species,
+        n_rates: forest.n_rates,
+    }
+}
+
+/// Fig. 7: index distinct expressions by length; for each expression
+/// (longest first) find the longest shorter expression that is a prefix
+/// of it, rewrite the long expression in terms of the short one's
+/// temporary, and mark the short one's `genTemp` bit.
+fn prefix_pass(
+    dag: &Dag,
+    force_temp: &mut [bool],
+    prod_rewrites: &mut HashMap<NodeId, Vec<NodeId>>,
+    sum_rewrites: &mut HashMap<NodeId, Vec<(Coeff, NodeId)>>,
+) {
+    // Products and sums are separate namespaces (a sum prefix can only be
+    // another sum).
+    let mut prod_by_def: HashMap<&[NodeId], NodeId> = HashMap::new();
+    let mut sum_by_def: HashMap<&[(Coeff, NodeId)], NodeId> = HashMap::new();
+    let mut prods: Vec<(NodeId, &Vec<NodeId>)> = Vec::new();
+    let mut sums: Vec<(NodeId, &Vec<(Coeff, NodeId)>)> = Vec::new();
+    for (id, node) in dag.nodes.iter().enumerate() {
+        match node {
+            Node::Prod(def) => {
+                prod_by_def.insert(def.as_slice(), id);
+                prods.push((id, def));
+            }
+            Node::Sum(def) => {
+                sum_by_def.insert(def.as_slice(), id);
+                sums.push((id, def));
+            }
+            _ => {}
+        }
+    }
+
+    // Longest first (paper: len = maxLen down to 2).
+    prods.sort_by_key(|(_, def)| std::cmp::Reverse(def.len()));
+    for (id, def) in prods {
+        if def.len() < 3 {
+            continue; // a length-2 prefix of a length-2 product is the whole product
+        }
+        for i in (2..def.len()).rev() {
+            if let Some(&short) = prod_by_def.get(&def[..i]) {
+                if short == id {
+                    continue;
+                }
+                prod_rewrites.insert(id, {
+                    let mut new_def = vec![short];
+                    new_def.extend_from_slice(&def[i..]);
+                    new_def
+                });
+                force_temp[short] = true; // genTemp
+                break;
+            }
+        }
+    }
+
+    sums.sort_by_key(|(_, def)| std::cmp::Reverse(def.len()));
+    for (id, def) in sums {
+        if def.len() < 3 {
+            continue;
+        }
+        for i in (2..def.len()).rev() {
+            if let Some(&short) = sum_by_def.get(&def[..i]) {
+                if short == id {
+                    continue;
+                }
+                sum_rewrites.insert(id, {
+                    let mut new_def = vec![(Coeff(1.0), short)];
+                    new_def.extend_from_slice(&def[i..]);
+                    new_def
+                });
+                force_temp[short] = true; // genTemp
+                break;
+            }
+        }
+    }
+}
+
+/// Children of a node under the final (possibly rewritten) definition.
+fn children_of(
+    id: NodeId,
+    dag: &Dag,
+    prod_rewrites: &HashMap<NodeId, Vec<NodeId>>,
+    sum_rewrites: &HashMap<NodeId, Vec<(Coeff, NodeId)>>,
+) -> Vec<NodeId> {
+    match &dag.nodes[id] {
+        Node::Prod(def) => prod_rewrites.get(&id).unwrap_or(def).clone(),
+        Node::Sum(def) => sum_rewrites
+            .get(&id)
+            .map(|d| d.iter().map(|&(_, c)| c).collect())
+            .unwrap_or_else(|| def.iter().map(|&(_, c)| c).collect()),
+        _ => Vec::new(),
+    }
+}
+
+/// DFS topological order (children before parents) over final definitions.
+fn topo_order(
+    dag: &Dag,
+    prod_rewrites: &HashMap<NodeId, Vec<NodeId>>,
+    sum_rewrites: &HashMap<NodeId, Vec<(Coeff, NodeId)>>,
+) -> Vec<NodeId> {
+    let n = dag.nodes.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 in stack, 2 done
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(NodeId, bool)> = (0..n).rev().map(|i| (i, false)).collect();
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            state[id] = 2;
+            order.push(id);
+            continue;
+        }
+        if state[id] != 0 {
+            continue;
+        }
+        state[id] = 1;
+        stack.push((id, true));
+        for ch in children_of(id, dag, prod_rewrites, sum_rewrites) {
+            if state[ch] == 0 {
+                stack.push((ch, false));
+            }
+        }
+    }
+    order
+}
+
+/// Render a node to an expression, substituting temporaries.
+fn render(
+    id: NodeId,
+    dag: &Dag,
+    prod_rewrites: &HashMap<NodeId, Vec<NodeId>>,
+    sum_rewrites: &HashMap<NodeId, Vec<(Coeff, NodeId)>>,
+    temp_ids: &HashMap<NodeId, TempId>,
+    rendered: &mut HashMap<NodeId, Expr>,
+) -> Expr {
+    if let Some(t) = temp_ids.get(&id) {
+        return Expr::Temp(*t);
+    }
+    if let Some(e) = rendered.get(&id) {
+        return e.clone();
+    }
+    let expr = match &dag.nodes[id] {
+        Node::Unit => Expr::constant(1.0),
+        Node::Rate(i) => Expr::Rate(*i),
+        Node::Species(i) => Expr::Species(*i),
+        Node::Prod(def) => {
+            let def = prod_rewrites.get(&id).unwrap_or(def).clone();
+            let factors = def
+                .iter()
+                .map(|&f| render(f, dag, prod_rewrites, sum_rewrites, temp_ids, rendered))
+                .collect();
+            Expr::prod(1.0, factors)
+        }
+        Node::Sum(def) => {
+            let def = sum_rewrites
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| def.clone());
+            let children = def
+                .iter()
+                .map(|&(c, ch)| {
+                    if ch == UNIT {
+                        Expr::constant(c.0)
+                    } else {
+                        let base = render(ch, dag, prod_rewrites, sum_rewrites, temp_ids, rendered);
+                        Expr::prod(c.0, vec![base])
+                    }
+                })
+                .collect();
+            Expr::sum(children)
+        }
+    };
+    rendered.insert(id, expr.clone());
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distopt::distribute_forest;
+
+    fn term(c: f64, rate: u32, species: &[u32]) -> Expr {
+        let mut f = vec![Expr::Rate(rate)];
+        f.extend(species.iter().map(|&s| Expr::Species(s)));
+        Expr::prod(c, f)
+    }
+
+    fn forest(rhs: Vec<Expr>) -> ExprForest {
+        let n = rhs.len();
+        ExprForest {
+            temps: vec![],
+            rhs,
+            n_species: n,
+            n_rates: 8,
+        }
+    }
+
+    fn assert_forest_equivalent(a: &ExprForest, b: &ExprForest, rates: &[f64], y: &[f64]) {
+        let mut da = vec![0.0; a.rhs.len()];
+        let mut db = vec![0.0; b.rhs.len()];
+        a.eval_into(rates, y, &mut da);
+        b.eval_into(rates, y, &mut db);
+        for (i, (va, vb)) in da.iter().zip(&db).enumerate() {
+            assert!(
+                (va - vb).abs() <= 1e-9 * va.abs().max(vb.abs()).max(1.0),
+                "rhs {i}: {va} vs {vb}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_reaction_product_computed_once() {
+        // dC/dt = -K*C*D ; dD/dt = -K*C*D ; dE/dt = +K*C*D
+        // The mass-action product K*C*D must be computed once.
+        let f = forest(vec![
+            term(-1.0, 0, &[0, 1]),
+            term(-1.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1]),
+        ]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert_eq!(out.temps.len(), 1);
+        // temp = k0*y0*y1 (2 mults); uses are ±temp (0 ops)
+        assert_eq!(out.op_counts().mults, 2);
+        assert_eq!(out.op_counts().adds, 0);
+        assert_forest_equivalent(&f, &out, &[3.0], &[2.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn paper_fig7_sum_prefix_example() {
+        // dA += (A+B+C+D)*k1*E ; dB += (A+B+C+D)*k2*F ; dC += (A+B+C)*k3*G
+        // Expect temp0 = A+B+C, temp1 = temp0 + D.
+        let abcd = Expr::sum(vec![
+            Expr::Species(0),
+            Expr::Species(1),
+            Expr::Species(2),
+            Expr::Species(3),
+        ]);
+        let abc = Expr::sum(vec![Expr::Species(0), Expr::Species(1), Expr::Species(2)]);
+        let f = forest(vec![
+            Expr::prod(1.0, vec![abcd.clone(), Expr::Rate(1), Expr::Species(4)]),
+            Expr::prod(1.0, vec![abcd, Expr::Rate(2), Expr::Species(5)]),
+            Expr::prod(1.0, vec![abc, Expr::Rate(3), Expr::Species(6)]),
+        ]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert_eq!(out.temps.len(), 2, "temps: {:?}", out.temps);
+        // First temp is the shorter sum (emitted before its user).
+        let t0 = &out.temps[0];
+        let Expr::Sum(ch0) = t0 else { panic!("{t0}") };
+        assert_eq!(ch0.len(), 3);
+        let t1 = &out.temps[1];
+        let Expr::Sum(ch1) = t1 else { panic!("{t1}") };
+        assert_eq!(ch1.len(), 2);
+        assert!(ch1.contains(&Expr::Temp(TempId(0))), "{t1}");
+        let rates = [0.0, 2.0, 3.0, 5.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_forest_equivalent(&f, &out, &rates, &y);
+        // Without prefix matching only exact duplicates share.
+        let no_prefix = cse_forest(
+            &f,
+            CseOptions {
+                min_uses: 2,
+                prefix_matching: false,
+            },
+        );
+        assert_eq!(no_prefix.temps.len(), 1);
+        assert!(no_prefix.op_counts().adds > out.op_counts().adds);
+    }
+
+    #[test]
+    fn product_prefix_matching() {
+        // k*A*B used twice (gets a temp); k*A*B*C once — rewritten as
+        // temp * C by the prefix pass.
+        let f = forest(vec![
+            term(1.0, 0, &[0, 1]),
+            term(2.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1, 2]),
+        ]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert_eq!(out.temps.len(), 1);
+        // temp = k*A*B: 2 mults; rhs: 0, 1 (coeff), 1 (temp*C) = 2
+        assert_eq!(out.op_counts().mults, 4);
+        assert_forest_equivalent(&f, &out, &[2.0], &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn single_use_expressions_stay_inline() {
+        let f = forest(vec![term(1.0, 0, &[0]), term(1.0, 1, &[1])]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert!(out.temps.is_empty());
+        assert_eq!(out.op_counts(), f.op_counts());
+    }
+
+    #[test]
+    fn identical_whole_equations_share() {
+        let f = forest(vec![
+            Expr::sum(vec![term(1.0, 0, &[0]), term(1.0, 1, &[1])]),
+            Expr::sum(vec![term(1.0, 0, &[0]), term(1.0, 1, &[1])]),
+        ]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert_eq!(out.temps.len(), 1);
+        assert!(matches!(out.rhs[0], Expr::Temp(_)));
+        assert!(matches!(out.rhs[1], Expr::Temp(_)));
+        assert_forest_equivalent(&f, &out, &[2.0, 3.0], &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn opposite_sign_products_share_base() {
+        // -K*A*B and +K*A*B share the base product; signs stay at use site.
+        let f = forest(vec![term(-1.0, 0, &[0, 1]), term(1.0, 0, &[0, 1])]);
+        let out = cse_forest(&f, CseOptions::default());
+        assert_eq!(out.temps.len(), 1);
+        assert_eq!(out.op_counts().mults, 2);
+        assert_forest_equivalent(&f, &out, &[2.0], &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn cse_after_distopt_preserves_semantics() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for round in 0..50 {
+            let n_eq = rng.gen_range(2..8);
+            let f = forest(
+                (0..n_eq)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..8))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..8))
+                                        .collect();
+                                    term(
+                                        rng.gen_range(-3..4).max(1) as f64,
+                                        rng.gen_range(0..4),
+                                        &sp,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let dist = distribute_forest(&f);
+            let out = cse_forest(&dist, CseOptions::default());
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let mut expect = vec![0.0; f.rhs.len()];
+            f.eval_into(&rates, &y, &mut expect);
+            let mut got = vec![0.0; out.rhs.len()];
+            out.eval_into(&rates, &y, &mut got);
+            for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "round {round} rhs {i}: {a} vs {b}"
+                );
+            }
+            assert!(
+                out.op_counts().total() <= f.op_counts().total(),
+                "round {round}: CSE increased ops"
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_on_already_csed_forest() {
+        let f = forest(vec![
+            term(-1.0, 0, &[0, 1]),
+            term(-1.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1]),
+        ]);
+        let once = cse_forest(&f, CseOptions::default());
+        let twice = cse_forest(&once, CseOptions::default());
+        assert_eq!(once.op_counts(), twice.op_counts());
+        assert_forest_equivalent(&once, &twice, &[3.0], &[2.0, 5.0, 0.0]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The distributive optimization (paper §3.2, Figure 6).
+//!
+//! Rewrites each equation's sum-of-products by repeatedly factoring out
+//! the term that appears in the most products:
+//!
+//! ```text
+//! k1*B*C + k1*B*D + k1*E*F
+//!   → k1 * (B*C + B*D + E*F)          (factor k1)
+//!   → k1 * (B*(C + D) + E*F)          (recursive factor B)
+//! ```
+//!
+//! reducing six multiplications and two additions to three
+//! multiplications and two additions.
+
+use std::collections::HashMap;
+
+use crate::expr::{Expr, ExprForest};
+
+/// Apply the distributive optimization to every equation of the forest.
+pub fn distribute_forest(forest: &ExprForest) -> ExprForest {
+    ExprForest {
+        temps: forest.temps.iter().map(distribute_expr).collect(),
+        rhs: forest.rhs.iter().map(distribute_expr).collect(),
+        n_species: forest.n_species,
+        n_rates: forest.n_rates,
+    }
+}
+
+/// Apply the distributive optimization to a single expression. Only flat
+/// sums of products are transformed; anything else is recursed into.
+pub fn distribute_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Sum(children) => {
+            // Partition into factorable products and other children.
+            let mut products: Vec<(f64, Vec<Expr>)> = Vec::new();
+            let mut others: Vec<Expr> = Vec::new();
+            for ch in children {
+                match ch {
+                    Expr::Prod(c, factors) if factors.iter().all(Expr::is_atom) => {
+                        products.push((c.0, factors.clone()));
+                    }
+                    atom if atom.is_atom() => {
+                        products.push((1.0, vec![atom.clone()]));
+                    }
+                    nested => others.push(distribute_expr(nested)),
+                }
+            }
+            let mut out = dist_opt(products);
+            out.extend(others);
+            Expr::sum(out)
+        }
+        Expr::Prod(c, factors) => Expr::prod(c.0, factors.iter().map(distribute_expr).collect()),
+        atom => atom.clone(),
+    }
+}
+
+/// Figure 6's `DistOpt`: returns the children of the optimized sum.
+fn dist_opt(mut products: Vec<(f64, Vec<Expr>)>) -> Vec<Expr> {
+    let mut result: Vec<Expr> = Vec::new();
+    loop {
+        if products.is_empty() {
+            return result;
+        }
+        // mostFrequent(T): the factor contained in the most products
+        // (each product counts once per distinct factor), tie-broken by
+        // canonical order for determinism.
+        let mut counts: HashMap<&Expr, usize> = HashMap::new();
+        for (_, factors) in &products {
+            let mut seen: Vec<&Expr> = Vec::with_capacity(factors.len());
+            for f in factors {
+                if !seen.contains(&f) {
+                    seen.push(f);
+                    *counts.entry(f).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((k, c)) = counts
+            .into_iter()
+            .max_by(|(ka, ca), (kb, cb)| ca.cmp(cb).then_with(|| kb.cmp(ka)))
+        else {
+            // Only coefficient-only products remain.
+            result.extend(
+                products
+                    .drain(..)
+                    .map(|(c, factors)| Expr::prod(c, factors)),
+            );
+            return result;
+        };
+        if c <= 1 {
+            // No factor is shared: emit the remaining products unchanged.
+            result.extend(
+                products
+                    .drain(..)
+                    .map(|(c, factors)| Expr::prod(c, factors)),
+            );
+            return result;
+        }
+        let k = k.clone();
+        // P_k = products containing k; divide each by one occurrence of k.
+        let (with_k, without_k): (Vec<_>, Vec<_>) = products
+            .into_iter()
+            .partition(|(_, factors)| factors.contains(&k));
+        products = without_k;
+        let quotients: Vec<(f64, Vec<Expr>)> = with_k
+            .into_iter()
+            .map(|(c, mut factors)| {
+                let pos = factors.iter().position(|f| f == &k).expect("k in product");
+                factors.remove(pos);
+                (c, factors)
+            })
+            .collect();
+        // k * DistOpt(Σ p/k), recursively factoring the quotient sum.
+        let inner = Expr::sum(dist_opt(quotients));
+        result.push(Expr::prod(1.0, vec![k, inner]));
+        // The while loop continues on Γ (the products without k).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_odegen::OpCounts;
+
+    fn term(c: f64, rate: u32, species: &[u32]) -> Expr {
+        let mut f = vec![Expr::Rate(rate)];
+        f.extend(species.iter().map(|&s| Expr::Species(s)));
+        Expr::prod(c, f)
+    }
+
+    fn assert_equivalent(a: &Expr, b: &Expr, rates: &[f64], y: &[f64]) {
+        let va = a.eval(rates, y, &[]);
+        let vb = b.eval(rates, y, &[]);
+        assert!(
+            (va - vb).abs() <= 1e-9 * va.abs().max(vb.abs()).max(1.0),
+            "{a} = {va} but {b} = {vb}"
+        );
+    }
+
+    #[test]
+    fn paper_fig6_example() {
+        // k1*B*C + k1*B*D + k1*E*F -> k1*(B*(C+D) + E*F)
+        // B=1 C=2 D=3 E=4 F=5
+        let e = Expr::sum(vec![
+            term(1.0, 1, &[1, 2]),
+            term(1.0, 1, &[1, 3]),
+            term(1.0, 1, &[4, 5]),
+        ]);
+        assert_eq!(e.op_counts(), OpCounts { mults: 6, adds: 2 });
+        let d = distribute_expr(&e);
+        assert_eq!(d.op_counts(), OpCounts { mults: 3, adds: 2 }, "{d}");
+        let rates = [0.0, 2.0];
+        let y = [0.0, 3.0, 5.0, 7.0, 11.0, 13.0];
+        assert_equivalent(&e, &d, &rates, &y);
+    }
+
+    #[test]
+    fn unshared_products_pass_through() {
+        let e = Expr::sum(vec![term(1.0, 1, &[1]), term(1.0, 2, &[2])]);
+        let d = distribute_expr(&e);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn gamma_tail_handled() {
+        // k1*A + k1*B + k2*C + k2*D -> k1*(A+B) + k2*(C+D)
+        let e = Expr::sum(vec![
+            term(1.0, 1, &[1]),
+            term(1.0, 1, &[2]),
+            term(1.0, 2, &[3]),
+            term(1.0, 2, &[4]),
+        ]);
+        let d = distribute_expr(&e);
+        assert_eq!(d.op_counts(), OpCounts { mults: 2, adds: 3 }, "{d}");
+        assert_equivalent(&e, &d, &[0.0, 2.0, 3.0], &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn coefficients_preserved() {
+        // 2*k*A + 3*k*B -> k*(2A + 3B)
+        let e = Expr::sum(vec![term(2.0, 0, &[1]), term(3.0, 0, &[2])]);
+        let d = distribute_expr(&e);
+        assert_equivalent(&e, &d, &[5.0], &[0.0, 7.0, 11.0]);
+        // factored: k * (2*y1 + 3*y2): 3 mults (was 4)
+        assert_eq!(d.op_counts().mults, 3);
+    }
+
+    #[test]
+    fn squared_species_factors_once_per_product() {
+        // k*A*A + k*A*B -> k*(A*A + A*B) -> k*A*(A + B)
+        let e = Expr::sum(vec![term(1.0, 0, &[1, 1]), term(1.0, 0, &[1, 2])]);
+        let d = distribute_expr(&e);
+        assert_eq!(d.op_counts(), OpCounts { mults: 2, adds: 1 }, "{d}");
+        assert_equivalent(&e, &d, &[2.0], &[0.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn coefficient_only_quotient() {
+        // k*A + 2*k -> k*(A + 2)
+        let e = Expr::sum(vec![
+            term(1.0, 0, &[1]),
+            Expr::prod(2.0, vec![Expr::Rate(0)]),
+        ]);
+        let d = distribute_expr(&e);
+        assert_equivalent(&e, &d, &[3.0], &[0.0, 4.0]);
+        assert_eq!(d.op_counts().mults, 1, "{d}");
+    }
+
+    #[test]
+    fn never_increases_ops() {
+        // Randomized: distribution must never add operations.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n_terms = rng.gen_range(1..10);
+            let e = Expr::sum(
+                (0..n_terms)
+                    .map(|_| {
+                        let rate = rng.gen_range(0..3);
+                        let n_sp = rng.gen_range(1..4);
+                        let sp: Vec<u32> = (0..n_sp).map(|_| rng.gen_range(0..5)).collect();
+                        term(rng.gen_range(1..4) as f64, rate, &sp)
+                    })
+                    .collect(),
+            );
+            let d = distribute_expr(&e);
+            let before = e.op_counts();
+            let after = d.op_counts();
+            assert!(
+                after.total() <= before.total(),
+                "ops grew: {e} ({before:?}) -> {d} ({after:?})"
+            );
+            let rates: Vec<f64> = (0..3).map(|_| rng.gen_range(0.1..3.0)).collect();
+            let y: Vec<f64> = (0..5).map(|_| rng.gen_range(0.1..3.0)).collect();
+            assert_equivalent(&e, &d, &rates, &y);
+        }
+    }
+
+    #[test]
+    fn forest_distribution() {
+        let forest = ExprForest {
+            temps: vec![],
+            rhs: vec![Expr::sum(vec![term(1.0, 0, &[1]), term(1.0, 0, &[2])])],
+            n_species: 3,
+            n_rates: 1,
+        };
+        let out = distribute_forest(&forest);
+        assert_eq!(out.op_counts().mults, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Equation simplification (paper §3.1) as a standalone expression pass.
+//!
+//! The equation generator normally performs this on the fly; this pass
+//! exists so the optimizer can also accept *raw* (unsimplified) systems
+//! and so the benchmark harness can ablate the pass independently. It
+//! rewrites `2*k1*B*C + … + 3*k1*B*C + …` into `5*k1*B*C + …`: products in
+//! a sum that differ only in their constant coefficient are merged.
+
+use std::collections::HashMap;
+
+use crate::expr::{Expr, ExprForest};
+
+/// Merge like terms in every sum of the forest.
+pub fn simplify_forest(forest: &ExprForest) -> ExprForest {
+    ExprForest {
+        temps: forest.temps.iter().map(simplify_expr).collect(),
+        rhs: forest.rhs.iter().map(simplify_expr).collect(),
+        n_species: forest.n_species,
+        n_rates: forest.n_rates,
+    }
+}
+
+/// Recursively merge like terms in sums.
+pub fn simplify_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Sum(children) => {
+            // Recurse first so nested sums are already simplified.
+            let children: Vec<Expr> = children.iter().map(simplify_expr).collect();
+            // Group by the non-constant shape: for products that is the
+            // factor list; atoms group with themselves (coefficient 1).
+            let mut order: Vec<Vec<Expr>> = Vec::new();
+            let mut coeffs: HashMap<Vec<Expr>, f64> = HashMap::new();
+            let mut constant = 0.0;
+            for ch in children {
+                let (coeff, shape) = match ch {
+                    Expr::Prod(c, factors) => (c.0, factors),
+                    Expr::Const(c) => {
+                        constant += c.0;
+                        continue;
+                    }
+                    atom => (1.0, vec![atom]),
+                };
+                match coeffs.get_mut(&shape) {
+                    Some(acc) => *acc += coeff,
+                    None => {
+                        coeffs.insert(shape.clone(), coeff);
+                        order.push(shape);
+                    }
+                }
+            }
+            let mut out: Vec<Expr> = Vec::with_capacity(order.len() + 1);
+            for shape in order {
+                let coeff = coeffs[&shape];
+                if coeff != 0.0 {
+                    out.push(Expr::prod(coeff, shape));
+                }
+            }
+            if constant != 0.0 {
+                out.push(Expr::constant(constant));
+            }
+            Expr::sum(out)
+        }
+        Expr::Prod(c, factors) => Expr::prod(c.0, factors.iter().map(simplify_expr).collect()),
+        atom => atom.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(c: f64, rate: u32, species: &[u32]) -> Expr {
+        let mut f = vec![Expr::Rate(rate)];
+        f.extend(species.iter().map(|&s| Expr::Species(s)));
+        Expr::prod(c, f)
+    }
+
+    #[test]
+    fn paper_example_merges() {
+        // 2*k1*B*C + 3*k1*B*C -> 5*k1*B*C  (§3.1)
+        let e = Expr::sum(vec![term(2.0, 1, &[1, 2]), term(3.0, 1, &[1, 2])]);
+        let s = simplify_expr(&e);
+        assert_eq!(s, term(5.0, 1, &[1, 2]));
+    }
+
+    #[test]
+    fn different_shapes_untouched() {
+        let e = Expr::sum(vec![term(2.0, 1, &[1]), term(3.0, 2, &[1])]);
+        let s = simplify_expr(&e);
+        let Expr::Sum(children) = &s else { panic!() };
+        assert_eq!(children.len(), 2);
+    }
+
+    #[test]
+    fn cancellation_removes_term() {
+        let e = Expr::sum(vec![
+            term(2.0, 1, &[1]),
+            term(-2.0, 1, &[1]),
+            term(1.0, 2, &[3]),
+        ]);
+        assert_eq!(simplify_expr(&e), term(1.0, 2, &[3]));
+    }
+
+    #[test]
+    fn atoms_merge_with_unit_products() {
+        // y1 + 2*y1 -> 3*y1
+        let e = Expr::sum(vec![
+            Expr::Species(1),
+            Expr::prod(2.0, vec![Expr::Species(1)]),
+        ]);
+        assert_eq!(simplify_expr(&e), Expr::prod(3.0, vec![Expr::Species(1)]));
+    }
+
+    #[test]
+    fn constants_accumulate() {
+        let e = Expr::sum(vec![
+            Expr::constant(2.0),
+            Expr::Species(0),
+            Expr::constant(3.0),
+        ]);
+        let s = simplify_expr(&e);
+        let Expr::Sum(children) = &s else {
+            panic!("{s:?}")
+        };
+        assert!(children.contains(&Expr::constant(5.0)));
+    }
+
+    #[test]
+    fn nested_sums_simplified() {
+        // k0 * (y1 + y1)  ->  k0 * (2*y1) == 2*k0*y1 after prod folding
+        let inner = Expr::sum(vec![Expr::Species(1), Expr::Species(1)]);
+        let e = Expr::prod(1.0, vec![Expr::Rate(0), inner]);
+        let s = simplify_expr(&e);
+        assert_eq!(s, term(2.0, 0, &[1]));
+    }
+
+    #[test]
+    fn evaluation_preserved() {
+        let e = Expr::sum(vec![
+            term(2.0, 0, &[0, 1]),
+            term(3.0, 0, &[1, 0]),
+            term(-1.0, 1, &[0]),
+            Expr::Species(1),
+        ]);
+        let s = simplify_expr(&e);
+        let rates = [1.5, 2.5];
+        let y = [1.1, 0.7];
+        assert!((e.eval(&rates, &y, &[]) - s.eval(&rates, &y, &[])).abs() < 1e-12);
+    }
+}

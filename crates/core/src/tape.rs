@@ -1,0 +1,825 @@
+//! The evaluation tape: a linear, register-based program computing every
+//! ODE right-hand side.
+//!
+//! This is our analog of the C function the paper's backend emits — the
+//! form in which the system is actually executed by the ODE solver. The
+//! tape's operation counts are the numbers reported in Table 1, and its
+//! interpreter is the hot path of the whole runtime.
+
+use rms_odegen::OpCounts;
+
+use crate::expr::{Coeff, Expr, ExprForest};
+
+/// Register index.
+pub type Reg = u32;
+
+/// Operand source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A previously computed register.
+    Reg(Reg),
+    /// Species concentration `y[i]`.
+    Species(u32),
+    /// Rate constant `k[i]`.
+    Rate(u32),
+    /// Literal constant.
+    Const(f64),
+}
+
+/// One tape instruction. Loads are folded into operands; only arithmetic
+/// occupies tape slots, so instruction counts equal flop counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field meanings are given by each variant's formula
+pub enum Instr {
+    /// `regs[dst] = a + b`
+    Add { dst: Reg, a: Operand, b: Operand },
+    /// `regs[dst] = a - b`
+    Sub { dst: Reg, a: Operand, b: Operand },
+    /// `regs[dst] = a * b`
+    Mul { dst: Reg, a: Operand, b: Operand },
+    /// `regs[dst] = -a`
+    Neg { dst: Reg, a: Operand },
+    /// `regs[dst] = a` (operand materialization; also emitted when value
+    /// numbering replaces a redundant operation)
+    Copy { dst: Reg, a: Operand },
+    /// `ydot[idx] = a`
+    Store { idx: u32, a: Operand },
+}
+
+/// A compiled tape.
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// Register file size.
+    pub n_regs: usize,
+    /// Number of species (outputs).
+    pub n_species: usize,
+    /// Number of rate constants (inputs).
+    pub n_rates: usize,
+}
+
+impl Tape {
+    /// Evaluate the tape: reads `rates` and `y`, writes `ydot`, using the
+    /// caller-provided scratch register file (resized as needed so the
+    /// solver loop allocates once).
+    pub fn eval_with_scratch(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        if regs.len() < self.n_regs {
+            regs.resize(self.n_regs, 0.0);
+        }
+        let fetch = |regs: &[f64], op: Operand| -> f64 {
+            match op {
+                Operand::Reg(r) => regs[r as usize],
+                Operand::Species(i) => y[i as usize],
+                Operand::Rate(i) => rates[i as usize],
+                Operand::Const(v) => v,
+            }
+        };
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Add { dst, a, b } => regs[dst as usize] = fetch(regs, a) + fetch(regs, b),
+                Instr::Sub { dst, a, b } => regs[dst as usize] = fetch(regs, a) - fetch(regs, b),
+                Instr::Mul { dst, a, b } => regs[dst as usize] = fetch(regs, a) * fetch(regs, b),
+                Instr::Neg { dst, a } => regs[dst as usize] = -fetch(regs, a),
+                Instr::Copy { dst, a } => regs[dst as usize] = fetch(regs, a),
+                Instr::Store { idx, a } => ydot[idx as usize] = fetch(regs, a),
+            }
+        }
+    }
+
+    /// Evaluate with a fresh register file.
+    pub fn eval(&self, rates: &[f64], y: &[f64], ydot: &mut [f64]) {
+        let mut regs = vec![0.0; self.n_regs];
+        self.eval_with_scratch(rates, y, ydot, &mut regs);
+    }
+
+    /// Arithmetic operation counts (Table 1's "Number of *" and
+    /// "Number of (+ and -)"). `Neg` counts as an add-class operation;
+    /// `Copy`/`Store` are free.
+    pub fn op_counts(&self) -> OpCounts {
+        let mut counts = OpCounts::default();
+        for instr in &self.instrs {
+            match instr {
+                Instr::Mul { .. } => counts.mults += 1,
+                Instr::Add { .. } | Instr::Sub { .. } | Instr::Neg { .. } => counts.adds += 1,
+                Instr::Copy { .. } | Instr::Store { .. } => {}
+            }
+        }
+        counts
+    }
+
+    /// Number of instructions (IR size metric).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Reassign registers by linear scan so slots are reused after their
+/// last read. SSA lowering gives every instruction a fresh register —
+/// harmless for small systems but a multi-megabyte register file at
+/// paper scale (the 250 000-equation case would otherwise carry one slot
+/// per instruction). Temporaries (multi-use registers) live until their
+/// final reader; single-use values free immediately.
+pub fn compact_registers(tape: &Tape) -> Tape {
+    let n = tape.n_regs;
+    // Last read position of each register.
+    let mut last_read = vec![usize::MAX; n];
+    let mark = |last_read: &mut [usize], op: Operand, pos: usize| {
+        if let Operand::Reg(r) = op {
+            last_read[r as usize] = pos;
+        }
+    };
+    for (pos, instr) in tape.instrs.iter().enumerate() {
+        match *instr {
+            Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } | Instr::Mul { a, b, .. } => {
+                mark(&mut last_read, a, pos);
+                mark(&mut last_read, b, pos);
+            }
+            Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. } => {
+                mark(&mut last_read, a, pos);
+            }
+        }
+    }
+    // Linear scan with a free list.
+    let mut mapping = vec![u32::MAX; n];
+    let mut free: Vec<u32> = Vec::new();
+    let mut next_slot: u32 = 0;
+    let mut out = Tape {
+        instrs: Vec::with_capacity(tape.instrs.len()),
+        n_regs: 0,
+        n_species: tape.n_species,
+        n_rates: tape.n_rates,
+    };
+    let remap = |mapping: &[u32], op: Operand| -> Operand {
+        match op {
+            Operand::Reg(r) => Operand::Reg(mapping[r as usize]),
+            other => other,
+        }
+    };
+    for (pos, instr) in tape.instrs.iter().enumerate() {
+        // Remap sources first, releasing registers whose last read is now.
+        let release = |mapping: &mut [u32], free: &mut Vec<u32>, op: Operand| {
+            if let Operand::Reg(r) = op {
+                // The u32::MAX guard prevents double-release when both
+                // operands are the same register (e.g. x*x).
+                if last_read[r as usize] == pos && mapping[r as usize] != u32::MAX {
+                    free.push(mapping[r as usize]);
+                    mapping[r as usize] = u32::MAX;
+                }
+            }
+        };
+        let mut alloc = |mapping: &mut [u32], free: &mut Vec<u32>, dst: Reg| -> u32 {
+            let slot = free.pop().unwrap_or_else(|| {
+                let s = next_slot;
+                next_slot += 1;
+                s
+            });
+            mapping[dst as usize] = slot;
+            slot
+        };
+        let new_instr = match *instr {
+            Instr::Add { dst, a, b } => {
+                let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
+                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, b);
+                Instr::Add {
+                    dst: alloc(&mut mapping, &mut free, dst),
+                    a: ra,
+                    b: rb,
+                }
+            }
+            Instr::Sub { dst, a, b } => {
+                let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
+                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, b);
+                Instr::Sub {
+                    dst: alloc(&mut mapping, &mut free, dst),
+                    a: ra,
+                    b: rb,
+                }
+            }
+            Instr::Mul { dst, a, b } => {
+                let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
+                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, b);
+                Instr::Mul {
+                    dst: alloc(&mut mapping, &mut free, dst),
+                    a: ra,
+                    b: rb,
+                }
+            }
+            Instr::Neg { dst, a } => {
+                let ra = remap(&mapping, a);
+                release(&mut mapping, &mut free, a);
+                Instr::Neg {
+                    dst: alloc(&mut mapping, &mut free, dst),
+                    a: ra,
+                }
+            }
+            Instr::Copy { dst, a } => {
+                let ra = remap(&mapping, a);
+                release(&mut mapping, &mut free, a);
+                Instr::Copy {
+                    dst: alloc(&mut mapping, &mut free, dst),
+                    a: ra,
+                }
+            }
+            Instr::Store { idx, a } => {
+                let ra = remap(&mapping, a);
+                release(&mut mapping, &mut free, a);
+                Instr::Store { idx, a: ra }
+            }
+        };
+        out.instrs.push(new_instr);
+    }
+    out.n_regs = next_slot as usize;
+    out
+}
+
+/// Species dependency pattern of a tape: for each output (derivative)
+/// index, the sorted list of species whose concentrations influence it.
+///
+/// This is the Jacobian sparsity structure `∂ydot_i/∂y_j ≠ 0 ⇒ j ∈
+/// pattern[i]`, extracted by forward dataflow over the registers. Large
+/// chemistry systems are extremely sparse (a species interacts with a
+/// handful of others), which the colored finite-difference Jacobian in
+/// `rms-solver` exploits.
+pub fn species_dependencies(tape: &Tape) -> Vec<Vec<u32>> {
+    // Per-register dependency sets, shared via Rc to avoid quadratic
+    // copying along sum chains.
+    use std::collections::BTreeSet;
+    use std::rc::Rc;
+    let mut reg_deps: Vec<Option<Rc<BTreeSet<u32>>>> = vec![None; tape.n_regs];
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); tape.n_species];
+    let deps_of = |reg_deps: &[Option<Rc<BTreeSet<u32>>>], op: Operand| -> Option<Rc<BTreeSet<u32>>> {
+        match op {
+            Operand::Reg(r) => reg_deps[r as usize].clone(),
+            Operand::Species(i) => {
+                let mut s = BTreeSet::new();
+                s.insert(i);
+                Some(Rc::new(s))
+            }
+            Operand::Rate(_) | Operand::Const(_) => None,
+        }
+    };
+    let union = |a: Option<Rc<BTreeSet<u32>>>, b: Option<Rc<BTreeSet<u32>>>| match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => {
+            if x.is_superset(&y) {
+                Some(x)
+            } else if y.is_superset(&x) {
+                Some(y)
+            } else {
+                let mut merged: BTreeSet<u32> = (*x).clone();
+                merged.extend(y.iter().copied());
+                Some(Rc::new(merged))
+            }
+        }
+    };
+    for instr in &tape.instrs {
+        match *instr {
+            Instr::Add { dst, a, b } | Instr::Sub { dst, a, b } | Instr::Mul { dst, a, b } => {
+                reg_deps[dst as usize] = union(deps_of(&reg_deps, a), deps_of(&reg_deps, b));
+            }
+            Instr::Neg { dst, a } | Instr::Copy { dst, a } => {
+                reg_deps[dst as usize] = deps_of(&reg_deps, a);
+            }
+            Instr::Store { idx, a } => {
+                if let Some(deps) = deps_of(&reg_deps, a) {
+                    out[idx as usize] = deps.iter().copied().collect();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward `Copy` chains and drop the copies: reads of a copied register
+/// go straight to the source.
+///
+/// **Requires single-assignment input** (each register written at most
+/// once — true of [`lower`]'s output and of [`crate::generic_compile`]
+/// run on such a tape). On register-reused tapes forwarding would be
+/// unsound; run it before [`compact_registers`], never after.
+pub fn forward_copies(tape: &Tape) -> Tape {
+    let mut source: Vec<Option<Operand>> = vec![None; tape.n_regs];
+    let resolve = |source: &[Option<Operand>], op: Operand| -> Operand {
+        match op {
+            Operand::Reg(r) => match source[r as usize] {
+                Some(fwd) => fwd,
+                None => op,
+            },
+            other => other,
+        }
+    };
+    let mut out = Tape {
+        instrs: Vec::with_capacity(tape.instrs.len()),
+        n_regs: tape.n_regs,
+        n_species: tape.n_species,
+        n_rates: tape.n_rates,
+    };
+    for instr in &tape.instrs {
+        match *instr {
+            Instr::Copy { dst, a } => {
+                // Chain-resolve so copies of copies flatten.
+                source[dst as usize] = Some(resolve(&source, a));
+            }
+            Instr::Add { dst, a, b } => out.instrs.push(Instr::Add {
+                dst,
+                a: resolve(&source, a),
+                b: resolve(&source, b),
+            }),
+            Instr::Sub { dst, a, b } => out.instrs.push(Instr::Sub {
+                dst,
+                a: resolve(&source, a),
+                b: resolve(&source, b),
+            }),
+            Instr::Mul { dst, a, b } => out.instrs.push(Instr::Mul {
+                dst,
+                a: resolve(&source, a),
+                b: resolve(&source, b),
+            }),
+            Instr::Neg { dst, a } => out.instrs.push(Instr::Neg {
+                dst,
+                a: resolve(&source, a),
+            }),
+            Instr::Store { idx, a } => out.instrs.push(Instr::Store {
+                idx,
+                a: resolve(&source, a),
+            }),
+        }
+    }
+    out
+}
+
+/// Lower an expression forest to a tape.
+///
+/// Sign-aware sum lowering keeps the cost model of the symbolic layers:
+/// negative-coefficient terms combine with `Sub` instead of paying a
+/// multiply by −1, and ±1 coefficients never multiply.
+pub fn lower(forest: &ExprForest) -> Tape {
+    let mut b = Builder {
+        tape: Tape {
+            instrs: Vec::new(),
+            n_regs: 0,
+            n_species: forest.n_species,
+            n_rates: forest.n_rates,
+        },
+        temp_slots: Vec::with_capacity(forest.temps.len()),
+    };
+    for t in &forest.temps {
+        let op = b.lower_expr(t);
+        b.temp_slots.push(op);
+    }
+    for (i, rhs) in forest.rhs.iter().enumerate() {
+        let op = b.lower_expr(rhs);
+        b.tape.instrs.push(Instr::Store {
+            idx: i as u32,
+            a: op,
+        });
+    }
+    b.tape
+}
+
+struct Builder {
+    tape: Tape,
+    temp_slots: Vec<Operand>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> Reg {
+        let r = self.tape.n_regs as Reg;
+        self.tape.n_regs += 1;
+        r
+    }
+
+    /// Lower an expression, returning the operand holding its value.
+    fn lower_expr(&mut self, expr: &Expr) -> Operand {
+        let (negated, op) = self.lower_signed(expr);
+        if negated {
+            let dst = self.fresh();
+            self.tape.instrs.push(Instr::Neg { dst, a: op });
+            Operand::Reg(dst)
+        } else {
+            op
+        }
+    }
+
+    /// Lower an expression, allowing the sign to be returned separately
+    /// (so enclosing sums can absorb it into a `Sub`). Returns
+    /// `(negated, operand)` where the value is `operand` negated if
+    /// `negated`.
+    fn lower_signed(&mut self, expr: &Expr) -> (bool, Operand) {
+        match expr {
+            Expr::Const(Coeff(v)) => (false, Operand::Const(*v)),
+            Expr::Rate(i) => (false, Operand::Rate(*i)),
+            Expr::Species(i) => (false, Operand::Species(*i)),
+            Expr::Temp(t) => (false, self.temp_slots[t.0 as usize]),
+            Expr::Prod(Coeff(c), factors) => {
+                let negated = *c < 0.0;
+                let mag = c.abs();
+                let mut acc: Option<Operand> = if mag != 1.0 {
+                    Some(Operand::Const(mag))
+                } else {
+                    None
+                };
+                for f in factors {
+                    let f_op = self.lower_expr(f);
+                    acc = Some(match acc {
+                        None => f_op,
+                        Some(prev) => {
+                            let dst = self.fresh();
+                            self.tape.instrs.push(Instr::Mul {
+                                dst,
+                                a: prev,
+                                b: f_op,
+                            });
+                            Operand::Reg(dst)
+                        }
+                    });
+                }
+                (negated, acc.unwrap_or(Operand::Const(1.0)))
+            }
+            Expr::Sum(children) => {
+                let mut acc: Option<(bool, Operand)> = None;
+                for ch in children {
+                    let (neg, op) = self.lower_signed(ch);
+                    acc = Some(match acc {
+                        None => (neg, op),
+                        Some((acc_neg, acc_op)) => {
+                            let dst = self.fresh();
+                            // acc ± term, tracking the accumulated sign.
+                            // (±a) + (±b): emit in terms of the accumulator
+                            // sign so only one flag survives.
+                            if acc_neg == neg {
+                                self.tape.instrs.push(Instr::Add {
+                                    dst,
+                                    a: acc_op,
+                                    b: op,
+                                });
+                                (acc_neg, Operand::Reg(dst))
+                            } else {
+                                self.tape.instrs.push(Instr::Sub {
+                                    dst,
+                                    a: acc_op,
+                                    b: op,
+                                });
+                                (acc_neg, Operand::Reg(dst))
+                            }
+                        }
+                    });
+                }
+                acc.unwrap_or((false, Operand::Const(0.0)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cse::{cse_forest, CseOptions};
+    use crate::distopt::distribute_forest;
+
+    fn term(c: f64, rate: u32, species: &[u32]) -> Expr {
+        let mut f = vec![Expr::Rate(rate)];
+        f.extend(species.iter().map(|&s| Expr::Species(s)));
+        Expr::prod(c, f)
+    }
+
+    fn forest(rhs: Vec<Expr>) -> ExprForest {
+        let n = rhs.len();
+        ExprForest {
+            temps: vec![],
+            rhs,
+            n_species: n,
+            n_rates: 8,
+        }
+    }
+
+    fn check_tape_matches_forest(f: &ExprForest, rates: &[f64], y: &[f64]) {
+        let tape = lower(f);
+        let mut expect = vec![0.0; f.rhs.len()];
+        f.eval_into(rates, y, &mut expect);
+        let mut got = vec![0.0; f.rhs.len()];
+        tape.eval(rates, y, &mut got);
+        for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "eq {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_decay() {
+        // dA/dt = -k0*A
+        let f = forest(vec![term(-1.0, 0, &[0])]);
+        let tape = lower(&f);
+        // one Mul + one Neg + Store
+        assert_eq!(tape.op_counts(), OpCounts { mults: 1, adds: 1 });
+        let mut ydot = vec![0.0];
+        tape.eval(&[2.0], &[3.0], &mut ydot);
+        assert_eq!(ydot[0], -6.0);
+    }
+
+    #[test]
+    fn sub_absorbs_signs() {
+        // k0*A - k1*B: 2 muls, 1 sub, no negs
+        let f = forest(vec![Expr::sum(vec![
+            term(1.0, 0, &[0]),
+            term(-1.0, 1, &[0]),
+        ])]);
+        let tape = lower(&f);
+        assert_eq!(tape.op_counts(), OpCounts { mults: 2, adds: 1 });
+        assert!(tape.instrs.iter().any(|i| matches!(i, Instr::Sub { .. })));
+        assert!(!tape.instrs.iter().any(|i| matches!(i, Instr::Neg { .. })));
+        check_tape_matches_forest(&f, &[2.0, 5.0], &[3.0]);
+    }
+
+    #[test]
+    fn all_negative_sum() {
+        // -k0*A - k1*B = -(k0*A + k1*B): adds then one neg
+        let f = forest(vec![Expr::sum(vec![
+            term(-1.0, 0, &[0]),
+            term(-1.0, 1, &[0]),
+        ])]);
+        let tape = lower(&f);
+        assert_eq!(tape.op_counts(), OpCounts { mults: 2, adds: 2 });
+        check_tape_matches_forest(&f, &[2.0, 5.0], &[3.0]);
+    }
+
+    #[test]
+    fn tape_op_counts_match_forest_cost_model() {
+        let f = forest(vec![
+            Expr::sum(vec![term(2.0, 0, &[0, 1]), term(1.0, 1, &[2])]),
+            term(-3.0, 2, &[1, 1]),
+        ]);
+        let tape = lower(&f);
+        let fc = f.op_counts();
+        let tc = tape.op_counts();
+        assert_eq!(tc.mults, fc.mults);
+        // Neg for the leading -3 coeff product counts as one extra add-op.
+        assert!(tc.adds >= fc.adds);
+        check_tape_matches_forest(&f, &[1.1, 2.2, 3.3], &[0.5, 0.7, 0.9]);
+    }
+
+    #[test]
+    fn temps_computed_once() {
+        let f = forest(vec![
+            term(-1.0, 0, &[0, 1]),
+            term(-1.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1]),
+        ]);
+        let optimized = cse_forest(&f, CseOptions::default());
+        let tape = lower(&optimized);
+        assert_eq!(tape.op_counts().mults, 2);
+        check_tape_matches_forest(&optimized, &[2.0], &[3.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_rhs_stores_constant() {
+        let f = forest(vec![Expr::constant(0.0)]);
+        let tape = lower(&f);
+        let mut ydot = vec![99.0];
+        tape.eval(&[], &[0.0], &mut ydot);
+        assert_eq!(ydot[0], 0.0);
+        assert_eq!(tape.op_counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn scratch_reuse() {
+        let f = forest(vec![term(1.0, 0, &[0])]);
+        let tape = lower(&f);
+        let mut regs = Vec::new();
+        let mut ydot = vec![0.0];
+        tape.eval_with_scratch(&[2.0], &[3.0], &mut ydot, &mut regs);
+        assert_eq!(ydot[0], 6.0);
+        tape.eval_with_scratch(&[2.0], &[4.0], &mut ydot, &mut regs);
+        assert_eq!(ydot[0], 8.0);
+    }
+
+    #[test]
+    fn register_compaction_preserves_semantics_and_shrinks() {
+        use crate::cse::{cse_forest, CseOptions};
+        use crate::distopt::distribute_forest;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let n_eq = rng.gen_range(2..6);
+            let f = forest(
+                (0..n_eq)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..7))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..6))
+                                        .collect();
+                                    term(rng.gen_range(1..3) as f64, rng.gen_range(0..3), &sp)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let optimized = cse_forest(&distribute_forest(&f), CseOptions::default());
+            let tape = lower(&optimized);
+            let compact = compact_registers(&tape);
+            assert!(compact.n_regs <= tape.n_regs);
+            assert_eq!(compact.len(), tape.len());
+            assert_eq!(compact.op_counts(), tape.op_counts());
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..6).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let mut a = vec![0.0; n_eq];
+            let mut b = vec![0.0; n_eq];
+            tape.eval(&rates, &y, &mut a);
+            compact.eval(&rates, &y, &mut b);
+            assert_eq!(a, b, "compaction changed results");
+        }
+    }
+
+    #[test]
+    fn compaction_handles_squared_operands() {
+        // x*x reads the same register twice at its last use; the slot must
+        // be released exactly once.
+        let f = forest(vec![Expr::prod(
+            1.0,
+            vec![
+                Expr::sum(vec![Expr::Species(0), Expr::Species(1)]),
+                Expr::sum(vec![Expr::Species(0), Expr::Species(1)]),
+            ],
+        )]);
+        let tape = lower(&f);
+        let compact = compact_registers(&tape);
+        let mut a = vec![0.0];
+        let mut b = vec![0.0];
+        tape.eval(&[], &[2.0, 3.0], &mut a);
+        compact.eval(&[], &[2.0, 3.0], &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0], 25.0);
+    }
+
+    #[test]
+    fn compaction_reuses_slots_in_long_chains() {
+        // A long sum: SSA takes ~n registers, compaction needs O(1).
+        let f = forest(vec![Expr::sum(
+            (0..64).map(|i| term(1.0, 0, &[i])).collect(),
+        )]);
+        let tape = lower(&f);
+        assert!(tape.n_regs >= 64);
+        let compact = compact_registers(&tape);
+        assert!(
+            compact.n_regs <= 4,
+            "expected O(1) slots, got {}",
+            compact.n_regs
+        );
+    }
+
+    #[test]
+    fn copy_forwarding_drops_vn_copies() {
+        use crate::generic::{generic_compile, GenericOptions};
+        // Duplicate products inside one equation -> VN emits Copies ->
+        // forwarding removes them. (Direct Sum construction keeps the
+        // duplicates; no store intervenes, so the alias barrier does not
+        // block the match.)
+        let f = forest(vec![Expr::Sum(vec![
+            term(1.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1]),
+            term(2.0, 0, &[0, 1]),
+        ])]);
+        let ssa = lower(&f);
+        let vn = generic_compile(
+            &ssa,
+            GenericOptions {
+                opt_level: 4,
+                memory_budget: usize::MAX,
+            },
+        )
+        .unwrap();
+        assert!(vn
+            .tape
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Copy { .. })));
+        let fwd = forward_copies(&vn.tape);
+        assert!(!fwd.instrs.iter().any(|i| matches!(i, Instr::Copy { .. })));
+        assert!(fwd.len() < vn.tape.len());
+        let mut a = vec![0.0; 1];
+        let mut b = vec![0.0; 1];
+        ssa.eval(&[2.0], &[3.0, 5.0], &mut a);
+        compact_registers(&fwd).eval(&[2.0], &[3.0, 5.0], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn species_dependencies_tracked_through_temps() {
+        // eq0 = k0*y0*y1 ; eq1 = k1*y2 ; shared temp does not leak deps.
+        let f = ExprForest {
+            temps: vec![Expr::prod(1.0, vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)])],
+            rhs: vec![
+                Expr::Temp(crate::expr::TempId(0)),
+                Expr::prod(1.0, vec![Expr::Rate(1), Expr::Species(2)]),
+            ],
+            n_species: 3,
+            n_rates: 2,
+        };
+        let tape = lower(&f);
+        let deps = species_dependencies(&tape);
+        assert_eq!(deps[0], vec![0, 1]);
+        assert_eq!(deps[1], vec![2]);
+        // Compaction must not change the answer.
+        let deps2 = species_dependencies(&compact_registers(&tape));
+        assert_eq!(deps, deps2);
+    }
+
+    #[test]
+    fn species_dependencies_constant_rhs_empty() {
+        let f = forest(vec![Expr::constant(0.0)]);
+        let deps = species_dependencies(&lower(&f));
+        assert!(deps[0].is_empty());
+    }
+
+    #[test]
+    fn copy_chains_flatten() {
+        use crate::tape::{Instr, Operand, Tape};
+        let tape = Tape {
+            instrs: vec![
+                Instr::Mul {
+                    dst: 0,
+                    a: Operand::Species(0),
+                    b: Operand::Rate(0),
+                },
+                Instr::Copy {
+                    dst: 1,
+                    a: Operand::Reg(0),
+                },
+                Instr::Copy {
+                    dst: 2,
+                    a: Operand::Reg(1),
+                },
+                Instr::Store {
+                    idx: 0,
+                    a: Operand::Reg(2),
+                },
+            ],
+            n_regs: 3,
+            n_species: 1,
+            n_rates: 1,
+        };
+        let fwd = forward_copies(&tape);
+        assert_eq!(fwd.len(), 2);
+        let mut out = vec![0.0];
+        fwd.eval(&[3.0], &[4.0], &mut out);
+        assert_eq!(out[0], 12.0);
+    }
+
+    #[test]
+    fn full_pipeline_tape_semantics() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n_eq = rng.gen_range(2..6);
+            let f = forest(
+                (0..n_eq)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..6))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..6))
+                                        .collect();
+                                    term(rng.gen_range(1..3) as f64, rng.gen_range(0..3), &sp)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let optimized = cse_forest(&distribute_forest(&f), CseOptions::default());
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..6).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let tape = lower(&optimized);
+            let mut expect = vec![0.0; n_eq];
+            f.eval_into(&rates, &y, &mut expect);
+            let mut got = vec![0.0; n_eq];
+            tape.eval(&rates, &y, &mut got);
+            for (a, b) in expect.iter().zip(&got) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+}

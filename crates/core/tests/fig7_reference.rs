@@ -1,0 +1,252 @@
+//! Differential test: a literal, unoptimized transcription of the paper's
+//! Figure 7 CSE algorithm serves as the oracle for the production
+//! (DAG-based) implementation on flat sum-of-products systems.
+//!
+//! The reference works exactly as printed: expressions (product factor
+//! lists here, the dominant redundancy pre-distribution) are stored in an
+//! `exprList` indexed by length with terms in canonical order; equal
+//! expressions share a temporary; longest-first prefix matching rewrites
+//! long expressions in terms of shorter ones' temporaries, setting the
+//! `genTemp` bit; assignments are emitted shortest-first so every
+//! temporary is written before it is read.
+
+use std::collections::HashMap;
+
+use rms_core::{cse_forest, CseOptions, Expr, ExprForest};
+
+/// Atom = (is_rate, index); products are sorted atom lists.
+type Term = (bool, u32);
+
+#[derive(Debug, Clone)]
+struct RefExpression {
+    /// Canonical term list (the paper's `expr`).
+    terms: Vec<Term>,
+    /// The paper's `genTemp` bit.
+    gen_temp: bool,
+    /// Rewritten form: prefix replaced by another expression's temp.
+    prefix_of: Option<(usize, usize)>, // (expression index, prefix length)
+    /// Total number of occurrences across all equations.
+    occurrences: usize,
+}
+
+/// Cost of the reference output in (mults, adds), given the original
+/// per-equation structure.
+struct RefCost {
+    mults: usize,
+    adds: usize,
+}
+
+/// Run the literal Fig. 7 algorithm over the products of a flat system;
+/// returns the achieved cost.
+fn reference_fig7(rhs: &[Vec<(f64, Vec<Term>)>]) -> RefCost {
+    // Collect distinct products with occurrence counts.
+    let mut index: HashMap<Vec<Term>, usize> = HashMap::new();
+    let mut exprs: Vec<RefExpression> = Vec::new();
+    let mut max_len = 0usize;
+    for eq in rhs {
+        for (_, terms) in eq {
+            max_len = max_len.max(terms.len());
+            match index.get(terms) {
+                Some(&i) => exprs[i].occurrences += 1,
+                None => {
+                    index.insert(terms.clone(), exprs.len());
+                    exprs.push(RefExpression {
+                        terms: terms.clone(),
+                        gen_temp: false,
+                        prefix_of: None,
+                        occurrences: 1,
+                    });
+                }
+            }
+        }
+    }
+    // Multi-occurrence expressions get temps (the equal-length exact match
+    // of lines 4-6, applied across the whole program).
+    for e in &mut exprs {
+        if e.occurrences > 1 && e.terms.len() >= 2 {
+            e.gen_temp = true;
+        }
+    }
+    // exprList[len] (lines 1-2), longest-first prefix matching (lines 7-11).
+    let mut by_len: Vec<Vec<usize>> = vec![Vec::new(); max_len + 1];
+    for (i, e) in exprs.iter().enumerate() {
+        by_len[e.terms.len()].push(i);
+    }
+    let lookup: HashMap<Vec<Term>, usize> = index.clone();
+    for len in (2..=max_len).rev() {
+        for &long in &by_len[len] {
+            // search shorter lengths from longest to shortest (line 7).
+            for i in (2..len).rev() {
+                let prefix = exprs[long].terms[..i].to_vec();
+                if let Some(&short) = lookup.get(&prefix) {
+                    if short != long {
+                        exprs[long].prefix_of = Some((short, i));
+                        exprs[short].gen_temp = true; // replacePrefix marks genTemp
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Cost model: a temp's definition is computed once; uses are free
+    // factors. An expression of n terms costs n-1 mults (prefix rewrite:
+    // (n - i) remaining terms multiplied onto the short temp).
+    let mut mults = 0usize;
+    for e in &exprs {
+        let def_cost = match e.prefix_of {
+            Some((_, i)) => e.terms.len() - i, // temp * rest…
+            None => e.terms.len() - 1,
+        };
+        if e.gen_temp {
+            mults += def_cost;
+        } else {
+            // inline at each occurrence
+            mults += def_cost * e.occurrences;
+        }
+    }
+    // Coefficient multiplies and per-equation adds unchanged by CSE.
+    let mut adds = 0usize;
+    for eq in rhs {
+        adds += eq.len().saturating_sub(1);
+        for (c, _) in eq {
+            if c.abs() != 1.0 {
+                mults += 1;
+            }
+        }
+    }
+    RefCost { mults, adds }
+}
+
+/// Build the same system as an ExprForest for the production pipeline.
+fn to_forest(rhs: &[Vec<(f64, Vec<Term>)>]) -> ExprForest {
+    let exprs: Vec<Expr> = rhs
+        .iter()
+        .map(|eq| {
+            Expr::sum(
+                eq.iter()
+                    .map(|(c, terms)| {
+                        Expr::prod(
+                            *c,
+                            terms
+                                .iter()
+                                .map(|&(is_rate, i)| {
+                                    if is_rate {
+                                        Expr::Rate(i)
+                                    } else {
+                                        Expr::Species(i)
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let n = exprs.len();
+    ExprForest {
+        temps: vec![],
+        rhs: exprs,
+        n_species: n,
+        n_rates: 4,
+    }
+}
+
+/// Random flat mass-action-shaped system.
+fn random_system(seed: u64, n_eq: usize) -> Vec<Vec<(f64, Vec<Term>)>> {
+    // xorshift for determinism without rand in this test.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // A pool of shared products (reactions) used by several equations.
+    let n_products = 1 + n_eq / 2;
+    let pool: Vec<Vec<Term>> = (0..n_products)
+        .map(|_| {
+            let len = 2 + (next() % 3) as usize;
+            let mut terms: Vec<Term> = vec![(true, (next() % 4) as u32)];
+            for _ in 1..len {
+                terms.push((false, (next() % 8) as u32));
+            }
+            terms.sort_unstable();
+            terms
+        })
+        .collect();
+    (0..n_eq)
+        .map(|_| {
+            let n_terms = 1 + (next() % 5) as usize;
+            (0..n_terms)
+                .map(|_| {
+                    let coeff = match next() % 4 {
+                        0 => -1.0,
+                        1 => 2.0,
+                        _ => 1.0,
+                    };
+                    (coeff, pool[(next() % n_products as u64) as usize].clone())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn production_cse_never_worse_than_fig7_reference() {
+    for seed in 1..40u64 {
+        let system = random_system(seed * 7919, 4 + (seed % 8) as usize);
+        let reference = reference_fig7(&system);
+        let forest = to_forest(&system);
+        let optimized = cse_forest(&forest, CseOptions::default());
+        let counts = optimized.op_counts();
+        assert!(
+            counts.mults <= reference.mults,
+            "seed {seed}: production {counts:?} vs reference ({}, {})",
+            reference.mults,
+            reference.adds
+        );
+        // Adds can only shrink via sum sharing (the reference does not
+        // model sums), never grow.
+        assert!(counts.adds <= reference.adds, "seed {seed}");
+    }
+}
+
+#[test]
+fn production_matches_reference_on_paper_patterns() {
+    // The dRS-family pattern: one product family shared + a prefix chain.
+    // k0*A*B twice, k0*A*B*C once — reference: temp for k0*A*B (2 mults),
+    // long one = temp * C (1 mult) => 3 mults total.
+    let terms_short = vec![(true, 0), (false, 0), (false, 1)];
+    let terms_long = vec![(true, 0), (false, 0), (false, 1), (false, 2)];
+    let system = vec![
+        vec![(1.0, terms_short.clone())],
+        vec![(1.0, terms_short.clone())],
+        vec![(1.0, terms_long.clone())],
+    ];
+    let reference = reference_fig7(&system);
+    assert_eq!(reference.mults, 3);
+    let optimized = cse_forest(&to_forest(&system), CseOptions::default());
+    assert_eq!(optimized.op_counts().mults, 3, "{optimized:?}");
+}
+
+#[test]
+fn semantic_equivalence_of_production_on_reference_inputs() {
+    for seed in 1..20u64 {
+        let system = random_system(seed * 104729, 5);
+        let forest = to_forest(&system);
+        let optimized = cse_forest(&forest, CseOptions::default());
+        let rates = [1.3, 0.7, 2.1, 0.4];
+        let y: Vec<f64> = (0..8).map(|i| 0.3 + i as f64 * 0.11).collect();
+        let mut a = vec![0.0; forest.rhs.len()];
+        let mut b = vec![0.0; forest.rhs.len()];
+        forest.eval_into(&rates, &y, &mut a);
+        optimized.eval_into(&rates, &y, &mut b);
+        for (x, z) in a.iter().zip(&b) {
+            assert!(
+                (x - z).abs() <= 1e-9 * x.abs().max(1.0),
+                "seed {seed}: {x} vs {z}"
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The iterated distribute⇄CSE interplay on a mean-field structure:
+//! `dA/dt = Σ_i Σ_f k·As_i·R_f` must collapse toward
+//! `k·(Σ As_i)·(Σ R_f)` — (N·F) products becoming ~N+F operations.
+
+use rms_core::{optimize, optimize_with_passes, CseOptions, OptLevel, Passes};
+use rms_odegen::{generate, GenerateOptions};
+use rms_rcip::RateTable;
+use rms_rdl::{Reaction, ReactionNetwork};
+
+/// N agent species, F rubber species, one product P; reactions
+/// `As_i + R_f -> P` all with the same rate constant.
+fn mean_field_system(n: usize, f: usize) -> rms_odegen::OdeSystem {
+    let mut network = ReactionNetwork::new();
+    let agents: Vec<_> = (0..n)
+        .map(|i| network.add_abstract_species(&format!("As{i}"), 0.1))
+        .collect();
+    let rubbers: Vec<_> = (0..f)
+        .map(|i| network.add_abstract_species(&format!("R{i}"), 1.0))
+        .collect();
+    let product = network.add_abstract_species("P", 0.0);
+    for &a in &agents {
+        for &r in &rubbers {
+            network.add_reaction(Reaction {
+                reactants: vec![a, r],
+                products: vec![product],
+                rate: "K".to_string(),
+                rule: "mf".to_string(),
+            });
+        }
+    }
+    let rates = RateTable::parse("rate K = 2;").unwrap();
+    generate(&network, &rates, GenerateOptions { simplify: true }).unwrap()
+}
+
+#[test]
+fn product_equation_collapses_to_product_of_sums() {
+    let (n, f) = (6usize, 8usize);
+    let system = mean_field_system(n, f);
+    let unopt = optimize(&system, OptLevel::None);
+    let full = optimize(&system, OptLevel::Full);
+
+    // Unoptimized: every equation containing the flux pays ~2 mults per
+    // (i, f) pair; dP/dt alone holds N·F products.
+    assert!(unopt.stages.after_cse.mults >= 2 * n * f);
+
+    // d[P]/dt = k·(ΣAs)·(ΣR) costs 2 mults; the individual As_i·R_f
+    // products are still needed by the As_i and R_f equations, but each
+    // of those factors through the shared sums too: As_i·(ΣR) and
+    // R_f·(ΣAs) — so total mults is O(N + F), not O(N·F).
+    let full_mults = full.stages.after_cse.mults;
+    assert!(
+        full_mults <= 3 * (n + f) + 6,
+        "expected O(N+F) mults, got {full_mults} (stages: {:?})",
+        full.stages
+    );
+
+    // Semantics preserved.
+    let y: Vec<f64> = (0..system.len())
+        .map(|i| 0.2 + (i % 5) as f64 * 0.17)
+        .collect();
+    let expect = system.eval_nominal(&y);
+    let mut got = vec![0.0; system.len()];
+    full.tape.eval(&system.rate_values, &y, &mut got);
+    for (a, b) in expect.iter().zip(&got) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn single_round_is_weaker_than_iterated() {
+    let system = mean_field_system(6, 8);
+    // One round: distribute then CSE once, no iteration.
+    let single = {
+        let forest = rms_core::ExprForest::from_system(&system);
+        let forest = rms_core::simplify_forest(&forest);
+        let forest = rms_core::distribute_forest(&forest);
+        let forest = rms_core::cse_forest(&forest, CseOptions::default());
+        forest.op_counts()
+    };
+    let iterated = optimize(&system, OptLevel::Full).stages.after_cse;
+    assert!(
+        iterated.total() <= single.total(),
+        "iteration regressed: {iterated:?} vs {single:?}"
+    );
+}
+
+#[test]
+fn prefix_matching_contributes_on_nested_variant_sums() {
+    // Equations with shared sum prefixes: f(1)=A+B, f(2)=A+B+C,
+    // f(3)=A+B+C+D … one temp chain instead of quadratic adds.
+    let mut network = ReactionNetwork::new();
+    let species: Vec<_> = (0..10)
+        .map(|i| network.add_abstract_species(&format!("S{i}"), 0.5))
+        .collect();
+    let sinks: Vec<_> = (0..6)
+        .map(|i| network.add_abstract_species(&format!("Sink{i}"), 0.0))
+        .collect();
+    // Sink_j is produced by unimolecular decay of S_0..S_{j+2}: its
+    // equation is k·(S_0 + … + S_{j+2}) after factoring.
+    for (j, &sink) in sinks.iter().enumerate() {
+        for &s in &species[..(j + 3)] {
+            network.add_reaction(Reaction {
+                reactants: vec![s],
+                products: vec![sink],
+                rate: "K".to_string(),
+                rule: "decay".to_string(),
+            });
+        }
+    }
+    let rates = RateTable::parse("rate K = 1;").unwrap();
+    let system = generate(&network, &rates, GenerateOptions { simplify: true }).unwrap();
+
+    let with_prefix = optimize(&system, OptLevel::Full).stages.after_cse;
+    let without_prefix = optimize_with_passes(
+        &system,
+        Passes {
+            simplify: true,
+            distribute: true,
+            cse: Some(CseOptions {
+                min_uses: 2,
+                prefix_matching: false,
+            }),
+        },
+    )
+    .stages
+    .after_cse;
+    assert!(
+        with_prefix.adds < without_prefix.adds,
+        "prefix matching should reduce adds: {with_prefix:?} vs {without_prefix:?}"
+    );
+}

@@ -1,0 +1,135 @@
+//! Atoms: element plus the per-atom state the reaction rules manipulate.
+
+use crate::element::Element;
+
+/// An atom inside a [`crate::Molecule`].
+///
+/// Hydrogens are kept implicit (a count on the heavy atom) unless a rule or
+/// SMILES input makes them explicit; the paper's rule set includes
+/// "remove a hydrogen atom" / "add hydrogen atoms", which operate on this
+/// count and toggle radical character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Chemical element.
+    pub element: Element,
+    /// Number of implicit hydrogens attached to this atom.
+    pub hydrogens: u8,
+    /// Formal charge.
+    pub charge: i8,
+    /// Number of unpaired electrons (0 = closed shell, 1 = radical, ...).
+    /// Radicals drive vulcanization chemistry: sulfur radicals attack
+    /// allylic carbons to form crosslinks.
+    pub radicals: u8,
+    /// Aromatic flag as written in SMILES (lowercase atoms).
+    pub aromatic: bool,
+    /// Whether the hydrogen count was given explicitly (bracket atom) and
+    /// must not be re-derived from valence rules.
+    pub fixed_hydrogens: bool,
+}
+
+impl Atom {
+    /// A plain, closed-shell atom of `element` with hydrogens to be
+    /// inferred from default valences.
+    pub fn new(element: Element) -> Atom {
+        Atom {
+            element,
+            hydrogens: 0,
+            charge: 0,
+            radicals: 0,
+            aromatic: false,
+            fixed_hydrogens: false,
+        }
+    }
+
+    /// An atom with an explicit hydrogen count (as in `[SH]`).
+    pub fn with_hydrogens(element: Element, hydrogens: u8) -> Atom {
+        Atom {
+            element,
+            hydrogens,
+            charge: 0,
+            radicals: 0,
+            aromatic: false,
+            fixed_hydrogens: true,
+        }
+    }
+
+    /// Builder-style: set formal charge.
+    pub fn charged(mut self, charge: i8) -> Atom {
+        self.charge = charge;
+        self
+    }
+
+    /// Builder-style: set unpaired-electron count.
+    pub fn radical(mut self, radicals: u8) -> Atom {
+        self.radicals = radicals;
+        self
+    }
+
+    /// Builder-style: mark aromatic.
+    pub fn aromatic(mut self) -> Atom {
+        self.aromatic = true;
+        self
+    }
+
+    /// True if the atom has at least one unpaired electron.
+    pub fn is_radical(&self) -> bool {
+        self.radicals > 0
+    }
+
+    /// Total valence this atom must satisfy given `bond_order_sum` from
+    /// explicit bonds: the smallest default valence that accommodates the
+    /// bonds, explicit hydrogens, and radical electrons. Returns `None` when
+    /// no standard valence fits (hypervalent beyond the table), in which
+    /// case the implicit hydrogen count is pinned to zero.
+    pub fn target_valence(&self, bond_order_sum: u8) -> Option<u8> {
+        let needed = bond_order_sum
+            .saturating_add(if self.fixed_hydrogens {
+                self.hydrogens
+            } else {
+                0
+            })
+            .saturating_add(self.radicals);
+        self.element
+            .default_valences()
+            .iter()
+            .copied()
+            .find(|&v| v >= needed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_atom_is_neutral_closed_shell() {
+        let a = Atom::new(Element::C);
+        assert_eq!(a.charge, 0);
+        assert!(!a.is_radical());
+        assert!(!a.fixed_hydrogens);
+    }
+
+    #[test]
+    fn target_valence_picks_smallest_fitting() {
+        let s = Atom::new(Element::S);
+        assert_eq!(s.target_valence(2), Some(2));
+        assert_eq!(s.target_valence(3), Some(4));
+        assert_eq!(s.target_valence(5), Some(6));
+        assert_eq!(s.target_valence(7), None);
+    }
+
+    #[test]
+    fn radical_consumes_valence() {
+        // A sulfur radical with one bond: 1 bond + 1 unpaired electron fits
+        // valence 2, so no implicit hydrogen remains.
+        let s = Atom::new(Element::S).radical(1);
+        assert_eq!(s.target_valence(1), Some(2));
+    }
+
+    #[test]
+    fn fixed_hydrogens_count_toward_valence() {
+        let s = Atom::with_hydrogens(Element::S, 1);
+        assert_eq!(s.target_valence(1), Some(2));
+        assert_eq!(s.target_valence(2), Some(4));
+    }
+}

@@ -1,0 +1,264 @@
+//! Canonical atom ranking (Morgan-style iterative refinement with
+//! tie-breaking), the basis for canonical SMILES, molecule equality and
+//! hashing.
+//!
+//! The paper relies on the CDK for "isomorphism checking" when deduping
+//! molecules produced by rule application; canonical labeling gives us the
+//! same capability with O(1) equality via the canonical string.
+
+use std::collections::HashMap;
+
+use crate::graph::Molecule;
+
+/// Initial per-atom invariant (element, connectivity, hydrogen count,
+/// charge, radicals, aromaticity).
+fn initial_invariants(mol: &Molecule) -> Vec<u64> {
+    mol.atoms()
+        .map(|(i, a)| {
+            let mut v: u64 = a.element.atomic_number() as u64;
+            v = v * 16 + mol.degree(i) as u64;
+            v = v * 16 + a.hydrogens as u64;
+            v = v * 32 + (a.charge as i64 + 8) as u64;
+            v = v * 8 + a.radicals as u64;
+            v = v * 2 + a.aromatic as u64;
+            v
+        })
+        .collect()
+}
+
+/// Compress arbitrary invariant values into dense ranks `0..k`, preserving
+/// order. Returns (ranks, class count).
+fn densify(values: &[u64]) -> (Vec<u32>, usize) {
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let index: HashMap<u64, u32> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let ranks = values.iter().map(|v| index[v]).collect();
+    (ranks, sorted.len())
+}
+
+/// One refinement round: each atom's new invariant combines its rank with
+/// the sorted multiset of (bond order, neighbor rank) pairs.
+fn refine_once(mol: &Molecule, ranks: &[u32]) -> Vec<u64> {
+    let n = mol.atom_count();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut nbrs: Vec<u64> = mol
+            .neighbors(i)
+            .map(|j| {
+                let order = mol
+                    .bond_between(i, j)
+                    .map(|b| {
+                        b.order.valence_units() as u64
+                            + if b.order == crate::bond::BondOrder::Aromatic {
+                                8
+                            } else {
+                                0
+                            }
+                    })
+                    .unwrap_or(0);
+                order * (n as u64 + 1) + ranks[j] as u64
+            })
+            .collect();
+        nbrs.sort_unstable();
+        // FNV-style fold so the invariant stays a single u64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (ranks[i] as u64);
+        for v in nbrs {
+            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+        out.push(h)
+    }
+    out
+}
+
+/// Refine ranks until the partition stops growing.
+fn refine_to_fixpoint(mol: &Molecule, start: Vec<u64>) -> (Vec<u32>, usize) {
+    let (mut ranks, mut classes) = densify(&start);
+    loop {
+        let next = refine_once(mol, &ranks);
+        // Combine old rank with the refinement so the partition only splits.
+        let combined: Vec<u64> = next
+            .iter()
+            .zip(&ranks)
+            .map(|(&h, &r)| h.wrapping_mul(31).wrapping_add(r as u64 + 1))
+            .collect();
+        let (new_ranks, new_classes) = densify(&combined);
+        if new_classes == classes {
+            return (ranks, classes);
+        }
+        ranks = new_ranks;
+        classes = new_classes;
+    }
+}
+
+/// Compute canonical ranks for all atoms: a permutation-invariant total
+/// order (ties broken by systematic individualization, choosing the branch
+/// with the lexicographically smallest certificate).
+pub fn canonical_ranks(mol: &Molecule) -> Vec<u32> {
+    let n = mol.atom_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (ranks, classes) = refine_to_fixpoint(mol, initial_invariants(mol));
+    if classes == n {
+        return ranks;
+    }
+    // Tie-breaking by individualization-refinement: find the smallest tied
+    // class, promote each member in turn, recurse, and keep the branch
+    // whose certificate is smallest.
+    let mut best: Option<(Vec<u64>, Vec<u32>)> = None;
+    let tied_rank = smallest_tied_class(&ranks, n);
+    for atom in 0..n {
+        if ranks[atom] != tied_rank {
+            continue;
+        }
+        let mut seed: Vec<u64> = ranks.iter().map(|&r| r as u64 * 2).collect();
+        seed[atom] += 1; // individualize
+        let refined = complete_ranks(mol, seed);
+        let cert = certificate(mol, &refined);
+        match &best {
+            Some((best_cert, _)) if *best_cert <= cert => {}
+            _ => best = Some((cert, refined)),
+        }
+    }
+    best.expect("tied class was non-empty").1
+}
+
+/// Recursively refine + individualize until the partition is discrete.
+fn complete_ranks(mol: &Molecule, seed: Vec<u64>) -> Vec<u32> {
+    let n = mol.atom_count();
+    let (ranks, classes) = refine_to_fixpoint(mol, seed);
+    if classes == n {
+        return ranks;
+    }
+    let tied_rank = smallest_tied_class(&ranks, n);
+    let mut best: Option<(Vec<u64>, Vec<u32>)> = None;
+    for atom in 0..n {
+        if ranks[atom] != tied_rank {
+            continue;
+        }
+        let mut seed: Vec<u64> = ranks.iter().map(|&r| r as u64 * 2).collect();
+        seed[atom] += 1;
+        let refined = complete_ranks(mol, seed);
+        let cert = certificate(mol, &refined);
+        match &best {
+            Some((best_cert, _)) if *best_cert <= cert => {}
+            _ => best = Some((cert, refined)),
+        }
+    }
+    best.expect("tied class was non-empty").1
+}
+
+fn smallest_tied_class(ranks: &[u32], n: usize) -> u32 {
+    let mut counts = vec![0u32; n];
+    for &r in ranks {
+        counts[r as usize] += 1;
+    }
+    (0..n as u32)
+        .find(|&r| counts[r as usize] > 1)
+        .expect("called with a non-discrete partition")
+}
+
+/// A canonical certificate: the adjacency relation rewritten in rank space.
+/// Two rank assignments of the same molecule compare meaningfully.
+fn certificate(mol: &Molecule, ranks: &[u32]) -> Vec<u64> {
+    let n = mol.atom_count() as u64;
+    let mut edges: Vec<u64> = mol
+        .bonds()
+        .map(|b| {
+            let (lo, hi) = {
+                let (ra, rb) = (ranks[b.a] as u64, ranks[b.b] as u64);
+                if ra <= rb {
+                    (ra, rb)
+                } else {
+                    (rb, ra)
+                }
+            };
+            (lo * n + hi) * 8 + b.order.valence_units() as u64
+        })
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::bond::BondOrder;
+    use crate::element::Element;
+
+    fn chain(elements: &[Element]) -> Molecule {
+        let mut m = Molecule::new();
+        let idx: Vec<usize> = elements.iter().map(|&e| m.add_atom(Atom::new(e))).collect();
+        m.infer_all_hydrogens().unwrap();
+        for w in idx.windows(2) {
+            m.connect(w[0], w[1], BondOrder::Single).unwrap();
+            m.infer_all_hydrogens().unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let m = chain(&[Element::C, Element::S, Element::O, Element::C]);
+        let mut r = canonical_ranks(&m);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn symmetric_chain_ends_tie_broken() {
+        // propane: the two CH3 are equivalent; ranks must still be discrete.
+        let m = chain(&[Element::C, Element::C, Element::C]);
+        let mut r = canonical_ranks(&m);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relabeling_gives_same_certificate() {
+        // Build CCO and OCC (reverse labeling); certificates must agree.
+        let a = chain(&[Element::C, Element::C, Element::O]);
+        let b = chain(&[Element::O, Element::C, Element::C]);
+        let ca = certificate(&a, &canonical_ranks(&a));
+        let cb = certificate(&b, &canonical_ranks(&b));
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_molecules_differ() {
+        let a = chain(&[Element::C, Element::C, Element::O]);
+        let b = chain(&[Element::C, Element::O, Element::C]);
+        let ca = certificate(&a, &canonical_ranks(&a));
+        let cb = certificate(&b, &canonical_ranks(&b));
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn empty_molecule() {
+        let m = Molecule::new();
+        assert!(canonical_ranks(&m).is_empty());
+    }
+
+    #[test]
+    fn ring_symmetry_fully_broken() {
+        // cyclohexane: all atoms equivalent; individualization must still
+        // produce a discrete, deterministic ranking.
+        let mut m = Molecule::new();
+        let idx: Vec<usize> = (0..6).map(|_| m.add_atom(Atom::new(Element::C))).collect();
+        m.infer_all_hydrogens().unwrap();
+        for i in 0..6 {
+            m.connect(idx[i], idx[(i + 1) % 6], BondOrder::Single)
+                .unwrap();
+            m.infer_all_hydrogens().unwrap();
+        }
+        let mut r = canonical_ranks(&m);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

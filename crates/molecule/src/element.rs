@@ -1,0 +1,248 @@
+//! Chemical elements relevant to polymer / rubber chemistry.
+//!
+//! The paper's chemical compiler manipulates molecules symbolically via the
+//! CDK SMILES classes; this module is the corresponding periodic-table
+//! subset. Rubber vulcanization chemistry is dominated by C, H, S, N and O
+//! (benzothiazole accelerators contribute N and S heterocycles), but the
+//! table carries the full organic subset so arbitrary RDL inputs parse.
+
+use std::fmt;
+
+/// A chemical element supported by the molecule substrate.
+///
+/// The set covers the SMILES "organic subset" plus a few common hetero
+/// atoms. Anything else can be spelled in brackets in SMILES input and is
+/// rejected with a parse error, which mirrors how the paper's frontend only
+/// accepts chemistry its rule language can act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Boron.
+    B,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Fluorine.
+    F,
+    /// Silicon.
+    Si,
+    /// Phosphorus.
+    P,
+    /// Sulfur (the star of vulcanization chemistry).
+    S,
+    /// Chlorine.
+    Cl,
+    /// Zinc (ZnO activator chemistry).
+    Zn,
+    /// Selenium.
+    Se,
+    /// Bromine.
+    Br,
+    /// Iodine.
+    I,
+}
+
+impl Element {
+    /// All supported elements, in atomic-number order.
+    pub const ALL: [Element; 14] = [
+        Element::H,
+        Element::B,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::F,
+        Element::Si,
+        Element::P,
+        Element::S,
+        Element::Cl,
+        Element::Zn,
+        Element::Se,
+        Element::Br,
+        Element::I,
+    ];
+
+    /// Atomic number.
+    pub fn atomic_number(self) -> u8 {
+        match self {
+            Element::H => 1,
+            Element::B => 5,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::Si => 14,
+            Element::P => 15,
+            Element::S => 16,
+            Element::Cl => 17,
+            Element::Zn => 30,
+            Element::Se => 34,
+            Element::Br => 35,
+            Element::I => 53,
+        }
+    }
+
+    /// Standard atomic weight (g/mol), used for formula weights.
+    pub fn atomic_weight(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::B => 10.81,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::F => 18.998,
+            Element::Si => 28.085,
+            Element::P => 30.974,
+            Element::S => 32.06,
+            Element::Cl => 35.45,
+            Element::Zn => 65.38,
+            Element::Se => 78.971,
+            Element::Br => 79.904,
+            Element::I => 126.904,
+        }
+    }
+
+    /// Element symbol as written in SMILES.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::B => "B",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::Si => "Si",
+            Element::P => "P",
+            Element::S => "S",
+            Element::Cl => "Cl",
+            Element::Zn => "Zn",
+            Element::Se => "Se",
+            Element::Br => "Br",
+            Element::I => "I",
+        }
+    }
+
+    /// Parse an element symbol (case-sensitive, as in SMILES brackets).
+    pub fn from_symbol(sym: &str) -> Option<Element> {
+        Element::ALL.iter().copied().find(|e| e.symbol() == sym)
+    }
+
+    /// Default valences used to infer implicit hydrogen counts, in the
+    /// order they are tried (smallest first), matching the SMILES
+    /// specification's treatment of the organic subset.
+    pub fn default_valences(self) -> &'static [u8] {
+        match self {
+            Element::H => &[1],
+            Element::B => &[3],
+            Element::C => &[4],
+            Element::N => &[3, 5],
+            Element::O => &[2],
+            Element::F => &[1],
+            Element::Si => &[4],
+            Element::P => &[3, 5],
+            Element::S => &[2, 4, 6],
+            Element::Cl => &[1],
+            Element::Zn => &[2],
+            Element::Se => &[2, 4, 6],
+            Element::Br => &[1],
+            Element::I => &[1],
+        }
+    }
+
+    /// Whether the element belongs to the SMILES organic subset and may be
+    /// written without brackets.
+    pub fn in_organic_subset(self) -> bool {
+        matches!(
+            self,
+            Element::B
+                | Element::C
+                | Element::N
+                | Element::O
+                | Element::F
+                | Element::P
+                | Element::S
+                | Element::Cl
+                | Element::Br
+                | Element::I
+        )
+    }
+
+    /// Whether SMILES permits an aromatic (lowercase) form of the symbol.
+    pub fn can_be_aromatic(self) -> bool {
+        matches!(
+            self,
+            Element::B
+                | Element::C
+                | Element::N
+                | Element::O
+                | Element::P
+                | Element::S
+                | Element::Se
+        )
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip() {
+        for e in Element::ALL {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        assert_eq!(Element::from_symbol("Xx"), None);
+        assert_eq!(Element::from_symbol("c"), None); // lowercase is aromatic, not a symbol
+        assert_eq!(Element::from_symbol(""), None);
+    }
+
+    #[test]
+    fn atomic_numbers_strictly_increase() {
+        let nums: Vec<u8> = Element::ALL.iter().map(|e| e.atomic_number()).collect();
+        assert!(nums.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn valences_are_sorted_and_nonempty() {
+        for e in Element::ALL {
+            let v = e.default_valences();
+            assert!(!v.is_empty(), "{e} has no valences");
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{e} valences unsorted");
+        }
+    }
+
+    #[test]
+    fn sulfur_supports_hypervalence() {
+        // Polysulfidic crosslinks and sulfoxides need S(IV) and S(VI).
+        assert_eq!(Element::S.default_valences(), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn organic_subset_matches_smiles_spec() {
+        assert!(Element::C.in_organic_subset());
+        assert!(Element::S.in_organic_subset());
+        assert!(!Element::H.in_organic_subset());
+        assert!(!Element::Zn.in_organic_subset());
+    }
+
+    #[test]
+    fn weights_positive_and_ordered_with_z() {
+        for e in Element::ALL {
+            assert!(e.atomic_weight() > 0.0);
+        }
+        assert!(Element::S.atomic_weight() > Element::O.atomic_weight());
+    }
+}

@@ -1,0 +1,132 @@
+//! Molecular formulas (Hill order) and weights.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::element::Element;
+use crate::graph::Molecule;
+
+/// A molecular formula: element → count, displayed in Hill order (C first,
+/// H second, the rest alphabetically).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Formula {
+    counts: BTreeMap<Element, u32>,
+}
+
+impl Formula {
+    /// Compute the formula of a molecule, counting implicit hydrogens.
+    pub fn of(mol: &Molecule) -> Formula {
+        let mut counts: BTreeMap<Element, u32> = BTreeMap::new();
+        for (_, atom) in mol.atoms() {
+            *counts.entry(atom.element).or_insert(0) += 1;
+            if atom.hydrogens > 0 {
+                *counts.entry(Element::H).or_insert(0) += atom.hydrogens as u32;
+            }
+        }
+        counts.retain(|_, &mut c| c > 0);
+        Formula { counts }
+    }
+
+    /// Count of a specific element (implicit H included).
+    pub fn count(&self, element: Element) -> u32 {
+        self.counts.get(&element).copied().unwrap_or(0)
+    }
+
+    /// Total number of atoms including implicit hydrogens.
+    pub fn total_atoms(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Molecular weight in g/mol.
+    pub fn weight(&self) -> f64 {
+        self.counts
+            .iter()
+            .map(|(e, &c)| e.atomic_weight() * c as f64)
+            .sum()
+    }
+
+    /// Element-wise sum of two formulas (for checking conservation across
+    /// a reaction: reactants' total formula must equal products').
+    pub fn plus(&self, other: &Formula) -> Formula {
+        let mut counts = self.counts.clone();
+        for (&e, &c) in &other.counts {
+            *counts.entry(e).or_insert(0) += c;
+        }
+        Formula { counts }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut write_one = |e: Element, c: u32| -> fmt::Result {
+            if c == 0 {
+                Ok(())
+            } else if c == 1 {
+                write!(f, "{}", e.symbol())
+            } else {
+                write!(f, "{}{}", e.symbol(), c)
+            }
+        };
+        // Hill order: C, H, then alphabetical by symbol.
+        write_one(Element::C, self.count(Element::C))?;
+        write_one(Element::H, self.count(Element::H))?;
+        let mut rest: Vec<(Element, u32)> = self
+            .counts
+            .iter()
+            .filter(|(e, _)| !matches!(e, Element::C | Element::H))
+            .map(|(&e, &c)| (e, c))
+            .collect();
+        rest.sort_by_key(|(e, _)| e.symbol());
+        for (e, c) in rest {
+            write_one(e, c)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smiles::parse_smiles;
+
+    #[test]
+    fn methane_formula() {
+        let m = parse_smiles("C").unwrap();
+        let f = Formula::of(&m);
+        assert_eq!(f.to_string(), "CH4");
+        assert_eq!(f.count(Element::H), 4);
+    }
+
+    #[test]
+    fn hill_order() {
+        let m = parse_smiles("CS(=O)O").unwrap();
+        let f = Formula::of(&m);
+        assert_eq!(f.to_string(), "CH4O2S");
+    }
+
+    #[test]
+    fn weight_of_water() {
+        let m = parse_smiles("O").unwrap();
+        let w = Formula::of(&m).weight();
+        assert!((w - 18.015).abs() < 0.01, "{w}");
+    }
+
+    #[test]
+    fn conservation_check_usage() {
+        // CSSC -> scission -> two CS radicals: formulas must sum equal.
+        let whole = parse_smiles("CSSC").unwrap();
+        let mut broken = whole.clone();
+        broken.disconnect(1, 2).unwrap();
+        let frags = broken.split_components();
+        assert_eq!(frags.len(), 2);
+        let sum = Formula::of(&frags[0]).plus(&Formula::of(&frags[1]));
+        assert_eq!(sum, Formula::of(&whole));
+    }
+
+    #[test]
+    fn empty_molecule_formula() {
+        let f = Formula::of(&Molecule::new());
+        assert_eq!(f.total_atoms(), 0);
+        assert_eq!(f.to_string(), "");
+    }
+}

@@ -1,0 +1,362 @@
+//! Reaction-site patterns and subgraph matching.
+//!
+//! RDL rules select *sites* — atoms or bonds satisfying structural
+//! predicates — before applying one of the six graph edits. This module
+//! provides both the predicate vocabulary (element, hydrogen count,
+//! radical, degree, chain depth, allylic position) and a VF2-style
+//! subgraph-isomorphism matcher for full structural queries.
+
+use crate::bond::BondOrder;
+use crate::element::Element;
+use crate::graph::Molecule;
+
+/// A predicate on a single atom within its molecule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomPredicate {
+    /// The atom is of this element.
+    Is(Element),
+    /// The atom has at least this many implicit hydrogens.
+    MinHydrogens(u8),
+    /// The atom carries at least one unpaired electron.
+    Radical,
+    /// The atom is closed-shell.
+    NotRadical,
+    /// Explicit-bond degree is at least this.
+    MinDegree(usize),
+    /// Explicit-bond degree is exactly this.
+    Degree(usize),
+    /// Same-element chain depth (see [`Molecule::chain_depth`]) is at least
+    /// this. The paper's motivating example: "only break sulfur-to-sulfur
+    /// bonds when the bonds are between sulfur atoms at least three atoms
+    /// from the end of a chain of sulfurs".
+    MinChainDepth(Element, usize),
+    /// sp3 carbon adjacent to a C=C double bond.
+    Allylic,
+    /// The atom is bonded to an atom of the given element.
+    BondedTo(Element),
+    /// The atom is NOT bonded to an atom of the given element.
+    NotBondedTo(Element),
+    /// Conjunction.
+    All(Vec<AtomPredicate>),
+    /// Disjunction.
+    Any(Vec<AtomPredicate>),
+}
+
+impl AtomPredicate {
+    /// Evaluate the predicate for atom `idx` of `mol`.
+    pub fn matches(&self, mol: &Molecule, idx: usize) -> bool {
+        let Ok(atom) = mol.atom(idx) else {
+            return false;
+        };
+        match self {
+            AtomPredicate::Is(e) => atom.element == *e,
+            AtomPredicate::MinHydrogens(h) => atom.hydrogens >= *h,
+            AtomPredicate::Radical => atom.is_radical(),
+            AtomPredicate::NotRadical => !atom.is_radical(),
+            AtomPredicate::MinDegree(d) => mol.degree(idx) >= *d,
+            AtomPredicate::Degree(d) => mol.degree(idx) == *d,
+            AtomPredicate::MinChainDepth(e, d) => mol.chain_depth(idx, *e) >= *d,
+            AtomPredicate::Allylic => mol.is_allylic_carbon(idx),
+            AtomPredicate::BondedTo(e) => mol
+                .neighbors(idx)
+                .any(|n| mol.atom(n).map(|a| a.element == *e).unwrap_or(false)),
+            AtomPredicate::NotBondedTo(e) => !mol
+                .neighbors(idx)
+                .any(|n| mol.atom(n).map(|a| a.element == *e).unwrap_or(false)),
+            AtomPredicate::All(ps) => ps.iter().all(|p| p.matches(mol, idx)),
+            AtomPredicate::Any(ps) => ps.iter().any(|p| p.matches(mol, idx)),
+        }
+    }
+
+    /// All atom indices of `mol` satisfying the predicate.
+    pub fn select(&self, mol: &Molecule) -> Vec<usize> {
+        (0..mol.atom_count())
+            .filter(|&i| self.matches(mol, i))
+            .collect()
+    }
+}
+
+/// A predicate on a bond: both endpoint predicates plus an optional order
+/// constraint. Endpoint predicates are tried in both orientations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BondPredicate {
+    /// Predicate for one endpoint.
+    pub left: AtomPredicate,
+    /// Predicate for the other endpoint.
+    pub right: AtomPredicate,
+    /// Required bond order, or `None` for any.
+    pub order: Option<BondOrder>,
+}
+
+impl BondPredicate {
+    /// Convenience constructor for "element–element single bond".
+    pub fn between(a: Element, b: Element) -> BondPredicate {
+        BondPredicate {
+            left: AtomPredicate::Is(a),
+            right: AtomPredicate::Is(b),
+            order: None,
+        }
+    }
+
+    /// All matching bonds as `(a, b)` pairs oriented so the `left`
+    /// predicate matches `a`. Each underlying bond appears at most once.
+    pub fn select(&self, mol: &Molecule) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for bond in mol.bonds() {
+            if let Some(required) = self.order {
+                if bond.order != required {
+                    continue;
+                }
+            }
+            if self.left.matches(mol, bond.a) && self.right.matches(mol, bond.b) {
+                out.push((bond.a, bond.b));
+            } else if self.left.matches(mol, bond.b) && self.right.matches(mol, bond.a) {
+                out.push((bond.b, bond.a));
+            }
+        }
+        out
+    }
+}
+
+/// A structural query graph for subgraph-isomorphism matching: atoms carry
+/// predicates, edges carry optional order constraints.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGraph {
+    nodes: Vec<AtomPredicate>,
+    edges: Vec<(usize, usize, Option<BondOrder>)>,
+}
+
+impl QueryGraph {
+    /// Empty query.
+    pub fn new() -> QueryGraph {
+        QueryGraph::default()
+    }
+
+    /// Add a query node, returning its index.
+    pub fn node(&mut self, pred: AtomPredicate) -> usize {
+        self.nodes.push(pred);
+        self.nodes.len() - 1
+    }
+
+    /// Add a query edge.
+    pub fn edge(&mut self, a: usize, b: usize, order: Option<BondOrder>) {
+        self.edges.push((a, b, order));
+    }
+
+    /// Number of query nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the query is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Find all embeddings of the query into `mol`. Returns one mapping
+    /// (query node -> molecule atom) per match; mappings are injective.
+    pub fn find_all(&self, mol: &Molecule) -> Vec<Vec<usize>> {
+        let mut results = Vec::new();
+        let mut assignment = vec![usize::MAX; self.nodes.len()];
+        let mut used = vec![false; mol.atom_count()];
+        self.extend_match(mol, 0, &mut assignment, &mut used, &mut results, usize::MAX);
+        results
+    }
+
+    /// Find embeddings, stopping after `limit` matches.
+    pub fn find_up_to(&self, mol: &Molecule, limit: usize) -> Vec<Vec<usize>> {
+        let mut results = Vec::new();
+        let mut assignment = vec![usize::MAX; self.nodes.len()];
+        let mut used = vec![false; mol.atom_count()];
+        self.extend_match(mol, 0, &mut assignment, &mut used, &mut results, limit);
+        results
+    }
+
+    /// Whether at least one embedding exists.
+    pub fn matches(&self, mol: &Molecule) -> bool {
+        !self.find_up_to(mol, 1).is_empty()
+    }
+
+    fn extend_match(
+        &self,
+        mol: &Molecule,
+        node: usize,
+        assignment: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        results: &mut Vec<Vec<usize>>,
+        limit: usize,
+    ) {
+        if results.len() >= limit {
+            return;
+        }
+        if node == self.nodes.len() {
+            results.push(assignment.clone());
+            return;
+        }
+        // Candidate atoms: if some already-assigned query node is adjacent
+        // to `node`, restrict to neighbors of its image (VF2 pruning).
+        let anchor = self.edges.iter().find_map(|&(a, b, _)| {
+            if a == node && assignment[b] != usize::MAX {
+                Some(assignment[b])
+            } else if b == node && assignment[a] != usize::MAX {
+                Some(assignment[a])
+            } else {
+                None
+            }
+        });
+        let candidates: Vec<usize> = match anchor {
+            Some(at) => mol.neighbors(at).collect(),
+            None => (0..mol.atom_count()).collect(),
+        };
+        for cand in candidates {
+            if used[cand] || !self.nodes[node].matches(mol, cand) {
+                continue;
+            }
+            // Check all edges between `node` and already-assigned nodes.
+            let ok = self.edges.iter().all(|&(a, b, order)| {
+                let (other, this) = if a == node {
+                    (b, a)
+                } else if b == node {
+                    (a, b)
+                } else {
+                    return true;
+                };
+                debug_assert_eq!(this, node);
+                let img = assignment[other];
+                if img == usize::MAX {
+                    return true;
+                }
+                match mol.bond_between(cand, img) {
+                    Some(bond) => order.is_none_or(|o| bond.order == o),
+                    None => false,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            assignment[node] = cand;
+            used[cand] = true;
+            self.extend_match(mol, node + 1, assignment, used, results, limit);
+            used[cand] = false;
+            assignment[node] = usize::MAX;
+            if results.len() >= limit {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smiles::parse_smiles;
+
+    #[test]
+    fn element_predicate_selects() {
+        let m = parse_smiles("CSSC").unwrap();
+        let sulfurs = AtomPredicate::Is(Element::S).select(&m);
+        assert_eq!(sulfurs, vec![1, 2]);
+    }
+
+    #[test]
+    fn bond_predicate_finds_ss_bond() {
+        let m = parse_smiles("CSSC").unwrap();
+        let ss = BondPredicate::between(Element::S, Element::S).select(&m);
+        assert_eq!(ss.len(), 1);
+        let cs = BondPredicate::between(Element::C, Element::S).select(&m);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn chain_depth_predicate_mirrors_paper_example() {
+        // S8 chain capped with CH3: only interior S–S bonds at least three
+        // atoms from a chain end match.
+        let m = parse_smiles("CSSSSSSSSC").unwrap();
+        let pred = BondPredicate {
+            left: AtomPredicate::All(vec![
+                AtomPredicate::Is(Element::S),
+                AtomPredicate::MinChainDepth(Element::S, 3),
+            ]),
+            right: AtomPredicate::All(vec![
+                AtomPredicate::Is(Element::S),
+                AtomPredicate::MinChainDepth(Element::S, 3),
+            ]),
+            order: Some(BondOrder::Single),
+        };
+        let hits = pred.select(&m);
+        // S atoms are indices 1..=8; chain depth >= 3 holds for 3,4,5,6;
+        // qualifying S-S bonds: (3,4), (4,5), (5,6).
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn radical_predicate() {
+        let mut m = parse_smiles("CSSC").unwrap();
+        m.disconnect(1, 2).unwrap();
+        let radicals = AtomPredicate::Radical.select(&m);
+        assert_eq!(radicals, vec![1, 2]);
+    }
+
+    #[test]
+    fn query_graph_finds_thiol() {
+        // Query: S(with H) - C
+        let mut q = QueryGraph::new();
+        let s = q.node(AtomPredicate::All(vec![
+            AtomPredicate::Is(Element::S),
+            AtomPredicate::MinHydrogens(1),
+        ]));
+        let c = q.node(AtomPredicate::Is(Element::C));
+        q.edge(s, c, Some(BondOrder::Single));
+        let m = parse_smiles("SCC").unwrap();
+        let hits = q.find_all(&m);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][0], 0);
+        assert_eq!(hits[0][1], 1);
+    }
+
+    #[test]
+    fn query_graph_respects_bond_order() {
+        let mut q = QueryGraph::new();
+        let a = q.node(AtomPredicate::Is(Element::C));
+        let b = q.node(AtomPredicate::Is(Element::C));
+        q.edge(a, b, Some(BondOrder::Double));
+        assert!(q.matches(&parse_smiles("C=CC").unwrap()));
+        assert!(!q.matches(&parse_smiles("CCC").unwrap()));
+    }
+
+    #[test]
+    fn query_injective() {
+        // Two distinct S nodes cannot map onto one atom.
+        let mut q = QueryGraph::new();
+        q.node(AtomPredicate::Is(Element::S));
+        q.node(AtomPredicate::Is(Element::S));
+        assert!(!q.matches(&parse_smiles("CSC").unwrap()));
+        assert!(q.matches(&parse_smiles("CSSC").unwrap()));
+    }
+
+    #[test]
+    fn find_up_to_limits() {
+        let m = parse_smiles("CCCCCC").unwrap();
+        let mut q = QueryGraph::new();
+        let a = q.node(AtomPredicate::Is(Element::C));
+        let b = q.node(AtomPredicate::Is(Element::C));
+        q.edge(a, b, None);
+        let all = q.find_all(&m);
+        assert_eq!(all.len(), 10); // 5 bonds, both orientations
+        let some = q.find_up_to(&m, 3);
+        assert_eq!(some.len(), 3);
+    }
+
+    #[test]
+    fn allylic_and_bonded_to() {
+        let m = parse_smiles("C=CCS").unwrap();
+        let allylic = AtomPredicate::Allylic.select(&m);
+        assert_eq!(allylic, vec![2]);
+        let c_bonded_s = AtomPredicate::All(vec![
+            AtomPredicate::Is(Element::C),
+            AtomPredicate::BondedTo(Element::S),
+        ])
+        .select(&m);
+        assert_eq!(c_bonded_s, vec![2]);
+    }
+}

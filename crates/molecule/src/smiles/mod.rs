@@ -1,0 +1,133 @@
+//! SMILES input/output.
+//!
+//! A pragmatic subset of the SMILES line notation sufficient for the
+//! paper's domain (rubber + benzothiazole accelerator chemistry):
+//!
+//! * organic-subset atoms (`B C N O F P S Cl Br I`) and aromatic
+//!   lowercase forms (`b c n o p s se`);
+//! * bracket atoms with explicit hydrogen counts, charges and implied
+//!   radicals (`[CH3]` is a methyl radical via valence deficit);
+//! * bond symbols `- = # :`, branches `( … )`, ring closures `1`-`9` and
+//!   `%nn`, and dot-separated fragments.
+//!
+//! Stereochemistry (`/ \ @`) is accepted on input and ignored — kinetic
+//! models in the paper do not distinguish stereoisomers.
+
+mod parser;
+mod writer;
+
+pub use parser::parse_smiles;
+pub use writer::{write_smiles, write_smiles_canonical};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn round_trip_simple_molecules() {
+        for s in [
+            "C",
+            "CC",
+            "C=C",
+            "C#N",
+            "CCO",
+            "CC(C)C",
+            "C1CCCCC1",
+            "c1ccccc1",
+            "CSSC",
+            "[SH]S[SH]",
+            "CC(=O)O",
+            "[CH3]",
+            "[S]",
+            "C/C=C/C",
+        ] {
+            let m = parse_smiles(s).unwrap_or_else(|e| panic!("parse {s}: {e}"));
+            let out = write_smiles_canonical(&m);
+            let m2 = parse_smiles(&out).unwrap_or_else(|e| panic!("reparse {out}: {e}"));
+            assert_eq!(
+                write_smiles_canonical(&m2),
+                out,
+                "canonical form of {s} not stable"
+            );
+            assert_eq!(
+                m.atom_count(),
+                m2.atom_count(),
+                "atom count changed for {s}"
+            );
+            assert_eq!(
+                m.bond_count(),
+                m2.bond_count(),
+                "bond count changed for {s}"
+            );
+            assert_eq!(
+                m.total_hydrogens(),
+                m2.total_hydrogens(),
+                "H count changed for {s} -> {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn isomorphic_inputs_share_canonical_form() {
+        let pairs = [
+            ("CCO", "OCC"),
+            ("CC(C)C", "C(C)(C)C"),
+            ("C1CCCCC1", "C2CCCCC2"),
+            ("CSSC", "C(SSC)"),
+            ("N#CC", "CC#N"),
+        ];
+        for (a, b) in pairs {
+            let ma = parse_smiles(a).unwrap();
+            let mb = parse_smiles(b).unwrap();
+            assert_eq!(
+                write_smiles_canonical(&ma),
+                write_smiles_canonical(&mb),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_molecules_have_distinct_canonical_forms() {
+        let pairs = [
+            ("CCO", "CC=O"),
+            ("CCC", "CC"),
+            ("CSC", "CCS"),
+            ("C=CC", "CCC"),
+        ];
+        for (a, b) in pairs {
+            let ma = parse_smiles(a).unwrap();
+            let mb = parse_smiles(b).unwrap();
+            assert_ne!(
+                write_smiles_canonical(&ma),
+                write_smiles_canonical(&mb),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn benzothiazole_parses() {
+        // 2-mercaptobenzothiazole, the accelerator core in the paper's
+        // vulcanization case study.
+        let m = parse_smiles("SC1=NC2=CC=CC=C2S1").unwrap();
+        let s_count = m.atoms().filter(|(_, a)| a.element == Element::S).count();
+        assert_eq!(s_count, 2);
+        assert_eq!(m.atom_count(), 10);
+    }
+
+    #[test]
+    fn dot_fragments() {
+        let m = parse_smiles("C.C").unwrap();
+        assert_eq!(m.components().len(), 2);
+    }
+
+    #[test]
+    fn radical_from_valence_deficit() {
+        let m = parse_smiles("[CH3]").unwrap();
+        assert_eq!(m.atom(0).unwrap().radicals, 1);
+        let m = parse_smiles("[CH2]").unwrap();
+        assert_eq!(m.atom(0).unwrap().radicals, 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential testing of the VF2-style matcher against a brute-force
+//! permutation matcher, plus canonicalization invariance under explicit
+//! relabeling.
+
+use proptest::prelude::*;
+
+use rms_molecule::{canonical_key, Atom, AtomPredicate, BondOrder, Element, Molecule, QueryGraph};
+
+/// Random small tree molecule over a few elements.
+fn arb_molecule(max_atoms: usize) -> impl Strategy<Value = Molecule> {
+    let elems = prop::sample::select(vec![Element::C, Element::N, Element::O, Element::S]);
+    prop::collection::vec((elems, any::<u8>()), 1..max_atoms).prop_map(|nodes| {
+        let mut m = Molecule::new();
+        for (i, (e, seed)) in nodes.iter().enumerate() {
+            let idx = m.add_atom(Atom::new(*e));
+            m.infer_all_hydrogens().unwrap();
+            if i > 0 {
+                let parent = (*seed as usize) % i;
+                let _ = m.connect(parent, idx, BondOrder::Single);
+                m.infer_all_hydrogens().unwrap();
+            }
+        }
+        m
+    })
+}
+
+/// Brute force: try every injective assignment of query nodes to atoms.
+fn brute_force_matches(mol: &Molecule, nodes: &[Element], edges: &[(usize, usize)]) -> usize {
+    let n = mol.atom_count();
+    let k = nodes.len();
+    let mut count = 0;
+    let mut assignment = vec![usize::MAX; k];
+    fn rec(
+        mol: &Molecule,
+        nodes: &[Element],
+        edges: &[(usize, usize)],
+        assignment: &mut Vec<usize>,
+        level: usize,
+        n: usize,
+        count: &mut usize,
+    ) {
+        if level == nodes.len() {
+            *count += 1;
+            return;
+        }
+        'cand: for cand in 0..n {
+            if assignment[..level].contains(&cand) {
+                continue;
+            }
+            if mol.atom(cand).unwrap().element != nodes[level] {
+                continue;
+            }
+            for &(a, b) in edges {
+                let (x, y) = (a.max(b), a.min(b));
+                if x == level {
+                    // y already assigned
+                    if mol.bond_between(cand, assignment[y]).is_none() {
+                        continue 'cand;
+                    }
+                }
+            }
+            assignment[level] = cand;
+            rec(mol, nodes, edges, assignment, level + 1, n, count);
+            assignment[level] = usize::MAX;
+        }
+    }
+    rec(mol, nodes, edges, &mut assignment, 0, n, &mut count);
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// VF2 match counts equal the brute-force count for path queries of
+    /// length 1..3 over random molecules.
+    #[test]
+    fn vf2_matches_brute_force(m in arb_molecule(9), path_len in 1usize..4, e1 in 0usize..4, e2 in 0usize..4, e3 in 0usize..4) {
+        let pool = [Element::C, Element::N, Element::O, Element::S];
+        let picks = [pool[e1], pool[e2], pool[e3]];
+        let nodes: Vec<Element> = picks[..path_len].to_vec();
+        let edges: Vec<(usize, usize)> = (1..path_len).map(|i| (i - 1, i)).collect();
+
+        let mut q = QueryGraph::new();
+        for &e in &nodes {
+            q.node(AtomPredicate::Is(e));
+        }
+        for &(a, b) in &edges {
+            q.edge(a, b, None);
+        }
+        let vf2 = q.find_all(&m).len();
+        let brute = brute_force_matches(&m, &nodes, &edges);
+        prop_assert_eq!(vf2, brute, "query {:?} over molecule with {} atoms", nodes, m.atom_count());
+    }
+
+    /// The canonical key is invariant under explicit random relabeling of
+    /// atom indices (rebuild the molecule with a permuted order).
+    #[test]
+    fn canonical_key_survives_relabeling(m in arb_molecule(10), seed in any::<u64>()) {
+        let n = m.atom_count();
+        // Deterministic permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        // Rebuild with atoms in permuted order (perm[new] = old).
+        let mut rebuilt = Molecule::new();
+        let mut old_to_new = vec![usize::MAX; n];
+        for (new_idx, &old_idx) in perm.iter().enumerate() {
+            let added = rebuilt.add_atom(*m.atom(old_idx).unwrap());
+            debug_assert_eq!(added, new_idx);
+            old_to_new[old_idx] = new_idx;
+        }
+        for bond in m.bonds() {
+            rebuilt
+                .add_bond(old_to_new[bond.a], old_to_new[bond.b], bond.order)
+                .unwrap();
+        }
+        prop_assert_eq!(canonical_key(&m), canonical_key(&rebuilt));
+    }
+
+    /// Chain depth is bounded by the same-element component size and is 0
+    /// for mismatched elements.
+    #[test]
+    fn chain_depth_bounds(m in arb_molecule(10), idx_seed in any::<usize>()) {
+        if m.atom_count() == 0 { return Ok(()); }
+        let idx = idx_seed % m.atom_count();
+        let elem = m.atom(idx).unwrap().element;
+        let depth = m.chain_depth(idx, elem);
+        prop_assert!(depth >= 1);
+        prop_assert!(depth <= m.atom_count());
+        let other = Element::ALL.iter().copied().find(|&e| e != elem).unwrap();
+        prop_assert_eq!(m.chain_depth(idx, other), 0);
+    }
+}

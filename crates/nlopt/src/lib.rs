@@ -1,0 +1,18 @@
+//! # rms-nlopt — bounded nonlinear least squares
+//!
+//! Replacement for IMSL's `imsl_f_bounded_least_squares` (paper §4.2):
+//! "a modified Levenberg–Marquardt method and an active set strategy to
+//! solve the non-linear least squares problems subject to simple bounds
+//! on the variables." The kinetic rate constants are the parameters, the
+//! chemist's bounds constrain them, and the residual vector is the
+//! difference between simulated and experimental property values.
+
+#![warn(missing_docs)]
+
+pub mod lm;
+pub mod residual;
+pub mod stats;
+
+pub use lm::{optimize, LmOptions, LmResult, NloptError, StopReason};
+pub use residual::{FnResidual, Residual};
+pub use stats::FitStatistics;

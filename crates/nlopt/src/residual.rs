@@ -1,0 +1,96 @@
+//! The residual-vector interface the optimizer minimizes.
+
+/// A residual function `r(p)`: the optimizer minimizes `‖r(p)‖²`.
+///
+/// In the Reaction Modeling Suite the parameters are kinetic rate
+/// constants and the residuals are `simulated − experimental` property
+/// values across all records of all data files (paper §4.3's
+/// `error_vector[]`). Evaluation may fail (e.g. the ODE solver diverges
+/// for an extreme parameter guess); the optimizer treats a failure as an
+/// unacceptable step and backs off.
+pub trait Residual {
+    /// Number of parameters.
+    fn n_params(&self) -> usize;
+
+    /// Number of residual components.
+    fn n_residuals(&self) -> usize;
+
+    /// Evaluate the residual vector at `params` into `out`
+    /// (`out.len() == n_residuals()`).
+    fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String>;
+}
+
+/// Wrap a closure as a [`Residual`].
+pub struct FnResidual<F: Fn(&[f64], &mut [f64]) -> Result<(), String>> {
+    n_params: usize,
+    n_residuals: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64]) -> Result<(), String>> FnResidual<F> {
+    /// Create from the two dimensions and a closure.
+    pub fn new(n_params: usize, n_residuals: usize, f: F) -> FnResidual<F> {
+        FnResidual {
+            n_params,
+            n_residuals,
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64]) -> Result<(), String>> Residual for FnResidual<F> {
+    fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    fn n_residuals(&self) -> usize {
+        self.n_residuals
+    }
+
+    fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String> {
+        (self.f)(params, out)
+    }
+}
+
+impl<T: Residual + ?Sized> Residual for &T {
+    fn n_params(&self) -> usize {
+        (**self).n_params()
+    }
+
+    fn n_residuals(&self) -> usize {
+        (**self).n_residuals()
+    }
+
+    fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String> {
+        (**self).eval(params, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_wrapper() {
+        let r = FnResidual::new(2, 3, |p: &[f64], out: &mut [f64]| {
+            out[0] = p[0] - 1.0;
+            out[1] = p[1] - 2.0;
+            out[2] = p[0] * p[1] - 2.0;
+            Ok(())
+        });
+        assert_eq!(r.n_params(), 2);
+        assert_eq!(r.n_residuals(), 3);
+        let mut out = vec![0.0; 3];
+        r.eval(&[1.0, 2.0], &mut out).unwrap();
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn failure_propagates() {
+        let r = FnResidual::new(1, 1, |_p: &[f64], _out: &mut [f64]| {
+            Err("solver blew up".to_string())
+        });
+        let mut out = vec![0.0];
+        assert!(r.eval(&[1.0], &mut out).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Statistical analysis of a completed fit.
+//!
+//! The paper's Figure 1 workflow ends with "statistically analyzing the
+//! results", and Figure 2 shows a *Statistical Information* component the
+//! paper leaves unimplemented (dashed box). This module supplies it:
+//! goodness-of-fit measures and linearized parameter uncertainties from
+//! the Jacobian at the optimum — the numbers a chemist needs to decide
+//! whether "a tight correlation exists between the runtime result and the
+//! experimental results" (§4).
+
+use rms_solver::{Lu, Matrix};
+
+use crate::lm::NloptError;
+use crate::residual::Residual;
+
+/// Goodness-of-fit and parameter-uncertainty summary.
+#[derive(Debug, Clone)]
+pub struct FitStatistics {
+    /// Sum of squared residuals.
+    pub sse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Coefficient of determination R² (1 − SSE/SS_tot), when the
+    /// observed values were supplied.
+    pub r_squared: Option<f64>,
+    /// Reduced chi-square `SSE / (m − n)` (σ² estimate).
+    pub reduced_chi_square: f64,
+    /// Degrees of freedom `m − n`.
+    pub degrees_of_freedom: usize,
+    /// Per-parameter standard errors `sqrt(diag(σ²(JᵀJ)⁻¹))`.
+    pub standard_errors: Vec<f64>,
+    /// 95 % confidence half-widths per parameter.
+    pub confidence_95: Vec<f64>,
+    /// Parameter correlation matrix (symmetric, unit diagonal).
+    pub correlation: Matrix,
+}
+
+impl FitStatistics {
+    /// Compute fit statistics at the optimum `params`.
+    ///
+    /// `observed` (the experimental values) enables R²; pass `None` when
+    /// the residual is not of the simple `model − observed` form.
+    /// `fd_step` should match the step used during optimization (see
+    /// [`crate::LmOptions::fd_step`]).
+    pub fn evaluate<R: Residual>(
+        residual: &R,
+        params: &[f64],
+        observed: Option<&[f64]>,
+        fd_step: f64,
+    ) -> Result<FitStatistics, NloptError> {
+        let n = residual.n_params();
+        let m = residual.n_residuals();
+        if params.len() != n {
+            return Err(NloptError::BadInput(format!(
+                "expected {n} parameters, got {}",
+                params.len()
+            )));
+        }
+        if m <= n {
+            return Err(NloptError::BadInput(format!(
+                "need more residuals ({m}) than parameters ({n}) for statistics"
+            )));
+        }
+        let mut r = vec![0.0; m];
+        residual
+            .eval(params, &mut r)
+            .map_err(NloptError::InitialEvalFailed)?;
+        let sse: f64 = r.iter().map(|v| v * v).sum();
+        let dof = m - n;
+        let sigma2 = sse / dof as f64;
+
+        // FD Jacobian at the optimum.
+        let mut jac = Matrix::zeros(m, n);
+        let mut p = params.to_vec();
+        let mut r_pert = vec![0.0; m];
+        for j in 0..n {
+            let scale = if p[j] != 0.0 { p[j].abs() } else { 1.0 };
+            let h = fd_step * scale;
+            let saved = p[j];
+            p[j] += h;
+            let h_actual = p[j] - saved;
+            residual
+                .eval(&p, &mut r_pert)
+                .map_err(NloptError::InitialEvalFailed)?;
+            for i in 0..m {
+                jac[(i, j)] = (r_pert[i] - r[i]) / h_actual;
+            }
+            p[j] = saved;
+        }
+
+        // Covariance = σ² (JᵀJ)⁻¹.
+        let mut jtj = Matrix::zeros(n, n);
+        for a in 0..n {
+            for b in a..n {
+                let mut sum = 0.0;
+                for i in 0..m {
+                    sum += jac[(i, a)] * jac[(i, b)];
+                }
+                jtj[(a, b)] = sum;
+                jtj[(b, a)] = sum;
+            }
+        }
+        let cov = Lu::factor(&jtj)
+            .and_then(|lu| lu.inverse())
+            .map_err(|_| NloptError::Singular)?;
+
+        let standard_errors: Vec<f64> = (0..n)
+            .map(|j| (sigma2 * cov[(j, j)]).max(0.0).sqrt())
+            .collect();
+        let t = student_t_975(dof);
+        let confidence_95: Vec<f64> = standard_errors.iter().map(|se| t * se).collect();
+
+        let mut correlation = Matrix::identity(n);
+        for a in 0..n {
+            for b in 0..n {
+                let denom = (cov[(a, a)] * cov[(b, b)]).sqrt();
+                correlation[(a, b)] = if denom > 0.0 {
+                    cov[(a, b)] / denom
+                } else {
+                    0.0
+                };
+            }
+        }
+
+        let r_squared = observed.map(|obs| {
+            let mean = obs.iter().sum::<f64>() / obs.len() as f64;
+            let ss_tot: f64 = obs.iter().map(|v| (v - mean) * (v - mean)).sum();
+            if ss_tot > 0.0 {
+                1.0 - sse / ss_tot
+            } else {
+                f64::NAN
+            }
+        });
+
+        Ok(FitStatistics {
+            sse,
+            rmse: (sse / m as f64).sqrt(),
+            r_squared,
+            reduced_chi_square: sigma2,
+            degrees_of_freedom: dof,
+            standard_errors,
+            confidence_95,
+            correlation,
+        })
+    }
+
+    /// A terse human-readable report.
+    pub fn report(&self, parameter_names: &[&str]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "SSE = {:.4e}, RMSE = {:.4e}", self.sse, self.rmse);
+        if let Some(r2) = self.r_squared {
+            let _ = writeln!(out, "R^2 = {r2:.6}");
+        }
+        let _ = writeln!(
+            out,
+            "reduced chi^2 = {:.4e} ({} degrees of freedom)",
+            self.reduced_chi_square, self.degrees_of_freedom
+        );
+        for (j, se) in self.standard_errors.iter().enumerate() {
+            let name = parameter_names.get(j).copied().unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "  {name:<12} +/- {se:.3e} (95% half-width {:.3e})",
+                self.confidence_95[j]
+            );
+        }
+        out
+    }
+}
+
+/// 97.5 % quantile of Student's t with `dof` degrees of freedom
+/// (two-sided 95 % interval). Table for small dof, normal limit above.
+fn student_t_975(dof: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match dof {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[d - 1],
+        d if d <= 60 => 2.00,
+        d if d <= 120 => 1.98,
+        _ => 1.96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lm::{optimize, LmOptions};
+    use crate::residual::FnResidual;
+
+    /// Linear model y = a + b x against noisy data with known answer.
+    fn linear_fixture() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 + 0.8 * x + rng.gen_range(-0.05..0.05))
+            .collect();
+        let fitted = {
+            let xs = xs.clone();
+            let ys = ys.clone();
+            let r = FnResidual::new(2, 40, move |p: &[f64], out: &mut [f64]| {
+                for (i, x) in xs.iter().enumerate() {
+                    out[i] = p[0] + p[1] * x - ys[i];
+                }
+                Ok(())
+            });
+            optimize(
+                &r,
+                &[0.0, 0.0],
+                &[-1e6, -1e6],
+                &[1e6, 1e6],
+                LmOptions::default(),
+            )
+            .unwrap()
+            .params
+        };
+        (xs, ys, fitted)
+    }
+
+    #[test]
+    fn linear_fit_statistics() {
+        let (xs, ys, fitted) = linear_fixture();
+        let xs2 = xs.clone();
+        let ys2 = ys.clone();
+        let r = FnResidual::new(2, 40, move |p: &[f64], out: &mut [f64]| {
+            for (i, x) in xs2.iter().enumerate() {
+                out[i] = p[0] + p[1] * x - ys2[i];
+            }
+            Ok(())
+        });
+        let stats =
+            FitStatistics::evaluate(&r, &fitted, Some(&ys), LmOptions::default().fd_step).unwrap();
+        assert!(stats.r_squared.unwrap() > 0.99, "{:?}", stats.r_squared);
+        assert_eq!(stats.degrees_of_freedom, 38);
+        // Truth inside the 95% interval for both parameters.
+        assert!((fitted[0] - 1.5).abs() < stats.confidence_95[0] * 2.0);
+        assert!((fitted[1] - 0.8).abs() < stats.confidence_95[1] * 2.0);
+        // Intercept/slope of a line are negatively correlated.
+        assert!(stats.correlation[(0, 1)] < 0.0);
+        assert!((stats.correlation[(0, 0)] - 1.0).abs() < 1e-12);
+        let report = stats.report(&["a", "b"]);
+        assert!(report.contains("R^2"), "{report}");
+    }
+
+    #[test]
+    fn perfect_fit_zero_errors() {
+        let r = FnResidual::new(1, 5, |p: &[f64], out: &mut [f64]| {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = p[0] - 2.0 + 0.0 * i as f64;
+            }
+            Ok(())
+        });
+        let stats = FitStatistics::evaluate(&r, &[2.0], None, 1e-8).unwrap();
+        assert!(stats.sse < 1e-20);
+        assert!(stats.standard_errors[0] < 1e-10);
+        assert!(stats.r_squared.is_none());
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let r = FnResidual::new(3, 2, |_p: &[f64], out: &mut [f64]| {
+            out[0] = 0.0;
+            out[1] = 0.0;
+            Ok(())
+        });
+        assert!(matches!(
+            FitStatistics::evaluate(&r, &[0.0, 0.0, 0.0], None, 1e-8),
+            Err(NloptError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn t_quantiles_monotone() {
+        assert!(student_t_975(1) > student_t_975(5));
+        assert!(student_t_975(5) > student_t_975(30));
+        assert!(student_t_975(30) > student_t_975(1000));
+        assert!((student_t_975(1000) - 1.96).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Linear conservation-law analysis of a reaction network.
+//!
+//! A vector `w` with `wᵀ·S = 0` (S the stoichiometry matrix) is a
+//! conserved moiety: `Σ w_i·[X_i]` is constant along every trajectory.
+//! Chemists use these both as sanity checks (atom balances must appear
+//! here) and to reduce systems; our tests use them to validate generated
+//! ODEs and solver output without reference solutions.
+
+use rms_rdl::ReactionNetwork;
+
+/// The dense stoichiometry matrix: `s[species][reaction]` = net production
+/// of the species in that reaction.
+pub fn stoichiometry_matrix(network: &ReactionNetwork) -> Vec<Vec<f64>> {
+    let n = network.species_count();
+    let m = network.reaction_count();
+    let mut s = vec![vec![0.0; m]; n];
+    for (j, reaction) in network.reactions().iter().enumerate() {
+        for r in &reaction.reactants {
+            s[r.0 as usize][j] -= 1.0;
+        }
+        for p in &reaction.products {
+            s[p.0 as usize][j] += 1.0;
+        }
+    }
+    s
+}
+
+/// A basis for the left null space of the stoichiometry matrix: each
+/// returned vector `w` satisfies `wᵀ·S = 0`. Computed by row-reducing
+/// `Sᵀ` and reading off the free-variable basis; entries are scaled so
+/// the first nonzero is 1.
+pub fn conservation_laws(network: &ReactionNetwork) -> Vec<Vec<f64>> {
+    let s = stoichiometry_matrix(network);
+    let n = network.species_count(); // unknowns (w components)
+    let m = network.reaction_count(); // equations (one per reaction)
+    if n == 0 {
+        return Vec::new();
+    }
+    // Row-reduce the m x n system Sᵀ w = 0.
+    let mut a: Vec<Vec<f64>> = (0..m).map(|j| (0..n).map(|i| s[i][j]).collect()).collect();
+    let eps = 1e-9;
+    let mut pivot_cols = Vec::new();
+    let mut row = 0usize;
+    for col in 0..n {
+        // Find pivot.
+        let Some(p) = (row..m).max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs())) else {
+            break;
+        };
+        if a[p][col].abs() < eps {
+            continue;
+        }
+        a.swap(row, p);
+        let pivot = a[row][col];
+        for v in &mut a[row] {
+            *v /= pivot;
+        }
+        for r in 0..m {
+            if r != row && a[r][col].abs() > eps {
+                let factor = a[r][col];
+                for c in 0..n {
+                    let sub = factor * a[row][c];
+                    a[r][c] -= sub;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        row += 1;
+        if row == m {
+            break;
+        }
+    }
+    // Free columns parameterize the null space.
+    let mut basis = Vec::new();
+    let is_pivot = |c: usize| pivot_cols.contains(&c);
+    for free in 0..n {
+        if is_pivot(free) {
+            continue;
+        }
+        let mut w = vec![0.0; n];
+        w[free] = 1.0;
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            w[pc] = -a[r][free];
+        }
+        // Normalize: first nonzero entry positive 1.
+        if let Some(first) = w.iter().find(|v| v.abs() > eps).copied() {
+            for v in &mut w {
+                *v /= first;
+                if v.abs() < eps {
+                    *v = 0.0;
+                }
+            }
+        }
+        basis.push(w);
+    }
+    basis
+}
+
+/// Verify that a derivative vector respects every conservation law to the
+/// given tolerance (`wᵀ·ydot ≈ 0`). Returns the worst violation.
+pub fn max_violation(laws: &[Vec<f64>], ydot: &[f64]) -> f64 {
+    laws.iter()
+        .map(|w| w.iter().zip(ydot).map(|(a, b)| a * b).sum::<f64>().abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_rdl::Reaction;
+
+    fn simple_network() -> ReactionNetwork {
+        // A -> B, B -> C: total A+B+C conserved (1 law for 3 species,
+        // 2 independent reactions).
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 1.0);
+        let b = n.add_abstract_species("B", 0.0);
+        let c = n.add_abstract_species("C", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b],
+            rate: "K".to_string(),
+            rule: "r".to_string(),
+        });
+        n.add_reaction(Reaction {
+            reactants: vec![b],
+            products: vec![c],
+            rate: "K".to_string(),
+            rule: "r".to_string(),
+        });
+        n
+    }
+
+    #[test]
+    fn chain_has_total_mass_law() {
+        let n = simple_network();
+        let laws = conservation_laws(&n);
+        assert_eq!(laws.len(), 1);
+        // w = (1, 1, 1) up to scaling.
+        let w = &laws[0];
+        assert!(
+            (w[0] - w[1]).abs() < 1e-9 && (w[1] - w[2]).abs() < 1e-9,
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn stoichiometry_matrix_signs() {
+        let n = simple_network();
+        let s = stoichiometry_matrix(&n);
+        assert_eq!(s[0], vec![-1.0, 0.0]); // A consumed by r1
+        assert_eq!(s[1], vec![1.0, -1.0]); // B produced then consumed
+        assert_eq!(s[2], vec![0.0, 1.0]); // C produced by r2
+    }
+
+    #[test]
+    fn bimolecular_two_laws() {
+        // A + B -> C: 3 species, 1 reaction => 2 laws
+        // (A - B constant; A + C constant).
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 1.0);
+        let b = n.add_abstract_species("B", 1.0);
+        let c = n.add_abstract_species("C", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a, b],
+            products: vec![c],
+            rate: "K".to_string(),
+            rule: "r".to_string(),
+        });
+        let laws = conservation_laws(&n);
+        assert_eq!(laws.len(), 2);
+        // Any derivative of the form (-x, -x, +x) must satisfy them.
+        assert!(max_violation(&laws, &[-0.3, -0.3, 0.3]) < 1e-9);
+        // An unbalanced derivative must violate at least one.
+        assert!(max_violation(&laws, &[-0.3, 0.0, 0.3]) > 1e-3);
+    }
+
+    #[test]
+    fn generated_system_respects_laws() {
+        // ODE system derivatives must lie in the stoichiometric subspace.
+        use crate::{generate, GenerateOptions};
+        use rms_rcip::RateTable;
+        let n = simple_network();
+        let rates = RateTable::parse("rate K = 2;").unwrap();
+        let sys = generate(&n, &rates, GenerateOptions::default()).unwrap();
+        let laws = conservation_laws(&n);
+        for y in [&[1.0, 0.0, 0.0][..], &[0.3, 0.5, 0.2], &[0.1, 0.1, 0.8]] {
+            let ydot = sys.eval_nominal(y);
+            assert!(max_violation(&laws, &ydot) < 1e-12, "{ydot:?}");
+        }
+    }
+
+    #[test]
+    fn closed_cycle_conserves_everything_pairwise() {
+        // A -> B -> A: one law (A+B).
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 1.0);
+        let b = n.add_abstract_species("B", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b],
+            rate: "K".to_string(),
+            rule: "f".to_string(),
+        });
+        n.add_reaction(Reaction {
+            reactants: vec![b],
+            products: vec![a],
+            rate: "K".to_string(),
+            rule: "b".to_string(),
+        });
+        let laws = conservation_laws(&n);
+        assert_eq!(laws.len(), 1);
+    }
+
+    #[test]
+    fn empty_network() {
+        let n = ReactionNetwork::new();
+        assert!(conservation_laws(&n).is_empty());
+    }
+}

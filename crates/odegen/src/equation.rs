@@ -1,0 +1,224 @@
+//! The equation table (paper §2): one entry per molecule, each holding the
+//! sum-of-products right-hand side of that molecule's ODE, with §3.1's
+//! equation simplification applied on the fly during insertion.
+
+use std::collections::HashMap;
+
+use rms_rcip::RateId;
+use rms_rdl::SpeciesId;
+
+use crate::term::ProductTerm;
+
+/// One ODE: `d[lhs]/dt = Σ terms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeEquation {
+    /// The species whose concentration this equation differentiates.
+    pub lhs: SpeciesId,
+    /// Sum-of-products right-hand side.
+    pub terms: Vec<ProductTerm>,
+}
+
+impl OdeEquation {
+    /// Evaluate the right-hand side.
+    pub fn eval(&self, rates: &[f64], y: &[f64]) -> f64 {
+        self.terms.iter().map(|t| t.eval(rates, y)).sum()
+    }
+
+    /// Render like the paper's Fig. 5: `dA/dt = -K_A * A;` using positional
+    /// symbols.
+    pub fn display(&self) -> String {
+        let mut out = format!("dy{}/dt =", self.lhs.0);
+        if self.terms.is_empty() {
+            out.push_str(" 0");
+        }
+        for t in &self.terms {
+            out.push(' ');
+            out.push_str(&t.to_string());
+        }
+        out.push(';');
+        out
+    }
+}
+
+/// The equation table. The paper stores "a doubly linked list of nodes,
+/// each representing one sum-of-products in the equation, broken down into
+/// individual terms"; we store a `Vec` of terms per species plus a shape
+/// index enabling O(1) on-the-fly merging.
+#[derive(Debug, Clone)]
+pub struct EquationTable {
+    /// Per-species term lists, indexed by `SpeciesId`.
+    terms: Vec<Vec<ProductTerm>>,
+    /// Per-species map from (rate, species-multiset) to index in `terms`,
+    /// used only when `simplify_on_insert` is set.
+    shape_index: Vec<HashMap<(RateId, Vec<SpeciesId>), usize>>,
+    /// Whether §3.1 equation simplification runs during insertion.
+    simplify_on_insert: bool,
+    /// Count of raw insertions (the Fig. 4 "initial ODE" count).
+    raw_insertions: usize,
+}
+
+impl EquationTable {
+    /// Create a table for `n_species` species.
+    pub fn new(n_species: usize, simplify_on_insert: bool) -> EquationTable {
+        EquationTable {
+            terms: vec![Vec::new(); n_species],
+            shape_index: vec![HashMap::new(); n_species],
+            simplify_on_insert,
+            raw_insertions: 0,
+        }
+    }
+
+    /// Number of species rows.
+    pub fn species_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of terms inserted before any merging.
+    pub fn raw_insertions(&self) -> usize {
+        self.raw_insertions
+    }
+
+    /// Insert a term into the equation for `lhs`. With simplification
+    /// enabled, a term of the same shape merges coefficients ("combined,
+    /// whenever possible, with another term that differs from it only in
+    /// the constant terms"); exact zero results are kept (and dropped at
+    /// finish) so merging stays order-independent.
+    pub fn insert(&mut self, lhs: SpeciesId, term: ProductTerm) {
+        self.raw_insertions += 1;
+        let row = lhs.0 as usize;
+        if self.simplify_on_insert {
+            let key = (term.rate, term.species.clone());
+            match self.shape_index[row].get(&key) {
+                Some(&i) => {
+                    self.terms[row][i].coeff += term.coeff;
+                    return;
+                }
+                None => {
+                    self.shape_index[row].insert(key, self.terms[row].len());
+                }
+            }
+        }
+        self.terms[row].push(term);
+    }
+
+    /// Finalize into equations, dropping exactly-cancelled terms and
+    /// sorting each sum into canonical order. Species with empty
+    /// right-hand sides still get an equation (dX/dt = 0).
+    pub fn finish(self) -> Vec<OdeEquation> {
+        self.terms
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut terms)| {
+                terms.retain(|t| t.coeff != 0.0);
+                terms.sort_by(|a, b| a.canonical_cmp(b));
+                OdeEquation {
+                    lhs: SpeciesId(i as u32),
+                    terms,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(coeff: f64, rate: u32, species: &[u32]) -> ProductTerm {
+        ProductTerm::new(
+            coeff,
+            RateId(rate),
+            species.iter().map(|&s| SpeciesId(s)).collect(),
+        )
+    }
+
+    #[test]
+    fn merging_combines_coefficients() {
+        // Paper §3.1: 2*k1*B*C + 3*k1*B*C => 5*k1*B*C
+        let mut table = EquationTable::new(1, true);
+        table.insert(SpeciesId(0), term(2.0, 1, &[1, 2]));
+        table.insert(SpeciesId(0), term(3.0, 1, &[2, 1]));
+        let eqs = table.finish();
+        assert_eq!(eqs[0].terms.len(), 1);
+        assert_eq!(eqs[0].terms[0].coeff, 5.0);
+    }
+
+    #[test]
+    fn no_merging_when_disabled() {
+        let mut table = EquationTable::new(1, false);
+        table.insert(SpeciesId(0), term(2.0, 1, &[1, 2]));
+        table.insert(SpeciesId(0), term(3.0, 1, &[1, 2]));
+        let eqs = table.finish();
+        assert_eq!(eqs[0].terms.len(), 2);
+        assert_eq!(table_raw(&eqs), 5.0);
+    }
+
+    fn table_raw(eqs: &[OdeEquation]) -> f64 {
+        eqs[0].terms.iter().map(|t| t.coeff).sum()
+    }
+
+    #[test]
+    fn different_shapes_do_not_merge() {
+        let mut table = EquationTable::new(1, true);
+        table.insert(SpeciesId(0), term(1.0, 1, &[1]));
+        table.insert(SpeciesId(0), term(1.0, 2, &[1]));
+        table.insert(SpeciesId(0), term(1.0, 1, &[1, 1]));
+        assert_eq!(table.finish()[0].terms.len(), 3);
+    }
+
+    #[test]
+    fn exact_cancellation_drops_term() {
+        let mut table = EquationTable::new(1, true);
+        table.insert(SpeciesId(0), term(1.0, 1, &[1]));
+        table.insert(SpeciesId(0), term(-1.0, 1, &[1]));
+        assert!(table.finish()[0].terms.is_empty());
+    }
+
+    #[test]
+    fn cancelled_shape_can_reappear() {
+        let mut table = EquationTable::new(1, true);
+        table.insert(SpeciesId(0), term(1.0, 1, &[1]));
+        table.insert(SpeciesId(0), term(-1.0, 1, &[1]));
+        table.insert(SpeciesId(0), term(4.0, 1, &[1]));
+        let eqs = table.finish();
+        assert_eq!(eqs[0].terms.len(), 1);
+        assert_eq!(eqs[0].terms[0].coeff, 4.0);
+    }
+
+    #[test]
+    fn raw_insertions_counted() {
+        let mut table = EquationTable::new(1, true);
+        table.insert(SpeciesId(0), term(2.0, 1, &[1]));
+        table.insert(SpeciesId(0), term(3.0, 1, &[1]));
+        assert_eq!(table.raw_insertions(), 2);
+    }
+
+    #[test]
+    fn empty_equation_rendered_as_zero() {
+        let table = EquationTable::new(2, true);
+        let eqs = table.finish();
+        assert_eq!(eqs.len(), 2);
+        assert_eq!(eqs[0].display(), "dy0/dt = 0;");
+    }
+
+    #[test]
+    fn equation_eval_sums_terms() {
+        let mut table = EquationTable::new(2, true);
+        table.insert(SpeciesId(0), term(-1.0, 0, &[0]));
+        table.insert(SpeciesId(0), term(2.0, 1, &[1]));
+        let eqs = table.finish();
+        // -k0*y0 + 2*k1*y1 with k=[2,3], y=[5,7] => -10 + 42 = 32
+        assert_eq!(eqs[0].eval(&[2.0, 3.0], &[5.0, 7.0]), 32.0);
+    }
+
+    #[test]
+    fn canonical_term_order_in_output() {
+        let mut table = EquationTable::new(1, false);
+        table.insert(SpeciesId(0), term(1.0, 3, &[0]));
+        table.insert(SpeciesId(0), term(1.0, 1, &[0]));
+        table.insert(SpeciesId(0), term(1.0, 2, &[0]));
+        let eqs = table.finish();
+        let rates: Vec<u32> = eqs[0].terms.iter().map(|t| t.rate.0).collect();
+        assert_eq!(rates, vec![1, 2, 3]);
+    }
+}

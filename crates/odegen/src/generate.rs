@@ -1,0 +1,274 @@
+//! Reaction network → ODE system (paper §2, Figures 3–5).
+//!
+//! "For each term T in the right hand side of the intermediate equations
+//! an equation with the left hand side of dT/dt is formed. The right hand
+//! side of the equation consists of the product of the rate constant for
+//! the intermediate reaction and each reactant term […] the final ODEs are
+//! formed by summing all of the right hand sides of equations with the
+//! same left hand side."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rms_rcip::RateTable;
+use rms_rdl::{ReactionNetwork, SpeciesId};
+
+use crate::equation::EquationTable;
+use crate::system::OdeSystem;
+use crate::term::ProductTerm;
+
+/// Equation-generation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OdegenError {
+    /// A reaction references a rate constant absent from the table.
+    UnknownRate(String),
+}
+
+impl fmt::Display for OdegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdegenError::UnknownRate(name) => {
+                write!(f, "reaction references unknown rate constant '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OdegenError {}
+
+/// Options controlling generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerateOptions {
+    /// Apply §3.1 equation simplification on the fly (merging terms that
+    /// differ only in constants). Disabled for the "without optimizations"
+    /// baseline of Table 1.
+    pub simplify: bool,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> GenerateOptions {
+        GenerateOptions { simplify: true }
+    }
+}
+
+/// Generate the ODE system for a reaction network under mass-action
+/// kinetics.
+pub fn generate(
+    network: &ReactionNetwork,
+    rates: &RateTable,
+    options: GenerateOptions,
+) -> Result<OdeSystem, OdegenError> {
+    let n = network.species_count();
+    let mut table = EquationTable::new(n, options.simplify);
+
+    for reaction in network.reactions() {
+        let rate_id = rates
+            .id(&reaction.rate)
+            .ok_or_else(|| OdegenError::UnknownRate(reaction.rate.clone()))?;
+
+        // Multiplicity maps for reactants and products.
+        let mut consumed: BTreeMap<SpeciesId, f64> = BTreeMap::new();
+        for &r in &reaction.reactants {
+            *consumed.entry(r).or_insert(0.0) += 1.0;
+        }
+        let mut produced: BTreeMap<SpeciesId, f64> = BTreeMap::new();
+        for &p in &reaction.products {
+            *produced.entry(p).or_insert(0.0) += 1.0;
+        }
+
+        // Mass-action rate expression: K * Π [reactant] (with multiplicity).
+        let factors: Vec<SpeciesId> = reaction.reactants.clone();
+
+        for (&species, &mult) in &consumed {
+            table.insert(species, ProductTerm::new(-mult, rate_id, factors.clone()));
+        }
+        for (&species, &mult) in &produced {
+            table.insert(species, ProductTerm::new(mult, rate_id, factors.clone()));
+        }
+    }
+
+    let species_names = network
+        .species_iter()
+        .map(|(_, s)| s.name.clone())
+        .collect();
+    Ok(OdeSystem {
+        equations: table.finish(),
+        n_rates: rates.distinct_count(),
+        species_names,
+        rate_names: (0..rates.distinct_count())
+            .map(|i| rates.canonical_name(rms_rcip::RateId(i as u32)).to_string())
+            .collect(),
+        initial: network.initial_concentrations(),
+        rate_values: rates.canonical_value_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_rdl::Reaction;
+
+    /// Build the paper's Fig. 3 network:
+    /// 1. -A +B +B \ [K_A];   2. -C -D +E \ [K_CD];
+    fn fig3() -> (ReactionNetwork, RateTable) {
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 1.0);
+        let b = n.add_abstract_species("B", 0.0);
+        let c = n.add_abstract_species("C", 0.8);
+        let d = n.add_abstract_species("D", 0.6);
+        let e = n.add_abstract_species("E", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b, b],
+            rate: "K_A".to_string(),
+            rule: "r1".to_string(),
+        });
+        n.add_reaction(Reaction {
+            reactants: vec![c, d],
+            products: vec![e],
+            rate: "K_CD".to_string(),
+            rule: "r2".to_string(),
+        });
+        let rates = RateTable::parse("rate K_A = 2; rate K_CD = 3;").unwrap();
+        (n, rates)
+    }
+
+    #[test]
+    fn fig4_to_fig5_transformation() {
+        let (network, rates) = fig3();
+        let sys = generate(&network, &rates, GenerateOptions { simplify: true }).unwrap();
+        let text = sys.display();
+        // Fig. 5 final ODEs, with the two +K_A*A terms for B merged by the
+        // on-the-fly simplification into a stoichiometric coefficient of 2.
+        assert!(text.contains("d[A]/dt = - K_A * [A];"), "{text}");
+        assert!(text.contains("d[B]/dt = + 2 * K_A * [A];"), "{text}");
+        assert!(text.contains("d[C]/dt = - K_CD * [C] * [D];"), "{text}");
+        assert!(text.contains("d[D]/dt = - K_CD * [C] * [D];"), "{text}");
+        assert!(text.contains("d[E]/dt = + K_CD * [C] * [D];"), "{text}");
+    }
+
+    #[test]
+    fn unsimplified_keeps_duplicate_terms() {
+        // Without simplification dB/dt = +K_A*A + K_A*A, matching Fig. 5's
+        // literal repeated-term form before §3.1 runs.
+        let (network, rates) = fig3();
+        let sys = generate(&network, &rates, GenerateOptions { simplify: false }).unwrap();
+        let b = &sys.equations[1];
+        assert_eq!(
+            b.terms.len(),
+            1,
+            "products with multiplicity insert once per species"
+        );
+        // Multiplicity 2 is still a single insert here; duplicates arise
+        // from *different reactions* producing the same term shape:
+        let mut n2 = ReactionNetwork::new();
+        let a = n2.add_abstract_species("A", 0.0);
+        let b2 = n2.add_abstract_species("B", 0.0);
+        n2.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b2],
+            rate: "K_A".to_string(),
+            rule: "r1".to_string(),
+        });
+        n2.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b2, a],
+            rate: "K_A".to_string(),
+            rule: "r2".to_string(),
+        });
+        let rates2 = RateTable::parse("rate K_A = 2;").unwrap();
+        let raw = generate(&n2, &rates2, GenerateOptions { simplify: false }).unwrap();
+        assert_eq!(raw.equations[1].terms.len(), 2);
+        let simplified = generate(&n2, &rates2, GenerateOptions { simplify: true }).unwrap();
+        assert_eq!(simplified.equations[1].terms.len(), 1);
+        assert_eq!(simplified.equations[1].terms[0].coeff, 2.0);
+    }
+
+    #[test]
+    fn simplified_and_raw_evaluate_identically() {
+        let (network, rates) = fig3();
+        let raw = generate(&network, &rates, GenerateOptions { simplify: false }).unwrap();
+        let opt = generate(&network, &rates, GenerateOptions { simplify: true }).unwrap();
+        let y = vec![0.9, 0.1, 0.7, 0.5, 0.2];
+        assert_eq!(raw.eval_nominal(&y), opt.eval_nominal(&y));
+    }
+
+    #[test]
+    fn mass_conservation_of_balanced_reaction() {
+        // For C + D -> E, d[C]+d[D] = -2 rate and d[E] = +rate; the weighted
+        // sum d[C] + d[E]*1 + ... per-reaction stoichiometry must cancel
+        // for a closed A -> 2B style system with weights (1, 0.5).
+        let (network, rates) = fig3();
+        let sys = generate(&network, &rates, GenerateOptions::default()).unwrap();
+        let y = vec![0.9, 0.1, 0.7, 0.5, 0.2];
+        let ydot = sys.eval_nominal(&y);
+        // A -> 2B: dA + dB/2 = 0
+        assert!((ydot[0] + ydot[1] / 2.0).abs() < 1e-12);
+        // C + D -> E: dC - dD = 0 and dC + dE = 0
+        assert!((ydot[2] - ydot[3]).abs() < 1e-12);
+        assert!((ydot[2] + ydot[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimolecular_self_reaction_squares_concentration() {
+        // A + A -> B : rate = K * A^2, dA/dt = -2 rate, dB/dt = +rate.
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 1.0);
+        let b = n.add_abstract_species("B", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a, a],
+            products: vec![b],
+            rate: "K".to_string(),
+            rule: "r".to_string(),
+        });
+        let rates = RateTable::parse("rate K = 4;").unwrap();
+        let sys = generate(&n, &rates, GenerateOptions::default()).unwrap();
+        let ydot = sys.eval_nominal(&[3.0, 0.0]);
+        // rate = 4 * 9 = 36; dA = -72, dB = +36
+        assert_eq!(ydot, vec![-72.0, 36.0]);
+    }
+
+    #[test]
+    fn unknown_rate_is_error() {
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![],
+            rate: "K_missing".to_string(),
+            rule: "r".to_string(),
+        });
+        let rates = RateTable::parse("rate K = 1;").unwrap();
+        assert_eq!(
+            generate(&n, &rates, GenerateOptions::default()).unwrap_err(),
+            OdegenError::UnknownRate("K_missing".to_string())
+        );
+    }
+
+    #[test]
+    fn rate_value_dedup_shares_symbols() {
+        // Two rate names with equal values collapse onto one canonical id,
+        // enabling cross-reaction term merging.
+        let mut n = ReactionNetwork::new();
+        let a = n.add_abstract_species("A", 0.0);
+        let b = n.add_abstract_species("B", 0.0);
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b],
+            rate: "K1".to_string(),
+            rule: "r1".to_string(),
+        });
+        n.add_reaction(Reaction {
+            reactants: vec![a],
+            products: vec![b],
+            rate: "K2".to_string(),
+            rule: "r2".to_string(),
+        });
+        let rates = RateTable::parse("rate K1 = 2; rate K2 = 2;").unwrap();
+        let sys = generate(&n, &rates, GenerateOptions::default()).unwrap();
+        // dB/dt = K1*A + K2*A merges to 2*K1*A because K1 == K2.
+        assert_eq!(sys.equations[1].terms.len(), 1);
+        assert_eq!(sys.equations[1].terms[0].coeff, 2.0);
+        assert_eq!(sys.n_rates, 1);
+    }
+}

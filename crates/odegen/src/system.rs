@@ -1,0 +1,181 @@
+//! The generated ODE system: the equation generator's output and the
+//! optimizer's input.
+
+use std::fmt;
+
+use crate::equation::OdeEquation;
+
+/// Operation counts for a system in its naive sum-of-products form —
+/// the quantities reported in the paper's Table 1 ("Number of *",
+/// "Number of (+ and -)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Multiplications.
+    pub mults: usize,
+    /// Additions and subtractions.
+    pub adds: usize,
+}
+
+impl OpCounts {
+    /// Total arithmetic operations.
+    pub fn total(&self) -> usize {
+        self.mults + self.adds
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} mults, {} adds", self.mults, self.adds)
+    }
+}
+
+/// A complete system of ODEs over species concentrations, parameterized by
+/// kinetic rate constants.
+#[derive(Debug, Clone)]
+pub struct OdeSystem {
+    /// One equation per species, indexed by `SpeciesId`.
+    pub equations: Vec<OdeEquation>,
+    /// Number of distinct kinetic rate constants (canonical ids).
+    pub n_rates: usize,
+    /// Display names of species, indexed by `SpeciesId`.
+    pub species_names: Vec<String>,
+    /// Display names of canonical rate constants.
+    pub rate_names: Vec<String>,
+    /// Initial concentrations.
+    pub initial: Vec<f64>,
+    /// Nominal rate-constant values (canonical ids).
+    pub rate_values: Vec<f64>,
+}
+
+impl OdeSystem {
+    /// Number of equations (= species).
+    pub fn len(&self) -> usize {
+        self.equations.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.equations.is_empty()
+    }
+
+    /// Evaluate every right-hand side into `ydot` (reference semantics for
+    /// all optimized evaluators).
+    pub fn eval_into(&self, rates: &[f64], y: &[f64], ydot: &mut [f64]) {
+        debug_assert_eq!(ydot.len(), self.equations.len());
+        for (eq, out) in self.equations.iter().zip(ydot.iter_mut()) {
+            *out = eq.eval(rates, y);
+        }
+    }
+
+    /// Evaluate with the nominal rate values.
+    pub fn eval_nominal(&self, y: &[f64]) -> Vec<f64> {
+        let mut ydot = vec![0.0; self.len()];
+        self.eval_into(&self.rate_values, y, &mut ydot);
+        ydot
+    }
+
+    /// Count arithmetic operations of the naive sum-of-products form:
+    /// one multiply per factor pair inside each product, one add/sub per
+    /// term beyond the first in each sum.
+    pub fn op_counts(&self) -> OpCounts {
+        let mut counts = OpCounts::default();
+        for eq in &self.equations {
+            for t in &eq.terms {
+                counts.mults += t.multiplication_count();
+            }
+            counts.adds += eq.terms.len().saturating_sub(1);
+        }
+        counts
+    }
+
+    /// Total number of product terms across all equations.
+    pub fn term_count(&self) -> usize {
+        self.equations.iter().map(|e| e.terms.len()).sum()
+    }
+
+    /// Render every equation in the paper's Fig. 5 style with real names.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for eq in &self.equations {
+            let name = &self.species_names[eq.lhs.0 as usize];
+            out.push_str(&format!("d[{name}]/dt ="));
+            if eq.terms.is_empty() {
+                out.push_str(" 0");
+            }
+            for t in &eq.terms {
+                let sign = if t.coeff < 0.0 { " - " } else { " + " };
+                out.push_str(sign);
+                let mag = t.coeff.abs();
+                if mag != 1.0 {
+                    out.push_str(&format!("{mag} * "));
+                }
+                out.push_str(&self.rate_names[t.rate.0 as usize]);
+                for s in &t.species {
+                    out.push_str(&format!(" * [{}]", self.species_names[s.0 as usize]));
+                }
+            }
+            out.push_str(";\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::ProductTerm;
+    use rms_rcip::RateId;
+    use rms_rdl::SpeciesId;
+
+    fn tiny_system() -> OdeSystem {
+        // dA/dt = -K*A ; dB/dt = 2*K*A
+        let eq_a = OdeEquation {
+            lhs: SpeciesId(0),
+            terms: vec![ProductTerm::new(-1.0, RateId(0), vec![SpeciesId(0)])],
+        };
+        let eq_b = OdeEquation {
+            lhs: SpeciesId(1),
+            terms: vec![ProductTerm::new(2.0, RateId(0), vec![SpeciesId(0)])],
+        };
+        OdeSystem {
+            equations: vec![eq_a, eq_b],
+            n_rates: 1,
+            species_names: vec!["A".to_string(), "B".to_string()],
+            rate_names: vec!["K_A".to_string()],
+            initial: vec![1.0, 0.0],
+            rate_values: vec![0.5],
+        }
+    }
+
+    #[test]
+    fn eval_into_matches_manual() {
+        let sys = tiny_system();
+        let mut ydot = vec![0.0; 2];
+        sys.eval_into(&[0.5], &[2.0, 0.0], &mut ydot);
+        assert_eq!(ydot, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn nominal_eval_uses_rate_values() {
+        let sys = tiny_system();
+        assert_eq!(sys.eval_nominal(&[2.0, 0.0]), vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn op_counts() {
+        let sys = tiny_system();
+        // -K*A: 1 mult; 2*K*A: 2 mults; adds: 0 per single-term equation
+        let c = sys.op_counts();
+        assert_eq!(c.mults, 3);
+        assert_eq!(c.adds, 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn display_has_names() {
+        let sys = tiny_system();
+        let text = sys.display();
+        assert!(text.contains("d[A]/dt = - K_A * [A];"), "{text}");
+        assert!(text.contains("d[B]/dt = + 2 * K_A * [A];"), "{text}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Product terms: the building block of the generated ODEs.
+//!
+//! Every right-hand side produced by the equation generator is a
+//! sum-of-products where each product is
+//! `coeff * K * [S1] * [S2] * …` — a signed constant coefficient, one
+//! kinetic rate constant, and a multiset of species concentrations.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rms_rcip::RateId;
+use rms_rdl::SpeciesId;
+
+/// One product in a sum-of-products right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductTerm {
+    /// Signed constant coefficient (sign encodes produced/consumed;
+    /// magnitude encodes stoichiometry and merged duplicates).
+    pub coeff: f64,
+    /// The kinetic rate constant (value-deduplicated id from the RCIP).
+    pub rate: RateId,
+    /// Species concentration factors, kept sorted (canonical order).
+    pub species: Vec<SpeciesId>,
+}
+
+impl ProductTerm {
+    /// Create a term, normalizing species order.
+    pub fn new(coeff: f64, rate: RateId, mut species: Vec<SpeciesId>) -> ProductTerm {
+        species.sort_unstable();
+        ProductTerm {
+            coeff,
+            rate,
+            species,
+        }
+    }
+
+    /// Two terms are *mergeable* when they differ only in the constant
+    /// coefficient (§3.1's equation simplification).
+    pub fn same_shape(&self, other: &ProductTerm) -> bool {
+        self.rate == other.rate && self.species == other.species
+    }
+
+    /// Multiplications needed to evaluate this product naively:
+    /// one per factor beyond the first, counting the coefficient only when
+    /// it is not ±1 (a sign flip is free as part of the add/sub).
+    pub fn multiplication_count(&self) -> usize {
+        let factors = self.species.len() + 1 + usize::from(self.coeff.abs() != 1.0);
+        factors - 1
+    }
+
+    /// Evaluate with the given rate-constant values and concentrations.
+    pub fn eval(&self, rates: &[f64], y: &[f64]) -> f64 {
+        let mut v = self.coeff * rates[self.rate.0 as usize];
+        for &s in &self.species {
+            v *= y[s.0 as usize];
+        }
+        v
+    }
+
+    /// Canonical ordering key for stable output: by rate id, then species
+    /// list, then coefficient.
+    pub fn canonical_cmp(&self, other: &ProductTerm) -> Ordering {
+        self.rate
+            .cmp(&other.rate)
+            .then_with(|| self.species.cmp(&other.species))
+            .then_with(|| {
+                self.coeff
+                    .partial_cmp(&other.coeff)
+                    .unwrap_or(Ordering::Equal)
+            })
+    }
+}
+
+/// Displays like `-2 * K3 * [S1] * [S4]` with symbolic ids.
+impl fmt::Display for ProductTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.coeff < 0.0 { "-" } else { "+" };
+        let mag = self.coeff.abs();
+        write!(f, "{sign}")?;
+        if mag != 1.0 {
+            write!(f, "{mag} * ")?;
+        }
+        write!(f, "K{}", self.rate.0)?;
+        for s in &self.species {
+            write!(f, " * y{}", s.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u32) -> SpeciesId {
+        SpeciesId(i)
+    }
+
+    #[test]
+    fn species_normalized_sorted() {
+        let t = ProductTerm::new(1.0, RateId(0), vec![sid(3), sid(1), sid(2)]);
+        assert_eq!(t.species, vec![sid(1), sid(2), sid(3)]);
+    }
+
+    #[test]
+    fn same_shape_ignores_coefficient() {
+        let a = ProductTerm::new(2.0, RateId(1), vec![sid(0), sid(1)]);
+        let b = ProductTerm::new(-3.0, RateId(1), vec![sid(1), sid(0)]);
+        let c = ProductTerm::new(2.0, RateId(2), vec![sid(0), sid(1)]);
+        assert!(a.same_shape(&b));
+        assert!(!a.same_shape(&c));
+    }
+
+    #[test]
+    fn multiplication_count_matches_naive_evaluation() {
+        // k * A         -> 1 multiply
+        assert_eq!(
+            ProductTerm::new(1.0, RateId(0), vec![sid(0)]).multiplication_count(),
+            1
+        );
+        // k * A * B     -> 2 multiplies
+        assert_eq!(
+            ProductTerm::new(-1.0, RateId(0), vec![sid(0), sid(1)]).multiplication_count(),
+            2
+        );
+        // 2 * k * A     -> 2 multiplies
+        assert_eq!(
+            ProductTerm::new(2.0, RateId(0), vec![sid(0)]).multiplication_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn eval_mass_action() {
+        let t = ProductTerm::new(-2.0, RateId(1), vec![sid(0), sid(0)]);
+        // -2 * k1 * y0^2 with k1 = 3, y0 = 4 => -96
+        assert_eq!(t.eval(&[0.0, 3.0], &[4.0]), -96.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = ProductTerm::new(-1.0, RateId(2), vec![sid(0), sid(5)]);
+        assert_eq!(t.to_string(), "-K2 * y0 * y5");
+        let t = ProductTerm::new(3.0, RateId(0), vec![sid(1)]);
+        assert_eq!(t.to_string(), "+3 * K0 * y1");
+    }
+
+    #[test]
+    fn canonical_order_total() {
+        let mut terms = vec![
+            ProductTerm::new(1.0, RateId(1), vec![sid(0)]),
+            ProductTerm::new(1.0, RateId(0), vec![sid(1)]),
+            ProductTerm::new(1.0, RateId(0), vec![sid(0)]),
+        ];
+        terms.sort_by(|a, b| a.canonical_cmp(b));
+        assert_eq!(terms[0].rate, RateId(0));
+        assert_eq!(terms[0].species, vec![sid(0)]);
+        assert_eq!(terms[2].rate, RateId(1));
+    }
+}

@@ -1,0 +1,230 @@
+//! A thread-backed SPMD communicator: the MPI substitute.
+//!
+//! The paper parallelizes the objective function with MPI processes on an
+//! IBM SP (one rank per node, constant process count, `MPI_AllReduce` on
+//! the error vectors). We reproduce the same SPMD structure with one OS
+//! thread per simulated node and shared-memory collectives. Only the
+//! collectives the paper's code uses (plus a couple of obvious companions)
+//! are provided.
+
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+/// Shared collective state for one cluster.
+struct Shared {
+    /// Per-rank deposit slots for vector collectives.
+    slots: Mutex<Vec<Vec<f64>>>,
+    /// Reusable rendezvous barrier.
+    barrier: Barrier,
+    size: usize,
+}
+
+/// Handle held by one rank of a running cluster.
+pub struct Communicator<'a> {
+    shared: &'a Shared,
+    rank: usize,
+}
+
+impl<'a> Communicator<'a> {
+    /// This rank's id (`0..size`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Rendezvous of all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// `MPI_Allreduce(…, MPI_SUM)`: element-wise sum of every rank's
+    /// vector, returned to all ranks. Vectors must share a length.
+    pub fn all_reduce_sum(&self, local: &[f64]) -> Vec<f64> {
+        self.deposit(local);
+        self.shared.barrier.wait();
+        let result = {
+            let slots = self.shared.slots.lock();
+            let mut acc = vec![0.0; local.len()];
+            for slot in slots.iter() {
+                assert_eq!(slot.len(), local.len(), "all_reduce length mismatch");
+                for (a, v) in acc.iter_mut().zip(slot) {
+                    *a += v;
+                }
+            }
+            acc
+        };
+        // Second rendezvous so nobody deposits into the next collective
+        // while a slow rank is still reading this one.
+        self.shared.barrier.wait();
+        result
+    }
+
+    /// `MPI_Allreduce(…, MPI_MAX)`.
+    pub fn all_reduce_max(&self, local: &[f64]) -> Vec<f64> {
+        self.deposit(local);
+        self.shared.barrier.wait();
+        let result = {
+            let slots = self.shared.slots.lock();
+            let mut acc = vec![f64::NEG_INFINITY; local.len()];
+            for slot in slots.iter() {
+                for (a, v) in acc.iter_mut().zip(slot) {
+                    *a = a.max(*v);
+                }
+            }
+            acc
+        };
+        self.shared.barrier.wait();
+        result
+    }
+
+    /// `MPI_Bcast`: every rank receives root's vector.
+    pub fn broadcast(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        if self.rank == root {
+            self.deposit(data);
+        }
+        self.shared.barrier.wait();
+        let result = self.shared.slots.lock()[root].clone();
+        self.shared.barrier.wait();
+        result
+    }
+
+    /// `MPI_Allgather`: concatenation of every rank's vector, in rank
+    /// order, delivered to all ranks.
+    pub fn all_gather(&self, local: &[f64]) -> Vec<Vec<f64>> {
+        self.deposit(local);
+        self.shared.barrier.wait();
+        let result = self.shared.slots.lock().clone();
+        self.shared.barrier.wait();
+        result
+    }
+
+    fn deposit(&self, data: &[f64]) {
+        let mut slots = self.shared.slots.lock();
+        slots[self.rank] = data.to_vec();
+    }
+}
+
+/// Run an SPMD region: `size` ranks execute `body` concurrently, each
+/// with its own [`Communicator`]. Returns the per-rank results in rank
+/// order (the analog of `mpirun -np <size>`).
+pub fn run_cluster<T, F>(size: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Communicator<'_>) -> T + Sync,
+{
+    assert!(size > 0, "cluster needs at least one rank");
+    let shared = Shared {
+        slots: Mutex::new(vec![Vec::new(); size]),
+        barrier: Barrier::new(size),
+        size,
+    };
+    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let shared = &shared;
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let comm = Communicator { shared, rank };
+                *slot = Some(body(&comm));
+            }));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("rank completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_size() {
+        let out = run_cluster(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn all_reduce_sum_matches_sequential() {
+        for size in [1, 2, 3, 8] {
+            let out = run_cluster(size, |comm| {
+                let local = vec![comm.rank() as f64, 1.0];
+                comm.all_reduce_sum(&local)
+            });
+            let expected_first: f64 = (0..size).map(|r| r as f64).sum();
+            for v in &out {
+                assert_eq!(v[0], expected_first);
+                assert_eq!(v[1], size as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_interleave() {
+        // Back-to-back reduces with different values must not mix.
+        let out = run_cluster(4, |comm| {
+            let a = comm.all_reduce_sum(&[1.0]);
+            let b = comm.all_reduce_sum(&[10.0]);
+            let c = comm.all_reduce_sum(&[100.0]);
+            (a[0], b[0], c[0])
+        });
+        for v in out {
+            assert_eq!(v, (4.0, 40.0, 400.0));
+        }
+    }
+
+    #[test]
+    fn all_reduce_max() {
+        let out = run_cluster(3, |comm| comm.all_reduce_max(&[comm.rank() as f64, -1.0]));
+        for v in out {
+            assert_eq!(v, vec![2.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let out = run_cluster(3, |comm| {
+            let data = if comm.rank() == 1 {
+                vec![7.0, 8.0]
+            } else {
+                vec![]
+            };
+            comm.broadcast(1, &data)
+        });
+        for v in out {
+            assert_eq!(v, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_order() {
+        let out = run_cluster(3, |comm| comm.all_gather(&[comm.rank() as f64]));
+        for v in out {
+            assert_eq!(v, vec![vec![0.0], vec![1.0], vec![2.0]]);
+        }
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let out = run_cluster(1, |comm| comm.all_reduce_sum(&[5.0]));
+        assert_eq!(out, vec![vec![5.0]]);
+    }
+
+    #[test]
+    fn real_parallel_execution() {
+        // Ranks genuinely run concurrently: a barrier would deadlock
+        // otherwise.
+        let out = run_cluster(4, |comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(out.len(), 4);
+    }
+}

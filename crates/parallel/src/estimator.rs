@@ -1,0 +1,327 @@
+//! The Parallel Parameter Estimator (paper §4, Fig. 8 & 9).
+//!
+//! The objective function distributes the experimental data files over
+//! the ranks (block distribution, or the previous call's LPT schedule
+//! when dynamic load balancing is on), solves the ODE system for each
+//! assigned file's time grid, accumulates `simulated − experimental`
+//! differences into a local error vector, and `MPI_Allreduce`-sums the
+//! local vectors into the global error vector every rank receives. The
+//! per-file solve times are reduced the same way and feed the next call's
+//! schedule.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use rms_nlopt::{optimize, LmOptions, LmResult, NloptError, Residual};
+
+use crate::comm::run_cluster;
+use crate::datafile::ExperimentFile;
+use crate::loadbalance::{block_schedule, lpt_schedule};
+
+/// A simulation backend: given kinetic rate constants, produce the
+/// predicted property value at each requested time. This is where the
+/// compiled ODE tape and the stiff solver plug in.
+pub trait Simulator: Sync {
+    /// Simulate the property time series for experiment `file_index` at
+    /// the given sample times. The index lets the backend select that
+    /// experiment's formulation (initial concentrations).
+    fn simulate(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<Vec<f64>, String>;
+}
+
+impl<F> Simulator for F
+where
+    F: Fn(&[f64], usize, &[f64]) -> Result<Vec<f64>, String> + Sync,
+{
+    fn simulate(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        self(rate_constants, file_index, times)
+    }
+}
+
+/// One objective-function evaluation's outputs.
+#[derive(Debug, Clone)]
+pub struct ObjectiveOutput {
+    /// Global error vector: `Σ_files (simulated − experimental)` per
+    /// record index (shorter files contribute zeros at the tail).
+    pub error_vector: Vec<f64>,
+    /// Per-file solve times (seconds) recorded this call.
+    pub file_times: Vec<f64>,
+    /// Wall-clock of the whole parallel region (seconds).
+    pub wall_time: f64,
+}
+
+/// The parallel parameter estimator.
+pub struct ParallelEstimator<'a, S: Simulator> {
+    simulator: &'a S,
+    files: Vec<ExperimentFile>,
+    n_ranks: usize,
+    dynamic_lb: bool,
+    /// Per-file solve times recorded by the previous objective call.
+    timings: Mutex<Option<Vec<f64>>>,
+    /// Length of the global error vector (max record count).
+    max_records: usize,
+}
+
+impl<'a, S: Simulator> ParallelEstimator<'a, S> {
+    /// Create an estimator over replicated data files.
+    pub fn new(
+        simulator: &'a S,
+        files: Vec<ExperimentFile>,
+        n_ranks: usize,
+        dynamic_lb: bool,
+    ) -> ParallelEstimator<'a, S> {
+        assert!(n_ranks > 0, "need at least one rank");
+        assert!(!files.is_empty(), "need at least one data file");
+        let max_records = files.iter().map(ExperimentFile::len).max().unwrap_or(0);
+        ParallelEstimator {
+            simulator,
+            files,
+            n_ranks,
+            dynamic_lb,
+            timings: Mutex::new(None),
+            max_records,
+        }
+    }
+
+    /// Number of data files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The schedule the next objective call will use.
+    pub fn current_schedule(&self) -> Vec<Vec<usize>> {
+        let timings = self.timings.lock();
+        match (&*timings, self.dynamic_lb) {
+            (Some(times), true) => lpt_schedule(times, self.n_ranks),
+            _ => block_schedule(self.files.len(), self.n_ranks),
+        }
+    }
+
+    /// Per-file solve times recorded by the most recent objective call.
+    pub fn recorded_times(&self) -> Option<Vec<f64>> {
+        self.timings.lock().clone()
+    }
+
+    /// The Fig. 9 objective function.
+    pub fn objective(&self, rate_constants: &[f64]) -> Result<ObjectiveOutput, String> {
+        let schedule = self.current_schedule();
+        let n_files = self.files.len();
+        let started = Instant::now();
+        let per_rank = run_cluster(self.n_ranks, |comm| {
+            let my_tasks = &schedule[comm.rank()];
+            let mut error_vector = vec![0.0; self.max_records];
+            let mut local_time = vec![0.0; n_files];
+            let mut failure: Option<String> = None;
+            for &file_idx in my_tasks {
+                let file = &self.files[file_idx];
+                let t0 = Instant::now();
+                match self
+                    .simulator
+                    .simulate(rate_constants, file_idx, &file.times)
+                {
+                    Ok(simulated) => {
+                        for (j, (sim, exp)) in simulated.iter().zip(&file.values).enumerate() {
+                            error_vector[j] += sim - exp;
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(format!("file '{}': {e}", file.label));
+                    }
+                }
+                local_time[file_idx] = t0.elapsed().as_secs_f64();
+            }
+            // All ranks participate in the reductions even on failure, so
+            // the collective does not deadlock.
+            let global_error = comm.all_reduce_sum(&error_vector);
+            let global_time = comm.all_reduce_sum(&local_time);
+            (global_error, global_time, failure)
+        });
+        let wall_time = started.elapsed().as_secs_f64();
+        let (global_error, global_time, _) = per_rank[0].clone();
+        if let Some(err) = per_rank.into_iter().find_map(|(_, _, f)| f) {
+            return Err(err);
+        }
+        // Feed the dynamic load balancer for the next call.
+        *self.timings.lock() = Some(global_time.clone());
+        Ok(ObjectiveOutput {
+            error_vector: global_error,
+            file_times: global_time,
+            wall_time,
+        })
+    }
+
+    /// Run the full bounded least-squares estimation (Fig. 8): optimize
+    /// the rate constants within the chemist's bounds so the simulation
+    /// best matches the experimental files.
+    pub fn estimate(
+        &self,
+        initial: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        options: LmOptions,
+    ) -> Result<LmResult, NloptError> {
+        let wrapper = ObjectiveResidual {
+            estimator: self,
+            n_params: initial.len(),
+        };
+        optimize(&wrapper, initial, lo, hi, options)
+    }
+}
+
+struct ObjectiveResidual<'a, 'b, S: Simulator> {
+    estimator: &'a ParallelEstimator<'b, S>,
+    n_params: usize,
+}
+
+impl<S: Simulator> Residual for ObjectiveResidual<'_, '_, S> {
+    fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    fn n_residuals(&self) -> usize {
+        self.estimator.max_records
+    }
+
+    fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String> {
+        let result = self.estimator.objective(params)?;
+        out.copy_from_slice(&result.error_vector);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic "property": decaying exponential with rate p[0], offset
+    /// p[1].
+    fn model(p: &[f64], _file: usize, times: &[f64]) -> Result<Vec<f64>, String> {
+        if p[0] < 0.0 {
+            return Err("negative rate".to_string());
+        }
+        Ok(times.iter().map(|t| (-p[0] * t).exp() + p[1]).collect())
+    }
+
+    fn make_files(n: usize, records: usize, truth: &[f64]) -> Vec<ExperimentFile> {
+        (0..n)
+            .map(|i| {
+                let times: Vec<f64> = (1..=records).map(|j| j as f64 * 0.05).collect();
+                let values = model(truth, 0, &times).unwrap();
+                ExperimentFile {
+                    label: format!("exp{i:02}"),
+                    times,
+                    values,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn objective_zero_at_truth() {
+        let truth = [1.5, 0.2];
+        let files = make_files(4, 50, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, false);
+        let out = est.objective(&truth).unwrap();
+        assert!(out.error_vector.iter().all(|v| v.abs() < 1e-12));
+        assert_eq!(out.file_times.len(), 4);
+    }
+
+    #[test]
+    fn objective_sums_across_files() {
+        let truth = [1.0, 0.0];
+        let files = make_files(3, 10, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, false);
+        // Evaluate at an offset point: each file contributes the same
+        // difference, so the global error is 3x one file's.
+        let out = est.objective(&[1.0, 0.1]).unwrap();
+        for v in &out.error_vector {
+            assert!((v - 0.3).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let truth = [0.8, 0.1];
+        let files = make_files(7, 20, &truth);
+        let serial = ParallelEstimator::new(&model, files.clone(), 1, false)
+            .objective(&[1.2, 0.0])
+            .unwrap();
+        for ranks in [2, 3, 5] {
+            for lb in [false, true] {
+                let par = ParallelEstimator::new(&model, files.clone(), ranks, lb)
+                    .objective(&[1.2, 0.0])
+                    .unwrap();
+                for (a, b) in serial.error_vector.iter().zip(&par.error_vector) {
+                    assert!((a - b).abs() < 1e-12, "ranks={ranks} lb={lb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_lb_uses_recorded_times() {
+        let truth = [1.0, 0.0];
+        let files = make_files(6, 10, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, true);
+        // Before any call: block schedule.
+        assert_eq!(est.current_schedule(), vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        est.objective(&truth).unwrap();
+        // After a call: timings recorded, schedule becomes LPT.
+        assert!(est.recorded_times().is_some());
+        let schedule = est.current_schedule();
+        let total: usize = schedule.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn estimate_recovers_parameters() {
+        let truth = [1.3, 0.25];
+        let files = make_files(4, 40, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, true);
+        let result = est
+            .estimate(&[0.5, 0.0], &[0.0, 0.0], &[5.0, 1.0], LmOptions::default())
+            .unwrap();
+        assert!(
+            (result.params[0] - truth[0]).abs() < 1e-5,
+            "{:?}",
+            result.params
+        );
+        assert!((result.params[1] - truth[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn simulation_failure_propagates() {
+        let truth = [1.0, 0.0];
+        let files = make_files(2, 5, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, false);
+        assert!(est.objective(&[-1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn uneven_file_lengths() {
+        let truth = [1.0, 0.0];
+        let mut files = make_files(2, 10, &truth);
+        files[1].times.truncate(4);
+        files[1].values.truncate(4);
+        let est = ParallelEstimator::new(&model, files, 2, false);
+        let out = est.objective(&[1.0, 0.05]).unwrap();
+        assert_eq!(out.error_vector.len(), 10);
+        // First 4 records: both files contribute; rest: only file 0.
+        for v in &out.error_vector[..4] {
+            assert!((v - 0.1).abs() < 1e-9);
+        }
+        for v in &out.error_vector[4..] {
+            assert!((v - 0.05).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # rms-parallel — the parallel runtime
+//!
+//! Replaces the paper's MPI layer (§4.4) with a thread-backed SPMD
+//! cluster:
+//!
+//! * [`comm`]: one thread per simulated node, `all_reduce`/`broadcast`/
+//!   `all_gather` collectives matching the MPI calls of Fig. 9;
+//! * [`loadbalance`]: the dynamic load-balancing algorithm — per-file
+//!   solve times into a non-increasing priority queue, largest remaining
+//!   file onto the least-loaded processor (LPT), plus the block baseline;
+//! * [`datafile`]: the `<t, value>` experimental record files, replicated
+//!   across ranks;
+//! * [`estimator`]: the Parallel Parameter Estimator — the Fig. 9
+//!   objective function and the Fig. 8 bounded least-squares driver.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod datafile;
+pub mod estimator;
+pub mod loadbalance;
+
+pub use comm::{run_cluster, Communicator};
+pub use datafile::{DataFileError, ExperimentFile};
+pub use estimator::{ObjectiveOutput, ParallelEstimator, Simulator};
+pub use loadbalance::{block_schedule, lpt_schedule, makespan, makespan_lower_bound};

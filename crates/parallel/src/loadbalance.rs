@@ -1,0 +1,159 @@
+//! Dynamic load balancing (paper §4.4).
+//!
+//! "The time to solve each data file is recorded and put into a priority
+//! queue built out of a non-increasing sorted time list. The next item,
+//! which corresponds to the data file with the largest solving time among
+//! remaining data files in the priority queue, is allocated to the
+//! processor with least total allocated time so far." — i.e. classic LPT
+//! (longest processing time first) scheduling, recomputed at every
+//! objective-function call from the times the previous call recorded.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-ordered f64 wrapper for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Static block distribution (the no-load-balancing baseline):
+/// contiguous blocks of `ceil(n/workers)` tasks per worker, matching the
+/// paper's `BLOCK_SIZE()` loop over each rank's share of the files.
+pub fn block_schedule(n_tasks: usize, workers: usize) -> Vec<Vec<usize>> {
+    let per_worker = n_tasks.div_ceil(workers);
+    let mut assignment = vec![Vec::new(); workers];
+    for task in 0..n_tasks {
+        assignment[(task / per_worker.max(1)).min(workers - 1)].push(task);
+    }
+    assignment
+}
+
+/// LPT schedule from recorded per-task times: largest task first onto the
+/// least-loaded worker. Returns per-worker task lists.
+pub fn lpt_schedule(times: &[f64], workers: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..times.len()).collect();
+    // Non-increasing sorted time list (the paper's priority queue).
+    order.sort_by(|&a, &b| times[b].total_cmp(&times[a]));
+    let mut assignment = vec![Vec::new(); workers];
+    // Min-heap on (load, worker).
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..workers).map(|w| Reverse((OrdF64(0.0), w))).collect();
+    for task in order {
+        let Reverse((OrdF64(load), worker)) = heap.pop().expect("workers > 0");
+        assignment[worker].push(task);
+        heap.push(Reverse((OrdF64(load + times[task]), worker)));
+    }
+    assignment
+}
+
+/// Makespan of a schedule under the given task times: the bottleneck
+/// worker's total.
+pub fn makespan(schedule: &[Vec<usize>], times: &[f64]) -> f64 {
+    schedule
+        .iter()
+        .map(|tasks| tasks.iter().map(|&t| times[t]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Lower bound on any schedule's makespan: `max(mean load, largest task)`.
+pub fn makespan_lower_bound(times: &[f64], workers: usize) -> f64 {
+    let total: f64 = times.iter().sum();
+    let largest = times.iter().copied().fold(0.0, f64::max);
+    (total / workers as f64).max(largest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_contiguous_covers_all_tasks() {
+        let s = block_schedule(10, 3);
+        assert_eq!(s[0], vec![0, 1, 2, 3]);
+        assert_eq!(s[1], vec![4, 5, 6, 7]);
+        assert_eq!(s[2], vec![8, 9]);
+        let total: usize = s.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        // Degenerate shapes.
+        assert_eq!(block_schedule(2, 4), vec![vec![0], vec![1], vec![], vec![]]);
+        assert_eq!(block_schedule(0, 2), vec![Vec::<usize>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn lpt_assigns_every_task_once() {
+        let times = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = lpt_schedule(&times, 2);
+        let mut seen: Vec<usize> = s.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lpt_beats_block_on_skewed_times() {
+        // One huge task first: block piles big tasks onto worker 0.
+        let times = vec![10.0, 9.0, 1.0, 1.0];
+        let block = block_schedule(4, 2);
+        let lpt = lpt_schedule(&times, 2);
+        assert!(makespan(&lpt, &times) < makespan(&block, &times));
+        assert_eq!(makespan(&lpt, &times), 11.0);
+    }
+
+    #[test]
+    fn lpt_within_guarantee() {
+        // LPT is a 4/3-approximation; check 2x against the lower bound on
+        // random instances.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..40);
+            let workers = rng.gen_range(1..10);
+            let times: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+            let s = lpt_schedule(&times, workers);
+            let bound = makespan_lower_bound(&times, workers);
+            assert!(
+                makespan(&s, &times) <= 2.0 * bound + 1e-9,
+                "makespan {} vs bound {bound}",
+                makespan(&s, &times)
+            );
+        }
+    }
+
+    #[test]
+    fn one_task_per_worker_identical_schedules() {
+        // Paper: "At 16 nodes, there is only one task to schedule per
+        // processor, so the load balancing algorithm has no effect."
+        let times: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        let block = block_schedule(16, 16);
+        let lpt = lpt_schedule(&times, 16);
+        assert_eq!(makespan(&block, &times), makespan(&lpt, &times));
+        assert_eq!(makespan(&lpt, &times), 16.0);
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let times = vec![1.0, 2.0, 3.0];
+        let s = lpt_schedule(&times, 1);
+        assert_eq!(s[0].len(), 3);
+        assert_eq!(makespan(&s, &times), 6.0);
+    }
+
+    #[test]
+    fn empty_tasks() {
+        assert_eq!(makespan(&lpt_schedule(&[], 4), &[]), 0.0);
+        assert_eq!(makespan_lower_bound(&[], 4), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # rms-rcip — Rate Constant Information Processor
+//!
+//! The second component of the paper's Reaction Modeling Suite. "Input
+//! data to the RCIP are expressions that define some constants as integer
+//! constants, and other constants as expressions of these integer
+//! constants" (§2). The RCIP evaluates those definitions and — critically
+//! for the downstream CSE pass — *renames constants based on common
+//! values*, so that two reactions sharing a kinetic rate share one symbol.
+//!
+//! The chemist's parameter bounds for the nonlinear optimizer (§4) are
+//! also declared here (`bound K in [lo, hi];`).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parser;
+pub mod table;
+
+pub use error::{RcipError, Result};
+pub use parser::{parse_rcip, RateExpr, Statement};
+pub use table::{Bounds, RateId, RateTable};

@@ -1,0 +1,549 @@
+//! The rule engine: applies RDL rules to the molecule set until closure,
+//! producing the reaction network (paper §2, "the chemical compiler
+//! automatically generates the reaction network that describes all
+//! possible reactions").
+
+use std::collections::HashMap;
+
+use rms_molecule::{canonical_key, parse_smiles, Element, Formula, Molecule};
+use rms_rcip::RateTable;
+
+use crate::ast::{Action, Forbid, Program, RuleDecl, Scope, Site};
+use crate::error::{RdlError, Result};
+use crate::expand::expand;
+use crate::network::{Reaction, ReactionNetwork, SpeciesId};
+
+/// The chemical compiler's output: the reaction network plus the evaluated
+/// rate-constant table.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// All species and reactions.
+    pub network: ReactionNetwork,
+    /// Evaluated, value-deduplicated rate constants.
+    pub rates: RateTable,
+}
+
+/// Compile an RDL program: expand variants, evaluate rate constants, and
+/// apply rules to closure.
+pub fn compile(program: &Program) -> Result<CompiledModel> {
+    let rates = RateTable::parse(&program.rate_source)?;
+
+    // Rule validation up front: rates and scope names must resolve.
+    for rule in &program.rules {
+        if rates.get(&rule.rate).is_none() {
+            return Err(RdlError::UnknownRate {
+                rule: rule.name.clone(),
+                rate: rule.rate.clone(),
+            });
+        }
+        if let Scope::Named(names) = &rule.scope {
+            for name in names {
+                if !program.molecules.iter().any(|m| &m.name == name) {
+                    return Err(RdlError::UnknownMolecule {
+                        rule: rule.name.clone(),
+                        molecule: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut engine = Engine {
+        network: ReactionNetwork::new(),
+        families: HashMap::new(),
+        limits: program.limits,
+        forbids: program.forbids.clone(),
+    };
+
+    // Seed species from expanded molecule declarations.
+    for decl in &program.molecules {
+        for variant in expand(decl)? {
+            let mol = parse_smiles(&variant.smiles).map_err(|cause| RdlError::BadSmiles {
+                molecule: variant.name.clone(),
+                smiles: variant.smiles.clone(),
+                cause,
+            })?;
+            let key = canonical_key(&mol);
+            let id =
+                engine
+                    .network
+                    .add_species(mol, key, &variant.name, decl.initial_concentration);
+            engine.families.insert(id, decl.name.clone());
+        }
+    }
+
+    // Closure: apply every rule each generation until no new species or
+    // reactions appear (or the generation limit is reached).
+    for _generation in 0..program.limits.max_generations {
+        let mut changed = false;
+        for rule in &program.rules {
+            changed |= engine.apply_rule(rule)?;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(CompiledModel {
+        network: engine.network,
+        rates,
+    })
+}
+
+struct Engine {
+    network: ReactionNetwork,
+    /// species → declared family name (seeds only; generated species have
+    /// no family and match only `Scope::Any`).
+    families: HashMap<SpeciesId, String>,
+    limits: crate::ast::Limits,
+    forbids: Vec<Forbid>,
+}
+
+impl Engine {
+    /// Apply one rule across the current species set. Returns whether
+    /// anything new was added.
+    fn apply_rule(&mut self, rule: &RuleDecl) -> Result<bool> {
+        match &rule.site {
+            Site::Bond { .. } | Site::Atom(_) => self.apply_unimolecular(rule),
+            Site::Pair { first, second } => {
+                let (first, second) = (first.clone(), second.clone());
+                self.apply_bimolecular(rule, &first, &second)
+            }
+        }
+    }
+
+    fn in_scope(&self, id: SpeciesId, scope: &Scope, position: usize) -> bool {
+        match scope {
+            Scope::Any => true,
+            Scope::Named(names) => {
+                let Some(family) = self.families.get(&id) else {
+                    return false;
+                };
+                if names.len() >= 2 {
+                    // Positional scopes for pair sites.
+                    names.get(position).is_some_and(|n| n == family)
+                } else {
+                    names.iter().any(|n| n == family)
+                }
+            }
+        }
+    }
+
+    fn current_ids(&self) -> Vec<SpeciesId> {
+        self.network.species_iter().map(|(id, _)| id).collect()
+    }
+
+    fn apply_unimolecular(&mut self, rule: &RuleDecl) -> Result<bool> {
+        let mut changed = false;
+        for id in self.current_ids() {
+            if !self.in_scope(id, &rule.scope, 0) {
+                continue;
+            }
+            let Some(mol) = self.network.species(id).structure.clone() else {
+                continue;
+            };
+            let applications: Vec<MolEdit> = match &rule.site {
+                Site::Bond { left, right, order } => {
+                    let pred = rms_molecule::BondPredicate {
+                        left: left.clone(),
+                        right: right.clone(),
+                        order: *order,
+                    };
+                    pred.select(&mol)
+                        .into_iter()
+                        .map(|(a, b)| MolEdit::OnBond(a, b))
+                        .collect()
+                }
+                Site::Atom(pred) => pred.select(&mol).into_iter().map(MolEdit::OnAtom).collect(),
+                Site::Pair { .. } => unreachable!("handled in apply_bimolecular"),
+            };
+            for edit in applications {
+                let mut product = mol.clone();
+                let outcome = match (edit, rule.action) {
+                    (MolEdit::OnBond(a, b), Action::Disconnect) => product.disconnect(a, b),
+                    (MolEdit::OnBond(a, b), Action::IncreaseBond) => {
+                        product.increase_bond_order(a, b)
+                    }
+                    (MolEdit::OnBond(a, b), Action::DecreaseBond) => {
+                        product.decrease_bond_order(a, b)
+                    }
+                    (MolEdit::OnAtom(a), Action::RemoveHydrogen) => product.remove_hydrogen(a),
+                    (MolEdit::OnAtom(a), Action::AddHydrogen) => product.add_hydrogen(a),
+                    _ => unreachable!("validated at parse time"),
+                };
+                if outcome.is_err() {
+                    // Site matched but the edit is chemically impossible
+                    // (e.g. increase on a saturated atom): skip silently,
+                    // mirroring how rule application "can be forbidden" by
+                    // context.
+                    continue;
+                }
+                changed |= self.record_reaction(rule, vec![id], product)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    fn apply_bimolecular(
+        &mut self,
+        rule: &RuleDecl,
+        first: &rms_molecule::AtomPredicate,
+        second: &rms_molecule::AtomPredicate,
+    ) -> Result<bool> {
+        let Action::Connect(order) = rule.action else {
+            unreachable!("validated at parse time")
+        };
+        let mut changed = false;
+        let ids = self.current_ids();
+        for &x in &ids {
+            if !self.in_scope(x, &rule.scope, 0) {
+                continue;
+            }
+            let Some(mol_x) = self.network.species(x).structure.clone() else {
+                continue;
+            };
+            let sites_x = first.select(&mol_x);
+            if sites_x.is_empty() {
+                continue;
+            }
+            for &y in &ids {
+                if !self.in_scope(y, &rule.scope, 1) {
+                    continue;
+                }
+                let Some(mol_y) = self.network.species(y).structure.clone() else {
+                    continue;
+                };
+                let sites_y = second.select(&mol_y);
+                for &sx in &sites_x {
+                    for &sy in &sites_y {
+                        let mut merged = mol_x.clone();
+                        let offset = merged.merge(&mol_y);
+                        if merged.atom_count() > self.limits.max_atoms {
+                            continue;
+                        }
+                        if merged.connect(sx, sy + offset, order).is_err() {
+                            continue;
+                        }
+                        changed |= self.record_reaction(rule, vec![x, y], merged)?;
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Split a product into fragments, register species, and add the
+    /// reaction. Returns whether anything new appeared.
+    fn record_reaction(
+        &mut self,
+        rule: &RuleDecl,
+        reactants: Vec<SpeciesId>,
+        product: Molecule,
+    ) -> Result<bool> {
+        let fragments = product.split_components();
+        // Forbidden-form and size filtering discards the whole reaction.
+        for frag in &fragments {
+            if frag.atom_count() > self.limits.max_atoms || self.is_forbidden(frag) {
+                return Ok(false);
+            }
+        }
+        let mut product_ids = Vec::with_capacity(fragments.len());
+        let mut new_species = false;
+        for frag in fragments {
+            let key = canonical_key(&frag);
+            let before = self.network.species_count();
+            let name_hint = format!("{}", Formula::of(&frag));
+            let pid = self.network.add_species(frag, key, &name_hint, 0.0);
+            new_species |= self.network.species_count() > before;
+            product_ids.push(pid);
+        }
+        if self.network.species_count() > self.limits.max_species {
+            return Err(RdlError::SpeciesLimitExceeded(self.limits.max_species));
+        }
+        let new_reaction = self.network.add_reaction(Reaction {
+            reactants,
+            products: product_ids,
+            rate: rule.rate.clone(),
+            rule: rule.name.clone(),
+        });
+        Ok(new_species || new_reaction)
+    }
+
+    fn is_forbidden(&self, mol: &Molecule) -> bool {
+        self.forbids.iter().any(|f| match f {
+            Forbid::ChainLongerThan(elem, len) => max_chain(mol, *elem) > *len,
+            Forbid::AtomMatching(pred) => (0..mol.atom_count()).any(|i| pred.matches(mol, i)),
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MolEdit {
+    OnBond(usize, usize),
+    OnAtom(usize),
+}
+
+/// Size of the largest connected same-element component.
+fn max_chain(mol: &Molecule, elem: Element) -> usize {
+    let n = mol.atom_count();
+    let mut seen = vec![false; n];
+    let mut best = 0;
+    for start in 0..n {
+        if seen[start] || mol.atom(start).map(|a| a.element) != Ok(elem) {
+            continue;
+        }
+        let mut size = 0;
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(at) = stack.pop() {
+            size += 1;
+            for nb in mol.neighbors(at).collect::<Vec<_>>() {
+                if !seen[nb] && mol.atom(nb).map(|a| a.element) == Ok(elem) {
+                    seen[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rdl;
+
+    fn compile_src(src: &str) -> CompiledModel {
+        compile(&parse_rdl(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scission_generates_radical_fragments() {
+        let model = compile_src(
+            r#"
+            rate K_sc = 2;
+            molecule DiS = "CSSC" init 1.0;
+            rule scission {
+                site bond S ~ S order single;
+                action disconnect;
+                rate K_sc;
+            }
+            "#,
+        );
+        // CSSC -> 2 CS radicals: one new species, one reaction.
+        assert_eq!(model.network.species_count(), 2);
+        assert_eq!(model.network.reaction_count(), 1);
+        let r = &model.network.reactions()[0];
+        assert_eq!(r.reactants.len(), 1);
+        assert_eq!(r.products.len(), 2);
+        assert_eq!(r.products[0], r.products[1], "symmetric fragments dedup");
+    }
+
+    #[test]
+    fn variant_expansion_seeds_all_lengths() {
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule Sx = "CS{n}C" for n in 2..4 init 0.1;
+            rule noop {
+                site bond S ~ S order double;
+                action disconnect;
+                rate K;
+            }
+            "#,
+        );
+        assert_eq!(model.network.species_count(), 3);
+        assert!(model.network.species_by_name("Sx_2").is_some());
+        assert!(model.network.species_by_name("Sx_4").is_some());
+        // No S=S double bonds: nothing reacted.
+        assert_eq!(model.network.reaction_count(), 0);
+    }
+
+    #[test]
+    fn closure_cascades_scission() {
+        // CSSSSC can break at 3 S-S bonds; fragments keep breaking.
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule S4 = "CS{n}C" for n in 4..4 init 1.0;
+            rule scission {
+                site bond S ~ S order single;
+                action disconnect;
+                rate K;
+            }
+            "#,
+        );
+        // Fragments: CS., CSS., CSSS. from first scissions, then further
+        // breaking of those radicals.
+        assert!(model.network.species_count() >= 4, "{}", model.network);
+        assert!(model.network.reaction_count() >= 3, "{}", model.network);
+    }
+
+    #[test]
+    fn chain_depth_context_restricts_scission() {
+        // Only interior S-S bonds (both ends depth >= 3) may break.
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule S8 = "CS{n}C" for n in 8..8 init 1.0;
+            rule interior_scission {
+                site bond S & chain(S) >= 3 ~ S & chain(S) >= 3;
+                action disconnect;
+                rate K;
+            }
+            "#,
+        );
+        // The seed has 3 qualifying bonds, producing fragment pairs
+        // (S3., S5.) and (S4., S4.). Fragments have no interior bonds deep
+        // enough... S5 radical chain: depths 1..: for a 5-chain ends depth 1;
+        // interior atom depths 2,3,2? chain of 5: [1,2,3,2,1] -> no bond
+        // with both >= 3. So closure stops after one generation.
+        let seed_reactions = model
+            .network
+            .reactions()
+            .iter()
+            .filter(|r| model.network.species(r.reactants[0]).name == "S8_8")
+            .count();
+        assert_eq!(seed_reactions, 2, "{}", model.network.display_equations());
+        // (3,4) and (4,5) splits give {S3,S5} and {S4,S4}; (5,6) duplicates
+        // {S5,S3} and dedups away.
+        assert_eq!(model.network.reaction_count(), 2);
+    }
+
+    #[test]
+    fn crosslink_pair_rule() {
+        let model = compile_src(
+            r#"
+            rate K_h = 1;
+            rate K_cl = 2;
+            molecule Rubber = "CC=CC" init 1.0;
+            molecule Thiyl = "C[S]" init 0.2;
+            rule abstraction {
+                on Rubber;
+                site atom C & allylic & hydrogens >= 1;
+                action remove_h;
+                rate K_h;
+            }
+            rule crosslink {
+                site pair S & radical, C & radical;
+                action connect single;
+                rate K_cl;
+            }
+            "#,
+        );
+        // Abstraction creates the allylic radical (the two allylic carbons
+        // of CC=CC are symmetric, so one deduped reaction); crosslink then
+        // couples it with the thiyl radical.
+        assert_eq!(
+            model.network.reaction_count(),
+            2,
+            "{}",
+            model.network.display_equations()
+        );
+        let has_crosslink = model
+            .network
+            .reactions()
+            .iter()
+            .any(|r| r.rule == "crosslink" && r.reactants.len() == 2);
+        assert!(has_crosslink);
+    }
+
+    #[test]
+    fn forbid_chain_prunes_products() {
+        // Recombination of thiyl radicals would form S4 chains; forbidding
+        // chains > 3 blocks it.
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule Thiyl = "CSS" init 0.2;
+            rule homolysis {
+                site atom S & bonded(S) & hydrogens >= 1;
+                action remove_h;
+                rate K;
+            }
+            rule recombine {
+                site pair S & radical, S & radical;
+                action connect single;
+                rate K;
+            }
+            forbid chain S > 3;
+            "#,
+        );
+        for (_, s) in model.network.species_iter() {
+            if let Some(m) = &s.structure {
+                assert!(max_chain(m, Element::S) <= 3, "species {}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_rate_rejected() {
+        let program = parse_rdl(
+            "molecule A = \"C\"; rule r { site atom C; action remove_h; rate K_missing; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&program),
+            Err(RdlError::UnknownRate { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_scope_molecule_rejected() {
+        let program = parse_rdl(
+            "rate K = 1; molecule A = \"C\"; rule r { on B; site atom C; action remove_h; rate K; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&program),
+            Err(RdlError::UnknownMolecule { .. })
+        ));
+    }
+
+    #[test]
+    fn species_limit_enforced() {
+        let program = parse_rdl(
+            r#"
+            rate K = 1;
+            molecule Sx = "CS{n}C" for n in 2..8 init 1.0;
+            rule scission { site bond S ~ S; action disconnect; rate K; }
+            limit species 5;
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&program),
+            Err(RdlError::SpeciesLimitExceeded(5))
+        ));
+    }
+
+    #[test]
+    fn generation_limit_bounds_work() {
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule Sx = "CS{n}C" for n in 8..8 init 1.0;
+            rule scission { site bond S ~ S; action disconnect; rate K; }
+            limit generations 1;
+            "#,
+        );
+        // One generation: only the seed's bonds break (9 bonds, but C-S
+        // don't match; 7 S-S bonds giving 4 distinct splits).
+        let products_of_seed: Vec<_> = model
+            .network
+            .reactions()
+            .iter()
+            .filter(|r| model.network.species(r.reactants[0]).name == "Sx_8")
+            .collect();
+        assert_eq!(model.network.reaction_count(), products_of_seed.len());
+    }
+
+    #[test]
+    fn max_chain_helper() {
+        let m = parse_smiles("CSSSSC").unwrap();
+        assert_eq!(max_chain(&m, Element::S), 4);
+        assert_eq!(max_chain(&m, Element::C), 1);
+        assert_eq!(max_chain(&m, Element::O), 0);
+    }
+}

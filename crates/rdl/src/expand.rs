@@ -1,0 +1,195 @@
+//! Molecule variant expansion.
+//!
+//! "Each molecule specified can have variants that arise because many
+//! molecules differ from one another only in the lengths of chains of some
+//! atom (typically sulfur in rubbers). Our input language allows all these
+//! variants to be expressed in a compact form which is then expanded by
+//! the chemical compiler." (§2)
+//!
+//! A template like `CS{n}C for n in 2..4` expands to `CSSC`, `CSSSC`,
+//! `CSSSSC`: the single-atom symbol immediately before `{n}` is repeated
+//! `n` times.
+
+use crate::ast::MoleculeDecl;
+use crate::error::{RdlError, Result};
+
+/// One expanded variant of a molecule declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Display name: the declared name, with `_n` appended for
+    /// parameterized templates.
+    pub name: String,
+    /// Concrete SMILES after substitution.
+    pub smiles: String,
+    /// The variant parameter value, when parameterized.
+    pub n: Option<u32>,
+}
+
+/// Expand a declaration into its variants. Non-parameterized declarations
+/// yield exactly one variant with the declared name.
+pub fn expand(decl: &MoleculeDecl) -> Result<Vec<Variant>> {
+    match decl.variants {
+        None => {
+            if decl.template.contains("{n}") {
+                return Err(RdlError::Syntax {
+                    line: 0,
+                    column: 0,
+                    message: format!(
+                        "molecule '{}' uses {{n}} but has no variant range",
+                        decl.name
+                    ),
+                });
+            }
+            Ok(vec![Variant {
+                name: decl.name.clone(),
+                smiles: decl.template.clone(),
+                n: None,
+            }])
+        }
+        Some((lo, hi)) => {
+            if lo > hi || lo == 0 {
+                return Err(RdlError::BadVariantRange {
+                    molecule: decl.name.clone(),
+                    lo,
+                    hi,
+                });
+            }
+            (lo..=hi)
+                .map(|n| {
+                    Ok(Variant {
+                        name: format!("{}_{}", decl.name, n),
+                        smiles: substitute(&decl.template, n, &decl.name)?,
+                        n: Some(n),
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// Replace every `X{n}` (X a one- or two-letter atom symbol) with X
+/// repeated `n` times.
+fn substitute(template: &str, n: u32, molecule: &str) -> Result<String> {
+    let mut out = String::with_capacity(template.len() + n as usize * 2);
+    let bytes = template.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i..].starts_with(b"{n}") {
+            // Find the atom symbol just written: a trailing uppercase letter
+            // optionally followed by one lowercase letter.
+            let sym = trailing_symbol(&out);
+            let Some(sym) = sym else {
+                return Err(RdlError::Syntax {
+                    line: 0,
+                    column: i,
+                    message: format!(
+                        "molecule '{molecule}': {{n}} must follow an atom symbol in '{template}'"
+                    ),
+                });
+            };
+            // `out` already contains one copy; append n-1 more.
+            for _ in 1..n {
+                out.push_str(&sym);
+            }
+            i += 3;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// The atom symbol at the end of the string: an uppercase letter plus an
+/// optional lowercase letter (e.g. `S`, `Cl`), or a single lowercase
+/// aromatic symbol.
+fn trailing_symbol(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let last = *bytes.last()?;
+    if last.is_ascii_lowercase() {
+        // Could be 2nd char of "Cl"/"Br" or an aromatic atom.
+        if bytes.len() >= 2 && bytes[bytes.len() - 2].is_ascii_uppercase() {
+            return Some(s[s.len() - 2..].to_string());
+        }
+        return Some((last as char).to_string());
+    }
+    if last.is_ascii_uppercase() {
+        return Some((last as char).to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl(name: &str, template: &str, variants: Option<(u32, u32)>) -> MoleculeDecl {
+        MoleculeDecl {
+            name: name.to_string(),
+            template: template.to_string(),
+            variants,
+            initial_concentration: 0.0,
+        }
+    }
+
+    #[test]
+    fn non_parameterized_single_variant() {
+        let vs = expand(&decl("Poly", "CC=CC", None)).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].name, "Poly");
+        assert_eq!(vs[0].smiles, "CC=CC");
+        assert_eq!(vs[0].n, None);
+    }
+
+    #[test]
+    fn sulfur_chain_expansion() {
+        let vs = expand(&decl("Sx", "CS{n}C", Some((2, 4)))).unwrap();
+        assert_eq!(
+            vs.iter().map(|v| v.smiles.as_str()).collect::<Vec<_>>(),
+            vec!["CSSC", "CSSSC", "CSSSSC"]
+        );
+        assert_eq!(vs[0].name, "Sx_2");
+        assert_eq!(vs[2].n, Some(4));
+    }
+
+    #[test]
+    fn n_equals_one_keeps_single_atom() {
+        let vs = expand(&decl("S1", "CS{n}C", Some((1, 1)))).unwrap();
+        assert_eq!(vs[0].smiles, "CSC");
+    }
+
+    #[test]
+    fn two_letter_symbol_repetition() {
+        let vs = expand(&decl("X", "CCl{n}", Some((2, 2)))).unwrap();
+        assert_eq!(vs[0].smiles, "CClCl");
+    }
+
+    #[test]
+    fn multiple_placeholders() {
+        let vs = expand(&decl("X", "S{n}CS{n}", Some((2, 2)))).unwrap();
+        assert_eq!(vs[0].smiles, "SSCSS");
+    }
+
+    #[test]
+    fn bad_range_rejected() {
+        assert!(matches!(
+            expand(&decl("X", "S{n}", Some((3, 2)))),
+            Err(RdlError::BadVariantRange { .. })
+        ));
+        assert!(matches!(
+            expand(&decl("X", "S{n}", Some((0, 2)))),
+            Err(RdlError::BadVariantRange { .. })
+        ));
+    }
+
+    #[test]
+    fn placeholder_without_range_rejected() {
+        assert!(expand(&decl("X", "S{n}", None)).is_err());
+    }
+
+    #[test]
+    fn placeholder_without_symbol_rejected() {
+        assert!(expand(&decl("X", "{n}S", Some((1, 2)))).is_err());
+        assert!(expand(&decl("X", "(S){n}", Some((1, 2)))).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Robustness: arbitrary input must never panic the RDL or RCIP parsers —
+//! only return structured errors.
+
+use proptest::prelude::*;
+
+use rms_rcip::RateTable;
+use rms_rdl::parse_rdl;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary UTF-8 never panics the RDL parser.
+    #[test]
+    fn rdl_parser_total_on_garbage(input in ".{0,200}") {
+        let _ = parse_rdl(&input);
+    }
+
+    /// Keyword-soup inputs (more likely to reach deep parser states)
+    /// never panic either.
+    #[test]
+    fn rdl_parser_total_on_keyword_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "rate", "bound", "molecule", "rule", "site", "action",
+                "limit", "forbid", "on", "bond", "atom", "pair", "order",
+                "single", "disconnect", "connect", "K", "=", ";", "{", "}",
+                "~", "&", "|", "!", "(", ")", "[", "]", "..", "2", "8",
+                "\"CS{n}C\"", "for", "n", "in", "init", "1.0", "chain", "S",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_rdl(&input);
+    }
+
+    /// The RCIP parser/evaluator is total too.
+    #[test]
+    fn rcip_total_on_garbage(input in ".{0,200}") {
+        let _ = RateTable::parse(&input);
+    }
+
+    /// RCIP expression soup.
+    #[test]
+    fn rcip_total_on_expr_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "rate", "bound", "K", "K2", "=", ";", "+", "-", "*", "/",
+                "(", ")", "[", "]", ",", "in", "1", "2.5", "1e300", "0",
+            ]),
+            0..40,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = RateTable::parse(&input);
+    }
+
+    /// SMILES parser is total on arbitrary ASCII.
+    #[test]
+    fn smiles_total_on_garbage(input in "[ -~]{0,60}") {
+        let _ = rms_molecule::parse_smiles(&input);
+    }
+}

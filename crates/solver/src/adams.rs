@@ -1,0 +1,256 @@
+//! Adams–Bashforth–Moulton predictor–corrector (PECE) integrator.
+//!
+//! IMSL's `imsl_f_ode_adams_gear` switches between Adams methods
+//! (non-stiff regime) and Gear BDF (stiff regime); we expose the Adams
+//! side as its own integrator. Fixed 4th order with adaptive step by
+//! predictor–corrector difference, RK4 self-starting.
+
+use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+
+/// Adams–Bashforth 4 coefficients (predictor).
+const AB4: [f64; 4] = [55.0 / 24.0, -59.0 / 24.0, 37.0 / 24.0, -9.0 / 24.0];
+/// Adams–Moulton 4 coefficients (corrector; f(t+1) first).
+const AM4: [f64; 4] = [9.0 / 24.0, 19.0 / 24.0, -5.0 / 24.0, 1.0 / 24.0];
+
+/// Adams PECE integrator.
+pub struct Adams<'a, R: OdeRhs> {
+    rhs: &'a R,
+    options: SolverOptions,
+    /// Current time.
+    pub t: f64,
+    /// Current state.
+    pub y: Vec<f64>,
+    /// Derivative history: `f[0]` = f at current point, `f[i]` = i steps
+    /// back, uniformly spaced by `h`.
+    f_history: Vec<Vec<f64>>,
+    h: f64,
+    stats: SolveStats,
+}
+
+impl<'a, R: OdeRhs> Adams<'a, R> {
+    /// Initialize at `(t0, y0)`.
+    pub fn new(rhs: &'a R, t0: f64, y0: &[f64], options: SolverOptions) -> Adams<'a, R> {
+        assert_eq!(y0.len(), rhs.dim(), "y0 length must equal system dimension");
+        Adams {
+            rhs,
+            options,
+            t: t0,
+            y: y0.to_vec(),
+            f_history: Vec::new(),
+            h: options.h_init.unwrap_or(1e-4),
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Integrate to `tend`.
+    pub fn integrate_to(&mut self, tend: f64) -> Result<(), SolverError> {
+        if tend < self.t {
+            return Err(SolverError::BadInput(format!(
+                "tend {tend} before current t {}",
+                self.t
+            )));
+        }
+        let n = self.y.len();
+        let mut y_pred = vec![0.0; n];
+        let mut f_pred = vec![0.0; n];
+        let mut y_corr = vec![0.0; n];
+        while self.t < tend {
+            if self.stats.steps + self.stats.rejected >= self.options.max_steps {
+                return Err(SolverError::TooManySteps {
+                    t: self.t,
+                    max_steps: self.options.max_steps,
+                });
+            }
+            let h = self.h.min(tend - self.t).min(self.options.h_max);
+            if h < self.options.h_min {
+                return Err(SolverError::StepSizeUnderflow { t: self.t });
+            }
+            if h != self.h {
+                // Non-uniform step: drop history and restart (RK4 priming).
+                self.f_history.clear();
+                self.h = h;
+            }
+
+            if self.f_history.len() < 4 {
+                self.rk4_step()?;
+                continue;
+            }
+
+            // Predictor (AB4).
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, c) in AB4.iter().enumerate() {
+                    acc += c * self.f_history[j][i];
+                }
+                y_pred[i] = self.y[i] + self.h * acc;
+            }
+            // Evaluate.
+            let t_next = self.t + self.h;
+            self.rhs.eval(t_next, &y_pred, &mut f_pred);
+            self.stats.fevals += 1;
+            // Corrector (AM4).
+            for i in 0..n {
+                let mut acc = AM4[0] * f_pred[i];
+                for (j, c) in AM4.iter().enumerate().skip(1) {
+                    acc += c * self.f_history[j - 1][i];
+                }
+                y_corr[i] = self.y[i] + self.h * acc;
+            }
+            if y_corr.iter().any(|v| !v.is_finite()) {
+                return Err(SolverError::NonFiniteDerivative { t: self.t });
+            }
+            // Milne-style error estimate from PC difference.
+            let err_vec: Vec<f64> = y_corr
+                .iter()
+                .zip(&y_pred)
+                .map(|(c, p)| (c - p) * (19.0 / 270.0))
+                .collect();
+            let err = error_norm(&err_vec, &y_corr, self.options.rtol, self.options.atol);
+            if err <= 1.0 {
+                self.t = t_next;
+                self.y.copy_from_slice(&y_corr);
+                // Final E of PECE: evaluate f at the corrected point.
+                let mut f_new = vec![0.0; n];
+                self.rhs.eval(self.t, &self.y, &mut f_new);
+                self.stats.fevals += 1;
+                self.f_history.insert(0, f_new);
+                self.f_history.truncate(4);
+                self.stats.steps += 1;
+                if err < 0.1 {
+                    // Grow (and re-prime, since the spacing changes).
+                    let grown = (self.h * 2.0).min(self.options.h_max);
+                    if grown != self.h {
+                        self.h = grown;
+                        self.f_history.clear();
+                    }
+                }
+            } else {
+                self.stats.rejected += 1;
+                self.h *= 0.5;
+                self.f_history.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// One RK4 priming step at the current `h` (classic Gear/Adams
+    /// startup), recording the derivative history.
+    fn rk4_step(&mut self) -> Result<(), SolverError> {
+        let n = self.y.len();
+        let h = self.h;
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        self.rhs.eval(self.t, &self.y, &mut k1);
+        for i in 0..n {
+            tmp[i] = self.y[i] + 0.5 * h * k1[i];
+        }
+        self.rhs.eval(self.t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = self.y[i] + 0.5 * h * k2[i];
+        }
+        self.rhs.eval(self.t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = self.y[i] + h * k3[i];
+        }
+        self.rhs.eval(self.t + h, &tmp, &mut k4);
+        self.stats.fevals += 4;
+        if self.f_history.is_empty() {
+            self.f_history.insert(0, k1.clone());
+        }
+        for i in 0..n {
+            self.y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        if self.y.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::NonFiniteDerivative { t: self.t });
+        }
+        self.t += h;
+        let mut f_new = vec![0.0; n];
+        self.rhs.eval(self.t, &self.y, &mut f_new);
+        self.stats.fevals += 1;
+        self.f_history.insert(0, f_new);
+        self.f_history.truncate(4);
+        self.stats.steps += 1;
+        Ok(())
+    }
+}
+
+/// Driver mirroring [`crate::bdf::solve_bdf`].
+pub fn solve_adams<R: OdeRhs>(
+    rhs: &R,
+    t0: f64,
+    y0: &[f64],
+    times: &[f64],
+    options: SolverOptions,
+) -> Result<(Vec<Vec<f64>>, SolveStats), SolverError> {
+    let mut solver = Adams::new(rhs, t0, y0, options);
+    let mut out = Vec::with_capacity(times.len());
+    for &t in times {
+        solver.integrate_to(t)?;
+        out.push(solver.y.clone());
+    }
+    Ok((out, solver.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnRhs;
+
+    #[test]
+    fn decay_accuracy() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let (sol, stats) =
+            solve_adams(&rhs, 0.0, &[1.0], &[1.0, 2.0], SolverOptions::default()).unwrap();
+        assert!((sol[0][0] - (-1.0f64).exp()).abs() < 1e-5, "{}", sol[0][0]);
+        assert!((sol[1][0] - (-2.0f64).exp()).abs() < 1e-5);
+        assert!(stats.steps > 4);
+    }
+
+    #[test]
+    fn oscillator_phase() {
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = y[1];
+            ydot[1] = -y[0];
+        });
+        let options = SolverOptions {
+            rtol: 1e-8,
+            atol: 1e-10,
+            ..SolverOptions::default()
+        };
+        let (sol, _) =
+            solve_adams(&rhs, 0.0, &[1.0, 0.0], &[std::f64::consts::PI], options).unwrap();
+        // Half period: y -> (-1, 0).
+        assert!((sol[0][0] + 1.0).abs() < 1e-5, "{}", sol[0][0]);
+        assert!(sol[0][1].abs() < 1e-5);
+    }
+
+    #[test]
+    fn multistep_cheaper_than_rk_per_step() {
+        // At steady spacing, Adams PECE costs 2 fevals/step; RK45 costs 6.
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -0.5 * y[0]);
+        let options = SolverOptions {
+            h_init: Some(0.01),
+            h_max: 0.01, // pin the spacing so no re-priming happens
+            ..SolverOptions::default()
+        };
+        let (_, stats) = solve_adams(&rhs, 0.0, &[1.0], &[10.0], options).unwrap();
+        let per_step = stats.fevals as f64 / stats.steps as f64;
+        assert!(per_step < 2.5, "fevals/step {per_step}");
+        assert!(stats.steps >= 990, "steps {}", stats.steps);
+    }
+
+    #[test]
+    fn rejects_backwards() {
+        let rhs = FnRhs::new(1, |_t, _y: &[f64], ydot: &mut [f64]| ydot[0] = 0.0);
+        let mut solver = Adams::new(&rhs, 5.0, &[0.0], SolverOptions::default());
+        assert!(solver.integrate_to(1.0).is_err());
+    }
+}

@@ -1,0 +1,567 @@
+//! Gear-type BDF stiff solver — our stand-in for IMSL's
+//! `imsl_f_ode_adams_gear`.
+//!
+//! "Because chemical reactions proceed to equilibrium, where molecules and
+//! their variants effectively complete their reactions in different
+//! epochs, the differential equations modeling the behavior of such
+//! systems are stiff. Therefore we use the Adams-Gear solver." (§4.1)
+//!
+//! Implementation: variable-order (1–5), quasi-uniform-step backward
+//! differentiation formulas with a modified-Newton corrector. The
+//! iteration matrix `I − hβJ` is LU-factored and reused until the step,
+//! order, or convergence behaviour forces a refresh; step-size changes
+//! rescale the solution history by polynomial interpolation.
+
+use crate::coloring::{fd_jacobian_colored, SparsityPattern};
+use crate::jacobian::fd_jacobian;
+use crate::linalg::{Lu, Matrix};
+use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+
+/// BDF α coefficients (history weights) and β (f weight) per order.
+/// `y_{n+1} = Σ_i ALPHA[k][i] · y_{n−i} + BETA[k] · h · f(t_{n+1}, y_{n+1})`
+const ALPHA: [&[f64]; 6] = [
+    &[],
+    &[1.0],
+    &[4.0 / 3.0, -1.0 / 3.0],
+    &[18.0 / 11.0, -9.0 / 11.0, 2.0 / 11.0],
+    &[48.0 / 25.0, -36.0 / 25.0, 16.0 / 25.0, -3.0 / 25.0],
+    &[
+        300.0 / 137.0,
+        -300.0 / 137.0,
+        200.0 / 137.0,
+        -75.0 / 137.0,
+        12.0 / 137.0,
+    ],
+];
+const BETA: [f64; 6] = [0.0, 1.0, 2.0 / 3.0, 6.0 / 11.0, 12.0 / 25.0, 60.0 / 137.0];
+
+/// Maximum BDF order (order 6 is not zero-stable enough in practice;
+/// IMSL's Gear implementation also tops out at 5).
+pub const MAX_ORDER: usize = 5;
+
+const NEWTON_MAX_ITERS: usize = 8;
+const NEWTON_TOL: f64 = 0.1; // in units of the weighted error norm
+
+/// Gear BDF integrator state.
+pub struct Bdf<'a, R: OdeRhs> {
+    rhs: &'a R,
+    options: SolverOptions,
+    /// Current time.
+    pub t: f64,
+    /// History: `history[0]` is the current state, `history[i]` the state
+    /// `i` steps back, uniformly spaced by `h`.
+    history: Vec<Vec<f64>>,
+    h: f64,
+    order: usize,
+    /// Cached LU of `I − hβJ` plus the (h, order) it was built for.
+    iter_matrix: Option<(Lu, f64, usize)>,
+    jac: Option<Matrix>,
+    /// Optional Jacobian sparsity with a precomputed column coloring:
+    /// switches finite differencing from n RHS evaluations to one per
+    /// color (see [`crate::coloring`]).
+    sparsity: Option<(SparsityPattern, Vec<u32>, usize)>,
+    stats: SolveStats,
+}
+
+impl<'a, R: OdeRhs> Bdf<'a, R> {
+    /// Initialize at `(t0, y0)`.
+    pub fn new(rhs: &'a R, t0: f64, y0: &[f64], options: SolverOptions) -> Bdf<'a, R> {
+        assert_eq!(y0.len(), rhs.dim(), "y0 length must equal system dimension");
+        Bdf {
+            rhs,
+            options,
+            t: t0,
+            history: vec![y0.to_vec()],
+            h: options.h_init.unwrap_or(1e-6),
+            order: 1,
+            iter_matrix: None,
+            jac: None,
+            sparsity: None,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Provide the Jacobian sparsity pattern; the solver colors its
+    /// columns once and uses compressed finite differences thereafter.
+    pub fn set_sparsity(&mut self, pattern: SparsityPattern) {
+        let (colors, n_colors) = pattern.color_columns();
+        self.sparsity = Some((pattern, colors, n_colors));
+        self.jac = None;
+        self.iter_matrix = None;
+    }
+
+    /// Current state.
+    pub fn y(&self) -> &[f64] {
+        &self.history[0]
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Current order (for tests/diagnostics).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Integrate to `tend`, landing exactly on it.
+    pub fn integrate_to(&mut self, tend: f64) -> Result<(), SolverError> {
+        if tend < self.t {
+            return Err(SolverError::BadInput(format!(
+                "tend {tend} before current t {}",
+                self.t
+            )));
+        }
+        while self.t < tend {
+            if self.stats.steps + self.stats.rejected >= self.options.max_steps {
+                return Err(SolverError::TooManySteps {
+                    t: self.t,
+                    max_steps: self.options.max_steps,
+                });
+            }
+            // Clamp the step to land on tend (rescaling history to match).
+            let remaining = tend - self.t;
+            if self.h > remaining {
+                self.change_step(remaining);
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Take one step of size `self.h` at the current order.
+    fn step(&mut self) -> Result<(), SolverError> {
+        let n = self.history[0].len();
+        loop {
+            let k = self.order.min(self.history.len()).min(MAX_ORDER);
+            let alpha = ALPHA[k];
+            let beta = BETA[k];
+            let t_next = self.t + self.h;
+
+            // Predictor: polynomial extrapolation of the history.
+            let y_pred = self.extrapolate();
+
+            // Ensure a current iteration matrix.
+            self.ensure_iteration_matrix(beta, &y_pred, t_next)?;
+
+            // Constant part of the corrector equation:
+            // y − hβ f(t,y) − Σ αᵢ y_{n−i} = 0.
+            let mut rhs_const = vec![0.0; n];
+            for (i, &a) in alpha.iter().enumerate() {
+                for j in 0..n {
+                    rhs_const[j] += a * self.history[i][j];
+                }
+            }
+
+            // Modified Newton iteration from the predictor.
+            let mut y = y_pred.clone();
+            let mut f = vec![0.0; n];
+            let mut converged = false;
+            let mut residual = vec![0.0; n];
+            for _ in 0..NEWTON_MAX_ITERS {
+                self.rhs.eval(t_next, &y, &mut f);
+                self.stats.fevals += 1;
+                for j in 0..n {
+                    residual[j] = y[j] - beta * self.h * f[j] - rhs_const[j];
+                }
+                if residual.iter().any(|v| !v.is_finite()) {
+                    return Err(SolverError::NonFiniteDerivative { t: self.t });
+                }
+                let (lu, _, _) = self.iter_matrix.as_ref().expect("ensured above");
+                let mut delta = residual.clone();
+                lu.solve_in_place(&mut delta)
+                    .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
+                self.stats.newton_iters += 1;
+                for j in 0..n {
+                    y[j] -= delta[j];
+                }
+                let norm = error_norm(&delta, &y, self.options.rtol, self.options.atol);
+                if norm < NEWTON_TOL {
+                    converged = true;
+                    break;
+                }
+            }
+
+            if !converged {
+                // Refresh Jacobian once; then cut the step.
+                if self.try_recover(t_next, &y_pred, beta)? {
+                    continue;
+                }
+                return Err(SolverError::NewtonDivergence { t: self.t });
+            }
+
+            // Error estimate: corrector minus predictor, scaled for order.
+            let err_vec: Vec<f64> = y
+                .iter()
+                .zip(&y_pred)
+                .map(|(a, b)| (a - b) / (k as f64 + 1.0))
+                .collect();
+            let err = error_norm(&err_vec, &y, self.options.rtol, self.options.atol);
+
+            if err <= 1.0 {
+                // Accept.
+                self.t += self.h;
+                self.history.insert(0, y);
+                let keep = MAX_ORDER + 1;
+                self.history.truncate(keep);
+                self.stats.steps += 1;
+                // Raise order while history allows (classic Gear startup).
+                if self.order < MAX_ORDER && self.history.len() > self.order {
+                    self.order += 1;
+                }
+                // Step growth, conservative.
+                let factor = if err == 0.0 {
+                    2.0
+                } else {
+                    (0.9 * err.powf(-1.0 / (k as f64 + 1.0))).clamp(0.5, 2.0)
+                };
+                if factor > 1.1 || factor < 0.9 {
+                    let new_h = (self.h * factor).min(self.options.h_max);
+                    self.change_step(new_h);
+                }
+                return Ok(());
+            }
+
+            // Reject: shrink the step.
+            self.stats.rejected += 1;
+            let factor = (0.9 * err.powf(-1.0 / (k as f64 + 1.0))).clamp(0.1, 0.5);
+            let new_h = self.h * factor;
+            if new_h < self.options.h_min {
+                return Err(SolverError::StepSizeUnderflow { t: self.t });
+            }
+            // Lower the order as well when failing at high order.
+            if self.order > 1 {
+                self.order -= 1;
+            }
+            self.change_step(new_h);
+        }
+    }
+
+    /// Polynomial extrapolation of the (uniform) history to `t + h`.
+    fn extrapolate(&self) -> Vec<f64> {
+        let m = self.order.min(self.history.len());
+        let n = self.history[0].len();
+        // Lagrange weights for nodes x_i = −i evaluated at x = 1.
+        let mut weights = vec![0.0; m];
+        for (i, w) in weights.iter_mut().enumerate() {
+            let mut num = 1.0;
+            let mut den = 1.0;
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                num *= 1.0 + j as f64; // (x − x_j) at x=1 with x_j = −j
+                den *= j as f64 - i as f64; // (x_i − x_j) = −i + j
+            }
+            *w = num / den;
+        }
+        let mut out = vec![0.0; n];
+        for (i, w) in weights.iter().enumerate() {
+            for j in 0..n {
+                out[j] += w * self.history[i][j];
+            }
+        }
+        out
+    }
+
+    /// Rescale history from spacing `self.h` to `new_h` via polynomial
+    /// interpolation through the existing history points.
+    fn change_step(&mut self, new_h: f64) {
+        if new_h == self.h || self.history.len() == 1 {
+            self.h = new_h;
+            self.iter_matrix = None;
+            return;
+        }
+        let m = self.history.len();
+        let n = self.history[0].len();
+        let ratio = new_h / self.h;
+        let mut new_history = Vec::with_capacity(m);
+        new_history.push(self.history[0].clone());
+        for target in 1..m {
+            // Evaluate the interpolating polynomial through nodes x_i = −i
+            // (old spacing) at x = −target·ratio.
+            let x = -(target as f64) * ratio;
+            let mut point = vec![0.0; n];
+            for i in 0..m {
+                let mut w = 1.0;
+                for j in 0..m {
+                    if i == j {
+                        continue;
+                    }
+                    w *= (x + j as f64) / (j as f64 - i as f64);
+                }
+                for c in 0..n {
+                    point[c] += w * self.history[i][c];
+                }
+            }
+            new_history.push(point);
+        }
+        self.history = new_history;
+        self.h = new_h;
+        self.iter_matrix = None;
+    }
+
+    /// Make sure `iter_matrix` matches the current `(h, order)`.
+    fn ensure_iteration_matrix(&mut self, beta: f64, y: &[f64], t: f64) -> Result<(), SolverError> {
+        let k = self.order;
+        if let Some((_, h_built, k_built)) = &self.iter_matrix {
+            if *h_built == self.h && *k_built == k {
+                return Ok(());
+            }
+        }
+        if self.jac.is_none() {
+            self.refresh_jacobian(t, y);
+        }
+        self.build_lu(beta)?;
+        Ok(())
+    }
+
+    fn refresh_jacobian(&mut self, t: f64, y: &[f64]) {
+        let n = y.len();
+        let mut f = vec![0.0; n];
+        self.rhs.eval(t, y, &mut f);
+        self.stats.fevals += 1;
+        let (jac, fevals) = match &self.sparsity {
+            Some((pattern, colors, n_colors)) => {
+                fd_jacobian_colored(self.rhs, t, y, &f, pattern, colors, *n_colors)
+            }
+            None => fd_jacobian(self.rhs, t, y, &f),
+        };
+        self.stats.fevals += fevals;
+        self.stats.jevals += 1;
+        self.jac = Some(jac);
+    }
+
+    fn build_lu(&mut self, beta: f64) -> Result<(), SolverError> {
+        let jac = self.jac.as_ref().expect("jacobian refreshed");
+        let n = jac.rows();
+        let mut m = Matrix::identity(n);
+        let scale = self.h * beta;
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] -= scale * jac[(i, j)];
+            }
+        }
+        let lu = Lu::factor(&m).map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
+        self.stats.factorizations += 1;
+        self.iter_matrix = Some((lu, self.h, self.order));
+        Ok(())
+    }
+
+    /// Newton failed: refresh the Jacobian (once per step attempt) or cut
+    /// the step. Returns `Ok(true)` to retry the step.
+    fn try_recover(&mut self, t_next: f64, y_pred: &[f64], beta: f64) -> Result<bool, SolverError> {
+        self.stats.rejected += 1;
+        // First remedy: fresh Jacobian at the predicted point.
+        let stale_jacobian = self.jac.is_some();
+        if stale_jacobian {
+            self.refresh_jacobian(t_next, y_pred);
+            self.build_lu(beta)?;
+            // Also cut the step: a stale Jacobian plus a large step is the
+            // common cause.
+        }
+        let new_h = self.h * 0.25;
+        if new_h < self.options.h_min {
+            return Ok(false);
+        }
+        self.order = 1;
+        self.change_step(new_h);
+        Ok(true)
+    }
+}
+
+/// Driver: integrate from `t0`, sampling the state at the requested times.
+pub fn solve_bdf<R: OdeRhs>(
+    rhs: &R,
+    t0: f64,
+    y0: &[f64],
+    times: &[f64],
+    options: SolverOptions,
+) -> Result<(Vec<Vec<f64>>, SolveStats), SolverError> {
+    let mut solver = Bdf::new(rhs, t0, y0, options);
+    let mut out = Vec::with_capacity(times.len());
+    for &t in times {
+        solver.integrate_to(t)?;
+        out.push(solver.y().to_vec());
+    }
+    Ok((out, solver.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnRhs;
+    use crate::rk45::solve_rk45;
+
+    #[test]
+    fn exponential_decay() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -2.0 * y[0]);
+        let (sol, stats) =
+            solve_bdf(&rhs, 0.0, &[1.0], &[1.0, 2.0], SolverOptions::default()).unwrap();
+        assert!((sol[0][0] - (-2.0f64).exp()).abs() < 1e-4, "{}", sol[0][0]);
+        assert!((sol[1][0] - (-4.0f64).exp()).abs() < 1e-4, "{}", sol[1][0]);
+        assert!(stats.jevals >= 1);
+        assert!(stats.factorizations >= 1);
+    }
+
+    #[test]
+    fn order_ramps_up() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let mut solver = Bdf::new(&rhs, 0.0, &[1.0], SolverOptions::default());
+        solver.integrate_to(1.0).unwrap();
+        assert!(solver.order() >= 3, "order stuck at {}", solver.order());
+    }
+
+    #[test]
+    fn stiff_decay_cheap_for_bdf_expensive_for_rk() {
+        // lambda = -1e6 over t in [0, 1]: textbook stiffness.
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -1e6 * y[0]);
+        let options = SolverOptions {
+            max_steps: 100_000,
+            ..SolverOptions::default()
+        };
+        let (sol, bdf_stats) = solve_bdf(&rhs, 0.0, &[1.0], &[1.0], options).unwrap();
+        assert!(sol[0][0].abs() < 1e-6);
+        // RK45 with the same budget fails outright (see rk45 tests) or
+        // needs ~1e6 steps; BDF should be orders of magnitude cheaper.
+        assert!(
+            bdf_stats.steps < 10_000,
+            "BDF took {} steps",
+            bdf_stats.steps
+        );
+        let rk = solve_rk45(
+            &rhs,
+            0.0,
+            &[1.0],
+            &[1.0],
+            SolverOptions {
+                max_steps: bdf_stats.steps * 10,
+                ..SolverOptions::default()
+            },
+        );
+        assert!(rk.is_err(), "RK45 should not manage with 10x BDF's steps");
+    }
+
+    #[test]
+    fn robertson_problem() {
+        // The classic stiff chemistry benchmark.
+        let rhs = FnRhs::new(3, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+            ydot[1] = 0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] * y[1];
+            ydot[2] = 3e7 * y[1] * y[1];
+        });
+        let options = SolverOptions {
+            rtol: 1e-8,
+            atol: 1e-12,
+            max_steps: 200_000,
+            ..SolverOptions::default()
+        };
+        let (sol, _) = solve_bdf(&rhs, 0.0, &[1.0, 0.0, 0.0], &[0.4], options).unwrap();
+        // Reference values (Hairer & Wanner).
+        assert!((sol[0][0] - 0.9851721).abs() < 1e-4, "{}", sol[0][0]);
+        assert!((sol[0][1] - 3.386396e-5).abs() < 1e-6, "{}", sol[0][1]);
+        assert!((sol[0][2] - 0.0147940).abs() < 1e-4, "{}", sol[0][2]);
+        // Mass conservation.
+        let total: f64 = sol[0].iter().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equilibrium_epochs() {
+        // Two species completing reactions in different epochs (the
+        // stiffness pattern §4.1 describes): fast A->B, slow B->C.
+        let rhs = FnRhs::new(3, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -1e5 * y[0];
+            ydot[1] = 1e5 * y[0] - 0.1 * y[1];
+            ydot[2] = 0.1 * y[1];
+        });
+        let (sol, _) = solve_bdf(
+            &rhs,
+            0.0,
+            &[1.0, 0.0, 0.0],
+            &[50.0],
+            SolverOptions {
+                max_steps: 100_000,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        // At t=50: A gone, B ~ exp(-5), C = rest.
+        assert!(sol[0][0].abs() < 1e-8);
+        assert!((sol[0][1] - (-5.0f64).exp()).abs() < 1e-3);
+        let total: f64 = sol[0].iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_landing_on_sample_times() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let times: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
+        let (sol, _) = solve_bdf(&rhs, 0.0, &[1.0], &times, SolverOptions::default()).unwrap();
+        for (t, s) in times.iter().zip(&sol) {
+            assert!(
+                (s[0] - (-t).exp()).abs() < 1e-5,
+                "t={t}: {} vs {}",
+                s[0],
+                (-t).exp()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_jacobian_matches_dense_solution_with_fewer_fevals() {
+        use crate::coloring::SparsityPattern;
+        // Stiff tridiagonal chain.
+        let n = 40;
+        let rhs = FnRhs::new(n, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -1e3 * y[0];
+            for i in 1..y.len() {
+                ydot[i] = 1e3 * y[i - 1] - (1.0 + i as f64) * y[i];
+            }
+        });
+        let y0: Vec<f64> = std::iter::once(1.0)
+            .chain(std::iter::repeat(0.0))
+            .take(n)
+            .collect();
+        let options = SolverOptions {
+            max_steps: 100_000,
+            ..SolverOptions::default()
+        };
+        let mut dense = Bdf::new(&rhs, 0.0, &y0, options);
+        dense.integrate_to(1.0).unwrap();
+        let mut sparse = Bdf::new(&rhs, 0.0, &y0, options);
+        let rows = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![0u32]
+                } else {
+                    vec![i as u32 - 1, i as u32]
+                }
+            })
+            .collect();
+        sparse.set_sparsity(SparsityPattern::new(rows, n));
+        sparse.integrate_to(1.0).unwrap();
+        for (a, b) in dense.y().iter().zip(sparse.y()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        // Newton iterations dominate total fevals; the colored Jacobian
+        // saves (n - n_colors) evaluations per refresh.
+        let saved = dense.stats().fevals - sparse.stats().fevals;
+        assert!(
+            saved >= sparse.stats().jevals * (n / 2),
+            "saved {saved} over {} jacobian refreshes (n = {n})",
+            sparse.stats().jevals
+        );
+    }
+
+    #[test]
+    fn backwards_time_rejected() {
+        let rhs = FnRhs::new(1, |_t, _y: &[f64], ydot: &mut [f64]| ydot[0] = 0.0);
+        let mut solver = Bdf::new(&rhs, 1.0, &[0.0], SolverOptions::default());
+        assert!(matches!(
+            solver.integrate_to(0.0),
+            Err(SolverError::BadInput(_))
+        ));
+    }
+}

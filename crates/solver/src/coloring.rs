@@ -1,0 +1,222 @@
+//! Colored finite-difference Jacobians (Curtis–Powell–Reid).
+//!
+//! A dense FD Jacobian costs one RHS evaluation per state variable —
+//! prohibitive at the paper's 250 000-equation scale. Chemistry Jacobians
+//! are sparse: `∂f_i/∂y_j ≠ 0` only when species `j` appears in
+//! equation `i`. Columns that share no row are *structurally orthogonal*
+//! and can be perturbed together, so the evaluation count drops from `n`
+//! to the number of colors — typically a small constant for reaction
+//! networks.
+
+use crate::linalg::Matrix;
+use crate::problem::OdeRhs;
+
+/// The Jacobian sparsity pattern: `rows[i]` lists the columns (species)
+/// with possibly-nonzero entries in row `i`, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    rows: Vec<Vec<u32>>,
+    n_cols: usize,
+}
+
+impl SparsityPattern {
+    /// Build from per-row column lists (each sorted ascending).
+    pub fn new(rows: Vec<Vec<u32>>, n_cols: usize) -> SparsityPattern {
+        debug_assert!(rows
+            .iter()
+            .all(|r| r.windows(2).all(|w| w[0] < w[1]) && r.iter().all(|&c| (c as usize) < n_cols)));
+        SparsityPattern { rows, n_cols }
+    }
+
+    /// Number of rows (equations).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (state variables).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Columns of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.rows[i]
+    }
+
+    /// Total number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Greedy distance-2 coloring of the columns: two columns sharing any
+    /// row get different colors. Returns `(color_of_column, n_colors)`.
+    pub fn color_columns(&self) -> (Vec<u32>, usize) {
+        let n = self.n_cols;
+        // Column -> rows index for conflict lookup.
+        let mut cols: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, row) in self.rows.iter().enumerate() {
+            for &c in row {
+                cols[c as usize].push(i as u32);
+            }
+        }
+        let mut color = vec![u32::MAX; n];
+        let mut n_colors = 0usize;
+        // Forbidden scratch, reset per column via stamping.
+        let mut forbidden: Vec<u64> = vec![u64::MAX; 0];
+        let mut stamp: u64 = 0;
+        forbidden.resize(n + 1, 0);
+        // Order columns by degree (most constrained first) for fewer colors.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(cols[c].len()));
+        for &c in &order {
+            stamp += 1;
+            for &r in &cols[c] {
+                for &other in &self.rows[r as usize] {
+                    let oc = color[other as usize];
+                    if oc != u32::MAX {
+                        forbidden[oc as usize] = stamp;
+                    }
+                }
+            }
+            let mut pick = 0u32;
+            while forbidden[pick as usize] == stamp {
+                pick += 1;
+            }
+            color[c] = pick;
+            n_colors = n_colors.max(pick as usize + 1);
+        }
+        (color, n_colors)
+    }
+}
+
+/// Colored forward-difference Jacobian: perturb all same-colored columns
+/// at once and attribute each row's difference to that row's unique
+/// column of the color. Returns the (dense-storage) Jacobian and the
+/// number of RHS evaluations used (= number of colors).
+pub fn fd_jacobian_colored<R: OdeRhs>(
+    rhs: &R,
+    t: f64,
+    y: &[f64],
+    f_at_y: &[f64],
+    pattern: &SparsityPattern,
+    colors: &[u32],
+    n_colors: usize,
+) -> (Matrix, usize) {
+    let n = y.len();
+    debug_assert_eq!(pattern.n_cols(), n);
+    let mut jac = Matrix::zeros(pattern.n_rows(), n);
+    let mut y_pert = y.to_vec();
+    let mut f_pert = vec![0.0; pattern.n_rows()];
+    let sqrt_eps = f64::EPSILON.sqrt();
+    let mut steps = vec![0.0; n];
+    for color in 0..n_colors as u32 {
+        // Perturb every column of this color.
+        for j in 0..n {
+            if colors[j] == color {
+                let h = sqrt_eps * y[j].abs().max(1e-8);
+                y_pert[j] = y[j] + h;
+                steps[j] = y_pert[j] - y[j];
+            }
+        }
+        rhs.eval(t, &y_pert, &mut f_pert);
+        // Each row has at most one perturbed column of this color.
+        for (i, row) in (0..pattern.n_rows()).map(|i| (i, pattern.row(i))) {
+            for &jc in row {
+                let j = jc as usize;
+                if colors[j] == color {
+                    jac[(i, j)] = (f_pert[i] - f_at_y[i]) / steps[j];
+                }
+            }
+        }
+        for j in 0..n {
+            if colors[j] == color {
+                y_pert[j] = y[j];
+            }
+        }
+    }
+    (jac, n_colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::fd_jacobian;
+    use crate::problem::FnRhs;
+
+    /// Tridiagonal decay chain: y_i' = y_{i-1} - y_i.
+    fn chain_pattern(n: usize) -> SparsityPattern {
+        let rows = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![0u32]
+                } else {
+                    vec![i as u32 - 1, i as u32]
+                }
+            })
+            .collect();
+        SparsityPattern::new(rows, n)
+    }
+
+    #[test]
+    fn chain_colors_constant() {
+        for n in [2usize, 10, 100, 1000] {
+            let p = chain_pattern(n);
+            let (colors, n_colors) = p.color_columns();
+            assert!(n_colors <= 3, "chain needed {n_colors} colors at n={n}");
+            // Validity: no two columns in one row share a color.
+            for i in 0..p.n_rows() {
+                let row = p.row(i);
+                for a in 0..row.len() {
+                    for b in (a + 1)..row.len() {
+                        assert_ne!(colors[row[a] as usize], colors[row[b] as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_row_forces_n_colors() {
+        // One row touching every column: all columns conflict.
+        let n = 8;
+        let mut rows = vec![(0..n as u32).collect::<Vec<_>>()];
+        rows.extend((1..n).map(|i| vec![i as u32]));
+        let p = SparsityPattern::new(rows, n);
+        let (_, n_colors) = p.color_columns();
+        assert_eq!(n_colors, n);
+    }
+
+    #[test]
+    fn colored_matches_dense_fd() {
+        let n = 30;
+        let rhs = FnRhs::new(n, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -y[0];
+            for i in 1..y.len() {
+                ydot[i] = y[i - 1] * y[i - 1] - 0.5 * y[i];
+            }
+        });
+        let y: Vec<f64> = (0..n).map(|i| 0.3 + 0.05 * i as f64).collect();
+        let mut f = vec![0.0; n];
+        rhs.eval(0.0, &y, &mut f);
+        let (dense, dense_evals) = fd_jacobian(&rhs, 0.0, &y, &f);
+        let pattern = chain_pattern(n);
+        let (colors, n_colors) = pattern.color_columns();
+        let (colored, evals) = fd_jacobian_colored(&rhs, 0.0, &y, &f, &pattern, &colors, n_colors);
+        assert!(evals < dense_evals, "{evals} vs {dense_evals}");
+        for i in 0..n {
+            for &j in pattern.row(i) {
+                let (a, b) = (dense[(i, j as usize)], colored[(i, j as usize)]);
+                assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_and_accessors() {
+        let p = chain_pattern(4);
+        assert_eq!(p.n_rows(), 4);
+        assert_eq!(p.n_cols(), 4);
+        assert_eq!(p.nnz(), 1 + 2 + 2 + 2);
+        assert_eq!(p.row(2), &[1, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Finite-difference Jacobians for the implicit solvers.
+
+use crate::linalg::Matrix;
+use crate::problem::OdeRhs;
+
+/// Dense forward-difference Jacobian `J[i][j] = df_i/dy_j` at `(t, y)`.
+/// `f_at_y` is the already-computed `f(t, y)` (saves one evaluation);
+/// returns the Jacobian and the number of RHS evaluations used.
+pub fn fd_jacobian<R: OdeRhs>(rhs: &R, t: f64, y: &[f64], f_at_y: &[f64]) -> (Matrix, usize) {
+    let n = y.len();
+    let mut jac = Matrix::zeros(n, n);
+    let mut y_pert = y.to_vec();
+    let mut f_pert = vec![0.0; n];
+    let sqrt_eps = f64::EPSILON.sqrt();
+    for j in 0..n {
+        let h = sqrt_eps * y[j].abs().max(1e-8);
+        y_pert[j] = y[j] + h;
+        let h_actual = y_pert[j] - y[j]; // exact representable step
+        rhs.eval(t, &y_pert, &mut f_pert);
+        for i in 0..n {
+            jac[(i, j)] = (f_pert[i] - f_at_y[i]) / h_actual;
+        }
+        y_pert[j] = y[j];
+    }
+    (jac, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnRhs;
+
+    #[test]
+    fn linear_system_exact() {
+        // f = A y with A = [[-2, 1], [0.5, -3]]: J == A everywhere.
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -2.0 * y[0] + y[1];
+            ydot[1] = 0.5 * y[0] - 3.0 * y[1];
+        });
+        let y = [1.3, -0.7];
+        let mut f = vec![0.0; 2];
+        rhs.eval(0.0, &y, &mut f);
+        let (jac, fevals) = fd_jacobian(&rhs, 0.0, &y, &f);
+        assert_eq!(fevals, 2);
+        assert!((jac[(0, 0)] + 2.0).abs() < 1e-6);
+        assert!((jac[(0, 1)] - 1.0).abs() < 1e-6);
+        assert!((jac[(1, 0)] - 0.5).abs() < 1e-6);
+        assert!((jac[(1, 1)] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_mass_action() {
+        // f0 = -k*y0*y1 : df0/dy0 = -k*y1, df0/dy1 = -k*y0
+        let k = 2.5;
+        let rhs = FnRhs::new(2, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -k * y[0] * y[1];
+            ydot[1] = k * y[0] * y[1];
+        });
+        let y = [0.8, 0.4];
+        let mut f = vec![0.0; 2];
+        rhs.eval(0.0, &y, &mut f);
+        let (jac, _) = fd_jacobian(&rhs, 0.0, &y, &f);
+        assert!((jac[(0, 0)] + k * y[1]).abs() < 1e-5);
+        assert!((jac[(0, 1)] + k * y[0]).abs() < 1e-5);
+        assert!((jac[(1, 0)] - k * y[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_zero_state() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -y[0];
+        });
+        let y = [0.0];
+        let mut f = vec![0.0; 1];
+        rhs.eval(0.0, &y, &mut f);
+        let (jac, _) = fd_jacobian(&rhs, 0.0, &y, &f);
+        assert!((jac[(0, 0)] + 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rms-solver — ODE solvers and dense linear algebra
+//!
+//! The runtime substrate replacing the IMSL libraries of the paper's §4:
+//!
+//! * [`bdf`]: Gear-type BDF(1–5) stiff solver with modified Newton — the
+//!   `imsl_f_ode_adams_gear` replacement used for chemistry (reactions
+//!   reach equilibria in different epochs, so the ODEs are stiff);
+//! * [`adams`]: Adams–Bashforth–Moulton PECE (the Adams side of
+//!   Adams-Gear) for non-stiff problems;
+//! * [`rk45`]: Dormand–Prince 5(4), standing in for IMSL's
+//!   Runge–Kutta–Verner 5(6) (`imsl_f_ode_runge_kutta`);
+//! * [`linalg`]: dense LU with partial pivoting for the Newton iteration
+//!   matrices;
+//! * [`jacobian`]: forward-difference dense Jacobians.
+
+#![warn(missing_docs)]
+
+pub mod adams;
+pub mod bdf;
+pub mod coloring;
+pub mod jacobian;
+pub mod linalg;
+pub mod problem;
+pub mod rk45;
+
+pub use adams::{solve_adams, Adams};
+pub use bdf::{solve_bdf, Bdf, MAX_ORDER};
+pub use coloring::{fd_jacobian_colored, SparsityPattern};
+pub use jacobian::fd_jacobian;
+pub use linalg::{LinalgError, Lu, Matrix};
+pub use problem::{error_norm, FnRhs, OdeRhs, SolveStats, SolverError, SolverOptions};
+pub use rk45::{solve_rk45, Rk45};

@@ -1,0 +1,333 @@
+//! Dense linear algebra: the minimum needed by an implicit stiff solver —
+//! a column-major-agnostic dense matrix, LU factorization with partial
+//! pivoting, and triangular solves.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Linear-algebra errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular to working precision (pivot column index).
+    Singular(usize),
+    /// Dimension mismatch in an operation.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular(col) => write!(f, "matrix singular at column {col}"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice of rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Raw data access (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data access (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// LU factorization with partial pivoting: `P A = L U`, stored packed.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: `pivots[k]` is the row swapped into position k at
+    /// step k.
+    pivots: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorize a square matrix.
+    pub fn factor(a: &Matrix) -> Result<Lu, LinalgError> {
+        if a.rows != a.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            // Pivot selection.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(LinalgError::Singular(k));
+            }
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            // Elimination.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upper = lu[(k, j)];
+                    lu[(i, j)] -= factor * upper;
+                }
+            }
+        }
+        Ok(Lu { lu, pivots })
+    }
+
+    /// Solve `A x = b`, overwriting `b` with the solution.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        // Apply permutation.
+        for k in 0..n {
+            let p = self.pivots[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+        // Forward substitution (unit lower).
+        for i in 1..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * b[j];
+            }
+            b[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * b[j];
+            }
+            b[i] = sum / self.lu[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// Solve returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Inverse of the factored matrix (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.lu.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            col.iter_mut().for_each(|v| *v = 0.0);
+            col[j] = 1.0;
+            self.solve_in_place(&mut col)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let lu = Lu::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_required() {
+        // Zero on the diagonal: fails without pivoting.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular(_))));
+    }
+
+    #[test]
+    fn residual_small_random() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 20] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(i, i)] += 3.0; // diagonally dominant => well-conditioned
+            }
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = a.matvec(&xs).unwrap();
+            let lu = Lu::factor(&a).unwrap();
+            let solved = lu.solve(&b).unwrap();
+            for (expect, got) in xs.iter().zip(&solved) {
+                assert!((expect - got).abs() < 1e-9, "{expect} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![-1.0, 7.0]);
+        assert_eq!(a.norm_inf(), 7.0);
+        assert_eq!(a.matvec(&[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.0, 0.5, 4.0]]);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        for i in 0..3 {
+            let e_i: Vec<f64> = (0..3).map(|j| if i == j { 1.0 } else { 0.0 }).collect();
+            let ax = a.matvec(
+                &inv.data()[i..]
+                    .iter()
+                    .step_by(3)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            );
+            // Column i of inv: inv[(_, i)]
+            let col: Vec<f64> = (0..3).map(|r| inv[(r, i)]).collect();
+            let prod = a.matvec(&col).unwrap();
+            drop(ax);
+            for (p, e) in prod.iter().zip(&e_i) {
+                assert!((p - e).abs() < 1e-12, "{p} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_factor_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(Lu::factor(&a).unwrap_err(), LinalgError::DimensionMismatch);
+    }
+}

@@ -1,0 +1,182 @@
+//! The ODE problem interface and solver configuration.
+
+/// A first-order ODE right-hand side `y' = f(t, y)`.
+///
+/// Chemistry systems are autonomous (no explicit `t`), but the interface
+/// carries `t` for generality and for test problems with closed forms.
+pub trait OdeRhs {
+    /// System dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluate `f(t, y)` into `ydot`.
+    fn eval(&self, t: f64, y: &[f64], ydot: &mut [f64]);
+}
+
+/// Wrap a closure as an [`OdeRhs`].
+pub struct FnRhs<F: Fn(f64, &[f64], &mut [f64])> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnRhs<F> {
+    /// Create from a dimension and closure.
+    pub fn new(dim: usize, f: F) -> FnRhs<F> {
+        FnRhs { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeRhs for FnRhs<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&self, t: f64, y: &[f64], ydot: &mut [f64]) {
+        (self.f)(t, y, ydot)
+    }
+}
+
+impl<T: OdeRhs + ?Sized> OdeRhs for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn eval(&self, t: f64, y: &[f64], ydot: &mut [f64]) {
+        (**self).eval(t, y, ydot)
+    }
+}
+
+/// Solver tolerances and limits (IMSL-style defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Absolute tolerance.
+    pub atol: f64,
+    /// Initial step size (`None` = choose automatically).
+    pub h_init: Option<f64>,
+    /// Smallest permitted step.
+    pub h_min: f64,
+    /// Largest permitted step (`INFINITY` = unbounded).
+    pub h_max: f64,
+    /// Step budget per `solve` call.
+    pub max_steps: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            rtol: 1e-6,
+            atol: 1e-9,
+            h_init: None,
+            h_min: 1e-14,
+            h_max: f64::INFINITY,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Accepted steps.
+    pub steps: usize,
+    /// Rejected (error-test-failed) steps.
+    pub rejected: usize,
+    /// Right-hand-side evaluations.
+    pub fevals: usize,
+    /// Jacobian evaluations (implicit solvers).
+    pub jevals: usize,
+    /// LU factorizations (implicit solvers).
+    pub factorizations: usize,
+    /// Newton iterations (implicit solvers).
+    pub newton_iters: usize,
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // `t` is always "the time the failure occurred"
+pub enum SolverError {
+    /// Step size underflowed `h_min` at time `t`.
+    StepSizeUnderflow { t: f64 },
+    /// `max_steps` exhausted before reaching the end time.
+    TooManySteps { t: f64, max_steps: usize },
+    /// Newton iteration failed to converge and the step could not be
+    /// reduced further.
+    NewtonDivergence { t: f64 },
+    /// The iteration matrix became singular.
+    SingularIterationMatrix { t: f64 },
+    /// The right-hand side produced a non-finite value.
+    NonFiniteDerivative { t: f64 },
+    /// Inconsistent arguments (e.g. `tend <= t0` or wrong y0 length).
+    BadInput(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::StepSizeUnderflow { t } => write!(f, "step size underflow at t={t}"),
+            SolverError::TooManySteps { t, max_steps } => {
+                write!(f, "exceeded {max_steps} steps at t={t}")
+            }
+            SolverError::NewtonDivergence { t } => write!(f, "Newton divergence at t={t}"),
+            SolverError::SingularIterationMatrix { t } => {
+                write!(f, "singular iteration matrix at t={t}")
+            }
+            SolverError::NonFiniteDerivative { t } => {
+                write!(f, "non-finite derivative at t={t}")
+            }
+            SolverError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Weighted RMS error norm used by every error test:
+/// `sqrt(mean((e_i / (atol + rtol*|y_i|))^2))`.
+pub fn error_norm(err: &[f64], y: &[f64], rtol: f64, atol: f64) -> f64 {
+    let n = err.len().max(1);
+    let sum: f64 = err
+        .iter()
+        .zip(y)
+        .map(|(e, yv)| {
+            let w = atol + rtol * yv.abs();
+            (e / w) * (e / w)
+        })
+        .sum();
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_rhs_wraps_closure() {
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -y[0];
+            ydot[1] = y[0];
+        });
+        assert_eq!(rhs.dim(), 2);
+        let mut out = vec![0.0; 2];
+        rhs.eval(0.0, &[2.0, 0.0], &mut out);
+        assert_eq!(out, vec![-2.0, 2.0]);
+    }
+
+    #[test]
+    fn error_norm_scales() {
+        // err equal to tolerance weights -> norm 1.
+        let y = [1.0, 10.0];
+        let rtol = 1e-3;
+        let atol = 1e-6;
+        let err = [atol + rtol * 1.0, atol + rtol * 10.0];
+        let norm = error_norm(&err, &y, rtol, atol);
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_options_sane() {
+        let o = SolverOptions::default();
+        assert!(o.rtol > 0.0 && o.atol > 0.0 && o.max_steps > 0);
+    }
+}

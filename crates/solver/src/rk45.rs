@@ -1,0 +1,331 @@
+//! Adaptive explicit Runge–Kutta for non-stiff systems.
+//!
+//! The paper uses IMSL's `imsl_f_ode_runge_kutta` (Runge–Kutta–Verner
+//! 5(6)) for non-stiff problems. We substitute the Dormand–Prince 5(4)
+//! embedded pair — the same family and adaptive-order-5 role; the
+//! substitution is recorded in DESIGN.md.
+
+use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+
+/// Dormand–Prince coefficients.
+const A: [[f64; 6]; 6] = [
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+    [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+    [
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        0.0,
+        0.0,
+    ],
+    [
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        0.0,
+    ],
+    [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+];
+const C: [f64; 6] = [1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+/// 5th-order solution weights (same as the last A row: FSAL).
+const B5: [f64; 7] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+    0.0,
+];
+/// 4th-order embedded weights.
+const B4: [f64; 7] = [
+    5179.0 / 57600.0,
+    0.0,
+    7571.0 / 16695.0,
+    393.0 / 640.0,
+    -92097.0 / 339200.0,
+    187.0 / 2100.0,
+    1.0 / 40.0,
+];
+
+/// Adaptive RK45 integrator state.
+pub struct Rk45<'a, R: OdeRhs> {
+    rhs: &'a R,
+    options: SolverOptions,
+    /// Current time.
+    pub t: f64,
+    /// Current state.
+    pub y: Vec<f64>,
+    h: f64,
+    k: [Vec<f64>; 7],
+    stats: SolveStats,
+    /// FSAL: k[0] holds f(t, y) when true.
+    fsal_valid: bool,
+}
+
+impl<'a, R: OdeRhs> Rk45<'a, R> {
+    /// Initialize at `(t0, y0)`.
+    pub fn new(rhs: &'a R, t0: f64, y0: &[f64], options: SolverOptions) -> Rk45<'a, R> {
+        let n = rhs.dim();
+        assert_eq!(y0.len(), n, "y0 length must equal system dimension");
+        Rk45 {
+            rhs,
+            options,
+            t: t0,
+            y: y0.to_vec(),
+            h: options.h_init.unwrap_or(0.0),
+            k: std::array::from_fn(|_| vec![0.0; n]),
+            stats: SolveStats::default(),
+            fsal_valid: false,
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Integrate to `tend`, stopping exactly there.
+    pub fn integrate_to(&mut self, tend: f64) -> Result<(), SolverError> {
+        if tend < self.t {
+            return Err(SolverError::BadInput(format!(
+                "tend {tend} before current t {}",
+                self.t
+            )));
+        }
+        let n = self.y.len();
+        if self.h == 0.0 {
+            self.h = self.initial_step(tend);
+        }
+        let mut y_next = vec![0.0; n];
+        let mut y_err = vec![0.0; n];
+        let mut stage = vec![0.0; n];
+        while self.t < tend {
+            if self.stats.steps + self.stats.rejected >= self.options.max_steps {
+                return Err(SolverError::TooManySteps {
+                    t: self.t,
+                    max_steps: self.options.max_steps,
+                });
+            }
+            let h = self.h.min(tend - self.t).min(self.options.h_max);
+            if h < self.options.h_min {
+                return Err(SolverError::StepSizeUnderflow { t: self.t });
+            }
+            // Stage 0 (FSAL reuse).
+            if !self.fsal_valid {
+                let (k0, y) = (&mut self.k[0], &self.y);
+                self.rhs.eval(self.t, y, k0);
+                self.stats.fevals += 1;
+            }
+            // Stages 1..6.
+            for s in 0..6 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, a) in A[s].iter().enumerate().take(s + 1) {
+                        acc += a * self.k[j][i];
+                    }
+                    stage[i] = self.y[i] + h * acc;
+                }
+                let t_stage = self.t + C[s] * h;
+                let ks = &mut self.k[s + 1];
+                self.rhs.eval(t_stage, &stage, ks);
+                self.stats.fevals += 1;
+            }
+            // Solution and error estimate.
+            for i in 0..n {
+                let mut acc5 = 0.0;
+                let mut acc4 = 0.0;
+                for j in 0..7 {
+                    acc5 += B5[j] * self.k[j][i];
+                    acc4 += B4[j] * self.k[j][i];
+                }
+                y_next[i] = self.y[i] + h * acc5;
+                y_err[i] = h * (acc5 - acc4);
+            }
+            if y_next.iter().any(|v| !v.is_finite()) {
+                return Err(SolverError::NonFiniteDerivative { t: self.t });
+            }
+            let err = error_norm(&y_err, &y_next, self.options.rtol, self.options.atol);
+            if err <= 1.0 {
+                // Accept.
+                self.t += h;
+                self.y.copy_from_slice(&y_next);
+                // FSAL: stage 7 (k[6]) was evaluated at (t+h, y_next).
+                self.k.swap(0, 6);
+                self.fsal_valid = true;
+                self.stats.steps += 1;
+                let factor = if err == 0.0 {
+                    5.0
+                } else {
+                    (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+                };
+                self.h = (h * factor).min(self.options.h_max);
+            } else {
+                self.stats.rejected += 1;
+                self.fsal_valid = false;
+                self.h = h * (0.9 * err.powf(-0.2)).clamp(0.1, 0.9);
+            }
+        }
+        Ok(())
+    }
+
+    /// Simple initial-step heuristic based on the scale of f(t0, y0).
+    fn initial_step(&mut self, tend: f64) -> f64 {
+        let n = self.y.len();
+        let mut f0 = vec![0.0; n];
+        self.rhs.eval(self.t, &self.y, &mut f0);
+        self.stats.fevals += 1;
+        let d0 = error_norm(&self.y, &self.y, self.options.rtol, self.options.atol).max(1e-10);
+        let d1 = error_norm(&f0, &self.y, self.options.rtol, self.options.atol).max(1e-10);
+        let h0 = 0.01 * (d0 / d1);
+        h0.min((tend - self.t) / 10.0)
+            .max(self.options.h_min * 10.0)
+    }
+}
+
+/// Convenience driver: integrate from `t0`, returning the state at each
+/// requested time (times must be non-decreasing and ≥ t0).
+pub fn solve_rk45<R: OdeRhs>(
+    rhs: &R,
+    t0: f64,
+    y0: &[f64],
+    times: &[f64],
+    options: SolverOptions,
+) -> Result<(Vec<Vec<f64>>, SolveStats), SolverError> {
+    let mut solver = Rk45::new(rhs, t0, y0, options);
+    let mut out = Vec::with_capacity(times.len());
+    for &t in times {
+        solver.integrate_to(t)?;
+        out.push(solver.y.clone());
+    }
+    Ok((out, solver.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnRhs;
+
+    #[test]
+    fn exponential_decay_matches_closed_form() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -2.0 * y[0]);
+        let (sol, stats) = solve_rk45(
+            &rhs,
+            0.0,
+            &[1.0],
+            &[0.5, 1.0, 2.0],
+            SolverOptions::default(),
+        )
+        .unwrap();
+        for (t, s) in [0.5, 1.0, 2.0].iter().zip(&sol) {
+            let exact = (-2.0 * *t as f64).exp();
+            assert!((s[0] - exact).abs() < 1e-6, "t={t}: {} vs {exact}", s[0]);
+        }
+        assert!(stats.steps > 0);
+        assert!(stats.fevals > stats.steps);
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy() {
+        // y'' = -y as a system; after one full period the state returns.
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = y[1];
+            ydot[1] = -y[0];
+        });
+        let two_pi = std::f64::consts::TAU;
+        let options = SolverOptions {
+            rtol: 1e-9,
+            atol: 1e-12,
+            ..SolverOptions::default()
+        };
+        let (sol, _) = solve_rk45(&rhs, 0.0, &[1.0, 0.0], &[two_pi], options).unwrap();
+        assert!((sol[0][0] - 1.0).abs() < 1e-7, "{}", sol[0][0]);
+        assert!(sol[0][1].abs() < 1e-7, "{}", sol[0][1]);
+    }
+
+    #[test]
+    fn tolerance_controls_accuracy() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let loose = SolverOptions {
+            rtol: 1e-3,
+            atol: 1e-6,
+            ..SolverOptions::default()
+        };
+        let tight = SolverOptions {
+            rtol: 1e-10,
+            atol: 1e-13,
+            ..SolverOptions::default()
+        };
+        let (_, s_loose) = solve_rk45(&rhs, 0.0, &[1.0], &[5.0], loose).unwrap();
+        let (_, s_tight) = solve_rk45(&rhs, 0.0, &[1.0], &[5.0], tight).unwrap();
+        assert!(s_tight.steps > s_loose.steps);
+    }
+
+    #[test]
+    fn mass_action_two_species() {
+        // A + B -> C with k=1, equal initial: closed form y_A = 1/(1+t).
+        let rhs = FnRhs::new(3, |_t, y: &[f64], ydot: &mut [f64]| {
+            let r = y[0] * y[1];
+            ydot[0] = -r;
+            ydot[1] = -r;
+            ydot[2] = r;
+        });
+        let (sol, _) = solve_rk45(
+            &rhs,
+            0.0,
+            &[1.0, 1.0, 0.0],
+            &[1.0, 3.0],
+            SolverOptions::default(),
+        )
+        .unwrap();
+        assert!((sol[0][0] - 0.5).abs() < 1e-6);
+        assert!((sol[1][0] - 0.25).abs() < 1e-6);
+        // conservation: A + C constant
+        assert!((sol[1][0] + sol[1][2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backwards_time_rejected() {
+        let rhs = FnRhs::new(1, |_t, _y: &[f64], ydot: &mut [f64]| ydot[0] = 0.0);
+        let mut solver = Rk45::new(&rhs, 1.0, &[0.0], SolverOptions::default());
+        assert!(matches!(
+            solver.integrate_to(0.5),
+            Err(SolverError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn stiff_problem_forces_tiny_steps() {
+        // Stiff decay: lambda = -1e6. RK45 stability forces h ~ 1e-6-ish,
+        // so crossing t=1 costs enormous step counts — this is the
+        // motivation for the Adams-Gear solver (§4.1).
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -1e6 * y[0]);
+        let options = SolverOptions {
+            max_steps: 2_000,
+            ..SolverOptions::default()
+        };
+        let result = solve_rk45(&rhs, 0.0, &[1.0], &[1.0], options);
+        assert!(matches!(result, Err(SolverError::TooManySteps { .. })));
+    }
+
+    #[test]
+    fn sampling_at_many_times_consistent_with_single_run() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let times: Vec<f64> = (1..=50).map(|i| i as f64 * 0.1).collect();
+        let (sol, _) = solve_rk45(&rhs, 0.0, &[1.0], &times, SolverOptions::default()).unwrap();
+        for (t, s) in times.iter().zip(&sol) {
+            assert!((s[0] - (-t).exp()).abs() < 1e-6);
+        }
+    }
+}

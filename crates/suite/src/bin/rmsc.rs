@@ -1,0 +1,12 @@
+//! `rmsc` — the Reaction Modeling Suite command-line driver.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rms_suite::cli::parse_args(&args).and_then(|cmd| rms_suite::cli::run(&cmd)) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("rmsc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! The `rmsc` command-line driver: compile, inspect, simulate, and fit
+//! RDL models from the shell. All logic lives here (pure functions over
+//! parsed arguments) so it is unit-testable; `src/bin/rmsc.rs` is a thin
+//! wrapper.
+
+use std::path::{Path, PathBuf};
+
+use rms_nlopt::FitStatistics;
+use rms_parallel::ExperimentFile;
+
+use crate::{compile_source, LmOptions, OptLevel, ParallelEstimator, SolverOptions, SuiteModel};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compile an RDL file and print one of its artifacts.
+    Compile {
+        /// RDL source path.
+        input: PathBuf,
+        /// Optimization level.
+        level: OptLevel,
+        /// What to print.
+        emit: Emit,
+    },
+    /// Integrate the model and print a concentration table.
+    Simulate {
+        /// RDL source path.
+        input: PathBuf,
+        /// Optimization level.
+        level: OptLevel,
+        /// Final time.
+        tend: f64,
+        /// Number of equally spaced output rows.
+        steps: usize,
+        /// Species to print (empty = all).
+        observe: Vec<String>,
+    },
+    /// Synthesize experiment files from the model's nominal kinetics.
+    Synthesize {
+        /// RDL source path.
+        input: PathBuf,
+        /// Species whose summed concentration is the measured property.
+        observe: Vec<String>,
+        /// Output directory for `formulation_XX.dat`.
+        out_dir: PathBuf,
+        /// Number of files.
+        files: usize,
+        /// Records per file.
+        records: usize,
+        /// Cure horizon.
+        tend: f64,
+    },
+    /// Fit the model's bounded rate constants to experiment files.
+    Estimate {
+        /// RDL source path.
+        input: PathBuf,
+        /// Directory of `.dat` files.
+        data_dir: PathBuf,
+        /// Observed species (summed).
+        observe: Vec<String>,
+        /// Worker ranks.
+        workers: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// What `rmsc compile` prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emit {
+    /// The reaction network in Fig. 3 form.
+    Network,
+    /// The ODE system in Fig. 5 form.
+    Odes,
+    /// The generated C function.
+    C,
+    /// Optimizer stage statistics.
+    Stats,
+    /// Linear conservation laws of the network.
+    Conservation,
+}
+
+/// CLI errors (argument or execution).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rmsc — Reaction Modeling Suite driver
+
+USAGE:
+  rmsc compile  <model.rdl> [--level none|simplify|algebraic|full]
+                [--emit network|odes|c|stats|conservation]
+  rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
+  rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
+  rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
+  rmsc help
+";
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_level(args: &[String]) -> Result<OptLevel, CliError> {
+    match flag_value(args, "--level") {
+        None | Some("full") => Ok(OptLevel::Full),
+        Some("none") => Ok(OptLevel::None),
+        Some("simplify") => Ok(OptLevel::Simplify),
+        Some("algebraic") => Ok(OptLevel::Algebraic),
+        Some(other) => Err(err(format!("unknown --level '{other}'"))),
+    }
+}
+
+fn parse_observe(args: &[String]) -> Vec<String> {
+    flag_value(args, "--observe")
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default()
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, CliError> {
+    match flag_value(args, key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("{key} takes a number, got '{v}'"))),
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let input = |idx: usize| -> Result<PathBuf, CliError> {
+        args.get(idx)
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from)
+            .ok_or_else(|| err("expected a model file path"))
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "compile" => Ok(Command::Compile {
+            input: input(1)?,
+            level: parse_level(args)?,
+            emit: match flag_value(args, "--emit") {
+                None | Some("stats") => Emit::Stats,
+                Some("network") => Emit::Network,
+                Some("odes") => Emit::Odes,
+                Some("c") => Emit::C,
+                Some("conservation") => Emit::Conservation,
+                Some(other) => return Err(err(format!("unknown --emit '{other}'"))),
+            },
+        }),
+        "simulate" => Ok(Command::Simulate {
+            input: input(1)?,
+            level: parse_level(args)?,
+            tend: parse_num(args, "--tend", 1.0)?,
+            steps: parse_num(args, "--steps", 10)?,
+            observe: parse_observe(args),
+        }),
+        "synthesize" => Ok(Command::Synthesize {
+            input: input(1)?,
+            observe: parse_observe(args),
+            out_dir: flag_value(args, "--out")
+                .map(PathBuf::from)
+                .ok_or_else(|| err("synthesize requires --out DIR"))?,
+            files: parse_num(args, "--files", 16)?,
+            records: parse_num(args, "--records", 200)?,
+            tend: parse_num(args, "--tend", 2.0)?,
+        }),
+        "estimate" => Ok(Command::Estimate {
+            input: input(1)?,
+            data_dir: flag_value(args, "--data")
+                .map(PathBuf::from)
+                .ok_or_else(|| err("estimate requires --data DIR"))?,
+            observe: parse_observe(args),
+            workers: parse_num(args, "--workers", 2)?,
+        }),
+        other => Err(err(format!("unknown subcommand '{other}'\n{USAGE}"))),
+    }
+}
+
+fn load_model(path: &Path, level: OptLevel) -> Result<SuiteModel, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    compile_source(&source, level).map_err(|e| err(e.to_string()))
+}
+
+fn observable_or_all(model: &SuiteModel, observe: &[String]) -> Result<Vec<f64>, CliError> {
+    let mut weights = vec![0.0; model.system.len()];
+    if observe.is_empty() {
+        weights.iter_mut().for_each(|w| *w = 1.0);
+        return Ok(weights);
+    }
+    for name in observe {
+        let idx = model
+            .species_index(name)
+            .ok_or_else(|| err(format!("unknown species '{name}'")))?;
+        weights[idx] = 1.0;
+    }
+    Ok(weights)
+}
+
+/// Execute a command, returning its stdout text.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    use std::fmt::Write;
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Compile { input, level, emit } => {
+            let model = load_model(input, *level)?;
+            Ok(match emit {
+                Emit::Network => model.network.display_equations(),
+                Emit::Odes => model.system.display(),
+                Emit::C => model.emit_c("ode_rhs"),
+                Emit::Conservation => {
+                    let laws = rms_odegen::conservation_laws(&model.network);
+                    let mut out = String::new();
+                    let _ = writeln!(
+                        out,
+                        "{} conservation law(s) (w . y = const):",
+                        laws.len()
+                    );
+                    for (i, w) in laws.iter().enumerate() {
+                        let _ = write!(out, "  law {i}: ");
+                        let mut first = true;
+                        for (j, &coeff) in w.iter().enumerate() {
+                            if coeff == 0.0 {
+                                continue;
+                            }
+                            let name = model
+                                .network
+                                .species(rms_rdl::SpeciesId(j as u32))
+                                .name
+                                .clone();
+                            if !first {
+                                let _ = write!(out, " + ");
+                            }
+                            if (coeff - 1.0).abs() < 1e-9 {
+                                let _ = write!(out, "[{name}]");
+                            } else {
+                                let _ = write!(out, "{coeff:.3}*[{name}]");
+                            }
+                            first = false;
+                        }
+                        let _ = writeln!(out);
+                    }
+                    out
+                }
+                Emit::Stats => {
+                    let s = model.compiled.stages;
+                    let mut out = String::new();
+                    let _ = writeln!(
+                        out,
+                        "species: {}  reactions: {}  distinct rates: {}",
+                        model.network.species_count(),
+                        model.network.reaction_count(),
+                        model.rates.distinct_count()
+                    );
+                    let _ = writeln!(out, "level: {level}");
+                    let _ = writeln!(out, "input ops:        {}", s.input);
+                    let _ = writeln!(out, "after simplify:   {}", s.after_simplify);
+                    let _ = writeln!(out, "after distribute: {}", s.after_distribute);
+                    let _ = writeln!(out, "after CSE:        {}", s.after_cse);
+                    let _ = writeln!(
+                        out,
+                        "tape: {} instrs, {} registers ({:.1}% of input ops remain)",
+                        model.compiled.tape.len(),
+                        model.compiled.tape.n_regs,
+                        100.0 * model.compiled.remaining_fraction()
+                    );
+                    out
+                }
+            })
+        }
+        Command::Simulate {
+            input,
+            level,
+            tend,
+            steps,
+            observe,
+        } => {
+            let model = load_model(input, *level)?;
+            let times: Vec<f64> = (1..=*steps)
+                .map(|i| tend * i as f64 / *steps as f64)
+                .collect();
+            let solution = model
+                .simulate(&times, SolverOptions::default())
+                .map_err(|e| err(format!("solver: {e}")))?;
+            let names: Vec<String> = if observe.is_empty() {
+                model
+                    .network
+                    .species_iter()
+                    .map(|(_, sp)| sp.name.clone())
+                    .collect()
+            } else {
+                observe.clone()
+            };
+            let indices: Vec<usize> = names
+                .iter()
+                .map(|n| {
+                    model
+                        .species_index(n)
+                        .ok_or_else(|| err(format!("unknown species '{n}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut out = String::new();
+            let _ = write!(out, "{:>10}", "t");
+            for n in &names {
+                let _ = write!(out, "{n:>16}");
+            }
+            let _ = writeln!(out);
+            for (t, y) in times.iter().zip(&solution) {
+                let _ = write!(out, "{t:>10.4}");
+                for &i in &indices {
+                    let _ = write!(out, "{:>16.8}", y[i]);
+                }
+                let _ = writeln!(out);
+            }
+            Ok(out)
+        }
+        Command::Synthesize {
+            input,
+            observe,
+            out_dir,
+            files,
+            records,
+            tend,
+        } => {
+            let model = load_model(input, OptLevel::Full)?;
+            let weights = observable_or_all(&model, observe)?;
+            let simulator = crate::TapeSimulator::new(
+                model.compiled.tape.clone(),
+                model.system.initial.clone(),
+                weights,
+            );
+            let rates = model.system.rate_values.clone();
+            let data = crate::workload::synthesize(
+                &simulator,
+                &rates,
+                crate::workload::ExpDataSpec {
+                    n_files: *files,
+                    records: *records,
+                    base_horizon: *tend,
+                    horizon_skew: 0.25,
+                    noise: 1e-3,
+                    seed: 2007,
+                },
+            )
+            .map_err(|e| err(format!("synthesis: {e}")))?;
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| err(format!("cannot create {}: {e}", out_dir.display())))?;
+            let mut out = String::new();
+            for file in &data {
+                let path = out_dir.join(format!("{}.dat", file.label));
+                file.write(&path)
+                    .map_err(|e| err(format!("write {}: {e}", path.display())))?;
+                let _ = writeln!(out, "wrote {} ({} records)", path.display(), file.len());
+            }
+            Ok(out)
+        }
+        Command::Estimate {
+            input,
+            data_dir,
+            observe,
+            workers,
+        } => {
+            let model = load_model(input, OptLevel::Full)?;
+            let weights = observable_or_all(&model, observe)?;
+            let simulator = crate::TapeSimulator::new(
+                model.compiled.tape.clone(),
+                model.system.initial.clone(),
+                weights,
+            );
+            // Load every .dat file, sorted by name for determinism.
+            let mut paths: Vec<PathBuf> = std::fs::read_dir(data_dir)
+                .map_err(|e| err(format!("cannot read {}: {e}", data_dir.display())))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "dat"))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                return Err(err(format!("no .dat files in {}", data_dir.display())));
+            }
+            let data: Vec<ExperimentFile> = paths
+                .iter()
+                .map(|p| ExperimentFile::read(p).map_err(|e| err(format!("{}: {e}", p.display()))))
+                .collect::<Result<_, _>>()?;
+
+            let estimator = ParallelEstimator::new(&simulator, data, *workers, true);
+            let names: Vec<String> = (0..model.rates.distinct_count())
+                .map(|i| {
+                    model
+                        .rates
+                        .canonical_name(rms_rcip::RateId(i as u32))
+                        .to_string()
+                })
+                .collect();
+            let start = model.system.rate_values.clone();
+            let (lo, hi) = model.rates.bounds_vectors();
+            let options = LmOptions {
+                max_iters: 60,
+                fd_step: 1e-3,
+                ..LmOptions::default()
+            };
+            let result = estimator
+                .estimate(&start, &lo, &hi, options)
+                .map_err(|e| err(format!("estimation: {e}")))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "converged: {:?} after {} iterations, {} residual evals",
+                result.stop, result.iterations, result.fevals
+            );
+            let _ = writeln!(out, "{:<14} {:>12} {:>12}", "parameter", "start", "fitted");
+            for (i, name) in names.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{name:<14} {:>12.6} {:>12.6}",
+                    start[i], result.params[i]
+                );
+            }
+            let _ = writeln!(out, "final cost: {:.6e}", result.cost);
+            // Statistical information (Fig. 2's dashed component).
+            struct Wrap<'a, S: crate::Simulator> {
+                estimator: &'a ParallelEstimator<'a, S>,
+                n: usize,
+                m: usize,
+            }
+            impl<S: crate::Simulator> rms_nlopt::Residual for Wrap<'_, S> {
+                fn n_params(&self) -> usize {
+                    self.n
+                }
+                fn n_residuals(&self) -> usize {
+                    self.m
+                }
+                fn eval(&self, p: &[f64], out: &mut [f64]) -> Result<(), String> {
+                    let o = self.estimator.objective(p)?;
+                    out.copy_from_slice(&o.error_vector);
+                    Ok(())
+                }
+            }
+            let wrap = Wrap {
+                estimator: &estimator,
+                n: start.len(),
+                m: result.residuals.len(),
+            };
+            if let Ok(stats) = FitStatistics::evaluate(&wrap, &result.params, None, options.fd_step)
+            {
+                let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let _ = writeln!(out, "{}", stats.report(&name_refs));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const MODEL: &str = r#"
+        rate K_sc = 2;
+        molecule DiS = "CSSC" init 1.0;
+        rule scission {
+            site bond S ~ S order single;
+            action disconnect;
+            rate K_sc;
+        }
+    "#;
+
+    fn write_model(dir: &Path) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("model.rdl");
+        std::fs::write(&path, MODEL).unwrap();
+        path
+    }
+
+    #[test]
+    fn parse_compile_variants() {
+        let cmd = parse_args(&argv("compile m.rdl --level algebraic --emit c")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compile {
+                input: PathBuf::from("m.rdl"),
+                level: OptLevel::Algebraic,
+                emit: Emit::C,
+            }
+        );
+        assert!(parse_args(&argv("compile m.rdl --emit bogus")).is_err());
+        assert!(parse_args(&argv("compile")).is_err());
+        assert!(parse_args(&argv("frobnicate x")).is_err());
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn compile_and_simulate_real_model() {
+        let dir = std::env::temp_dir().join("rmsc_cli_test");
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+
+        let out =
+            run(&parse_args(&argv(&format!("compile {model_arg} --emit stats"))).unwrap()).unwrap();
+        assert!(out.contains("distinct rates: 1"), "{out}");
+
+        let out =
+            run(&parse_args(&argv(&format!("compile {model_arg} --emit c"))).unwrap()).unwrap();
+        assert!(out.contains("void ode_rhs"), "{out}");
+
+        let out = run(&parse_args(&argv(&format!(
+            "simulate {model_arg} --tend 0.5 --steps 4 --observe DiS"
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(out.lines().count(), 5, "{out}");
+        assert!(out.contains("DiS"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synthesize_then_estimate_round_trip() {
+        let dir = std::env::temp_dir().join("rmsc_cli_estimate");
+        std::fs::remove_dir_all(&dir).ok();
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+        let data_dir = dir.join("data");
+        let data_arg = data_dir.display().to_string();
+
+        let out = run(&parse_args(&argv(&format!(
+            "synthesize {model_arg} --out {data_arg} --files 2 --records 20 --tend 0.5"
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+
+        let out = run(&parse_args(&argv(&format!(
+            "estimate {model_arg} --data {data_arg} --workers 2"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("K_sc"), "{out}");
+        assert!(out.contains("final cost"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let cmd = parse_args(&argv("compile /definitely/not/here.rdl")).unwrap();
+        let result = run(&cmd);
+        assert!(result.is_err());
+        assert!(result.unwrap_err().0.contains("cannot read"));
+    }
+
+    #[test]
+    fn unknown_species_reported() {
+        let dir = std::env::temp_dir().join("rmsc_cli_species");
+        let model = write_model(&dir);
+        let cmd = parse_args(&argv(&format!(
+            "simulate {} --observe Unobtainium",
+            model.display()
+        )))
+        .unwrap();
+        let result = run(&cmd);
+        assert!(result.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,236 @@
+//! # rms-suite — the Reaction Modeling Suite, end to end
+//!
+//! One-stop facade over the whole pipeline of the paper's Figure 2:
+//!
+//! ```text
+//! RDL source ──► chemical compiler ──► reaction network
+//!     rate/bound statements ──► RCIP ──► rate table
+//! network + rates ──► equation generator ──► ODE system
+//! ODE system ──► algebraic optimizer + CSE ──► tape / C code
+//! tape + data files ──► parallel parameter estimator ──► fitted kinetics
+//! ```
+//!
+//! ```
+//! use rms_suite::{compile_source, OptLevel};
+//!
+//! let model = compile_source(r#"
+//!     rate K_sc = 2;
+//!     molecule DiS = "CSSC" init 1.0;
+//!     rule scission {
+//!         site bond S ~ S order single;
+//!         action disconnect;
+//!         rate K_sc;
+//!     }
+//! "#, OptLevel::Full).unwrap();
+//! assert_eq!(model.system.len(), 2);
+//! let c_code = model.emit_c("ode_rhs");
+//! assert!(c_code.contains("void ode_rhs"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod cli;
+
+pub use rms_core::{
+    compact_registers, emit_c, generic_compile, generic_compile_best_effort, lower, optimize,
+    optimize_with_passes, CompiledOde, CseOptions, Expr, ExprForest, GenericError, GenericOptions,
+    OptLevel, Passes, Tape, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
+};
+pub use rms_molecule as molecule;
+pub use rms_nlopt::{LmOptions, LmResult, StopReason};
+pub use rms_odegen::{generate, GenerateOptions, OdeSystem, OpCounts};
+pub use rms_parallel::{
+    block_schedule, lpt_schedule, makespan, run_cluster, ExperimentFile, ParallelEstimator,
+    Simulator,
+};
+pub use rms_rcip::RateTable;
+pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};
+pub use rms_solver::{solve_adams, solve_bdf, solve_rk45, SolveStats, SolverOptions};
+pub use rms_workload as workload;
+pub use rms_workload::TapeSimulator;
+
+/// Any error from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// Chemical-compiler (RDL) error.
+    Rdl(rms_rdl::RdlError),
+    /// Equation-generation error.
+    Odegen(rms_odegen::OdegenError),
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Rdl(e) => write!(f, "chemical compiler: {e}"),
+            SuiteError::Odegen(e) => write!(f, "equation generator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl From<rms_rdl::RdlError> for SuiteError {
+    fn from(e: rms_rdl::RdlError) -> Self {
+        SuiteError::Rdl(e)
+    }
+}
+
+impl From<rms_odegen::OdegenError> for SuiteError {
+    fn from(e: rms_odegen::OdegenError) -> Self {
+        SuiteError::Odegen(e)
+    }
+}
+
+/// A fully compiled model: the output of every pipeline stage, kept
+/// together for inspection and simulation.
+pub struct SuiteModel {
+    /// The reaction network (chemical compiler output).
+    pub network: ReactionNetwork,
+    /// Evaluated, value-deduplicated rate constants (RCIP output).
+    pub rates: RateTable,
+    /// The ODE system (equation generator output).
+    pub system: OdeSystem,
+    /// Optimizer output: forest, tape, per-stage stats.
+    pub compiled: CompiledOde,
+}
+
+impl SuiteModel {
+    /// Emit the generated C function (the paper's backend output).
+    pub fn emit_c(&self, name: &str) -> String {
+        emit_c(&self.compiled.forest, name)
+    }
+
+    /// Simulate the system from its declared initial concentrations,
+    /// returning the full state at each requested time (BDF stiff solver).
+    pub fn simulate(
+        &self,
+        times: &[f64],
+        options: SolverOptions,
+    ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
+        let tape = &self.compiled.tape;
+        let scratch = std::cell::RefCell::new(Vec::new());
+        let rhs = rms_solver::FnRhs::new(self.system.len(), |_t, y: &[f64], ydot: &mut [f64]| {
+            tape.eval_with_scratch(&self.system.rate_values, y, ydot, &mut scratch.borrow_mut());
+        });
+        let (sol, _) = solve_bdf(&rhs, 0.0, &self.system.initial, times, options)?;
+        Ok(sol)
+    }
+
+    /// Concentration index of a named species.
+    pub fn species_index(&self, name: &str) -> Option<usize> {
+        self.network.species_by_name(name).map(|id| id.0 as usize)
+    }
+
+    /// Build a [`TapeSimulator`] measuring the summed concentration of
+    /// the named species (e.g. all crosslink products).
+    pub fn simulator_for(&self, observed: &[&str]) -> TapeSimulator {
+        let mut observable = vec![0.0; self.system.len()];
+        for name in observed {
+            if let Some(idx) = self.species_index(name) {
+                observable[idx] = 1.0;
+            }
+        }
+        TapeSimulator::new(
+            self.compiled.tape.clone(),
+            self.system.initial.clone(),
+            observable,
+        )
+    }
+}
+
+/// Compile RDL source text all the way to an optimized, executable model.
+pub fn compile_source(source: &str, level: OptLevel) -> Result<SuiteModel, SuiteError> {
+    let program = parse_rdl(source)?;
+    let CompiledModel { network, rates } = compile_network(&program)?;
+    // The equation table always applies §3.1 on the fly except at the
+    // fully unoptimized level (Table 1's baseline).
+    let simplify = level != OptLevel::None;
+    let system = generate(&network, &rates, GenerateOptions { simplify })?;
+    let compiled = optimize(&system, level);
+    Ok(SuiteModel {
+        network,
+        rates,
+        system,
+        compiled,
+    })
+}
+
+/// Compile an already-built network (programmatic workloads).
+pub fn compile_model(
+    network: ReactionNetwork,
+    rates: RateTable,
+    level: OptLevel,
+) -> Result<SuiteModel, SuiteError> {
+    let simplify = level != OptLevel::None;
+    let system = generate(&network, &rates, GenerateOptions { simplify })?;
+    let compiled = optimize(&system, level);
+    Ok(SuiteModel {
+        network,
+        rates,
+        system,
+        compiled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        rate K_sc = 2;
+        rate K_rec = 1;
+        molecule TetraS = "CS{n}C" for n in 2..4 init 1.0;
+        rule scission {
+            site bond S ~ S order single;
+            action disconnect;
+            rate K_sc;
+        }
+        rule recombine {
+            site pair S & radical, S & radical;
+            action connect single;
+            rate K_rec;
+        }
+        limit atoms 12;
+        forbid chain S > 4;
+    "#;
+
+    #[test]
+    fn end_to_end_compiles() {
+        let model = compile_source(SRC, OptLevel::Full).unwrap();
+        assert!(model.system.len() >= 3);
+        assert!(model.compiled.tape.op_counts().total() > 0);
+        let c = model.emit_c("rubber_rhs");
+        assert!(c.contains("void rubber_rhs"));
+    }
+
+    #[test]
+    fn optimization_levels_preserve_dynamics() {
+        let times = [0.1, 0.5];
+        let reference = compile_source(SRC, OptLevel::None)
+            .unwrap()
+            .simulate(&times, SolverOptions::default())
+            .unwrap();
+        for level in [OptLevel::Simplify, OptLevel::Algebraic, OptLevel::Full] {
+            let sol = compile_source(SRC, level)
+                .unwrap()
+                .simulate(&times, SolverOptions::default())
+                .unwrap();
+            for (a, b) in reference.iter().flatten().zip(sol.iter().flatten()) {
+                assert!((a - b).abs() < 1e-6, "{level}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn species_lookup_and_observable() {
+        let model = compile_source(SRC, OptLevel::Full).unwrap();
+        assert!(model.species_index("TetraS_2").is_some());
+        assert!(model.species_index("nope").is_none());
+        let sim = model.simulator_for(&["TetraS_2"]);
+        let v = sim.simulate(&model.system.rate_values, 0, &[0.05]).unwrap();
+        // TetraS_2 is consumed from 1.0 downwards.
+        assert!(v[0] > 0.0 && v[0] < 1.0, "{v:?}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic experimental data.
+//!
+//! The paper's experiments use 16 proprietary data files containing "the
+//! time evolution of the crosslink concentrations for different
+//! formulations at the same temperature", each with >3000 records. We
+//! synthesize equivalents by forward-simulating the ground-truth model
+//! per formulation and adding measurement noise; the parameter estimation
+//! experiment then has a recoverable known answer (see DESIGN.md).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rms_parallel::{ExperimentFile, Simulator};
+
+/// Configuration for data synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpDataSpec {
+    /// Number of files (the paper uses 16).
+    pub n_files: usize,
+    /// Records per file (paper: >3000; scale down for quick tests).
+    pub records: usize,
+    /// Base cure-time horizon; individual files spread around it so
+    /// per-file solve costs are heterogeneous (the Table 2 imbalance).
+    pub base_horizon: f64,
+    /// Relative horizon skew: file horizons span
+    /// `base · (1 ± skew)` linearly across files.
+    pub horizon_skew: f64,
+    /// Gaussian measurement noise (relative).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpDataSpec {
+    fn default() -> ExpDataSpec {
+        ExpDataSpec {
+            n_files: 16,
+            records: 3200,
+            base_horizon: 4.0,
+            horizon_skew: 0.25,
+            noise: 1e-3,
+            seed: 20070326, // IPDPS 2007, Long Beach
+        }
+    }
+}
+
+/// Forward-simulate and synthesize the experiment files using the
+/// ground-truth rate constants.
+pub fn synthesize<S: Simulator>(
+    simulator: &S,
+    true_rates: &[f64],
+    spec: ExpDataSpec,
+) -> Result<Vec<ExperimentFile>, String> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut files = Vec::with_capacity(spec.n_files);
+    for i in 0..spec.n_files {
+        // Linear spread of horizons => heterogeneous solve times.
+        let frac = if spec.n_files > 1 {
+            i as f64 / (spec.n_files - 1) as f64
+        } else {
+            0.5
+        };
+        let horizon =
+            spec.base_horizon * (1.0 - spec.horizon_skew + 2.0 * spec.horizon_skew * frac);
+        let times: Vec<f64> = (1..=spec.records)
+            .map(|j| horizon * j as f64 / spec.records as f64)
+            .collect();
+        let clean = simulator.simulate(true_rates, i, &times)?;
+        let values: Vec<f64> = clean
+            .iter()
+            .map(|v| {
+                // Box-Muller Gaussian noise, relative to signal scale.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                v * (1.0 + spec.noise * gauss)
+            })
+            .collect();
+        files.push(ExperimentFile {
+            label: format!("formulation_{i:02}"),
+            times,
+            values,
+        });
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cheap analytic simulator for testing the synthesis logic itself.
+    fn toy(rates: &[f64], file: usize, times: &[f64]) -> Result<Vec<f64>, String> {
+        Ok(times
+            .iter()
+            .map(|t| (1.0 - (-rates[0] * t).exp()) * (1.0 + file as f64 * 0.1))
+            .collect())
+    }
+
+    #[test]
+    fn file_count_and_lengths() {
+        let spec = ExpDataSpec {
+            n_files: 5,
+            records: 40,
+            noise: 0.0,
+            ..ExpDataSpec::default()
+        };
+        let files = synthesize(&toy, &[1.0], spec).unwrap();
+        assert_eq!(files.len(), 5);
+        for f in &files {
+            assert_eq!(f.len(), 40);
+            assert!(f.times.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn horizons_are_skewed() {
+        let spec = ExpDataSpec {
+            n_files: 4,
+            records: 10,
+            base_horizon: 10.0,
+            horizon_skew: 0.5,
+            noise: 0.0,
+            ..ExpDataSpec::default()
+        };
+        let files = synthesize(&toy, &[1.0], spec).unwrap();
+        let last_times: Vec<f64> = files.iter().map(|f| *f.times.last().unwrap()).collect();
+        assert!((last_times[0] - 5.0).abs() < 1e-9, "{last_times:?}");
+        assert!((last_times[3] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_zero_reproduces_simulator() {
+        let spec = ExpDataSpec {
+            n_files: 2,
+            records: 16,
+            noise: 0.0,
+            ..ExpDataSpec::default()
+        };
+        let files = synthesize(&toy, &[0.7], spec).unwrap();
+        for (i, f) in files.iter().enumerate() {
+            let clean = toy(&[0.7], i, &f.times).unwrap();
+            for (a, b) in clean.iter().zip(&f.values) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_small_and_seeded() {
+        let spec = ExpDataSpec {
+            n_files: 1,
+            records: 200,
+            noise: 1e-3,
+            ..ExpDataSpec::default()
+        };
+        let a = synthesize(&toy, &[1.0], spec).unwrap();
+        let b = synthesize(&toy, &[1.0], spec).unwrap();
+        assert_eq!(
+            a[0].values, b[0].values,
+            "seeded synthesis must be deterministic"
+        );
+        let clean = toy(&[1.0], 0, &a[0].times).unwrap();
+        let max_rel: f64 = clean
+            .iter()
+            .zip(&a[0].values)
+            .map(|(c, v)| ((c - v) / c.abs().max(1e-12)).abs())
+            .fold(0.0, f64::max);
+        assert!(max_rel < 0.01, "noise too large: {max_rel}");
+        assert!(max_rel > 0.0, "noise absent");
+    }
+}

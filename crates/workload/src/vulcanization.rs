@@ -1,0 +1,385 @@
+//! Synthetic vulcanization kinetics generator.
+//!
+//! The paper's benchmarks are "kinetic models for the vulcanization
+//! process … of natural rubber by the benzothiazolesulfenamide class of
+//! accelerators", five test cases of 450–250 000 equations sharing "the
+//! same 10 distinct kinetic parameters". Those models are proprietary to
+//! the authors' research project, so this module synthesizes networks
+//! with the same structure (see DESIGN.md, substitution table):
+//!
+//! * species families indexed by polymer site `f` and sulfur chain length
+//!   `n` (the paper's molecule *variants*);
+//! * accelerator chemistry: active sulfurating agents `As_n` grow by
+//!   sulfur insertion, sulfurate rubber sites into pendant polysulfides
+//!   `RS_{f,n}`, which crosslink *neighbouring* chains into `X_{f,g}`;
+//! * crosslinks revert; pendants desulfurate;
+//! * exactly 10 distinct kinetic parameters spread over thousands of
+//!   reactions (rate-constant sharing is what the RCIP dedup and the CSE
+//!   pass exploit).
+//!
+//! The generated redundancy mirrors the real models: the same mass-action
+//! product appears in several equations, families of equations share sums
+//! over chain-length variants, and everything is driven by 10 parameters.
+
+use rms_rcip::RateTable;
+use rms_rdl::{Reaction, ReactionNetwork, SpeciesId};
+
+/// Ground-truth values of the 10 kinetic parameters (used to synthesize
+/// experimental data; the estimator must recover them).
+pub const TRUE_RATES: [f64; 10] = [2.0, 3.5, 1.2, 0.8, 1.6, 0.6, 0.9, 1.4, 0.25, 0.45];
+
+/// Names of the 10 distinct kinetic parameters.
+pub const RATE_NAMES: [&str; 10] = [
+    "K_agent", "K_sulf", "K_xl0", "K_xl1", "K_xl2", "K_xl3", "K_dec0", "K_dec1", "K_rev", "K_pend",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VulcanizationSpec {
+    /// Number of polymer sites `F`.
+    pub sites: usize,
+    /// Maximum sulfur chain length `N` (the paper's variant ranges;
+    /// polysulfidic crosslinks run up to ~8 sulfurs).
+    pub max_chain: usize,
+    /// Crosslinking neighbourhood `B`: site `f` crosslinks sites
+    /// `f+1 ..= f+B`.
+    pub neighbourhood: usize,
+}
+
+impl VulcanizationSpec {
+    /// Spec sized to approximately `target` equations (= species).
+    ///
+    /// Species count ≈ F·(1 + N + B) + N + 2 with N = 8, B = 3.
+    pub fn for_equation_count(target: usize) -> VulcanizationSpec {
+        let n = 8usize;
+        let b = 3usize;
+        let per_site = 1 + n + b;
+        let fixed = n + 2;
+        let sites = ((target.saturating_sub(fixed)) / per_site).max(2);
+        VulcanizationSpec {
+            sites,
+            max_chain: n,
+            neighbourhood: b,
+        }
+    }
+
+    /// Exact species count this spec generates.
+    pub fn species_count(&self) -> usize {
+        // A, S1, As_n (N), R_f (F), RS_{f,n} (F·N), X_{f,g} (F·B capped)
+        let crosslinks: usize = (0..self.sites)
+            .map(|f| self.neighbourhood.min(self.sites - 1 - f))
+            .sum();
+        2 + self.max_chain + self.sites * (1 + self.max_chain) + crosslinks
+    }
+}
+
+/// A generated vulcanization model.
+#[derive(Debug, Clone)]
+pub struct VulcanizationModel {
+    /// The reaction network.
+    pub network: ReactionNetwork,
+    /// The 10-parameter rate table (values = [`TRUE_RATES`]).
+    pub rates: RateTable,
+    /// Species ids of all crosslink species `X_{f,g}` — their summed
+    /// concentration is the measured property (crosslink density, which
+    /// the paper's experiments track over cure time).
+    pub crosslink_species: Vec<SpeciesId>,
+    /// The spec used.
+    pub spec: VulcanizationSpec,
+}
+
+/// Generate the model for a spec.
+pub fn generate_model(spec: VulcanizationSpec) -> VulcanizationModel {
+    assert!(spec.sites >= 2, "need at least two polymer sites");
+    assert!(spec.max_chain >= 2, "need chains of at least 2");
+    let mut network = ReactionNetwork::new();
+    let mut rates = RateTable::default();
+    for (name, value) in RATE_NAMES.iter().zip(TRUE_RATES) {
+        rates.define(name, value).expect("unique rate names");
+    }
+    // Default bounds: an order of magnitude around the truth.
+    for (i, value) in TRUE_RATES.iter().enumerate() {
+        let id = rates.id(RATE_NAMES[i]).expect("defined above");
+        rates
+            .set_bounds(id, value * 0.1, value * 10.0)
+            .expect("valid bounds");
+    }
+
+    let n = spec.max_chain;
+    let f_count = spec.sites;
+
+    // Shared species.
+    let accelerator = network.add_abstract_species("A", 0.3);
+    let sulfur = network.add_abstract_species("S1", 1.0);
+    let agents: Vec<SpeciesId> = (1..=n)
+        .map(|i| network.add_abstract_species(&format!("As_{i}"), if i == 1 { 0.2 } else { 0.0 }))
+        .collect();
+
+    // Per-site species.
+    let rubbers: Vec<SpeciesId> = (0..f_count)
+        .map(|f| network.add_abstract_species(&format!("R_{f}"), 1.0))
+        .collect();
+    let pendants: Vec<Vec<SpeciesId>> = (0..f_count)
+        .map(|f| {
+            (1..=n)
+                .map(|i| network.add_abstract_species(&format!("RS_{f}_{i}"), 0.0))
+                .collect()
+        })
+        .collect();
+    let mut crosslink_species = Vec::new();
+    let mut crosslinks = vec![Vec::new(); f_count];
+    for f in 0..f_count {
+        for g in (f + 1)..=(f + spec.neighbourhood).min(f_count - 1) {
+            let id = network.add_abstract_species(&format!("X_{f}_{g}"), 0.0);
+            crosslinks[f].push((g, id));
+            crosslink_species.push(id);
+        }
+    }
+
+    // Rule events are emitted position-resolved (the paper's "exhaustive
+    // listing of all possible reactions"): `multiplicity` identical events
+    // per symmetric site. §3.1's on-the-fly simplification later merges
+    // them into stoichiometric coefficients.
+    let mut add = |reactants: Vec<SpeciesId>,
+                   products: Vec<SpeciesId>,
+                   rate: &str,
+                   rule: &str,
+                   multiplicity: usize| {
+        for _ in 0..multiplicity {
+            network.add_reaction_event(Reaction {
+                reactants: reactants.clone(),
+                products: products.clone(),
+                rate: rate.to_string(),
+                rule: rule.to_string(),
+            });
+        }
+    };
+
+    // 1. Agent growth: As_{i} + S1 -> As_{i+1}   (K_agent)
+    for i in 0..(n - 1) {
+        add(
+            vec![agents[i], sulfur],
+            vec![agents[i + 1]],
+            "K_agent",
+            "agent_growth",
+            2, // sulfur can insert at either chain end
+        );
+    }
+
+    // 2. Sulfuration: As_i + R_f -> RS_{f,i} + A   (K_sulf)
+    for f in 0..f_count {
+        for i in 0..n {
+            add(
+                vec![agents[i], rubbers[f]],
+                vec![pendants[f][i], accelerator],
+                "K_sulf",
+                "sulfuration",
+                3, // three equivalent allylic sites per isoprene unit
+            );
+        }
+    }
+
+    // 3. Crosslinking: RS_{f,i} + R_g -> X_{f,g} + As_{i-1} (i >= 2)
+    //    rate K_xl{i mod 4} — chain length modulates reactivity.
+    for f in 0..f_count {
+        for &(g, x) in &crosslinks[f] {
+            for i in 1..n {
+                let rate = format!("K_xl{}", i % 4);
+                add(
+                    vec![pendants[f][i], rubbers[g]],
+                    vec![x, agents[i - 1]],
+                    &rate,
+                    "crosslink",
+                    3, // attack at any allylic site of the partner chain
+                );
+            }
+        }
+    }
+
+    // 4. Pendant desulfuration: RS_{f,i} -> RS_{f,i-1} + S1  (K_dec{i%2})
+    for f in 0..f_count {
+        for i in 1..n {
+            let rate = format!("K_dec{}", i % 2);
+            add(
+                vec![pendants[f][i]],
+                vec![pendants[f][i - 1], sulfur],
+                &rate,
+                "desulfuration",
+                1,
+            );
+        }
+    }
+
+    // 5. Reversion: X_{f,g} -> R_f + R_g   (K_rev)
+    for f in 0..f_count {
+        for &(g, x) in &crosslinks[f] {
+            add(
+                vec![x],
+                vec![rubbers[f], rubbers[g]],
+                "K_rev",
+                "reversion",
+                1,
+            );
+        }
+    }
+
+    // 6. Pendant quench: RS_{f,1} -> R_f + S1   (K_pend)
+    for f in 0..f_count {
+        add(
+            vec![pendants[f][0]],
+            vec![rubbers[f], sulfur],
+            "K_pend",
+            "quench",
+            1,
+        );
+    }
+
+    // 7. Pendant chain scission (variant family, paper §2's "disconnect"
+    //    applied at every interior position of the sulfur chain):
+    //    RS_{f,n} -> RS_{f,j} + As_{n-j} for every split point j.
+    //    All n−1 reactions of a family share ONE rate expression
+    //    K_pend·[RS_{f,n}] — the redundancy pattern that lets the paper's
+    //    largest cases keep only ~1% of their multiplies.
+    for f in 0..f_count {
+        for n_len in 2..=n {
+            for j in 1..n_len {
+                add(
+                    vec![pendants[f][n_len - 1]],
+                    vec![pendants[f][j - 1], agents[n_len - j - 1]],
+                    "K_pend",
+                    "pendant_scission",
+                    1, // each split point is its own event (j runs over all)
+                );
+            }
+        }
+    }
+
+    // 8. Agent chain scission: As_n -> As_j + As_{n-j}, same family
+    //    structure (rate K_agent·[As_n] shared across split points).
+    for n_len in 2..=n {
+        for j in 1..n_len {
+            add(
+                vec![agents[n_len - 1]],
+                vec![agents[j - 1], agents[n_len - j - 1]],
+                "K_agent",
+                "agent_scission",
+                1, // j runs over all split points incl. mirror images
+            );
+        }
+    }
+
+    VulcanizationModel {
+        network,
+        rates,
+        crosslink_species,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_odegen::{generate, GenerateOptions};
+
+    #[test]
+    fn species_count_matches_spec() {
+        for target in [450usize, 2000, 10_000] {
+            let spec = VulcanizationSpec::for_equation_count(target);
+            let model = generate_model(spec);
+            assert_eq!(model.network.species_count(), spec.species_count());
+            let got = model.network.species_count();
+            let err = (got as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.05, "target {target}: got {got}");
+        }
+    }
+
+    #[test]
+    fn exactly_ten_distinct_rates() {
+        let model = generate_model(VulcanizationSpec::for_equation_count(450));
+        assert_eq!(model.rates.distinct_count(), 10);
+        for name in RATE_NAMES {
+            assert!(model.rates.get(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn network_generates_valid_odes() {
+        let model = generate_model(VulcanizationSpec::for_equation_count(450));
+        let sys = generate(&model.network, &model.rates, GenerateOptions::default()).unwrap();
+        assert_eq!(sys.len(), model.network.species_count());
+        // Every equation of a crosslink species has production terms.
+        for &x in &model.crosslink_species {
+            assert!(
+                !sys.equations[x.0 as usize].terms.is_empty(),
+                "crosslink {x:?} inert"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamics_form_crosslinks() {
+        // Forward-integrate a small model: crosslink density must rise
+        // from zero (the S-curve the paper's experiments measure).
+        use rms_solver::{solve_bdf, FnRhs, SolverOptions};
+        let model = generate_model(VulcanizationSpec {
+            sites: 4,
+            max_chain: 4,
+            neighbourhood: 2,
+        });
+        let sys = generate(&model.network, &model.rates, GenerateOptions::default()).unwrap();
+        let rhs = FnRhs::new(sys.len(), |_t, y: &[f64], ydot: &mut [f64]| {
+            sys.eval_into(&sys.rate_values, y, ydot);
+        });
+        let y0 = sys.initial.clone();
+        let (sol, _) = solve_bdf(
+            &rhs,
+            0.0,
+            &y0,
+            &[0.5, 2.0],
+            SolverOptions {
+                rtol: 1e-6,
+                atol: 1e-10,
+                max_steps: 200_000,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        let density = |y: &[f64]| -> f64 {
+            model
+                .crosslink_species
+                .iter()
+                .map(|x| y[x.0 as usize])
+                .sum()
+        };
+        let d1 = density(&sol[0]);
+        let d2 = density(&sol[1]);
+        assert!(d1 > 0.0, "no crosslinks formed by t=0.5");
+        // The cure curve rises, plateaus, and may revert late (the shape
+        // the paper's rheometer data shows); by t=2 reversion can have
+        // set in, so only require a healthy density, not monotonicity.
+        assert!(d2 > 0.5 * d1, "crosslink density collapsed: {d1} vs {d2}");
+        // Concentrations stay nonnegative-ish (within solver tolerance).
+        assert!(sol[1].iter().all(|&v| v > -1e-6));
+    }
+
+    #[test]
+    fn redundancy_is_present() {
+        // The optimizer's food: shared rate constants and shared reactant
+        // products across equations.
+        let model = generate_model(VulcanizationSpec::for_equation_count(450));
+        let reactions = model.network.reaction_count();
+        assert!(
+            reactions > 10 * model.rates.distinct_count(),
+            "too few reactions per rate constant: {reactions}"
+        );
+    }
+
+    #[test]
+    fn bounds_bracket_truth() {
+        let model = generate_model(VulcanizationSpec::for_equation_count(450));
+        let (lo, hi) = model.rates.bounds_vectors();
+        for (i, &truth) in TRUE_RATES.iter().enumerate() {
+            assert!(lo[i] < truth && truth < hi[i]);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based cross-crate test: every optimization configuration —
+//! ours and the generic compiler's — preserves the semantics of randomly
+//! generated reaction networks.
+
+use proptest::prelude::*;
+
+use rms_rdl::{Reaction, ReactionNetwork};
+use rms_suite::{
+    generate, generic_compile, optimize, optimize_with_passes, CseOptions, GenerateOptions,
+    GenericOptions, OptLevel, Passes, RateTable,
+};
+
+/// A random mass-action network: up to 12 species, up to 20 reactions,
+/// up to 4 distinct rate constants (value sharing included).
+fn arb_network() -> impl Strategy<Value = (ReactionNetwork, RateTable)> {
+    let reaction = (
+        prop::collection::vec(0u32..12, 1..3), // reactants
+        prop::collection::vec(0u32..12, 0..3), // products
+        0usize..4,                             // rate index
+    );
+    prop::collection::vec(reaction, 1..20).prop_map(|reactions| {
+        let mut network = ReactionNetwork::new();
+        for i in 0..12u32 {
+            network.add_abstract_species(&format!("S{i}"), 0.1 + i as f64 * 0.05);
+        }
+        for (reactants, products, rate) in reactions {
+            network.add_reaction(Reaction {
+                reactants: reactants.into_iter().map(rms_rdl::SpeciesId).collect(),
+                products: products.into_iter().map(rms_rdl::SpeciesId).collect(),
+                rate: format!("K{rate}"),
+                rule: "random".to_string(),
+            });
+        }
+        // K2 deliberately shares K0's value: exercises RCIP value dedup.
+        let rates =
+            RateTable::parse("rate K0 = 2; rate K1 = 3; rate K2 = 2; rate K3 = 5;").unwrap();
+        (network, rates)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All named optimization levels produce tapes that agree with the
+    /// naive sum-of-products interpretation.
+    #[test]
+    fn all_levels_agree((network, rates) in arb_network(), seed in 0u64..1000) {
+        let raw = generate(&network, &rates, GenerateOptions { simplify: false }).unwrap();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let y: Vec<f64> = (0..raw.len()).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let reference = raw.eval_nominal(&y);
+        for level in OptLevel::ALL {
+            let compiled = optimize(&raw, level);
+            let mut got = vec![0.0; raw.len()];
+            compiled.tape.eval(&raw.rate_values, &y, &mut got);
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "{level} eq {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Exotic pass combinations (including the ones the paper forbids
+    /// operationally) still cannot change semantics.
+    #[test]
+    fn pass_combinations_agree(
+        (network, rates) in arb_network(),
+        simplify in any::<bool>(),
+        distribute in any::<bool>(),
+        use_cse in any::<bool>(),
+        prefix in any::<bool>(),
+    ) {
+        let raw = generate(&network, &rates, GenerateOptions { simplify: false }).unwrap();
+        let y: Vec<f64> = (0..raw.len()).map(|i| 0.05 + (i % 7) as f64 * 0.15).collect();
+        let reference = raw.eval_nominal(&y);
+        let compiled = optimize_with_passes(&raw, Passes {
+            simplify,
+            distribute,
+            cse: use_cse.then_some(CseOptions { min_uses: 2, prefix_matching: prefix }),
+        });
+        let mut got = vec![0.0; raw.len()];
+        compiled.tape.eval(&raw.rate_values, &y, &mut got);
+        for (a, b) in reference.iter().zip(&got) {
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// Optimizations never increase the operation count, and the generic
+    /// compiler's value numbering is also sound.
+    #[test]
+    fn ops_never_increase_and_vn_sound((network, rates) in arb_network()) {
+        let raw = generate(&network, &rates, GenerateOptions { simplify: false }).unwrap();
+        let baseline = optimize(&raw, OptLevel::None);
+        let full = optimize(&raw, OptLevel::Full);
+        prop_assert!(
+            full.stages.after_cse.total() <= baseline.stages.after_cse.total()
+        );
+        let vn = generic_compile(&baseline.tape, GenericOptions {
+            opt_level: 4,
+            memory_budget: usize::MAX,
+        }).unwrap();
+        prop_assert!(vn.tape.op_counts().total() <= baseline.tape.op_counts().total());
+        let y: Vec<f64> = (0..raw.len()).map(|i| 0.1 + (i % 5) as f64 * 0.2).collect();
+        let mut a = vec![0.0; raw.len()];
+        let mut b = vec![0.0; raw.len()];
+        baseline.tape.eval(&raw.rate_values, &y, &mut a);
+        vn.tape.eval(&raw.rate_values, &y, &mut b);
+        for (x, z) in a.iter().zip(&b) {
+            prop_assert!((x - z).abs() <= 1e-12 * x.abs().max(1.0));
+        }
+    }
+}
