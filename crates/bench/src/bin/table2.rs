@@ -91,8 +91,14 @@ fn main() {
         "nodes", "no-LB time", "speedup", "[paper]", "LB time", "speedup", "[paper]"
     );
     for (row, nodes) in TABLE2.iter().zip([1usize, 2, 4, 8, 16]) {
-        let block = rms_suite::makespan(&rms_suite::block_schedule(times.len(), nodes), &times);
-        let lpt = rms_suite::makespan(&rms_suite::lpt_schedule(&times, nodes), &times);
+        let block = rms_suite::makespan(
+            &rms_suite::block_schedule(times.len(), nodes).expect("nodes > 0"),
+            &times,
+        );
+        let lpt = rms_suite::makespan(
+            &rms_suite::lpt_schedule(&times, nodes).expect("nodes > 0"),
+            &times,
+        );
         println!(
             "{nodes:>6} | {:>12} {:>8.2} {:>9.2} | {:>12} {:>8.2} {:>9.2}",
             fmt_secs(block),

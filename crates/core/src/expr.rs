@@ -128,7 +128,7 @@ impl Expr {
         flat.sort();
         match (c, flat.len()) {
             (_, 0) => Expr::constant(c),
-            (cv, 1) if cv == 1.0 => flat.pop().unwrap(),
+            (1.0, 1) => flat.pop().unwrap(),
             _ => Expr::Prod(Coeff(c), flat),
         }
     }

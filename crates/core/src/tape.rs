@@ -262,17 +262,18 @@ pub fn species_dependencies(tape: &Tape) -> Vec<Vec<u32>> {
     use std::rc::Rc;
     let mut reg_deps: Vec<Option<Rc<BTreeSet<u32>>>> = vec![None; tape.n_regs];
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); tape.n_species];
-    let deps_of = |reg_deps: &[Option<Rc<BTreeSet<u32>>>], op: Operand| -> Option<Rc<BTreeSet<u32>>> {
-        match op {
-            Operand::Reg(r) => reg_deps[r as usize].clone(),
-            Operand::Species(i) => {
-                let mut s = BTreeSet::new();
-                s.insert(i);
-                Some(Rc::new(s))
+    let deps_of =
+        |reg_deps: &[Option<Rc<BTreeSet<u32>>>], op: Operand| -> Option<Rc<BTreeSet<u32>>> {
+            match op {
+                Operand::Reg(r) => reg_deps[r as usize].clone(),
+                Operand::Species(i) => {
+                    let mut s = BTreeSet::new();
+                    s.insert(i);
+                    Some(Rc::new(s))
+                }
+                Operand::Rate(_) | Operand::Const(_) => None,
             }
-            Operand::Rate(_) | Operand::Const(_) => None,
-        }
-    };
+        };
     let union = |a: Option<Rc<BTreeSet<u32>>>, b: Option<Rc<BTreeSet<u32>>>| match (a, b) {
         (None, x) | (x, None) => x,
         (Some(x), Some(y)) => {
@@ -728,7 +729,10 @@ mod tests {
     fn species_dependencies_tracked_through_temps() {
         // eq0 = k0*y0*y1 ; eq1 = k1*y2 ; shared temp does not leak deps.
         let f = ExprForest {
-            temps: vec![Expr::prod(1.0, vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)])],
+            temps: vec![Expr::prod(
+                1.0,
+                vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)],
+            )],
             rhs: vec![
                 Expr::Temp(crate::expr::TempId(0)),
                 Expr::prod(1.0, vec![Expr::Rate(1), Expr::Species(2)]),

@@ -191,11 +191,7 @@ pub fn optimize<R: Residual>(
         // Active set on the bounds: a variable pinned at a bound with the
         // gradient pushing further outside is frozen this iteration.
         let active: Vec<bool> = (0..n)
-            .map(|j| {
-                (p[j] <= lo[j] && g[j] > 0.0 && p[j] == lo[j] && lo[j] == hi[j])
-                    || (p[j] == lo[j] && g[j] > 0.0)
-                    || (p[j] == hi[j] && g[j] < 0.0)
-            })
+            .map(|j| (p[j] == lo[j] && g[j] > 0.0) || (p[j] == hi[j] && g[j] < 0.0))
             .collect();
 
         let g_norm = g

@@ -57,6 +57,9 @@ pub fn conservation_laws(network: &ReactionNetwork) -> Vec<Vec<f64>> {
         for r in 0..m {
             if r != row && a[r][col].abs() > eps {
                 let factor = a[r][col];
+                // Rows `row` and `r` alias the same matrix, so iterator
+                // forms would need split borrows; indices are clearer.
+                #[allow(clippy::needless_range_loop)]
                 for c in 0..n {
                     let sub = factor * a[row][c];
                     a[r][c] -= sub;

@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn canonical_order_total() {
-        let mut terms = vec![
+        let mut terms = [
             ProductTerm::new(1.0, RateId(1), vec![sid(0)]),
             ProductTerm::new(1.0, RateId(0), vec![sid(1)]),
             ProductTerm::new(1.0, RateId(0), vec![sid(0)]),

@@ -1,23 +1,237 @@
-//! A thread-backed SPMD communicator: the MPI substitute.
+//! A fault-tolerant thread-backed SPMD communicator: the MPI substitute.
 //!
 //! The paper parallelizes the objective function with MPI processes on an
 //! IBM SP (one rank per node, constant process count, `MPI_AllReduce` on
 //! the error vectors). We reproduce the same SPMD structure with one OS
-//! thread per simulated node and shared-memory collectives. Only the
-//! collectives the paper's code uses (plus a couple of obvious companions)
-//! are provided.
+//! thread per simulated node and shared-memory collectives.
+//!
+//! Unlike the original (and unlike real MPI on the IBM SP, where one dead
+//! rank hung or killed the whole job), this communicator is built to
+//! *contain* failures:
+//!
+//! * every collective returns `Result<_, CommError>` instead of
+//!   asserting or deadlocking;
+//! * the rendezvous is **poison-aware**: when a rank panics, its peers
+//!   are woken immediately with [`CommError::RankPanicked`] instead of
+//!   parking forever on a barrier;
+//! * the rendezvous is **deadline-capable**: an optional per-collective
+//!   timeout ([`CommConfig::timeout`]) turns a silent deadlock into
+//!   [`CommError::Timeout`] on every waiting rank;
+//! * [`run_cluster`] catches panics per rank (`catch_unwind`) and returns
+//!   per-rank `Result`s, so a crash in one rank's objective evaluation is
+//!   an observable value, not a process abort.
 
-use std::sync::Barrier;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+/// Failures a collective can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank panicked; the rendezvous was poisoned so every
+    /// surviving rank fails fast instead of deadlocking.
+    RankPanicked {
+        /// The rank that panicked.
+        rank: usize,
+    },
+    /// The collective's deadline expired before all ranks arrived — a
+    /// deadlock (or a peer that stopped participating) detected at
+    /// runtime.
+    Timeout {
+        /// The first rank whose wait expired (it poisons the rendezvous,
+        /// so all ranks report the same origin).
+        rank: usize,
+        /// How long that rank waited before giving up.
+        waited: Duration,
+    },
+    /// Ranks passed vectors of different lengths to a reduction.
+    LengthMismatch {
+        /// A rank whose vector length differs from this rank's.
+        rank: usize,
+        /// This rank's vector length.
+        expected: usize,
+        /// The mismatching rank's vector length.
+        got: usize,
+    },
+    /// `broadcast` was asked for a root outside `0..size`.
+    InvalidRoot {
+        /// The requested root.
+        root: usize,
+        /// The cluster size.
+        size: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankPanicked { rank } => {
+                write!(f, "rank {rank} panicked; collective poisoned")
+            }
+            CommError::Timeout { rank, waited } => write!(
+                f,
+                "collective timed out after {waited:?} (first expired on rank {rank})"
+            ),
+            CommError::LengthMismatch {
+                rank,
+                expected,
+                got,
+            } => write!(
+                f,
+                "reduction length mismatch: rank {rank} deposited {got} elements, expected {expected}"
+            ),
+            CommError::InvalidRoot { root, size } => {
+                write!(f, "broadcast root {root} out of range for {size} ranks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Cluster-wide communicator configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommConfig {
+    /// Per-collective deadline. `None` waits forever (the classic MPI
+    /// behavior); `Some(d)` turns a deadlock into [`CommError::Timeout`]
+    /// after `d`.
+    pub timeout: Option<Duration>,
+}
+
+impl CommConfig {
+    /// Config with the given per-collective deadline.
+    pub fn with_timeout(timeout: Duration) -> CommConfig {
+        CommConfig {
+            timeout: Some(timeout),
+        }
+    }
+}
+
+/// A rank failing in a way that kills the whole collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Poison {
+    Panicked { rank: usize },
+    TimedOut { rank: usize, waited: Duration },
+}
+
+impl Poison {
+    fn as_error(self) -> CommError {
+        match self {
+            Poison::Panicked { rank } => CommError::RankPanicked { rank },
+            Poison::TimedOut { rank, waited } => CommError::Timeout { rank, waited },
+        }
+    }
+}
+
+/// Rendezvous guarded state.
+#[derive(Debug)]
+struct RvState {
+    /// Ranks arrived at the current generation.
+    arrived: usize,
+    /// Completed-rendezvous counter; a waiter is released when it
+    /// advances (classic generation-counted barrier, reusable and immune
+    /// to spurious wakeups).
+    generation: u64,
+    /// Set once on the first fatal event; permanently fails every
+    /// subsequent wait so no rank can park on a dead cluster.
+    poison: Option<Poison>,
+}
+
+/// A reusable, poison-aware, deadline-capable barrier.
+#[derive(Debug)]
+struct Rendezvous {
+    state: Mutex<RvState>,
+    cv: Condvar,
+    size: usize,
+}
+
+impl Rendezvous {
+    fn new(size: usize) -> Rendezvous {
+        Rendezvous {
+            state: Mutex::new(RvState {
+                arrived: 0,
+                generation: 0,
+                poison: None,
+            }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    /// Lock the state, surviving std's lock poisoning (a panicking rank
+    /// never holds this lock across user code, so the state is always
+    /// consistent).
+    fn lock(&self) -> MutexGuard<'_, RvState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rendezvous of all ranks, honoring the deadline.
+    fn wait(&self, rank: usize, timeout: Option<Duration>) -> Result<(), CommError> {
+        let mut state = self.lock();
+        if let Some(poison) = state.poison {
+            return Err(poison.as_error());
+        }
+        let generation = state.generation;
+        state.arrived += 1;
+        if state.arrived == self.size {
+            state.arrived = 0;
+            state.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let started = Instant::now();
+        loop {
+            state = match timeout {
+                None => self.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                Some(limit) => {
+                    let waited = started.elapsed();
+                    let Some(remaining) = limit.checked_sub(waited) else {
+                        // Deadline expired: poison so every peer stuck in
+                        // this or any later collective fails fast too.
+                        state.poison = Some(Poison::TimedOut { rank, waited });
+                        self.cv.notify_all();
+                        return Err(CommError::Timeout { rank, waited });
+                    };
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+            };
+            if let Some(poison) = state.poison {
+                return Err(poison.as_error());
+            }
+            if state.generation != generation {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Kill the cluster: wake every parked rank with an error.
+    fn poison(&self, poison: Poison) {
+        let mut state = self.lock();
+        if state.poison.is_none() {
+            state.poison = Some(poison);
+        }
+        self.cv.notify_all();
+    }
+}
 
 /// Shared collective state for one cluster.
 struct Shared {
     /// Per-rank deposit slots for vector collectives.
     slots: Mutex<Vec<Vec<f64>>>,
-    /// Reusable rendezvous barrier.
-    barrier: Barrier,
+    /// Reusable poison-aware rendezvous.
+    rendezvous: Rendezvous,
     size: usize,
+    config: CommConfig,
+}
+
+impl Shared {
+    fn slots(&self) -> MutexGuard<'_, Vec<Vec<f64>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Handle held by one rank of a running cluster.
@@ -26,7 +240,7 @@ pub struct Communicator<'a> {
     rank: usize,
 }
 
-impl<'a> Communicator<'a> {
+impl Communicator<'_> {
     /// This rank's id (`0..size`).
     pub fn rank(&self) -> usize {
         self.rank
@@ -37,82 +251,154 @@ impl<'a> Communicator<'a> {
         self.shared.size
     }
 
+    /// The per-collective deadline this cluster runs under.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.shared.config.timeout
+    }
+
+    fn wait(&self) -> Result<(), CommError> {
+        self.shared
+            .rendezvous
+            .wait(self.rank, self.shared.config.timeout)
+    }
+
     /// Rendezvous of all ranks (`MPI_Barrier`).
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    pub fn barrier(&self) -> Result<(), CommError> {
+        self.wait()
     }
 
     /// `MPI_Allreduce(…, MPI_SUM)`: element-wise sum of every rank's
     /// vector, returned to all ranks. Vectors must share a length.
-    pub fn all_reduce_sum(&self, local: &[f64]) -> Vec<f64> {
+    pub fn all_reduce_sum(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        self.reduce(local, |acc, slot| {
+            for (a, v) in acc.iter_mut().zip(slot) {
+                *a += v;
+            }
+        })
+    }
+
+    /// `MPI_Allreduce(…, MPI_MAX)`.
+    pub fn all_reduce_max(&self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        let mut first = true;
+        self.reduce(local, move |acc, slot| {
+            if first {
+                acc.fill(f64::NEG_INFINITY);
+                first = false;
+            }
+            for (a, v) in acc.iter_mut().zip(slot) {
+                *a = a.max(*v);
+            }
+        })
+    }
+
+    /// Shared skeleton of the element-wise reductions: deposit, check
+    /// lengths, fold every slot, rendezvous out.
+    fn reduce(
+        &self,
+        local: &[f64],
+        mut fold: impl FnMut(&mut [f64], &[f64]),
+    ) -> Result<Vec<f64>, CommError> {
         self.deposit(local);
-        self.shared.barrier.wait();
+        self.wait()?;
         let result = {
-            let slots = self.shared.slots.lock();
+            let slots = self.shared.slots();
+            // Every rank sees the same slot lengths, so if any two ranks
+            // disagree, *all* ranks observe a mismatch and return this
+            // error together — control flow stays collective-consistent
+            // and nobody parks on the release rendezvous alone.
+            if let Some((rank, slot)) = slots
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.len() != local.len())
+            {
+                return Err(CommError::LengthMismatch {
+                    rank,
+                    expected: local.len(),
+                    got: slot.len(),
+                });
+            }
             let mut acc = vec![0.0; local.len()];
             for slot in slots.iter() {
-                assert_eq!(slot.len(), local.len(), "all_reduce length mismatch");
-                for (a, v) in acc.iter_mut().zip(slot) {
-                    *a += v;
-                }
+                fold(&mut acc, slot);
             }
             acc
         };
         // Second rendezvous so nobody deposits into the next collective
         // while a slow rank is still reading this one.
-        self.shared.barrier.wait();
-        result
-    }
-
-    /// `MPI_Allreduce(…, MPI_MAX)`.
-    pub fn all_reduce_max(&self, local: &[f64]) -> Vec<f64> {
-        self.deposit(local);
-        self.shared.barrier.wait();
-        let result = {
-            let slots = self.shared.slots.lock();
-            let mut acc = vec![f64::NEG_INFINITY; local.len()];
-            for slot in slots.iter() {
-                for (a, v) in acc.iter_mut().zip(slot) {
-                    *a = a.max(*v);
-                }
-            }
-            acc
-        };
-        self.shared.barrier.wait();
-        result
+        self.wait()?;
+        Ok(result)
     }
 
     /// `MPI_Bcast`: every rank receives root's vector.
-    pub fn broadcast(&self, root: usize, data: &[f64]) -> Vec<f64> {
+    pub fn broadcast(&self, root: usize, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        if root >= self.shared.size {
+            // Checked before any rendezvous: all ranks pass the same
+            // root, so all fail together without consuming a generation.
+            return Err(CommError::InvalidRoot {
+                root,
+                size: self.shared.size,
+            });
+        }
         if self.rank == root {
             self.deposit(data);
         }
-        self.shared.barrier.wait();
-        let result = self.shared.slots.lock()[root].clone();
-        self.shared.barrier.wait();
-        result
+        self.wait()?;
+        let result = self.shared.slots()[root].clone();
+        self.wait()?;
+        Ok(result)
     }
 
     /// `MPI_Allgather`: concatenation of every rank's vector, in rank
     /// order, delivered to all ranks.
-    pub fn all_gather(&self, local: &[f64]) -> Vec<Vec<f64>> {
+    pub fn all_gather(&self, local: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
         self.deposit(local);
-        self.shared.barrier.wait();
-        let result = self.shared.slots.lock().clone();
-        self.shared.barrier.wait();
-        result
+        self.wait()?;
+        let result = self.shared.slots().clone();
+        self.wait()?;
+        Ok(result)
     }
 
     fn deposit(&self, data: &[f64]) {
-        let mut slots = self.shared.slots.lock();
-        slots[self.rank] = data.to_vec();
+        self.shared.slots()[self.rank] = data.to_vec();
+    }
+}
+
+/// A rank body that panicked instead of returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPanic {
+    /// The rank that panicked.
+    pub rank: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Run an SPMD region: `size` ranks execute `body` concurrently, each
-/// with its own [`Communicator`]. Returns the per-rank results in rank
+/// with its own [`Communicator`]. Returns the per-rank outcomes in rank
 /// order (the analog of `mpirun -np <size>`).
-pub fn run_cluster<T, F>(size: usize, body: F) -> Vec<T>
+///
+/// Each rank body runs under `catch_unwind`: a panicking rank produces
+/// `Err(`[`RankPanic`]`)` in its slot and **poisons the rendezvous**, so
+/// every peer parked in (or later entering) a collective is woken with
+/// [`CommError::RankPanicked`] instead of deadlocking.
+pub fn run_cluster_with<T, F>(size: usize, config: CommConfig, body: F) -> Vec<Result<T, RankPanic>>
 where
     T: Send,
     F: Fn(&Communicator<'_>) -> T + Sync,
@@ -120,44 +406,73 @@ where
     assert!(size > 0, "cluster needs at least one rank");
     let shared = Shared {
         slots: Mutex::new(vec![Vec::new(); size]),
-        barrier: Barrier::new(size),
+        rendezvous: Rendezvous::new(size),
         size,
+        config,
     };
-    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, RankPanic>>> = (0..size).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(size);
         for (rank, slot) in results.iter_mut().enumerate() {
             let shared = &shared;
             let body = &body;
-            handles.push(scope.spawn(move || {
+            scope.spawn(move || {
                 let comm = Communicator { shared, rank };
-                *slot = Some(body(&comm));
-            }));
+                *slot = Some(
+                    match panic::catch_unwind(AssertUnwindSafe(|| body(&comm))) {
+                        Ok(value) => Ok(value),
+                        Err(payload) => {
+                            shared.rendezvous.poison(Poison::Panicked { rank });
+                            Err(RankPanic {
+                                rank,
+                                message: panic_message(payload),
+                            })
+                        }
+                    },
+                );
+            });
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("rank completed"))
+        .map(|r| r.expect("scoped rank thread joined"))
         .collect()
+}
+
+/// [`run_cluster_with`] under the default config (no deadline — classic
+/// MPI semantics, but still panic-safe).
+pub fn run_cluster<T, F>(size: usize, body: F) -> Vec<Result<T, RankPanic>>
+where
+    T: Send,
+    F: Fn(&Communicator<'_>) -> T + Sync,
+{
+    run_cluster_with(size, CommConfig::default(), body)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Unwrap every rank's outcome (for tests where nothing may panic).
+    fn all_ok<T>(results: Vec<Result<T, RankPanic>>) -> Vec<T> {
+        results
+            .into_iter()
+            .map(|r| r.expect("no rank panicked"))
+            .collect()
+    }
+
     #[test]
     fn ranks_and_size() {
-        let out = run_cluster(4, |comm| (comm.rank(), comm.size()));
+        let out = all_ok(run_cluster(4, |comm| (comm.rank(), comm.size())));
         assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
     }
 
     #[test]
     fn all_reduce_sum_matches_sequential() {
         for size in [1, 2, 3, 8] {
-            let out = run_cluster(size, |comm| {
+            let out = all_ok(run_cluster(size, |comm| {
                 let local = vec![comm.rank() as f64, 1.0];
-                comm.all_reduce_sum(&local)
-            });
+                comm.all_reduce_sum(&local).unwrap()
+            }));
             let expected_first: f64 = (0..size).map(|r| r as f64).sum();
             for v in &out {
                 assert_eq!(v[0], expected_first);
@@ -169,12 +484,12 @@ mod tests {
     #[test]
     fn repeated_collectives_do_not_interleave() {
         // Back-to-back reduces with different values must not mix.
-        let out = run_cluster(4, |comm| {
-            let a = comm.all_reduce_sum(&[1.0]);
-            let b = comm.all_reduce_sum(&[10.0]);
-            let c = comm.all_reduce_sum(&[100.0]);
+        let out = all_ok(run_cluster(4, |comm| {
+            let a = comm.all_reduce_sum(&[1.0]).unwrap();
+            let b = comm.all_reduce_sum(&[10.0]).unwrap();
+            let c = comm.all_reduce_sum(&[100.0]).unwrap();
             (a[0], b[0], c[0])
-        });
+        }));
         for v in out {
             assert_eq!(v, (4.0, 40.0, 400.0));
         }
@@ -182,7 +497,9 @@ mod tests {
 
     #[test]
     fn all_reduce_max() {
-        let out = run_cluster(3, |comm| comm.all_reduce_max(&[comm.rank() as f64, -1.0]));
+        let out = all_ok(run_cluster(3, |comm| {
+            comm.all_reduce_max(&[comm.rank() as f64, -1.0]).unwrap()
+        }));
         for v in out {
             assert_eq!(v, vec![2.0, -1.0]);
         }
@@ -190,14 +507,14 @@ mod tests {
 
     #[test]
     fn broadcast_from_root() {
-        let out = run_cluster(3, |comm| {
+        let out = all_ok(run_cluster(3, |comm| {
             let data = if comm.rank() == 1 {
                 vec![7.0, 8.0]
             } else {
                 vec![]
             };
-            comm.broadcast(1, &data)
-        });
+            comm.broadcast(1, &data).unwrap()
+        }));
         for v in out {
             assert_eq!(v, vec![7.0, 8.0]);
         }
@@ -205,7 +522,9 @@ mod tests {
 
     #[test]
     fn all_gather_order() {
-        let out = run_cluster(3, |comm| comm.all_gather(&[comm.rank() as f64]));
+        let out = all_ok(run_cluster(3, |comm| {
+            comm.all_gather(&[comm.rank() as f64]).unwrap()
+        }));
         for v in out {
             assert_eq!(v, vec![vec![0.0], vec![1.0], vec![2.0]]);
         }
@@ -213,7 +532,7 @@ mod tests {
 
     #[test]
     fn single_rank_cluster() {
-        let out = run_cluster(1, |comm| comm.all_reduce_sum(&[5.0]));
+        let out = all_ok(run_cluster(1, |comm| comm.all_reduce_sum(&[5.0]).unwrap()));
         assert_eq!(out, vec![vec![5.0]]);
     }
 
@@ -221,10 +540,113 @@ mod tests {
     fn real_parallel_execution() {
         // Ranks genuinely run concurrently: a barrier would deadlock
         // otherwise.
-        let out = run_cluster(4, |comm| {
-            comm.barrier();
+        let out = all_ok(run_cluster(4, |comm| {
+            comm.barrier().unwrap();
             comm.rank()
-        });
+        }));
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn panicking_rank_fails_peers_fast_instead_of_deadlocking() {
+        let started = Instant::now();
+        let results = run_cluster(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("injected: rank 2 dies before the barrier");
+            }
+            comm.all_reduce_sum(&[1.0])
+        });
+        // Without poisoning this would hang forever; bounded wall-clock
+        // is the regression property.
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "peers did not fail fast"
+        );
+        let panicked = results[2].as_ref().expect_err("rank 2 panicked");
+        assert_eq!(panicked.rank, 2);
+        assert!(panicked.message.contains("injected"));
+        for rank in [0, 1, 3] {
+            let collective = results[rank].as_ref().expect("rank body completed");
+            assert_eq!(collective, &Err(CommError::RankPanicked { rank: 2 }));
+        }
+    }
+
+    #[test]
+    fn panic_after_collectives_poisons_later_collectives() {
+        let results = run_cluster(3, |comm| {
+            let first = comm.all_reduce_sum(&[1.0]);
+            if comm.rank() == 0 {
+                panic!("injected: rank 0 dies between collectives");
+            }
+            let second = comm.all_reduce_sum(&[1.0]);
+            (first, second)
+        });
+        assert!(results[0].is_err());
+        for rank in [1, 2] {
+            let (first, second) = results[rank].as_ref().expect("body completed");
+            assert_eq!(first, &Ok(vec![3.0]));
+            assert_eq!(second, &Err(CommError::RankPanicked { rank: 0 }));
+        }
+    }
+
+    #[test]
+    fn deserting_rank_times_out_peers() {
+        let deadline = Duration::from_millis(100);
+        let started = Instant::now();
+        let results = run_cluster_with(3, CommConfig::with_timeout(deadline), |comm| {
+            if comm.rank() == 0 {
+                return Ok(()); // deserts: never joins the barrier
+            }
+            comm.barrier()
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "timeout did not fire"
+        );
+        for rank in [1, 2] {
+            match results[rank].as_ref().expect("no panic") {
+                Err(CommError::Timeout { waited, .. }) => assert!(*waited >= deadline),
+                other => panic!("rank {rank}: expected Timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_reported_on_all_ranks_without_deadlock() {
+        let results = all_ok(run_cluster(3, |comm| {
+            let local = vec![0.0; if comm.rank() == 1 { 5 } else { 3 }];
+            let mismatch = comm.all_reduce_sum(&local);
+            // The cluster survives: control flow stayed consistent, so a
+            // well-formed follow-up collective still works.
+            let ok = comm.all_reduce_sum(&[1.0]);
+            (mismatch, ok)
+        }));
+        for (rank, (mismatch, ok)) in results.iter().enumerate() {
+            assert!(
+                matches!(mismatch, Err(CommError::LengthMismatch { .. })),
+                "rank {rank}: {mismatch:?}"
+            );
+            assert_eq!(ok, &Ok(vec![3.0]));
+        }
+    }
+
+    #[test]
+    fn invalid_broadcast_root() {
+        let results = all_ok(run_cluster(2, |comm| comm.broadcast(7, &[1.0])));
+        for r in results {
+            assert_eq!(r, Err(CommError::InvalidRoot { root: 7, size: 2 }));
+        }
+    }
+
+    #[test]
+    fn timeout_not_triggered_by_healthy_cluster() {
+        let out = run_cluster_with(
+            4,
+            CommConfig::with_timeout(Duration::from_secs(30)),
+            |comm| comm.all_reduce_sum(&[comm.rank() as f64]).unwrap(),
+        );
+        for r in out {
+            assert_eq!(r.unwrap(), vec![6.0]);
+        }
     }
 }

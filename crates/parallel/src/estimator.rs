@@ -1,4 +1,4 @@
-//! The Parallel Parameter Estimator (paper §4, Fig. 8 & 9).
+//! The Parallel Parameter Estimator (paper §4, Fig. 8 & 9), hardened.
 //!
 //! The objective function distributes the experimental data files over
 //! the ranks (block distribution, or the previous call's LPT schedule
@@ -8,14 +8,30 @@
 //! local vectors into the global error vector every rank receives. The
 //! per-file solve times are reduced the same way and feed the next call's
 //! schedule.
+//!
+//! On top of the paper's design this estimator adds **graceful
+//! degradation**: generated ODE systems routinely hit stiffness
+//! pathologies at the extreme parameter values an optimizer probes, and a
+//! multi-hour estimation should not abort because one file's solve
+//! diverged. A failed [`Simulator::simulate`] call is retried under a
+//! configurable [`RetryPolicy`]; a file that keeps failing either aborts
+//! the objective ([`FailurePolicy::Abort`], the classic behavior) or
+//! contributes a bounded penalty residual and the run continues
+//! ([`FailurePolicy::Penalize`]). Every objective call attaches a
+//! [`HealthReport`] (per-file failures, retries, per-rank timings,
+//! poisoned-collective events) to its [`ObjectiveOutput`], and the
+//! estimator accumulates a cumulative report across the whole fit.
+//!
+//! When no failures occur, the error vectors are **bit-identical** to the
+//! non-hardened implementation: the fault handling is pure overhead-free
+//! control flow on the failure path.
 
-use std::time::Instant;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rms_nlopt::{optimize, LmOptions, LmResult, NloptError, Residual};
 
-use crate::comm::run_cluster;
+use crate::comm::{run_cluster_with, CommConfig, CommError, RankPanic};
 use crate::datafile::ExperimentFile;
 use crate::loadbalance::{block_schedule, lpt_schedule};
 
@@ -48,6 +64,224 @@ where
     }
 }
 
+/// How many times a failing simulation is re-attempted before the
+/// failure policy kicks in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail
+    /// immediately).
+    pub max_retries: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 1 }
+    }
+}
+
+/// What to do with a file whose simulation keeps failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abort the objective call with an error (the classic behavior).
+    #[default]
+    Abort,
+    /// Keep going: the failed file contributes a bounded penalty
+    /// residual, and the failure is recorded in the [`HealthReport`].
+    Penalize,
+}
+
+impl std::str::FromStr for FailurePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FailurePolicy, String> {
+        match s {
+            "abort" => Ok(FailurePolicy::Abort),
+            "penalize" => Ok(FailurePolicy::Penalize),
+            other => Err(format!(
+                "unknown failure policy '{other}' (expected 'penalize' or 'abort')"
+            )),
+        }
+    }
+}
+
+/// Fault-tolerance configuration for the estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Recompute the schedule from recorded times (LPT) after each call.
+    pub dynamic_lb: bool,
+    /// Retry budget for failing simulations.
+    pub retry: RetryPolicy,
+    /// Abort or penalize files that exhaust their retries.
+    pub on_failure: FailurePolicy,
+    /// Deadline for each collective; `None` waits forever.
+    pub collective_timeout: Option<Duration>,
+    /// Magnitude of the surrogate residual a penalized file contributes
+    /// at each of its record indices. Bounded and finite by construction,
+    /// so one sick file cannot poison the optimizer with NaNs.
+    pub penalty: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> EstimatorConfig {
+        EstimatorConfig {
+            dynamic_lb: false,
+            retry: RetryPolicy::default(),
+            on_failure: FailurePolicy::default(),
+            collective_timeout: None,
+            penalty: 1e3,
+        }
+    }
+}
+
+/// One file that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileFailure {
+    /// Index of the experiment file.
+    pub file: usize,
+    /// Its label.
+    pub label: String,
+    /// Attempts made (1 + retries).
+    pub attempts: usize,
+    /// The final simulator error.
+    pub error: String,
+    /// Whether a penalty residual was substituted (vs aborting).
+    pub penalized: bool,
+}
+
+impl std::fmt::Display for FileFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "file '{}' failed after {} attempt(s): {}",
+            self.label, self.attempts, self.error
+        )
+    }
+}
+
+/// Health telemetry for one objective call (or, via [`HealthReport::merge`],
+/// a whole estimation run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Objective evaluations folded into this report.
+    pub objective_calls: usize,
+    /// Files that exhausted their retries.
+    pub file_failures: Vec<FileFailure>,
+    /// Simulation retry attempts performed.
+    pub retries: usize,
+    /// Files that failed at least once but succeeded on a retry.
+    pub recovered: usize,
+    /// Per-rank wall-clock (seconds) of the latest call's parallel region.
+    pub per_rank_wall: Vec<f64>,
+    /// Poisoned/failed collective events (`rank: error` strings).
+    pub comm_errors: Vec<String>,
+    /// Rank panics caught by the runtime.
+    pub rank_panics: Vec<String>,
+}
+
+impl HealthReport {
+    /// True when nothing failed, nothing was retried, and no collective
+    /// was poisoned.
+    pub fn is_healthy(&self) -> bool {
+        self.file_failures.is_empty()
+            && self.retries == 0
+            && self.comm_errors.is_empty()
+            && self.rank_panics.is_empty()
+    }
+
+    /// Fold another report into this one (per-rank timings keep the most
+    /// recent call's values).
+    pub fn merge(&mut self, other: &HealthReport) {
+        self.objective_calls += other.objective_calls;
+        self.file_failures
+            .extend(other.file_failures.iter().cloned());
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        if !other.per_rank_wall.is_empty() {
+            self.per_rank_wall = other.per_rank_wall.clone();
+        }
+        self.comm_errors.extend(other.comm_errors.iter().cloned());
+        self.rank_panics.extend(other.rank_panics.iter().cloned());
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "health: {} objective call(s), {} retry(ies), {} recovered, {} permanent failure(s)",
+            self.objective_calls,
+            self.retries,
+            self.recovered,
+            self.file_failures.len()
+        );
+        for failure in &self.file_failures {
+            let _ = writeln!(
+                out,
+                "  {failure}{}",
+                if failure.penalized {
+                    " [penalized]"
+                } else {
+                    ""
+                }
+            );
+        }
+        for e in &self.comm_errors {
+            let _ = writeln!(out, "  collective: {e}");
+        }
+        for p in &self.rank_panics {
+            let _ = writeln!(out, "  panic: {p}");
+        }
+        if !self.per_rank_wall.is_empty() {
+            let _ = write!(out, "  last-call rank seconds:");
+            for w in &self.per_rank_wall {
+                let _ = write!(out, " {w:.3}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Why an objective evaluation failed as a whole.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorError {
+    /// One or more files failed under [`FailurePolicy::Abort`].
+    Simulation {
+        /// The files that exhausted their retries.
+        failures: Vec<FileFailure>,
+    },
+    /// A collective failed (peer panic, timeout, length mismatch).
+    Comm(CommError),
+    /// A rank's objective body panicked; caught by the runtime.
+    RankPanic(RankPanic),
+}
+
+impl std::fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorError::Simulation { failures } => {
+                let first = failures.first().expect("at least one failure");
+                if failures.len() == 1 {
+                    write!(f, "{first}")
+                } else {
+                    write!(f, "{first} (+{} more failures)", failures.len() - 1)
+                }
+            }
+            EstimatorError::Comm(e) => write!(f, "collective failed: {e}"),
+            EstimatorError::RankPanic(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+impl From<CommError> for EstimatorError {
+    fn from(e: CommError) -> EstimatorError {
+        EstimatorError::Comm(e)
+    }
+}
+
 /// One objective-function evaluation's outputs.
 #[derive(Debug, Clone)]
 pub struct ObjectiveOutput {
@@ -58,6 +292,18 @@ pub struct ObjectiveOutput {
     pub file_times: Vec<f64>,
     /// Wall-clock of the whole parallel region (seconds).
     pub wall_time: f64,
+    /// Failure/degradation telemetry for this call.
+    pub health: HealthReport,
+}
+
+/// What one rank hands back from the parallel region.
+struct RankOutput {
+    global_error: Vec<f64>,
+    global_time: Vec<f64>,
+    failures: Vec<FileFailure>,
+    retries: usize,
+    recovered: usize,
+    wall: f64,
 }
 
 /// The parallel parameter estimator.
@@ -65,20 +311,42 @@ pub struct ParallelEstimator<'a, S: Simulator> {
     simulator: &'a S,
     files: Vec<ExperimentFile>,
     n_ranks: usize,
-    dynamic_lb: bool,
+    config: EstimatorConfig,
     /// Per-file solve times recorded by the previous objective call.
     timings: Mutex<Option<Vec<f64>>>,
+    /// Health accumulated over every objective call.
+    cumulative: Mutex<HealthReport>,
     /// Length of the global error vector (max record count).
     max_records: usize,
 }
 
 impl<'a, S: Simulator> ParallelEstimator<'a, S> {
-    /// Create an estimator over replicated data files.
+    /// Create an estimator over replicated data files with default fault
+    /// handling (one retry, abort on permanent failure — the classic
+    /// semantics).
     pub fn new(
         simulator: &'a S,
         files: Vec<ExperimentFile>,
         n_ranks: usize,
         dynamic_lb: bool,
+    ) -> ParallelEstimator<'a, S> {
+        Self::with_config(
+            simulator,
+            files,
+            n_ranks,
+            EstimatorConfig {
+                dynamic_lb,
+                ..EstimatorConfig::default()
+            },
+        )
+    }
+
+    /// Create an estimator with explicit fault-tolerance configuration.
+    pub fn with_config(
+        simulator: &'a S,
+        files: Vec<ExperimentFile>,
+        n_ranks: usize,
+        config: EstimatorConfig,
     ) -> ParallelEstimator<'a, S> {
         assert!(n_ranks > 0, "need at least one rank");
         assert!(!files.is_empty(), "need at least one data file");
@@ -87,8 +355,9 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
             simulator,
             files,
             n_ranks,
-            dynamic_lb,
+            config,
             timings: Mutex::new(None),
+            cumulative: Mutex::new(HealthReport::default()),
             max_records,
         }
     }
@@ -98,65 +367,186 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
         self.files.len()
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
     /// The schedule the next objective call will use.
     pub fn current_schedule(&self) -> Vec<Vec<usize>> {
-        let timings = self.timings.lock();
-        match (&*timings, self.dynamic_lb) {
+        let timings = self.timings.lock().unwrap_or_else(|e| e.into_inner());
+        match (&*timings, self.config.dynamic_lb) {
             (Some(times), true) => lpt_schedule(times, self.n_ranks),
             _ => block_schedule(self.files.len(), self.n_ranks),
         }
+        .expect("n_ranks > 0 enforced at construction")
     }
 
     /// Per-file solve times recorded by the most recent objective call.
     pub fn recorded_times(&self) -> Option<Vec<f64>> {
-        self.timings.lock().clone()
+        self.timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Health accumulated across every objective call so far.
+    pub fn cumulative_health(&self) -> HealthReport {
+        self.cumulative
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Simulate one file with the retry policy applied.
+    fn simulate_with_retry(
+        &self,
+        rate_constants: &[f64],
+        file_idx: usize,
+        retries: &mut usize,
+    ) -> (usize, Result<Vec<f64>, String>) {
+        let file = &self.files[file_idx];
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self
+                .simulator
+                .simulate(rate_constants, file_idx, &file.times)
+            {
+                Ok(values) => return (attempts, Ok(values)),
+                Err(_) if attempts <= self.config.retry.max_retries => {
+                    *retries += 1;
+                }
+                Err(e) => return (attempts, Err(e)),
+            }
+        }
     }
 
     /// The Fig. 9 objective function.
-    pub fn objective(&self, rate_constants: &[f64]) -> Result<ObjectiveOutput, String> {
+    pub fn objective(&self, rate_constants: &[f64]) -> Result<ObjectiveOutput, EstimatorError> {
         let schedule = self.current_schedule();
         let n_files = self.files.len();
         let started = Instant::now();
-        let per_rank = run_cluster(self.n_ranks, |comm| {
+        let comm_config = CommConfig {
+            timeout: self.config.collective_timeout,
+        };
+        let per_rank = run_cluster_with(self.n_ranks, comm_config, |comm| {
+            let rank_started = Instant::now();
             let my_tasks = &schedule[comm.rank()];
             let mut error_vector = vec![0.0; self.max_records];
             let mut local_time = vec![0.0; n_files];
-            let mut failure: Option<String> = None;
+            let mut failures: Vec<FileFailure> = Vec::new();
+            let mut retries = 0;
+            let mut recovered = 0;
             for &file_idx in my_tasks {
                 let file = &self.files[file_idx];
                 let t0 = Instant::now();
-                match self
-                    .simulator
-                    .simulate(rate_constants, file_idx, &file.times)
-                {
+                let (attempts, outcome) =
+                    self.simulate_with_retry(rate_constants, file_idx, &mut retries);
+                match outcome {
                     Ok(simulated) => {
+                        if attempts > 1 {
+                            recovered += 1;
+                        }
                         for (j, (sim, exp)) in simulated.iter().zip(&file.values).enumerate() {
                             error_vector[j] += sim - exp;
                         }
                     }
-                    Err(e) => {
-                        failure = Some(format!("file '{}': {e}", file.label));
+                    Err(error) => {
+                        let penalized = self.config.on_failure == FailurePolicy::Penalize;
+                        if penalized {
+                            // Bounded surrogate residual at every record
+                            // the file would have covered: finite, large
+                            // enough to push the optimizer away, and it
+                            // keeps the fit running.
+                            for slot in error_vector.iter_mut().take(file.len()) {
+                                *slot += self.config.penalty;
+                            }
+                        }
+                        failures.push(FileFailure {
+                            file: file_idx,
+                            label: file.label.clone(),
+                            attempts,
+                            error,
+                            penalized,
+                        });
                     }
                 }
                 local_time[file_idx] = t0.elapsed().as_secs_f64();
             }
             // All ranks participate in the reductions even on failure, so
-            // the collective does not deadlock.
-            let global_error = comm.all_reduce_sum(&error_vector);
-            let global_time = comm.all_reduce_sum(&local_time);
-            (global_error, global_time, failure)
+            // the collective stays synchronized; a panicked peer poisons
+            // these reduces instead of deadlocking us.
+            let global_error = comm.all_reduce_sum(&error_vector)?;
+            let global_time = comm.all_reduce_sum(&local_time)?;
+            Ok::<RankOutput, CommError>(RankOutput {
+                global_error,
+                global_time,
+                failures,
+                retries,
+                recovered,
+                wall: rank_started.elapsed().as_secs_f64(),
+            })
         });
         let wall_time = started.elapsed().as_secs_f64();
-        let (global_error, global_time, _) = per_rank[0].clone();
-        if let Some(err) = per_rank.into_iter().find_map(|(_, _, f)| f) {
-            return Err(err);
+
+        // Merge the per-rank outcomes into one call-level health report.
+        let mut health = HealthReport {
+            objective_calls: 1,
+            per_rank_wall: vec![0.0; self.n_ranks],
+            ..HealthReport::default()
+        };
+        let mut global: Option<(Vec<f64>, Vec<f64>)> = None;
+        let mut first_comm_error: Option<CommError> = None;
+        let mut first_panic: Option<RankPanic> = None;
+        for (rank, outcome) in per_rank.into_iter().enumerate() {
+            match outcome {
+                Err(panic) => {
+                    health.rank_panics.push(panic.to_string());
+                    first_panic.get_or_insert(panic);
+                }
+                Ok(Err(comm_error)) => {
+                    health
+                        .comm_errors
+                        .push(format!("rank {rank}: {comm_error}"));
+                    first_comm_error.get_or_insert(comm_error);
+                }
+                Ok(Ok(output)) => {
+                    health.per_rank_wall[rank] = output.wall;
+                    health.retries += output.retries;
+                    health.recovered += output.recovered;
+                    health.file_failures.extend(output.failures);
+                    if global.is_none() {
+                        global = Some((output.global_error, output.global_time));
+                    }
+                }
+            }
+        }
+        health.file_failures.sort_by_key(|f| f.file);
+        self.cumulative
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&health);
+
+        if let Some(panic) = first_panic {
+            return Err(EstimatorError::RankPanic(panic));
+        }
+        if let Some(comm_error) = first_comm_error {
+            return Err(EstimatorError::Comm(comm_error));
+        }
+        let (global_error, global_time) = global.expect("some rank succeeded");
+        if self.config.on_failure == FailurePolicy::Abort && !health.file_failures.is_empty() {
+            return Err(EstimatorError::Simulation {
+                failures: health.file_failures,
+            });
         }
         // Feed the dynamic load balancer for the next call.
-        *self.timings.lock() = Some(global_time.clone());
+        *self.timings.lock().unwrap_or_else(|e| e.into_inner()) = Some(global_time.clone());
         Ok(ObjectiveOutput {
             error_vector: global_error,
             file_times: global_time,
             wall_time,
+            health,
         })
     }
 
@@ -193,7 +583,10 @@ impl<S: Simulator> Residual for ObjectiveResidual<'_, '_, S> {
     }
 
     fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String> {
-        let result = self.estimator.objective(params)?;
+        let result = self
+            .estimator
+            .objective(params)
+            .map_err(|e| e.to_string())?;
         out.copy_from_slice(&result.error_vector);
         Ok(())
     }
@@ -234,6 +627,7 @@ mod tests {
         let out = est.objective(&truth).unwrap();
         assert!(out.error_vector.iter().all(|v| v.abs() < 1e-12));
         assert_eq!(out.file_times.len(), 4);
+        assert!(out.health.is_healthy(), "{}", out.health.summary());
     }
 
     #[test]
@@ -304,7 +698,38 @@ mod tests {
         let truth = [1.0, 0.0];
         let files = make_files(2, 5, &truth);
         let est = ParallelEstimator::new(&model, files, 2, false);
-        assert!(est.objective(&[-1.0, 0.0]).is_err());
+        let err = est.objective(&[-1.0, 0.0]).unwrap_err();
+        assert!(
+            matches!(&err, EstimatorError::Simulation { failures } if !failures.is_empty()),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("negative rate"), "{err}");
+    }
+
+    #[test]
+    fn penalize_policy_survives_deterministic_failure() {
+        let truth = [1.0, 0.0];
+        let files = make_files(3, 5, &truth);
+        let est = ParallelEstimator::with_config(
+            &model,
+            files,
+            2,
+            EstimatorConfig {
+                on_failure: FailurePolicy::Penalize,
+                penalty: 100.0,
+                ..EstimatorConfig::default()
+            },
+        );
+        // Every file fails (negative rate): the objective still returns,
+        // each record carrying 3 files × the penalty.
+        let out = est.objective(&[-1.0, 0.0]).unwrap();
+        for v in &out.error_vector {
+            assert!((v - 300.0).abs() < 1e-12, "{v}");
+        }
+        assert_eq!(out.health.file_failures.len(), 3);
+        assert!(out.health.file_failures.iter().all(|f| f.penalized));
+        // Cumulative report tracks it too.
+        assert_eq!(est.cumulative_health().file_failures.len(), 3);
     }
 
     #[test]

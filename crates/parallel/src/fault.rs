@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the parallel runtime.
+//!
+//! Testing fault tolerance with real faults is flaky by construction, so
+//! this module provides a deterministic harness instead: a [`FaultPlan`]
+//! names exactly which simulator calls misbehave — by global call index
+//! or by file index — and [`FaultySimulator`] wraps any real
+//! [`Simulator`], consulting the plan on every call. The same plan always
+//! produces the same fault sequence, so the integration tests in
+//! `tests/fault_tolerance.rs` can assert exact failure counts, exact
+//! [`HealthReport`](crate::estimator::HealthReport) contents, and
+//! bit-identical no-fault behavior.
+//!
+//! Three fault kinds cover the failure model in DESIGN.md:
+//!
+//! * **simulator errors** — `simulate` returns `Err`, either for the
+//!   first `n` attempts on a file (exercising retry/penalty paths) or
+//!   unconditionally;
+//! * **rank panics** — `simulate` panics at a chosen global call index,
+//!   exercising `catch_unwind` containment and rendezvous poisoning;
+//! * **slowdowns** — `simulate` sleeps before delegating, exercising
+//!   collective deadlines and load-balance skew.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::estimator::Simulator;
+
+/// One file's scripted failure behavior.
+#[derive(Debug, Clone)]
+struct FileFault {
+    /// Fail this many attempts before letting the real simulator run;
+    /// `usize::MAX` means fail every attempt.
+    fail_attempts: usize,
+    /// The error message to return.
+    message: String,
+}
+
+/// A deterministic script of faults to inject.
+///
+/// Built with the `fail_file`/`panic_at_call`/`slow_call` builder
+/// methods; attach it to a simulator with [`FaultySimulator::new`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Per-file scripted simulator errors.
+    file_faults: HashMap<usize, FileFault>,
+    /// Global call indices (0-based, counted across all ranks) at which
+    /// `simulate` panics.
+    panic_calls: Vec<usize>,
+    /// Global call indices at which `simulate` sleeps first.
+    slow_calls: HashMap<usize, Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults; the wrapper is a transparent pass-through.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Make `simulate` for `file` fail its first `attempts` attempts with
+    /// `message`, then succeed. Pass `usize::MAX` to fail permanently.
+    pub fn fail_file(mut self, file: usize, attempts: usize, message: &str) -> FaultPlan {
+        self.file_faults.insert(
+            file,
+            FileFault {
+                fail_attempts: attempts,
+                message: message.to_string(),
+            },
+        );
+        self
+    }
+
+    /// Make `simulate` for `file` fail every attempt with `message`.
+    pub fn fail_file_permanently(self, file: usize, message: &str) -> FaultPlan {
+        self.fail_file(file, usize::MAX, message)
+    }
+
+    /// Panic inside the `call`-th `simulate` invocation (0-based, counted
+    /// globally across ranks in arrival order).
+    pub fn panic_at_call(mut self, call: usize) -> FaultPlan {
+        self.panic_calls.push(call);
+        self
+    }
+
+    /// Sleep for `delay` at the start of the `call`-th invocation.
+    pub fn slow_call(mut self, call: usize, delay: Duration) -> FaultPlan {
+        self.slow_calls.insert(call, delay);
+        self
+    }
+
+    /// Number of files with scripted errors.
+    pub fn faulty_file_count(&self) -> usize {
+        self.file_faults.len()
+    }
+}
+
+/// A [`Simulator`] wrapper that injects the faults scripted in a
+/// [`FaultPlan`] and otherwise delegates to the wrapped simulator.
+pub struct FaultySimulator<S> {
+    inner: S,
+    plan: FaultPlan,
+    /// Global `simulate` call counter (across all ranks).
+    calls: AtomicUsize,
+    /// Per-file attempt counters, for `fail_file`'s attempt budgets.
+    attempts: Mutex<HashMap<usize, usize>>,
+}
+
+impl<S: Simulator> FaultySimulator<S> {
+    /// Wrap `inner`, injecting the faults scripted in `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultySimulator<S> {
+        FaultySimulator {
+            inner,
+            plan,
+            calls: AtomicUsize::new(0),
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Total `simulate` calls observed so far (across all ranks,
+    /// including failed and panicked ones).
+    pub fn call_count(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Attempts observed for `file` so far.
+    pub fn attempts_for(&self, file: usize) -> usize {
+        self.attempts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&file)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl<S: Simulator> Simulator for FaultySimulator<S> {
+    fn simulate(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
+        if let Some(delay) = self.plan.slow_calls.get(&call) {
+            std::thread::sleep(*delay);
+        }
+        if self.plan.panic_calls.contains(&call) {
+            panic!("injected panic at simulate call {call} (file {file_index})");
+        }
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = attempts.entry(file_index).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        if let Some(fault) = self.plan.file_faults.get(&file_index) {
+            if attempt <= fault.fail_attempts {
+                return Err(fault.message.clone());
+            }
+        }
+        self.inner.simulate(rate_constants, file_index, times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_model(_p: &[f64], _file: usize, times: &[f64]) -> Result<Vec<f64>, String> {
+        Ok(vec![1.0; times.len()])
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let sim = FaultySimulator::new(ok_model, FaultPlan::new());
+        let out = sim.simulate(&[1.0], 0, &[0.1, 0.2]).unwrap();
+        assert_eq!(out, vec![1.0, 1.0]);
+        assert_eq!(sim.call_count(), 1);
+    }
+
+    #[test]
+    fn fail_file_respects_attempt_budget() {
+        let plan = FaultPlan::new().fail_file(3, 2, "transient");
+        let sim = FaultySimulator::new(ok_model, plan);
+        assert_eq!(sim.simulate(&[], 3, &[0.1]), Err("transient".to_string()));
+        assert_eq!(sim.simulate(&[], 3, &[0.1]), Err("transient".to_string()));
+        assert!(sim.simulate(&[], 3, &[0.1]).is_ok());
+        // Other files are untouched.
+        assert!(sim.simulate(&[], 0, &[0.1]).is_ok());
+        assert_eq!(sim.attempts_for(3), 3);
+    }
+
+    #[test]
+    fn permanent_failure_never_recovers() {
+        let plan = FaultPlan::new().fail_file_permanently(0, "broken");
+        let sim = FaultySimulator::new(ok_model, plan);
+        for _ in 0..10 {
+            assert!(sim.simulate(&[], 0, &[0.1]).is_err());
+        }
+    }
+
+    #[test]
+    fn panic_fires_at_exact_call_index() {
+        let plan = FaultPlan::new().panic_at_call(1);
+        let sim = FaultySimulator::new(ok_model, plan);
+        assert!(sim.simulate(&[], 0, &[0.1]).is_ok());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sim.simulate(&[], 0, &[0.1]);
+        }));
+        assert!(caught.is_err());
+        assert!(sim.simulate(&[], 0, &[0.1]).is_ok());
+    }
+
+    #[test]
+    fn slow_call_delays() {
+        let plan = FaultPlan::new().slow_call(0, Duration::from_millis(30));
+        let sim = FaultySimulator::new(ok_model, plan);
+        let t0 = std::time::Instant::now();
+        sim.simulate(&[], 0, &[0.1]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+}

@@ -11,16 +11,31 @@
 //! * [`datafile`]: the `<t, value>` experimental record files, replicated
 //!   across ranks;
 //! * [`estimator`]: the Parallel Parameter Estimator — the Fig. 9
-//!   objective function and the Fig. 8 bounded least-squares driver.
+//!   objective function and the Fig. 8 bounded least-squares driver,
+//!   with retry/penalty degradation and per-call health reports;
+//! * [`fault`]: deterministic fault injection (scripted simulator errors,
+//!   rank panics, slowdowns) for the fault-tolerance test suite.
+//!
+//! The runtime is panic-safe and deadline-capable: collectives return
+//! `Result<_, CommError>`, a panicking rank poisons the rendezvous so its
+//! peers fail fast instead of deadlocking, and an optional per-collective
+//! timeout converts stalls into errors (see DESIGN.md §7).
 
 #![warn(missing_docs)]
 
 pub mod comm;
 pub mod datafile;
 pub mod estimator;
+pub mod fault;
 pub mod loadbalance;
 
-pub use comm::{run_cluster, Communicator};
+pub use comm::{run_cluster, run_cluster_with, CommConfig, CommError, Communicator, RankPanic};
 pub use datafile::{DataFileError, ExperimentFile};
-pub use estimator::{ObjectiveOutput, ParallelEstimator, Simulator};
-pub use loadbalance::{block_schedule, lpt_schedule, makespan, makespan_lower_bound};
+pub use estimator::{
+    EstimatorConfig, EstimatorError, FailurePolicy, FileFailure, HealthReport, ObjectiveOutput,
+    ParallelEstimator, RetryPolicy, Simulator,
+};
+pub use fault::{FaultPlan, FaultySimulator};
+pub use loadbalance::{
+    block_schedule, lpt_schedule, makespan, makespan_lower_bound, ScheduleError,
+};

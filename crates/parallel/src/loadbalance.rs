@@ -29,21 +29,46 @@ impl Ord for OrdF64 {
     }
 }
 
+/// A schedule could not be built from the given shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// `workers == 0`: there is nowhere to put the tasks.
+    NoWorkers,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoWorkers => {
+                write!(f, "cannot schedule tasks onto zero workers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Static block distribution (the no-load-balancing baseline):
 /// contiguous blocks of `ceil(n/workers)` tasks per worker, matching the
 /// paper's `BLOCK_SIZE()` loop over each rank's share of the files.
-pub fn block_schedule(n_tasks: usize, workers: usize) -> Vec<Vec<usize>> {
+pub fn block_schedule(n_tasks: usize, workers: usize) -> Result<Vec<Vec<usize>>, ScheduleError> {
+    if workers == 0 {
+        return Err(ScheduleError::NoWorkers);
+    }
     let per_worker = n_tasks.div_ceil(workers);
     let mut assignment = vec![Vec::new(); workers];
     for task in 0..n_tasks {
         assignment[(task / per_worker.max(1)).min(workers - 1)].push(task);
     }
-    assignment
+    Ok(assignment)
 }
 
 /// LPT schedule from recorded per-task times: largest task first onto the
 /// least-loaded worker. Returns per-worker task lists.
-pub fn lpt_schedule(times: &[f64], workers: usize) -> Vec<Vec<usize>> {
+pub fn lpt_schedule(times: &[f64], workers: usize) -> Result<Vec<Vec<usize>>, ScheduleError> {
+    if workers == 0 {
+        return Err(ScheduleError::NoWorkers);
+    }
     let mut order: Vec<usize> = (0..times.len()).collect();
     // Non-increasing sorted time list (the paper's priority queue).
     order.sort_by(|&a, &b| times[b].total_cmp(&times[a]));
@@ -56,7 +81,7 @@ pub fn lpt_schedule(times: &[f64], workers: usize) -> Vec<Vec<usize>> {
         assignment[worker].push(task);
         heap.push(Reverse((OrdF64(load + times[task]), worker)));
     }
-    assignment
+    Ok(assignment)
 }
 
 /// Makespan of a schedule under the given task times: the bottleneck
@@ -78,24 +103,42 @@ pub fn makespan_lower_bound(times: &[f64], workers: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn block_contiguous_covers_all_tasks() {
-        let s = block_schedule(10, 3);
+        let s = block_schedule(10, 3).unwrap();
         assert_eq!(s[0], vec![0, 1, 2, 3]);
         assert_eq!(s[1], vec![4, 5, 6, 7]);
         assert_eq!(s[2], vec![8, 9]);
         let total: usize = s.iter().map(Vec::len).sum();
         assert_eq!(total, 10);
         // Degenerate shapes.
-        assert_eq!(block_schedule(2, 4), vec![vec![0], vec![1], vec![], vec![]]);
-        assert_eq!(block_schedule(0, 2), vec![Vec::<usize>::new(), Vec::new()]);
+        assert_eq!(
+            block_schedule(2, 4).unwrap(),
+            vec![vec![0], vec![1], vec![], vec![]]
+        );
+        assert_eq!(
+            block_schedule(0, 2).unwrap(),
+            vec![Vec::<usize>::new(), Vec::new()]
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_panic() {
+        assert_eq!(block_schedule(5, 0), Err(ScheduleError::NoWorkers));
+        assert_eq!(block_schedule(0, 0), Err(ScheduleError::NoWorkers));
+        assert_eq!(lpt_schedule(&[1.0, 2.0], 0), Err(ScheduleError::NoWorkers));
+        assert_eq!(lpt_schedule(&[], 0), Err(ScheduleError::NoWorkers));
+        assert!(ScheduleError::NoWorkers
+            .to_string()
+            .contains("zero workers"));
     }
 
     #[test]
     fn lpt_assigns_every_task_once() {
         let times = vec![5.0, 1.0, 3.0, 2.0, 4.0];
-        let s = lpt_schedule(&times, 2);
+        let s = lpt_schedule(&times, 2).unwrap();
         let mut seen: Vec<usize> = s.iter().flatten().copied().collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
@@ -105,8 +148,8 @@ mod tests {
     fn lpt_beats_block_on_skewed_times() {
         // One huge task first: block piles big tasks onto worker 0.
         let times = vec![10.0, 9.0, 1.0, 1.0];
-        let block = block_schedule(4, 2);
-        let lpt = lpt_schedule(&times, 2);
+        let block = block_schedule(4, 2).unwrap();
+        let lpt = lpt_schedule(&times, 2).unwrap();
         assert!(makespan(&lpt, &times) < makespan(&block, &times));
         assert_eq!(makespan(&lpt, &times), 11.0);
     }
@@ -122,7 +165,7 @@ mod tests {
             let n = rng.gen_range(1..40);
             let workers = rng.gen_range(1..10);
             let times: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
-            let s = lpt_schedule(&times, workers);
+            let s = lpt_schedule(&times, workers).unwrap();
             let bound = makespan_lower_bound(&times, workers);
             assert!(
                 makespan(&s, &times) <= 2.0 * bound + 1e-9,
@@ -137,8 +180,8 @@ mod tests {
         // Paper: "At 16 nodes, there is only one task to schedule per
         // processor, so the load balancing algorithm has no effect."
         let times: Vec<f64> = (1..=16).map(|i| i as f64).collect();
-        let block = block_schedule(16, 16);
-        let lpt = lpt_schedule(&times, 16);
+        let block = block_schedule(16, 16).unwrap();
+        let lpt = lpt_schedule(&times, 16).unwrap();
         assert_eq!(makespan(&block, &times), makespan(&lpt, &times));
         assert_eq!(makespan(&lpt, &times), 16.0);
     }
@@ -146,14 +189,48 @@ mod tests {
     #[test]
     fn single_worker_gets_everything() {
         let times = vec![1.0, 2.0, 3.0];
-        let s = lpt_schedule(&times, 1);
+        let s = lpt_schedule(&times, 1).unwrap();
         assert_eq!(s[0].len(), 3);
         assert_eq!(makespan(&s, &times), 6.0);
     }
 
     #[test]
     fn empty_tasks() {
-        assert_eq!(makespan(&lpt_schedule(&[], 4), &[]), 0.0);
+        assert_eq!(makespan(&lpt_schedule(&[], 4).unwrap(), &[]), 0.0);
         assert_eq!(makespan_lower_bound(&[], 4), 0.0);
+    }
+
+    /// Assert `schedule` assigns each of `n_tasks` to exactly one worker.
+    fn assert_exact_cover(schedule: &[Vec<usize>], n_tasks: usize) -> Result<(), TestCaseError> {
+        let mut count = vec![0usize; n_tasks];
+        for tasks in schedule {
+            for &t in tasks {
+                prop_assert!(t < n_tasks, "task {t} out of range ({n_tasks} tasks)");
+                count[t] += 1;
+            }
+        }
+        for (t, &c) in count.iter().enumerate() {
+            prop_assert_eq!(c, 1, "task {} assigned {} times", t, c);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        // Every schedule is an exact cover: each task on exactly one
+        // worker, no duplicates, no drops — for any task count, worker
+        // count, and time distribution.
+        #[test]
+        fn schedules_cover_each_task_exactly_once(
+            times in prop::collection::vec(0.0f64..100.0, 0..64),
+            workers in 1usize..17,
+        ) {
+            let n_tasks = times.len();
+            let block = block_schedule(n_tasks, workers).unwrap();
+            prop_assert_eq!(block.len(), workers);
+            assert_exact_cover(&block, n_tasks)?;
+            let lpt = lpt_schedule(&times, workers).unwrap();
+            prop_assert_eq!(lpt.len(), workers);
+            assert_exact_cover(&lpt, n_tasks)?;
+        }
     }
 }

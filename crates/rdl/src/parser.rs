@@ -246,8 +246,8 @@ impl<'a> Lexer<'a> {
                     self.bump_char();
                 }
                 // Careful: `2..8` must lex as Int(2) DotDot Int(8).
-                let is_float = self.peek_char() == Some('.')
-                    && self.src[self.pos + 1..].chars().next() != Some('.');
+                let is_float =
+                    self.peek_char() == Some('.') && !self.src[self.pos + 1..].starts_with('.');
                 if is_float {
                     self.bump_char();
                     while self.peek_char().is_some_and(|c| c.is_ascii_digit()) {

@@ -216,7 +216,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 } else {
                     (0.9 * err.powf(-1.0 / (k as f64 + 1.0))).clamp(0.5, 2.0)
                 };
-                if factor > 1.1 || factor < 0.9 {
+                if !(0.9..=1.1).contains(&factor) {
                     let new_h = (self.h * factor).min(self.options.h_max);
                     self.change_step(new_h);
                 }

@@ -22,9 +22,11 @@ pub struct SparsityPattern {
 impl SparsityPattern {
     /// Build from per-row column lists (each sorted ascending).
     pub fn new(rows: Vec<Vec<u32>>, n_cols: usize) -> SparsityPattern {
-        debug_assert!(rows
-            .iter()
-            .all(|r| r.windows(2).all(|w| w[0] < w[1]) && r.iter().all(|&c| (c as usize) < n_cols)));
+        debug_assert!(
+            rows.iter()
+                .all(|r| r.windows(2).all(|w| w[0] < w[1])
+                    && r.iter().all(|&c| (c as usize) < n_cols))
+        );
         SparsityPattern { rows, n_cols }
     }
 
@@ -206,7 +208,10 @@ mod tests {
         for i in 0..n {
             for &j in pattern.row(i) {
                 let (a, b) = (dense[(i, j as usize)], colored[(i, j as usize)]);
-                assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "({i},{j}): {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                    "({i},{j}): {a} vs {b}"
+                );
             }
         }
     }

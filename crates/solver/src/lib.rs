@@ -14,6 +14,10 @@
 //! * [`jacobian`]: forward-difference dense Jacobians.
 
 #![warn(missing_docs)]
+// The numerical kernels index several parallel arrays per loop (stencil
+// coefficients against state vectors); explicit indices keep them in the
+// shape of the literature they implement.
+#![allow(clippy::needless_range_loop)]
 
 pub mod adams;
 pub mod bdf;

@@ -228,8 +228,8 @@ mod tests {
             SolverOptions::default(),
         )
         .unwrap();
-        for (t, s) in [0.5, 1.0, 2.0].iter().zip(&sol) {
-            let exact = (-2.0 * *t as f64).exp();
+        for (t, s) in [0.5f64, 1.0, 2.0].iter().zip(&sol) {
+            let exact = (-2.0 * *t).exp();
             assert!((s[0] - exact).abs() < 1e-6, "t={t}: {} vs {exact}", s[0]);
         }
         assert!(stats.steps > 0);

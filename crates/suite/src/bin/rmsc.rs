@@ -6,7 +6,8 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("rmsc: {e}");
-            std::process::exit(1);
+            // Usage errors exit 2, runtime failures exit 1.
+            std::process::exit(e.exit_code());
         }
     }
 }

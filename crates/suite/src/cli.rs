@@ -4,9 +4,10 @@
 //! wrapper.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use rms_nlopt::FitStatistics;
-use rms_parallel::ExperimentFile;
+use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
 use crate::{compile_source, LmOptions, OptLevel, ParallelEstimator, SolverOptions, SuiteModel};
 
@@ -60,6 +61,12 @@ pub enum Command {
         observe: Vec<String>,
         /// Worker ranks.
         workers: usize,
+        /// Deadline (seconds) for each collective; `None` waits forever.
+        collective_timeout: Option<f64>,
+        /// Retry budget for failing simulations.
+        max_retries: usize,
+        /// Penalize or abort on a permanently failing file.
+        on_failure: FailurePolicy,
     },
     /// Print usage.
     Help,
@@ -80,20 +87,47 @@ pub enum Emit {
     Conservation,
 }
 
-/// CLI errors (argument or execution).
-#[derive(Debug)]
-pub struct CliError(pub String);
+/// CLI errors, split by phase so the binary can exit with the
+/// conventional code: 2 for a bad invocation, 1 for a runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The argument vector was malformed (exit code 2).
+    Usage(String),
+    /// The command itself failed (exit code 1).
+    Runtime(String),
+}
+
+impl CliError {
+    /// The message without the phase tag.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+
+    /// Conventional process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.message())
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::Runtime(msg.into())
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
 }
 
 /// Usage text.
@@ -106,6 +140,8 @@ USAGE:
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
+                [--collective-timeout SECS] [--max-retries N]
+                [--on-solver-failure penalize|abort]
   rmsc help
 ";
 
@@ -122,7 +158,7 @@ fn parse_level(args: &[String]) -> Result<OptLevel, CliError> {
         Some("none") => Ok(OptLevel::None),
         Some("simplify") => Ok(OptLevel::Simplify),
         Some("algebraic") => Ok(OptLevel::Algebraic),
-        Some(other) => Err(err(format!("unknown --level '{other}'"))),
+        Some(other) => Err(usage_err(format!("unknown --level '{other}'"))),
     }
 }
 
@@ -132,12 +168,28 @@ fn parse_observe(args: &[String]) -> Vec<String> {
         .unwrap_or_default()
 }
 
+/// Reject any `--flag` not in `known` so a typo'd option is a usage
+/// error instead of being silently ignored.
+fn reject_unknown_flags(args: &[String], known: &[&str]) -> Result<(), CliError> {
+    if let Some(bad) = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .find(|a| !known.contains(&a.as_str()))
+    {
+        return Err(usage_err(format!(
+            "unknown option '{bad}' (expected one of: {})",
+            known.join(", ")
+        )));
+    }
+    Ok(())
+}
+
 fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, CliError> {
     match flag_value(args, key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| err(format!("{key} takes a number, got '{v}'"))),
+            .map_err(|_| usage_err(format!("{key} takes a number, got '{v}'"))),
     }
 }
 
@@ -146,16 +198,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let Some(sub) = args.first() else {
         return Ok(Command::Help);
     };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help);
+    }
     let input = |idx: usize| -> Result<PathBuf, CliError> {
         args.get(idx)
             .filter(|a| !a.starts_with("--"))
             .map(PathBuf::from)
-            .ok_or_else(|| err("expected a model file path"))
+            .ok_or_else(|| usage_err("expected a model file path"))
     };
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "compile" => Ok(Command::Compile {
-            input: input(1)?,
+            input: {
+                reject_unknown_flags(args, &["--level", "--emit"])?;
+                input(1)?
+            },
             level: parse_level(args)?,
             emit: match flag_value(args, "--emit") {
                 None | Some("stats") => Emit::Stats,
@@ -163,35 +221,82 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some("odes") => Emit::Odes,
                 Some("c") => Emit::C,
                 Some("conservation") => Emit::Conservation,
-                Some(other) => return Err(err(format!("unknown --emit '{other}'"))),
+                Some(other) => return Err(usage_err(format!("unknown --emit '{other}'"))),
             },
         }),
         "simulate" => Ok(Command::Simulate {
-            input: input(1)?,
+            input: {
+                reject_unknown_flags(args, &["--level", "--tend", "--steps", "--observe"])?;
+                input(1)?
+            },
             level: parse_level(args)?,
             tend: parse_num(args, "--tend", 1.0)?,
             steps: parse_num(args, "--steps", 10)?,
             observe: parse_observe(args),
         }),
         "synthesize" => Ok(Command::Synthesize {
-            input: input(1)?,
+            input: {
+                reject_unknown_flags(
+                    args,
+                    &["--observe", "--out", "--files", "--records", "--tend"],
+                )?;
+                input(1)?
+            },
             observe: parse_observe(args),
             out_dir: flag_value(args, "--out")
                 .map(PathBuf::from)
-                .ok_or_else(|| err("synthesize requires --out DIR"))?,
+                .ok_or_else(|| usage_err("synthesize requires --out DIR"))?,
             files: parse_num(args, "--files", 16)?,
             records: parse_num(args, "--records", 200)?,
             tend: parse_num(args, "--tend", 2.0)?,
         }),
-        "estimate" => Ok(Command::Estimate {
-            input: input(1)?,
-            data_dir: flag_value(args, "--data")
-                .map(PathBuf::from)
-                .ok_or_else(|| err("estimate requires --data DIR"))?,
-            observe: parse_observe(args),
-            workers: parse_num(args, "--workers", 2)?,
-        }),
-        other => Err(err(format!("unknown subcommand '{other}'\n{USAGE}"))),
+        "estimate" => {
+            reject_unknown_flags(
+                args,
+                &[
+                    "--data",
+                    "--observe",
+                    "--workers",
+                    "--collective-timeout",
+                    "--max-retries",
+                    "--on-solver-failure",
+                ],
+            )?;
+            let workers = parse_num(args, "--workers", 2)?;
+            if workers == 0 {
+                return Err(usage_err("--workers must be at least 1"));
+            }
+            let collective_timeout = match flag_value(args, "--collective-timeout") {
+                None => None,
+                Some(v) => {
+                    let secs: f64 = v.parse().map_err(|_| {
+                        usage_err(format!("--collective-timeout takes seconds, got '{v}'"))
+                    })?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(usage_err(format!(
+                            "--collective-timeout must be a positive number of seconds, got '{v}'"
+                        )));
+                    }
+                    Some(secs)
+                }
+            };
+            let on_failure = match flag_value(args, "--on-solver-failure") {
+                None => FailurePolicy::Penalize,
+                Some(v) => v.parse().map_err(|e: String| usage_err(e))?,
+            };
+            Ok(Command::Estimate {
+                input: input(1)?,
+                data_dir: flag_value(args, "--data")
+                    .map(PathBuf::from)
+                    .ok_or_else(|| usage_err("estimate requires --data DIR"))?,
+                observe: parse_observe(args),
+                workers,
+                collective_timeout,
+                max_retries: parse_num(args, "--max-retries", 1)?,
+                on_failure,
+            })
+        }
+        other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
 }
 
@@ -230,11 +335,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 Emit::Conservation => {
                     let laws = rms_odegen::conservation_laws(&model.network);
                     let mut out = String::new();
-                    let _ = writeln!(
-                        out,
-                        "{} conservation law(s) (w . y = const):",
-                        laws.len()
-                    );
+                    let _ = writeln!(out, "{} conservation law(s) (w . y = const):", laws.len());
                     for (i, w) in laws.iter().enumerate() {
                         let _ = write!(out, "  law {i}: ");
                         let mut first = true;
@@ -378,6 +479,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             data_dir,
             observe,
             workers,
+            collective_timeout,
+            max_retries,
+            on_failure,
         } => {
             let model = load_model(input, OptLevel::Full)?;
             let weights = observable_or_all(&model, observe)?;
@@ -401,7 +505,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 .map(|p| ExperimentFile::read(p).map_err(|e| err(format!("{}: {e}", p.display()))))
                 .collect::<Result<_, _>>()?;
 
-            let estimator = ParallelEstimator::new(&simulator, data, *workers, true);
+            if *workers == 0 {
+                return Err(err("--workers must be at least 1"));
+            }
+            let config = EstimatorConfig {
+                dynamic_lb: true,
+                retry: RetryPolicy {
+                    max_retries: *max_retries,
+                },
+                on_failure: *on_failure,
+                collective_timeout: collective_timeout.map(Duration::from_secs_f64),
+                ..EstimatorConfig::default()
+            };
+            let estimator = ParallelEstimator::with_config(&simulator, data, *workers, config);
             let names: Vec<String> = (0..model.rates.distinct_count())
                 .map(|i| {
                     model
@@ -449,7 +565,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     self.m
                 }
                 fn eval(&self, p: &[f64], out: &mut [f64]) -> Result<(), String> {
-                    let o = self.estimator.objective(p)?;
+                    let o = self.estimator.objective(p).map_err(|e| e.to_string())?;
                     out.copy_from_slice(&o.error_vector);
                     Ok(())
                 }
@@ -463,6 +579,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             {
                 let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
                 let _ = writeln!(out, "{}", stats.report(&name_refs));
+            }
+            // Degradation telemetry: silent when the run was clean.
+            let health = estimator.cumulative_health();
+            if !health.is_healthy() {
+                let _ = write!(out, "{}", health.summary());
+            }
+            let fallback = simulator.fallback_stats();
+            if fallback.bdf_failures > 0 {
+                let _ = writeln!(
+                    out,
+                    "solver fallback: {} BDF failure(s), {} recovered by tightened tolerances, {} by RK45",
+                    fallback.bdf_failures,
+                    fallback.tightened_recoveries,
+                    fallback.rk45_recoveries
+                );
             }
             Ok(out)
         }
@@ -569,7 +700,63 @@ mod tests {
         let cmd = parse_args(&argv("compile /definitely/not/here.rdl")).unwrap();
         let result = run(&cmd);
         assert!(result.is_err());
-        assert!(result.unwrap_err().0.contains("cannot read"));
+        let error = result.unwrap_err();
+        assert!(error.message().contains("cannot read"));
+        // A missing file is a runtime failure (exit 1), not a usage error.
+        assert_eq!(error.exit_code(), 1);
+    }
+
+    #[test]
+    fn estimate_flags_parse_and_validate() {
+        let cmd = parse_args(&argv(
+            "estimate m.rdl --data d --workers 3 --collective-timeout 2.5 \
+             --max-retries 4 --on-solver-failure abort",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Estimate {
+                input: PathBuf::from("m.rdl"),
+                data_dir: PathBuf::from("d"),
+                observe: vec![],
+                workers: 3,
+                collective_timeout: Some(2.5),
+                max_retries: 4,
+                on_failure: FailurePolicy::Abort,
+            }
+        );
+        // Defaults: 2 workers, no deadline, 1 retry, penalize.
+        let cmd = parse_args(&argv("estimate m.rdl --data d")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Estimate {
+                input: PathBuf::from("m.rdl"),
+                data_dir: PathBuf::from("d"),
+                observe: vec![],
+                workers: 2,
+                collective_timeout: None,
+                max_retries: 1,
+                on_failure: FailurePolicy::Penalize,
+            }
+        );
+        // Malformed invocations are usage errors (exit 2).
+        for bad in [
+            "estimate m.rdl --data d --workers 0",
+            "estimate m.rdl --data d --collective-timeout -3",
+            "estimate m.rdl --data d --collective-timeout soon",
+            "estimate m.rdl --data d --on-solver-failure shrug",
+            "estimate m.rdl --data d --max-retries many",
+            // Typo'd flags must not be silently ignored.
+            "estimate m.rdl --data d --collective-timeut 3",
+            "simulate m.rdl --setps 5",
+            "compile m.rdl --emti odes",
+        ] {
+            let error = parse_args(&argv(bad)).unwrap_err();
+            assert_eq!(error.exit_code(), 2, "{bad}: {error}");
+            assert!(!error.message().is_empty());
+        }
+        // --help anywhere shows usage rather than an unknown-option error.
+        assert_eq!(parse_args(&argv("estimate --help")).unwrap(), Command::Help);
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub use rms_molecule as molecule;
 pub use rms_nlopt::{LmOptions, LmResult, StopReason};
 pub use rms_odegen::{generate, GenerateOptions, OdeSystem, OpCounts};
 pub use rms_parallel::{
-    block_schedule, lpt_schedule, makespan, run_cluster, ExperimentFile, ParallelEstimator,
-    Simulator,
+    block_schedule, lpt_schedule, makespan, run_cluster, run_cluster_with, CommConfig, CommError,
+    EstimatorConfig, EstimatorError, ExperimentFile, FailurePolicy, FaultPlan, FaultySimulator,
+    HealthReport, ParallelEstimator, RankPanic, RetryPolicy, ScheduleError, Simulator,
 };
 pub use rms_rcip::RateTable;
 pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};

@@ -2,10 +2,11 @@
 //! observable, plugged into the parallel estimator.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rms_core::{species_dependencies, Tape};
 use rms_parallel::Simulator;
-use rms_solver::{Bdf, FnRhs, SolverOptions, SparsityPattern};
+use rms_solver::{solve_rk45, Bdf, FnRhs, SolverError, SolverOptions, SparsityPattern};
 
 /// Simulates the measured property (a weighted sum of species
 /// concentrations — e.g. crosslink density) by integrating the compiled
@@ -23,6 +24,23 @@ pub struct TapeSimulator {
     /// Jacobian sparsity extracted from the tape (colored finite
     /// differences make Newton affordable at large species counts).
     sparsity: SparsityPattern,
+    /// Primary BDF attempts that failed (fallback chain engaged).
+    bdf_failures: AtomicUsize,
+    /// Failures recovered by re-running BDF with tightened tolerances.
+    tightened_recoveries: AtomicUsize,
+    /// Failures recovered by the explicit RK45 last resort.
+    rk45_recoveries: AtomicUsize,
+}
+
+/// Counters describing how often the solver fallback chain engaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FallbackStats {
+    /// Primary BDF attempts that failed.
+    pub bdf_failures: usize,
+    /// Of those, recovered by BDF with 100× tighter tolerances.
+    pub tightened_recoveries: usize,
+    /// Of those, recovered by explicit RK45.
+    pub rk45_recoveries: usize,
 }
 
 impl TapeSimulator {
@@ -41,6 +59,9 @@ impl TapeSimulator {
                 ..SolverOptions::default()
             },
             sparsity,
+            bdf_failures: AtomicUsize::new(0),
+            tightened_recoveries: AtomicUsize::new(0),
+            rk45_recoveries: AtomicUsize::new(0),
         }
     }
 
@@ -48,32 +69,98 @@ impl TapeSimulator {
     pub fn measure(&self, y: &[f64]) -> f64 {
         self.observable.iter().zip(y).map(|(w, v)| w * v).sum()
     }
-}
 
-impl Simulator for TapeSimulator {
-    fn simulate(
+    /// How often the solver fallback chain has engaged on this simulator.
+    pub fn fallback_stats(&self) -> FallbackStats {
+        FallbackStats {
+            bdf_failures: self.bdf_failures.load(Ordering::Relaxed),
+            tightened_recoveries: self.tightened_recoveries.load(Ordering::Relaxed),
+            rk45_recoveries: self.rk45_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Integrate the tape with BDF under `options`, returning the
+    /// observable at each requested time.
+    fn integrate_bdf(
         &self,
         rate_constants: &[f64],
-        file_index: usize,
+        y0: &[f64],
         times: &[f64],
-    ) -> Result<Vec<f64>, String> {
+        options: SolverOptions,
+    ) -> Result<Vec<f64>, SolverError> {
         let dim = self.tape.n_species;
         let scratch = RefCell::new(Vec::new());
         let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
             self.tape
                 .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
         });
-        let y0 = &self.initials[file_index % self.initials.len()];
-        let mut solver = Bdf::new(&rhs, 0.0, y0, self.options);
+        let mut solver = Bdf::new(&rhs, 0.0, y0, options);
         solver.set_sparsity(self.sparsity.clone());
         let mut out = Vec::with_capacity(times.len());
         for &t in times {
-            solver
-                .integrate_to(t)
-                .map_err(|e| format!("BDF failed: {e}"))?;
+            solver.integrate_to(t)?;
             out.push(self.measure(solver.y()));
         }
         Ok(out)
+    }
+
+    /// Integrate with the explicit RK45 last resort.
+    fn integrate_rk45(
+        &self,
+        rate_constants: &[f64],
+        y0: &[f64],
+        times: &[f64],
+    ) -> Result<Vec<f64>, SolverError> {
+        let dim = self.tape.n_species;
+        let scratch = RefCell::new(Vec::new());
+        let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
+            self.tape
+                .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
+        });
+        let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
+        Ok(states.iter().map(|y| self.measure(y)).collect())
+    }
+}
+
+impl Simulator for TapeSimulator {
+    /// Integrate with a three-stage fallback chain: BDF at the configured
+    /// tolerances, then BDF with 100× tighter error control (stiff-step
+    /// rejection cascades often pass under stricter control), then
+    /// explicit RK45. The success path of the first stage is byte-for-byte
+    /// the pre-fallback behavior; the chain only engages on failure.
+    fn simulate(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let y0 = &self.initials[file_index % self.initials.len()];
+        let primary = match self.integrate_bdf(rate_constants, y0, times, self.options) {
+            Ok(out) => return Ok(out),
+            Err(e) => e,
+        };
+        self.bdf_failures.fetch_add(1, Ordering::Relaxed);
+        let tightened_options = SolverOptions {
+            rtol: self.options.rtol * 1e-2,
+            atol: self.options.atol * 1e-2,
+            ..self.options
+        };
+        let tightened = match self.integrate_bdf(rate_constants, y0, times, tightened_options) {
+            Ok(out) => {
+                self.tightened_recoveries.fetch_add(1, Ordering::Relaxed);
+                return Ok(out);
+            }
+            Err(e) => e,
+        };
+        match self.integrate_rk45(rate_constants, y0, times) {
+            Ok(out) => {
+                self.rk45_recoveries.fetch_add(1, Ordering::Relaxed);
+                Ok(out)
+            }
+            Err(rk45) => Err(format!(
+                "all solvers failed: BDF: {primary}; BDF (tightened): {tightened}; RK45: {rk45}"
+            )),
+        }
     }
 }
 
@@ -139,6 +226,28 @@ mod tests {
             slow[0],
             base[0]
         );
+    }
+
+    #[test]
+    fn fallback_chain_reports_every_stage_on_total_failure() {
+        let (mut sim, rates) = small_simulator();
+        // Starve every solver: one step is never enough to reach t = 2.
+        sim.options.max_steps = 1;
+        let err = sim.simulate(&rates, 0, &[2.0]).unwrap_err();
+        assert!(err.contains("all solvers failed"), "{err}");
+        assert!(err.contains("BDF (tightened)"), "{err}");
+        assert!(err.contains("RK45"), "{err}");
+        let stats = sim.fallback_stats();
+        assert_eq!(stats.bdf_failures, 1);
+        assert_eq!(stats.tightened_recoveries, 0);
+        assert_eq!(stats.rk45_recoveries, 0);
+    }
+
+    #[test]
+    fn healthy_solves_never_engage_fallback() {
+        let (sim, rates) = small_simulator();
+        sim.simulate(&rates, 0, &[0.5, 1.0]).unwrap();
+        assert_eq!(sim.fallback_stats(), FallbackStats::default());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! product appears in several equations, families of equations share sums
 //! over chain-length variants, and everything is driven by 10 parameters.
 
+// Species tables are indexed by site `f` throughout, matching the
+// `RS_{f,n}` / `X_{f,g}` naming scheme the doc comment describes.
+#![allow(clippy::needless_range_loop)]
+
 use rms_rcip::RateTable;
 use rms_rdl::{Reaction, ReactionNetwork, SpeciesId};
 

@@ -88,7 +88,7 @@ impl<S: Simulator> Residual for EstimatorResidual<'_, S> {
         self.n_residuals
     }
     fn eval(&self, p: &[f64], out: &mut [f64]) -> Result<(), String> {
-        let o = self.estimator.objective(p)?;
+        let o = self.estimator.objective(p).map_err(|e| e.to_string())?;
         out.copy_from_slice(&o.error_vector);
         Ok(())
     }

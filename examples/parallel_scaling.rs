@@ -65,8 +65,11 @@ fn main() {
         "nodes", "block (ms)", "speedup", "LPT (ms)", "speedup"
     );
     for nodes in [1usize, 2, 4, 8, 16] {
-        let block = makespan(&block_schedule(times.len(), nodes), &times);
-        let lpt = makespan(&lpt_schedule(&times, nodes), &times);
+        let block = makespan(
+            &block_schedule(times.len(), nodes).expect("nodes > 0"),
+            &times,
+        );
+        let lpt = makespan(&lpt_schedule(&times, nodes).expect("nodes > 0"), &times);
         println!(
             "{nodes:>6} {:>14.2} {:>9.2} {:>14.2} {:>9.2}",
             block * 1000.0,

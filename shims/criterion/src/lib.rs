@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this shim provides the subset of criterion's API the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `black_box` —
+//! backed by plain wall-clock timing (median of a fixed iteration
+//! budget). Statistical analysis, plotting, and baselines are out of
+//! scope: the benches compile, run, and print comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("name", param)`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(param)`.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+/// Things accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The display text of the id.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Number of timed iterations (after one warmup).
+    iters: usize,
+    /// Collected per-iteration times.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / fault any panics before timing
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower/raise the iteration budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no target time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, mut payload: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            samples: Vec::new(),
+        };
+        payload(&mut bencher);
+        let mut times = bencher.samples;
+        times.sort_unstable();
+        let median = times
+            .get(times.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "{}/{id}: median {median:?} over {} iters",
+            self.name,
+            times.len()
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        payload: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_text();
+        self.run(id, payload);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut payload: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.text.clone(), |b| payload(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The bench driver handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        payload: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, payload);
+        self
+    }
+}
+
+/// Collect bench functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_payload() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4); // warmup + 3 samples
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| assert_eq!(x * x, 49))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this shim implements the subset of proptest the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`Strategy`] with `prop_map`,
+//! * [`any`] for primitives, numeric range strategies, tuple strategies,
+//! * `prop::collection::vec`, `prop::sample::select`,
+//! * string strategies from the tiny regex subset the tests use
+//!   (`.{lo,hi}` and `[class]{lo,hi}`).
+//!
+//! Cases are generated from a per-test deterministic seed (hash of the
+//! test path + case index), so failures are reproducible run-to-run.
+//! There is no shrinking: a failing case reports its inputs via the
+//! panic message of the assertion that tripped.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error carried out of a failing property body (what `prop_assert!`
+/// returns early with).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic xorshift generator for case construction.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an explicit value.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    /// Deterministic RNG for one (test, case) pair: FNV-1a over the test
+    /// path mixed with the case index.
+    pub fn for_case(test_path: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::new(h ^ ((case as u64) << 32 | case as u64))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform draw from `lo..hi` (half-open, non-empty).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// A value generator. Unlike real proptest there is no intermediate
+/// `ValueTree`/shrinking machinery: strategies generate values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                    i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Marker for types [`any`] can produce.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        (unit - 0.5) * 2f64.powi(exp)
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a tiny regex subset.
+// ---------------------------------------------------------------------------
+
+/// The parsed form of the supported pattern subset: one repeated atom.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable char (plus occasional exotic ones).
+    AnyChar,
+    /// `[a-z...]` — an explicit set of chars.
+    Class(Vec<char>),
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let atom = match chars.next()? {
+        '.' => Atom::AnyChar,
+        '[' => {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = chars.next()?;
+                match c {
+                    ']' => break,
+                    '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                        let hi = chars.next()?;
+                        let lo = prev.take()?;
+                        for code in lo as u32..=hi as u32 {
+                            set.extend(char::from_u32(code));
+                        }
+                    }
+                    c => {
+                        if let Some(p) = prev {
+                            set.push(p);
+                        }
+                        prev = Some(c);
+                    }
+                }
+            }
+            set.extend(prev);
+            Atom::Class(set)
+        }
+        _ => return None,
+    };
+    // `{lo,hi}` repetition.
+    if chars.next()? != '{' {
+        return None;
+    }
+    let rest: String = chars.collect();
+    let body = rest.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((atom, lo.parse().ok()?, hi.parse().ok()?))
+}
+
+/// Pattern strings double as strategies (e.g. `".{0,200}"` in real
+/// proptest). Only the `atom{lo,hi}` subset is supported; anything else
+/// panics with a clear message so a future test knows to extend the shim.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (atom, lo, hi) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported pattern {self:?}"));
+        let len = if lo == hi {
+            lo
+        } else {
+            rng.usize_in(lo..hi + 1)
+        };
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match &atom {
+                Atom::Class(set) => set[rng.usize_in(0..set.len())],
+                Atom::AnyChar => match rng.next_u64() % 8 {
+                    // Mostly printable ASCII, sometimes beyond: keeps the
+                    // parsers honest about multi-byte UTF-8 and controls.
+                    0 => char::from_u32(0x00A0 + (rng.next_u64() % 0x500) as u32).unwrap_or('ø'),
+                    1 => ['\t', '\u{7f}', 'λ', '∂', '🧪', '𝛼', '\\', '"'][rng.usize_in(0..8)],
+                    _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
+                },
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Submodules mirrored from the real crate (`prop::collection`,
+/// `prop::sample`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with random length in a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(strategy, lo..hi)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.usize_in(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy picking uniformly from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(options)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.usize_in(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// The `prop::` path tests reach combinators through.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("property failed at case {}/{}: {}", __case, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Early-return assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Early-return equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_parse_supported_forms() {
+        let mut rng = crate::TestRng::new(9);
+        let s = crate::Strategy::generate(&".{0,200}", &mut rng);
+        assert!(s.chars().count() <= 200);
+        let s = crate::Strategy::generate(&"[ -~]{0,60}", &mut rng);
+        assert!(s.chars().count() <= 60);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The machinery end to end: vec + select + map + tuple + ranges.
+        #[test]
+        fn shim_machinery_works(
+            v in prop::collection::vec((0u32..5, any::<bool>()), 1..10),
+            word in prop::sample::select(vec!["a", "b", "c"]),
+            (x, y) in (0usize..4, 1i64..100).prop_map(|(a, b)| (a, b * 2)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|(n, _)| *n < 5), "bad element in {:?}", v);
+            prop_assert!(["a", "b", "c"].contains(&word));
+            prop_assert!(x < 4);
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the workspace ships this tiny shim implementing exactly the API its
+//! crates use: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer and float ranges. The generator is a
+//! SplitMix64-seeded xorshift64*: statistically fine for randomized
+//! tests and synthetic-data generation, deterministic per seed (the only
+//! properties the workspace relies on). It makes no attempt to match the
+//! real crate's value streams.
+
+use std::ops::Range;
+
+/// Seedable generator constructors (the one the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a uniform sampler over a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draw one value from `[lo, hi)`. Panics if the range is empty.
+    fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Range shapes that can be sampled. The single blanket impl (mirroring
+/// the real crate) is what lets the compiler unify `T` with the range's
+/// element type at `gen_range` call sites.
+pub trait SampleRange<T> {
+    /// Draw one value. Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// The subset of the real `Rng` trait the workspace calls.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range (`lo..hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Small, fast, seedable generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion avoids weak low-entropy seeds (0, 1, ...).
+            let mut s = seed;
+            let state = splitmix64(&mut s) | 1;
+            SmallRng { state }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let neg = rng.gen_range(-3..4);
+            assert!((-3..4).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn float_range_is_not_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..50).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let distinct = draws
+            .iter()
+            .filter(|v| draws.iter().filter(|w| w == v).count() == 1)
+            .count();
+        assert!(distinct > 40, "suspiciously repetitive: {draws:?}");
+    }
+}
