@@ -12,42 +12,67 @@
 //! paper's reference numbers; absolute seconds differ (their machine was
 //! a 375 MHz POWER3), the *shape* is what reproduces.
 
-use rms_bench::{arg_value, compile_timed, fmt_secs, system_for, time_tape_eval};
+use rms_bench::{compile_timed, fmt_secs, parse_or_exit, run_bench, system_for, time_tape_eval};
 use rms_core::{
     compact_registers, forward_copies, generic_compile, lower, GenericOptions, OptLevel,
     PAPER_MEMORY_BUDGET,
 };
 use rms_workload::{scaled_case, TABLE1};
 
+const USAGE: &str = "\
+table1 — Table 1 reproduction (op counts, compile limits, eval times)
+
+USAGE:
+  table1 [--scale K] [--cases 1,2,3] [--iters N] [--budget BYTES]
+";
+
+struct Config {
+    scale: usize,
+    iters: usize,
+    cases: Vec<usize>,
+    budget: usize,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: usize = arg_value(&args, "--scale")
-        .map(|v| v.parse().expect("--scale takes an integer"))
-        .unwrap_or(25);
-    let iters: usize = arg_value(&args, "--iters")
-        .map(|v| v.parse().expect("--iters takes an integer"))
-        .unwrap_or(50);
-    let cases: Vec<usize> = arg_value(&args, "--cases")
-        .map(|v| {
-            v.split(',')
-                .map(|c| c.trim().parse().expect("--cases takes ids"))
-                .collect()
-        })
-        .unwrap_or_else(|| vec![1, 2, 3, 4, 5]);
+    let args = parse_or_exit(USAGE, &["--scale", "--cases", "--iters", "--budget"], &[]);
+    run_bench(USAGE, args, parse, run);
+}
+
+fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
+    let cases: Vec<usize> = args.num_list("--cases", &[1, 2, 3, 4, 5])?;
+    if cases.is_empty() || cases.iter().any(|&c| c == 0 || c > TABLE1.len()) {
+        return Err(format!("--cases takes ids in 1..={}", TABLE1.len()));
+    }
+    Ok(Config {
+        scale: args.num("--scale", 25)?,
+        iters: args.num("--iters", 50)?,
+        cases,
+        budget: args.num("--budget", 0)?,
+    })
+}
+
+fn run(config: Config) -> Result<(), String> {
+    let Config {
+        scale,
+        iters,
+        cases,
+        budget,
+    } = config;
     // The compiler memory budget is normalized the way the paper's
     // 4.5 GB sits relative to its workload: just above what -O0 needs for
     // case 4 (which compiled) and below -O0's need for case 5 (which
     // died). We scale 4.5 GB by the ratio of our case-4 unoptimized op
     // count to the paper's (1 840 000), so the pass/fail pattern of
     // Table 1 emerges from the same mechanism at any --scale.
-    let budget: usize = arg_value(&args, "--budget")
-        .map(|v| v.parse().expect("--budget takes bytes"))
-        .unwrap_or_else(|| {
+    let budget: usize = match budget {
+        0 => {
             let case4 = scaled_case(4, scale);
             let raw = system_for(&case4, false);
             let tape_len = compile_timed(&raw, OptLevel::None).0.tape.len();
             ((PAPER_MEMORY_BUDGET as u128 * tape_len as u128) / 1_840_000u128) as usize
-        });
+        }
+        explicit => explicit,
+    };
 
     println!("Table 1 reproduction (scale 1/{scale}, compiler budget {budget} IR bytes)");
     println!("paper reference in [brackets]; times are this machine's, shapes should match\n");
@@ -177,4 +202,5 @@ fn main() {
     println!("compiler-limit claim (§3.3): the admitted-model-size multiplier equals the");
     println!("optimizer's compression factor (paper: >=10x on their models; ~4x measured on");
     println!("this synthetic workload) — see tests/compiler_limits.rs.");
+    Ok(())
 }

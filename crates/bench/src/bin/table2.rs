@@ -12,25 +12,52 @@
 //! thread-backed cluster (only meaningful when this machine has that many
 //! cores; the build machine for the committed outputs has one core).
 
-use rms_bench::{arg_value, fmt_secs};
+use rms_bench::{fmt_secs, parse_or_exit, run_bench};
 use rms_core::OptLevel;
 use rms_suite::{compile_model, ParallelEstimator, TapeSimulator};
 use rms_workload::{
     generate_model, synthesize, ExpDataSpec, VulcanizationSpec, TABLE2, TRUE_RATES,
 };
 
+const USAGE: &str = "\
+table2 — Table 2 reproduction (parallel objective-function scaling)
+
+USAGE:
+  table2 [--records N] [--sites F] [--files N] [--threaded]
+";
+
+struct Config {
+    records: usize,
+    sites: usize,
+    n_files: usize,
+    threaded: bool,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let records: usize = arg_value(&args, "--records")
-        .map(|v| v.parse().expect("--records takes an integer"))
-        .unwrap_or(600);
-    let sites: usize = arg_value(&args, "--sites")
-        .map(|v| v.parse().expect("--sites takes an integer"))
-        .unwrap_or(6);
-    let n_files: usize = arg_value(&args, "--files")
-        .map(|v| v.parse().expect("--files takes an integer"))
-        .unwrap_or(16);
-    let threaded = args.iter().any(|a| a == "--threaded");
+    let args = parse_or_exit(USAGE, &["--records", "--sites", "--files"], &["--threaded"]);
+    run_bench(USAGE, args, parse, run);
+}
+
+fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
+    let config = Config {
+        records: args.num("--records", 600)?,
+        sites: args.num("--sites", 6)?,
+        n_files: args.num("--files", 16)?,
+        threaded: args.switch("--threaded"),
+    };
+    if config.n_files == 0 || config.records == 0 {
+        return Err("--files and --records must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+fn run(config: Config) -> Result<(), String> {
+    let Config {
+        records,
+        sites,
+        n_files,
+        threaded,
+    } = config;
 
     println!("Table 2 reproduction: {n_files} data files x {records} records");
 
@@ -131,4 +158,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

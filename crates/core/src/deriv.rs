@@ -1,0 +1,479 @@
+//! Symbolic differentiation: the compiler emits the Jacobian, too.
+//!
+//! The paper's backend generates the one function an explicit solver
+//! needs — the right-hand side. An *implicit* solver needs a second
+//! function, `J = ∂f/∂y`, and computing it numerically at runtime is
+//! both the dominant per-step cost and an accuracy trap. Since the
+//! optimizer already holds every right-hand side symbolically (§3), it
+//! can differentiate the forest exactly and reuse the whole pass
+//! pipeline: the derivative expressions run through the same
+//! canonical-order CSE as the RHS, so products shared between `f` and
+//! `J` (mass-action terms and their cofactors) are computed once, and
+//! the Jacobian's structural sparsity falls directly out of the
+//! expression structure — no runtime dependency scan, no heuristics.
+//!
+//! Differentiation is forward-mode over the forest *without* inlining
+//! temporaries: each CSE temporary `t_k` gets derivative temporaries
+//! `∂t_k/∂y_j` for the species in its support, and the chain rule
+//! threads through `Temp` references. This keeps the derivative IR
+//! proportional to the optimized — not the flattened — RHS size.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::cse::{cse_forest, CseOptions};
+use crate::expr::{Coeff, Expr, ExprForest, TempId};
+use crate::tape::{compact_registers_pair, lower_split, Tape};
+
+/// The compiler's full output for an implicit solver: the RHS tape plus
+/// a CSE-shared analytic Jacobian tape over one register file.
+#[derive(Debug, Clone)]
+pub struct JacobianTapes {
+    /// RHS program: `ydot[i] = f_i(y)`.
+    pub rhs: Tape,
+    /// Jacobian program: output `e` is `∂f_i/∂y_j` for
+    /// `entries[e] = (i, j)`. Reads registers computed by [`rhs`], so it
+    /// must run immediately after it on the same scratch file.
+    ///
+    /// [`rhs`]: JacobianTapes::rhs
+    pub jac: Tape,
+    /// `(row, column)` of each Jacobian output, row-major with columns
+    /// ascending within a row — the exact structural sparsity.
+    pub entries: Vec<(u32, u32)>,
+    /// State dimension (rows = columns of the Jacobian).
+    pub n_species: usize,
+}
+
+impl JacobianTapes {
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Per-row column lists (the shape `SparsityPattern::new` takes).
+    pub fn pattern_rows(&self) -> Vec<Vec<u32>> {
+        let mut rows = vec![Vec::new(); self.n_species];
+        for &(i, j) in &self.entries {
+            rows[i as usize].push(j);
+        }
+        rows
+    }
+
+    /// Evaluate both tapes: `ydot` receives the RHS, `vals` the Jacobian
+    /// nonzeros (length [`nnz`](JacobianTapes::nnz), in `entries` order).
+    /// The shared `regs` scratch is what lets the Jacobian tape read
+    /// every subexpression the RHS tape already computed.
+    pub fn eval_with_scratch(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        vals: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        self.rhs.eval_with_scratch(rates, y, ydot, regs);
+        self.jac.eval_with_scratch(rates, y, vals, regs);
+    }
+}
+
+/// Differentiate a forest: returns a combined forest whose first
+/// `n_species` outputs are the (temp-renumbered) right-hand sides and
+/// whose remaining outputs are the structurally nonzero Jacobian
+/// entries, plus the `(row, col)` index of each entry.
+///
+/// Entries are emitted row-major, columns ascending. An entry appears
+/// iff the derivative is not *identically* zero after constant folding —
+/// exact structural sparsity, conservative against value cancellation.
+pub fn differentiate_forest(forest: &ExprForest) -> (ExprForest, Vec<(u32, u32)>) {
+    let m = forest.temps.len();
+    // Species support of every temp, transitively through temp refs
+    // (temps are in emission order: bodies only reference earlier temps).
+    let mut temp_support: Vec<BTreeSet<u32>> = Vec::with_capacity(m);
+    for body in &forest.temps {
+        let s = support(body, &temp_support);
+        temp_support.push(s);
+    }
+    // Output-space temps: each input temp, immediately followed by its
+    // derivative temps, so write-before-read order is preserved.
+    let mut new_temps: Vec<Expr> = Vec::new();
+    let mut temp_map: Vec<TempId> = Vec::with_capacity(m);
+    let mut dmap: HashMap<(u32, u32), TempId> = HashMap::new();
+    for (k, body) in forest.temps.iter().enumerate() {
+        let id = TempId(new_temps.len() as u32);
+        new_temps.push(remap_temp_ids(body, &temp_map));
+        temp_map.push(id);
+        for &j in &temp_support[k] {
+            let d = diff(body, j, &temp_map, &dmap);
+            if !is_zero(&d) {
+                let did = TempId(new_temps.len() as u32);
+                new_temps.push(d);
+                dmap.insert((k as u32, j), did);
+            }
+        }
+    }
+    let mut rhs: Vec<Expr> = forest
+        .rhs
+        .iter()
+        .map(|e| remap_temp_ids(e, &temp_map))
+        .collect();
+    let mut entries: Vec<(u32, u32)> = Vec::new();
+    for (i, e) in forest.rhs.iter().enumerate() {
+        for j in support(e, &temp_support) {
+            let d = diff(e, j, &temp_map, &dmap);
+            if !is_zero(&d) {
+                entries.push((i as u32, j));
+                rhs.push(d);
+            }
+        }
+    }
+    (
+        ExprForest {
+            temps: new_temps,
+            rhs,
+            n_species: forest.n_species,
+            n_rates: forest.n_rates,
+        },
+        entries,
+    )
+}
+
+/// Compile a forest into RHS + analytic-Jacobian tapes.
+///
+/// With `cse` set, the combined forest is re-CSE'd so subexpressions are
+/// shared *across* the RHS/Jacobian boundary; the split lowering then
+/// places each temporary on the first tape that needs it and compacts
+/// one register file across both.
+pub fn compile_jacobian(forest: &ExprForest, cse: Option<CseOptions>) -> JacobianTapes {
+    let (combined, entries) = differentiate_forest(forest);
+    let combined = match cse {
+        Some(options) => cse_forest(&combined, options),
+        None => combined,
+    };
+    let (rhs, jac) = lower_split(&combined, forest.n_species);
+    let (rhs, jac) = compact_registers_pair(&rhs, &jac);
+    JacobianTapes {
+        rhs,
+        jac,
+        entries,
+        n_species: forest.n_species,
+    }
+}
+
+fn is_zero(e: &Expr) -> bool {
+    matches!(e, Expr::Const(Coeff(v)) if *v == 0.0)
+}
+
+/// Species a value depends on (through temp references).
+fn support(expr: &Expr, temp_support: &[BTreeSet<u32>]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    collect_support(expr, temp_support, &mut out);
+    out
+}
+
+fn collect_support(expr: &Expr, temp_support: &[BTreeSet<u32>], out: &mut BTreeSet<u32>) {
+    match expr {
+        Expr::Species(i) => {
+            out.insert(*i);
+        }
+        Expr::Temp(t) => out.extend(temp_support[t.0 as usize].iter().copied()),
+        Expr::Prod(_, factors) => {
+            for f in factors {
+                collect_support(f, temp_support, out);
+            }
+        }
+        Expr::Sum(children) => {
+            for c in children {
+                collect_support(c, temp_support, out);
+            }
+        }
+        Expr::Const(_) | Expr::Rate(_) => {}
+    }
+}
+
+/// Renumber `Temp` references from the input forest's id space to the
+/// output's. The map is monotone, so canonical child ordering survives a
+/// structural rebuild.
+fn remap_temp_ids(expr: &Expr, temp_map: &[TempId]) -> Expr {
+    match expr {
+        Expr::Temp(t) => Expr::Temp(temp_map[t.0 as usize]),
+        Expr::Prod(c, factors) => Expr::Prod(
+            *c,
+            factors
+                .iter()
+                .map(|f| remap_temp_ids(f, temp_map))
+                .collect(),
+        ),
+        Expr::Sum(children) => Expr::Sum(
+            children
+                .iter()
+                .map(|c| remap_temp_ids(c, temp_map))
+                .collect(),
+        ),
+        atom => atom.clone(),
+    }
+}
+
+/// `∂expr/∂y_j` with `expr` in the input temp-id space and the result in
+/// the output space: value temps go through `temp_map`, derivatives of
+/// temps resolve to the already-emitted temporaries in `dmap` (absent =
+/// identically zero).
+fn diff(expr: &Expr, j: u32, temp_map: &[TempId], dmap: &HashMap<(u32, u32), TempId>) -> Expr {
+    match expr {
+        Expr::Const(_) | Expr::Rate(_) => Expr::constant(0.0),
+        Expr::Species(i) => Expr::constant(if *i == j { 1.0 } else { 0.0 }),
+        Expr::Temp(t) => match dmap.get(&(t.0, j)) {
+            Some(&d) => Expr::Temp(d),
+            None => Expr::constant(0.0),
+        },
+        Expr::Prod(Coeff(c), factors) => {
+            // Product rule: Σ_k c · f_k' · Π_{l≠k} f_l.
+            let mut terms = Vec::new();
+            for (k, fk) in factors.iter().enumerate() {
+                let dk = diff(fk, j, temp_map, dmap);
+                if is_zero(&dk) {
+                    continue;
+                }
+                let mut fs = Vec::with_capacity(factors.len());
+                fs.push(dk);
+                for (l, fl) in factors.iter().enumerate() {
+                    if l != k {
+                        fs.push(remap_temp_ids(fl, temp_map));
+                    }
+                }
+                terms.push(Expr::prod(*c, fs));
+            }
+            Expr::sum(terms)
+        }
+        Expr::Sum(children) => Expr::sum(
+            children
+                .iter()
+                .map(|c| diff(c, j, temp_map, dmap))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::lower;
+
+    fn term(c: f64, rate: u32, species: &[u32]) -> Expr {
+        let mut f = vec![Expr::Rate(rate)];
+        f.extend(species.iter().map(|&s| Expr::Species(s)));
+        Expr::prod(c, f)
+    }
+
+    fn forest(rhs: Vec<Expr>, n_species: usize) -> ExprForest {
+        ExprForest {
+            temps: vec![],
+            rhs,
+            n_species,
+            n_rates: 8,
+        }
+    }
+
+    /// Dense Jacobian by naive interpretation of the combined forest.
+    fn dense_jacobian(tapes: &JacobianTapes, rates: &[f64], y: &[f64]) -> Vec<Vec<f64>> {
+        let n = tapes.n_species;
+        let mut ydot = vec![0.0; n];
+        let mut vals = vec![0.0; tapes.nnz()];
+        let mut regs = Vec::new();
+        tapes.eval_with_scratch(rates, y, &mut ydot, &mut vals, &mut regs);
+        let mut jac = vec![vec![0.0; n]; n];
+        for (e, &(i, j)) in tapes.entries.iter().enumerate() {
+            jac[i as usize][j as usize] = vals[e];
+        }
+        jac
+    }
+
+    /// Central finite difference of the forest itself.
+    fn fd_entry(f: &ExprForest, rates: &[f64], y: &[f64], i: usize, j: usize) -> f64 {
+        let h = 1e-6 * y[j].abs().max(1.0);
+        let mut yp = y.to_vec();
+        let mut ym = y.to_vec();
+        yp[j] += h;
+        ym[j] -= h;
+        let mut fp = vec![0.0; f.rhs.len()];
+        let mut fm = vec![0.0; f.rhs.len()];
+        f.eval_into(rates, &yp, &mut fp);
+        f.eval_into(rates, &ym, &mut fm);
+        (fp[i] - fm[i]) / (2.0 * h)
+    }
+
+    #[test]
+    fn mass_action_derivatives_exact() {
+        // f0 = -k0*y0*y1, f1 = k0*y0*y1 - k1*y1
+        let f = forest(
+            vec![
+                term(-1.0, 0, &[0, 1]),
+                Expr::sum(vec![term(1.0, 0, &[0, 1]), term(-1.0, 1, &[1])]),
+            ],
+            2,
+        );
+        let tapes = compile_jacobian(&f, None);
+        assert_eq!(tapes.entries, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let rates = [2.0, 3.0];
+        let y = [5.0, 7.0];
+        let jac = dense_jacobian(&tapes, &rates, &y);
+        // ∂f0/∂y0 = -k0*y1, ∂f0/∂y1 = -k0*y0
+        assert_eq!(jac[0][0], -2.0 * 7.0);
+        assert_eq!(jac[0][1], -2.0 * 5.0);
+        // ∂f1/∂y0 = k0*y1, ∂f1/∂y1 = k0*y0 - k1
+        assert_eq!(jac[1][0], 2.0 * 7.0);
+        assert_eq!(jac[1][1], 2.0 * 5.0 - 3.0);
+    }
+
+    #[test]
+    fn squared_species_uses_power_rule() {
+        // f0 = k0*y0^2 → ∂/∂y0 = 2*k0*y0
+        let f = forest(vec![term(1.0, 0, &[0, 0])], 1);
+        let tapes = compile_jacobian(&f, None);
+        assert_eq!(tapes.entries, vec![(0, 0)]);
+        let jac = dense_jacobian(&tapes, &[3.0], &[4.0]);
+        assert_eq!(jac[0][0], 2.0 * 3.0 * 4.0);
+    }
+
+    #[test]
+    fn sparsity_is_exact_not_dense() {
+        // f0 depends only on y0, f1 only on y2: 2 entries, not 6.
+        let f = forest(
+            vec![term(-1.0, 0, &[0]), term(1.0, 1, &[2]), Expr::constant(0.0)],
+            3,
+        );
+        let (_, entries) = differentiate_forest(&f);
+        assert_eq!(entries, vec![(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn chain_rule_through_temps() {
+        // t0 = k0*y0*y1; f0 = t0, f1 = -2*t0 + k1*y1
+        let f = ExprForest {
+            temps: vec![term(1.0, 0, &[0, 1])],
+            rhs: vec![
+                Expr::Temp(TempId(0)),
+                Expr::sum(vec![
+                    Expr::prod(-2.0, vec![Expr::Temp(TempId(0))]),
+                    term(1.0, 1, &[1]),
+                ]),
+            ],
+            n_species: 2,
+            n_rates: 2,
+        };
+        let tapes = compile_jacobian(&f, None);
+        let rates = [2.0, 3.0];
+        let y = [5.0, 7.0];
+        let jac = dense_jacobian(&tapes, &rates, &y);
+        assert_eq!(jac[0][0], 2.0 * 7.0);
+        assert_eq!(jac[0][1], 2.0 * 5.0);
+        assert_eq!(jac[1][0], -2.0 * 2.0 * 7.0);
+        assert_eq!(jac[1][1], -2.0 * 2.0 * 5.0 + 3.0);
+    }
+
+    #[test]
+    fn combined_forest_matches_naive_eval_and_fd() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for round in 0..25 {
+            let n = rng.gen_range(2..6);
+            let f = forest(
+                (0..n)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..6))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..n as u32))
+                                        .collect();
+                                    let sign = if rng.gen_range(0..2) == 0 { 1.0 } else { -1.0 };
+                                    term(
+                                        sign * rng.gen_range(1..3) as f64,
+                                        rng.gen_range(0..4),
+                                        &sp,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+                n,
+            );
+            // Optimize first so the input forest has temps to chain through.
+            let optimized = cse_forest(
+                &crate::distopt::distribute_forest(&f),
+                CseOptions::default(),
+            );
+            let (combined, entries) = differentiate_forest(&optimized);
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+            // Naive interpretation of the combined forest...
+            let mut naive = vec![0.0; combined.rhs.len()];
+            combined.eval_into(&rates, &y, &mut naive);
+            // ...must match the monolithic lowering...
+            let tape = lower(&combined);
+            let mut via_tape = vec![0.0; combined.rhs.len()];
+            tape.eval(&rates, &y, &mut via_tape);
+            // ...and the split/compacted pair.
+            let tapes = compile_jacobian(&optimized, Some(CseOptions::default()));
+            assert_eq!(tapes.entries, entries, "round {round}: entry mismatch");
+            let mut ydot = vec![0.0; n];
+            let mut vals = vec![0.0; tapes.nnz()];
+            let mut regs = Vec::new();
+            tapes.eval_with_scratch(&rates, &y, &mut ydot, &mut vals, &mut regs);
+            for i in 0..combined.rhs.len() {
+                let got = if i < n { ydot[i] } else { vals[i - n] };
+                assert!(
+                    (naive[i] - via_tape[i]).abs() <= 1e-9 * naive[i].abs().max(1.0)
+                        && (naive[i] - got).abs() <= 1e-9 * naive[i].abs().max(1.0),
+                    "round {round} output {i}: naive {} tape {} split {}",
+                    naive[i],
+                    via_tape[i],
+                    got
+                );
+            }
+            // And the entries must be true derivatives (FD cross-check).
+            for &(i, j) in entries.iter().take(12) {
+                let analytic = naive[n + entries.iter().position(|e| *e == (i, j)).unwrap()];
+                let fd = fd_entry(&f, &rates, &y, i as usize, j as usize);
+                assert!(
+                    (analytic - fd).abs() <= 1e-5 * fd.abs().max(1.0),
+                    "round {round} ∂f{i}/∂y{j}: analytic {analytic} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cse_shares_work_between_rhs_and_jacobian() {
+        // A chain of bimolecular reactions: the Jacobian entries are the
+        // cofactors of the RHS products, so sharing must make the joint
+        // tape much cheaper than RHS + independent Jacobian lowering.
+        let n = 8usize;
+        let mut rhs: Vec<Expr> = (0..n).map(|_| Expr::constant(0.0)).collect();
+        for i in 0..n - 1 {
+            let t = term(1.0, i as u32 % 4, &[i as u32, i as u32 + 1]);
+            rhs[i] = Expr::sum(vec![rhs[i].clone(), Expr::prod(-1.0, vec![t.clone()])]);
+            rhs[i + 1] = Expr::sum(vec![rhs[i + 1].clone(), t]);
+        }
+        let f = forest(rhs, n);
+        let shared = compile_jacobian(&f, Some(CseOptions::default()));
+        let unshared = compile_jacobian(&f, None);
+        let shared_total = shared.rhs.op_counts().total() + shared.jac.op_counts().total();
+        let unshared_total = unshared.rhs.op_counts().total() + unshared.jac.op_counts().total();
+        assert!(
+            shared_total < unshared_total,
+            "sharing did not pay: {shared_total} vs {unshared_total}"
+        );
+        // Both register files are shared between the tape pair.
+        assert_eq!(shared.rhs.n_regs, shared.jac.n_regs);
+    }
+
+    #[test]
+    fn pattern_rows_round_trip() {
+        let f = forest(vec![term(-1.0, 0, &[0, 1]), term(1.0, 0, &[0, 1])], 2);
+        let tapes = compile_jacobian(&f, None);
+        let rows = tapes.pattern_rows();
+        assert_eq!(rows, vec![vec![0, 1], vec![0, 1]]);
+        assert_eq!(tapes.nnz(), 4);
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cse;
+pub mod deriv;
 pub mod distopt;
 pub mod emit_c;
 pub mod expr;
@@ -31,6 +32,7 @@ pub mod simplify;
 pub mod tape;
 
 pub use cse::{cse_forest, CseOptions};
+pub use deriv::{compile_jacobian, differentiate_forest, JacobianTapes};
 pub use distopt::{distribute_expr, distribute_forest};
 pub use emit_c::emit_c;
 pub use expr::{Coeff, Expr, ExprForest, TempId};
@@ -41,5 +43,6 @@ pub use generic::{
 pub use pipeline::{optimize, optimize_with_passes, CompiledOde, OptLevel, Passes, StageCounts};
 pub use simplify::{simplify_expr, simplify_forest};
 pub use tape::{
-    compact_registers, forward_copies, lower, species_dependencies, Instr, Operand, Tape,
+    compact_registers, compact_registers_pair, forward_copies, lower, lower_split,
+    species_dependencies, Instr, Operand, Tape,
 };

@@ -168,6 +168,16 @@ pub fn optimize_with_passes(system: &OdeSystem, passes: Passes) -> CompiledOde {
     }
     stages.after_cse = forest.op_counts();
     let tape = compact_registers(&lower(&forest));
+    debug_assert!(
+        !tape.instrs.iter().any(|i| matches!(
+            i,
+            crate::tape::Instr::Copy {
+                a: crate::tape::Operand::Reg(_),
+                ..
+            }
+        )),
+        "register-to-register copies must not survive lowering"
+    );
     stages.tape = tape.op_counts();
     CompiledOde {
         forest,

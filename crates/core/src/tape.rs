@@ -131,6 +131,14 @@ impl Tape {
 /// paper scale (the 250 000-equation case would otherwise carry one slot
 /// per instruction). Temporaries (multi-use registers) live until their
 /// final reader; single-use values free immediately.
+///
+/// On single-assignment input, register-to-register `Copy` instructions
+/// are propagated away instead of allocated: the destination aliases the
+/// source's slot (reference-counted so the slot frees only after *both*
+/// names die). Value numbering emits such copies for every redundant
+/// operation it eliminates, and leaving them on the tape inflates `len()`
+/// — the Table 1 IR-size metric. When any register is written more than
+/// once, aliasing would be unsound and copies are materialized as before.
 pub fn compact_registers(tape: &Tape) -> Tape {
     let n = tape.n_regs;
     // Last read position of each register.
@@ -140,20 +148,30 @@ pub fn compact_registers(tape: &Tape) -> Tape {
             last_read[r as usize] = pos;
         }
     };
+    // Copy aliasing is only sound when no register is reassigned.
+    let mut writes = vec![0u32; n];
     for (pos, instr) in tape.instrs.iter().enumerate() {
         match *instr {
-            Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } | Instr::Mul { a, b, .. } => {
+            Instr::Add { dst, a, b } | Instr::Sub { dst, a, b } | Instr::Mul { dst, a, b } => {
                 mark(&mut last_read, a, pos);
                 mark(&mut last_read, b, pos);
+                writes[dst as usize] += 1;
             }
-            Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. } => {
+            Instr::Neg { dst, a } | Instr::Copy { dst, a } => {
+                mark(&mut last_read, a, pos);
+                writes[dst as usize] += 1;
+            }
+            Instr::Store { a, .. } => {
                 mark(&mut last_read, a, pos);
             }
         }
     }
-    // Linear scan with a free list.
+    let ssa = writes.iter().all(|&w| w <= 1);
+    // Linear scan with a free list. `refcount[slot]` counts the live
+    // source registers mapped to each slot (> 1 only via copy aliasing).
     let mut mapping = vec![u32::MAX; n];
     let mut free: Vec<u32> = Vec::new();
+    let mut refcount: Vec<u32> = Vec::new();
     let mut next_slot: u32 = 0;
     let mut out = Tape {
         instrs: Vec::with_capacity(tape.instrs.len()),
@@ -169,75 +187,99 @@ pub fn compact_registers(tape: &Tape) -> Tape {
     };
     for (pos, instr) in tape.instrs.iter().enumerate() {
         // Remap sources first, releasing registers whose last read is now.
-        let release = |mapping: &mut [u32], free: &mut Vec<u32>, op: Operand| {
-            if let Operand::Reg(r) = op {
-                // The u32::MAX guard prevents double-release when both
-                // operands are the same register (e.g. x*x).
-                if last_read[r as usize] == pos && mapping[r as usize] != u32::MAX {
-                    free.push(mapping[r as usize]);
-                    mapping[r as usize] = u32::MAX;
+        let release =
+            |mapping: &mut [u32], free: &mut Vec<u32>, refcount: &mut [u32], op: Operand| {
+                if let Operand::Reg(r) = op {
+                    // The u32::MAX guard prevents double-release when both
+                    // operands are the same register (e.g. x*x).
+                    if last_read[r as usize] == pos && mapping[r as usize] != u32::MAX {
+                        let slot = mapping[r as usize];
+                        mapping[r as usize] = u32::MAX;
+                        refcount[slot as usize] -= 1;
+                        if refcount[slot as usize] == 0 {
+                            free.push(slot);
+                        }
+                    }
                 }
+            };
+        let mut alloc =
+            |mapping: &mut [u32], free: &mut Vec<u32>, refcount: &mut Vec<u32>, dst: Reg| -> u32 {
+                let slot = free.pop().unwrap_or_else(|| {
+                    let s = next_slot;
+                    next_slot += 1;
+                    refcount.push(0);
+                    s
+                });
+                refcount[slot as usize] = 1;
+                mapping[dst as usize] = slot;
+                slot
+            };
+        if ssa {
+            if let Instr::Copy {
+                dst,
+                a: Operand::Reg(r),
+            } = *instr
+            {
+                // Propagate: the copy's destination shares the source's
+                // slot; no instruction is emitted.
+                let slot = mapping[r as usize];
+                debug_assert_ne!(slot, u32::MAX, "copy of a dead register");
+                refcount[slot as usize] += 1;
+                mapping[dst as usize] = slot;
+                release(&mut mapping, &mut free, &mut refcount, Operand::Reg(r));
+                continue;
             }
-        };
-        let mut alloc = |mapping: &mut [u32], free: &mut Vec<u32>, dst: Reg| -> u32 {
-            let slot = free.pop().unwrap_or_else(|| {
-                let s = next_slot;
-                next_slot += 1;
-                s
-            });
-            mapping[dst as usize] = slot;
-            slot
-        };
+        }
         let new_instr = match *instr {
             Instr::Add { dst, a, b } => {
                 let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
-                release(&mut mapping, &mut free, a);
-                release(&mut mapping, &mut free, b);
+                release(&mut mapping, &mut free, &mut refcount, a);
+                release(&mut mapping, &mut free, &mut refcount, b);
                 Instr::Add {
-                    dst: alloc(&mut mapping, &mut free, dst),
+                    dst: alloc(&mut mapping, &mut free, &mut refcount, dst),
                     a: ra,
                     b: rb,
                 }
             }
             Instr::Sub { dst, a, b } => {
                 let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
-                release(&mut mapping, &mut free, a);
-                release(&mut mapping, &mut free, b);
+                release(&mut mapping, &mut free, &mut refcount, a);
+                release(&mut mapping, &mut free, &mut refcount, b);
                 Instr::Sub {
-                    dst: alloc(&mut mapping, &mut free, dst),
+                    dst: alloc(&mut mapping, &mut free, &mut refcount, dst),
                     a: ra,
                     b: rb,
                 }
             }
             Instr::Mul { dst, a, b } => {
                 let (ra, rb) = (remap(&mapping, a), remap(&mapping, b));
-                release(&mut mapping, &mut free, a);
-                release(&mut mapping, &mut free, b);
+                release(&mut mapping, &mut free, &mut refcount, a);
+                release(&mut mapping, &mut free, &mut refcount, b);
                 Instr::Mul {
-                    dst: alloc(&mut mapping, &mut free, dst),
+                    dst: alloc(&mut mapping, &mut free, &mut refcount, dst),
                     a: ra,
                     b: rb,
                 }
             }
             Instr::Neg { dst, a } => {
                 let ra = remap(&mapping, a);
-                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, &mut refcount, a);
                 Instr::Neg {
-                    dst: alloc(&mut mapping, &mut free, dst),
+                    dst: alloc(&mut mapping, &mut free, &mut refcount, dst),
                     a: ra,
                 }
             }
             Instr::Copy { dst, a } => {
                 let ra = remap(&mapping, a);
-                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, &mut refcount, a);
                 Instr::Copy {
-                    dst: alloc(&mut mapping, &mut free, dst),
+                    dst: alloc(&mut mapping, &mut free, &mut refcount, dst),
                     a: ra,
                 }
             }
             Instr::Store { idx, a } => {
                 let ra = remap(&mapping, a);
-                release(&mut mapping, &mut free, a);
+                release(&mut mapping, &mut free, &mut refcount, a);
                 Instr::Store { idx, a: ra }
             }
         };
@@ -391,6 +433,132 @@ pub fn lower(forest: &ExprForest) -> Tape {
         });
     }
     b.tape
+}
+
+/// Lower a combined forest into **two** tapes sharing one register file:
+/// a primary tape computing `rhs[..n_primary]` (stored at indices
+/// `0..n_primary`) and a secondary tape computing the remaining outputs
+/// (store indices rebased to start at 0).
+///
+/// Temporaries are placed on the tape that first needs them: everything
+/// reachable from the primary outputs lowers into the primary tape, so
+/// the secondary tape can read those registers for free when it runs
+/// right after the primary on the same scratch file — this is how the
+/// Jacobian tape reuses the RHS tape's subexpressions. Temporaries
+/// referenced by no output are skipped entirely.
+pub fn lower_split(forest: &ExprForest, n_primary: usize) -> (Tape, Tape) {
+    let m = forest.temps.len();
+    // Transitive temp reachability from each output group.
+    let reach = |roots: &[Expr]| -> Vec<bool> {
+        let mut seen = vec![false; m];
+        let mut stack = Vec::new();
+        for e in roots {
+            collect_temp_refs(e, &mut stack);
+        }
+        while let Some(t) = stack.pop() {
+            let t = t as usize;
+            if !seen[t] {
+                seen[t] = true;
+                collect_temp_refs(&forest.temps[t], &mut stack);
+            }
+        }
+        seen
+    };
+    let primary = reach(&forest.rhs[..n_primary]);
+    let secondary = reach(&forest.rhs[n_primary..]);
+    let mut b = Builder {
+        tape: Tape {
+            instrs: Vec::new(),
+            n_regs: 0,
+            n_species: forest.n_species,
+            n_rates: forest.n_rates,
+        },
+        // Placeholder slots; a NaN leaking into results marks a
+        // temp lowered out of dependency order.
+        temp_slots: vec![Operand::Const(f64::NAN); m],
+    };
+    for (k, temp) in forest.temps.iter().enumerate() {
+        if primary[k] {
+            let op = b.lower_expr(temp);
+            b.temp_slots[k] = op;
+        }
+    }
+    for (i, e) in forest.rhs[..n_primary].iter().enumerate() {
+        let op = b.lower_expr(e);
+        b.tape.instrs.push(Instr::Store {
+            idx: i as u32,
+            a: op,
+        });
+    }
+    let boundary = b.tape.instrs.len();
+    for (k, temp) in forest.temps.iter().enumerate() {
+        if secondary[k] && !primary[k] {
+            let op = b.lower_expr(temp);
+            b.temp_slots[k] = op;
+        }
+    }
+    for (i, e) in forest.rhs[n_primary..].iter().enumerate() {
+        let op = b.lower_expr(e);
+        b.tape.instrs.push(Instr::Store {
+            idx: i as u32,
+            a: op,
+        });
+    }
+    let n_regs = b.tape.n_regs;
+    let second = Tape {
+        instrs: b.tape.instrs.split_off(boundary),
+        n_regs,
+        n_species: forest.n_species,
+        n_rates: forest.n_rates,
+    };
+    (b.tape, second)
+}
+
+fn collect_temp_refs(expr: &Expr, out: &mut Vec<u32>) {
+    match expr {
+        Expr::Temp(t) => out.push(t.0),
+        Expr::Prod(_, factors) => {
+            for f in factors {
+                collect_temp_refs(f, out);
+            }
+        }
+        Expr::Sum(children) => {
+            for c in children {
+                collect_temp_refs(c, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Jointly compact the registers of two tapes that execute back-to-back
+/// on one scratch file ([`lower_split`] output): liveness flows across
+/// the boundary, so values the second tape still needs keep their slots
+/// while everything else is reused.
+///
+/// Requires copy-free input (true of [`lower_split`]) so the instruction
+/// count — and with it the split point — is preserved.
+pub fn compact_registers_pair(first: &Tape, second: &Tape) -> (Tape, Tape) {
+    debug_assert!(
+        first
+            .instrs
+            .iter()
+            .chain(&second.instrs)
+            .all(|i| !matches!(i, Instr::Copy { .. })),
+        "joint compaction expects copy-free tapes"
+    );
+    let mut merged = first.clone();
+    merged.n_regs = first.n_regs.max(second.n_regs);
+    merged.instrs.extend_from_slice(&second.instrs);
+    let mut compacted = compact_registers(&merged);
+    let tail = compacted.instrs.split_off(first.instrs.len());
+    let second_out = Tape {
+        instrs: tail,
+        n_regs: compacted.n_regs,
+        n_species: second.n_species,
+        n_rates: second.n_rates,
+    };
+    (compacted, second_out)
 }
 
 struct Builder {
@@ -723,6 +891,159 @@ mod tests {
         ssa.eval(&[2.0], &[3.0, 5.0], &mut a);
         compact_registers(&fwd).eval(&[2.0], &[3.0, 5.0], &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compaction_propagates_vn_copies() {
+        use crate::generic::{generic_compile, GenericOptions};
+        let f = forest(vec![Expr::Sum(vec![
+            term(1.0, 0, &[0, 1]),
+            term(1.0, 0, &[0, 1]),
+            term(2.0, 0, &[0, 1]),
+        ])]);
+        let ssa = lower(&f);
+        let vn = generic_compile(
+            &ssa,
+            GenericOptions {
+                opt_level: 4,
+                memory_budget: usize::MAX,
+            },
+        )
+        .unwrap();
+        assert!(vn.tape.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Copy {
+                a: Operand::Reg(_),
+                ..
+            }
+        )));
+        // compact_registers alone (no forward_copies pre-pass) must now
+        // absorb the register-to-register copies via slot aliasing.
+        let compact = compact_registers(&vn.tape);
+        assert!(!compact.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Copy {
+                a: Operand::Reg(_),
+                ..
+            }
+        )));
+        assert!(compact.len() < vn.tape.len());
+        let mut a = vec![0.0; 1];
+        let mut b = vec![0.0; 1];
+        ssa.eval(&[2.0], &[3.0, 5.0], &mut a);
+        compact.eval(&[2.0], &[3.0, 5.0], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compaction_keeps_copies_on_register_reuse() {
+        // Register 0 is written twice: aliasing the copy would read the
+        // *second* value, so the copy must be materialized.
+        let tape = Tape {
+            instrs: vec![
+                Instr::Mul {
+                    dst: 0,
+                    a: Operand::Species(0),
+                    b: Operand::Rate(0),
+                },
+                Instr::Copy {
+                    dst: 1,
+                    a: Operand::Reg(0),
+                },
+                Instr::Mul {
+                    dst: 0,
+                    a: Operand::Species(1),
+                    b: Operand::Rate(0),
+                },
+                Instr::Store {
+                    idx: 0,
+                    a: Operand::Reg(1),
+                },
+                Instr::Store {
+                    idx: 1,
+                    a: Operand::Reg(0),
+                },
+            ],
+            n_regs: 2,
+            n_species: 2,
+            n_rates: 1,
+        };
+        let compact = compact_registers(&tape);
+        assert!(compact
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Copy { .. })));
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        tape.eval(&[2.0], &[3.0, 5.0], &mut a);
+        compact.eval(&[2.0], &[3.0, 5.0], &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![6.0, 10.0]);
+    }
+
+    #[test]
+    fn split_lowering_matches_monolithic() {
+        // t0 shared by a primary and a secondary output; t1 secondary-only.
+        let f = ExprForest {
+            temps: vec![
+                Expr::prod(1.0, vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)]),
+                Expr::prod(1.0, vec![Expr::Rate(1), Expr::Species(1)]),
+            ],
+            rhs: vec![
+                Expr::prod(-1.0, vec![Expr::Temp(crate::expr::TempId(0))]),
+                Expr::Temp(crate::expr::TempId(0)),
+                // secondary outputs
+                Expr::sum(vec![
+                    Expr::Temp(crate::expr::TempId(0)),
+                    Expr::Temp(crate::expr::TempId(1)),
+                ]),
+                Expr::Temp(crate::expr::TempId(1)),
+            ],
+            n_species: 2,
+            n_rates: 2,
+        };
+        let mono = lower(&f);
+        let (first, second) = lower_split(&f, 2);
+        let (first, second) = compact_registers_pair(&first, &second);
+        assert_eq!(first.n_regs, second.n_regs);
+        // t0's product must not be recomputed by the secondary tape.
+        assert_eq!(
+            first.op_counts().total() + second.op_counts().total(),
+            mono.op_counts().total()
+        );
+        let rates = [2.0, 3.0];
+        let y = [5.0, 7.0];
+        let mut expect = vec![0.0; 4];
+        mono.eval(&rates, &y, &mut expect);
+        let mut out1 = vec![0.0; 2];
+        let mut out2 = vec![0.0; 2];
+        let mut regs = Vec::new();
+        first.eval_with_scratch(&rates, &y, &mut out1, &mut regs);
+        second.eval_with_scratch(&rates, &y, &mut out2, &mut regs);
+        assert_eq!(out1, expect[..2].to_vec());
+        assert_eq!(out2, expect[2..].to_vec());
+    }
+
+    #[test]
+    fn split_lowering_skips_unreferenced_temps() {
+        let f = ExprForest {
+            temps: vec![
+                Expr::prod(1.0, vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)]),
+                // Dead temp: referenced by nothing.
+                Expr::prod(1.0, vec![Expr::Rate(1), Expr::Species(0), Expr::Species(1)]),
+            ],
+            rhs: vec![
+                Expr::Temp(crate::expr::TempId(0)),
+                Expr::prod(2.0, vec![Expr::Temp(crate::expr::TempId(0))]),
+            ],
+            n_species: 2,
+            n_rates: 2,
+        };
+        let (first, second) = lower_split(&f, 1);
+        let total = first.op_counts().total() + second.op_counts().total();
+        // 2 muls for t0, 1 mul for the 2* scaling; the dead temp's 2 muls
+        // must not appear.
+        assert_eq!(total, 3);
     }
 
     #[test]

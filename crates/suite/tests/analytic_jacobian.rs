@@ -1,0 +1,160 @@
+//! Semantics preservation of the compiled analytic Jacobian: the tape
+//! pair must agree with finite differences at every optimization level,
+//! on both workload models, and the BDF trajectories must be independent
+//! of the Jacobian source.
+
+use rms_suite::workload::{generate_model, VulcanizationSpec, VULCANIZATION_RDL};
+use rms_suite::{
+    compile_model, compile_source, fd_jacobian, fd_jacobian_colored, AnalyticJacobian, FnRhs,
+    JacobianMode, OdeRhs, OptLevel, SolverOptions, SuiteModel, TapeJacobian,
+};
+use std::cell::RefCell;
+
+const LEVELS: [OptLevel; 4] = [
+    OptLevel::None,
+    OptLevel::Simplify,
+    OptLevel::Algebraic,
+    OptLevel::Full,
+];
+
+fn rdl_model(level: OptLevel) -> SuiteModel {
+    compile_source(VULCANIZATION_RDL, level).expect("RDL workload model compiles")
+}
+
+fn programmatic_model(level: OptLevel) -> SuiteModel {
+    let model = generate_model(VulcanizationSpec {
+        sites: 3,
+        max_chain: 3,
+        neighbourhood: 1,
+    });
+    compile_model(model.network, model.rates, level).expect("programmatic workload model compiles")
+}
+
+/// A generic strictly positive state so every structural entry is
+/// exercised away from the zero-concentration special case.
+fn probe_state(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.2 + 0.05 * (i % 7) as f64).collect()
+}
+
+/// Analytic tape values vs dense FD over the compiled RHS tape, and
+/// exactness of the extracted sparsity (off-pattern entries vanish).
+fn check_against_dense_fd(model: &SuiteModel, label: &str) {
+    let n = model.system.len();
+    let tape = &model.compiled.tape;
+    let rates = &model.system.rate_values;
+    let scratch = RefCell::new(Vec::new());
+    let rhs = FnRhs::new(n, |_t, y: &[f64], ydot: &mut [f64]| {
+        tape.eval_with_scratch(rates, y, ydot, &mut scratch.borrow_mut());
+    });
+
+    let tapes = model.jacobian();
+    assert_eq!(tapes.n_species, n, "{label}");
+    let provider = TapeJacobian::new(&tapes, rates);
+    let y = probe_state(n);
+    let mut vals = vec![0.0; tapes.nnz()];
+    provider.eval_values(0.0, &y, &mut vals);
+
+    let mut f = vec![0.0; n];
+    rhs.eval(0.0, &y, &mut f);
+    let (dense, _) = fd_jacobian(&rhs, 0.0, &y, &f);
+
+    let mut in_pattern = vec![vec![false; n]; n];
+    for (&(i, j), &a) in tapes.entries.iter().zip(&vals) {
+        in_pattern[i as usize][j as usize] = true;
+        let b = dense[(i as usize, j as usize)];
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "{label}: entry ({i},{j}): analytic {a} vs dense FD {b}"
+        );
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if !in_pattern[i][j] {
+                let b = dense[(i, j)];
+                assert!(
+                    b.abs() <= 1e-6,
+                    "{label}: ({i},{j}) outside the pattern but dense FD sees {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Analytic tape values vs colored FD over the exact analytic pattern.
+fn check_against_colored_fd(model: &SuiteModel, label: &str) {
+    let n = model.system.len();
+    let tape = &model.compiled.tape;
+    let rates = &model.system.rate_values;
+    let scratch = RefCell::new(Vec::new());
+    let rhs = FnRhs::new(n, |_t, y: &[f64], ydot: &mut [f64]| {
+        tape.eval_with_scratch(rates, y, ydot, &mut scratch.borrow_mut());
+    });
+
+    let tapes = model.jacobian();
+    let provider = TapeJacobian::new(&tapes, rates);
+    let y = probe_state(n);
+    let mut vals = vec![0.0; tapes.nnz()];
+    provider.eval_values(0.0, &y, &mut vals);
+
+    let pattern = provider.pattern();
+    let (colors, n_colors) = pattern.color_columns();
+    let mut f = vec![0.0; n];
+    rhs.eval(0.0, &y, &mut f);
+    let (colored, evals) = fd_jacobian_colored(&rhs, 0.0, &y, &f, pattern, &colors, n_colors);
+    assert!(evals <= n, "{label}: coloring should not exceed n");
+
+    for (&(i, j), &a) in tapes.entries.iter().zip(&vals) {
+        let b = colored[(i as usize, j as usize)];
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "{label}: entry ({i},{j}): analytic {a} vs colored FD {b}"
+        );
+    }
+}
+
+#[test]
+fn analytic_matches_dense_fd_at_every_level_rdl_model() {
+    for level in LEVELS {
+        check_against_dense_fd(&rdl_model(level), &format!("rdl/{level}"));
+    }
+}
+
+#[test]
+fn analytic_matches_dense_fd_at_every_level_programmatic_model() {
+    for level in LEVELS {
+        check_against_dense_fd(&programmatic_model(level), &format!("programmatic/{level}"));
+    }
+}
+
+#[test]
+fn analytic_matches_colored_fd_on_both_models() {
+    check_against_colored_fd(&rdl_model(OptLevel::Full), "rdl/full");
+    check_against_colored_fd(&programmatic_model(OptLevel::Full), "programmatic/full");
+}
+
+#[test]
+fn bdf_trajectories_agree_across_jacobian_sources() {
+    let times = [0.1, 0.4, 1.0];
+    for (model, label) in [
+        (rdl_model(OptLevel::Full), "rdl"),
+        (programmatic_model(OptLevel::Full), "programmatic"),
+    ] {
+        let dense = model
+            .simulate_with_jacobian(&times, SolverOptions::default(), JacobianMode::FdDense)
+            .unwrap();
+        for mode in [JacobianMode::Analytic, JacobianMode::FdColored] {
+            let other = model
+                .simulate_with_jacobian(&times, SolverOptions::default(), mode)
+                .unwrap();
+            for (row, (a_row, b_row)) in dense.iter().zip(&other).enumerate() {
+                for (a, b) in a_row.iter().zip(b_row) {
+                    assert!(
+                        (a - b).abs() <= 1e-4 * a.abs().max(1e-9),
+                        "{label}/{mode} t={}: {a} vs {b}",
+                        times[row]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -2,11 +2,90 @@
 //! observable, plugged into the parallel estimator.
 
 use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rms_core::{species_dependencies, Tape};
+use rms_core::{species_dependencies, JacobianTapes, Tape};
 use rms_parallel::Simulator;
-use rms_solver::{solve_rk45, Bdf, FnRhs, SolverError, SolverOptions, SparsityPattern};
+use rms_solver::{
+    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, SolverError, SolverOptions,
+    SparsityPattern,
+};
+
+/// How the BDF solver obtains its Jacobian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JacobianMode {
+    /// Compiler-emitted analytic sparse tape ([`JacobianTapes`]).
+    Analytic,
+    /// Colored finite differences over the structural sparsity.
+    #[default]
+    FdColored,
+    /// Dense finite differences (one RHS evaluation per state variable).
+    FdDense,
+}
+
+impl FromStr for JacobianMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<JacobianMode, String> {
+        match s {
+            "analytic" => Ok(JacobianMode::Analytic),
+            "fd-colored" => Ok(JacobianMode::FdColored),
+            "fd-dense" => Ok(JacobianMode::FdDense),
+            other => Err(format!(
+                "unknown jacobian mode '{other}' (expected analytic, fd-colored or fd-dense)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for JacobianMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JacobianMode::Analytic => "analytic",
+            JacobianMode::FdColored => "fd-colored",
+            JacobianMode::FdDense => "fd-dense",
+        })
+    }
+}
+
+/// [`AnalyticJacobian`] provider over a compiled [`JacobianTapes`] pair,
+/// bound to one rate-constant vector for the duration of a solve.
+pub struct TapeJacobian<'a> {
+    tapes: &'a JacobianTapes,
+    rates: &'a [f64],
+    pattern: SparsityPattern,
+    /// `(ydot, regs)` scratch reused across Newton iterations.
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> TapeJacobian<'a> {
+    /// Bind `tapes` to `rates` and extract the exact sparsity pattern.
+    pub fn new(tapes: &'a JacobianTapes, rates: &'a [f64]) -> TapeJacobian<'a> {
+        let pattern = SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+        TapeJacobian {
+            tapes,
+            rates,
+            pattern,
+            scratch: RefCell::new((Vec::new(), Vec::new())),
+        }
+    }
+}
+
+impl AnalyticJacobian for TapeJacobian<'_> {
+    fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    fn eval_values(&self, _t: f64, y: &[f64], vals: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (ydot, regs) = &mut *scratch;
+        ydot.resize(self.tapes.n_species, 0.0);
+        self.tapes
+            .eval_with_scratch(self.rates, y, ydot, vals, regs);
+    }
+}
 
 /// Simulates the measured property (a weighted sum of species
 /// concentrations — e.g. crosslink density) by integrating the compiled
@@ -24,6 +103,10 @@ pub struct TapeSimulator {
     /// Jacobian sparsity extracted from the tape (colored finite
     /// differences make Newton affordable at large species counts).
     sparsity: SparsityPattern,
+    /// Compiler-emitted analytic Jacobian tapes, when compiled.
+    jacobian: Option<JacobianTapes>,
+    /// Which Jacobian source the BDF solver uses.
+    jacobian_mode: JacobianMode,
     /// Primary BDF attempts that failed (fallback chain engaged).
     bdf_failures: AtomicUsize,
     /// Failures recovered by re-running BDF with tightened tolerances.
@@ -59,10 +142,30 @@ impl TapeSimulator {
                 ..SolverOptions::default()
             },
             sparsity,
+            jacobian: None,
+            jacobian_mode: JacobianMode::default(),
             bdf_failures: AtomicUsize::new(0),
             tightened_recoveries: AtomicUsize::new(0),
             rk45_recoveries: AtomicUsize::new(0),
         }
+    }
+
+    /// Attach compiled analytic Jacobian tapes and switch to them.
+    pub fn with_analytic_jacobian(mut self, tapes: JacobianTapes) -> TapeSimulator {
+        self.jacobian = Some(tapes);
+        self.jacobian_mode = JacobianMode::Analytic;
+        self
+    }
+
+    /// Select the Jacobian source. [`JacobianMode::Analytic`] falls back
+    /// to colored finite differences if no tapes are attached.
+    pub fn set_jacobian_mode(&mut self, mode: JacobianMode) {
+        self.jacobian_mode = mode;
+    }
+
+    /// The currently selected Jacobian source.
+    pub fn jacobian_mode(&self) -> JacobianMode {
+        self.jacobian_mode
     }
 
     /// Observable value for a state vector.
@@ -94,8 +197,20 @@ impl TapeSimulator {
             self.tape
                 .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
         });
+        // Declared before `solver` so the provider outlives the borrow.
+        let provider = match (self.jacobian_mode, &self.jacobian) {
+            (JacobianMode::Analytic, Some(tapes)) => Some(TapeJacobian::new(tapes, rate_constants)),
+            _ => None,
+        };
         let mut solver = Bdf::new(&rhs, 0.0, y0, options);
-        solver.set_sparsity(self.sparsity.clone());
+        match (&provider, self.jacobian_mode) {
+            (Some(p), _) => solver.set_jacobian_source(JacobianSource::AnalyticTape(p)),
+            (None, JacobianMode::FdDense) => {}
+            // Analytic without tapes falls back to colored FD.
+            (None, _) => {
+                solver.set_jacobian_source(JacobianSource::FdColored(self.sparsity.clone()))
+            }
+        }
         let mut out = Vec::with_capacity(times.len());
         for &t in times {
             solver.integrate_to(t)?;
@@ -248,6 +363,77 @@ mod tests {
         let (sim, rates) = small_simulator();
         sim.simulate(&rates, 0, &[0.5, 1.0]).unwrap();
         assert_eq!(sim.fallback_stats(), FallbackStats::default());
+    }
+
+    fn small_simulator_with_jacobian() -> (TapeSimulator, Vec<f64>) {
+        let model = generate_model(VulcanizationSpec {
+            sites: 3,
+            max_chain: 3,
+            neighbourhood: 1,
+        });
+        let sys = generate(&model.network, &model.rates, GenerateOptions::default()).unwrap();
+        let compiled = optimize(&sys, OptLevel::Full);
+        let tapes = rms_core::compile_jacobian(&compiled.forest, Some(Default::default()));
+        let mut observable = vec![0.0; sys.len()];
+        for &x in &model.crosslink_species {
+            observable[x.0 as usize] = 1.0;
+        }
+        (
+            TapeSimulator::new(compiled.tape, sys.initial.clone(), observable)
+                .with_analytic_jacobian(tapes),
+            sys.rate_values.clone(),
+        )
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_fd_trajectories() {
+        let (sim, rates) = small_simulator_with_jacobian();
+        assert_eq!(sim.jacobian_mode(), JacobianMode::Analytic);
+        let times = [0.2, 0.6, 1.2, 2.4];
+        let analytic = sim.simulate(&rates, 0, &times).unwrap();
+        let mut sim = sim;
+        sim.set_jacobian_mode(JacobianMode::FdColored);
+        let colored = sim.simulate(&rates, 0, &times).unwrap();
+        sim.set_jacobian_mode(JacobianMode::FdDense);
+        let dense = sim.simulate(&rates, 0, &times).unwrap();
+        for i in 0..times.len() {
+            let scale = analytic[i].abs().max(1e-12);
+            assert!(
+                (analytic[i] - colored[i]).abs() < 1e-4 * scale,
+                "t={}: analytic {} vs colored {}",
+                times[i],
+                analytic[i],
+                colored[i]
+            );
+            assert!(
+                (analytic[i] - dense[i]).abs() < 1e-4 * scale,
+                "t={}: analytic {} vs dense {}",
+                times[i],
+                analytic[i],
+                dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_mode_without_tapes_falls_back() {
+        let (mut sim, rates) = small_simulator();
+        sim.set_jacobian_mode(JacobianMode::Analytic);
+        let out = sim.simulate(&rates, 0, &[1.0]).unwrap();
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn jacobian_mode_parses_round_trip() {
+        for mode in [
+            JacobianMode::Analytic,
+            JacobianMode::FdColored,
+            JacobianMode::FdDense,
+        ] {
+            assert_eq!(mode.to_string().parse::<JacobianMode>().unwrap(), mode);
+        }
+        assert!("newton".parse::<JacobianMode>().is_err());
+        assert_eq!(JacobianMode::default(), JacobianMode::FdColored);
     }
 
     #[test]
