@@ -301,7 +301,20 @@ mod tests {
     }
 
     fn forest(rhs: Vec<Expr>) -> ExprForest {
-        let n = rhs.len();
+        // Fixtures reference species beyond the output count as pure
+        // inputs; size the species space to cover them.
+        fn bound(e: &Expr, n: &mut usize) {
+            match e {
+                Expr::Species(i) => *n = (*n).max(*i as usize + 1),
+                Expr::Prod(_, fs) => fs.iter().for_each(|f| bound(f, n)),
+                Expr::Sum(cs) => cs.iter().for_each(|c| bound(c, n)),
+                _ => {}
+            }
+        }
+        let mut n = rhs.len();
+        for e in &rhs {
+            bound(e, &mut n);
+        }
         ExprForest {
             temps: vec![],
             rhs,

@@ -25,6 +25,7 @@ pub mod cse;
 pub mod deriv;
 pub mod distopt;
 pub mod emit_c;
+pub mod exec;
 pub mod expr;
 pub mod generic;
 pub mod pipeline;
@@ -35,6 +36,7 @@ pub use cse::{cse_forest, CseOptions};
 pub use deriv::{compile_jacobian, differentiate_forest, JacobianTapes};
 pub use distopt::{distribute_expr, distribute_forest};
 pub use emit_c::emit_c;
+pub use exec::{ExecFrame, ExecInstr, ExecTape, FMA_CONTRACTS, LANES};
 pub use expr::{Coeff, Expr, ExprForest, TempId};
 pub use generic::{
     generic_compile, generic_compile_best_effort, GenericError, GenericOptions, GenericResult,
@@ -44,5 +46,5 @@ pub use pipeline::{optimize, optimize_with_passes, CompiledOde, OptLevel, Passes
 pub use simplify::{simplify_expr, simplify_forest};
 pub use tape::{
     compact_registers, compact_registers_pair, forward_copies, lower, lower_split,
-    species_dependencies, Instr, Operand, Tape,
+    species_dependencies, validate_program, Instr, Operand, Tape,
 };

@@ -123,6 +123,126 @@ impl Tape {
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
     }
+
+    /// Check the tape's structural invariants: every operand index in
+    /// bounds, no register read before it is written, every `Store` index
+    /// below `n_species`, and no dead `Copy` (a copy whose destination is
+    /// never read). Returns a description of the first violation.
+    ///
+    /// For a [`lower_split`] pair sharing one register file, use
+    /// [`validate_program`], which carries the written-register set across
+    /// tapes and checks each tape against its own output arity.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_program(&[(self, self.n_species)])
+    }
+}
+
+/// Validate tapes that execute back-to-back on one shared register file
+/// (the [`lower_split`] contract). Each entry pairs a tape with its
+/// output arity (the exclusive upper bound on its `Store` indices — a
+/// secondary Jacobian tape stores one slot per nonzero, not per species).
+/// Register writes in earlier tapes satisfy reads in later ones.
+pub fn validate_program(tapes: &[(&Tape, usize)]) -> Result<(), String> {
+    let Some(&(first, _)) = tapes.first() else {
+        return Ok(());
+    };
+    for (t, &(tape, _)) in tapes.iter().enumerate() {
+        if tape.n_regs != first.n_regs
+            || tape.n_species != first.n_species
+            || tape.n_rates != first.n_rates
+        {
+            return Err(format!(
+                "tape {t} disagrees with tape 0 on file sizes \
+                 (n_regs {} vs {}, n_species {} vs {}, n_rates {} vs {})",
+                tape.n_regs,
+                first.n_regs,
+                tape.n_species,
+                first.n_species,
+                tape.n_rates,
+                first.n_rates
+            ));
+        }
+    }
+    let mut written = vec![false; first.n_regs];
+    // Pending `Copy` destination -> location of the copy, cleared when the
+    // register is read; a redefinition or program end while still pending
+    // means the copy was dead.
+    let mut pending_copy: Vec<Option<(usize, usize)>> = vec![None; first.n_regs];
+    for (t, &(tape, n_outputs)) in tapes.iter().enumerate() {
+        for (p, instr) in tape.instrs.iter().enumerate() {
+            let at = |what: &str| format!("tape {t}, instruction {p}: {what}");
+            let mut read = |op: Operand| -> Result<(), String> {
+                match op {
+                    Operand::Reg(r) => {
+                        let r = r as usize;
+                        if r >= first.n_regs {
+                            return Err(at(&format!(
+                                "register operand r{r} out of bounds (n_regs = {})",
+                                first.n_regs
+                            )));
+                        }
+                        if !written[r] {
+                            return Err(at(&format!("register r{r} read before write")));
+                        }
+                        pending_copy[r] = None;
+                        Ok(())
+                    }
+                    Operand::Species(i) if (i as usize) >= first.n_species => Err(at(&format!(
+                        "species operand y[{i}] out of bounds (n_species = {})",
+                        first.n_species
+                    ))),
+                    Operand::Rate(i) if (i as usize) >= first.n_rates => Err(at(&format!(
+                        "rate operand k[{i}] out of bounds (n_rates = {})",
+                        first.n_rates
+                    ))),
+                    _ => Ok(()),
+                }
+            };
+            match *instr {
+                Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } | Instr::Mul { a, b, .. } => {
+                    read(a)?;
+                    read(b)?;
+                }
+                Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. } => read(a)?,
+            }
+            match *instr {
+                Instr::Store { idx, .. } => {
+                    if (idx as usize) >= n_outputs {
+                        return Err(at(&format!(
+                            "store index {idx} out of bounds (n_outputs = {n_outputs})"
+                        )));
+                    }
+                }
+                Instr::Add { dst, .. }
+                | Instr::Sub { dst, .. }
+                | Instr::Mul { dst, .. }
+                | Instr::Neg { dst, .. }
+                | Instr::Copy { dst, .. } => {
+                    let d = dst as usize;
+                    if d >= first.n_regs {
+                        return Err(at(&format!(
+                            "destination r{d} out of bounds (n_regs = {})",
+                            first.n_regs
+                        )));
+                    }
+                    if let Some((ct, cp)) = pending_copy[d] {
+                        return Err(format!(
+                            "tape {ct}, instruction {cp}: dead copy into r{d} \
+                             (overwritten at tape {t}, instruction {p} without a read)"
+                        ));
+                    }
+                    written[d] = true;
+                    pending_copy[d] = matches!(instr, Instr::Copy { .. }).then_some((t, p));
+                }
+            }
+        }
+    }
+    if let Some((ct, cp)) = pending_copy.iter().flatten().next() {
+        return Err(format!(
+            "tape {ct}, instruction {cp}: dead copy (destination never read)"
+        ));
+    }
+    Ok(())
 }
 
 /// Reassign registers by linear scan so slots are reused after their
@@ -432,6 +552,12 @@ pub fn lower(forest: &ExprForest) -> Tape {
             a: op,
         });
     }
+    // `lower` is also used on combined forests whose rhs count exceeds
+    // n_species, so validate against the actual output arity.
+    #[cfg(debug_assertions)]
+    if let Err(e) = validate_program(&[(&b.tape, forest.rhs.len().max(b.tape.n_species))]) {
+        panic!("lower produced an invalid tape: {e}");
+    }
     b.tape
 }
 
@@ -511,6 +637,13 @@ pub fn lower_split(forest: &ExprForest, n_primary: usize) -> (Tape, Tape) {
         n_species: forest.n_species,
         n_rates: forest.n_rates,
     };
+    #[cfg(debug_assertions)]
+    if let Err(e) = validate_program(&[
+        (&b.tape, n_primary),
+        (&second, forest.rhs.len() - n_primary),
+    ]) {
+        panic!("lower_split produced an invalid tape pair: {e}");
+    }
     (b.tape, second)
 }
 
@@ -667,13 +800,191 @@ mod tests {
         Expr::prod(c, f)
     }
 
+    /// A minimal well-formed tape to mutate in the validate tests:
+    /// r0 = y0*k0; r1 = r0 + y1; store both outputs.
+    fn valid_tape() -> Tape {
+        Tape {
+            instrs: vec![
+                Instr::Mul {
+                    dst: 0,
+                    a: Operand::Species(0),
+                    b: Operand::Rate(0),
+                },
+                Instr::Add {
+                    dst: 1,
+                    a: Operand::Reg(0),
+                    b: Operand::Species(1),
+                },
+                Instr::Store {
+                    idx: 0,
+                    a: Operand::Reg(1),
+                },
+                Instr::Store {
+                    idx: 1,
+                    a: Operand::Reg(0),
+                },
+            ],
+            n_regs: 2,
+            n_species: 2,
+            n_rates: 1,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_tapes() {
+        assert_eq!(valid_tape().validate(), Ok(()));
+        // Lowered + compacted production tapes validate too.
+        let f = forest(vec![
+            Expr::sum(vec![term(2.0, 0, &[0, 1]), term(-1.0, 1, &[1])]),
+            term(-2.0, 0, &[0, 1]),
+        ]);
+        let tape = compact_registers(&lower(&f));
+        assert_eq!(tape.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_operands() {
+        let mut t = valid_tape();
+        t.instrs[1] = Instr::Add {
+            dst: 1,
+            a: Operand::Reg(0),
+            b: Operand::Species(9),
+        };
+        assert!(t.validate().unwrap_err().contains("y[9] out of bounds"));
+
+        let mut t = valid_tape();
+        t.instrs[0] = Instr::Mul {
+            dst: 0,
+            a: Operand::Species(0),
+            b: Operand::Rate(7),
+        };
+        assert!(t.validate().unwrap_err().contains("k[7] out of bounds"));
+
+        let mut t = valid_tape();
+        t.instrs[1] = Instr::Add {
+            dst: 5,
+            a: Operand::Reg(0),
+            b: Operand::Species(1),
+        };
+        assert!(t.validate().unwrap_err().contains("r5 out of bounds"));
+    }
+
+    #[test]
+    fn validate_rejects_read_before_write() {
+        let mut t = valid_tape();
+        t.instrs[1] = Instr::Add {
+            dst: 1,
+            a: Operand::Reg(1),
+            b: Operand::Species(1),
+        };
+        assert!(t.validate().unwrap_err().contains("r1 read before write"));
+    }
+
+    #[test]
+    fn validate_rejects_store_out_of_range() {
+        let mut t = valid_tape();
+        t.instrs[2] = Instr::Store {
+            idx: 2,
+            a: Operand::Reg(1),
+        };
+        assert!(t
+            .validate()
+            .unwrap_err()
+            .contains("store index 2 out of bounds"));
+    }
+
+    #[test]
+    fn validate_rejects_dead_copy() {
+        // The copy into r1 is overwritten by the Add without ever being
+        // read.
+        let t = Tape {
+            instrs: vec![
+                Instr::Copy {
+                    dst: 1,
+                    a: Operand::Species(0),
+                },
+                Instr::Add {
+                    dst: 1,
+                    a: Operand::Species(0),
+                    b: Operand::Species(1),
+                },
+                Instr::Store {
+                    idx: 0,
+                    a: Operand::Reg(1),
+                },
+                Instr::Store {
+                    idx: 1,
+                    a: Operand::Species(0),
+                },
+            ],
+            n_regs: 2,
+            n_species: 2,
+            n_rates: 1,
+        };
+        assert!(t.validate().unwrap_err().contains("dead copy"));
+
+        // A trailing copy that nothing reads is dead too.
+        let t = Tape {
+            instrs: vec![
+                Instr::Store {
+                    idx: 0,
+                    a: Operand::Species(0),
+                },
+                Instr::Copy {
+                    dst: 0,
+                    a: Operand::Species(0),
+                },
+            ],
+            n_regs: 1,
+            n_species: 1,
+            n_rates: 0,
+        };
+        assert!(t.validate().unwrap_err().contains("dead copy"));
+    }
+
+    #[test]
+    fn validate_program_tracks_writes_across_tapes() {
+        let mut pair0 = valid_tape();
+        pair0.instrs.truncate(3); // keep: r0, r1 defined; store idx 0
+        let pair1 = Tape {
+            // Reads r0 written by the first tape; stores its single
+            // output at rebased index 0.
+            instrs: vec![Instr::Store {
+                idx: 0,
+                a: Operand::Reg(0),
+            }],
+            n_regs: 2,
+            n_species: 2,
+            n_rates: 1,
+        };
+        assert_eq!(validate_program(&[(&pair0, 2), (&pair1, 1)]), Ok(()));
+        // Alone, the second tape reads an unwritten register.
+        assert!(validate_program(&[(&pair1, 1)])
+            .unwrap_err()
+            .contains("read before write"));
+    }
+
     fn forest(rhs: Vec<Expr>) -> ExprForest {
-        let n = rhs.len();
+        // Fixtures freely reference species beyond the output count as
+        // pure inputs, so size the species space to cover them.
+        let mut n = rhs.len();
+        for e in &rhs {
+            max_species_bound(e, &mut n);
+        }
         ExprForest {
             temps: vec![],
             rhs,
             n_species: n,
             n_rates: 8,
+        }
+    }
+
+    fn max_species_bound(e: &Expr, n: &mut usize) {
+        match e {
+            Expr::Species(i) => *n = (*n).max(*i as usize + 1),
+            Expr::Prod(_, fs) => fs.iter().for_each(|f| max_species_bound(f, n)),
+            Expr::Sum(cs) => cs.iter().for_each(|c| max_species_bound(c, n)),
+            _ => {}
         }
     }
 

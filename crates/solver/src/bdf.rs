@@ -12,8 +12,8 @@
 //! order, or convergence behaviour forces a refresh; step-size changes
 //! rescale the solution history by polynomial interpolation.
 
-use crate::coloring::{fd_jacobian_colored, SparsityPattern};
-use crate::jacobian::{fd_jacobian, AnalyticJacobian};
+use crate::coloring::{fd_jacobian_colored_into, SparsityPattern};
+use crate::jacobian::{fd_jacobian_into, AnalyticJacobian, FdWorkspace};
 use crate::linalg::{CsrMatrix, Lu, Matrix};
 use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
 
@@ -72,6 +72,33 @@ enum JacStore {
     Sparse(CsrMatrix),
 }
 
+/// Reusable buffers for the step loop. Everything the corrector touches
+/// per iteration lives here, so Newton iterations (and whole solves, once
+/// warm) allocate nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Predictor output.
+    y_pred: Vec<f64>,
+    /// Constant part of the corrector equation.
+    rhs_const: Vec<f64>,
+    /// Newton iterate.
+    y: Vec<f64>,
+    /// RHS value at the iterate.
+    f: Vec<f64>,
+    /// Corrector residual.
+    residual: Vec<f64>,
+    /// Newton update (LU solve in place).
+    delta: Vec<f64>,
+    /// Error-estimate vector.
+    err: Vec<f64>,
+    /// Finite-difference Jacobian scratch.
+    fd: FdWorkspace,
+    /// Retired history vectors, recycled instead of reallocated.
+    spare: Vec<Vec<f64>>,
+    /// Double buffer for history rescaling.
+    history_alt: Vec<Vec<f64>>,
+}
+
 /// Gear BDF integrator state.
 pub struct Bdf<'a, R: OdeRhs> {
     rhs: &'a R,
@@ -89,6 +116,9 @@ pub struct Bdf<'a, R: OdeRhs> {
     /// How Jacobians are produced: analytic tape, colored FD, or dense FD.
     source: JacSource<'a>,
     stats: SolveStats,
+    /// Reusable step-loop buffers (taken with `mem::take` around the hot
+    /// path to sidestep aliasing with `&mut self` helpers).
+    scratch: Scratch,
 }
 
 impl<'a, R: OdeRhs> Bdf<'a, R> {
@@ -106,6 +136,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             jac: None,
             source: JacSource::Dense,
             stats: SolveStats::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -155,6 +186,15 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
 
     /// Integrate to `tend`, landing exactly on it.
     pub fn integrate_to(&mut self, tend: f64) -> Result<(), SolverError> {
+        // Detach the scratch so helper methods can borrow `self` freely;
+        // reattached before returning (buffers survive across calls).
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = self.integrate_to_inner(tend, &mut s);
+        self.scratch = s;
+        result
+    }
+
+    fn integrate_to_inner(&mut self, tend: f64, s: &mut Scratch) -> Result<(), SolverError> {
         if tend < self.t {
             return Err(SolverError::BadInput(format!(
                 "tend {tend} before current t {}",
@@ -171,15 +211,15 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             // Clamp the step to land on tend (rescaling history to match).
             let remaining = tend - self.t;
             if self.h > remaining {
-                self.change_step(remaining);
+                self.change_step(remaining, s);
             }
-            self.step()?;
+            self.step(s)?;
         }
         Ok(())
     }
 
     /// Take one step of size `self.h` at the current order.
-    fn step(&mut self) -> Result<(), SolverError> {
+    fn step(&mut self, s: &mut Scratch) -> Result<(), SolverError> {
         let n = self.history[0].len();
         loop {
             let k = self.order.min(self.history.len()).min(MAX_ORDER);
@@ -188,43 +228,52 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             let t_next = self.t + self.h;
 
             // Predictor: polynomial extrapolation of the history.
-            let y_pred = self.extrapolate();
+            self.extrapolate_into(&mut s.y_pred);
 
-            // Ensure a current iteration matrix.
-            self.ensure_iteration_matrix(beta, &y_pred, t_next)?;
+            // Ensure a current iteration matrix. (Temporarily moves the
+            // predictor out of the scratch so `s` stays lendable.)
+            let y_pred = std::mem::take(&mut s.y_pred);
+            let ensured = self.ensure_iteration_matrix(beta, &y_pred, t_next, s);
+            s.y_pred = y_pred;
+            ensured?;
 
             // Constant part of the corrector equation:
             // y − hβ f(t,y) − Σ αᵢ y_{n−i} = 0.
-            let mut rhs_const = vec![0.0; n];
+            s.rhs_const.clear();
+            s.rhs_const.resize(n, 0.0);
             for (i, &a) in alpha.iter().enumerate() {
-                for j in 0..n {
-                    rhs_const[j] += a * self.history[i][j];
+                for (dst, &h) in s.rhs_const.iter_mut().zip(&self.history[i]) {
+                    *dst += a * h;
                 }
             }
 
             // Modified Newton iteration from the predictor.
-            let mut y = y_pred.clone();
-            let mut f = vec![0.0; n];
+            s.y.clear();
+            s.y.extend_from_slice(&s.y_pred);
+            s.f.clear();
+            s.f.resize(n, 0.0);
+            s.residual.clear();
+            s.residual.resize(n, 0.0);
             let mut converged = false;
-            let mut residual = vec![0.0; n];
             for _ in 0..NEWTON_MAX_ITERS {
-                self.rhs.eval(t_next, &y, &mut f);
+                self.rhs.eval(t_next, &s.y, &mut s.f);
                 self.stats.fevals += 1;
                 for j in 0..n {
-                    residual[j] = y[j] - beta * self.h * f[j] - rhs_const[j];
+                    s.residual[j] = s.y[j] - beta * self.h * s.f[j] - s.rhs_const[j];
                 }
-                if residual.iter().any(|v| !v.is_finite()) {
+                if s.residual.iter().any(|v| !v.is_finite()) {
                     return Err(SolverError::NonFiniteDerivative { t: self.t });
                 }
                 let (lu, _, _) = self.iter_matrix.as_ref().expect("ensured above");
-                let mut delta = residual.clone();
-                lu.solve_in_place(&mut delta)
+                s.delta.clear();
+                s.delta.extend_from_slice(&s.residual);
+                lu.solve_in_place(&mut s.delta)
                     .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
                 self.stats.newton_iters += 1;
                 for j in 0..n {
-                    y[j] -= delta[j];
+                    s.y[j] -= s.delta[j];
                 }
-                let norm = error_norm(&delta, &y, self.options.rtol, self.options.atol);
+                let norm = error_norm(&s.delta, &s.y, self.options.rtol, self.options.atol);
                 if norm < NEWTON_TOL {
                     converged = true;
                     break;
@@ -233,26 +282,36 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
 
             if !converged {
                 // Refresh Jacobian once; then cut the step.
-                if self.try_recover(t_next, &y_pred, beta)? {
+                let y_pred = std::mem::take(&mut s.y_pred);
+                let recovered = self.try_recover(t_next, &y_pred, beta, s);
+                s.y_pred = y_pred;
+                if recovered? {
                     continue;
                 }
                 return Err(SolverError::NewtonDivergence { t: self.t });
             }
 
             // Error estimate: corrector minus predictor, scaled for order.
-            let err_vec: Vec<f64> = y
-                .iter()
-                .zip(&y_pred)
-                .map(|(a, b)| (a - b) / (k as f64 + 1.0))
-                .collect();
-            let err = error_norm(&err_vec, &y, self.options.rtol, self.options.atol);
+            s.err.clear();
+            s.err.extend(
+                s.y.iter()
+                    .zip(&s.y_pred)
+                    .map(|(a, b)| (a - b) / (k as f64 + 1.0)),
+            );
+            let err = error_norm(&s.err, &s.y, self.options.rtol, self.options.atol);
 
             if err <= 1.0 {
-                // Accept.
+                // Accept: push the new state into the history, recycling a
+                // retired vector instead of allocating.
                 self.t += self.h;
-                self.history.insert(0, y);
+                let mut slot = s.spare.pop().unwrap_or_default();
+                slot.clear();
+                slot.extend_from_slice(&s.y);
+                self.history.insert(0, slot);
                 let keep = MAX_ORDER + 1;
-                self.history.truncate(keep);
+                while self.history.len() > keep {
+                    s.spare.push(self.history.pop().expect("len checked"));
+                }
                 self.stats.steps += 1;
                 // Raise order while history allows (classic Gear startup).
                 if self.order < MAX_ORDER && self.history.len() > self.order {
@@ -266,7 +325,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 };
                 if !(0.9..=1.1).contains(&factor) {
                     let new_h = (self.h * factor).min(self.options.h_max);
-                    self.change_step(new_h);
+                    self.change_step(new_h, s);
                 }
                 return Ok(());
             }
@@ -282,17 +341,18 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             if self.order > 1 {
                 self.order -= 1;
             }
-            self.change_step(new_h);
+            self.change_step(new_h, s);
         }
     }
 
-    /// Polynomial extrapolation of the (uniform) history to `t + h`.
-    fn extrapolate(&self) -> Vec<f64> {
+    /// Polynomial extrapolation of the (uniform) history to `t + h`,
+    /// written into `out`.
+    fn extrapolate_into(&self, out: &mut Vec<f64>) {
         let m = self.order.min(self.history.len());
         let n = self.history[0].len();
         // Lagrange weights for nodes x_i = −i evaluated at x = 1.
-        let mut weights = vec![0.0; m];
-        for (i, w) in weights.iter_mut().enumerate() {
+        let mut weights = [0.0; MAX_ORDER + 1];
+        for (i, w) in weights.iter_mut().enumerate().take(m) {
             let mut num = 1.0;
             let mut den = 1.0;
             for j in 0..m {
@@ -304,18 +364,18 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             }
             *w = num / den;
         }
-        let mut out = vec![0.0; n];
-        for (i, w) in weights.iter().enumerate() {
-            for j in 0..n {
-                out[j] += w * self.history[i][j];
+        out.clear();
+        out.resize(n, 0.0);
+        for (i, w) in weights.iter().enumerate().take(m) {
+            for (dst, &h) in out.iter_mut().zip(&self.history[i]) {
+                *dst += w * h;
             }
         }
-        out
     }
 
     /// Rescale history from spacing `self.h` to `new_h` via polynomial
     /// interpolation through the existing history points.
-    fn change_step(&mut self, new_h: f64) {
+    fn change_step(&mut self, new_h: f64, s: &mut Scratch) {
         if new_h == self.h || self.history.len() == 1 {
             self.h = new_h;
             self.iter_matrix = None;
@@ -324,13 +384,23 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         let m = self.history.len();
         let n = self.history[0].len();
         let ratio = new_h / self.h;
-        let mut new_history = Vec::with_capacity(m);
-        new_history.push(self.history[0].clone());
-        for target in 1..m {
+        // Build the rescaled history in the double buffer, then swap.
+        while s.history_alt.len() < m {
+            s.history_alt.push(s.spare.pop().unwrap_or_default());
+        }
+        while s.history_alt.len() > m {
+            s.spare.push(s.history_alt.pop().expect("len checked"));
+        }
+        for (target, point) in s.history_alt.iter_mut().enumerate() {
+            point.clear();
+            if target == 0 {
+                point.extend_from_slice(&self.history[0]);
+                continue;
+            }
+            point.resize(n, 0.0);
             // Evaluate the interpolating polynomial through nodes x_i = −i
             // (old spacing) at x = −target·ratio.
             let x = -(target as f64) * ratio;
-            let mut point = vec![0.0; n];
             for i in 0..m {
                 let mut w = 1.0;
                 for j in 0..m {
@@ -339,19 +409,24 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                     }
                     w *= (x + j as f64) / (j as f64 - i as f64);
                 }
-                for c in 0..n {
-                    point[c] += w * self.history[i][c];
+                for (dst, &h) in point.iter_mut().zip(&self.history[i]) {
+                    *dst += w * h;
                 }
             }
-            new_history.push(point);
         }
-        self.history = new_history;
+        std::mem::swap(&mut self.history, &mut s.history_alt);
         self.h = new_h;
         self.iter_matrix = None;
     }
 
     /// Make sure `iter_matrix` matches the current `(h, order)`.
-    fn ensure_iteration_matrix(&mut self, beta: f64, y: &[f64], t: f64) -> Result<(), SolverError> {
+    fn ensure_iteration_matrix(
+        &mut self,
+        beta: f64,
+        y: &[f64],
+        t: f64,
+        s: &mut Scratch,
+    ) -> Result<(), SolverError> {
         let k = self.order;
         if let Some((_, h_built, k_built)) = &self.iter_matrix {
             if *h_built == self.h && *k_built == k {
@@ -359,50 +434,58 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             }
         }
         if self.jac.is_none() {
-            self.refresh_jacobian(t, y);
+            self.refresh_jacobian(t, y, s);
         }
         self.build_lu(beta)?;
         Ok(())
     }
 
-    fn refresh_jacobian(&mut self, t: f64, y: &[f64]) {
-        let mut fevals = 0usize;
-        let store = match &self.source {
+    fn refresh_jacobian(&mut self, t: f64, y: &[f64], s: &mut Scratch) {
+        let n = y.len();
+        match &self.source {
             JacSource::Analytic(provider) => {
                 let pattern = provider.pattern();
-                let mut csr = CsrMatrix::from_rows(
-                    (0..pattern.n_rows()).map(|i| pattern.row(i)),
-                    pattern.n_cols(),
-                );
+                // Reuse the sparse store (the pattern never changes for a
+                // given source); build it on first refresh only.
+                if !matches!(self.jac, Some(JacStore::Sparse(_))) {
+                    self.jac = Some(JacStore::Sparse(CsrMatrix::from_rows(
+                        (0..pattern.n_rows()).map(|i| pattern.row(i)),
+                        pattern.n_cols(),
+                    )));
+                }
+                let csr = match &mut self.jac {
+                    Some(JacStore::Sparse(csr)) => csr,
+                    _ => unreachable!("just stored"),
+                };
                 provider.eval_values(t, y, csr.vals_mut());
                 // One tape-pair evaluation; counted as a single feval for
                 // comparability with the FD paths.
-                fevals += 1;
-                JacStore::Sparse(csr)
+                self.stats.fevals += 1;
             }
             JacSource::Colored {
                 pattern,
                 colors,
                 n_colors,
             } => {
-                let mut f = vec![0.0; y.len()];
-                self.rhs.eval(t, y, &mut f);
-                let (jac, jac_fevals) =
-                    fd_jacobian_colored(self.rhs, t, y, &f, pattern, colors, *n_colors);
-                fevals += 1 + jac_fevals;
-                JacStore::Dense(jac)
+                s.f.clear();
+                s.f.resize(n, 0.0);
+                self.rhs.eval(t, y, &mut s.f);
+                let jac = dense_store(&mut self.jac, pattern.n_rows(), n);
+                let jac_fevals = fd_jacobian_colored_into(
+                    self.rhs, t, y, &s.f, pattern, colors, *n_colors, jac, &mut s.fd,
+                );
+                self.stats.fevals += 1 + jac_fevals;
             }
             JacSource::Dense => {
-                let mut f = vec![0.0; y.len()];
-                self.rhs.eval(t, y, &mut f);
-                let (jac, jac_fevals) = fd_jacobian(self.rhs, t, y, &f);
-                fevals += 1 + jac_fevals;
-                JacStore::Dense(jac)
+                s.f.clear();
+                s.f.resize(n, 0.0);
+                self.rhs.eval(t, y, &mut s.f);
+                let jac = dense_store(&mut self.jac, n, n);
+                let jac_fevals = fd_jacobian_into(self.rhs, t, y, &s.f, jac, &mut s.fd);
+                self.stats.fevals += 1 + jac_fevals;
             }
-        };
-        self.stats.fevals += fevals;
+        }
         self.stats.jevals += 1;
-        self.jac = Some(store);
     }
 
     fn build_lu(&mut self, beta: f64) -> Result<(), SolverError> {
@@ -430,12 +513,18 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
 
     /// Newton failed: refresh the Jacobian (once per step attempt) or cut
     /// the step. Returns `Ok(true)` to retry the step.
-    fn try_recover(&mut self, t_next: f64, y_pred: &[f64], beta: f64) -> Result<bool, SolverError> {
+    fn try_recover(
+        &mut self,
+        t_next: f64,
+        y_pred: &[f64],
+        beta: f64,
+        s: &mut Scratch,
+    ) -> Result<bool, SolverError> {
         self.stats.rejected += 1;
         // First remedy: fresh Jacobian at the predicted point.
         let stale_jacobian = self.jac.is_some();
         if stale_jacobian {
-            self.refresh_jacobian(t_next, y_pred);
+            self.refresh_jacobian(t_next, y_pred, s);
             self.build_lu(beta)?;
             // Also cut the step: a stale Jacobian plus a large step is the
             // common cause.
@@ -445,8 +534,21 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             return Ok(false);
         }
         self.order = 1;
-        self.change_step(new_h);
+        self.change_step(new_h, s);
         Ok(true)
+    }
+}
+
+/// The dense Jacobian store, reused across refreshes (reallocated only if
+/// the shape changed, which it never does for a fixed problem).
+fn dense_store(jac: &mut Option<JacStore>, rows: usize, cols: usize) -> &mut Matrix {
+    let fits = matches!(jac, Some(JacStore::Dense(m)) if m.rows() == rows && m.cols() == cols);
+    if !fits {
+        *jac = Some(JacStore::Dense(Matrix::zeros(rows, cols)));
+    }
+    match jac {
+        Some(JacStore::Dense(m)) => m,
+        _ => unreachable!("just stored"),
     }
 }
 

@@ -31,25 +31,75 @@ pub trait AnalyticJacobian {
     fn eval_values(&self, t: f64, y: &[f64], vals: &mut [f64]);
 }
 
+/// Reusable scratch for the finite-difference Jacobians: stacked
+/// perturbed states, their stacked RHS values, and the per-column steps.
+/// Holding one of these across Newton iterations makes repeated Jacobian
+/// refreshes allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FdWorkspace {
+    /// Perturbed states, row-major (one state per column sweep).
+    pub(crate) ys: Vec<f64>,
+    /// RHS values for `ys`, same layout.
+    pub(crate) fs: Vec<f64>,
+    /// Actual (exactly representable) perturbation step per column.
+    pub(crate) steps: Vec<f64>,
+}
+
+impl FdWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> FdWorkspace {
+        FdWorkspace::default()
+    }
+}
+
 /// Dense forward-difference Jacobian `J[i][j] = df_i/dy_j` at `(t, y)`.
 /// `f_at_y` is the already-computed `f(t, y)` (saves one evaluation);
 /// returns the Jacobian and the number of RHS evaluations used.
 pub fn fd_jacobian<R: OdeRhs>(rhs: &R, t: f64, y: &[f64], f_at_y: &[f64]) -> (Matrix, usize) {
     let n = y.len();
     let mut jac = Matrix::zeros(n, n);
-    let mut y_pert = y.to_vec();
-    let mut f_pert = vec![0.0; n];
+    let mut ws = FdWorkspace::new();
+    let evals = fd_jacobian_into(rhs, t, y, f_at_y, &mut jac, &mut ws);
+    (jac, evals)
+}
+
+/// [`fd_jacobian`] into caller-owned storage: `jac` (an `n × n` matrix)
+/// is overwritten, `ws` provides the scratch. All `n` perturbed states
+/// are evaluated in one [`OdeRhs::eval_batch`] call so batched evaluators
+/// amortize instruction dispatch across columns. Returns the number of
+/// RHS evaluations.
+pub fn fd_jacobian_into<R: OdeRhs>(
+    rhs: &R,
+    t: f64,
+    y: &[f64],
+    f_at_y: &[f64],
+    jac: &mut Matrix,
+    ws: &mut FdWorkspace,
+) -> usize {
+    let n = y.len();
+    assert_eq!(jac.rows(), n, "jacobian row count mismatch");
+    assert_eq!(jac.cols(), n, "jacobian column count mismatch");
+    ws.ys.clear();
+    ws.ys.reserve(n * n);
+    ws.steps.clear();
+    ws.steps.resize(n, 0.0);
     for j in 0..n {
+        let start = ws.ys.len();
+        ws.ys.extend_from_slice(y);
         let h = fd_step(y[j]);
-        y_pert[j] = y[j] + h;
-        let h_actual = y_pert[j] - y[j]; // exact representable step
-        rhs.eval(t, &y_pert, &mut f_pert);
-        for i in 0..n {
-            jac[(i, j)] = (f_pert[i] - f_at_y[i]) / h_actual;
-        }
-        y_pert[j] = y[j];
+        ws.ys[start + j] = y[j] + h;
+        ws.steps[j] = ws.ys[start + j] - y[j]; // exact representable step
     }
-    (jac, n)
+    ws.fs.clear();
+    ws.fs.resize(n * n, 0.0);
+    rhs.eval_batch(t, &ws.ys, &mut ws.fs);
+    for j in 0..n {
+        let f_pert = &ws.fs[j * n..(j + 1) * n];
+        for i in 0..n {
+            jac[(i, j)] = (f_pert[i] - f_at_y[i]) / ws.steps[j];
+        }
+    }
+    n
 }
 
 #[cfg(test)]

@@ -10,6 +10,20 @@ pub trait OdeRhs {
 
     /// Evaluate `f(t, y)` into `ydot`.
     fn eval(&self, t: f64, y: &[f64], ydot: &mut [f64]);
+
+    /// Evaluate `f(t, ·)` for several states at once: `ys` stacks the
+    /// states row-major (`k * dim()` long) and `ydots` receives the
+    /// derivatives in the same layout. The colored finite-difference
+    /// Jacobian calls this with all perturbed states of a sweep so
+    /// batched evaluators (e.g. an `ExecTape` in structure-of-arrays
+    /// mode) can amortize instruction dispatch across states. The
+    /// default loops the scalar [`eval`](OdeRhs::eval).
+    fn eval_batch(&self, t: f64, ys: &[f64], ydots: &mut [f64]) {
+        let n = self.dim().max(1);
+        for (y, ydot) in ys.chunks(n).zip(ydots.chunks_mut(n)) {
+            self.eval(t, y, ydot);
+        }
+    }
 }
 
 /// Wrap a closure as an [`OdeRhs`].
@@ -42,6 +56,10 @@ impl<T: OdeRhs + ?Sized> OdeRhs for &T {
 
     fn eval(&self, t: f64, y: &[f64], ydot: &mut [f64]) {
         (**self).eval(t, y, ydot)
+    }
+
+    fn eval_batch(&self, t: f64, ys: &[f64], ydots: &mut [f64]) {
+        (**self).eval_batch(t, ys, ydots)
     }
 }
 

@@ -72,6 +72,11 @@ pub struct Rk45<'a, R: OdeRhs> {
     stats: SolveStats,
     /// FSAL: k[0] holds f(t, y) when true.
     fsal_valid: bool,
+    /// Step buffers, allocated once so `integrate_to` (called once per
+    /// sample time by the drivers) never allocates.
+    y_next: Vec<f64>,
+    y_err: Vec<f64>,
+    stage: Vec<f64>,
 }
 
 impl<'a, R: OdeRhs> Rk45<'a, R> {
@@ -88,6 +93,9 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
             k: std::array::from_fn(|_| vec![0.0; n]),
             stats: SolveStats::default(),
             fsal_valid: false,
+            y_next: vec![0.0; n],
+            y_err: vec![0.0; n],
+            stage: vec![0.0; n],
         }
     }
 
@@ -108,9 +116,6 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
         if self.h == 0.0 {
             self.h = self.initial_step(tend);
         }
-        let mut y_next = vec![0.0; n];
-        let mut y_err = vec![0.0; n];
-        let mut stage = vec![0.0; n];
         while self.t < tend {
             if self.stats.steps + self.stats.rejected >= self.options.max_steps {
                 return Err(SolverError::TooManySteps {
@@ -135,11 +140,11 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
                     for (j, a) in A[s].iter().enumerate().take(s + 1) {
                         acc += a * self.k[j][i];
                     }
-                    stage[i] = self.y[i] + h * acc;
+                    self.stage[i] = self.y[i] + h * acc;
                 }
                 let t_stage = self.t + C[s] * h;
-                let ks = &mut self.k[s + 1];
-                self.rhs.eval(t_stage, &stage, ks);
+                let (ks, stage) = (&mut self.k[s + 1], &self.stage);
+                self.rhs.eval(t_stage, stage, ks);
                 self.stats.fevals += 1;
             }
             // Solution and error estimate.
@@ -150,17 +155,22 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
                     acc5 += B5[j] * self.k[j][i];
                     acc4 += B4[j] * self.k[j][i];
                 }
-                y_next[i] = self.y[i] + h * acc5;
-                y_err[i] = h * (acc5 - acc4);
+                self.y_next[i] = self.y[i] + h * acc5;
+                self.y_err[i] = h * (acc5 - acc4);
             }
-            if y_next.iter().any(|v| !v.is_finite()) {
+            if self.y_next.iter().any(|v| !v.is_finite()) {
                 return Err(SolverError::NonFiniteDerivative { t: self.t });
             }
-            let err = error_norm(&y_err, &y_next, self.options.rtol, self.options.atol);
+            let err = error_norm(
+                &self.y_err,
+                &self.y_next,
+                self.options.rtol,
+                self.options.atol,
+            );
             if err <= 1.0 {
                 // Accept.
                 self.t += h;
-                self.y.copy_from_slice(&y_next);
+                self.y.copy_from_slice(&self.y_next);
                 // FSAL: stage 7 (k[6]) was evaluated at (t+h, y_next).
                 self.k.swap(0, 6);
                 self.fsal_valid = true;
@@ -182,12 +192,13 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
 
     /// Simple initial-step heuristic based on the scale of f(t0, y0).
     fn initial_step(&mut self, tend: f64) -> f64 {
-        let n = self.y.len();
-        let mut f0 = vec![0.0; n];
-        self.rhs.eval(self.t, &self.y, &mut f0);
+        // `stage` doubles as the f(t0, y0) buffer; the step loop
+        // overwrites it before reading.
+        let (f0, y) = (&mut self.stage, &self.y);
+        self.rhs.eval(self.t, y, f0);
         self.stats.fevals += 1;
         let d0 = error_norm(&self.y, &self.y, self.options.rtol, self.options.atol).max(1e-10);
-        let d1 = error_norm(&f0, &self.y, self.options.rtol, self.options.atol).max(1e-10);
+        let d1 = error_norm(&self.stage, &self.y, self.options.rtol, self.options.atol).max(1e-10);
         let h0 = 0.01 * (d0 / d1);
         h0.min((tend - self.t) / 10.0)
             .max(self.options.h_min * 10.0)

@@ -10,7 +10,8 @@ use rms_nlopt::FitStatistics;
 use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
 use crate::{
-    compile_source, JacobianMode, LmOptions, OptLevel, ParallelEstimator, SolverOptions, SuiteModel,
+    compile_source, EngineMode, JacobianMode, LmOptions, OptLevel, ParallelEstimator,
+    SolverOptions, SuiteModel,
 };
 
 /// A parsed CLI invocation.
@@ -39,6 +40,8 @@ pub enum Command {
         observe: Vec<String>,
         /// Jacobian source for the BDF solver.
         jacobian: JacobianMode,
+        /// Right-hand-side evaluator.
+        engine: EngineMode,
     },
     /// Synthesize experiment files from the model's nominal kinetics.
     Synthesize {
@@ -145,6 +148,7 @@ USAGE:
                 [--emit network|odes|c|stats|conservation]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
+                [--engine interp|exec]                      (default exec)
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
                 [--collective-timeout SECS] [--max-retries N]
@@ -156,6 +160,11 @@ The --jacobian modes: 'analytic' runs the compiler-emitted sparse
 Jacobian tapes (exact derivatives, CSE-shared with the RHS tape);
 'fd-colored' uses colored finite differences over the structural
 sparsity; 'fd-dense' perturbs every state variable.
+
+The --engine modes: 'exec' pre-decodes the tape into the fused
+execution engine (operands resolved to frame indices, FMA
+superinstructions, SIMD-batched Jacobian sweeps); 'interp' walks the
+legacy tape interpreter.
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -178,6 +187,13 @@ fn parse_level(args: &[String]) -> Result<OptLevel, CliError> {
 fn parse_jacobian(args: &[String], default: JacobianMode) -> Result<JacobianMode, CliError> {
     match flag_value(args, "--jacobian") {
         None => Ok(default),
+        Some(v) => v.parse().map_err(|e: String| usage_err(e)),
+    }
+}
+
+fn parse_engine(args: &[String]) -> Result<EngineMode, CliError> {
+    match flag_value(args, "--engine") {
+        None => Ok(EngineMode::default()),
         Some(v) => v.parse().map_err(|e: String| usage_err(e)),
     }
 }
@@ -248,7 +264,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             input: {
                 reject_unknown_flags(
                     args,
-                    &["--level", "--tend", "--steps", "--observe", "--jacobian"],
+                    &[
+                        "--level",
+                        "--tend",
+                        "--steps",
+                        "--observe",
+                        "--jacobian",
+                        "--engine",
+                    ],
                 )?;
                 input(1)?
             },
@@ -257,6 +280,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             steps: parse_num(args, "--steps", 10)?,
             observe: parse_observe(args),
             jacobian: parse_jacobian(args, JacobianMode::FdDense)?,
+            engine: parse_engine(args)?,
         }),
         "synthesize" => Ok(Command::Synthesize {
             input: {
@@ -421,13 +445,14 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             steps,
             observe,
             jacobian,
+            engine,
         } => {
             let model = load_model(input, *level)?;
             let times: Vec<f64> = (1..=*steps)
                 .map(|i| tend * i as f64 / *steps as f64)
                 .collect();
             let solution = model
-                .simulate_with_jacobian(&times, SolverOptions::default(), *jacobian)
+                .simulate_configured(&times, SolverOptions::default(), *jacobian, *engine)
                 .map_err(|e| err(format!("solver: {e}")))?;
             let names: Vec<String> = if observe.is_empty() {
                 model
@@ -788,6 +813,8 @@ mod tests {
             // Bad --jacobian values are usage errors too.
             "simulate m.rdl --jacobian newton",
             "estimate m.rdl --data d --jacobian sparse",
+            // ... and bad --engine values.
+            "simulate m.rdl --engine jit",
         ] {
             let error = parse_args(&argv(bad)).unwrap_err();
             assert_eq!(error.exit_code(), 2, "{bad}: {error}");
@@ -816,6 +843,41 @@ mod tests {
             Command::Estimate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::FdDense),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_flag_parses_with_exec_default() {
+        match parse_args(&argv("simulate m.rdl")).unwrap() {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Exec),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --engine interp")).unwrap() {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Interp),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --engine exec")).unwrap() {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Exec),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_engines_print_identical_tables() {
+        let dir = std::env::temp_dir().join("rmsc_cli_engine");
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+        let base = format!("simulate {model_arg} --tend 0.5 --steps 4 --observe DiS");
+        let exec = run(&parse_args(&argv(&base)).unwrap()).unwrap();
+        let interp = run(&parse_args(&argv(&format!("{base} --engine interp"))).unwrap()).unwrap();
+        // Without FMA contraction the engines are bitwise identical;
+        // with it, step-size decisions could in principle drift, so only
+        // the table shape is checked.
+        if crate::FMA_CONTRACTS {
+            assert_eq!(exec.lines().count(), interp.lines().count());
+        } else {
+            assert_eq!(exec, interp);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

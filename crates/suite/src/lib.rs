@@ -36,8 +36,8 @@ pub mod cli;
 pub use rms_core::{
     compact_registers, compile_jacobian, differentiate_forest, emit_c, generic_compile,
     generic_compile_best_effort, lower, optimize, optimize_with_passes, species_dependencies,
-    CompiledOde, CseOptions, Expr, ExprForest, GenericError, GenericOptions, JacobianTapes,
-    OptLevel, Passes, Tape, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
+    CompiledOde, CseOptions, ExecFrame, ExecTape, Expr, ExprForest, GenericError, GenericOptions,
+    JacobianTapes, OptLevel, Passes, Tape, FMA_CONTRACTS, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
 pub use rms_molecule as molecule;
 pub use rms_nlopt::{LmOptions, LmResult, StopReason};
@@ -55,7 +55,7 @@ pub use rms_solver::{
     SolverOptions, SparsityPattern,
 };
 pub use rms_workload as workload;
-pub use rms_workload::{JacobianMode, TapeJacobian, TapeSimulator};
+pub use rms_workload::{EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSimulator};
 
 /// Any error from the end-to-end pipeline.
 #[derive(Debug)]
@@ -121,18 +121,59 @@ impl SuiteModel {
 
     /// [`simulate`](SuiteModel::simulate) with an explicit Jacobian
     /// source. [`JacobianMode::Analytic`] compiles the sparse Jacobian
-    /// tapes on the fly via [`jacobian`](SuiteModel::jacobian).
+    /// tapes on the fly via [`jacobian`](SuiteModel::jacobian). Runs on
+    /// the default execution engine ([`EngineMode::Exec`]).
     pub fn simulate_with_jacobian(
         &self,
         times: &[f64],
         options: SolverOptions,
         mode: JacobianMode,
     ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
-        let tape = &self.compiled.tape;
-        let scratch = std::cell::RefCell::new(Vec::new());
-        let rhs = rms_solver::FnRhs::new(self.system.len(), |_t, y: &[f64], ydot: &mut [f64]| {
-            tape.eval_with_scratch(&self.system.rate_values, y, ydot, &mut scratch.borrow_mut());
-        });
+        self.simulate_configured(times, options, mode, EngineMode::default())
+    }
+
+    /// Fully configured simulation: explicit Jacobian source *and*
+    /// right-hand-side engine. [`EngineMode::Exec`] pre-decodes the tape
+    /// into an [`ExecTape`] for this solve; [`EngineMode::Interp`] walks
+    /// the legacy tape interpreter.
+    pub fn simulate_configured(
+        &self,
+        times: &[f64],
+        options: SolverOptions,
+        mode: JacobianMode,
+        engine: EngineMode,
+    ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
+        match engine {
+            EngineMode::Exec => {
+                let exec = ExecTape::compile(&self.compiled.tape);
+                let rhs = ExecRhs::new(&exec, &self.system.rate_values);
+                self.solve_bdf_configured(&rhs, times, options, mode)
+            }
+            EngineMode::Interp => {
+                let tape = &self.compiled.tape;
+                let scratch = std::cell::RefCell::new(Vec::new());
+                let rhs =
+                    rms_solver::FnRhs::new(self.system.len(), |_t, y: &[f64], ydot: &mut [f64]| {
+                        tape.eval_with_scratch(
+                            &self.system.rate_values,
+                            y,
+                            ydot,
+                            &mut scratch.borrow_mut(),
+                        );
+                    });
+                self.solve_bdf_configured(&rhs, times, options, mode)
+            }
+        }
+    }
+
+    /// Engine-generic BDF solve under a chosen Jacobian source.
+    fn solve_bdf_configured<R: OdeRhs>(
+        &self,
+        rhs: &R,
+        times: &[f64],
+        options: SolverOptions,
+        mode: JacobianMode,
+    ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
         // Declared before the solve so the provider outlives the borrow
         // the solver holds on it.
         let tapes;
@@ -144,13 +185,13 @@ impl SuiteModel {
                 JacobianSource::AnalyticTape(&provider)
             }
             JacobianMode::FdColored => JacobianSource::FdColored(SparsityPattern::new(
-                species_dependencies(tape),
+                species_dependencies(&self.compiled.tape),
                 self.system.len(),
             )),
             JacobianMode::FdDense => JacobianSource::FdDense,
         };
         let (sol, _) =
-            solve_bdf_with_jacobian(&rhs, 0.0, &self.system.initial, times, options, source)?;
+            solve_bdf_with_jacobian(rhs, 0.0, &self.system.initial, times, options, source)?;
         Ok(sol)
     }
 

@@ -1,0 +1,89 @@
+//! Semantics preservation of the pre-decoded execution engine: BDF
+//! trajectories must be independent of the `--engine` choice on both
+//! workload models, and decode + fusion must preserve the arithmetic
+//! operation totals the paper's Table 1 reports.
+
+use rms_suite::workload::{generate_model, VulcanizationSpec, VULCANIZATION_RDL};
+use rms_suite::{
+    compile_model, compile_source, EngineMode, ExecTape, JacobianMode, OptLevel, SolverOptions,
+    SuiteModel, FMA_CONTRACTS,
+};
+
+fn rdl_model() -> SuiteModel {
+    compile_source(VULCANIZATION_RDL, OptLevel::Full).expect("RDL workload model compiles")
+}
+
+fn programmatic_model() -> SuiteModel {
+    let model = generate_model(VulcanizationSpec {
+        sites: 3,
+        max_chain: 3,
+        neighbourhood: 1,
+    });
+    compile_model(model.network, model.rates, OptLevel::Full)
+        .expect("programmatic workload model compiles")
+}
+
+/// The interpreter and the execution engine must produce equivalent BDF
+/// trajectories (1e-6 relative) on both workload models and under every
+/// Jacobian source. Without FMA contraction the engines are arithmetic-
+/// identical, so the tolerance only has to absorb contraction drift.
+#[test]
+fn bdf_trajectories_agree_across_engines_on_both_models() {
+    let times = [0.1, 0.4, 1.0];
+    for (model, label) in [(rdl_model(), "rdl"), (programmatic_model(), "programmatic")] {
+        for mode in [
+            JacobianMode::FdDense,
+            JacobianMode::FdColored,
+            JacobianMode::Analytic,
+        ] {
+            let interp = model
+                .simulate_configured(&times, SolverOptions::default(), mode, EngineMode::Interp)
+                .unwrap();
+            let exec = model
+                .simulate_configured(&times, SolverOptions::default(), mode, EngineMode::Exec)
+                .unwrap();
+            for (row, (a_row, b_row)) in interp.iter().zip(&exec).enumerate() {
+                for (a, b) in a_row.iter().zip(b_row) {
+                    assert!(
+                        (a - b).abs() <= 1e-6 * a.abs().max(1e-9),
+                        "{label}/{mode} t={}: interp {a} vs exec {b}",
+                        times[row]
+                    );
+                }
+            }
+            // Same step-size decisions, same arithmetic: the default
+            // (non-contracting) build must agree bitwise.
+            if !FMA_CONTRACTS {
+                assert_eq!(
+                    interp, exec,
+                    "{label}/{mode}: engines should be bitwise equal"
+                );
+            }
+        }
+    }
+}
+
+/// Decode and peephole fusion preserve the operation totals: an FMA
+/// superinstruction counts as one multiply plus one add, so
+/// `ExecTape::op_counts()` must equal the source tape's on both models.
+#[test]
+fn exec_op_counts_match_tape_on_both_models() {
+    for (model, label) in [(rdl_model(), "rdl"), (programmatic_model(), "programmatic")] {
+        let tape = &model.compiled.tape;
+        let exec = ExecTape::compile(tape);
+        assert_eq!(
+            exec.op_counts(),
+            tape.op_counts(),
+            "{label}: decode/fusion changed the arithmetic op totals"
+        );
+        // Fusion actually fires on real chemistry tapes (mass-action
+        // sums are chains of multiply-accumulates), so the decoded
+        // program must be strictly shorter than the source.
+        assert!(
+            exec.len() < tape.len(),
+            "{label}: expected FMA fusion to shorten the program ({} vs {})",
+            exec.len(),
+            tape.len()
+        );
+    }
+}

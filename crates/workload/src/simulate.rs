@@ -6,12 +6,90 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rms_core::{species_dependencies, JacobianTapes, Tape};
+use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, Tape};
 use rms_parallel::Simulator;
 use rms_solver::{
-    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, SolverError, SolverOptions,
+    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, OdeRhs, SolverError, SolverOptions,
     SparsityPattern,
 };
+
+/// Which right-hand-side evaluator the simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The legacy tape interpreter (`Tape::eval_with_scratch`): one
+    /// operand `match` per instruction.
+    Interp,
+    /// The pre-decoded execution engine ([`ExecTape`]): operands resolved
+    /// to absolute frame indices at decode time, Mul+Add fused, and
+    /// Jacobian color sweeps evaluated in SIMD-batched lanes.
+    #[default]
+    Exec,
+}
+
+impl FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineMode, String> {
+        match s {
+            "interp" => Ok(EngineMode::Interp),
+            "exec" => Ok(EngineMode::Exec),
+            other => Err(format!(
+                "unknown engine '{other}' (expected interp or exec)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineMode::Interp => "interp",
+            EngineMode::Exec => "exec",
+        })
+    }
+}
+
+thread_local! {
+    /// Per-thread execution frame. The parallel estimator spawns one
+    /// scoped thread per rank inside each `objective()` call, so a rank's
+    /// frame is created once per objective evaluation and then reused
+    /// across every solver step, Newton iteration and Jacobian sweep of
+    /// that rank's simulations — the inner hot loops allocate nothing.
+    static EXEC_FRAME: RefCell<ExecFrame> = RefCell::new(ExecFrame::new());
+}
+
+/// [`OdeRhs`] adapter over a pre-decoded [`ExecTape`] bound to one
+/// rate-constant vector. Both the scalar and the batched entry points
+/// route into the execution engine; the batched one keeps all states of
+/// a colored-FD sweep in structure-of-arrays lanes.
+pub struct ExecRhs<'a> {
+    tape: &'a ExecTape,
+    rates: &'a [f64],
+}
+
+impl<'a> ExecRhs<'a> {
+    /// Bind `tape` to `rates` for the duration of a solve.
+    pub fn new(tape: &'a ExecTape, rates: &'a [f64]) -> ExecRhs<'a> {
+        ExecRhs { tape, rates }
+    }
+}
+
+impl OdeRhs for ExecRhs<'_> {
+    fn dim(&self) -> usize {
+        self.tape.n_species()
+    }
+
+    fn eval(&self, _t: f64, y: &[f64], ydot: &mut [f64]) {
+        EXEC_FRAME.with(|f| self.tape.eval(self.rates, y, ydot, &mut f.borrow_mut()));
+    }
+
+    fn eval_batch(&self, _t: f64, ys: &[f64], ydots: &mut [f64]) {
+        EXEC_FRAME.with(|f| {
+            self.tape
+                .eval_batch(self.rates, ys, ydots, &mut f.borrow_mut())
+        });
+    }
+}
 
 /// How the BDF solver obtains its Jacobian.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +171,9 @@ impl AnalyticJacobian for TapeJacobian<'_> {
 pub struct TapeSimulator {
     /// Compiled right-hand side.
     pub tape: Tape,
+    /// The same right-hand side pre-decoded for the execution engine
+    /// (decoded once at construction, shared by every solve).
+    exec: ExecTape,
     /// Per-formulation initial concentration vectors; experiment file `i`
     /// uses `initials[i % initials.len()]`.
     pub initials: Vec<Vec<f64>>,
@@ -107,6 +188,8 @@ pub struct TapeSimulator {
     jacobian: Option<JacobianTapes>,
     /// Which Jacobian source the BDF solver uses.
     jacobian_mode: JacobianMode,
+    /// Which right-hand-side evaluator the solvers call.
+    engine: EngineMode,
     /// Primary BDF attempts that failed (fallback chain engaged).
     bdf_failures: AtomicUsize,
     /// Failures recovered by re-running BDF with tightened tolerances.
@@ -131,8 +214,10 @@ impl TapeSimulator {
     pub fn new(tape: Tape, initial: Vec<f64>, observable: Vec<f64>) -> TapeSimulator {
         let n = tape.n_species;
         let sparsity = SparsityPattern::new(species_dependencies(&tape), n);
+        let exec = ExecTape::compile(&tape);
         TapeSimulator {
             tape,
+            exec,
             initials: vec![initial],
             observable,
             options: SolverOptions {
@@ -144,6 +229,7 @@ impl TapeSimulator {
             sparsity,
             jacobian: None,
             jacobian_mode: JacobianMode::default(),
+            engine: EngineMode::default(),
             bdf_failures: AtomicUsize::new(0),
             tightened_recoveries: AtomicUsize::new(0),
             rk45_recoveries: AtomicUsize::new(0),
@@ -168,6 +254,21 @@ impl TapeSimulator {
         self.jacobian_mode
     }
 
+    /// Select the right-hand-side evaluator.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// The currently selected right-hand-side evaluator.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// The pre-decoded execution-engine form of the right-hand side.
+    pub fn exec_tape(&self) -> &ExecTape {
+        &self.exec
+    }
+
     /// Observable value for a state vector.
     pub fn measure(&self, y: &[f64]) -> f64 {
         self.observable.iter().zip(y).map(|(w, v)| w * v).sum()
@@ -183,7 +284,8 @@ impl TapeSimulator {
     }
 
     /// Integrate the tape with BDF under `options`, returning the
-    /// observable at each requested time.
+    /// observable at each requested time. Dispatches on the configured
+    /// [`EngineMode`] and delegates to the engine-generic body.
     fn integrate_bdf(
         &self,
         rate_constants: &[f64],
@@ -191,18 +293,39 @@ impl TapeSimulator {
         times: &[f64],
         options: SolverOptions,
     ) -> Result<Vec<f64>, SolverError> {
-        let dim = self.tape.n_species;
-        let scratch = RefCell::new(Vec::new());
-        let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
-            self.tape
-                .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
-        });
+        match self.engine {
+            EngineMode::Exec => {
+                let rhs = ExecRhs::new(&self.exec, rate_constants);
+                self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
+            }
+            EngineMode::Interp => {
+                let dim = self.tape.n_species;
+                let scratch = RefCell::new(Vec::new());
+                let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
+                    self.tape
+                        .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
+                });
+                self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
+            }
+        }
+    }
+
+    /// Engine-generic BDF body: build the Jacobian source and walk the
+    /// requested output times.
+    fn integrate_bdf_with<R: OdeRhs>(
+        &self,
+        rhs: &R,
+        rate_constants: &[f64],
+        y0: &[f64],
+        times: &[f64],
+        options: SolverOptions,
+    ) -> Result<Vec<f64>, SolverError> {
         // Declared before `solver` so the provider outlives the borrow.
         let provider = match (self.jacobian_mode, &self.jacobian) {
             (JacobianMode::Analytic, Some(tapes)) => Some(TapeJacobian::new(tapes, rate_constants)),
             _ => None,
         };
-        let mut solver = Bdf::new(&rhs, 0.0, y0, options);
+        let mut solver = Bdf::new(rhs, 0.0, y0, options);
         match (&provider, self.jacobian_mode) {
             (Some(p), _) => solver.set_jacobian_source(JacobianSource::AnalyticTape(p)),
             (None, JacobianMode::FdDense) => {}
@@ -226,14 +349,23 @@ impl TapeSimulator {
         y0: &[f64],
         times: &[f64],
     ) -> Result<Vec<f64>, SolverError> {
-        let dim = self.tape.n_species;
-        let scratch = RefCell::new(Vec::new());
-        let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
-            self.tape
-                .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
-        });
-        let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
-        Ok(states.iter().map(|y| self.measure(y)).collect())
+        match self.engine {
+            EngineMode::Exec => {
+                let rhs = ExecRhs::new(&self.exec, rate_constants);
+                let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
+                Ok(states.iter().map(|y| self.measure(y)).collect())
+            }
+            EngineMode::Interp => {
+                let dim = self.tape.n_species;
+                let scratch = RefCell::new(Vec::new());
+                let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
+                    self.tape
+                        .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
+                });
+                let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
+                Ok(states.iter().map(|y| self.measure(y)).collect())
+            }
+        }
     }
 }
 
@@ -421,6 +553,54 @@ mod tests {
         sim.set_jacobian_mode(JacobianMode::Analytic);
         let out = sim.simulate(&rates, 0, &[1.0]).unwrap();
         assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn engine_mode_parses_round_trip() {
+        for mode in [EngineMode::Interp, EngineMode::Exec] {
+            assert_eq!(mode.to_string().parse::<EngineMode>().unwrap(), mode);
+        }
+        assert!("jit".parse::<EngineMode>().is_err());
+        assert_eq!(EngineMode::default(), EngineMode::Exec);
+    }
+
+    #[test]
+    fn engines_agree_through_the_simulator() {
+        let (mut sim, rates) = small_simulator();
+        let times = [0.2, 0.6, 1.2, 2.4];
+        assert_eq!(sim.engine(), EngineMode::Exec);
+        let exec = sim.simulate(&rates, 0, &times).unwrap();
+        sim.set_engine(EngineMode::Interp);
+        let interp = sim.simulate(&rates, 0, &times).unwrap();
+        for (t, (a, b)) in times.iter().zip(exec.iter().zip(&interp)) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1e-9),
+                "t={t}: exec {a} vs interp {b}"
+            );
+        }
+        // The default build does not contract FMA, so the engines run
+        // the same arithmetic and must agree bitwise.
+        if !rms_core::FMA_CONTRACTS {
+            assert_eq!(exec, interp);
+        }
+        assert_eq!(sim.fallback_stats(), FallbackStats::default());
+    }
+
+    #[test]
+    fn exec_engine_runs_every_jacobian_mode() {
+        let (mut sim, rates) = small_simulator_with_jacobian();
+        let times = [0.5, 1.0];
+        let analytic = sim.simulate(&rates, 0, &times).unwrap();
+        for mode in [JacobianMode::FdColored, JacobianMode::FdDense] {
+            sim.set_jacobian_mode(mode);
+            let other = sim.simulate(&rates, 0, &times).unwrap();
+            for (a, b) in analytic.iter().zip(&other) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * a.abs().max(1e-12),
+                    "{mode}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]
