@@ -1,0 +1,234 @@
+//! Compile-pipeline benchmark: cold compiles against in-memory and
+//! on-disk cache hits at the (scaled) Table 1 case sizes. Prints a
+//! comparison table and writes a machine-readable `BENCH_compile.json`.
+//!
+//! This is the pipeline-driver claim: a process that re-requests a model
+//! it has already compiled (estimator sweeps, repeated CLI invocations
+//! against a warm `.rms-cache/`) pays content hashing, not
+//! recompilation. The headline number is the largest case's cached
+//! recompile speedup, which should be well beyond 10x.
+//!
+//! Usage:
+//!   compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke]
+//!
+//! `--smoke` shrinks everything for CI: the two smallest cases at a deep
+//! scale — enough to validate the measurement and the JSON artifact, not
+//! to produce stable timings.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rms_bench::{fmt_secs, parse_or_exit, run_bench};
+use rms_core::OptLevel;
+use rms_suite::{cache, CacheMode, CacheStatus, CompilerSession, SessionOptions};
+use rms_workload::{scaled_case, VulcanizationModel, TABLE1};
+
+const USAGE: &str = "\
+compile — pipeline compile times: cold vs memory-cached vs disk-cached
+
+USAGE:
+  compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke]
+
+  --scale K     divide the Table 1 equation counts by K (default 25)
+  --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
+  --reps N      repetitions per cached measurement, best-of (default 5)
+  --out FILE    JSON artifact path (default BENCH_compile.json)
+  --smoke       CI preset: --scale 500 --cases 1,2 --reps 3
+";
+
+struct CaseResult {
+    case: usize,
+    equations: usize,
+    reactions: usize,
+    cold_secs: f64,
+    memory_secs: f64,
+    disk_secs: f64,
+}
+
+struct Config {
+    scale: usize,
+    reps: usize,
+    cases: Vec<usize>,
+    out_path: String,
+}
+
+fn main() {
+    let args = parse_or_exit(
+        USAGE,
+        &["--scale", "--cases", "--reps", "--out"],
+        &["--smoke"],
+    );
+    run_bench(USAGE, args, parse, run);
+}
+
+fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
+    let smoke = args.switch("--smoke");
+    let default_cases: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    let config = Config {
+        scale: args.num("--scale", if smoke { 500 } else { 25 })?,
+        reps: args.num("--reps", if smoke { 3 } else { 5 })?,
+        cases: args.num_list("--cases", default_cases)?,
+        out_path: args
+            .value("--out")
+            .unwrap_or("BENCH_compile.json")
+            .to_string(),
+    };
+    if config.cases.is_empty() || config.cases.iter().any(|&c| c == 0 || c > TABLE1.len()) {
+        return Err(format!("--cases takes ids in 1..={}", TABLE1.len()));
+    }
+    if config.reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+/// One timed compile through the session, optionally asserting how the
+/// cache satisfied it. The clock covers exactly the session call —
+/// content fingerprinting included, workload cloning excluded.
+fn timed_compile(
+    model: &VulcanizationModel,
+    options: SessionOptions,
+    expect: Option<CacheStatus>,
+) -> Result<f64, String> {
+    let network = model.network.clone();
+    let rates = model.rates.clone();
+    let session = CompilerSession::with_options(options);
+    let t0 = Instant::now();
+    let compiled = session
+        .compile_network("workload", network, rates)
+        .map_err(|d| d.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    if let Some(expect) = expect {
+        if compiled.status != expect {
+            return Err(format!(
+                "expected a {} compile, observed {}",
+                expect.name(),
+                compiled.status.name()
+            ));
+        }
+    }
+    Ok(secs)
+}
+
+fn run(config: Config) -> Result<(), String> {
+    let Config {
+        scale,
+        reps,
+        cases,
+        out_path,
+    } = config;
+    let out_path = out_path.as_str();
+
+    let cache_root = std::env::temp_dir().join(format!("rms-bench-compile-{}", std::process::id()));
+
+    println!("Compile-pipeline benchmark (scale 1/{scale}, best of {reps} cached reps)");
+    println!(
+        "{:>5} {:>6} {:>6} | {:>10} {:>10} {:>10} | {:>9} {:>9}",
+        "case", "eqs", "rxns", "cold", "memory", "disk", "mem/cold", "disk/cold"
+    );
+
+    let mut results = Vec::new();
+    for &case in &cases {
+        let model = scaled_case(case, scale);
+        let equations = model.network.species_count();
+        let reactions = model.network.reaction_count();
+
+        // Cold baseline: cache bypassed, the full pipeline runs.
+        let mut bypass = SessionOptions::new(OptLevel::Full);
+        bypass.cache = CacheMode::Bypass;
+        let cold_secs = timed_compile(&model, bypass, Some(CacheStatus::Cold))?;
+
+        // Populate both cache layers, then measure in-memory hits. At
+        // deep scales two cases can collapse to the same fingerprint, so
+        // the populate's own status is not asserted (the shared cache
+        // directory still holds the artifact either way).
+        let mut cached = SessionOptions::new(OptLevel::Full);
+        cached.cache_dir = Some(cache_root.clone());
+        timed_compile(&model, cached.clone(), None)?;
+        let mut memory_secs = f64::INFINITY;
+        for _ in 0..reps {
+            memory_secs = memory_secs.min(timed_compile(
+                &model,
+                cached.clone(),
+                Some(CacheStatus::Memory),
+            )?);
+        }
+
+        // Disk revivals: drop the in-memory layer before each rep so the
+        // artifact really comes back through deserialization.
+        let mut disk_secs = f64::INFINITY;
+        for _ in 0..reps {
+            cache::clear_memory();
+            disk_secs = disk_secs.min(timed_compile(
+                &model,
+                cached.clone(),
+                Some(CacheStatus::Disk),
+            )?);
+        }
+
+        println!(
+            "{case:>5} {equations:>6} {reactions:>6} | {:>10} {:>10} {:>10} | {:>8.0}x {:>8.1}x",
+            fmt_secs(cold_secs),
+            fmt_secs(memory_secs),
+            fmt_secs(disk_secs),
+            cold_secs / memory_secs,
+            cold_secs / disk_secs
+        );
+        results.push(CaseResult {
+            case,
+            equations,
+            reactions,
+            cold_secs,
+            memory_secs,
+            disk_secs,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&cache_root);
+
+    let largest = results
+        .iter()
+        .max_by_key(|r| r.equations)
+        .expect("at least one case");
+    let speedup = largest.cold_secs / largest.memory_secs;
+    println!(
+        "\nlargest case ({} equations): cached recompile {speedup:.0}x faster than cold",
+        largest.equations
+    );
+    if speedup < 10.0 {
+        println!("warning: cached speedup below the 10x claim (timing noise at tiny scales?)");
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"compile\",\"scale\":{scale},\"reps\":{reps},\"cases\":["
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"case\":{},\"equations\":{},\"reactions\":{},\"cold_seconds\":{:.9},\
+             \"memory_seconds\":{:.9},\"disk_seconds\":{:.9},\"memory_speedup\":{:.3},\
+             \"disk_speedup\":{:.3}}}",
+            r.case,
+            r.equations,
+            r.reactions,
+            r.cold_secs,
+            r.memory_secs,
+            r.disk_secs,
+            r.cold_secs / r.memory_secs,
+            r.cold_secs / r.disk_secs
+        );
+    }
+    let _ = writeln!(
+        json,
+        "],\"largest\":{{\"case\":{},\"equations\":{},\"cold_seconds\":{:.9},\
+         \"memory_seconds\":{:.9},\"memory_speedup\":{:.3}}}}}",
+        largest.case, largest.equations, largest.cold_secs, largest.memory_secs, speedup
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

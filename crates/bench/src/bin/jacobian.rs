@@ -14,8 +14,8 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{compile_timed, fmt_secs, parse_or_exit, run_bench, system_for};
-use rms_core::{compile_jacobian, CseOptions, OptLevel};
+use rms_bench::{compile_case_deriv, fmt_secs, parse_or_exit, run_bench};
+use rms_core::OptLevel;
 use rms_solver::{fd_jacobian, fd_jacobian_colored, AnalyticJacobian, FnRhs, OdeRhs};
 use rms_workload::{scaled_case, TapeJacobian, TABLE1};
 
@@ -118,9 +118,11 @@ fn run(config: Config) -> Result<(), String> {
     let mut results = Vec::new();
     for &case in &cases {
         let model = scaled_case(case, scale);
-        let system = system_for(&model, true);
-        let (compiled, _) = compile_timed(&system, OptLevel::Full);
-        let tapes = compile_jacobian(&compiled.forest, Some(CseOptions::default()));
+        // Compile through the session with the Deriv stage on: the
+        // artifact carries the analytic tapes the benchmark measures.
+        let suite = compile_case_deriv(&model, OptLevel::Full);
+        let (system, compiled) = (&suite.system, &suite.compiled);
+        let tapes = suite.jacobian();
         let provider = TapeJacobian::new(&tapes, &system.rate_values);
         let n = system.len();
         let y: Vec<f64> = (0..n).map(|i| 0.2 + 0.05 * (i % 7) as f64).collect();

@@ -12,7 +12,9 @@
 //! paper's reference numbers; absolute seconds differ (their machine was
 //! a 375 MHz POWER3), the *shape* is what reproduces.
 
-use rms_bench::{compile_timed, fmt_secs, parse_or_exit, run_bench, system_for, time_tape_eval};
+use rms_bench::{
+    compile_case, compile_case_cold, fmt_secs, parse_or_exit, run_bench, time_tape_eval,
+};
 use rms_core::{
     compact_registers, forward_copies, generic_compile, lower, GenericOptions, OptLevel,
     PAPER_MEMORY_BUDGET,
@@ -66,9 +68,10 @@ fn run(config: Config) -> Result<(), String> {
     // Table 1 emerges from the same mechanism at any --scale.
     let budget: usize = match budget {
         0 => {
+            // Cached: if case 4 is in the run below, this compile is the
+            // same artifact the loop will share.
             let case4 = scaled_case(4, scale);
-            let raw = system_for(&case4, false);
-            let tape_len = compile_timed(&raw, OptLevel::None).0.tape.len();
+            let tape_len = compile_case(&case4, OptLevel::None).compiled.tape.len();
             ((PAPER_MEMORY_BUDGET as u128 * tape_len as u128) / 1_840_000u128) as usize
         }
         explicit => explicit,
@@ -88,8 +91,8 @@ fn run(config: Config) -> Result<(), String> {
         );
 
         // Baseline: no optimizations at all (raw Fig. 4 style system).
-        let raw = system_for(&model, false);
-        let (unopt, _) = compile_timed(&raw, OptLevel::None);
+        let baseline = compile_case(&model, OptLevel::None);
+        let (raw, unopt) = (&baseline.system, &baseline.compiled);
         let unopt_counts = unopt.stages.after_cse;
         println!(
             "  without opts:      {:>9} mults [{}], {:>9} adds [{}]",
@@ -114,7 +117,7 @@ fn run(config: Config) -> Result<(), String> {
             },
         )
         .is_ok();
-        let t_unopt = time_tape_eval(&unopt, &raw, iters);
+        let t_unopt = time_tape_eval(unopt, raw, iters);
         println!(
             "  eval time/call:    {:>9}   [{}]{}",
             fmt_secs(t_unopt),
@@ -142,7 +145,7 @@ fn run(config: Config) -> Result<(), String> {
                 // A real compiler coalesces the copies VN leaves behind;
                 // forward them and re-allocate registers before timing.
                 ccomp.tape = compact_registers(&forward_copies(&result.tape));
-                let t_ccomp = time_tape_eval(&ccomp, &raw, iters);
+                let t_ccomp = time_tape_eval(&ccomp, raw, iters);
                 println!(
                     "  C-compiler-only:   {:>9}   [{}]  ({} ops eliminated)",
                     fmt_secs(t_ccomp),
@@ -165,11 +168,13 @@ fn run(config: Config) -> Result<(), String> {
             ),
         }
 
-        // With our algebraic + CSE optimizations.
-        let simplified = system_for(&model, true);
-        let (opt, compile_time) = compile_timed(&simplified, OptLevel::Full);
+        // With our algebraic + CSE optimizations. Cold compile so the
+        // reported pipeline time is real work, not a cache hit.
+        let optimized = compile_case_cold(&model, OptLevel::Full);
+        let (simplified, opt) = (&optimized.system, &optimized.compiled);
+        let compile_time = optimized.report.total_seconds;
         let opt_counts = opt.stages.after_cse;
-        let t_opt = time_tape_eval(&opt, &simplified, iters);
+        let t_opt = time_tape_eval(opt, simplified, iters);
         println!(
             "  with algebraic/CSE:{:>9} mults [{}], {:>9} adds [{}]  (compile {})",
             opt_counts.mults,

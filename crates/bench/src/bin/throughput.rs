@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{compile_timed, fmt_secs, parse_or_exit, run_bench, system_for};
+use rms_bench::{compile_case, fmt_secs, parse_or_exit, run_bench};
 use rms_core::{ExecFrame, ExecTape, OptLevel, LANES};
 use rms_workload::{scaled_case, TABLE1};
 
@@ -152,10 +152,15 @@ fn run(config: Config) -> Result<(), String> {
     let mut results = Vec::new();
     for &case in &cases {
         let model = scaled_case(case, scale);
-        let system = system_for(&model, true);
-        let (compiled, _) = compile_timed(&system, OptLevel::Full);
-        let tape = &compiled.tape;
-        let exec = ExecTape::compile(tape);
+        // Compile through the session; the ExecDecode stage already
+        // produced the decoded tape the engine measurements need.
+        let suite = compile_case(&model, OptLevel::Full);
+        let system = &suite.system;
+        let tape = &suite.compiled.tape;
+        let exec: ExecTape = suite
+            .exec
+            .clone()
+            .unwrap_or_else(|| ExecTape::compile(tape));
         let n = system.len();
         let rates = &system.rate_values;
         let y0: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.1).collect();

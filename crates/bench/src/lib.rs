@@ -3,22 +3,53 @@
 
 use std::time::Instant;
 
-use rms_core::{optimize, CompiledOde, OptLevel};
-use rms_odegen::{generate, GenerateOptions, OdeSystem};
+use rms_core::{CompiledOde, OptLevel};
+use rms_odegen::OdeSystem;
+use rms_suite::{CacheMode, CompilerSession, SessionOptions, SuiteModel};
 use rms_workload::VulcanizationModel;
 
-/// Build the (un)simplified ODE system for a model.
-pub fn system_for(model: &VulcanizationModel, simplify: bool) -> OdeSystem {
-    generate(&model.network, &model.rates, GenerateOptions { simplify })
-        .expect("workload rates are always defined")
+/// Run a workload model through the pass-managed pipeline session with
+/// explicit options. All bench compilations funnel through here; there
+/// is no ad-hoc stage chaining in the harnesses.
+fn compile_with(model: &VulcanizationModel, options: SessionOptions) -> SuiteModel {
+    let compiled = CompilerSession::with_options(options)
+        .compile_network("workload", model.network.clone(), model.rates.clone())
+        .expect("workload models always compile");
+    SuiteModel::from_artifact(compiled.artifact)
 }
 
-/// Compile at a level, returning the compiled artifact and elapsed
-/// compile time in seconds.
-pub fn compile_timed(system: &OdeSystem, level: OptLevel) -> (CompiledOde, f64) {
-    let t0 = Instant::now();
-    let compiled = optimize(system, level);
-    (compiled, t0.elapsed().as_secs_f64())
+/// Compile a workload model end to end through the process-cached
+/// pipeline. Repeated calls with the same model and level share one
+/// artifact; the model's report carries per-stage wall times and the
+/// Table 1 operation counts.
+pub fn compile_case(model: &VulcanizationModel, level: OptLevel) -> SuiteModel {
+    compile_with(model, SessionOptions::new(level))
+}
+
+/// [`compile_case`] with the cache bypassed: a guaranteed-cold compile
+/// whose report times reflect real pipeline work.
+pub fn compile_case_cold(model: &VulcanizationModel, level: OptLevel) -> SuiteModel {
+    let mut options = SessionOptions::new(level);
+    options.cache = CacheMode::Bypass;
+    compile_with(model, options)
+}
+
+/// [`compile_case`] with the *Deriv* stage on: the artifact carries the
+/// analytic sparse Jacobian tapes.
+pub fn compile_case_deriv(model: &VulcanizationModel, level: OptLevel) -> SuiteModel {
+    let mut options = SessionOptions::new(level);
+    options.deriv = true;
+    compile_with(model, options)
+}
+
+/// Build the (un)merged ODE system for a model through the session: a
+/// passes-off pipeline (equation generation plus bare lowering) with the
+/// generator's §3.1 merging switched explicitly.
+pub fn system_for(model: &VulcanizationModel, simplify: bool) -> OdeSystem {
+    let mut options = SessionOptions::new(OptLevel::None);
+    options.gen_simplify = Some(simplify);
+    options.decode = false;
+    compile_with(model, options).system.clone()
 }
 
 /// Time `iters` evaluations of a tape over a fixed state (the solver's

@@ -354,6 +354,20 @@ impl ExprForest {
     }
 }
 
+/// Human-readable IR listing: one `tN = …` line per temporary followed by
+/// one `dyN/dt = …` line per species (the `--dump-ir` format).
+impl fmt::Display for ExprForest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.temps.iter().enumerate() {
+            writeln!(f, "t{i} = {t}")?;
+        }
+        for (i, rhs) in self.rhs.iter().enumerate() {
+            writeln!(f, "dy{i}/dt = {rhs}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Replace `Temp(i)` references by `bodies[i]` (which must already be
 /// temp-free).
 fn substitute_temps(expr: &Expr, bodies: &[Expr]) -> Expr {

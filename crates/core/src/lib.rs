@@ -42,7 +42,10 @@ pub use generic::{
     generic_compile, generic_compile_best_effort, GenericError, GenericOptions, GenericResult,
     IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
-pub use pipeline::{optimize, optimize_with_passes, CompiledOde, OptLevel, Passes, StageCounts};
+pub use pipeline::{
+    optimize, optimize_traced, optimize_with_passes, CompiledOde, OptLevel, PassEvent, PassTrace,
+    Passes, StageCounts,
+};
 pub use simplify::{simplify_expr, simplify_forest};
 pub use tape::{
     compact_registers, compact_registers_pair, forward_copies, lower, lower_split,

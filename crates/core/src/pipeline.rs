@@ -87,7 +87,7 @@ pub struct Passes {
 }
 
 /// Per-stage operation counts.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageCounts {
     /// Counts of the input sum-of-products form.
     pub input: OpCounts,
@@ -125,6 +125,55 @@ impl CompiledOde {
     }
 }
 
+/// One observed optimizer pass: wall time plus the size of its output IR.
+#[derive(Debug, Clone)]
+pub struct PassEvent {
+    /// Pass name (`"input"`, `"simplify"`, `"distribute"`, `"cse"`,
+    /// `"lower"`).
+    pub pass: &'static str,
+    /// Wall-clock seconds spent in the pass.
+    pub seconds: f64,
+    /// Arithmetic operation counts of the pass output.
+    pub counts: OpCounts,
+    /// IR node count of the pass output (tape instruction count for
+    /// `"lower"`).
+    pub nodes: usize,
+    /// Rendered IR after the pass, when capture was requested.
+    pub ir: Option<String>,
+}
+
+/// Collects [`PassEvent`]s during [`optimize_traced`]. The pipeline
+/// driver turns these into stage records of its `PipelineReport`.
+#[derive(Debug, Default, Clone)]
+pub struct PassTrace {
+    /// Events in execution order. Only passes that actually ran appear;
+    /// `"input"` and `"lower"` always do.
+    pub events: Vec<PassEvent>,
+    /// Capture a rendered IR snapshot after every pass (for
+    /// `--dump-ir`); costs an extra formatting walk per pass.
+    pub capture_ir: bool,
+}
+
+impl PassTrace {
+    /// A trace that records IR snapshots alongside timings.
+    pub fn with_ir() -> PassTrace {
+        PassTrace {
+            events: Vec::new(),
+            capture_ir: true,
+        }
+    }
+
+    fn record(&mut self, pass: &'static str, seconds: f64, forest: &ExprForest) {
+        self.events.push(PassEvent {
+            pass,
+            seconds,
+            counts: forest.op_counts(),
+            nodes: forest.node_count(),
+            ir: self.capture_ir.then(|| forest.to_string()),
+        });
+    }
+}
+
 /// Optimize an ODE system at a named level.
 pub fn optimize(system: &OdeSystem, level: OptLevel) -> CompiledOde {
     optimize_with_passes(system, level.passes())
@@ -132,17 +181,42 @@ pub fn optimize(system: &OdeSystem, level: OptLevel) -> CompiledOde {
 
 /// Optimize with explicit pass switches.
 pub fn optimize_with_passes(system: &OdeSystem, passes: Passes) -> CompiledOde {
+    optimize_traced(system, passes, None)
+}
+
+/// [`optimize_with_passes`] with optional per-pass instrumentation.
+///
+/// Behaviorally identical to the untraced form — the trace only observes
+/// pass boundaries; it never alters pass order, the (distribute ∘ cse)
+/// fixpoint, or the lowered tape.
+pub fn optimize_traced(
+    system: &OdeSystem,
+    passes: Passes,
+    mut trace: Option<&mut PassTrace>,
+) -> CompiledOde {
+    let mut clock = std::time::Instant::now();
+    let mut lap = |trace: &mut Option<&mut PassTrace>, pass: &'static str, forest: &ExprForest| {
+        let seconds = clock.elapsed().as_secs_f64();
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(pass, seconds, forest);
+        }
+        clock = std::time::Instant::now();
+    };
+
     let mut forest = ExprForest::from_system(system);
+    lap(&mut trace, "input", &forest);
     let mut stages = StageCounts {
         input: forest.op_counts(),
         ..StageCounts::default()
     };
     if passes.simplify {
         forest = simplify_forest(&forest);
+        lap(&mut trace, "simplify", &forest);
     }
     stages.after_simplify = forest.op_counts();
     if passes.distribute {
         forest = distribute_forest(&forest);
+        lap(&mut trace, "distribute", &forest);
     }
     stages.after_distribute = forest.op_counts();
     if let Some(cse_options) = passes.cse {
@@ -165,6 +239,7 @@ pub fn optimize_with_passes(system: &OdeSystem, passes: Passes) -> CompiledOde {
                 forest = candidate;
             }
         }
+        lap(&mut trace, "cse", &forest);
     }
     stages.after_cse = forest.op_counts();
     let tape = compact_registers(&lower(&forest));
@@ -179,6 +254,16 @@ pub fn optimize_with_passes(system: &OdeSystem, passes: Passes) -> CompiledOde {
         "register-to-register copies must not survive lowering"
     );
     stages.tape = tape.op_counts();
+    if let Some(t) = trace {
+        let seconds = clock.elapsed().as_secs_f64();
+        t.events.push(PassEvent {
+            pass: "lower",
+            seconds,
+            counts: tape.op_counts(),
+            nodes: tape.instrs.len(),
+            ir: t.capture_ir.then(|| format!("{tape}")),
+        });
+    }
     CompiledOde {
         forest,
         tape,

@@ -59,6 +59,49 @@ pub struct Tape {
     pub n_rates: usize,
 }
 
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{r}"),
+            Operand::Species(i) => write!(f, "y{i}"),
+            Operand::Rate(i) => write!(f, "k{i}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instr::Add { dst, a, b } => write!(f, "r{dst} = {a} + {b}"),
+            Instr::Sub { dst, a, b } => write!(f, "r{dst} = {a} - {b}"),
+            Instr::Mul { dst, a, b } => write!(f, "r{dst} = {a} * {b}"),
+            Instr::Neg { dst, a } => write!(f, "r{dst} = -{a}"),
+            Instr::Copy { dst, a } => write!(f, "r{dst} = {a}"),
+            Instr::Store { idx, a } => write!(f, "ydot[{idx}] = {a}"),
+        }
+    }
+}
+
+/// Disassembly listing: a header line then one instruction per line (the
+/// `--dump-ir=lower` format).
+impl std::fmt::Display for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "; tape: {} instrs, {} regs, {} species, {} rates",
+            self.instrs.len(),
+            self.n_regs,
+            self.n_species,
+            self.n_rates
+        )?;
+        for i in &self.instrs {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
 impl Tape {
     /// Evaluate the tape: reads `rates` and `y`, writes `ydot`, using the
     /// caller-provided scratch register file (resized as needed so the

@@ -1,0 +1,135 @@
+//! Content-addressed artifact cache.
+//!
+//! Keyed by a 128-bit fingerprint of the model source plus every option
+//! that affects compilation (see `CompilerSession::fingerprint`). Two
+//! layers:
+//!
+//! * **in-memory** — a process-wide map of `Arc`-shared artifacts with
+//!   per-key build locks, so concurrent requests for the same model
+//!   compile it exactly once per process (the others block and share the
+//!   result);
+//! * **on-disk** (optional) — a `.rms-cache/` directory of serialized
+//!   artifacts surviving across processes; best-effort (I/O errors are
+//!   treated as misses, writes go through a temp file + rename).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::diag::Diagnostic;
+use crate::session::CompiledArtifact;
+
+/// How a compile request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Compiled from scratch this call.
+    Cold,
+    /// Served from the in-process cache.
+    Memory,
+    /// Revived from the on-disk cache.
+    Disk,
+}
+
+impl CacheStatus {
+    /// Stable lowercase name (JSON/CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Cold => "cold",
+            CacheStatus::Memory => "memory",
+            CacheStatus::Disk => "disk",
+        }
+    }
+}
+
+/// Whether a session consults the cache at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Read and populate both cache layers.
+    #[default]
+    ReadWrite,
+    /// Always compile cold; never read or write either layer.
+    Bypass,
+}
+
+/// Cumulative process-wide cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// In-memory hits.
+    pub hits: u64,
+    /// On-disk revivals.
+    pub disk_hits: u64,
+    /// Successful cold builds.
+    pub misses: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+type Slot = Arc<Mutex<Option<Arc<CompiledArtifact>>>>;
+
+fn registry() -> &'static Mutex<HashMap<u128, Slot>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u128, Slot>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Lock, tolerating poisoning: a panicked builder must not wedge every
+/// later compile of the same model.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Snapshot of the process-wide statistics.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Drop every in-memory artifact (the disk layer is untouched). Intended
+/// for tests that exercise the disk path.
+pub fn clear_memory() {
+    lock(registry()).clear();
+}
+
+/// Path of the serialized artifact for `key` under a cache directory.
+pub fn disk_path(dir: &Path, key: u128) -> PathBuf {
+    dir.join(format!("{key:032x}.rmsc"))
+}
+
+/// Serve `key` from memory, then disk, then a cold build — whichever
+/// comes first. The per-key slot lock guarantees at most one cold build
+/// per key per process even under concurrency; losers of the race block
+/// and then share the winner's artifact.
+///
+/// `try_disk` and `persist` are no-ops for sessions without a cache
+/// directory. A failed build leaves the slot empty (the next request
+/// retries) and counts nothing.
+pub fn lookup_or_build(
+    key: u128,
+    try_disk: impl FnOnce() -> Option<CompiledArtifact>,
+    build: impl FnOnce() -> Result<CompiledArtifact, Diagnostic>,
+    persist: impl FnOnce(&CompiledArtifact),
+) -> Result<(Arc<CompiledArtifact>, CacheStatus), Diagnostic> {
+    let slot: Slot = lock(registry()).entry(key).or_default().clone();
+    let mut guard = lock(&slot);
+    if let Some(artifact) = guard.as_ref() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok((Arc::clone(artifact), CacheStatus::Memory));
+    }
+    if let Some(artifact) = try_disk() {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(artifact);
+        *guard = Some(Arc::clone(&artifact));
+        return Ok((artifact, CacheStatus::Disk));
+    }
+    let artifact = build()?;
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    persist(&artifact);
+    let artifact = Arc::new(artifact);
+    *guard = Some(Arc::clone(&artifact));
+    Ok((artifact, CacheStatus::Cold))
+}

@@ -1,0 +1,215 @@
+//! Per-stage pipeline instrumentation, serializable to JSON.
+//!
+//! "Reporting per-stage computational cost" is what lets the Table 1/2
+//! harness attribute compile time and operation counts to individual
+//! passes. The report is engine- and cache-independent: a cache-hit
+//! compile reproduces the op-count fields of the cold compile that
+//! produced the artifact.
+
+use rms_core::StageCounts;
+use rms_odegen::OpCounts;
+
+use crate::stage::Stage;
+
+/// One stage's observation: wall time plus ordered named metrics
+/// (artifact sizes, op counts — whatever the stage measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Which stage.
+    pub stage: Stage,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Ordered `(name, value)` metrics.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StageRecord {
+    /// New record with no metrics yet.
+    pub fn new(stage: Stage, seconds: f64) -> StageRecord {
+        StageRecord {
+            stage,
+            seconds,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Append a metric (builder style).
+    pub fn metric(mut self, name: &str, value: f64) -> StageRecord {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The full compile-time report: model identity, per-stage records, and
+/// the optimizer's Table 1 operation counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Model label (file name or workload case name).
+    pub model: String,
+    /// Optimization level display name.
+    pub level: String,
+    /// Species count (= equations).
+    pub species: usize,
+    /// Reaction count.
+    pub reactions: usize,
+    /// Distinct-valued rate constants.
+    pub rates: usize,
+    /// Per-stage records, execution order. Only stages that ran appear.
+    pub stages: Vec<StageRecord>,
+    /// The optimizer's per-stage operation counts (Table 1 numbers).
+    pub counts: StageCounts,
+    /// Total wall-clock seconds across all recorded stages.
+    pub total_seconds: f64,
+}
+
+impl PipelineReport {
+    /// The record for a stage, if it ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageRecord> {
+        self.stages.iter().find(|r| r.stage == stage)
+    }
+
+    /// Recompute `total_seconds` from the stage records.
+    pub fn finish(&mut self) {
+        self.total_seconds = self.stages.iter().map(|r| r.seconds).sum();
+    }
+
+    /// Serialize to a JSON object (hand-rolled; the workspace carries no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_str_field(&mut out, "model", &self.model);
+        out.push(',');
+        push_str_field(&mut out, "level", &self.level);
+        out.push_str(&format!(
+            ",\"species\":{},\"reactions\":{},\"rates\":{}",
+            self.species, self.reactions, self.rates
+        ));
+        out.push_str(&format!(",\"total_seconds\":{:.9}", self.total_seconds));
+        out.push_str(",\"counts\":{");
+        push_counts(&mut out, "input", self.counts.input);
+        out.push(',');
+        push_counts(&mut out, "after_simplify", self.counts.after_simplify);
+        out.push(',');
+        push_counts(&mut out, "after_distribute", self.counts.after_distribute);
+        out.push(',');
+        push_counts(&mut out, "after_cse", self.counts.after_cse);
+        out.push(',');
+        push_counts(&mut out, "tape", self.counts.tape);
+        out.push_str("},\"stages\":[");
+        for (i, rec) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "stage", rec.stage.name());
+            out.push_str(&format!(",\"seconds\":{:.9}", rec.seconds));
+            for (name, value) in &rec.metrics {
+                out.push(',');
+                out.push_str(&format!("{}:{}", json_string(name), json_number(*value)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_counts(out: &mut String, name: &str, counts: OpCounts) {
+    out.push_str(&format!(
+        "{}:{{\"mults\":{},\"adds\":{},\"total\":{}}}",
+        json_string(name),
+        counts.mults,
+        counts.adds,
+        counts.total()
+    ));
+}
+
+fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push_str(&format!("{}:{}", json_string(name), json_string(value)));
+}
+
+/// JSON string literal with escaping.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a metric value: integral values without a fraction, others with
+/// enough digits to round-trip timings.
+fn json_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.9}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let mut r = PipelineReport {
+            model: "m\"x\"".into(),
+            level: "simplify+distopt+cse".into(),
+            species: 3,
+            reactions: 2,
+            rates: 1,
+            stages: vec![
+                StageRecord::new(Stage::Parse, 0.5).metric("molecules", 2.0),
+                StageRecord::new(Stage::Lower, 0.25).metric("instrs", 7.0),
+            ],
+            counts: StageCounts {
+                input: OpCounts { mults: 10, adds: 5 },
+                ..StageCounts::default()
+            },
+            total_seconds: 0.0,
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn totals_sum_stage_seconds() {
+        assert_eq!(sample().total_seconds, 0.75);
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"model\":\"m\\\"x\\\"\""));
+        assert!(json.contains("\"input\":{\"mults\":10,\"adds\":5,\"total\":15}"));
+        assert!(json.contains("\"stage\":\"parse\""));
+        assert!(json.contains("\"molecules\":2"));
+    }
+
+    #[test]
+    fn stage_lookup() {
+        let r = sample();
+        assert_eq!(r.stage(Stage::Parse).unwrap().get("molecules"), Some(2.0));
+        assert!(r.stage(Stage::Cse).is_none());
+    }
+}

@@ -1,0 +1,626 @@
+//! The pass-managed compiler session: one instrumented, cache-aware
+//! pipeline from RDL source (or a programmatic network) to executable
+//! tape.
+//!
+//! Every pipeline entry point in the workspace — `rms_suite`'s
+//! `compile_source`, the workload generators, the bench bins, the
+//! parallel estimator's model setup — routes through [`CompilerSession`];
+//! there is exactly one way to run the pipeline. Each stage consumes and
+//! produces typed artifacts, records wall time and artifact sizes into a
+//! [`PipelineReport`], and can dump its IR ([`SessionOptions::dump`]).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rms_core::{
+    compile_jacobian, optimize_traced, CompiledOde, CseOptions, ExecTape, JacobianTapes, OptLevel,
+    PassTrace, Passes,
+};
+use rms_odegen::{generate, GenerateOptions, OdeSystem};
+use rms_rcip::RateTable;
+use rms_rdl::{compile_with, expand_program, parse_rdl, CompiledModel, ReactionNetwork};
+
+use crate::cache::{self, CacheMode, CacheStatus};
+use crate::diag::Diagnostic;
+use crate::report::{PipelineReport, StageRecord};
+use crate::serial;
+use crate::stage::Stage;
+
+/// Everything that affects what the pipeline produces — and therefore
+/// everything that feeds the cache key.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Named optimization level.
+    pub level: OptLevel,
+    /// Explicit pass switches overriding `level.passes()` (ablations).
+    pub passes: Option<Passes>,
+    /// Override the equation generator's on-the-fly §3.1 merging. The
+    /// default follows the effective simplify pass switch (off only at
+    /// [`OptLevel::None`], Table 1's baseline).
+    pub gen_simplify: Option<bool>,
+    /// Also compile the analytic sparse Jacobian tapes (the *Deriv*
+    /// stage).
+    pub deriv: bool,
+    /// Pre-decode the lowered tape into an [`ExecTape`] (the
+    /// *ExecDecode* stage). On by default: the execution engine is the
+    /// runtime default.
+    pub decode: bool,
+    /// Cache participation.
+    pub cache: CacheMode,
+    /// On-disk cache directory (e.g. `.rms-cache/`); `None` keeps the
+    /// cache in-memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Dump the IR after this stage. Dump requests force a cold,
+    /// cache-bypassing compile so the requested intermediate actually
+    /// exists.
+    pub dump: Option<Stage>,
+}
+
+impl SessionOptions {
+    /// Defaults at a named level: derived pass switches, no Jacobian,
+    /// exec pre-decode on, in-memory cache, no dumps.
+    pub fn new(level: OptLevel) -> SessionOptions {
+        SessionOptions {
+            level,
+            passes: None,
+            gen_simplify: None,
+            deriv: false,
+            decode: true,
+            cache: CacheMode::default(),
+            cache_dir: None,
+            dump: None,
+        }
+    }
+
+    /// The pass switches actually run.
+    pub fn effective_passes(&self) -> Passes {
+        self.passes.unwrap_or_else(|| self.level.passes())
+    }
+
+    /// The equation generator's simplify switch actually used.
+    pub fn effective_gen_simplify(&self) -> bool {
+        self.gen_simplify
+            .unwrap_or_else(|| self.effective_passes().simplify)
+    }
+
+    /// Display name of the configuration (the report's `level` field).
+    pub fn level_name(&self) -> String {
+        match self.passes {
+            None => self.level.to_string(),
+            Some(p) => format!(
+                "custom(simplify={},distribute={},cse={})",
+                p.simplify,
+                p.distribute,
+                p.cse.is_some()
+            ),
+        }
+    }
+
+    /// Hash every compilation-relevant option into `h`.
+    fn hash_into(&self, h: &mut impl Hasher) {
+        let passes = self.effective_passes();
+        passes.simplify.hash(h);
+        passes.distribute.hash(h);
+        match passes.cse {
+            None => 0u8.hash(h),
+            Some(CseOptions {
+                min_uses,
+                prefix_matching,
+            }) => {
+                1u8.hash(h);
+                min_uses.hash(h);
+                prefix_matching.hash(h);
+            }
+        }
+        self.effective_gen_simplify().hash(h);
+        self.deriv.hash(h);
+        self.decode.hash(h);
+    }
+}
+
+/// The cached output of a full pipeline run: every stage's artifact kept
+/// together, plus the report describing how it was built.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    /// Model label (file name or workload case name).
+    pub name: String,
+    /// Reaction network (chemical-compiler output).
+    pub network: ReactionNetwork,
+    /// Evaluated, value-deduplicated rate constants (RCIP output).
+    pub rates: RateTable,
+    /// ODE system (equation-generator output).
+    pub system: OdeSystem,
+    /// Optimizer output: forest, tape, per-stage op counts.
+    pub compiled: CompiledOde,
+    /// Analytic sparse Jacobian tapes, when the *Deriv* stage ran.
+    pub jacobian: Option<JacobianTapes>,
+    /// Pre-decoded execution tape, when the *ExecDecode* stage ran.
+    pub exec: Option<ExecTape>,
+    /// Per-stage instrumentation of the compile that built this artifact.
+    pub report: PipelineReport,
+    /// Content-address under which the artifact is cached.
+    pub key: u128,
+    /// The equation generator's simplify switch used (needed to
+    /// regenerate the system identically when reviving from disk).
+    pub gen_simplify: bool,
+}
+
+/// A compile result: the (possibly shared) artifact plus provenance.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The artifact; cache hits share one allocation process-wide.
+    pub artifact: Arc<CompiledArtifact>,
+    /// How the request was satisfied.
+    pub status: CacheStatus,
+    /// Rendered IR of the requested dump stage, when one was requested
+    /// and the stage ran.
+    pub dump: Option<String>,
+}
+
+/// The pass-managed pipeline driver. Cheap to construct; all state lives
+/// in the options and the process-wide cache.
+#[derive(Debug, Clone)]
+pub struct CompilerSession {
+    options: SessionOptions,
+}
+
+impl CompilerSession {
+    /// Session at a named optimization level with default options.
+    pub fn new(level: OptLevel) -> CompilerSession {
+        CompilerSession::with_options(SessionOptions::new(level))
+    }
+
+    /// Session with explicit options.
+    pub fn with_options(options: SessionOptions) -> CompilerSession {
+        CompilerSession { options }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Compile RDL source text through the full pipeline. `name` labels
+    /// the model in reports and diagnostics (typically the file name).
+    pub fn compile_source(&self, name: &str, source: &str) -> Result<Compiled, Diagnostic> {
+        let key = self.fingerprint(|h| {
+            "rdl-source".hash(h);
+            source.hash(h);
+        });
+        self.run_cached(key, || self.build_from_source(name, source, key))
+    }
+
+    /// Compile an already-built network (programmatic workloads). The
+    /// pipeline starts at the *OdeGen* stage; the network and rate table
+    /// are fingerprinted structurally for the cache key.
+    pub fn compile_network(
+        &self,
+        name: &str,
+        network: ReactionNetwork,
+        rates: RateTable,
+    ) -> Result<Compiled, Diagnostic> {
+        let key = self.fingerprint(|h| {
+            "network".hash(h);
+            hash_network(&network, h);
+            hash_rates(&rates, h);
+        });
+        self.run_cached(key, || {
+            let mut dump = DumpSink::new(self.options.dump);
+            let mut records = Vec::new();
+            let artifact =
+                self.build_from_network(name, key, network, rates, &mut records, &mut dump)?;
+            Ok((artifact, dump.take()))
+        })
+    }
+
+    /// Dispatch through the cache (or straight to `build` when bypassed
+    /// or dumping).
+    fn run_cached(
+        &self,
+        key: u128,
+        build: impl FnOnce() -> Result<(CompiledArtifact, Option<String>), Diagnostic>,
+    ) -> Result<Compiled, Diagnostic> {
+        if self.options.cache == CacheMode::Bypass || self.options.dump.is_some() {
+            let (artifact, dump) = build()?;
+            return Ok(Compiled {
+                artifact: Arc::new(artifact),
+                status: CacheStatus::Cold,
+                dump,
+            });
+        }
+        let disk = self
+            .options
+            .cache_dir
+            .as_ref()
+            .map(|dir| cache::disk_path(dir, key));
+        let (artifact, status) = cache::lookup_or_build(
+            key,
+            || {
+                let path = disk.as_deref()?;
+                serial::load(path, key).and_then(|a| self.revive(a))
+            },
+            || build().map(|(artifact, _)| artifact),
+            |artifact| {
+                if let Some(path) = disk.as_deref() {
+                    serial::store(path, artifact);
+                }
+            },
+        )?;
+        Ok(Compiled {
+            artifact,
+            status,
+            dump: None,
+        })
+    }
+
+    /// The 128-bit content address of a compile request: model content
+    /// (via `seed`) plus every compilation-relevant option. Built from
+    /// two passes of the std hasher with distinct domain prefixes.
+    fn fingerprint(&self, seed: impl Fn(&mut DefaultHasher)) -> u128 {
+        let mut halves = [0u64; 2];
+        for (i, half) in halves.iter_mut().enumerate() {
+            let mut h = DefaultHasher::new();
+            (0x9e37_79b9_97f4_a7c1_u64 ^ (i as u64)).hash(&mut h);
+            seed(&mut h);
+            self.options.hash_into(&mut h);
+            *half = h.finish();
+        }
+        ((halves[0] as u128) << 64) | halves[1] as u128
+    }
+
+    /// Frontend stages: Parse → Expand → Rcip → Network, then the shared
+    /// backend.
+    fn build_from_source(
+        &self,
+        name: &str,
+        source: &str,
+        key: u128,
+    ) -> Result<(CompiledArtifact, Option<String>), Diagnostic> {
+        let mut dump = DumpSink::new(self.options.dump);
+        let mut records = Vec::new();
+
+        let clock = Instant::now();
+        let program = parse_rdl(source)?;
+        records.push(
+            StageRecord::new(Stage::Parse, clock.elapsed().as_secs_f64())
+                .metric("molecules", program.molecules.len() as f64)
+                .metric("rules", program.rules.len() as f64),
+        );
+        dump.offer(Stage::Parse, || format!("{program:#?}"));
+
+        let clock = Instant::now();
+        let seeds = expand_program(&program)?;
+        records.push(
+            StageRecord::new(Stage::Expand, clock.elapsed().as_secs_f64())
+                .metric("variants", seeds.len() as f64),
+        );
+        dump.offer(Stage::Expand, || {
+            seeds
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} (family {}) = \"{}\" init {}\n",
+                        s.name, s.family, s.smiles, s.initial
+                    )
+                })
+                .collect()
+        });
+
+        let clock = Instant::now();
+        let rates = RateTable::parse(&program.rate_source)?;
+        records.push(
+            StageRecord::new(Stage::Rcip, clock.elapsed().as_secs_f64())
+                .metric("names", rates.name_count() as f64)
+                .metric("distinct", rates.distinct_count() as f64),
+        );
+        dump.offer(Stage::Rcip, || render_rates(&rates));
+
+        let clock = Instant::now();
+        let CompiledModel { network, rates } = compile_with(&program, rates, &seeds)?;
+        records.push(
+            StageRecord::new(Stage::Network, clock.elapsed().as_secs_f64())
+                .metric("species", network.species_count() as f64)
+                .metric("reactions", network.reaction_count() as f64),
+        );
+        dump.offer(Stage::Network, || network.display_equations());
+
+        let artifact =
+            self.build_from_network(name, key, network, rates, &mut records, &mut dump)?;
+        Ok((artifact, dump.take()))
+    }
+
+    /// Backend stages shared by both entry points: OdeGen → optimizer
+    /// passes → Deriv → Lower → ExecDecode.
+    fn build_from_network(
+        &self,
+        name: &str,
+        key: u128,
+        network: ReactionNetwork,
+        rates: RateTable,
+        records: &mut Vec<StageRecord>,
+        dump: &mut DumpSink,
+    ) -> Result<CompiledArtifact, Diagnostic> {
+        let gen_simplify = self.options.effective_gen_simplify();
+        let clock = Instant::now();
+        let system = generate(
+            &network,
+            &rates,
+            GenerateOptions {
+                simplify: gen_simplify,
+            },
+        )?;
+        let mut odegen_record = StageRecord::new(Stage::OdeGen, clock.elapsed().as_secs_f64())
+            .metric("equations", system.len() as f64)
+            .metric("terms", system.term_count() as f64);
+        dump.offer(Stage::OdeGen, || system.display());
+
+        // Optimizer passes, traced. IR capture only when a pass-stage dump
+        // was requested (it costs a formatting walk per pass).
+        let wants_pass_ir = matches!(
+            self.options.dump,
+            Some(Stage::Simplify | Stage::Distribute | Stage::Cse)
+        );
+        let mut trace = if wants_pass_ir {
+            PassTrace::with_ir()
+        } else {
+            PassTrace::default()
+        };
+        let compiled = optimize_traced(&system, self.options.effective_passes(), Some(&mut trace));
+        for event in trace.events {
+            let stage = match event.pass {
+                // Forest construction is bookkeeping of the generator's
+                // output; attribute it to OdeGen.
+                "input" => {
+                    odegen_record.seconds += event.seconds;
+                    odegen_record = odegen_record.metric("ir_nodes", event.nodes as f64);
+                    continue;
+                }
+                "simplify" => Stage::Simplify,
+                "distribute" => Stage::Distribute,
+                "cse" => Stage::Cse,
+                "lower" => Stage::Lower,
+                other => unreachable!("unknown optimizer pass '{other}'"),
+            };
+            let rec = StageRecord::new(stage, event.seconds)
+                .metric("mults", event.counts.mults as f64)
+                .metric("adds", event.counts.adds as f64)
+                .metric(
+                    if stage == Stage::Lower {
+                        "instrs"
+                    } else {
+                        "ir_nodes"
+                    },
+                    event.nodes as f64,
+                );
+            if let Some(ir) = event.ir {
+                dump.offer(stage, || ir);
+            }
+            records.push(rec);
+        }
+        // OdeGen ran before the optimizer; keep records in stage order.
+        let insert_at = records
+            .iter()
+            .position(|r| r.stage > Stage::OdeGen)
+            .unwrap_or(records.len());
+        records.insert(insert_at, odegen_record);
+        dump.offer(Stage::Lower, || compiled.tape.to_string());
+
+        let jacobian = if self.options.deriv {
+            let clock = Instant::now();
+            let tapes = compile_jacobian(&compiled.forest, Some(CseOptions::default()));
+            let record = StageRecord::new(Stage::Deriv, clock.elapsed().as_secs_f64())
+                .metric("nnz", tapes.entries.len() as f64)
+                .metric("rhs_instrs", tapes.rhs.instrs.len() as f64)
+                .metric("jac_instrs", tapes.jac.instrs.len() as f64);
+            // Deriv sits between Cse and Lower in the stage order.
+            let at = records
+                .iter()
+                .position(|r| r.stage > Stage::Deriv)
+                .unwrap_or(records.len());
+            records.insert(at, record);
+            dump.offer(Stage::Deriv, || {
+                let mut out = String::new();
+                out.push_str(&format!(
+                    "; jacobian: {} nonzero entries {:?}\n; shared rhs tape:\n{}",
+                    tapes.entries.len(),
+                    tapes.entries,
+                    tapes.rhs
+                ));
+                out.push_str(&format!("; jac tape:\n{}", tapes.jac));
+                out
+            });
+            Some(tapes)
+        } else {
+            None
+        };
+
+        let exec = if self.options.decode {
+            let clock = Instant::now();
+            let exec = ExecTape::compile(&compiled.tape);
+            records.push(
+                StageRecord::new(Stage::ExecDecode, clock.elapsed().as_secs_f64())
+                    .metric("instrs", exec.len() as f64)
+                    .metric("fused", (compiled.tape.instrs.len() - exec.len()) as f64),
+            );
+            dump.offer(Stage::ExecDecode, || {
+                format!(
+                    "; exec tape: {} instrs (fused from {}), op counts {}\n",
+                    exec.len(),
+                    compiled.tape.instrs.len(),
+                    exec.op_counts()
+                )
+            });
+            Some(exec)
+        } else {
+            None
+        };
+
+        let mut report = PipelineReport {
+            model: name.to_string(),
+            level: self.options.level_name(),
+            species: network.species_count(),
+            reactions: network.reaction_count(),
+            rates: rates.distinct_count(),
+            stages: std::mem::take(records),
+            counts: compiled.stages,
+            total_seconds: 0.0,
+        };
+        report.finish();
+
+        Ok(CompiledArtifact {
+            name: name.to_string(),
+            network,
+            rates,
+            system,
+            compiled,
+            jacobian,
+            exec,
+            report,
+            key,
+            gen_simplify,
+        })
+    }
+
+    /// Finish reviving a disk-loaded artifact: regenerate the ODE system
+    /// (not serialized), and rebuild the optional request-dependent
+    /// artifacts. Returns `None` (a cache miss) if anything disagrees.
+    fn revive(&self, partial: serial::DiskArtifact) -> Option<CompiledArtifact> {
+        let serial::DiskArtifact {
+            name,
+            network,
+            rates,
+            compiled,
+            jacobian,
+            report,
+            key,
+            gen_simplify,
+        } = partial;
+        if gen_simplify != self.options.effective_gen_simplify() {
+            return None;
+        }
+        let system = generate(
+            &network,
+            &rates,
+            GenerateOptions {
+                simplify: gen_simplify,
+            },
+        )
+        .ok()?;
+        let jacobian = match (self.options.deriv, jacobian) {
+            (false, _) => None,
+            (true, Some(tapes)) => Some(tapes),
+            (true, None) => Some(compile_jacobian(
+                &compiled.forest,
+                Some(CseOptions::default()),
+            )),
+        };
+        let exec = self
+            .options
+            .decode
+            .then(|| ExecTape::compile(&compiled.tape));
+        Some(CompiledArtifact {
+            name,
+            network,
+            rates,
+            system,
+            compiled,
+            jacobian,
+            exec,
+            report,
+            key,
+            gen_simplify,
+        })
+    }
+}
+
+/// Captures at most one stage's IR dump.
+struct DumpSink {
+    want: Option<Stage>,
+    text: Option<String>,
+}
+
+impl DumpSink {
+    fn new(want: Option<Stage>) -> DumpSink {
+        DumpSink { want, text: None }
+    }
+
+    /// Render and keep the dump if `stage` is the requested one.
+    fn offer(&mut self, stage: Stage, render: impl FnOnce() -> String) {
+        if self.want == Some(stage) && self.text.is_none() {
+            self.text = Some(render());
+        }
+    }
+
+    fn take(&mut self) -> Option<String> {
+        self.text.take()
+    }
+}
+
+/// Rate-table listing for `--dump-ir=rcip`: every name with its value and
+/// canonical id.
+fn render_rates(rates: &RateTable) -> String {
+    let mut out = String::new();
+    for name in rates.names() {
+        let id = rates.id(name).expect("listed name resolves");
+        out.push_str(&format!(
+            "{name} = {} (k{}{})\n",
+            rates.get(name).expect("listed name has a value"),
+            id.0,
+            if rates.canonical_name(id) == name {
+                ", canonical".to_string()
+            } else {
+                format!(", alias of {}", rates.canonical_name(id))
+            }
+        ));
+    }
+    out
+}
+
+/// Structural fingerprint of a network: species (name, initial) in id
+/// order plus reactions (ids, rate, rule) in insertion order.
+fn hash_network(network: &ReactionNetwork, h: &mut impl Hasher) {
+    network.species_count().hash(h);
+    for (_, species) in network.species_iter() {
+        species.name.hash(h);
+        species.initial_concentration.to_bits().hash(h);
+    }
+    network.reaction_count().hash(h);
+    for reaction in network.reactions() {
+        for id in &reaction.reactants {
+            id.0.hash(h);
+        }
+        u32::MAX.hash(h); // separator
+        for id in &reaction.products {
+            id.0.hash(h);
+        }
+        reaction.rate.hash(h);
+        reaction.rule.hash(h);
+    }
+}
+
+/// Structural fingerprint of a rate table: names with value bits in
+/// definition order plus bounds per canonical id.
+fn hash_rates(rates: &RateTable, h: &mut impl Hasher) {
+    rates.name_count().hash(h);
+    for name in rates.names() {
+        name.hash(h);
+        rates
+            .get(name)
+            .expect("listed name has a value")
+            .to_bits()
+            .hash(h);
+    }
+    for id in 0..rates.distinct_count() {
+        match rates.bounds(rms_rcip::RateId(id as u32)) {
+            None => 0u8.hash(h),
+            Some(b) => {
+                1u8.hash(h);
+                b.lo.to_bits().hash(h);
+                b.hi.to_bits().hash(h);
+            }
+        }
+    }
+}

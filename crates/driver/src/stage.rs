@@ -1,0 +1,113 @@
+//! The pipeline stage vocabulary.
+//!
+//! One name per box of the paper's Figure 2 (plus the post-paper
+//! execution stages): the driver times each stage, reports its artifact
+//! sizes, and can dump its IR. The order below is execution order —
+//! note that rate evaluation (*Rcip*) runs before network closure
+//! (*Network*) because rule validation needs the evaluated rate table.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A pipeline stage, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// RDL text → AST (`rms-rdl` parser).
+    Parse,
+    /// Molecule variant expansion (`CS{n}C for n in 2..4` → seeds).
+    Expand,
+    /// Rate-constant evaluation and value dedup (`rms-rcip`).
+    Rcip,
+    /// Rule closure: AST + seeds + rates → reaction network.
+    Network,
+    /// Network → ODE system (`rms-odegen`, with on-the-fly §3.1).
+    OdeGen,
+    /// §3.1 equation simplification over the expression forest.
+    Simplify,
+    /// §3.2 distributive optimization.
+    Distribute,
+    /// §3.3 domain CSE (including the distribute∘cse fixpoint rounds).
+    Cse,
+    /// Symbolic differentiation into sparse Jacobian tapes.
+    Deriv,
+    /// Forest → register tape (codegen + register compaction).
+    Lower,
+    /// Tape → pre-decoded fused execution tape.
+    ExecDecode,
+}
+
+impl Stage {
+    /// All stages, execution order.
+    pub const ALL: [Stage; 11] = [
+        Stage::Parse,
+        Stage::Expand,
+        Stage::Rcip,
+        Stage::Network,
+        Stage::OdeGen,
+        Stage::Simplify,
+        Stage::Distribute,
+        Stage::Cse,
+        Stage::Deriv,
+        Stage::Lower,
+        Stage::ExecDecode,
+    ];
+
+    /// Stable kebab-case name (CLI `--dump-ir=<stage>` and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Expand => "expand",
+            Stage::Rcip => "rcip",
+            Stage::Network => "network",
+            Stage::OdeGen => "odegen",
+            Stage::Simplify => "simplify",
+            Stage::Distribute => "distribute",
+            Stage::Cse => "cse",
+            Stage::Deriv => "deriv",
+            Stage::Lower => "lower",
+            Stage::ExecDecode => "exec-decode",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Stage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Stage, String> {
+        Stage::ALL
+            .into_iter()
+            .find(|stage| stage.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+                format!(
+                    "unknown stage '{s}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for stage in Stage::ALL {
+            assert_eq!(stage.name().parse::<Stage>().unwrap(), stage);
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_choices() {
+        let err = "nope".parse::<Stage>().unwrap_err();
+        assert!(err.contains("unknown stage 'nope'"));
+        assert!(err.contains("exec-decode"));
+    }
+}

@@ -10,7 +10,7 @@ use rms_rcip::RateTable;
 
 use crate::ast::{Action, Forbid, Program, RuleDecl, Scope, Site};
 use crate::error::{RdlError, Result};
-use crate::expand::expand;
+use crate::expand::{expand_program, SeedVariant};
 use crate::network::{Reaction, ReactionNetwork, SpeciesId};
 
 /// The chemical compiler's output: the reaction network plus the evaluated
@@ -25,9 +25,25 @@ pub struct CompiledModel {
 
 /// Compile an RDL program: expand variants, evaluate rate constants, and
 /// apply rules to closure.
+///
+/// Convenience wrapper over the individually observable phases — rate
+/// evaluation ([`RateTable::parse`]), variant expansion
+/// ([`expand_program`]), and network closure ([`compile_with`]). Pipeline
+/// drivers that want per-phase timing call the phases directly.
 pub fn compile(program: &Program) -> Result<CompiledModel> {
     let rates = RateTable::parse(&program.rate_source)?;
+    let seeds = expand_program(program)?;
+    compile_with(program, rates, &seeds)
+}
 
+/// The *Network* phase alone: validate rules against an already-evaluated
+/// rate table, seed species from already-expanded variants, and apply
+/// rules to closure.
+pub fn compile_with(
+    program: &Program,
+    rates: RateTable,
+    seeds: &[SeedVariant],
+) -> Result<CompiledModel> {
     // Rule validation up front: rates and scope names must resolve.
     for rule in &program.rules {
         if rates.get(&rule.rate).is_none() {
@@ -55,21 +71,18 @@ pub fn compile(program: &Program) -> Result<CompiledModel> {
         forbids: program.forbids.clone(),
     };
 
-    // Seed species from expanded molecule declarations.
-    for decl in &program.molecules {
-        for variant in expand(decl)? {
-            let mol = parse_smiles(&variant.smiles).map_err(|cause| RdlError::BadSmiles {
-                molecule: variant.name.clone(),
-                smiles: variant.smiles.clone(),
-                cause,
-            })?;
-            let key = canonical_key(&mol);
-            let id =
-                engine
-                    .network
-                    .add_species(mol, key, &variant.name, decl.initial_concentration);
-            engine.families.insert(id, decl.name.clone());
-        }
+    // Seed species from the expanded molecule declarations.
+    for variant in seeds {
+        let mol = parse_smiles(&variant.smiles).map_err(|cause| RdlError::BadSmiles {
+            molecule: variant.name.clone(),
+            smiles: variant.smiles.clone(),
+            cause,
+        })?;
+        let key = canonical_key(&mol);
+        let id = engine
+            .network
+            .add_species(mol, key, &variant.name, variant.initial);
+        engine.families.insert(id, variant.family.clone());
     }
 
     // Closure: apply every rule each generation until no new species or

@@ -25,6 +25,41 @@ pub struct Variant {
     pub n: Option<u32>,
 }
 
+/// A fully expanded seed species: one concrete variant of a declared
+/// molecule, tagged with the family (declared) name it expanded from.
+///
+/// This is the artifact the *Expand* pipeline stage produces; the rule
+/// engine ([`crate::engine::compile_with`]) consumes it when seeding the
+/// reaction network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedVariant {
+    /// The declared molecule name (scope/family name for `on` clauses).
+    pub family: String,
+    /// Display name of this variant (family plus `_n` when parameterized).
+    pub name: String,
+    /// Concrete SMILES after `{n}` substitution.
+    pub smiles: String,
+    /// Declared initial concentration (shared by all variants).
+    pub initial: f64,
+}
+
+/// Expand every molecule declaration of a program into concrete seed
+/// variants, in declaration order.
+pub fn expand_program(program: &crate::ast::Program) -> Result<Vec<SeedVariant>> {
+    let mut seeds = Vec::new();
+    for decl in &program.molecules {
+        for variant in expand(decl)? {
+            seeds.push(SeedVariant {
+                family: decl.name.clone(),
+                name: variant.name,
+                smiles: variant.smiles,
+                initial: decl.initial_concentration,
+            });
+        }
+    }
+    Ok(seeds)
+}
+
 /// Expand a declaration into its variants. Non-parameterized declarations
 /// yield exactly one variant with the declared name.
 pub fn expand(decl: &MoleculeDecl) -> Result<Vec<Variant>> {

@@ -33,8 +33,8 @@ pub mod network;
 pub mod parser;
 
 pub use ast::{Action, Forbid, Limits, MoleculeDecl, Program, RuleDecl, Scope, Site};
-pub use engine::{compile, CompiledModel};
+pub use engine::{compile, compile_with, CompiledModel};
 pub use error::{RdlError, Result};
-pub use expand::{expand, Variant};
+pub use expand::{expand, expand_program, SeedVariant, Variant};
 pub use network::{Reaction, ReactionNetwork, Species, SpeciesId};
 pub use parser::parse_rdl;

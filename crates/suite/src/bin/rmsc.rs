@@ -5,8 +5,14 @@ fn main() {
     match rms_suite::cli::parse_args(&args).and_then(|cmd| rms_suite::cli::run(&cmd)) {
         Ok(output) => print!("{output}"),
         Err(e) => {
-            eprintln!("rmsc: {e}");
-            // Usage errors exit 2, runtime failures exit 1.
+            // Rendered compiler diagnostics are already multi-line and
+            // self-describing; everything else gets the program prefix.
+            match &e {
+                rms_suite::cli::CliError::Diagnostic(d) => eprintln!("{d}"),
+                other => eprintln!("rmsc: {other}"),
+            }
+            // Bad invocations and rejected models exit 2, runtime
+            // failures exit 1.
             std::process::exit(e.exit_code());
         }
     }

@@ -10,8 +10,8 @@ use rms_nlopt::FitStatistics;
 use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
 use crate::{
-    compile_source, EngineMode, JacobianMode, LmOptions, OptLevel, ParallelEstimator,
-    SolverOptions, SuiteModel,
+    CompilerSession, EngineMode, JacobianMode, LmOptions, OptLevel, ParallelEstimator,
+    SessionOptions, SolverOptions, Stage, SuiteModel,
 };
 
 /// A parsed CLI invocation.
@@ -25,6 +25,10 @@ pub enum Command {
         level: OptLevel,
         /// What to print.
         emit: Emit,
+        /// Print this stage's IR instead of the `--emit` artifact.
+        dump: Option<Stage>,
+        /// On-disk artifact cache directory.
+        cache_dir: Option<PathBuf>,
     },
     /// Integrate the model and print a concentration table.
     Simulate {
@@ -42,6 +46,8 @@ pub enum Command {
         jacobian: JacobianMode,
         /// Right-hand-side evaluator.
         engine: EngineMode,
+        /// On-disk artifact cache directory.
+        cache_dir: Option<PathBuf>,
     },
     /// Synthesize experiment files from the model's nominal kinetics.
     Synthesize {
@@ -76,6 +82,8 @@ pub enum Command {
         on_failure: FailurePolicy,
         /// Jacobian source for the BDF solver in each simulation.
         jacobian: JacobianMode,
+        /// On-disk artifact cache directory.
+        cache_dir: Option<PathBuf>,
     },
     /// Print usage.
     Help,
@@ -94,6 +102,8 @@ pub enum Emit {
     Stats,
     /// Linear conservation laws of the network.
     Conservation,
+    /// The staged pipeline report as JSON.
+    Report,
 }
 
 /// CLI errors, split by phase so the binary can exit with the
@@ -102,6 +112,10 @@ pub enum Emit {
 pub enum CliError {
     /// The argument vector was malformed (exit code 2).
     Usage(String),
+    /// The compiler rejected the model; the message is the rendered,
+    /// span-annotated diagnostic (exit code 2 — the input is at fault,
+    /// like a bad invocation).
+    Diagnostic(String),
     /// The command itself failed (exit code 1).
     Runtime(String),
 }
@@ -110,14 +124,14 @@ impl CliError {
     /// The message without the phase tag.
     pub fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Runtime(m) => m,
+            CliError::Usage(m) | CliError::Diagnostic(m) | CliError::Runtime(m) => m,
         }
     }
 
     /// Conventional process exit code for this error.
     pub fn exit_code(&self) -> i32 {
         match self {
-            CliError::Usage(_) => 2,
+            CliError::Usage(_) | CliError::Diagnostic(_) => 2,
             CliError::Runtime(_) => 1,
         }
     }
@@ -145,16 +159,31 @@ rmsc — Reaction Modeling Suite driver
 
 USAGE:
   rmsc compile  <model.rdl> [--level none|simplify|algebraic|full]
-                [--emit network|odes|c|stats|conservation]
+                [--emit network|odes|c|stats|conservation|report]
+                [--dump-ir STAGE] [--cache-dir DIR]
+  rmsc compile-report <model.rdl> [--level L] [--cache-dir DIR]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
                 [--engine interp|exec]                      (default exec)
+                [--cache-dir DIR]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
                 [--collective-timeout SECS] [--max-retries N]
                 [--on-solver-failure penalize|abort]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-colored)
+                [--cache-dir DIR]
   rmsc help
+
+'compile-report' (or 'compile --emit report') prints the staged
+pipeline report as JSON: per-stage wall time and artifact sizes, plus
+the optimizer's operation counts (the paper's Table 1 columns).
+
+--dump-ir prints one stage's intermediate representation and exits;
+STAGE is one of parse, expand, rcip, network, odegen, simplify,
+distribute, cse, deriv, lower, exec-decode.
+
+--cache-dir enables the on-disk artifact cache: recompiles of an
+unchanged model at the same options are served from DIR.
 
 The --jacobian modes: 'analytic' runs the compiler-emitted sparse
 Jacobian tapes (exact derivatives, CSE-shared with the RHS tape);
@@ -204,6 +233,17 @@ fn parse_observe(args: &[String]) -> Vec<String> {
         .unwrap_or_default()
 }
 
+fn parse_cache_dir(args: &[String]) -> Option<PathBuf> {
+    flag_value(args, "--cache-dir").map(PathBuf::from)
+}
+
+fn parse_dump(args: &[String]) -> Result<Option<Stage>, CliError> {
+    match flag_value(args, "--dump-ir") {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(usage_err),
+    }
+}
+
 /// Reject any `--flag` not in `known` so a typo'd option is a usage
 /// error instead of being silently ignored.
 fn reject_unknown_flags(args: &[String], known: &[&str]) -> Result<(), CliError> {
@@ -247,7 +287,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "compile" => Ok(Command::Compile {
             input: {
-                reject_unknown_flags(args, &["--level", "--emit"])?;
+                reject_unknown_flags(args, &["--level", "--emit", "--dump-ir", "--cache-dir"])?;
                 input(1)?
             },
             level: parse_level(args)?,
@@ -257,8 +297,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some("odes") => Emit::Odes,
                 Some("c") => Emit::C,
                 Some("conservation") => Emit::Conservation,
+                Some("report") => Emit::Report,
                 Some(other) => return Err(usage_err(format!("unknown --emit '{other}'"))),
             },
+            dump: parse_dump(args)?,
+            cache_dir: parse_cache_dir(args),
+        }),
+        "compile-report" => Ok(Command::Compile {
+            input: {
+                reject_unknown_flags(args, &["--level", "--cache-dir"])?;
+                input(1)?
+            },
+            level: parse_level(args)?,
+            emit: Emit::Report,
+            dump: None,
+            cache_dir: parse_cache_dir(args),
         }),
         "simulate" => Ok(Command::Simulate {
             input: {
@@ -271,6 +324,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         "--observe",
                         "--jacobian",
                         "--engine",
+                        "--cache-dir",
                     ],
                 )?;
                 input(1)?
@@ -281,6 +335,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             observe: parse_observe(args),
             jacobian: parse_jacobian(args, JacobianMode::FdDense)?,
             engine: parse_engine(args)?,
+            cache_dir: parse_cache_dir(args),
         }),
         "synthesize" => Ok(Command::Synthesize {
             input: {
@@ -309,6 +364,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--max-retries",
                     "--on-solver-failure",
                     "--jacobian",
+                    "--cache-dir",
                 ],
             )?;
             let workers = parse_num(args, "--workers", 2)?;
@@ -344,16 +400,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_retries: parse_num(args, "--max-retries", 1)?,
                 on_failure,
                 jacobian: parse_jacobian(args, JacobianMode::FdColored)?,
+                cache_dir: parse_cache_dir(args),
             })
         }
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
 }
 
-fn load_model(path: &Path, level: OptLevel) -> Result<SuiteModel, CliError> {
+/// Everything the CLI can ask of a compile beyond the level.
+#[derive(Default)]
+struct LoadOptions<'a> {
+    cache_dir: Option<&'a Path>,
+    dump: Option<Stage>,
+    /// Run the *Deriv* stage so the artifact carries the analytic
+    /// Jacobian tapes (set when `--jacobian analytic` will use them).
+    deriv: bool,
+}
+
+/// Compile `path` through a [`CompilerSession`]. A missing or unreadable
+/// file is a runtime failure (exit 1); a model the compiler rejects is a
+/// rendered, span-annotated diagnostic (exit 2).
+fn load_model(
+    path: &Path,
+    level: OptLevel,
+    opts: LoadOptions,
+) -> Result<(SuiteModel, Option<String>), CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
-    compile_source(&source, level).map_err(|e| err(e.to_string()))
+    let filename = path.display().to_string();
+    let mut session = SessionOptions::new(level);
+    session.cache_dir = opts.cache_dir.map(Path::to_path_buf);
+    session.dump = opts.dump;
+    session.deriv = opts.deriv;
+    let compiled = CompilerSession::with_options(session)
+        .compile_source(&filename, &source)
+        .map_err(|d| CliError::Diagnostic(d.render(&filename, &source)))?;
+    Ok((SuiteModel::from_artifact(compiled.artifact), compiled.dump))
 }
 
 fn observable_or_all(model: &SuiteModel, observe: &[String]) -> Result<Vec<f64>, CliError> {
@@ -376,12 +458,36 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     use std::fmt::Write;
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Compile { input, level, emit } => {
-            let model = load_model(input, *level)?;
+        Command::Compile {
+            input,
+            level,
+            emit,
+            dump,
+            cache_dir,
+        } => {
+            let (model, dumped) = load_model(
+                input,
+                *level,
+                LoadOptions {
+                    cache_dir: cache_dir.as_deref(),
+                    dump: *dump,
+                    deriv: *dump == Some(Stage::Deriv),
+                },
+            )?;
+            if dump.is_some() {
+                return Ok(dumped.unwrap_or_else(|| {
+                    format!("(stage {} did not run at level {level})\n", dump.unwrap())
+                }));
+            }
             Ok(match emit {
                 Emit::Network => model.network.display_equations(),
                 Emit::Odes => model.system.display(),
                 Emit::C => model.emit_c("ode_rhs"),
+                Emit::Report => {
+                    let mut json = model.report.to_json();
+                    json.push('\n');
+                    json
+                }
                 Emit::Conservation => {
                     let laws = rms_odegen::conservation_laws(&model.network);
                     let mut out = String::new();
@@ -446,8 +552,17 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             observe,
             jacobian,
             engine,
+            cache_dir,
         } => {
-            let model = load_model(input, *level)?;
+            let (model, _) = load_model(
+                input,
+                *level,
+                LoadOptions {
+                    cache_dir: cache_dir.as_deref(),
+                    deriv: *jacobian == JacobianMode::Analytic,
+                    ..LoadOptions::default()
+                },
+            )?;
             let times: Vec<f64> = (1..=*steps)
                 .map(|i| tend * i as f64 / *steps as f64)
                 .collect();
@@ -494,13 +609,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             records,
             tend,
         } => {
-            let model = load_model(input, OptLevel::Full)?;
+            let (model, _) = load_model(input, OptLevel::Full, LoadOptions::default())?;
             let weights = observable_or_all(&model, observe)?;
-            let simulator = crate::TapeSimulator::new(
-                model.compiled.tape.clone(),
-                model.system.initial.clone(),
-                weights,
-            );
+            let simulator = crate::TapeSimulator::from_artifact(model.artifact(), weights);
             let rates = model.system.rate_values.clone();
             let data = crate::workload::synthesize(
                 &simulator,
@@ -535,19 +646,22 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             max_retries,
             on_failure,
             jacobian,
+            cache_dir,
         } => {
-            let model = load_model(input, OptLevel::Full)?;
+            let (model, _) = load_model(
+                input,
+                OptLevel::Full,
+                LoadOptions {
+                    cache_dir: cache_dir.as_deref(),
+                    deriv: *jacobian == JacobianMode::Analytic,
+                    ..LoadOptions::default()
+                },
+            )?;
             let weights = observable_or_all(&model, observe)?;
-            let mut simulator = crate::TapeSimulator::new(
-                model.compiled.tape.clone(),
-                model.system.initial.clone(),
-                weights,
-            );
-            if *jacobian == JacobianMode::Analytic {
-                simulator = simulator.with_analytic_jacobian(model.jacobian());
-            } else {
-                simulator.set_jacobian_mode(*jacobian);
-            }
+            // `--jacobian analytic` compiled the Deriv stage, so the
+            // artifact already carries the tapes the simulator attaches.
+            let mut simulator = crate::TapeSimulator::from_artifact(model.artifact(), weights);
+            simulator.set_jacobian_mode(*jacobian);
             // Load every .dat file, sorted by name for determinism.
             let mut paths: Vec<PathBuf> = std::fs::read_dir(data_dir)
                 .map_err(|e| err(format!("cannot read {}: {e}", data_dir.display())))?
@@ -692,8 +806,28 @@ mod tests {
                 input: PathBuf::from("m.rdl"),
                 level: OptLevel::Algebraic,
                 emit: Emit::C,
+                dump: None,
+                cache_dir: None,
             }
         );
+        // compile-report is sugar for compile --emit report.
+        let cmd = parse_args(&argv("compile-report m.rdl --cache-dir .rms-cache")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compile {
+                input: PathBuf::from("m.rdl"),
+                level: OptLevel::Full,
+                emit: Emit::Report,
+                dump: None,
+                cache_dir: Some(PathBuf::from(".rms-cache")),
+            }
+        );
+        // --dump-ir takes a stage name; bad names are usage errors.
+        match parse_args(&argv("compile m.rdl --dump-ir cse")).unwrap() {
+            Command::Compile { dump, .. } => assert_eq!(dump, Some(Stage::Cse)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("compile m.rdl --dump-ir bogus")).is_err());
         assert!(parse_args(&argv("compile m.rdl --emit bogus")).is_err());
         assert!(parse_args(&argv("compile")).is_err());
         assert!(parse_args(&argv("frobnicate x")).is_err());
@@ -765,6 +899,68 @@ mod tests {
     }
 
     #[test]
+    fn malformed_model_renders_spanned_diagnostic() {
+        let dir = std::env::temp_dir().join("rmsc_cli_diag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.rdl");
+        std::fs::write(&path, "molecule = ;\n").unwrap();
+        let cmd = parse_args(&argv(&format!("compile {}", path.display()))).unwrap();
+        let error = run(&cmd).unwrap_err();
+        // Rejected input exits 2 with a rendered, caret-annotated span.
+        assert_eq!(error.exit_code(), 2);
+        assert!(error.message().starts_with("error[parse]:"), "{error}");
+        assert!(error.message().contains("bad.rdl:1:"), "{error}");
+        assert!(error.message().contains('^'), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compile_report_emits_pipeline_json() {
+        let dir = std::env::temp_dir().join("rmsc_cli_report");
+        let model = write_model(&dir);
+        let out = run(&parse_args(&argv(&format!("compile-report {}", model.display()))).unwrap())
+            .unwrap();
+        assert!(out.contains("\"stages\""), "{out}");
+        assert!(out.contains("\"stage\":\"parse\""), "{out}");
+        assert!(out.contains("\"counts\""), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_ir_prints_the_requested_stage() {
+        let dir = std::env::temp_dir().join("rmsc_cli_dump");
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+        let out =
+            run(&parse_args(&argv(&format!("compile {model_arg} --dump-ir odegen"))).unwrap())
+                .unwrap();
+        assert!(out.contains("d["), "{out}");
+        let out = run(&parse_args(&argv(&format!("compile {model_arg} --dump-ir lower"))).unwrap())
+            .unwrap();
+        assert!(out.contains("; tape:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_dir_round_trips_through_cli() {
+        let dir = std::env::temp_dir().join("rmsc_cli_cache");
+        std::fs::remove_dir_all(&dir).ok();
+        let model = write_model(&dir);
+        let cache = dir.join("cache");
+        let cmd = format!(
+            "compile {} --emit stats --cache-dir {}",
+            model.display(),
+            cache.display()
+        );
+        let first = run(&parse_args(&argv(&cmd)).unwrap()).unwrap();
+        // The artifact landed on disk and a recompile agrees.
+        assert!(std::fs::read_dir(&cache).unwrap().count() > 0);
+        let second = run(&parse_args(&argv(&cmd)).unwrap()).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn estimate_flags_parse_and_validate() {
         let cmd = parse_args(&argv(
             "estimate m.rdl --data d --workers 3 --collective-timeout 2.5 \
@@ -782,6 +978,7 @@ mod tests {
                 max_retries: 4,
                 on_failure: FailurePolicy::Abort,
                 jacobian: JacobianMode::FdColored,
+                cache_dir: None,
             }
         );
         // Defaults: 2 workers, no deadline, 1 retry, penalize.
@@ -797,6 +994,7 @@ mod tests {
                 max_retries: 1,
                 on_failure: FailurePolicy::Penalize,
                 jacobian: JacobianMode::FdColored,
+                cache_dir: None,
             }
         );
         // Malformed invocations are usage errors (exit 2).

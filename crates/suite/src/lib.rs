@@ -10,6 +10,12 @@
 //! tape + data files ──► parallel parameter estimator ──► fitted kinetics
 //! ```
 //!
+//! Compilation routes through the pass-managed [`CompilerSession`] in
+//! `rms-driver`: every compile is staged, instrumented (see
+//! [`SuiteModel::report`]), and cached by content address, so repeated
+//! compiles of the same model — CLI invocations, estimator sweeps,
+//! benchmark harnesses — share one artifact per process.
+//!
 //! ```
 //! use rms_suite::{compile_source, OptLevel};
 //!
@@ -29,7 +35,7 @@
 
 #![warn(missing_docs)]
 
-use std::fmt;
+use std::sync::Arc;
 
 pub mod cli;
 
@@ -38,6 +44,10 @@ pub use rms_core::{
     generic_compile_best_effort, lower, optimize, optimize_with_passes, species_dependencies,
     CompiledOde, CseOptions, ExecFrame, ExecTape, Expr, ExprForest, GenericError, GenericOptions,
     JacobianTapes, OptLevel, Passes, Tape, FMA_CONTRACTS, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
+};
+pub use rms_driver::{
+    cache, CacheMode, CacheStats, CacheStatus, Compiled, CompiledArtifact, CompilerSession,
+    Diagnostic, PipelineReport, SessionOptions, Span, Stage, StageRecord,
 };
 pub use rms_molecule as molecule;
 pub use rms_nlopt::{LmOptions, LmResult, StopReason};
@@ -57,52 +67,38 @@ pub use rms_solver::{
 pub use rms_workload as workload;
 pub use rms_workload::{EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSimulator};
 
-/// Any error from the end-to-end pipeline.
-#[derive(Debug)]
-pub enum SuiteError {
-    /// Chemical-compiler (RDL) error.
-    Rdl(rms_rdl::RdlError),
-    /// Equation-generation error.
-    Odegen(rms_odegen::OdegenError),
-}
-
-impl fmt::Display for SuiteError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SuiteError::Rdl(e) => write!(f, "chemical compiler: {e}"),
-            SuiteError::Odegen(e) => write!(f, "equation generator: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SuiteError {}
-
-impl From<rms_rdl::RdlError> for SuiteError {
-    fn from(e: rms_rdl::RdlError) -> Self {
-        SuiteError::Rdl(e)
-    }
-}
-
-impl From<rms_odegen::OdegenError> for SuiteError {
-    fn from(e: rms_odegen::OdegenError) -> Self {
-        SuiteError::Odegen(e)
-    }
-}
+/// Any error from the end-to-end pipeline: a span-carrying diagnostic
+/// naming the [`Stage`] that rejected the model.
+pub type SuiteError = Diagnostic;
 
 /// A fully compiled model: the output of every pipeline stage, kept
-/// together for inspection and simulation.
+/// together for inspection and simulation. Derefs to the underlying
+/// [`CompiledArtifact`] (`model.network`, `model.system`,
+/// `model.compiled`, `model.rates`, `model.report`, …), which cache hits
+/// share process-wide.
 pub struct SuiteModel {
-    /// The reaction network (chemical compiler output).
-    pub network: ReactionNetwork,
-    /// Evaluated, value-deduplicated rate constants (RCIP output).
-    pub rates: RateTable,
-    /// The ODE system (equation generator output).
-    pub system: OdeSystem,
-    /// Optimizer output: forest, tape, per-stage stats.
-    pub compiled: CompiledOde,
+    artifact: Arc<CompiledArtifact>,
+}
+
+impl std::ops::Deref for SuiteModel {
+    type Target = CompiledArtifact;
+
+    fn deref(&self) -> &CompiledArtifact {
+        &self.artifact
+    }
 }
 
 impl SuiteModel {
+    /// Wrap a session-compiled artifact (the [`CompilerSession`] output).
+    pub fn from_artifact(artifact: Arc<CompiledArtifact>) -> SuiteModel {
+        SuiteModel { artifact }
+    }
+
+    /// The shared artifact handle.
+    pub fn artifact(&self) -> &Arc<CompiledArtifact> {
+        &self.artifact
+    }
+
     /// Emit the generated C function (the paper's backend output).
     pub fn emit_c(&self, name: &str) -> String {
         emit_c(&self.compiled.forest, name)
@@ -120,9 +116,10 @@ impl SuiteModel {
     }
 
     /// [`simulate`](SuiteModel::simulate) with an explicit Jacobian
-    /// source. [`JacobianMode::Analytic`] compiles the sparse Jacobian
-    /// tapes on the fly via [`jacobian`](SuiteModel::jacobian). Runs on
-    /// the default execution engine ([`EngineMode::Exec`]).
+    /// source. [`JacobianMode::Analytic`] uses the artifact's cached
+    /// sparse Jacobian tapes when the session compiled them (see
+    /// [`jacobian`](SuiteModel::jacobian)). Runs on the default
+    /// execution engine ([`EngineMode::Exec`]).
     pub fn simulate_with_jacobian(
         &self,
         times: &[f64],
@@ -133,9 +130,10 @@ impl SuiteModel {
     }
 
     /// Fully configured simulation: explicit Jacobian source *and*
-    /// right-hand-side engine. [`EngineMode::Exec`] pre-decodes the tape
-    /// into an [`ExecTape`] for this solve; [`EngineMode::Interp`] walks
-    /// the legacy tape interpreter.
+    /// right-hand-side engine. [`EngineMode::Exec`] reuses the
+    /// artifact's pre-decoded [`ExecTape`] (the pipeline's *ExecDecode*
+    /// stage) when present; [`EngineMode::Interp`] walks the legacy tape
+    /// interpreter.
     pub fn simulate_configured(
         &self,
         times: &[f64],
@@ -145,8 +143,15 @@ impl SuiteModel {
     ) -> Result<Vec<Vec<f64>>, rms_solver::SolverError> {
         match engine {
             EngineMode::Exec => {
-                let exec = ExecTape::compile(&self.compiled.tape);
-                let rhs = ExecRhs::new(&exec, &self.system.rate_values);
+                let decoded;
+                let exec = match &self.artifact.exec {
+                    Some(exec) => exec,
+                    None => {
+                        decoded = ExecTape::compile(&self.compiled.tape);
+                        &decoded
+                    }
+                };
+                let rhs = ExecRhs::new(exec, &self.system.rate_values);
                 self.solve_bdf_configured(&rhs, times, options, mode)
             }
             EngineMode::Interp => {
@@ -195,10 +200,15 @@ impl SuiteModel {
         Ok(sol)
     }
 
-    /// Compile the analytic sparse Jacobian tapes for this model
-    /// (CSE-shared with the right-hand side).
+    /// The analytic sparse Jacobian tapes for this model (CSE-shared
+    /// with the right-hand side). Returns the artifact's cached tapes
+    /// when the session ran the *Deriv* stage; compiles them on the fly
+    /// otherwise.
     pub fn jacobian(&self) -> JacobianTapes {
-        compile_jacobian(&self.compiled.forest, Some(CseOptions::default()))
+        match &self.artifact.jacobian {
+            Some(tapes) => tapes.clone(),
+            None => compile_jacobian(&self.compiled.forest, Some(CseOptions::default())),
+        }
     }
 
     /// Concentration index of a named species.
@@ -207,7 +217,9 @@ impl SuiteModel {
     }
 
     /// Build a [`TapeSimulator`] measuring the summed concentration of
-    /// the named species (e.g. all crosslink products).
+    /// the named species (e.g. all crosslink products). The simulator
+    /// reuses the artifact's pre-decoded execution tape and analytic
+    /// Jacobian rather than re-deriving them.
     pub fn simulator_for(&self, observed: &[&str]) -> TapeSimulator {
         let mut observable = vec![0.0; self.system.len()];
         for name in observed {
@@ -215,46 +227,40 @@ impl SuiteModel {
                 observable[idx] = 1.0;
             }
         }
-        TapeSimulator::new(
-            self.compiled.tape.clone(),
-            self.system.initial.clone(),
-            observable,
-        )
+        TapeSimulator::from_artifact(&self.artifact, observable)
     }
 }
 
-/// Compile RDL source text all the way to an optimized, executable model.
-pub fn compile_source(source: &str, level: OptLevel) -> Result<SuiteModel, SuiteError> {
-    let program = parse_rdl(source)?;
-    let CompiledModel { network, rates } = compile_network(&program)?;
-    // The equation table always applies §3.1 on the fly except at the
-    // fully unoptimized level (Table 1's baseline).
-    let simplify = level != OptLevel::None;
-    let system = generate(&network, &rates, GenerateOptions { simplify })?;
-    let compiled = optimize(&system, level);
-    Ok(SuiteModel {
-        network,
-        rates,
-        system,
-        compiled,
-    })
+/// The one place pass wiring happens: a [`CompilerSession`] at a named
+/// level, with the equation generator's §3.1 merging following the
+/// level's simplify switch (off only at [`OptLevel::None`], Table 1's
+/// baseline). Both [`compile_source`] and [`compile_model`] delegate
+/// here, as does the CLI.
+pub fn session_for(level: OptLevel) -> CompilerSession {
+    CompilerSession::new(level)
 }
 
-/// Compile an already-built network (programmatic workloads).
+/// Compile RDL source text all the way to an optimized, executable
+/// model. Cached: recompiling identical source at the same level shares
+/// one artifact per process.
+pub fn compile_source(source: &str, level: OptLevel) -> Result<SuiteModel, SuiteError> {
+    Ok(SuiteModel::from_artifact(
+        session_for(level).compile_source("<rdl>", source)?.artifact,
+    ))
+}
+
+/// Compile an already-built network (programmatic workloads). Cached by
+/// the network's structural fingerprint.
 pub fn compile_model(
     network: ReactionNetwork,
     rates: RateTable,
     level: OptLevel,
 ) -> Result<SuiteModel, SuiteError> {
-    let simplify = level != OptLevel::None;
-    let system = generate(&network, &rates, GenerateOptions { simplify })?;
-    let compiled = optimize(&system, level);
-    Ok(SuiteModel {
-        network,
-        rates,
-        system,
-        compiled,
-    })
+    Ok(SuiteModel::from_artifact(
+        session_for(level)
+            .compile_network("<network>", network, rates)?
+            .artifact,
+    ))
 }
 
 #[cfg(test)]
@@ -286,6 +292,9 @@ mod tests {
         assert!(model.compiled.tape.op_counts().total() > 0);
         let c = model.emit_c("rubber_rhs");
         assert!(c.contains("void rubber_rhs"));
+        // The session attached a staged report to the artifact.
+        assert!(model.report.stage(Stage::Parse).is_some());
+        assert!(model.report.stage(Stage::Lower).is_some());
     }
 
     #[test]
@@ -315,5 +324,12 @@ mod tests {
         let v = sim.simulate(&model.system.rate_values, 0, &[0.05]).unwrap();
         // TetraS_2 is consumed from 1.0 downwards.
         assert!(v[0] > 0.0 && v[0] < 1.0, "{v:?}");
+    }
+
+    #[test]
+    fn repeated_compiles_share_the_artifact() {
+        let a = compile_source(SRC, OptLevel::Full).unwrap();
+        let b = compile_source(SRC, OptLevel::Full).unwrap();
+        assert!(Arc::ptr_eq(a.artifact(), b.artifact()));
     }
 }

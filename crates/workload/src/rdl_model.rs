@@ -142,21 +142,36 @@ mod tests {
 
     #[test]
     fn full_pipeline_on_rdl_model() {
-        use rms_core::{optimize, OptLevel};
-        use rms_odegen::{generate, GenerateOptions};
-        let model = compile(&parse_rdl(VULCANIZATION_RDL).unwrap()).unwrap();
-        let sys = generate(&model.network, &model.rates, GenerateOptions::default()).unwrap();
-        let compiled = optimize(&sys, OptLevel::Full);
-        assert!(compiled.stages.after_cse.total() < compiled.stages.input.total());
+        use rms_core::OptLevel;
+        use rms_driver::{CacheStatus, CompilerSession, Stage};
+        let session = CompilerSession::new(OptLevel::Full);
+        let compiled = session
+            .compile_source("vulcanization.rdl", VULCANIZATION_RDL)
+            .unwrap();
+        let artifact = &compiled.artifact;
+        assert!(
+            artifact.compiled.stages.after_cse.total() < artifact.compiled.stages.input.total()
+        );
+        // The session instrumented every frontend stage on the way.
+        for stage in [Stage::Parse, Stage::Expand, Stage::Rcip, Stage::Network] {
+            assert!(artifact.report.stage(stage).is_some(), "missing {stage}");
+        }
         // Semantics: tape equals naive evaluation.
+        let sys = &artifact.system;
         let y: Vec<f64> = (0..sys.len())
             .map(|i| 0.05 + (i % 7) as f64 * 0.1)
             .collect();
         let expect = sys.eval_nominal(&y);
         let mut got = vec![0.0; sys.len()];
-        compiled.tape.eval(&sys.rate_values, &y, &mut got);
+        artifact.compiled.tape.eval(&sys.rate_values, &y, &mut got);
         for (a, b) in expect.iter().zip(&got) {
             assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
         }
+        // Recompiling the identical source hits the process-wide cache.
+        let again = session
+            .compile_source("vulcanization.rdl", VULCANIZATION_RDL)
+            .unwrap();
+        assert_eq!(again.status, CacheStatus::Memory);
+        assert!(std::sync::Arc::ptr_eq(&compiled.artifact, &again.artifact));
     }
 }

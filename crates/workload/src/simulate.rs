@@ -212,9 +212,41 @@ pub struct FallbackStats {
 impl TapeSimulator {
     /// Build a simulator with one shared formulation.
     pub fn new(tape: Tape, initial: Vec<f64>, observable: Vec<f64>) -> TapeSimulator {
+        let exec = ExecTape::compile(&tape);
+        TapeSimulator::with_exec(tape, exec, initial, observable)
+    }
+
+    /// Build a simulator from a compiled pipeline artifact: reuses the
+    /// artifact's pre-decoded execution tape (the *ExecDecode* stage
+    /// output) instead of re-decoding, and attaches its analytic
+    /// Jacobian tapes when the *Deriv* stage ran.
+    pub fn from_artifact(
+        artifact: &rms_driver::CompiledArtifact,
+        observable: Vec<f64>,
+    ) -> TapeSimulator {
+        let tape = artifact.compiled.tape.clone();
+        let exec = artifact
+            .exec
+            .clone()
+            .unwrap_or_else(|| ExecTape::compile(&tape));
+        let sim = TapeSimulator::with_exec(tape, exec, artifact.system.initial.clone(), observable);
+        match &artifact.jacobian {
+            Some(tapes) => sim.with_analytic_jacobian(tapes.clone()),
+            None => sim,
+        }
+    }
+
+    /// Build a simulator around an already-decoded execution tape,
+    /// skipping the redundant decode. `exec` must be the decoded form of
+    /// `tape`.
+    pub fn with_exec(
+        tape: Tape,
+        exec: ExecTape,
+        initial: Vec<f64>,
+        observable: Vec<f64>,
+    ) -> TapeSimulator {
         let n = tape.n_species;
         let sparsity = SparsityPattern::new(species_dependencies(&tape), n);
-        let exec = ExecTape::compile(&tape);
         TapeSimulator {
             tape,
             exec,
@@ -614,6 +646,50 @@ mod tests {
         }
         assert!("newton".parse::<JacobianMode>().is_err());
         assert_eq!(JacobianMode::default(), JacobianMode::FdColored);
+    }
+
+    #[test]
+    fn artifact_simulator_reuses_compiled_stages() {
+        use rms_driver::{CompilerSession, SessionOptions};
+        let model = generate_model(VulcanizationSpec {
+            sites: 3,
+            max_chain: 3,
+            neighbourhood: 1,
+        });
+        let crosslinks = model.crosslink_species.clone();
+        let mut options = SessionOptions::new(OptLevel::Full);
+        options.deriv = true;
+        let compiled = CompilerSession::with_options(options)
+            .compile_network("simulate-test", model.network, model.rates)
+            .unwrap();
+        let artifact = &compiled.artifact;
+        let mut observable = vec![0.0; artifact.system.len()];
+        for &x in &crosslinks {
+            observable[x.0 as usize] = 1.0;
+        }
+        let sim = TapeSimulator::from_artifact(artifact, observable.clone());
+        // The artifact carried Jacobian tapes, so the simulator starts
+        // analytic; its exec tape is the artifact's, not a re-decode.
+        assert_eq!(sim.jacobian_mode(), JacobianMode::Analytic);
+        assert_eq!(
+            sim.exec_tape().len(),
+            artifact.exec.as_ref().expect("decoded").len()
+        );
+        let direct = TapeSimulator::new(
+            artifact.compiled.tape.clone(),
+            artifact.system.initial.clone(),
+            observable,
+        );
+        let times = [0.5, 1.0, 2.0];
+        let rates = &artifact.system.rate_values;
+        let a = sim.simulate(rates, 0, &times).unwrap();
+        let b = direct.simulate(rates, 0, &times).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x - y).abs() <= 1e-4 * x.abs().max(1e-12),
+                "artifact {x} vs direct {y}"
+            );
+        }
     }
 
     #[test]

@@ -23,11 +23,7 @@ fn main() {
     for x in &crosslinks {
         observable[x.0 as usize] = 1.0;
     }
-    let simulator = TapeSimulator::new(
-        suite.compiled.tape.clone(),
-        suite.system.initial.clone(),
-        observable,
-    );
+    let simulator = TapeSimulator::from_artifact(suite.artifact(), observable);
 
     // 16 files with skewed horizons => heterogeneous per-file solve times,
     // the imbalance the dynamic load balancer exists for.

@@ -48,11 +48,7 @@ fn main() {
     for x in &crosslinks {
         observable[x.0 as usize] = 1.0;
     }
-    let simulator = TapeSimulator::new(
-        suite.compiled.tape.clone(),
-        suite.system.initial.clone(),
-        observable,
-    );
+    let simulator = TapeSimulator::from_artifact(suite.artifact(), observable);
     let spec = ExpDataSpec {
         n_files: 16,
         records: 200, // the paper's files hold >3000; smaller for the demo

@@ -3,34 +3,34 @@
 //! higher `-O` levels, and "we can compile programs at least 10 times
 //! larger using our optimizations than when not using them".
 
-use rms_suite::workload::{generate_model, VulcanizationModel, VulcanizationSpec};
+use rms_suite::workload::{generate_model, VulcanizationSpec};
 use rms_suite::{
-    generate, generic_compile, generic_compile_best_effort, optimize, GenerateOptions,
-    GenericError, GenericOptions, OdeSystem, OptLevel,
+    compile_model, generic_compile, generic_compile_best_effort, GenericError, GenericOptions,
+    OptLevel, SuiteModel,
 };
 
-fn system_for(model: &VulcanizationModel, simplify: bool) -> OdeSystem {
-    generate(&model.network, &model.rates, GenerateOptions { simplify }).expect("valid rates")
+/// Compile the `equations`-sized workload case through the pipeline
+/// session at a level. The process-wide cache dedupes repeat compiles of
+/// the same case across the tests in this binary.
+fn compiled_at(equations: usize, level: OptLevel) -> SuiteModel {
+    let model = generate_model(VulcanizationSpec::for_equation_count(equations));
+    compile_model(model.network, model.rates, level).expect("valid rates")
 }
 
 /// Unoptimized tape size for a given equation count.
 fn unopt_tape_len(equations: usize) -> usize {
-    let model = generate_model(VulcanizationSpec::for_equation_count(equations));
-    let system = system_for(&model, false);
-    let compiled = optimize(&system, OptLevel::None);
-    compiled.tape.len()
+    compiled_at(equations, OptLevel::None).compiled.tape.len()
 }
 
 #[test]
 fn higher_opt_levels_fail_earlier() {
-    let model = generate_model(VulcanizationSpec::for_equation_count(800));
-    let system = system_for(&model, false);
-    let tape = optimize(&system, OptLevel::None).tape;
+    let suite = compiled_at(800, OptLevel::None);
+    let tape = &suite.compiled.tape;
     // Budget sized so -O0 fits but -O4 does not (the Table 1 pattern
     // where xlc compiled case 4 at default opt but died at -O4 on case 3).
     let budget = tape.len() * 5_000;
     assert!(generic_compile(
-        &tape,
+        tape,
         GenericOptions {
             opt_level: 0,
             memory_budget: budget
@@ -39,7 +39,7 @@ fn higher_opt_levels_fail_earlier() {
     .is_ok());
     assert!(matches!(
         generic_compile(
-            &tape,
+            tape,
             GenericOptions {
                 opt_level: 4,
                 memory_budget: budget
@@ -48,7 +48,7 @@ fn higher_opt_levels_fail_earlier() {
         Err(GenericError::OutOfSpace { opt_level: 4, .. })
     ));
     // Best effort lands on the highest level that fits.
-    let (level, _) = generic_compile_best_effort(&tape, budget).expect("O0 fits");
+    let (level, _) = generic_compile_best_effort(tape, budget).expect("O0 fits");
     assert!(level < 4);
 }
 
@@ -67,21 +67,18 @@ fn optimizations_admit_substantially_larger_programs() {
     let budget = unopt_tape_len(small) * rms_suite::IR_BYTES_PER_OP[0] + 1;
 
     // Sanity: the unoptimized large case must NOT fit.
-    let model_large = generate_model(VulcanizationSpec::for_equation_count(large));
-    let raw_large = system_for(&model_large, false);
-    let unopt_large = optimize(&raw_large, OptLevel::None);
+    let unopt_large = compiled_at(large, OptLevel::None);
     assert!(
         matches!(
-            generic_compile_best_effort(&unopt_large.tape, budget),
+            generic_compile_best_effort(&unopt_large.compiled.tape, budget),
             Err(GenericError::OutOfSpace { .. })
         ),
         "large unoptimized case should exceed the budget"
     );
 
     // With our optimizations the same large case compiles.
-    let simplified_large = system_for(&model_large, true);
-    let opt_large = optimize(&simplified_large, OptLevel::Full);
-    let (level, _) = generic_compile_best_effort(&opt_large.tape, budget)
+    let opt_large = compiled_at(large, OptLevel::Full);
+    let (level, _) = generic_compile_best_effort(&opt_large.compiled.tape, budget)
         .expect("optimized 3x case must fit the same budget");
     assert!(level <= 4);
 
@@ -90,10 +87,8 @@ fn optimizations_admit_substantially_larger_programs() {
     let mut multiplier = 3;
     while multiplier < 20 {
         let next = small * (multiplier + 1);
-        let model = generate_model(VulcanizationSpec::for_equation_count(next));
-        let sys = system_for(&model, true);
-        let compiled = optimize(&sys, OptLevel::Full);
-        if generic_compile_best_effort(&compiled.tape, budget).is_err() {
+        let compiled = compiled_at(next, OptLevel::Full);
+        if generic_compile_best_effort(&compiled.compiled.tape, budget).is_err() {
             break;
         }
         multiplier += 1;
@@ -106,9 +101,8 @@ fn optimizations_admit_substantially_larger_programs() {
 fn optimized_tape_valid_after_generic_pass() {
     // Composing our optimizer with the generic compiler (the real
     // deployment: our C feeds xlc) must preserve semantics.
-    let model = generate_model(VulcanizationSpec::for_equation_count(300));
-    let system = system_for(&model, true);
-    let ours = optimize(&system, OptLevel::Full);
+    let suite = compiled_at(300, OptLevel::Full);
+    let (system, ours) = (&suite.system, &suite.compiled);
     // VN runs on the emitted-C shape (SSA); composing it with the
     // compacted execution tape is also sound (see rms-core::generic) but
     // finds less.
@@ -150,16 +144,13 @@ fn optimized_tape_valid_after_generic_pass() {
 fn forest_node_count_tracks_memory_model() {
     // The optimizer also shrinks the IR fed to the downstream compiler:
     // node counts drop alongside op counts.
-    let model = generate_model(VulcanizationSpec::for_equation_count(450));
-    let raw = system_for(&model, false);
-    let simplified = system_for(&model, true);
-    let unopt = optimize(&raw, OptLevel::None);
-    let opt = optimize(&simplified, OptLevel::Full);
+    let unopt = compiled_at(450, OptLevel::None);
+    let opt = compiled_at(450, OptLevel::Full);
     assert!(
-        opt.forest.node_count() < unopt.forest.node_count(),
+        opt.compiled.forest.node_count() < unopt.compiled.forest.node_count(),
         "{} vs {}",
-        opt.forest.node_count(),
-        unopt.forest.node_count()
+        opt.compiled.forest.node_count(),
+        unopt.compiled.forest.node_count()
     );
-    assert!(opt.tape.len() < unopt.tape.len());
+    assert!(opt.compiled.tape.len() < unopt.compiled.tape.len());
 }

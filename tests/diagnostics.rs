@@ -1,0 +1,116 @@
+//! Golden-file tests for `rmsc` diagnostics: the exact rustc-style
+//! rendering (span, caret, message) and the exit-code convention —
+//! 2 for diagnostics and usage errors, 1 for runtime failures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rmsc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rmsc"))
+        .args(args)
+        .output()
+        .expect("rmsc runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is utf-8")
+}
+
+/// Write an RDL source under a per-process temp dir and return its path.
+fn fixture(name: &str, source: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rms-diagnostics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, source).expect("fixture written");
+    path
+}
+
+#[test]
+fn parse_error_renders_span_and_caret() {
+    let path = fixture(
+        "missing_semi.rdl",
+        "rate K_a = 2;\nmolecule M = \"CC\" init 1.0\nrule r { site bond C ~ C order single; action disconnect; rate K_a; }\n",
+    );
+    let path = path.display();
+    let out = rmsc(&["compile", &path.to_string()]);
+    assert_eq!(out.status.code(), Some(2));
+    let expected = format!(
+        "error[parse]: expected 'for', 'init' or ';', found Ident(\"rule\")\n \
+         --> {path}:3:5\n  \
+         |\n\
+         3 | rule r {{ site bond C ~ C order single; action disconnect; rate K_a; }}\n  \
+         |     ^\n"
+    );
+    assert_eq!(stderr(&out), expected);
+}
+
+#[test]
+fn rcip_error_names_the_undefined_constant() {
+    let path = fixture(
+        "undefined_constant.rdl",
+        "rate K_a = K_missing * 2;\nmolecule M = \"CSSC\" init 1.0;\nrule r { site bond S ~ S order single; action disconnect; rate K_a; }\n",
+    );
+    let out = rmsc(&["compile", &path.display().to_string()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr(&out),
+        "error[rcip]: constant 'K_missing' referenced by 'K_a' is never defined\n"
+    );
+}
+
+#[test]
+fn network_error_reports_bad_smiles() {
+    let path = fixture("bad_smiles.rdl", "molecule M = \"C(C\" init 1.0;\n");
+    let out = rmsc(&["compile", &path.display().to_string()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr(&out),
+        "error[network]: molecule 'M': bad SMILES 'C(C': \
+         SMILES syntax error at offset 3: unbalanced '('\n"
+    );
+}
+
+#[test]
+fn diagnostics_are_consistent_across_subcommands() {
+    // `compile-report` goes through the same session and renderer, so a
+    // broken model produces the identical diagnostic and exit code.
+    let path = fixture(
+        "undefined_constant.rdl",
+        "rate K_a = K_missing * 2;\nmolecule M = \"CSSC\" init 1.0;\nrule r { site bond S ~ S order single; action disconnect; rate K_a; }\n",
+    );
+    let path = path.display().to_string();
+    let compile = rmsc(&["compile", &path]);
+    let report = rmsc(&["compile-report", &path]);
+    assert_eq!(report.status.code(), Some(2));
+    assert_eq!(stderr(&report), stderr(&compile));
+}
+
+#[test]
+fn runtime_errors_exit_1_with_prefix() {
+    // A missing input is an environment failure, not a model diagnostic:
+    // prefixed message, exit 1.
+    let path = std::env::temp_dir()
+        .join(format!("rms-diagnostics-{}", std::process::id()))
+        .join("does_not_exist.rdl");
+    let out = rmsc(&["compile", &path.display().to_string()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr(&out),
+        format!(
+            "rmsc: cannot read {}: No such file or directory (os error 2)\n",
+            path.display()
+        )
+    );
+}
+
+#[test]
+fn unknown_dump_stage_is_a_usage_error() {
+    let path = fixture("bad_smiles.rdl", "molecule M = \"C(C\" init 1.0;\n");
+    let out = rmsc(&["compile", &path.display().to_string(), "--dump-ir", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr(&out),
+        "rmsc: unknown stage 'bogus' (expected one of: parse, expand, rcip, \
+         network, odegen, simplify, distribute, cse, deriv, lower, exec-decode)\n"
+    );
+}

@@ -19,11 +19,7 @@ fn build_simulator() -> (TapeSimulator, Vec<f64>, Vec<f64>) {
         observable[x.0 as usize] = 1.0;
     }
     (
-        TapeSimulator::new(
-            suite.compiled.tape.clone(),
-            suite.system.initial.clone(),
-            observable,
-        ),
+        TapeSimulator::from_artifact(suite.artifact(), observable),
         lo,
         hi,
     )

@@ -1,0 +1,174 @@
+//! Cache correctness for the pass-managed pipeline: a cache-hit compile
+//! must be *behaviorally* identical to a cold one — same tape, same
+//! operation counts, same BDF trajectory — at every optimization level
+//! and for both workload model kinds (RDL source and the programmatic
+//! network generator). Plus invalidation, disk revival, and the report's
+//! Table 1 op-count fidelity.
+
+use std::sync::{Arc, Mutex};
+
+use rms_suite::workload::{generate_model, VulcanizationSpec, VULCANIZATION_RDL};
+use rms_suite::{
+    cache, generate, optimize, CacheMode, CacheStatus, Compiled, CompiledArtifact, CompilerSession,
+    GenerateOptions, OptLevel, SessionOptions, SolverOptions, Stage, SuiteModel,
+};
+
+/// The in-memory cache is process-wide and one test clears it; serialize
+/// the tests in this binary so a clear cannot race a hit assertion.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CACHE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const LEVELS: [OptLevel; 4] = [
+    OptLevel::None,
+    OptLevel::Simplify,
+    OptLevel::Algebraic,
+    OptLevel::Full,
+];
+
+/// The two workload model kinds, compiled through the matching session
+/// entry point.
+#[derive(Clone, Copy)]
+enum Model {
+    RdlSource,
+    Network,
+}
+
+fn compile(model: Model, options: SessionOptions) -> Compiled {
+    let session = CompilerSession::with_options(options);
+    match model {
+        Model::RdlSource => session
+            .compile_source("vulcanization.rdl", VULCANIZATION_RDL)
+            .expect("rdl model compiles"),
+        Model::Network => {
+            let m = generate_model(VulcanizationSpec {
+                sites: 3,
+                max_chain: 3,
+                neighbourhood: 1,
+            });
+            session
+                .compile_network("vulcanization-small", m.network, m.rates)
+                .expect("network model compiles")
+        }
+    }
+}
+
+/// Short BDF trajectory from the artifact's own initial state.
+fn trajectory(artifact: &Arc<CompiledArtifact>) -> Vec<Vec<f64>> {
+    SuiteModel::from_artifact(Arc::clone(artifact))
+        .simulate(&[0.02, 0.05], SolverOptions::default())
+        .expect("short solve succeeds")
+}
+
+fn assert_identical(cold: &Arc<CompiledArtifact>, hit: &Arc<CompiledArtifact>, label: &str) {
+    // Same lowered tape, instruction for instruction.
+    assert_eq!(
+        cold.compiled.tape.to_string(),
+        hit.compiled.tape.to_string(),
+        "{label}: tapes differ"
+    );
+    // Same Table 1 operation counts at every optimizer stage.
+    assert_eq!(cold.compiled.stages, hit.compiled.stages, "{label}");
+    assert_eq!(cold.report.counts, hit.report.counts, "{label}");
+    // Same dynamics: the BDF trajectories are bit-identical because the
+    // solver runs the same instructions on the same initial state.
+    assert_eq!(trajectory(cold), trajectory(hit), "{label}: trajectories");
+}
+
+#[test]
+fn cache_hits_reproduce_cold_compiles_at_every_level() {
+    let _guard = lock();
+    for model in [Model::RdlSource, Model::Network] {
+        for level in LEVELS {
+            let label = format!("{level}");
+            // Guaranteed-cold reference compile.
+            let mut bypass = SessionOptions::new(level);
+            bypass.cache = CacheMode::Bypass;
+            let cold = compile(model, bypass);
+            assert_eq!(cold.status, CacheStatus::Cold);
+
+            // Cached compile twice: the second must be a memory hit that
+            // shares the first's allocation.
+            let warm = compile(model, SessionOptions::new(level));
+            let hit = compile(model, SessionOptions::new(level));
+            assert_eq!(hit.status, CacheStatus::Memory, "{label}");
+            assert!(Arc::ptr_eq(&warm.artifact, &hit.artifact), "{label}");
+
+            assert_identical(&cold.artifact, &hit.artifact, &label);
+        }
+    }
+}
+
+#[test]
+fn source_and_option_changes_invalidate_the_cache() {
+    let _guard = lock();
+    let base = compile(Model::RdlSource, SessionOptions::new(OptLevel::Full));
+
+    // An unused rate definition changes the content address: the next
+    // compile is cold, not a stale hit on the old artifact.
+    let salted = format!("{VULCANIZATION_RDL}\nrate K_salt_invalidation = 977;\n");
+    let session = CompilerSession::new(OptLevel::Full);
+    let other = session
+        .compile_source("vulcanization.rdl", &salted)
+        .expect("salted model compiles");
+    assert!(!Arc::ptr_eq(&base.artifact, &other.artifact));
+
+    // Option changes invalidate too: requesting the Deriv stage may not
+    // be served by an artifact compiled without it.
+    let mut deriv = SessionOptions::new(OptLevel::Full);
+    deriv.deriv = true;
+    let with_jac = compile(Model::RdlSource, deriv);
+    assert!(!Arc::ptr_eq(&base.artifact, &with_jac.artifact));
+    assert!(base.artifact.jacobian.is_none());
+    assert!(with_jac.artifact.jacobian.is_some());
+}
+
+#[test]
+fn disk_cache_revives_identical_artifacts() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join(format!("rms-pipeline-cache-{}", std::process::id()));
+    let mut options = SessionOptions::new(OptLevel::Full);
+    options.cache_dir = Some(dir.clone());
+
+    // A cold build is what persists to disk, so start from an empty
+    // memory layer (another test may have already cached this model).
+    cache::clear_memory();
+    let first = compile(Model::Network, options.clone());
+    assert_eq!(first.status, CacheStatus::Cold);
+    // Drop the in-memory layer: the next compile must come back through
+    // deserialization, not a rebuild.
+    cache::clear_memory();
+    let revived = compile(Model::Network, options);
+    assert_eq!(revived.status, CacheStatus::Disk);
+    assert_identical(&first.artifact, &revived.artifact, "disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_reproduces_table1_op_counts() {
+    let _guard = lock();
+    let compiled = compile(Model::Network, SessionOptions::new(OptLevel::Full));
+    let report = &compiled.artifact.report;
+
+    // Independently rerun the generator and optimizer (the pre-driver
+    // pipeline) and compare the per-stage Table 1 operation counts.
+    let m = generate_model(VulcanizationSpec {
+        sites: 3,
+        max_chain: 3,
+        neighbourhood: 1,
+    });
+    let system =
+        generate(&m.network, &m.rates, GenerateOptions { simplify: true }).expect("valid rates");
+    let direct = optimize(&system, OptLevel::Full);
+    assert_eq!(report.counts, direct.stages);
+
+    // The report's identity fields and stage records line up as well.
+    assert_eq!(report.species, m.network.species_count());
+    assert_eq!(report.reactions, m.network.reaction_count());
+    for stage in [Stage::OdeGen, Stage::Simplify, Stage::Cse, Stage::Lower] {
+        assert!(report.stage(stage).is_some(), "missing {stage}");
+    }
+    assert!(report.total_seconds > 0.0);
+}
