@@ -9,7 +9,7 @@
 //! recompile speedup, which should be well beyond 10x.
 //!
 //! Usage:
-//!   compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke]
+//!   compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke] [--force]
 //!
 //! `--smoke` shrinks everything for CI: the two smallest cases at a deep
 //! scale — enough to validate the measurement and the JSON artifact, not
@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{fmt_secs, parse_or_exit, run_bench};
+use rms_bench::{fmt_secs, parse_or_exit, run_bench, write_artifact};
 use rms_core::OptLevel;
 use rms_suite::{cache, CacheMode, CacheStatus, CompilerSession, SessionOptions};
 use rms_workload::{scaled_case, VulcanizationModel, TABLE1};
@@ -27,13 +27,14 @@ const USAGE: &str = "\
 compile — pipeline compile times: cold vs memory-cached vs disk-cached
 
 USAGE:
-  compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke]
+  compile [--scale K] [--cases 1,2,3] [--reps N] [--out FILE] [--smoke] [--force]
 
   --scale K     divide the Table 1 equation counts by K (default 25)
   --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
   --reps N      repetitions per cached measurement, best-of (default 5)
   --out FILE    JSON artifact path (default BENCH_compile.json)
   --smoke       CI preset: --scale 500 --cases 1,2 --reps 3
+  --force       let a --smoke run overwrite a full-run JSON artifact
 ";
 
 struct CaseResult {
@@ -46,6 +47,8 @@ struct CaseResult {
 }
 
 struct Config {
+    smoke: bool,
+    force: bool,
     scale: usize,
     reps: usize,
     cases: Vec<usize>,
@@ -56,7 +59,7 @@ fn main() {
     let args = parse_or_exit(
         USAGE,
         &["--scale", "--cases", "--reps", "--out"],
-        &["--smoke"],
+        &["--smoke", "--force"],
     );
     run_bench(USAGE, args, parse, run);
 }
@@ -65,6 +68,8 @@ fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
     let smoke = args.switch("--smoke");
     let default_cases: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let config = Config {
+        smoke,
+        force: args.switch("--force"),
         scale: args.num("--scale", if smoke { 500 } else { 25 })?,
         reps: args.num("--reps", if smoke { 3 } else { 5 })?,
         cases: args.num_list("--cases", default_cases)?,
@@ -112,6 +117,8 @@ fn timed_compile(
 
 fn run(config: Config) -> Result<(), String> {
     let Config {
+        smoke,
+        force,
         scale,
         reps,
         cases,
@@ -201,7 +208,7 @@ fn run(config: Config) -> Result<(), String> {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"bench\":\"compile\",\"scale\":{scale},\"reps\":{reps},\"cases\":["
+        "{{\"bench\":\"compile\",\"scale\":{scale},\"reps\":{reps},\"smoke\": {smoke},\"cases\":["
     );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
@@ -228,7 +235,7 @@ fn run(config: Config) -> Result<(), String> {
          \"memory_seconds\":{:.9},\"memory_speedup\":{:.3}}}}}",
         largest.case, largest.equations, largest.cold_secs, largest.memory_secs, speedup
     );
-    std::fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_artifact(out_path, &json, smoke, force)?;
     println!("wrote {out_path}");
     Ok(())
 }

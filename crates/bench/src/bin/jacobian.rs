@@ -4,7 +4,7 @@
 //! machine-readable `BENCH_jacobian.json`.
 //!
 //! Usage:
-//!   jacobian [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke]
+//!   jacobian [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke] [--force]
 //!
 //! `--smoke` shrinks everything for CI: the two smallest cases at a deep
 //! scale with a couple of iterations — enough to validate the measurement
@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{compile_case_deriv, fmt_secs, parse_or_exit, run_bench};
+use rms_bench::{compile_case_deriv, fmt_secs, parse_or_exit, run_bench, write_artifact};
 use rms_core::OptLevel;
 use rms_solver::{fd_jacobian, fd_jacobian_colored, AnalyticJacobian, FnRhs, OdeRhs};
 use rms_workload::{scaled_case, TapeJacobian, TABLE1};
@@ -23,13 +23,14 @@ const USAGE: &str = "\
 jacobian — Jacobian assembly: analytic tapes vs colored vs dense FD
 
 USAGE:
-  jacobian [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke]
+  jacobian [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke] [--force]
 
   --scale K     divide the Table 1 equation counts by K (default 25)
   --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
   --iters N     timing repetitions for the sparse sources (default 20)
   --out FILE    JSON artifact path (default BENCH_jacobian.json)
   --smoke       CI preset: --scale 500 --cases 1,2 --iters 3
+  --force       let a --smoke run overwrite a full-run JSON artifact
 ";
 
 struct CaseResult {
@@ -53,6 +54,7 @@ fn time_reps(mut f: impl FnMut(), reps: usize) -> f64 {
 
 struct Config {
     smoke: bool,
+    force: bool,
     scale: usize,
     iters: usize,
     cases: Vec<usize>,
@@ -63,7 +65,7 @@ fn main() {
     let args = parse_or_exit(
         USAGE,
         &["--scale", "--cases", "--iters", "--out"],
-        &["--smoke"],
+        &["--smoke", "--force"],
     );
     run_bench(USAGE, args, parse, run);
 }
@@ -73,6 +75,7 @@ fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
     let default_cases: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let config = Config {
         smoke,
+        force: args.switch("--force"),
         scale: args.num("--scale", if smoke { 500 } else { 25 })?,
         iters: args.num("--iters", if smoke { 3 } else { 20 })?,
         cases: args.num_list("--cases", default_cases)?,
@@ -93,6 +96,7 @@ fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
 fn run(config: Config) -> Result<(), String> {
     let Config {
         smoke,
+        force,
         scale,
         iters,
         cases,
@@ -203,7 +207,7 @@ fn run(config: Config) -> Result<(), String> {
     );
 
     let json = render_json(scale, iters, smoke, &results, largest);
-    std::fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_artifact(out_path, &json, smoke, force)?;
     println!("wrote {out_path}");
     Ok(())
 }

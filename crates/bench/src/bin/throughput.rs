@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{compile_case, fmt_secs, parse_or_exit, run_bench};
+use rms_bench::{compile_case, fmt_secs, parse_or_exit, run_bench, write_artifact};
 use rms_core::{ExecFrame, ExecTape, OptLevel, LANES};
 use rms_workload::{scaled_case, TABLE1};
 
@@ -26,13 +26,14 @@ const USAGE: &str = "\
 throughput — RHS evals/sec: interpreter vs execution engine vs batched
 
 USAGE:
-  throughput [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke]
+  throughput [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke] [--force]
 
   --scale K     divide the Table 1 equation counts by K (default 25)
   --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
   --iters N     RHS evaluations per engine measurement (default 400)
   --out FILE    JSON artifact path (default BENCH_throughput.json)
   --smoke       CI preset: --scale 500 --cases 1,2 --iters 16
+  --force       let a --smoke run overwrite a full-run JSON artifact
 ";
 
 struct CaseResult {
@@ -47,6 +48,7 @@ struct CaseResult {
 
 struct Config {
     smoke: bool,
+    force: bool,
     scale: usize,
     iters: usize,
     cases: Vec<usize>,
@@ -57,7 +59,7 @@ fn main() {
     let args = parse_or_exit(
         USAGE,
         &["--scale", "--cases", "--iters", "--out"],
-        &["--smoke"],
+        &["--smoke", "--force"],
     );
     run_bench(USAGE, args, parse, run);
 }
@@ -67,6 +69,7 @@ fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
     let default_cases: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let config = Config {
         smoke,
+        force: args.switch("--force"),
         scale: args.num("--scale", if smoke { 500 } else { 25 })?,
         iters: args.num("--iters", if smoke { 16 } else { 400 })?,
         cases: args.num_list("--cases", default_cases)?,
@@ -136,6 +139,7 @@ fn time_batched(exec: &ExecTape, rates: &[f64], y: &[f64], iters: usize) -> f64 
 fn run(config: Config) -> Result<(), String> {
     let Config {
         smoke,
+        force,
         scale,
         iters,
         cases,
@@ -205,7 +209,7 @@ fn run(config: Config) -> Result<(), String> {
     );
 
     let json = render_json(scale, iters, smoke, &results, largest);
-    std::fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_artifact(out_path, &json, smoke, force)?;
     println!("wrote {out_path}");
     Ok(())
 }

@@ -71,6 +71,25 @@ pub fn time_tape_eval(compiled: &CompiledOde, system: &OdeSystem, iters: usize) 
     t0.elapsed().as_secs_f64() / iters as f64
 }
 
+/// Write a JSON bench artifact, refusing to clobber full-run results
+/// with smoke output. A smoke run may freely overwrite a smoke artifact
+/// (the JSON carries `"smoke": true`) or create a fresh file, but
+/// replacing a full run requires `--force` — committed artifacts have
+/// been silently downgraded by CI presets before.
+pub fn write_artifact(path: &str, json: &str, smoke: bool, force: bool) -> Result<(), String> {
+    if smoke && !force {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if !existing.contains("\"smoke\": true") && !existing.contains("\"smoke\":true") {
+                return Err(format!(
+                    "{path} holds full-run results; refusing to overwrite with --smoke \
+                     output (re-run with --force to override, or --out elsewhere)"
+                ));
+            }
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 /// Pretty seconds.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -252,6 +271,30 @@ mod tests {
         assert!(args.help);
         let args = BenchArgs::parse(&argv("--help"), &[], &[]).unwrap();
         assert!(args.help);
+    }
+
+    #[test]
+    fn smoke_artifact_guard() {
+        let dir = std::env::temp_dir().join(format!("rms-bench-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap();
+
+        // A fresh path accepts smoke output.
+        write_artifact(path, "{\"smoke\": true}\n", true, false).unwrap();
+        // Smoke-over-smoke is fine.
+        write_artifact(path, "{\"smoke\": true}\n", true, false).unwrap();
+        // A full run may overwrite anything.
+        write_artifact(path, "{\"smoke\": false}\n", false, false).unwrap();
+        // Smoke-over-full is refused ...
+        let err = write_artifact(path, "{\"smoke\": true}\n", true, false).unwrap_err();
+        assert!(err.contains("refusing"), "{err}");
+        assert!(std::fs::read_to_string(path).unwrap().contains("false"));
+        // ... unless forced.
+        write_artifact(path, "{\"smoke\": true}\n", true, true).unwrap();
+        assert!(std::fs::read_to_string(path).unwrap().contains("true"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

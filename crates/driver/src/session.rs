@@ -411,10 +411,21 @@ impl CompilerSession {
         let jacobian = if self.options.deriv {
             let clock = Instant::now();
             let tapes = compile_jacobian(&compiled.forest, Some(CseOptions::default()));
+            // Sparse-Newton symbolic analysis of I − hβJ over the exact
+            // compiled sparsity: the fill the stiff solver's sparse path
+            // will carry (nnz(L+U) under the fill-reducing ordering).
+            let jac_pattern =
+                rms_solver::SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+            let iter_pattern = rms_solver::iteration_matrix_pattern(&jac_pattern);
+            let lu_fill = rms_solver::SymbolicLu::analyze(&iter_pattern)
+                .map(|sym| sym.fill_nnz())
+                .unwrap_or(0);
             let record = StageRecord::new(Stage::Deriv, clock.elapsed().as_secs_f64())
                 .metric("nnz", tapes.entries.len() as f64)
                 .metric("rhs_instrs", tapes.rhs.instrs.len() as f64)
-                .metric("jac_instrs", tapes.jac.instrs.len() as f64);
+                .metric("jac_instrs", tapes.jac.instrs.len() as f64)
+                .metric("iter_nnz", iter_pattern.nnz() as f64)
+                .metric("lu_fill_nnz", lu_fill as f64);
             // Deriv sits between Cse and Lower in the stage order.
             let at = records
                 .iter()

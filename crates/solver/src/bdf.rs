@@ -15,7 +15,8 @@
 use crate::coloring::{fd_jacobian_colored_into, SparsityPattern};
 use crate::jacobian::{fd_jacobian_into, AnalyticJacobian, FdWorkspace};
 use crate::linalg::{CsrMatrix, Lu, Matrix};
-use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+use crate::problem::{error_norm, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions};
+use crate::sparse::SparseNewton;
 
 /// BDF α coefficients (history weights) and β (f weight) per order.
 /// `y_{n+1} = Σ_i ALPHA[k][i] · y_{n−i} + BETA[k] · h · f(t_{n+1}, y_{n+1})`
@@ -72,6 +73,22 @@ enum JacStore {
     Sparse(CsrMatrix),
 }
 
+/// The iteration-matrix factorization. The sparse kernel is persistent:
+/// its symbolic analysis (ordering + fill pattern) is computed once from
+/// the static sparsity and every later step-size or order change only
+/// repeats the numeric refactorization. Validity is tracked separately in
+/// `Bdf::factor_for`, so invalidation never discards the kernel.
+enum Factor {
+    None,
+    Dense(Lu),
+    Sparse(SparseNewton),
+}
+
+/// `Auto` picks the sparse path only for systems at least this large …
+const AUTO_MIN_DIM: usize = 64;
+/// … whose iteration matrix is at most this dense (nnz/n²).
+const AUTO_MAX_DENSITY: f64 = 0.10;
+
 /// Reusable buffers for the step loop. Everything the corrector touches
 /// per iteration lives here, so Newton iterations (and whole solves, once
 /// warm) allocate nothing.
@@ -110,8 +127,13 @@ pub struct Bdf<'a, R: OdeRhs> {
     history: Vec<Vec<f64>>,
     h: f64,
     order: usize,
-    /// Cached LU of `I − hβJ` plus the (h, order) it was built for.
-    iter_matrix: Option<(Lu, f64, usize)>,
+    /// Factorization of `I − hβJ` (dense LU or persistent sparse kernel).
+    factor: Factor,
+    /// The (h, order) the factorization was built for; `None` = stale.
+    factor_for: Option<(f64, usize)>,
+    /// All-columns pattern synthesized when the sparse path is forced on
+    /// a dense-FD Jacobian source (built once).
+    full_pattern: Option<SparsityPattern>,
     jac: Option<JacStore>,
     /// How Jacobians are produced: analytic tape, colored FD, or dense FD.
     source: JacSource<'a>,
@@ -132,7 +154,9 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             history: vec![y0.to_vec()],
             h: options.h_init.unwrap_or(1e-6),
             order: 1,
-            iter_matrix: None,
+            factor: Factor::None,
+            factor_for: None,
+            full_pattern: None,
             jac: None,
             source: JacSource::Dense,
             stats: SolveStats::default(),
@@ -166,7 +190,11 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             JacobianSource::FdDense => JacSource::Dense,
         };
         self.jac = None;
-        self.iter_matrix = None;
+        // The sparsity may have changed with the source: drop the sparse
+        // kernel (and its symbolic analysis) along with the numeric factor.
+        self.factor = Factor::None;
+        self.factor_for = None;
+        self.full_pattern = None;
     }
 
     /// Current state.
@@ -264,11 +292,14 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 if s.residual.iter().any(|v| !v.is_finite()) {
                     return Err(SolverError::NonFiniteDerivative { t: self.t });
                 }
-                let (lu, _, _) = self.iter_matrix.as_ref().expect("ensured above");
                 s.delta.clear();
                 s.delta.extend_from_slice(&s.residual);
-                lu.solve_in_place(&mut s.delta)
-                    .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
+                match &self.factor {
+                    Factor::Dense(lu) => lu.solve_in_place(&mut s.delta),
+                    Factor::Sparse(kernel) => kernel.solve_in_place(&mut s.delta),
+                    Factor::None => unreachable!("ensured above"),
+                }
+                .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
                 self.stats.newton_iters += 1;
                 for j in 0..n {
                     s.y[j] -= s.delta[j];
@@ -378,7 +409,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
     fn change_step(&mut self, new_h: f64, s: &mut Scratch) {
         if new_h == self.h || self.history.len() == 1 {
             self.h = new_h;
-            self.iter_matrix = None;
+            self.factor_for = None;
             return;
         }
         let m = self.history.len();
@@ -416,10 +447,10 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         }
         std::mem::swap(&mut self.history, &mut s.history_alt);
         self.h = new_h;
-        self.iter_matrix = None;
+        self.factor_for = None;
     }
 
-    /// Make sure `iter_matrix` matches the current `(h, order)`.
+    /// Make sure the factorization matches the current `(h, order)`.
     fn ensure_iteration_matrix(
         &mut self,
         beta: f64,
@@ -428,8 +459,8 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         s: &mut Scratch,
     ) -> Result<(), SolverError> {
         let k = self.order;
-        if let Some((_, h_built, k_built)) = &self.iter_matrix {
-            if *h_built == self.h && *k_built == k {
+        if let Some((h_built, k_built)) = self.factor_for {
+            if h_built == self.h && k_built == k {
                 return Ok(());
             }
         }
@@ -448,10 +479,12 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 // Reuse the sparse store (the pattern never changes for a
                 // given source); build it on first refresh only.
                 if !matches!(self.jac, Some(JacStore::Sparse(_))) {
-                    self.jac = Some(JacStore::Sparse(CsrMatrix::from_rows(
+                    let csr = CsrMatrix::from_rows(
                         (0..pattern.n_rows()).map(|i| pattern.row(i)),
                         pattern.n_cols(),
-                    )));
+                    )
+                    .expect("SparsityPattern rows are ascending and in range");
+                    self.jac = Some(JacStore::Sparse(csr));
                 }
                 let csr = match &mut self.jac {
                     Some(JacStore::Sparse(csr)) => csr,
@@ -488,8 +521,41 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         self.stats.jevals += 1;
     }
 
+    /// Does the configured [`LinearSolver`] resolve to the sparse path for
+    /// the current Jacobian source? `Auto` requires a known sparsity (the
+    /// dense-FD source has none worth exploiting) that is big and sparse
+    /// enough to beat dense LU.
+    fn want_sparse(&self) -> bool {
+        match self.options.linear_solver {
+            LinearSolver::Dense => false,
+            LinearSolver::Sparse => true,
+            LinearSolver::Auto => {
+                let n = self.history[0].len();
+                let jac_nnz = match &self.source {
+                    JacSource::Analytic(provider) => provider.pattern().nnz(),
+                    JacSource::Colored { pattern, .. } => pattern.nnz(),
+                    JacSource::Dense => return false,
+                };
+                // The iteration matrix adds at most the n diagonal slots.
+                n >= AUTO_MIN_DIM
+                    && (jac_nnz + n) as f64 <= AUTO_MAX_DENSITY * (n as f64) * (n as f64)
+            }
+        }
+    }
+
     fn build_lu(&mut self, beta: f64) -> Result<(), SolverError> {
         let scale = self.h * beta;
+        if self.want_sparse() {
+            self.build_sparse(scale)?;
+        } else {
+            self.build_dense(scale)?;
+        }
+        self.stats.factorizations += 1;
+        self.factor_for = Some((self.h, self.order));
+        Ok(())
+    }
+
+    fn build_dense(&mut self, scale: f64) -> Result<(), SolverError> {
         let m = match self.jac.as_ref().expect("jacobian refreshed") {
             JacStore::Dense(jac) => {
                 let n = jac.rows();
@@ -505,9 +571,48 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             // touched.
             JacStore::Sparse(csr) => csr.assemble_iteration_matrix(scale),
         };
+        let n = m.rows();
         let lu = Lu::factor(&m).map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
-        self.stats.factorizations += 1;
-        self.iter_matrix = Some((lu, self.h, self.order));
+        self.factor = Factor::Dense(lu);
+        self.stats.fill_nnz = n * n;
+        Ok(())
+    }
+
+    /// Refactor `I − scale·J` on the sparse path, creating the persistent
+    /// kernel (minimum-degree ordering + symbolic analysis) on first use.
+    fn build_sparse(&mut self, scale: f64) -> Result<(), SolverError> {
+        let t = self.t;
+        let singular = |_| SolverError::SingularIterationMatrix { t };
+        // The pattern the Jacobian store is gathered through.
+        let pattern: &SparsityPattern = match &self.source {
+            JacSource::Analytic(provider) => provider.pattern(),
+            JacSource::Colored { pattern, .. } => pattern,
+            JacSource::Dense => {
+                // Forced sparse on a dense-FD source: treat every entry as
+                // structural. No fill advantage, but uniform semantics.
+                let n = self.history[0].len();
+                let fits = matches!(&self.full_pattern, Some(p) if p.n_rows() == n);
+                if !fits {
+                    let rows = vec![(0..n as u32).collect::<Vec<u32>>(); n];
+                    self.full_pattern = Some(SparsityPattern::new(rows, n));
+                }
+                self.full_pattern.as_ref().expect("just stored")
+            }
+        };
+        if !matches!(self.factor, Factor::Sparse(_)) {
+            self.factor = Factor::Sparse(SparseNewton::new(pattern).map_err(singular)?);
+        }
+        let kernel = match &mut self.factor {
+            Factor::Sparse(kernel) => kernel,
+            _ => unreachable!("just stored"),
+        };
+        match self.jac.as_ref().expect("jacobian refreshed") {
+            JacStore::Sparse(csr) => kernel.factor_from_csr(csr, scale).map_err(singular)?,
+            JacStore::Dense(jac) => kernel
+                .factor_from_dense(jac, pattern, scale)
+                .map_err(singular)?,
+        }
+        self.stats.fill_nnz = kernel.fill_nnz();
         Ok(())
     }
 

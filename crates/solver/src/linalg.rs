@@ -12,6 +12,9 @@ pub enum LinalgError {
     Singular(usize),
     /// Dimension mismatch in an operation.
     DimensionMismatch,
+    /// A sparsity description is malformed (indices out of bounds or not
+    /// strictly ascending within a row/column).
+    MalformedPattern,
 }
 
 impl fmt::Display for LinalgError {
@@ -19,6 +22,12 @@ impl fmt::Display for LinalgError {
         match self {
             LinalgError::Singular(col) => write!(f, "matrix singular at column {col}"),
             LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinalgError::MalformedPattern => {
+                write!(
+                    f,
+                    "malformed sparsity pattern (indices must ascend in bounds)"
+                )
+            }
         }
     }
 }
@@ -140,28 +149,35 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Build the structure from per-row column lists (columns ascending);
-    /// all values start at zero.
-    pub fn from_rows<'a, I>(rows: I, n_cols: usize) -> CsrMatrix
+    /// Build the structure from per-row column lists; all values start at
+    /// zero. Columns must ascend strictly within each row and stay below
+    /// `n_cols` — a malformed pattern is a hard
+    /// [`LinalgError::MalformedPattern`] (not a debug-only assert: a bad
+    /// pattern silently corrupts every later binary search over the row).
+    pub fn from_rows<'a, I>(rows: I, n_cols: usize) -> Result<CsrMatrix, LinalgError>
     where
         I: IntoIterator<Item = &'a [u32]>,
     {
         let mut row_ptr = vec![0usize];
         let mut col_idx = Vec::new();
         for row in rows {
-            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "columns must ascend");
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(LinalgError::MalformedPattern);
+            }
             col_idx.extend_from_slice(row);
             row_ptr.push(col_idx.len());
         }
-        debug_assert!(col_idx.iter().all(|&c| (c as usize) < n_cols));
+        if col_idx.iter().any(|&c| (c as usize) >= n_cols) {
+            return Err(LinalgError::MalformedPattern);
+        }
         let nnz = col_idx.len();
-        CsrMatrix {
+        Ok(CsrMatrix {
             n_rows: row_ptr.len() - 1,
             n_cols,
             row_ptr,
             col_idx,
             vals: vec![0.0; nnz],
-        }
+        })
     }
 
     /// Number of rows.
@@ -465,7 +481,7 @@ mod tests {
     fn sample_csr() -> CsrMatrix {
         // [[2, 0, 1], [0, 3, 0], [0, 0, 4]]
         let rows: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![2]];
-        let mut m = CsrMatrix::from_rows(rows.iter().map(Vec::as_slice), 3);
+        let mut m = CsrMatrix::from_rows(rows.iter().map(Vec::as_slice), 3).unwrap();
         m.vals_mut().copy_from_slice(&[2.0, 1.0, 3.0, 4.0]);
         m
     }

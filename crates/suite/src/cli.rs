@@ -10,8 +10,8 @@ use rms_nlopt::FitStatistics;
 use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
 use crate::{
-    CompilerSession, EngineMode, JacobianMode, LmOptions, OptLevel, ParallelEstimator,
-    SessionOptions, SolverOptions, Stage, SuiteModel,
+    CompilerSession, EngineMode, JacobianMode, LinearSolver, LmOptions, OptLevel,
+    ParallelEstimator, SessionOptions, SolverOptions, Stage, SuiteModel,
 };
 
 /// A parsed CLI invocation.
@@ -44,6 +44,8 @@ pub enum Command {
         observe: Vec<String>,
         /// Jacobian source for the BDF solver.
         jacobian: JacobianMode,
+        /// Direct method for the Newton iteration matrix.
+        linear_solver: LinearSolver,
         /// Right-hand-side evaluator.
         engine: EngineMode,
         /// On-disk artifact cache directory.
@@ -82,6 +84,8 @@ pub enum Command {
         on_failure: FailurePolicy,
         /// Jacobian source for the BDF solver in each simulation.
         jacobian: JacobianMode,
+        /// Direct method for the Newton iteration matrix.
+        linear_solver: LinearSolver,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -164,6 +168,7 @@ USAGE:
   rmsc compile-report <model.rdl> [--level L] [--cache-dir DIR]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
+                [--linear-solver dense|sparse|auto]         (default auto)
                 [--engine interp|exec]                      (default exec)
                 [--cache-dir DIR]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
@@ -171,6 +176,7 @@ USAGE:
                 [--collective-timeout SECS] [--max-retries N]
                 [--on-solver-failure penalize|abort]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-colored)
+                [--linear-solver dense|sparse|auto]         (default auto)
                 [--cache-dir DIR]
   rmsc help
 
@@ -189,6 +195,13 @@ The --jacobian modes: 'analytic' runs the compiler-emitted sparse
 Jacobian tapes (exact derivatives, CSE-shared with the RHS tape);
 'fd-colored' uses colored finite differences over the structural
 sparsity; 'fd-dense' perturbs every state variable.
+
+The --linear-solver methods factor the Newton iteration matrix
+I − hβJ: 'dense' is LU with partial pivoting; 'sparse' is a
+fill-reducing (minimum-degree) sparse LU whose symbolic analysis is
+computed once from the compiled Jacobian sparsity and reused across
+every refactorization; 'auto' picks sparse when the system is large
+and sparse enough to win (n ≥ 64, density ≤ 10%).
 
 The --engine modes: 'exec' pre-decodes the tape into the fused
 execution engine (operands resolved to frame indices, FMA
@@ -216,6 +229,13 @@ fn parse_level(args: &[String]) -> Result<OptLevel, CliError> {
 fn parse_jacobian(args: &[String], default: JacobianMode) -> Result<JacobianMode, CliError> {
     match flag_value(args, "--jacobian") {
         None => Ok(default),
+        Some(v) => v.parse().map_err(|e: String| usage_err(e)),
+    }
+}
+
+fn parse_linear_solver(args: &[String]) -> Result<LinearSolver, CliError> {
+    match flag_value(args, "--linear-solver") {
+        None => Ok(LinearSolver::default()),
         Some(v) => v.parse().map_err(|e: String| usage_err(e)),
     }
 }
@@ -323,6 +343,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         "--steps",
                         "--observe",
                         "--jacobian",
+                        "--linear-solver",
                         "--engine",
                         "--cache-dir",
                     ],
@@ -334,6 +355,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             steps: parse_num(args, "--steps", 10)?,
             observe: parse_observe(args),
             jacobian: parse_jacobian(args, JacobianMode::FdDense)?,
+            linear_solver: parse_linear_solver(args)?,
             engine: parse_engine(args)?,
             cache_dir: parse_cache_dir(args),
         }),
@@ -364,6 +386,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--max-retries",
                     "--on-solver-failure",
                     "--jacobian",
+                    "--linear-solver",
                     "--cache-dir",
                 ],
             )?;
@@ -400,6 +423,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_retries: parse_num(args, "--max-retries", 1)?,
                 on_failure,
                 jacobian: parse_jacobian(args, JacobianMode::FdColored)?,
+                linear_solver: parse_linear_solver(args)?,
                 cache_dir: parse_cache_dir(args),
             })
         }
@@ -551,6 +575,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             steps,
             observe,
             jacobian,
+            linear_solver,
             engine,
             cache_dir,
         } => {
@@ -566,8 +591,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             let times: Vec<f64> = (1..=*steps)
                 .map(|i| tend * i as f64 / *steps as f64)
                 .collect();
+            let options = SolverOptions {
+                linear_solver: *linear_solver,
+                ..SolverOptions::default()
+            };
             let solution = model
-                .simulate_configured(&times, SolverOptions::default(), *jacobian, *engine)
+                .simulate_configured(&times, options, *jacobian, *engine)
                 .map_err(|e| err(format!("solver: {e}")))?;
             let names: Vec<String> = if observe.is_empty() {
                 model
@@ -646,6 +675,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             max_retries,
             on_failure,
             jacobian,
+            linear_solver,
             cache_dir,
         } => {
             let (model, _) = load_model(
@@ -662,6 +692,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // artifact already carries the tapes the simulator attaches.
             let mut simulator = crate::TapeSimulator::from_artifact(model.artifact(), weights);
             simulator.set_jacobian_mode(*jacobian);
+            simulator.set_linear_solver(*linear_solver);
             // Load every .dat file, sorted by name for determinism.
             let mut paths: Vec<PathBuf> = std::fs::read_dir(data_dir)
                 .map_err(|e| err(format!("cannot read {}: {e}", data_dir.display())))?
@@ -978,6 +1009,7 @@ mod tests {
                 max_retries: 4,
                 on_failure: FailurePolicy::Abort,
                 jacobian: JacobianMode::FdColored,
+                linear_solver: LinearSolver::Auto,
                 cache_dir: None,
             }
         );
@@ -994,6 +1026,7 @@ mod tests {
                 max_retries: 1,
                 on_failure: FailurePolicy::Penalize,
                 jacobian: JacobianMode::FdColored,
+                linear_solver: LinearSolver::Auto,
                 cache_dir: None,
             }
         );
@@ -1013,6 +1046,9 @@ mod tests {
             "estimate m.rdl --data d --jacobian sparse",
             // ... and bad --engine values.
             "simulate m.rdl --engine jit",
+            // ... and bad --linear-solver values.
+            "simulate m.rdl --linear-solver cholesky",
+            "estimate m.rdl --data d --linear-solver qr",
         ] {
             let error = parse_args(&argv(bad)).unwrap_err();
             assert_eq!(error.exit_code(), 2, "{bad}: {error}");
@@ -1039,6 +1075,35 @@ mod tests {
         }
         match parse_args(&argv("estimate m.rdl --data d --jacobian fd-dense")).unwrap() {
             Command::Estimate { jacobian, .. } => assert_eq!(jacobian, JacobianMode::FdDense),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_solver_flag_parses_on_both_subcommands() {
+        // Both subcommands default to auto.
+        match parse_args(&argv("simulate m.rdl")).unwrap() {
+            Command::Simulate { linear_solver, .. } => {
+                assert_eq!(linear_solver, LinearSolver::Auto)
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --linear-solver sparse")).unwrap() {
+            Command::Simulate { linear_solver, .. } => {
+                assert_eq!(linear_solver, LinearSolver::Sparse)
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --linear-solver dense")).unwrap() {
+            Command::Simulate { linear_solver, .. } => {
+                assert_eq!(linear_solver, LinearSolver::Dense)
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("estimate m.rdl --data d --linear-solver sparse")).unwrap() {
+            Command::Estimate { linear_solver, .. } => {
+                assert_eq!(linear_solver, LinearSolver::Sparse)
+            }
             other => panic!("{other:?}"),
         }
     }

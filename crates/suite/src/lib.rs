@@ -61,8 +61,8 @@ pub use rms_rcip::RateTable;
 pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};
 pub use rms_solver::{
     fd_jacobian, fd_jacobian_colored, fd_step, solve_adams, solve_bdf, solve_bdf_with_jacobian,
-    solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource, OdeRhs, SolveStats,
-    SolverOptions, SparsityPattern,
+    solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource, LinearSolver, OdeRhs,
+    SolveStats, SolverOptions, SparseLu, SparseNewton, SparsityPattern, SymbolicLu,
 };
 pub use rms_workload as workload;
 pub use rms_workload::{EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSimulator};

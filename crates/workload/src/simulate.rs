@@ -9,8 +9,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, Tape};
 use rms_parallel::Simulator;
 use rms_solver::{
-    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, OdeRhs, SolverError, SolverOptions,
-    SparsityPattern,
+    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, LinearSolver, OdeRhs, SolverError,
+    SolverOptions, SparsityPattern,
 };
 
 /// Which right-hand-side evaluator the simulator runs.
@@ -284,6 +284,17 @@ impl TapeSimulator {
     /// The currently selected Jacobian source.
     pub fn jacobian_mode(&self) -> JacobianMode {
         self.jacobian_mode
+    }
+
+    /// Select the direct method for the Newton iteration matrix
+    /// (shorthand for setting it on [`options`](TapeSimulator::options)).
+    pub fn set_linear_solver(&mut self, solver: LinearSolver) {
+        self.options.linear_solver = solver;
+    }
+
+    /// The currently selected iteration-matrix solver.
+    pub fn linear_solver(&self) -> LinearSolver {
+        self.options.linear_solver
     }
 
     /// Select the right-hand-side evaluator.
