@@ -1,0 +1,310 @@
+//! Service latency/throughput under concurrent multi-tenant load, with
+//! and without injected faults. Prints a comparison table and writes a
+//! machine-readable `BENCH_serve.json`.
+//!
+//! Each scenario starts one in-process server and N client threads;
+//! every client submits a stream of simulate jobs under its own tenant
+//! and measures per-job latency from submission to terminal event. The
+//! faulted scenario replays the same load with a deterministic chaos
+//! plan — contained panics plus a stall long enough to blow the default
+//! deadline — so the numbers quantify what fault isolation costs the
+//! surviving jobs.
+//!
+//! Usage:
+//!   serve [--clients N] [--jobs N] [--workers N] [--out FILE] [--smoke]
+//!
+//! `--smoke` shrinks the per-client job count for CI — enough to
+//! validate the measurement and the JSON artifact, not stable timings.
+
+use std::fmt::Write as _;
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use rms_bench::{parse_or_exit, run_bench, write_artifact};
+use rms_parallel::FaultPlan;
+use rms_serve::json::{obj, Value};
+use rms_serve::{JobKind, JobRequest, Server, ServerConfig};
+
+const USAGE: &str = "\
+serve — service latency/throughput under concurrent load and faults
+
+USAGE:
+  serve [--clients N] [--jobs N] [--workers N] [--out FILE] [--smoke] [--force]
+
+  --clients N   concurrent client threads (default 8)
+  --jobs N      jobs submitted per client (default 8)
+  --workers N   server worker threads (default 4)
+  --out FILE    JSON artifact path (default BENCH_serve.json)
+  --smoke       CI preset: --jobs 2
+  --force       let a --smoke run overwrite a full-run JSON artifact
+";
+
+/// The benchmark model: a disulfide scission network, small enough
+/// that per-job cost is dominated by service overhead — which is what
+/// this bench measures.
+const MODEL: &str = r#"
+rate K_sc = 2;
+molecule DiS = "CSSC" init 1.0;
+rule scission {
+    site bond S ~ S order single;
+    action disconnect;
+    rate K_sc;
+}
+"#;
+
+struct Config {
+    smoke: bool,
+    force: bool,
+    clients: usize,
+    jobs: usize,
+    workers: usize,
+    out_path: String,
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    succeeded: usize,
+    failed: usize,
+    panicked: usize,
+    deadlines: usize,
+    cold_compiles: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput: f64,
+}
+
+fn main() {
+    let args = parse_or_exit(
+        USAGE,
+        &["--clients", "--jobs", "--workers", "--out"],
+        &["--smoke", "--force"],
+    );
+    run_bench(USAGE, args, parse, run);
+}
+
+fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
+    let smoke = args.switch("--smoke");
+    let config = Config {
+        smoke,
+        force: args.switch("--force"),
+        clients: args.num("--clients", 8)?,
+        jobs: args.num("--jobs", if smoke { 2 } else { 8 })?,
+        workers: args.num("--workers", 4)?,
+        out_path: args
+            .value("--out")
+            .unwrap_or("BENCH_serve.json")
+            .to_string(),
+    };
+    if config.clients == 0 || config.jobs == 0 || config.workers == 0 {
+        return Err("--clients, --jobs and --workers must be at least 1".to_string());
+    }
+    if config.clients * config.jobs < 5 {
+        // The chaos plan needs distinct admission sequence numbers for
+        // its panic and stall targets.
+        return Err("need at least 5 total jobs (clients × jobs)".to_string());
+    }
+    Ok(config)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Run one scenario: `clients` threads × `jobs` submissions against a
+/// fresh server, returning latency percentiles over the successful jobs.
+fn run_scenario(
+    name: &'static str,
+    config: &Config,
+    faults: Option<FaultPlan>,
+) -> Result<ScenarioResult, String> {
+    let faulted = faults.is_some();
+    let server = Server::start(ServerConfig {
+        workers: config.workers,
+        queue_capacity: config.clients * config.jobs + 8,
+        default_deadline_ms: Some(if faulted { 100 } else { 30_000 }),
+        faults,
+        ..ServerConfig::default()
+    });
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut cold_compiles = 0usize;
+    let mut terminal_events = 0usize;
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for c in 0..config.clients {
+            let server = &server;
+            let jobs = config.jobs;
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<f64>, usize, usize), String> {
+                    let (tx, rx) = channel::<String>();
+                    let mut submitted = Vec::with_capacity(jobs);
+                    for j in 0..jobs {
+                        let req = JobRequest {
+                            id: format!("c{c}-{j}"),
+                            tenant: format!("tenant{c}"),
+                            source: MODEL.to_string(),
+                            observe: Vec::new(),
+                            kind: JobKind::Simulate {
+                                times: vec![0.2, 0.5],
+                            },
+                            deadline_ms: None,
+                            level: "full".to_string(),
+                        };
+                        server
+                            .submit(req, tx.clone())
+                            .map_err(|e| format!("client {c} rejected: {e}"))?;
+                        submitted.push(Instant::now());
+                    }
+                    drop(tx);
+                    let mut latencies = Vec::with_capacity(jobs);
+                    let mut cold = 0;
+                    let mut terminals = 0;
+                    for line in rx {
+                        let ev = rms_serve::json::parse(&line)
+                            .map_err(|e| format!("client {c}: bad event: {e}"))?;
+                        let kind = ev.get("event").and_then(Value::as_str).unwrap_or("");
+                        if kind != "result" && kind != "error" {
+                            continue;
+                        }
+                        let id = ev.get("id").and_then(Value::as_str).unwrap_or("");
+                        let j: usize = id
+                            .rsplit('-')
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| format!("client {c}: unexpected id '{id}'"))?;
+                        terminals += 1;
+                        if kind == "result" {
+                            latencies.push(submitted[j].elapsed().as_secs_f64() * 1e3);
+                            if ev.get("cache").and_then(Value::as_str) == Some("cold") {
+                                cold += 1;
+                            }
+                        }
+                        if terminals == jobs {
+                            break;
+                        }
+                    }
+                    Ok((latencies, cold, terminals))
+                }),
+            );
+        }
+        for handle in handles {
+            let (lat, cold, terminals) = handle.join().map_err(|_| "client panicked")??;
+            latencies.extend(lat);
+            cold_compiles += cold;
+            terminal_events += terminals;
+        }
+        Ok(())
+    })?;
+
+    let stats = server.drain();
+    let wall = started.elapsed().as_secs_f64();
+    let total = config.clients * config.jobs;
+    if terminal_events != total {
+        return Err(format!(
+            "{name}: expected {total} terminal events, saw {terminal_events}"
+        ));
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(ScenarioResult {
+        name,
+        succeeded: stats.succeeded,
+        failed: stats.failed,
+        panicked: stats.panicked,
+        deadlines: stats.deadlines,
+        cold_compiles,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        throughput: total as f64 / wall,
+    })
+}
+
+fn run(config: Config) -> Result<(), String> {
+    let total = config.clients * config.jobs;
+    let clean = run_scenario("clean", &config, None)?;
+    // Concurrent same-model submissions must have shared one compile.
+    if clean.cold_compiles != 1 {
+        return Err(format!(
+            "expected exactly one cold compile across {total} clean jobs, saw {}",
+            clean.cold_compiles
+        ));
+    }
+    if clean.failed != 0 {
+        return Err(format!("{} clean jobs failed", clean.failed));
+    }
+
+    // Deterministic chaos: two contained panics plus one stall that
+    // blows the 100 ms default deadline.
+    let plan = FaultPlan::new()
+        .panic_file(1)
+        .panic_file(total / 2)
+        .stall_file(3, Duration::from_millis(400));
+    let faulted = run_scenario("faulted", &config, Some(plan))?;
+    if faulted.panicked != 2 || faulted.deadlines != 1 {
+        return Err(format!(
+            "chaos plan mismatch: {} panics (want 2), {} deadlines (want 1)",
+            faulted.panicked, faulted.deadlines
+        ));
+    }
+    // The model was already cached by the clean scenario.
+    if faulted.cold_compiles != 0 {
+        return Err(format!(
+            "faulted scenario recompiled {} times",
+            faulted.cold_compiles
+        ));
+    }
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "serve: {} clients x {} jobs, {} workers",
+        config.clients, config.jobs, config.workers
+    );
+    let _ = writeln!(
+        table,
+        "{:<10} {:>6} {:>6} {:>10} {:>10} {:>12}",
+        "scenario", "ok", "err", "p50", "p99", "jobs/s"
+    );
+    for s in [&clean, &faulted] {
+        let _ = writeln!(
+            table,
+            "{:<10} {:>6} {:>6} {:>8.2}ms {:>8.2}ms {:>12.1}",
+            s.name, s.succeeded, s.failed, s.p50_ms, s.p99_ms, s.throughput
+        );
+    }
+    print!("{table}");
+
+    let scenario_json = |s: &ScenarioResult| -> Value {
+        obj([
+            ("name", s.name.into()),
+            ("succeeded", s.succeeded.into()),
+            ("failed", s.failed.into()),
+            ("panicked", s.panicked.into()),
+            ("deadlines", s.deadlines.into()),
+            ("cold_compiles", s.cold_compiles.into()),
+            ("p50_ms", s.p50_ms.into()),
+            ("p99_ms", s.p99_ms.into()),
+            ("throughput_jobs_per_sec", s.throughput.into()),
+        ])
+    };
+    let json = obj([
+        ("bench", "serve".into()),
+        ("smoke", config.smoke.into()),
+        ("clients", config.clients.into()),
+        ("jobs_per_client", config.jobs.into()),
+        ("workers", config.workers.into()),
+        (
+            "scenarios",
+            Value::Arr(vec![scenario_json(&clean), scenario_json(&faulted)]),
+        ),
+    ]);
+    let mut text = json.to_json();
+    text.push('\n');
+    write_artifact(&config.out_path, &text, config.smoke, config.force)?;
+    println!("wrote {}", config.out_path);
+    Ok(())
+}

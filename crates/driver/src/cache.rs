@@ -61,16 +61,42 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Successful cold builds.
     pub misses: u64,
+    /// In-memory artifacts dropped by the memory-budget eviction.
+    pub evictions: u64,
+    /// Corrupt on-disk entries moved aside by the read path.
+    pub quarantines: u64,
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static QUARANTINES: AtomicU64 = AtomicU64::new(0);
+/// Memory budget in bytes; `u64::MAX` = unlimited (the default).
+static MEMORY_BUDGET: AtomicU64 = AtomicU64::new(u64::MAX);
+/// Monotonic logical clock for LRU ordering.
+static USE_CLOCK: AtomicU64 = AtomicU64::new(0);
 
 type Slot = Arc<Mutex<Option<Arc<CompiledArtifact>>>>;
 
-fn registry() -> &'static Mutex<HashMap<u128, Slot>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<u128, Slot>>> = OnceLock::new();
+/// One cached key: the artifact slot plus LRU bookkeeping.
+struct Entry {
+    slot: Slot,
+    /// `USE_CLOCK` value at the last lookup (under the registry lock).
+    last_used: u64,
+}
+
+impl Default for Entry {
+    fn default() -> Entry {
+        Entry {
+            slot: Slot::default(),
+            last_used: USE_CLOCK.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<u128, Entry>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u128, Entry>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -86,6 +112,73 @@ pub fn stats() -> CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         disk_hits: DISK_HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
+        quarantines: QUARANTINES.load(Ordering::Relaxed),
+    }
+}
+
+/// Record that a corrupt disk entry was quarantined (called by the
+/// session's disk-read path).
+pub fn note_quarantine() {
+    QUARANTINES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Bound the in-memory layer to roughly `bytes` (`None` = unlimited).
+/// When an insert pushes the estimated total over the budget,
+/// least-recently-used artifacts are dropped (the disk layer, when
+/// configured, still serves them without a recompile).
+pub fn set_memory_budget(bytes: Option<u64>) {
+    MEMORY_BUDGET.store(bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+    if bytes.is_some() {
+        enforce_budget(None);
+    }
+}
+
+/// Evict least-recently-used artifacts until the estimated total fits
+/// the budget. `protect` (the key just inserted) is never evicted, so a
+/// single over-budget artifact still caches. Slots whose mutex is held
+/// elsewhere (a build in progress) are skipped via `try_lock`; lock
+/// order is registry → slot, the same as `lookup_or_build`, and slot
+/// acquisition never blocks, so the inversion cannot deadlock.
+fn enforce_budget(protect: Option<u128>) {
+    let budget = MEMORY_BUDGET.load(Ordering::Relaxed);
+    if budget == u64::MAX {
+        return;
+    }
+    let mut reg = lock(registry());
+    let mut filled: Vec<(u128, u64, u64)> = Vec::new();
+    let mut total: u64 = 0;
+    for (&key, entry) in reg.iter() {
+        let Ok(guard) = entry.slot.try_lock() else {
+            continue;
+        };
+        if let Some(artifact) = guard.as_ref() {
+            let bytes = artifact.approx_bytes();
+            total += bytes;
+            filled.push((key, entry.last_used, bytes));
+        }
+    }
+    if total <= budget {
+        return;
+    }
+    filled.sort_by_key(|&(_, last_used, _)| last_used);
+    for (key, _, bytes) in filled {
+        if Some(key) == protect {
+            continue;
+        }
+        if let Some(entry) = reg.get(&key) {
+            if let Ok(mut guard) = entry.slot.try_lock() {
+                *guard = None;
+            } else {
+                continue; // picked up by a hit since the scan; keep it
+            }
+        }
+        reg.remove(&key);
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        total = total.saturating_sub(bytes);
+        if total <= budget {
+            break;
+        }
     }
 }
 
@@ -114,7 +207,12 @@ pub fn lookup_or_build(
     build: impl FnOnce() -> Result<CompiledArtifact, Diagnostic>,
     persist: impl FnOnce(&CompiledArtifact),
 ) -> Result<(Arc<CompiledArtifact>, CacheStatus), Diagnostic> {
-    let slot: Slot = lock(registry()).entry(key).or_default().clone();
+    let slot: Slot = {
+        let mut reg = lock(registry());
+        let entry = reg.entry(key).or_default();
+        entry.last_used = USE_CLOCK.fetch_add(1, Ordering::Relaxed);
+        entry.slot.clone()
+    };
     let mut guard = lock(&slot);
     if let Some(artifact) = guard.as_ref() {
         HITS.fetch_add(1, Ordering::Relaxed);
@@ -124,6 +222,8 @@ pub fn lookup_or_build(
         DISK_HITS.fetch_add(1, Ordering::Relaxed);
         let artifact = Arc::new(artifact);
         *guard = Some(Arc::clone(&artifact));
+        drop(guard);
+        enforce_budget(Some(key));
         return Ok((artifact, CacheStatus::Disk));
     }
     let artifact = build()?;
@@ -131,5 +231,7 @@ pub fn lookup_or_build(
     persist(&artifact);
     let artifact = Arc::new(artifact);
     *guard = Some(Arc::clone(&artifact));
+    drop(guard);
+    enforce_budget(Some(key));
     Ok((artifact, CacheStatus::Cold))
 }

@@ -27,7 +27,43 @@ use crate::session::CompiledArtifact;
 use crate::stage::Stage;
 
 const MAGIC: &[u8; 4] = b"RMSC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Why a disk-cache load failed. The caller's policy differs: a missing
+/// entry is an ordinary miss, while a corrupt one should be quarantined
+/// so the cold compile can rewrite a good entry in its place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// No readable file at the path (never cached, or unreadable).
+    Missing,
+    /// The file exists but failed the magic, version, checksum, key, or
+    /// structural checks — truncated, bit-flipped, stale-format, or
+    /// foreign content.
+    Corrupt,
+}
+
+/// FNV-1a 64-bit over `bytes`: cheap, dependency-free integrity check
+/// for the payload (this is corruption detection, not authentication).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Move a corrupt cache entry aside (same directory, `.corrupt` suffix)
+/// so the next store can rewrite a good file and the bad bytes stay
+/// available for postmortems. Best-effort: on rename failure the entry
+/// is deleted instead, and failure to delete is swallowed.
+pub fn quarantine(path: &Path) {
+    let mut quarantined = path.as_os_str().to_owned();
+    quarantined.push(".corrupt");
+    if std::fs::rename(path, &quarantined).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+}
 
 /// The disk-resident subset of a [`CompiledArtifact`]; the session
 /// regenerates the rest on revival.
@@ -55,8 +91,6 @@ pub struct DiskArtifact {
 /// layer is best-effort.
 pub fn store(path: &Path, artifact: &CompiledArtifact) {
     let mut w = Writer::default();
-    w.bytes(MAGIC);
-    w.u32(VERSION);
     w.u128(artifact.key);
     w.bool(artifact.gen_simplify);
     w.str(&artifact.name);
@@ -81,47 +115,65 @@ pub fn store(path: &Path, artifact: &CompiledArtifact) {
     }
     write_report(&mut w, &artifact.report);
 
+    // Header: magic + version + payload checksum. The checksum turns a
+    // silent bit flip in stored f64 data (which would otherwise revive
+    // into a wrong-but-plausible artifact) into a detectable corruption.
+    let mut h = Writer::default();
+    h.bytes(MAGIC);
+    h.u32(VERSION);
+    h.u64(fnv1a64(&w.buf));
+
     let Some(dir) = path.parent() else { return };
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let ok = std::fs::File::create(&tmp)
-        .and_then(|mut f| f.write_all(&w.buf))
+        .and_then(|mut f| f.write_all(&h.buf).and_then(|()| f.write_all(&w.buf)))
         .and_then(|()| std::fs::rename(&tmp, path));
     if ok.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
 }
 
-/// Deserialize the artifact at `path`, returning `None` (a cache miss)
-/// on any read, format, version, or key problem.
-pub fn load(path: &Path, expected_key: u128) -> Option<DiskArtifact> {
-    let buf = std::fs::read(path).ok()?;
+/// Deserialize the artifact at `path`. [`LoadError::Missing`] when the
+/// file cannot be read at all; [`LoadError::Corrupt`] when it exists but
+/// fails any format, checksum, version, key, or structural check.
+pub fn load(path: &Path, expected_key: u128) -> Result<DiskArtifact, LoadError> {
+    let buf = std::fs::read(path).map_err(|_| LoadError::Missing)?;
     let mut r = Reader { buf: &buf, at: 0 };
-    if r.bytes(4)? != MAGIC {
-        return None;
+    let header_ok = (|| {
+        if r.bytes(4)? != MAGIC || r.u32()? != VERSION {
+            return None;
+        }
+        let checksum = r.u64()?;
+        (checksum == fnv1a64(&buf[r.at..])).then_some(())
+    })();
+    if header_ok.is_none() {
+        return Err(LoadError::Corrupt);
     }
-    if r.u32()? != VERSION {
-        return None;
-    }
+    parse_payload(&mut r, expected_key).ok_or(LoadError::Corrupt)
+}
+
+/// Parse the checksummed payload (everything after the header).
+fn parse_payload(r: &mut Reader, expected_key: u128) -> Option<DiskArtifact> {
     let key = r.u128()?;
     if key != expected_key {
         return None;
     }
     let gen_simplify = r.bool()?;
     let name = r.str()?;
-    let network = read_network(&mut r)?;
-    let rates = read_rates(&mut r)?;
-    let forest = read_forest(&mut r)?;
-    let tape = read_tape(&mut r)?;
+    let network = read_network(r)?;
+    let rates = read_rates(r)?;
+    let forest = read_forest(r)?;
+    let tape = read_tape(r)?;
     tape.validate().ok()?;
-    let stages = read_stage_counts(&mut r)?;
+    let stages = read_stage_counts(r)?;
     let jacobian = match r.u8()? {
         0 => None,
         1 => {
-            let rhs = read_tape(&mut r)?;
-            let jac = read_tape(&mut r)?;
+            let rhs = read_tape(r)?;
+            let jac = read_tape(r)?;
             let n = r.usize()?;
             let mut entries = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..n {
@@ -141,7 +193,7 @@ pub fn load(path: &Path, expected_key: u128) -> Option<DiskArtifact> {
         }
         _ => return None,
     };
-    let report = read_report(&mut r)?;
+    let report = read_report(r)?;
     if r.at != r.buf.len() {
         return None;
     }

@@ -148,6 +148,29 @@ pub struct CompiledArtifact {
     pub gen_simplify: bool,
 }
 
+impl CompiledArtifact {
+    /// Rough in-memory footprint, used by the cache's memory-budget
+    /// eviction. Counts the dominant allocations (tapes, Jacobian,
+    /// system, network) at fixed per-element costs rather than chasing
+    /// every string — eviction needs ordering-quality estimates, not
+    /// accounting-quality ones.
+    pub fn approx_bytes(&self) -> u64 {
+        const INSTR: u64 = 48; // Instr/ExecInstr upper bound, with slack
+        let tape = |t: &rms_core::Tape| INSTR * t.instrs.len() as u64;
+        let mut total = 4096u64; // report, names, rate table, headers
+        total += tape(&self.compiled.tape);
+        if let Some(j) = &self.jacobian {
+            total += tape(&j.rhs) + tape(&j.jac) + 8 * j.entries.len() as u64;
+        }
+        if let Some(exec) = &self.exec {
+            total += INSTR * exec.len() as u64;
+        }
+        total += 64 * self.system.len() as u64;
+        total += 64 * self.network.reaction_count() as u64;
+        total
+    }
+}
+
 /// A compile result: the (possibly shared) artifact plus provenance.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -240,7 +263,18 @@ impl CompilerSession {
             key,
             || {
                 let path = disk.as_deref()?;
-                serial::load(path, key).and_then(|a| self.revive(a))
+                match serial::load(path, key) {
+                    Ok(a) => self.revive(a),
+                    Err(serial::LoadError::Missing) => None,
+                    Err(serial::LoadError::Corrupt) => {
+                        // Truncated/bit-flipped/stale entry: move it
+                        // aside and fall through to a cold compile,
+                        // whose `persist` rewrites a good file.
+                        serial::quarantine(path);
+                        cache::note_quarantine();
+                        None
+                    }
+                }
             },
             || build().map(|(artifact, _)| artifact),
             |artifact| {

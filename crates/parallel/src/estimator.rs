@@ -65,18 +65,78 @@ where
 }
 
 /// How many times a failing simulation is re-attempted before the
-/// failure policy kicks in.
+/// failure policy kicks in, and how long to wait between attempts.
+///
+/// The wait for retry `k` (1-based) is exponential — `base_delay ·
+/// 2^(k−1)`, capped at `max_delay` — plus deterministic jitter: a
+/// splitmix64 hash of `(jitter_seed, task key, attempt)` scales the
+/// delay by a factor in `[1.0, 1.5)`. Seeded jitter keeps concurrent
+/// retries from stampeding in lock-step while staying byte-for-byte
+/// reproducible across runs. The default `base_delay` of zero preserves
+/// the classic immediate-retry behavior exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Additional attempts after the first failure (0 = fail
     /// immediately).
     pub max_retries: usize,
+    /// Delay before the first retry (zero = retry immediately, no
+    /// sleeping anywhere — the classic behavior).
+    pub base_delay: Duration,
+    /// Upper bound on the exponential delay (before jitter).
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
-        RetryPolicy { max_retries: 1 }
+        RetryPolicy {
+            max_retries: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
     }
+}
+
+impl RetryPolicy {
+    /// Classic immediate-retry policy with a given budget.
+    pub fn with_max_retries(max_retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// How long to wait before retry `attempt` (1-based) of the task
+    /// identified by `key`. Zero when `base_delay` is zero.
+    pub fn delay_for(&self, attempt: usize, key: u64) -> Duration {
+        if self.base_delay.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(32) as u32;
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        // Jitter in [1.0, 1.5): deterministic in (seed, key, attempt).
+        let h = splitmix64(
+            self.jitter_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(key)
+                .wrapping_add((attempt as u64) << 32),
+        );
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(1.0 + 0.5 * frac)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// What to do with a file whose simulation keeps failing.
@@ -416,6 +476,10 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
                 Ok(values) => return (attempts, Ok(values)),
                 Err(_) if attempts <= self.config.retry.max_retries => {
                     *retries += 1;
+                    let delay = self.config.retry.delay_for(attempts, file_idx as u64);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Err(e) => return (attempts, Err(e)),
             }
@@ -595,6 +659,55 @@ impl<S: Simulator> Residual for ObjectiveResidual<'_, '_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_retry_policy_never_sleeps() {
+        let p = RetryPolicy::default();
+        for attempt in 0..6 {
+            for key in 0..4 {
+                assert_eq!(p.delay_for(attempt, key), Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter_seed: 7,
+        };
+        let d1 = p.delay_for(1, 0);
+        let d2 = p.delay_for(2, 0);
+        let d3 = p.delay_for(3, 0);
+        // Exponential growth: each tier at least doubles the base, and
+        // jitter only inflates by < 50%.
+        assert!(d1 >= Duration::from_millis(10) && d1 < Duration::from_millis(15));
+        assert!(d2 >= Duration::from_millis(20) && d2 < Duration::from_millis(30));
+        assert!(d3 >= Duration::from_millis(40) && d3 < Duration::from_millis(60));
+        // Far past the cap: bounded by max_delay * 1.5.
+        let d9 = p.delay_for(9, 0);
+        assert!(d9 >= Duration::from_millis(80) && d9 < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_key_dependent() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter_seed: 42,
+        };
+        assert_eq!(p.delay_for(2, 3), p.delay_for(2, 3));
+        // Different keys/attempts de-synchronize (no lock-step stampede).
+        assert_ne!(p.delay_for(2, 3), p.delay_for(2, 4));
+        let reseeded = RetryPolicy {
+            jitter_seed: 43,
+            ..p
+        };
+        assert_ne!(p.delay_for(2, 3), reseeded.delay_for(2, 3));
+    }
 
     /// Synthetic "property": decaying exponential with rate p[0], offset
     /// p[1].

@@ -50,6 +50,14 @@ pub struct FaultPlan {
     panic_calls: Vec<usize>,
     /// Global call indices at which `simulate` sleeps first.
     slow_calls: HashMap<usize, Duration>,
+    /// File indices whose every `simulate` call panics. Unlike
+    /// `panic_at_call`, independent of scheduling order — the natural
+    /// form for multi-tenant server tests where the global call order is
+    /// nondeterministic.
+    panic_files: Vec<usize>,
+    /// Per-file sleeps applied before delegating, scheduling-independent
+    /// like `panic_files`. Exercises deadline supervision.
+    stall_files: HashMap<usize, Duration>,
 }
 
 impl FaultPlan {
@@ -89,6 +97,20 @@ impl FaultPlan {
         self
     }
 
+    /// Panic on every `simulate` call for `file`, regardless of call
+    /// order.
+    pub fn panic_file(mut self, file: usize) -> FaultPlan {
+        self.panic_files.push(file);
+        self
+    }
+
+    /// Sleep for `delay` on every `simulate` call for `file`, regardless
+    /// of call order.
+    pub fn stall_file(mut self, file: usize, delay: Duration) -> FaultPlan {
+        self.stall_files.insert(file, delay);
+        self
+    }
+
     /// Number of files with scripted errors.
     pub fn faulty_file_count(&self) -> usize {
         self.file_faults.len()
@@ -115,6 +137,12 @@ impl<S: Simulator> FaultySimulator<S> {
             calls: AtomicUsize::new(0),
             attempts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The wrapped simulator (e.g. to read its fallback statistics
+    /// after a faulted run).
+    pub fn inner(&self) -> &S {
+        &self.inner
     }
 
     /// Total `simulate` calls observed so far (across all ranks,
@@ -147,6 +175,12 @@ impl<S: Simulator> Simulator for FaultySimulator<S> {
         }
         if self.plan.panic_calls.contains(&call) {
             panic!("injected panic at simulate call {call} (file {file_index})");
+        }
+        if let Some(delay) = self.plan.stall_files.get(&file_index) {
+            std::thread::sleep(*delay);
+        }
+        if self.plan.panic_files.contains(&file_index) {
+            panic!("injected panic for file {file_index}");
         }
         let attempt = {
             let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
@@ -210,6 +244,32 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert!(sim.simulate(&[], 0, &[0.1]).is_ok());
+    }
+
+    #[test]
+    fn panic_file_fires_on_every_call_for_that_file_only() {
+        let plan = FaultPlan::new().panic_file(2);
+        let sim = FaultySimulator::new(ok_model, plan);
+        assert!(sim.simulate(&[], 0, &[0.1]).is_ok());
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = sim.simulate(&[], 2, &[0.1]);
+            }));
+            assert!(caught.is_err());
+        }
+        assert!(sim.simulate(&[], 1, &[0.1]).is_ok());
+    }
+
+    #[test]
+    fn stall_file_delays_only_that_file() {
+        let plan = FaultPlan::new().stall_file(1, Duration::from_millis(30));
+        let sim = FaultySimulator::new(ok_model, plan);
+        let t0 = std::time::Instant::now();
+        sim.simulate(&[], 0, &[0.1]).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(25));
+        let t1 = std::time::Instant::now();
+        sim.simulate(&[], 1, &[0.1]).unwrap();
+        assert!(t1.elapsed() >= Duration::from_millis(30));
     }
 
     #[test]

@@ -157,7 +157,7 @@ fn estimation_completes_with_injected_failures_and_reports_them() {
             4,
             EstimatorConfig {
                 on_failure: FailurePolicy::Penalize,
-                retry: RetryPolicy { max_retries: 1 },
+                retry: RetryPolicy::with_max_retries(1),
                 penalty: 1e3,
                 ..EstimatorConfig::default()
             },

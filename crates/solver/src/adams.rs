@@ -5,7 +5,7 @@
 //! side as its own integrator. Fixed 4th order with adaptive step by
 //! predictor–corrector difference, RK4 self-starting.
 
-use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+use crate::problem::{error_norm, CancelToken, OdeRhs, SolveStats, SolverError, SolverOptions};
 
 /// Adams–Bashforth 4 coefficients (predictor).
 const AB4: [f64; 4] = [55.0 / 24.0, -59.0 / 24.0, 37.0 / 24.0, -9.0 / 24.0];
@@ -25,6 +25,8 @@ pub struct Adams<'a, R: OdeRhs> {
     f_history: Vec<Vec<f64>>,
     h: f64,
     stats: SolveStats,
+    /// Cooperative cancellation flag, checked once per step.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, R: OdeRhs> Adams<'a, R> {
@@ -39,7 +41,14 @@ impl<'a, R: OdeRhs> Adams<'a, R> {
             f_history: Vec::new(),
             h: options.h_init.unwrap_or(1e-4),
             stats: SolveStats::default(),
+            cancel: None,
         }
+    }
+
+    /// Attach a [`CancelToken`]; once it fires, `integrate_to` returns
+    /// [`SolverError::Cancelled`] at the next step boundary.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Work counters.
@@ -60,6 +69,11 @@ impl<'a, R: OdeRhs> Adams<'a, R> {
         let mut f_pred = vec![0.0; n];
         let mut y_corr = vec![0.0; n];
         while self.t < tend {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(SolverError::Cancelled { t: self.t });
+                }
+            }
             if self.stats.steps + self.stats.rejected >= self.options.max_steps {
                 return Err(SolverError::TooManySteps {
                     t: self.t,

@@ -15,7 +15,9 @@
 use crate::coloring::{fd_jacobian_colored_into, SparsityPattern};
 use crate::jacobian::{fd_jacobian_into, AnalyticJacobian, FdWorkspace};
 use crate::linalg::{CsrMatrix, Lu, Matrix};
-use crate::problem::{error_norm, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions};
+use crate::problem::{
+    error_norm, CancelToken, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions,
+};
 use crate::sparse::SparseNewton;
 
 /// BDF α coefficients (history weights) and β (f weight) per order.
@@ -141,6 +143,8 @@ pub struct Bdf<'a, R: OdeRhs> {
     /// Reusable step-loop buffers (taken with `mem::take` around the hot
     /// path to sidestep aliasing with `&mut self` helpers).
     scratch: Scratch,
+    /// Cooperative cancellation flag, checked once per step.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, R: OdeRhs> Bdf<'a, R> {
@@ -161,7 +165,14 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             source: JacSource::Dense,
             stats: SolveStats::default(),
             scratch: Scratch::default(),
+            cancel: None,
         }
+    }
+
+    /// Attach a [`CancelToken`]; once it fires, `integrate_to` returns
+    /// [`SolverError::Cancelled`] at the next step boundary.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Provide the Jacobian sparsity pattern; the solver colors its
@@ -230,6 +241,11 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             )));
         }
         while self.t < tend {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(SolverError::Cancelled { t: self.t });
+                }
+            }
             if self.stats.steps + self.stats.rejected >= self.options.max_steps {
                 return Err(SolverError::TooManySteps {
                     t: self.t,

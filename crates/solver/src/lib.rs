@@ -34,7 +34,7 @@ pub use coloring::{fd_jacobian_colored, fd_jacobian_colored_into, SparsityPatter
 pub use jacobian::{fd_jacobian, fd_jacobian_into, fd_step, AnalyticJacobian, FdWorkspace};
 pub use linalg::{CsrMatrix, LinalgError, Lu, Matrix};
 pub use problem::{
-    error_norm, FnRhs, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions,
+    error_norm, CancelToken, FnRhs, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions,
 };
 pub use rk45::{solve_rk45, Rk45};
 pub use sparse::{iteration_matrix_pattern, CscMatrix, SparseLu, SparseNewton, SymbolicLu};

@@ -1,5 +1,35 @@
 //! The ODE problem interface and solver configuration.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation flag shared between an integrator and an
+/// external supervisor (e.g. a deadline watcher). Cloning shares the
+/// flag; once [`cancel`](CancelToken::cancel) fires, every solver the
+/// token is attached to returns [`SolverError::Cancelled`] at its next
+/// step boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
 /// A first-order ODE right-hand side `y' = f(t, y)`.
 ///
 /// Chemistry systems are autonomous (no explicit `t`), but the interface
@@ -177,6 +207,17 @@ pub enum SolverError {
     NonFiniteDerivative { t: f64 },
     /// Inconsistent arguments (e.g. `tend <= t0` or wrong y0 length).
     BadInput(String),
+    /// An attached [`CancelToken`] fired; integration stopped at `t`.
+    Cancelled { t: f64 },
+}
+
+impl SolverError {
+    /// Was this failure an external cancellation (deadline/shutdown)
+    /// rather than a numerical breakdown? Fallback chains must not retry
+    /// a cancelled solve with a different method.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SolverError::Cancelled { .. })
+    }
 }
 
 impl std::fmt::Display for SolverError {
@@ -194,6 +235,7 @@ impl std::fmt::Display for SolverError {
                 write!(f, "non-finite derivative at t={t}")
             }
             SolverError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            SolverError::Cancelled { t } => write!(f, "cancelled at t={t}"),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! embedded pair — the same family and adaptive-order-5 role; the
 //! substitution is recorded in DESIGN.md.
 
-use crate::problem::{error_norm, OdeRhs, SolveStats, SolverError, SolverOptions};
+use crate::problem::{error_norm, CancelToken, OdeRhs, SolveStats, SolverError, SolverOptions};
 
 /// Dormand–Prince coefficients.
 const A: [[f64; 6]; 6] = [
@@ -77,6 +77,8 @@ pub struct Rk45<'a, R: OdeRhs> {
     y_next: Vec<f64>,
     y_err: Vec<f64>,
     stage: Vec<f64>,
+    /// Cooperative cancellation flag, checked once per step.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, R: OdeRhs> Rk45<'a, R> {
@@ -96,7 +98,14 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
             y_next: vec![0.0; n],
             y_err: vec![0.0; n],
             stage: vec![0.0; n],
+            cancel: None,
         }
+    }
+
+    /// Attach a [`CancelToken`]; once it fires, `integrate_to` returns
+    /// [`SolverError::Cancelled`] at the next step boundary.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Work counters.
@@ -117,6 +126,11 @@ impl<'a, R: OdeRhs> Rk45<'a, R> {
             self.h = self.initial_step(tend);
         }
         while self.t < tend {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(SolverError::Cancelled { t: self.t });
+                }
+            }
             if self.stats.steps + self.stats.rejected >= self.options.max_steps {
                 return Err(SolverError::TooManySteps {
                     t: self.t,

@@ -89,6 +89,27 @@ pub enum Command {
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
+    /// Run the line-delimited JSON job server on stdin/stdout.
+    Serve {
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Admission-queue bound (full queue rejects immediately).
+        queue_capacity: usize,
+        /// On-disk artifact cache directory shared by all jobs.
+        cache_dir: Option<PathBuf>,
+        /// In-memory artifact cache budget in MiB.
+        memory_budget_mb: Option<u64>,
+        /// Retry budget for transient solver failures.
+        max_retries: usize,
+        /// Base delay (ms) of the exponential retry backoff.
+        retry_base_ms: u64,
+        /// Default deadline (ms) for jobs that carry none.
+        deadline_ms: Option<u64>,
+        /// Chaos: admission sequence numbers whose jobs panic.
+        chaos_panic: Vec<usize>,
+        /// Chaos: `(sequence, ms)` stalls injected into jobs.
+        chaos_stall: Vec<(usize, u64)>,
+    },
     /// Print usage.
     Help,
 }
@@ -178,7 +199,17 @@ USAGE:
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-colored)
                 [--linear-solver dense|sparse|auto]         (default auto)
                 [--cache-dir DIR]
+  rmsc serve    [--workers N] [--queue-capacity N] [--cache-dir DIR]
+                [--memory-budget-mb N] [--max-retries N] [--retry-base-ms MS]
+                [--deadline-ms MS]
+                [--chaos-panic SEQ,SEQ,...] [--chaos-stall SEQ:MS,SEQ:MS,...]
   rmsc help
+
+'serve' reads one JSON job request per line from stdin and streams
+JSON events (accepted, result, error, drained) to stdout; see
+DESIGN.md §12 for the protocol and failure model. The --chaos-*
+flags deterministically inject panics/stalls into the jobs with the
+given admission sequence numbers (testing only).
 
 'compile-report' (or 'compile --emit report') prints the staged
 pipeline report as JSON: per-stage wall time and artifact sizes, plus
@@ -427,6 +458,75 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 cache_dir: parse_cache_dir(args),
             })
         }
+        "serve" => {
+            reject_unknown_flags(
+                args,
+                &[
+                    "--workers",
+                    "--queue-capacity",
+                    "--cache-dir",
+                    "--memory-budget-mb",
+                    "--max-retries",
+                    "--retry-base-ms",
+                    "--deadline-ms",
+                    "--chaos-panic",
+                    "--chaos-stall",
+                ],
+            )?;
+            let workers = parse_num(args, "--workers", 2)?;
+            if workers == 0 {
+                return Err(usage_err("--workers must be at least 1"));
+            }
+            let chaos_panic = match flag_value(args, "--chaos-panic") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().map_err(|_| {
+                            usage_err(format!("--chaos-panic takes sequence numbers, got '{s}'"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let chaos_stall = match flag_value(args, "--chaos-stall") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|pair| {
+                        pair.split_once(':')
+                            .and_then(|(seq, ms)| {
+                                Some((seq.trim().parse().ok()?, ms.trim().parse().ok()?))
+                            })
+                            .ok_or_else(|| {
+                                usage_err(format!("--chaos-stall takes SEQ:MS pairs, got '{pair}'"))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Ok(Command::Serve {
+                workers,
+                queue_capacity: parse_num(args, "--queue-capacity", 32)?,
+                cache_dir: parse_cache_dir(args),
+                memory_budget_mb: flag_value(args, "--memory-budget-mb")
+                    .map(|v| {
+                        v.parse().map_err(|_| {
+                            usage_err(format!("--memory-budget-mb takes a number, got '{v}'"))
+                        })
+                    })
+                    .transpose()?,
+                max_retries: parse_num(args, "--max-retries", 1)?,
+                retry_base_ms: parse_num(args, "--retry-base-ms", 0)?,
+                deadline_ms: flag_value(args, "--deadline-ms")
+                    .map(|v| {
+                        v.parse().map_err(|_| {
+                            usage_err(format!("--deadline-ms takes milliseconds, got '{v}'"))
+                        })
+                    })
+                    .transpose()?,
+                chaos_panic,
+                chaos_stall,
+            })
+        }
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
 }
@@ -482,6 +582,48 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     use std::fmt::Write;
     match command {
         Command::Help => Ok(USAGE.to_string()),
+        // Streams events to stdout directly (the one command whose
+        // output is unbounded and interactive); returns nothing.
+        Command::Serve {
+            workers,
+            queue_capacity,
+            cache_dir,
+            memory_budget_mb,
+            max_retries,
+            retry_base_ms,
+            deadline_ms,
+            chaos_panic,
+            chaos_stall,
+        } => {
+            let faults = if chaos_panic.is_empty() && chaos_stall.is_empty() {
+                None
+            } else {
+                let mut plan = rms_parallel::FaultPlan::new();
+                for &seq in chaos_panic {
+                    plan = plan.panic_file(seq);
+                }
+                for &(seq, ms) in chaos_stall {
+                    plan = plan.stall_file(seq, Duration::from_millis(ms));
+                }
+                Some(plan)
+            };
+            let config = rms_serve::ServerConfig {
+                workers: *workers,
+                queue_capacity: *queue_capacity,
+                cache_dir: cache_dir.clone(),
+                memory_budget: memory_budget_mb.map(|mb| mb * 1024 * 1024),
+                retry: RetryPolicy {
+                    max_retries: *max_retries,
+                    base_delay: Duration::from_millis(*retry_base_ms),
+                    ..RetryPolicy::default()
+                },
+                default_deadline_ms: *deadline_ms,
+                faults,
+            };
+            rms_serve::serve_lines(std::io::stdin().lock(), std::io::stdout(), config)
+                .map_err(|e| err(format!("serve transport: {e}")))?;
+            Ok(String::new())
+        }
         Command::Compile {
             input,
             level,
@@ -713,9 +855,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
             let config = EstimatorConfig {
                 dynamic_lb: true,
-                retry: RetryPolicy {
-                    max_retries: *max_retries,
-                },
+                retry: RetryPolicy::with_max_retries(*max_retries),
                 on_failure: *on_failure,
                 collective_timeout: collective_timeout.map(Duration::from_secs_f64),
                 ..EstimatorConfig::default()
@@ -809,6 +949,51 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn serve_args_parse_with_chaos_hooks() {
+        let cmd = parse_args(&argv(
+            "serve --workers 4 --queue-capacity 8 --deadline-ms 500 \
+             --max-retries 2 --retry-base-ms 10 --memory-budget-mb 64 \
+             --chaos-panic 1,3 --chaos-stall 0:200,2:50",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                workers,
+                queue_capacity,
+                memory_budget_mb,
+                max_retries,
+                retry_base_ms,
+                deadline_ms,
+                chaos_panic,
+                chaos_stall,
+                ..
+            } => {
+                assert_eq!(workers, 4);
+                assert_eq!(queue_capacity, 8);
+                assert_eq!(memory_budget_mb, Some(64));
+                assert_eq!(max_retries, 2);
+                assert_eq!(retry_base_ms, 10);
+                assert_eq!(deadline_ms, Some(500));
+                assert_eq!(chaos_panic, vec![1, 3]);
+                assert_eq!(chaos_stall, vec![(0, 200), (2, 50)]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&argv("serve --bogus 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("serve --chaos-stall 3")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("serve --workers 0")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     const MODEL: &str = r#"

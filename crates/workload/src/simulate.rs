@@ -9,8 +9,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, Tape};
 use rms_parallel::Simulator;
 use rms_solver::{
-    solve_rk45, AnalyticJacobian, Bdf, FnRhs, JacobianSource, LinearSolver, OdeRhs, SolverError,
-    SolverOptions, SparsityPattern,
+    AnalyticJacobian, Bdf, CancelToken, FnRhs, JacobianSource, LinearSolver, OdeRhs, Rk45,
+    SolverError, SolverOptions, SparsityPattern,
 };
 
 /// Which right-hand-side evaluator the simulator runs.
@@ -190,6 +190,9 @@ pub struct TapeSimulator {
     jacobian_mode: JacobianMode,
     /// Which right-hand-side evaluator the solvers call.
     engine: EngineMode,
+    /// Cooperative cancellation shared with every solver this simulator
+    /// builds (deadline/shutdown supervision).
+    cancel: Option<CancelToken>,
     /// Primary BDF attempts that failed (fallback chain engaged).
     bdf_failures: AtomicUsize,
     /// Failures recovered by re-running BDF with tightened tolerances.
@@ -262,6 +265,7 @@ impl TapeSimulator {
             jacobian: None,
             jacobian_mode: JacobianMode::default(),
             engine: EngineMode::default(),
+            cancel: None,
             bdf_failures: AtomicUsize::new(0),
             tightened_recoveries: AtomicUsize::new(0),
             rk45_recoveries: AtomicUsize::new(0),
@@ -310,6 +314,14 @@ impl TapeSimulator {
     /// The pre-decoded execution-engine form of the right-hand side.
     pub fn exec_tape(&self) -> &ExecTape {
         &self.exec
+    }
+
+    /// Attach a [`CancelToken`]: every solver built by subsequent
+    /// `simulate` calls checks it at each step boundary, and the fallback
+    /// chain aborts immediately on cancellation instead of retrying with
+    /// a different method.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Observable value for a state vector.
@@ -369,6 +381,9 @@ impl TapeSimulator {
             _ => None,
         };
         let mut solver = Bdf::new(rhs, 0.0, y0, options);
+        if let Some(token) = &self.cancel {
+            solver.set_cancel(token.clone());
+        }
         match (&provider, self.jacobian_mode) {
             (Some(p), _) => solver.set_jacobian_source(JacobianSource::AnalyticTape(p)),
             (None, JacobianMode::FdDense) => {}
@@ -395,8 +410,7 @@ impl TapeSimulator {
         match self.engine {
             EngineMode::Exec => {
                 let rhs = ExecRhs::new(&self.exec, rate_constants);
-                let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
-                Ok(states.iter().map(|y| self.measure(y)).collect())
+                self.integrate_rk45_with(&rhs, y0, times)
             }
             EngineMode::Interp => {
                 let dim = self.tape.n_species;
@@ -405,10 +419,28 @@ impl TapeSimulator {
                     self.tape
                         .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
                 });
-                let (states, _stats) = solve_rk45(&rhs, 0.0, y0, times, self.options)?;
-                Ok(states.iter().map(|y| self.measure(y)).collect())
+                self.integrate_rk45_with(&rhs, y0, times)
             }
         }
+    }
+
+    /// Engine-generic RK45 body (mirrors `solve_rk45`, with cancellation).
+    fn integrate_rk45_with<R: OdeRhs>(
+        &self,
+        rhs: &R,
+        y0: &[f64],
+        times: &[f64],
+    ) -> Result<Vec<f64>, SolverError> {
+        let mut solver = Rk45::new(rhs, 0.0, y0, self.options);
+        if let Some(token) = &self.cancel {
+            solver.set_cancel(token.clone());
+        }
+        let mut out = Vec::with_capacity(times.len());
+        for &t in times {
+            solver.integrate_to(t)?;
+            out.push(self.measure(&solver.y));
+        }
+        Ok(out)
     }
 }
 
@@ -429,6 +461,12 @@ impl Simulator for TapeSimulator {
             Ok(out) => return Ok(out),
             Err(e) => e,
         };
+        // A deadline/shutdown cancellation is not a numerical failure:
+        // retrying with tighter tolerances or RK45 would just burn wall
+        // clock past the deadline. Surface it directly.
+        if primary.is_cancelled() {
+            return Err(primary.to_string());
+        }
         self.bdf_failures.fetch_add(1, Ordering::Relaxed);
         let tightened_options = SolverOptions {
             rtol: self.options.rtol * 1e-2,
@@ -442,6 +480,9 @@ impl Simulator for TapeSimulator {
             }
             Err(e) => e,
         };
+        if tightened.is_cancelled() {
+            return Err(tightened.to_string());
+        }
         match self.integrate_rk45(rate_constants, y0, times) {
             Ok(out) => {
                 self.rk45_recoveries.fetch_add(1, Ordering::Relaxed);

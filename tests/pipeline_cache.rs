@@ -146,6 +146,93 @@ fn disk_cache_revives_identical_artifacts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The single serialized artifact under a cache directory.
+fn cached_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rmsc"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cached artifact");
+    entries.pop().unwrap()
+}
+
+#[test]
+fn corrupt_disk_entries_quarantine_and_fall_back_to_cold() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join(format!("rms-cache-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut options = SessionOptions::new(OptLevel::Full);
+    options.cache_dir = Some(dir.clone());
+
+    cache::clear_memory();
+    let first = compile(Model::Network, options.clone());
+    assert_eq!(first.status, CacheStatus::Cold);
+
+    // Flip one bit in the middle of the payload — deep in f64 territory,
+    // where the pre-checksum format would have revived silently wrong
+    // numbers instead of failing a structural check.
+    let path = cached_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("cached artifact readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("rewrite corrupted artifact");
+
+    let quarantines_before = cache::stats().quarantines;
+    cache::clear_memory();
+    let recovered = compile(Model::Network, options.clone());
+    // Not an error, not a disk hit: a cold compile.
+    assert_eq!(recovered.status, CacheStatus::Cold);
+    assert_identical(&first.artifact, &recovered.artifact, "corrupt-recovery");
+    assert_eq!(cache::stats().quarantines, quarantines_before + 1);
+
+    // The bad bytes were moved aside and a good entry rewritten: the
+    // quarantine file holds the corrupted image, and the next compile
+    // revives from disk again.
+    let quarantined = std::fs::read(format!("{}.corrupt", path.display()))
+        .expect("corrupt entry quarantined beside the cache file");
+    assert_eq!(quarantined, bytes);
+    cache::clear_memory();
+    let revived = compile(Model::Network, options.clone());
+    assert_eq!(revived.status, CacheStatus::Disk);
+
+    // Truncation (a torn write survived somehow) takes the same path.
+    let good = std::fs::read(&path).expect("rewritten artifact readable");
+    std::fs::write(&path, &good[..good.len() / 3]).expect("truncate artifact");
+    cache::clear_memory();
+    let after_truncation = compile(Model::Network, options);
+    assert_eq!(after_truncation.status, CacheStatus::Cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_budget_evicts_least_recently_used() {
+    let _guard = lock();
+    cache::clear_memory();
+    cache::set_memory_budget(None);
+
+    // Two distinct models in memory: the RDL source and the generated
+    // network hash to different keys.
+    let a = compile(Model::RdlSource, SessionOptions::new(OptLevel::Full));
+    let b = compile(Model::Network, SessionOptions::new(OptLevel::Full));
+    let evictions_before = cache::stats().evictions;
+
+    // A budget of exactly the newer artifact: fitting both is
+    // impossible, so the LRU entry (the RDL model) is dropped, and
+    // eviction stops right at the budget with the network model intact.
+    cache::set_memory_budget(Some(b.artifact.approx_bytes()));
+    assert!(cache::stats().evictions > evictions_before);
+    let b_again = compile(Model::Network, SessionOptions::new(OptLevel::Full));
+    assert_eq!(b_again.status, CacheStatus::Memory);
+    assert!(Arc::ptr_eq(&b.artifact, &b_again.artifact));
+    let a_again = compile(Model::RdlSource, SessionOptions::new(OptLevel::Full));
+    assert_eq!(a_again.status, CacheStatus::Cold);
+    assert!(!Arc::ptr_eq(&a.artifact, &a_again.artifact));
+
+    cache::set_memory_budget(None);
+}
+
 #[test]
 fn report_reproduces_table1_op_counts() {
     let _guard = lock();
