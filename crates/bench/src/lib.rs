@@ -42,6 +42,16 @@ pub fn compile_case_deriv(model: &VulcanizationModel, level: OptLevel) -> SuiteM
     compile_with(model, options)
 }
 
+/// [`compile_case`] with the *Deriv* stage and the parameter-sensitivity
+/// tapes on: the artifact carries both the analytic sparse Jacobian and
+/// the `∂f/∂p` tapes the sensitivity-augmented BDF integration needs.
+pub fn compile_case_sens(model: &VulcanizationModel, level: OptLevel) -> SuiteModel {
+    let mut options = SessionOptions::new(level);
+    options.deriv = true;
+    options.sensitivity = true;
+    compile_with(model, options)
+}
+
 /// Build the (un)merged ODE system for a model through the session: a
 /// passes-off pipeline (equation generation plus bare lowering) with the
 /// generator's §3.1 merging switched explicitly.

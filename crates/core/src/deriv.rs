@@ -22,7 +22,9 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::cse::{cse_forest, CseOptions};
 use crate::expr::{Coeff, Expr, ExprForest, TempId};
-use crate::tape::{compact_registers_pair, lower_split, Tape};
+use crate::tape::{
+    compact_registers_multi, compact_registers_pair, lower_split, lower_split_multi, Tape,
+};
 
 /// The compiler's full output for an implicit solver: the RHS tape plus
 /// a CSE-shared analytic Jacobian tape over one register file.
@@ -158,6 +160,221 @@ pub fn compile_jacobian(forest: &ExprForest, cse: Option<CseOptions>) -> Jacobia
     }
 }
 
+/// The compiler's full output for a forward-sensitivity solver: the RHS,
+/// the state Jacobian `∂f/∂y`, and the parameter gradient `∂f/∂p` (with
+/// the kinetic rate constants as the parameters), three tapes over one
+/// register file. The parameter tape runs *last*, so an implicit solver
+/// that only wants a Jacobian refresh can stop after the first two.
+#[derive(Debug, Clone)]
+pub struct SensitivityTapes {
+    /// RHS program: `ydot[i] = f_i(y)`.
+    pub rhs: Tape,
+    /// State-Jacobian program; output `e` is `∂f_i/∂y_j` for
+    /// `jac_entries[e] = (i, j)`. Runs right after [`rhs`] on the same
+    /// scratch file.
+    ///
+    /// [`rhs`]: SensitivityTapes::rhs
+    pub jac: Tape,
+    /// Parameter-gradient program; output `e` is `∂f_i/∂p_k` for
+    /// `dfdp_entries[e] = (i, k)` with `p_k` the `k`-th rate constant.
+    /// Runs right after [`jac`] on the same scratch file.
+    ///
+    /// [`jac`]: SensitivityTapes::jac
+    pub dfdp: Tape,
+    /// `(row, column)` of each state-Jacobian output, row-major with
+    /// columns ascending — the exact structural sparsity.
+    pub jac_entries: Vec<(u32, u32)>,
+    /// `(species row, rate index)` of each parameter-gradient output,
+    /// row-major with rate indices ascending within a row.
+    pub dfdp_entries: Vec<(u32, u32)>,
+    /// State dimension.
+    pub n_species: usize,
+    /// Parameter count (rate constants).
+    pub n_rates: usize,
+}
+
+impl SensitivityTapes {
+    /// Structural nonzeros of the state Jacobian.
+    pub fn jac_nnz(&self) -> usize {
+        self.jac_entries.len()
+    }
+
+    /// Structural nonzeros of `∂f/∂p`.
+    pub fn dfdp_nnz(&self) -> usize {
+        self.dfdp_entries.len()
+    }
+
+    /// Per-row column lists of the state Jacobian (the shape
+    /// `SparsityPattern::new` takes).
+    pub fn pattern_rows(&self) -> Vec<Vec<u32>> {
+        let mut rows = vec![Vec::new(); self.n_species];
+        for &(i, j) in &self.jac_entries {
+            rows[i as usize].push(j);
+        }
+        rows
+    }
+
+    /// Evaluate the RHS and state-Jacobian tapes only (what an implicit
+    /// solver's Jacobian refresh needs): `ydot` receives the RHS,
+    /// `jac_vals` the Jacobian nonzeros in `jac_entries` order.
+    pub fn eval_rhs_jac(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        jac_vals: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        self.rhs.eval_with_scratch(rates, y, ydot, regs);
+        self.jac.eval_with_scratch(rates, y, jac_vals, regs);
+    }
+
+    /// Evaluate all three tapes: additionally fills `dfdp_vals` with the
+    /// `∂f/∂p` nonzeros (length [`dfdp_nnz`](SensitivityTapes::dfdp_nnz),
+    /// in `dfdp_entries` order). The shared `regs` scratch is what lets
+    /// each later tape read every subexpression already computed.
+    pub fn eval_all(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        jac_vals: &mut [f64],
+        dfdp_vals: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        self.rhs.eval_with_scratch(rates, y, ydot, regs);
+        self.jac.eval_with_scratch(rates, y, jac_vals, regs);
+        self.dfdp.eval_with_scratch(rates, y, dfdp_vals, regs);
+    }
+
+    /// Resume an [`eval_rhs_jac`](SensitivityTapes::eval_rhs_jac) pass:
+    /// evaluate only the `dfdp` tape over the register file that pass
+    /// filled. The caller must guarantee `regs` comes from an
+    /// `eval_rhs_jac`/`eval_all` call at the same `(rates, y)` — the
+    /// dfdp group reads subexpressions those groups computed.
+    pub fn eval_dfdp_resumed(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        dfdp_vals: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        self.dfdp.eval_with_scratch(rates, y, dfdp_vals, regs);
+    }
+}
+
+/// Differentiate a forest with respect to both the state *and* the rate
+/// constants: returns a combined forest whose outputs are, in order, the
+/// (temp-renumbered) right-hand sides, the structurally nonzero state-
+/// Jacobian entries, and the structurally nonzero `∂f/∂p` entries, plus
+/// the index lists of both entry groups.
+#[allow(clippy::type_complexity)]
+pub fn differentiate_forest_sensitivity(
+    forest: &ExprForest,
+) -> (ExprForest, Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    let m = forest.temps.len();
+    // Species and rate support of every temp, transitively.
+    let mut temp_support: Vec<BTreeSet<u32>> = Vec::with_capacity(m);
+    let mut temp_rates: Vec<BTreeSet<u32>> = Vec::with_capacity(m);
+    for body in &forest.temps {
+        temp_support.push(support(body, &temp_support));
+        temp_rates.push(rate_support(body, &temp_rates));
+    }
+    // Output-space temps: each input temp, immediately followed by its
+    // state-derivative temps, then its rate-derivative temps, so
+    // write-before-read order is preserved.
+    let mut new_temps: Vec<Expr> = Vec::new();
+    let mut temp_map: Vec<TempId> = Vec::with_capacity(m);
+    let mut dmap: HashMap<(u32, u32), TempId> = HashMap::new();
+    let mut pmap: HashMap<(u32, u32), TempId> = HashMap::new();
+    for (k, body) in forest.temps.iter().enumerate() {
+        let id = TempId(new_temps.len() as u32);
+        new_temps.push(remap_temp_ids(body, &temp_map));
+        temp_map.push(id);
+        for &j in &temp_support[k] {
+            let d = diff(body, j, &temp_map, &dmap);
+            if !is_zero(&d) {
+                let did = TempId(new_temps.len() as u32);
+                new_temps.push(d);
+                dmap.insert((k as u32, j), did);
+            }
+        }
+        for &r in &temp_rates[k] {
+            let d = diff_rate(body, r, &temp_map, &pmap);
+            if !is_zero(&d) {
+                let did = TempId(new_temps.len() as u32);
+                new_temps.push(d);
+                pmap.insert((k as u32, r), did);
+            }
+        }
+    }
+    let mut rhs: Vec<Expr> = forest
+        .rhs
+        .iter()
+        .map(|e| remap_temp_ids(e, &temp_map))
+        .collect();
+    let mut jac_entries: Vec<(u32, u32)> = Vec::new();
+    for (i, e) in forest.rhs.iter().enumerate() {
+        for j in support(e, &temp_support) {
+            let d = diff(e, j, &temp_map, &dmap);
+            if !is_zero(&d) {
+                jac_entries.push((i as u32, j));
+                rhs.push(d);
+            }
+        }
+    }
+    let mut dfdp_entries: Vec<(u32, u32)> = Vec::new();
+    for (i, e) in forest.rhs.iter().enumerate() {
+        for r in rate_support(e, &temp_rates) {
+            let d = diff_rate(e, r, &temp_map, &pmap);
+            if !is_zero(&d) {
+                dfdp_entries.push((i as u32, r));
+                rhs.push(d);
+            }
+        }
+    }
+    (
+        ExprForest {
+            temps: new_temps,
+            rhs,
+            n_species: forest.n_species,
+            n_rates: forest.n_rates,
+        },
+        jac_entries,
+        dfdp_entries,
+    )
+}
+
+/// Compile a forest into RHS + state-Jacobian + `∂f/∂p` tapes for
+/// forward sensitivity analysis.
+///
+/// With `cse` set, the combined forest is re-CSE'd so subexpressions are
+/// shared across all three output groups; the split lowering then places
+/// each temporary on the first tape that needs it and compacts one
+/// register file across the triple.
+pub fn compile_sensitivity(forest: &ExprForest, cse: Option<CseOptions>) -> SensitivityTapes {
+    let (combined, jac_entries, dfdp_entries) = differentiate_forest_sensitivity(forest);
+    let combined = match cse {
+        Some(options) => cse_forest(&combined, options),
+        None => combined,
+    };
+    let counts = [forest.n_species, jac_entries.len(), dfdp_entries.len()];
+    let tapes = lower_split_multi(&combined, &counts);
+    let mut tapes = compact_registers_multi(&[&tapes[0], &tapes[1], &tapes[2]]);
+    let dfdp = tapes.pop().expect("three tapes");
+    let jac = tapes.pop().expect("three tapes");
+    let rhs = tapes.pop().expect("three tapes");
+    SensitivityTapes {
+        rhs,
+        jac,
+        dfdp,
+        jac_entries,
+        dfdp_entries,
+        n_species: forest.n_species,
+        n_rates: forest.n_rates,
+    }
+}
+
 fn is_zero(e: &Expr) -> bool {
     matches!(e, Expr::Const(Coeff(v)) if *v == 0.0)
 }
@@ -186,6 +403,33 @@ fn collect_support(expr: &Expr, temp_support: &[BTreeSet<u32>], out: &mut BTreeS
             }
         }
         Expr::Const(_) | Expr::Rate(_) => {}
+    }
+}
+
+/// Rate constants a value depends on (through temp references).
+fn rate_support(expr: &Expr, temp_rates: &[BTreeSet<u32>]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    collect_rate_support(expr, temp_rates, &mut out);
+    out
+}
+
+fn collect_rate_support(expr: &Expr, temp_rates: &[BTreeSet<u32>], out: &mut BTreeSet<u32>) {
+    match expr {
+        Expr::Rate(r) => {
+            out.insert(*r);
+        }
+        Expr::Temp(t) => out.extend(temp_rates[t.0 as usize].iter().copied()),
+        Expr::Prod(_, factors) => {
+            for f in factors {
+                collect_rate_support(f, temp_rates, out);
+            }
+        }
+        Expr::Sum(children) => {
+            for c in children {
+                collect_rate_support(c, temp_rates, out);
+            }
+        }
+        Expr::Const(_) | Expr::Species(_) => {}
     }
 }
 
@@ -247,6 +491,47 @@ fn diff(expr: &Expr, j: u32, temp_map: &[TempId], dmap: &HashMap<(u32, u32), Tem
             children
                 .iter()
                 .map(|c| diff(c, j, temp_map, dmap))
+                .collect(),
+        ),
+    }
+}
+
+/// `∂expr/∂p_r` (rate constant `r`) with `expr` in the input temp-id
+/// space and the result in the output space: value temps go through
+/// `temp_map`, derivatives of temps resolve through `pmap` (absent =
+/// identically zero). Mirrors [`diff`] with the roles of `Species` and
+/// `Rate` atoms exchanged: states do not depend on the parameters here
+/// (that coupling is the `J·s` term the sensitivity ODE adds back).
+fn diff_rate(expr: &Expr, r: u32, temp_map: &[TempId], pmap: &HashMap<(u32, u32), TempId>) -> Expr {
+    match expr {
+        Expr::Const(_) | Expr::Species(_) => Expr::constant(0.0),
+        Expr::Rate(i) => Expr::constant(if *i == r { 1.0 } else { 0.0 }),
+        Expr::Temp(t) => match pmap.get(&(t.0, r)) {
+            Some(&d) => Expr::Temp(d),
+            None => Expr::constant(0.0),
+        },
+        Expr::Prod(Coeff(c), factors) => {
+            let mut terms = Vec::new();
+            for (k, fk) in factors.iter().enumerate() {
+                let dk = diff_rate(fk, r, temp_map, pmap);
+                if is_zero(&dk) {
+                    continue;
+                }
+                let mut fs = Vec::with_capacity(factors.len());
+                fs.push(dk);
+                for (l, fl) in factors.iter().enumerate() {
+                    if l != k {
+                        fs.push(remap_temp_ids(fl, temp_map));
+                    }
+                }
+                terms.push(Expr::prod(*c, fs));
+            }
+            Expr::sum(terms)
+        }
+        Expr::Sum(children) => Expr::sum(
+            children
+                .iter()
+                .map(|c| diff_rate(c, r, temp_map, pmap))
                 .collect(),
         ),
     }
@@ -466,6 +751,124 @@ mod tests {
         );
         // Both register files are shared between the tape pair.
         assert_eq!(shared.rhs.n_regs, shared.jac.n_regs);
+    }
+
+    /// Central finite difference of the forest w.r.t. a rate constant.
+    fn fd_rate_entry(f: &ExprForest, rates: &[f64], y: &[f64], i: usize, r: usize) -> f64 {
+        let h = 1e-6 * rates[r].abs().max(1.0);
+        let mut rp = rates.to_vec();
+        let mut rm = rates.to_vec();
+        rp[r] += h;
+        rm[r] -= h;
+        let mut fp = vec![0.0; f.rhs.len()];
+        let mut fm = vec![0.0; f.rhs.len()];
+        f.eval_into(&rp, y, &mut fp);
+        f.eval_into(&rm, y, &mut fm);
+        (fp[i] - fm[i]) / (2.0 * h)
+    }
+
+    #[test]
+    fn rate_derivatives_exact() {
+        // f0 = -k0*y0*y1, f1 = k0*y0*y1 - k1*y1
+        let f = forest(
+            vec![
+                term(-1.0, 0, &[0, 1]),
+                Expr::sum(vec![term(1.0, 0, &[0, 1]), term(-1.0, 1, &[1])]),
+            ],
+            2,
+        );
+        let tapes = compile_sensitivity(&f, None);
+        assert_eq!(tapes.jac_entries, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(tapes.dfdp_entries, vec![(0, 0), (1, 0), (1, 1)]);
+        let rates = [2.0, 3.0];
+        let y = [5.0, 7.0];
+        let mut ydot = vec![0.0; 2];
+        let mut jac_vals = vec![0.0; tapes.jac_nnz()];
+        let mut dfdp_vals = vec![0.0; tapes.dfdp_nnz()];
+        let mut regs = Vec::new();
+        tapes.eval_all(
+            &rates,
+            &y,
+            &mut ydot,
+            &mut jac_vals,
+            &mut dfdp_vals,
+            &mut regs,
+        );
+        // ∂f0/∂k0 = -y0*y1; ∂f1/∂k0 = y0*y1; ∂f1/∂k1 = -y1.
+        assert_eq!(dfdp_vals[0], -5.0 * 7.0);
+        assert_eq!(dfdp_vals[1], 5.0 * 7.0);
+        assert_eq!(dfdp_vals[2], -7.0);
+        // The RHS and Jacobian outputs agree with the jacobian-only compile.
+        let jt = compile_jacobian(&f, None);
+        let mut ydot2 = vec![0.0; 2];
+        let mut vals2 = vec![0.0; jt.nnz()];
+        let mut regs2 = Vec::new();
+        jt.eval_with_scratch(&rates, &y, &mut ydot2, &mut vals2, &mut regs2);
+        assert_eq!(ydot, ydot2);
+        assert_eq!(jac_vals, vals2);
+    }
+
+    #[test]
+    fn sensitivity_tapes_match_fd_on_random_forests() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for round in 0..20 {
+            let n = rng.gen_range(2..6);
+            let f = forest(
+                (0..n)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..5))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..n as u32))
+                                        .collect();
+                                    let sign = if rng.gen_range(0..2) == 0 { 1.0 } else { -1.0 };
+                                    term(
+                                        sign * rng.gen_range(1..3) as f64,
+                                        rng.gen_range(0..4),
+                                        &sp,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+                n,
+            );
+            // Optimize first so the input forest has temps to chain through.
+            let optimized = cse_forest(
+                &crate::distopt::distribute_forest(&f),
+                CseOptions::default(),
+            );
+            let tapes = compile_sensitivity(&optimized, Some(CseOptions::default()));
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let mut ydot = vec![0.0; n];
+            let mut jac_vals = vec![0.0; tapes.jac_nnz()];
+            let mut dfdp_vals = vec![0.0; tapes.dfdp_nnz()];
+            let mut regs = Vec::new();
+            tapes.eval_all(
+                &rates,
+                &y,
+                &mut ydot,
+                &mut jac_vals,
+                &mut dfdp_vals,
+                &mut regs,
+            );
+            for (e, &(i, r)) in tapes.dfdp_entries.iter().enumerate() {
+                let fd = fd_rate_entry(&f, &rates, &y, i as usize, r as usize);
+                assert!(
+                    (dfdp_vals[e] - fd).abs() <= 1e-5 * fd.abs().max(1.0),
+                    "round {round} ∂f{i}/∂k{r}: analytic {} vs fd {fd}",
+                    dfdp_vals[e]
+                );
+            }
+            // Shared register file across the triple.
+            assert_eq!(tapes.rhs.n_regs, tapes.jac.n_regs);
+            assert_eq!(tapes.rhs.n_regs, tapes.dfdp.n_regs);
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod simplify;
 pub mod tape;
 
 pub use cse::{cse_forest, CseOptions};
-pub use deriv::{compile_jacobian, differentiate_forest, JacobianTapes};
+pub use deriv::{
+    compile_jacobian, compile_sensitivity, differentiate_forest, differentiate_forest_sensitivity,
+    JacobianTapes, SensitivityTapes,
+};
 pub use distopt::{distribute_expr, distribute_forest};
 pub use emit_c::emit_c;
 pub use exec::{ExecFrame, ExecInstr, ExecTape, FMA_CONTRACTS, LANES};
@@ -48,6 +51,6 @@ pub use pipeline::{
 };
 pub use simplify::{simplify_expr, simplify_forest};
 pub use tape::{
-    compact_registers, compact_registers_pair, forward_copies, lower, lower_split,
-    species_dependencies, validate_program, Instr, Operand, Tape,
+    compact_registers, compact_registers_multi, compact_registers_pair, forward_copies, lower,
+    lower_split, lower_split_multi, species_dependencies, validate_program, Instr, Operand, Tape,
 };

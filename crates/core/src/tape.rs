@@ -616,6 +616,25 @@ pub fn lower(forest: &ExprForest) -> Tape {
 /// Jacobian tape reuses the RHS tape's subexpressions. Temporaries
 /// referenced by no output are skipped entirely.
 pub fn lower_split(forest: &ExprForest, n_primary: usize) -> (Tape, Tape) {
+    let mut tapes = lower_split_multi(forest, &[n_primary, forest.rhs.len() - n_primary]);
+    let second = tapes.pop().expect("two groups");
+    let first = tapes.pop().expect("two groups");
+    (first, second)
+}
+
+/// [`lower_split`] generalized to any number of back-to-back output
+/// groups over one register file: `counts[g]` outputs go to group `g`
+/// (store indices rebased to 0 within each group). Temporaries are
+/// placed on the earliest tape whose outputs reach them, so every later
+/// tape reads the registers of everything that ran before it. This is
+/// how the sensitivity tape `∂f/∂p` reuses the subexpressions of both
+/// the RHS and the Jacobian tapes.
+pub fn lower_split_multi(forest: &ExprForest, counts: &[usize]) -> Vec<Tape> {
+    assert_eq!(
+        counts.iter().sum::<usize>(),
+        forest.rhs.len(),
+        "group counts must cover every forest output"
+    );
     let m = forest.temps.len();
     // Transitive temp reachability from each output group.
     let reach = |roots: &[Expr]| -> Vec<bool> {
@@ -633,8 +652,11 @@ pub fn lower_split(forest: &ExprForest, n_primary: usize) -> (Tape, Tape) {
         }
         seen
     };
-    let primary = reach(&forest.rhs[..n_primary]);
-    let secondary = reach(&forest.rhs[n_primary..]);
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    offsets.push(0usize);
+    for &c in counts {
+        offsets.push(offsets.last().expect("non-empty") + c);
+    }
     let mut b = Builder {
         tape: Tape {
             instrs: Vec::new(),
@@ -646,48 +668,54 @@ pub fn lower_split(forest: &ExprForest, n_primary: usize) -> (Tape, Tape) {
         // temp lowered out of dependency order.
         temp_slots: vec![Operand::Const(f64::NAN); m],
     };
-    for (k, temp) in forest.temps.iter().enumerate() {
-        if primary[k] {
-            let op = b.lower_expr(temp);
-            b.temp_slots[k] = op;
+    let mut lowered = vec![false; m];
+    let mut boundaries = Vec::with_capacity(counts.len());
+    for g in 0..counts.len() {
+        let group = &forest.rhs[offsets[g]..offsets[g + 1]];
+        let wanted = reach(group);
+        for (k, temp) in forest.temps.iter().enumerate() {
+            if wanted[k] && !lowered[k] {
+                let op = b.lower_expr(temp);
+                b.temp_slots[k] = op;
+                lowered[k] = true;
+            }
         }
-    }
-    for (i, e) in forest.rhs[..n_primary].iter().enumerate() {
-        let op = b.lower_expr(e);
-        b.tape.instrs.push(Instr::Store {
-            idx: i as u32,
-            a: op,
-        });
-    }
-    let boundary = b.tape.instrs.len();
-    for (k, temp) in forest.temps.iter().enumerate() {
-        if secondary[k] && !primary[k] {
-            let op = b.lower_expr(temp);
-            b.temp_slots[k] = op;
+        for (i, e) in group.iter().enumerate() {
+            let op = b.lower_expr(e);
+            b.tape.instrs.push(Instr::Store {
+                idx: i as u32,
+                a: op,
+            });
         }
-    }
-    for (i, e) in forest.rhs[n_primary..].iter().enumerate() {
-        let op = b.lower_expr(e);
-        b.tape.instrs.push(Instr::Store {
-            idx: i as u32,
-            a: op,
-        });
+        boundaries.push(b.tape.instrs.len());
     }
     let n_regs = b.tape.n_regs;
-    let second = Tape {
-        instrs: b.tape.instrs.split_off(boundary),
+    let mut instrs = b.tape.instrs;
+    let mut tapes: Vec<Tape> = Vec::with_capacity(counts.len());
+    for g in (1..counts.len()).rev() {
+        let tail = instrs.split_off(boundaries[g - 1]);
+        tapes.push(Tape {
+            instrs: tail,
+            n_regs,
+            n_species: forest.n_species,
+            n_rates: forest.n_rates,
+        });
+    }
+    tapes.push(Tape {
+        instrs,
         n_regs,
         n_species: forest.n_species,
         n_rates: forest.n_rates,
-    };
+    });
+    tapes.reverse();
     #[cfg(debug_assertions)]
-    if let Err(e) = validate_program(&[
-        (&b.tape, n_primary),
-        (&second, forest.rhs.len() - n_primary),
-    ]) {
-        panic!("lower_split produced an invalid tape pair: {e}");
+    {
+        let program: Vec<(&Tape, usize)> = tapes.iter().zip(counts.iter().copied()).collect();
+        if let Err(e) = validate_program(&program) {
+            panic!("lower_split_multi produced an invalid tape sequence: {e}");
+        }
     }
-    (b.tape, second)
+    tapes
 }
 
 fn collect_temp_refs(expr: &Expr, out: &mut Vec<u32>) {
@@ -715,26 +743,52 @@ fn collect_temp_refs(expr: &Expr, out: &mut Vec<u32>) {
 /// Requires copy-free input (true of [`lower_split`]) so the instruction
 /// count — and with it the split point — is preserved.
 pub fn compact_registers_pair(first: &Tape, second: &Tape) -> (Tape, Tape) {
+    let mut tapes = compact_registers_multi(&[first, second]);
+    let second_out = tapes.pop().expect("two tapes");
+    let first_out = tapes.pop().expect("two tapes");
+    (first_out, second_out)
+}
+
+/// [`compact_registers_pair`] for any number of tapes executing
+/// back-to-back on one scratch file ([`lower_split_multi`] output):
+/// liveness flows across every boundary, so values a later tape still
+/// needs keep their slots while everything else is reused.
+pub fn compact_registers_multi(tapes: &[&Tape]) -> Vec<Tape> {
     debug_assert!(
-        first
-            .instrs
+        tapes
             .iter()
-            .chain(&second.instrs)
+            .flat_map(|t| &t.instrs)
             .all(|i| !matches!(i, Instr::Copy { .. })),
         "joint compaction expects copy-free tapes"
     );
-    let mut merged = first.clone();
-    merged.n_regs = first.n_regs.max(second.n_regs);
-    merged.instrs.extend_from_slice(&second.instrs);
-    let mut compacted = compact_registers(&merged);
-    let tail = compacted.instrs.split_off(first.instrs.len());
-    let second_out = Tape {
-        instrs: tail,
-        n_regs: compacted.n_regs,
-        n_species: second.n_species,
-        n_rates: second.n_rates,
-    };
-    (compacted, second_out)
+    let first = tapes.first().expect("at least one tape");
+    let mut merged = (*first).clone();
+    merged.n_regs = tapes.iter().map(|t| t.n_regs).max().unwrap_or(0);
+    for t in &tapes[1..] {
+        merged.instrs.extend_from_slice(&t.instrs);
+    }
+    let compacted = compact_registers(&merged);
+    let n_regs = compacted.n_regs;
+    let mut instrs = compacted.instrs;
+    let mut out: Vec<Tape> = Vec::with_capacity(tapes.len());
+    for (g, t) in tapes.iter().enumerate().skip(1).rev() {
+        let boundary: usize = tapes[..g].iter().map(|t| t.instrs.len()).sum();
+        let tail = instrs.split_off(boundary);
+        out.push(Tape {
+            instrs: tail,
+            n_regs,
+            n_species: t.n_species,
+            n_rates: t.n_rates,
+        });
+    }
+    out.push(Tape {
+        instrs,
+        n_regs,
+        n_species: first.n_species,
+        n_rates: first.n_rates,
+    });
+    out.reverse();
+    out
 }
 
 struct Builder {

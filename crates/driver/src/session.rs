@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rms_core::{
-    compile_jacobian, optimize_traced, CompiledOde, CseOptions, ExecTape, JacobianTapes, OptLevel,
-    PassTrace, Passes,
+    compile_jacobian, compile_sensitivity, optimize_traced, CompiledOde, CseOptions, ExecTape,
+    JacobianTapes, OptLevel, PassTrace, Passes, SensitivityTapes,
 };
 use rms_odegen::{generate, GenerateOptions, OdeSystem};
 use rms_rcip::RateTable;
@@ -44,6 +44,10 @@ pub struct SessionOptions {
     /// Also compile the analytic sparse Jacobian tapes (the *Deriv*
     /// stage).
     pub deriv: bool,
+    /// Also compile the parameter-sensitivity tapes (RHS + Jacobian +
+    /// `∂f/∂p` sharing one register file), part of the *Deriv* stage:
+    /// enables one-solve residual Jacobians in the estimator.
+    pub sensitivity: bool,
     /// Pre-decode the lowered tape into an [`ExecTape`] (the
     /// *ExecDecode* stage). On by default: the execution engine is the
     /// runtime default.
@@ -68,6 +72,7 @@ impl SessionOptions {
             passes: None,
             gen_simplify: None,
             deriv: false,
+            sensitivity: false,
             decode: true,
             cache: CacheMode::default(),
             cache_dir: None,
@@ -117,6 +122,7 @@ impl SessionOptions {
         }
         self.effective_gen_simplify().hash(h);
         self.deriv.hash(h);
+        self.sensitivity.hash(h);
         self.decode.hash(h);
     }
 }
@@ -137,6 +143,10 @@ pub struct CompiledArtifact {
     pub compiled: CompiledOde,
     /// Analytic sparse Jacobian tapes, when the *Deriv* stage ran.
     pub jacobian: Option<JacobianTapes>,
+    /// Parameter-sensitivity tapes (RHS + Jacobian + `∂f/∂p`), when
+    /// requested. Not persisted to disk; revived artifacts recompile them
+    /// from the forest.
+    pub sensitivity: Option<SensitivityTapes>,
     /// Pre-decoded execution tape, when the *ExecDecode* stage ran.
     pub exec: Option<ExecTape>,
     /// Per-stage instrumentation of the compile that built this artifact.
@@ -161,6 +171,12 @@ impl CompiledArtifact {
         total += tape(&self.compiled.tape);
         if let Some(j) = &self.jacobian {
             total += tape(&j.rhs) + tape(&j.jac) + 8 * j.entries.len() as u64;
+        }
+        if let Some(s) = &self.sensitivity {
+            total += tape(&s.rhs)
+                + tape(&s.jac)
+                + tape(&s.dfdp)
+                + 8 * (s.jac_entries.len() + s.dfdp_entries.len()) as u64;
         }
         if let Some(exec) = &self.exec {
             total += INSTR * exec.len() as u64;
@@ -442,24 +458,41 @@ impl CompilerSession {
         records.insert(insert_at, odegen_record);
         dump.offer(Stage::Lower, || compiled.tape.to_string());
 
-        let jacobian = if self.options.deriv {
+        let (jacobian, sensitivity) = if self.options.deriv || self.options.sensitivity {
             let clock = Instant::now();
-            let tapes = compile_jacobian(&compiled.forest, Some(CseOptions::default()));
-            // Sparse-Newton symbolic analysis of I − hβJ over the exact
-            // compiled sparsity: the fill the stiff solver's sparse path
-            // will carry (nnz(L+U) under the fill-reducing ordering).
-            let jac_pattern =
-                rms_solver::SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
-            let iter_pattern = rms_solver::iteration_matrix_pattern(&jac_pattern);
-            let lu_fill = rms_solver::SymbolicLu::analyze(&iter_pattern)
-                .map(|sym| sym.fill_nnz())
-                .unwrap_or(0);
-            let record = StageRecord::new(Stage::Deriv, clock.elapsed().as_secs_f64())
-                .metric("nnz", tapes.entries.len() as f64)
-                .metric("rhs_instrs", tapes.rhs.instrs.len() as f64)
-                .metric("jac_instrs", tapes.jac.instrs.len() as f64)
-                .metric("iter_nnz", iter_pattern.nnz() as f64)
-                .metric("lu_fill_nnz", lu_fill as f64);
+            let jacobian = self
+                .options
+                .deriv
+                .then(|| compile_jacobian(&compiled.forest, Some(CseOptions::default())));
+            let sensitivity = self
+                .options
+                .sensitivity
+                .then(|| compile_sensitivity(&compiled.forest, Some(CseOptions::default())));
+            let mut record = StageRecord::new(Stage::Deriv, clock.elapsed().as_secs_f64());
+            if let Some(tapes) = &jacobian {
+                // Sparse-Newton symbolic analysis of I − hβJ over the exact
+                // compiled sparsity: the fill the stiff solver's sparse path
+                // will carry (nnz(L+U) under the fill-reducing ordering).
+                let jac_pattern =
+                    rms_solver::SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+                let iter_pattern = rms_solver::iteration_matrix_pattern(&jac_pattern);
+                let lu_fill = rms_solver::SymbolicLu::analyze(&iter_pattern)
+                    .map(|sym| sym.fill_nnz())
+                    .unwrap_or(0);
+                record = record
+                    .metric("nnz", tapes.entries.len() as f64)
+                    .metric("rhs_instrs", tapes.rhs.instrs.len() as f64)
+                    .metric("jac_instrs", tapes.jac.instrs.len() as f64)
+                    .metric("iter_nnz", iter_pattern.nnz() as f64)
+                    .metric("lu_fill_nnz", lu_fill as f64);
+            }
+            if let Some(tapes) = &sensitivity {
+                record = record
+                    .metric("dfdp_nnz", tapes.dfdp_entries.len() as f64)
+                    .metric("dfdp_instrs", tapes.dfdp.instrs.len() as f64)
+                    .metric("sens_rhs_instrs", tapes.rhs.instrs.len() as f64)
+                    .metric("sens_jac_instrs", tapes.jac.instrs.len() as f64);
+            }
             // Deriv sits between Cse and Lower in the stage order.
             let at = records
                 .iter()
@@ -468,18 +501,28 @@ impl CompilerSession {
             records.insert(at, record);
             dump.offer(Stage::Deriv, || {
                 let mut out = String::new();
-                out.push_str(&format!(
-                    "; jacobian: {} nonzero entries {:?}\n; shared rhs tape:\n{}",
-                    tapes.entries.len(),
-                    tapes.entries,
-                    tapes.rhs
-                ));
-                out.push_str(&format!("; jac tape:\n{}", tapes.jac));
+                if let Some(tapes) = &jacobian {
+                    out.push_str(&format!(
+                        "; jacobian: {} nonzero entries {:?}\n; shared rhs tape:\n{}",
+                        tapes.entries.len(),
+                        tapes.entries,
+                        tapes.rhs
+                    ));
+                    out.push_str(&format!("; jac tape:\n{}", tapes.jac));
+                }
+                if let Some(tapes) = &sensitivity {
+                    out.push_str(&format!(
+                        "; dfdp: {} nonzero (species, rate) entries {:?}\n; dfdp tape:\n{}",
+                        tapes.dfdp_entries.len(),
+                        tapes.dfdp_entries,
+                        tapes.dfdp
+                    ));
+                }
                 out
             });
-            Some(tapes)
+            (jacobian, sensitivity)
         } else {
-            None
+            (None, None)
         };
 
         let exec = if self.options.decode {
@@ -522,6 +565,7 @@ impl CompilerSession {
             system,
             compiled,
             jacobian,
+            sensitivity,
             exec,
             report,
             key,
@@ -562,6 +606,11 @@ impl CompilerSession {
                 Some(CseOptions::default()),
             )),
         };
+        // Sensitivity tapes are never persisted; recompile on revival.
+        let sensitivity = self
+            .options
+            .sensitivity
+            .then(|| compile_sensitivity(&compiled.forest, Some(CseOptions::default())));
         let exec = self
             .options
             .decode
@@ -573,6 +622,7 @@ impl CompilerSession {
             system,
             compiled,
             jacobian,
+            sensitivity,
             exec,
             report,
             key,

@@ -14,5 +14,5 @@ pub mod residual;
 pub mod stats;
 
 pub use lm::{optimize, LmOptions, LmResult, NloptError, StopReason};
-pub use residual::{FnResidual, Residual};
+pub use residual::{bounded_fd_step, fd_residual_jacobian, FnResidual, Residual};
 pub use stats::FitStatistics;

@@ -141,43 +141,24 @@ pub fn optimize<R: Residual>(
     let mut iterations = 0usize;
 
     let mut jac = Matrix::zeros(m, n);
-    let mut r_pert = vec![0.0; m];
 
     'outer: for iter in 0..options.max_iters {
         iterations = iter + 1;
 
-        // Forward-difference Jacobian, stepping inward at the upper bound.
-        let mut eval_failed = false;
-        for j in 0..n {
-            // MINPACK-style step: relative to |p|, absolute at 0 (a
-            // vanishing step would cancel against O(1) residuals).
-            let scale = if p[j] != 0.0 { p[j].abs() } else { 1.0 };
-            let mut h = options.fd_step * scale;
-            if p[j] + h > hi[j] {
-                h = -h;
+        // Residual Jacobian: analytic when the residual provides one
+        // (O(1) solves), else the bound-aware FD default (one eval per
+        // parameter, never stepping outside [lo, hi]).
+        match residual.jacobian(&p, &r, lo, hi, options.fd_step, jac.data_mut()) {
+            Ok(evals) => fevals += evals,
+            Err(_) => {
+                // Can't linearize here; treat as a failed step region.
+                lambda *= 10.0;
+                if lambda > 1e12 {
+                    stop = StopReason::StepTolerance;
+                    break;
+                }
+                continue;
             }
-            let saved = p[j];
-            p[j] += h;
-            let h_actual = p[j] - saved;
-            if residual.eval(&p, &mut r_pert).is_err() {
-                eval_failed = true;
-                p[j] = saved;
-                break;
-            }
-            fevals += 1;
-            for i in 0..m {
-                jac[(i, j)] = (r_pert[i] - r[i]) / h_actual;
-            }
-            p[j] = saved;
-        }
-        if eval_failed {
-            // Can't linearize here; treat as a failed step region.
-            lambda *= 10.0;
-            if lambda > 1e12 {
-                stop = StopReason::StepTolerance;
-                break;
-            }
-            continue;
         }
         jevals += 1;
 
@@ -244,7 +225,13 @@ pub fn optimize<R: Residual>(
                 continue;
             };
             let Ok(delta) = lu.solve(&rhs) else {
+                // Same escape as the factor-failure branch above: without
+                // the cap, a NaN-producing residual spins this loop
+                // forever.
                 lambda *= 10.0;
+                if lambda > 1e14 {
+                    return Err(NloptError::Singular);
+                }
                 continue;
             };
 
@@ -454,6 +441,120 @@ mod tests {
             ),
             Err(NloptError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn tight_bounds_fd_stays_feasible() {
+        // Regression for the bound-aware FD step: with a bound interval
+        // narrower than the step, the old logic flipped `h` negative at
+        // the upper bound without checking `lo` and evaluated below it —
+        // where this residual (like an ODE residual at a physically
+        // invalid rate constant) fails. The fixed step clamps into the
+        // interval, so the fit must converge to the interior optimum.
+        let lo = [1.9995];
+        let hi = [2.0005];
+        let (l, h) = (lo[0], hi[0]);
+        let r = FnResidual::new(1, 2, move |p: &[f64], out: &mut [f64]| {
+            if p[0] < l || p[0] > h {
+                return Err(format!("diverged outside [{l}, {h}]: {}", p[0]));
+            }
+            out[0] = p[0] - 2.0;
+            out[1] = 2.0 * (p[0] - 2.0);
+            Ok(())
+        });
+        // Start close to the upper bound so the forward step doesn't fit
+        // and the naive backward flip lands below `lo`.
+        let options = LmOptions {
+            fd_step: 1e-3,
+            ..LmOptions::default()
+        };
+        let result = optimize(&r, &[2.0003], &lo, &hi, options).unwrap();
+        assert!(
+            (result.params[0] - 2.0).abs() < 1e-7,
+            "{:?} ({:?})",
+            result.params,
+            result.stop
+        );
+        // And the old logic indeed fails here: stepping 2.0003 - 2e-3
+        // lands at 1.9983 < lo.
+        assert!(2.0003 - options.fd_step * 2.0003 < lo[0]);
+    }
+
+    #[test]
+    fn nan_residual_terminates() {
+        // A residual that returns NaNs (rather than Err) must not spin
+        // the inner λ loop forever — every λ-growth branch is capped, so
+        // the optimizer returns (with whatever stop reason the NaNs
+        // trip) instead of hanging.
+        let r = FnResidual::new(1, 2, |p: &[f64], out: &mut [f64]| {
+            out[0] = f64::NAN * p[0];
+            out[1] = f64::NAN;
+            Ok(())
+        });
+        let outcome = optimize(&r, &[1.0], &[0.0], &[2.0], LmOptions::default());
+        match outcome {
+            Ok(result) => assert!(result.iterations <= LmOptions::default().max_iters),
+            Err(e) => assert_eq!(e, NloptError::Singular),
+        }
+
+        // NaNs appearing mid-fit (after a clean start) exercise the
+        // accept-test path: cost_new is never < NaN cost, so λ must grow
+        // to its cap rather than loop.
+        let r = FnResidual::new(1, 2, |p: &[f64], out: &mut [f64]| {
+            if p[0] > 1.5 {
+                out[0] = f64::NAN;
+                out[1] = f64::NAN;
+            } else {
+                out[0] = p[0] - 4.0;
+                out[1] = 0.5 * (p[0] - 4.0);
+            }
+            Ok(())
+        });
+        let outcome = optimize(&r, &[1.0], &[0.0], &[10.0], LmOptions::default());
+        assert!(outcome.is_ok() || matches!(outcome, Err(NloptError::Singular)));
+    }
+
+    #[test]
+    fn analytic_jacobian_override_is_used() {
+        // A residual with an exact Jacobian override: optimize must call
+        // it (0 extra residual evals per iteration) and still converge.
+        struct WithJac;
+        impl Residual for WithJac {
+            fn n_params(&self) -> usize {
+                1
+            }
+            fn n_residuals(&self) -> usize {
+                2
+            }
+            fn eval(&self, p: &[f64], out: &mut [f64]) -> Result<(), String> {
+                out[0] = p[0] - 3.0;
+                out[1] = 0.5 * (p[0] - 3.0);
+                Ok(())
+            }
+            fn jacobian(
+                &self,
+                _params: &[f64],
+                _base: &[f64],
+                _lo: &[f64],
+                _hi: &[f64],
+                _fd_step: f64,
+                jac: &mut [f64],
+            ) -> Result<usize, String> {
+                jac[0] = 1.0;
+                jac[1] = 0.5;
+                Ok(0)
+            }
+        }
+        let result = optimize(&WithJac, &[0.0], &[-10.0], &[10.0], LmOptions::default()).unwrap();
+        assert!((result.params[0] - 3.0).abs() < 1e-8, "{:?}", result.params);
+        // fevals counts only the accept-test evaluations: with an O(1)
+        // Jacobian there is no per-parameter FD sweep.
+        assert!(
+            result.fevals <= result.iterations + 2,
+            "fevals {} iterations {}",
+            result.fevals,
+            result.iterations
+        );
     }
 
     #[test]

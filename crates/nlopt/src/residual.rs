@@ -1,5 +1,38 @@
 //! The residual-vector interface the optimizer minimizes.
 
+/// A bound-aware finite-difference step for parameter `p ∈ [lo, hi]`:
+/// MINPACK-style magnitude (`rel` relative to `|p|`, absolute at 0),
+/// pointed into the feasible interval. Prefers the forward direction,
+/// flips backward at the upper bound, and when *neither* full step fits
+/// (a bound interval narrower than the step) clamps to the wider side —
+/// never evaluating outside `[lo, hi]`, where an ODE residual may
+/// diverge or see physically invalid (negative) rate constants.
+///
+/// Errors only on a degenerate interval (`lo == hi == p`), where no
+/// derivative information is obtainable.
+pub fn bounded_fd_step(p: f64, lo: f64, hi: f64, rel: f64) -> Result<f64, String> {
+    let scale = if p != 0.0 { p.abs() } else { 1.0 };
+    let h = rel * scale;
+    if p + h <= hi {
+        return Ok(h);
+    }
+    if p - h >= lo {
+        return Ok(-h);
+    }
+    let room_up = hi - p;
+    let room_down = p - lo;
+    if room_up <= 0.0 && room_down <= 0.0 {
+        return Err(format!(
+            "bound interval [{lo}, {hi}] too narrow for a finite-difference step at p = {p}"
+        ));
+    }
+    Ok(if room_up >= room_down {
+        room_up
+    } else {
+        -room_down
+    })
+}
+
 /// A residual function `r(p)`: the optimizer minimizes `‖r(p)‖²`.
 ///
 /// In the Reaction Modeling Suite the parameters are kinetic rate
@@ -18,6 +51,73 @@ pub trait Residual {
     /// Evaluate the residual vector at `params` into `out`
     /// (`out.len() == n_residuals()`).
     fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String>;
+
+    /// Fill `jac` (row-major, `n_residuals() × n_params()`) with
+    /// `∂r_i/∂p_j` at `params`, returning the number of residual
+    /// evaluations consumed.
+    ///
+    /// `base` is `r(params)`, already evaluated by the caller; `lo`/`hi`
+    /// bound the feasible box and **must** be respected by any point the
+    /// implementation evaluates at. The default is a bound-aware forward
+    /// difference via [`bounded_fd_step`] — one `eval` per parameter,
+    /// i.e. one full ODE solve per parameter when the residual wraps a
+    /// simulation. Implementations with analytic sensitivities override
+    /// this to fill the exact Jacobian in O(1) solves (and return the
+    /// count of solves they spent, typically 1).
+    fn jacobian(
+        &self,
+        params: &[f64],
+        base: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        fd_step: f64,
+        jac: &mut [f64],
+    ) -> Result<usize, String> {
+        fd_residual_jacobian(self, params, base, lo, hi, fd_step, jac)
+    }
+}
+
+/// The bound-aware forward-difference residual Jacobian — the body of the
+/// default [`Residual::jacobian`], exposed so implementations that
+/// override it with an analytic path can still fall back to finite
+/// differences explicitly (e.g. when no sensitivities are available for
+/// the current configuration).
+pub fn fd_residual_jacobian<R: Residual + ?Sized>(
+    residual: &R,
+    params: &[f64],
+    base: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    fd_step: f64,
+    jac: &mut [f64],
+) -> Result<usize, String> {
+    let n = residual.n_params();
+    let m = residual.n_residuals();
+    debug_assert_eq!(jac.len(), m * n);
+    let mut p = params.to_vec();
+    let mut r_pert = vec![0.0; m];
+    let mut evals = 0usize;
+    for j in 0..n {
+        // A degenerate interval (lo == hi) pins the parameter: it can
+        // never move, so its Jacobian column is irrelevant — zero it
+        // rather than failing the whole Jacobian.
+        let Ok(h) = bounded_fd_step(p[j], lo[j], hi[j], fd_step) else {
+            for i in 0..m {
+                jac[i * n + j] = 0.0;
+            }
+            continue;
+        };
+        let saved = p[j];
+        p[j] += h;
+        let h_actual = p[j] - saved;
+        residual.eval(&p, &mut r_pert)?;
+        evals += 1;
+        for i in 0..m {
+            jac[i * n + j] = (r_pert[i] - base[i]) / h_actual;
+        }
+        p[j] = saved;
+    }
+    Ok(evals)
 }
 
 /// Wrap a closure as a [`Residual`].
@@ -64,6 +164,18 @@ impl<T: Residual + ?Sized> Residual for &T {
     fn eval(&self, params: &[f64], out: &mut [f64]) -> Result<(), String> {
         (**self).eval(params, out)
     }
+
+    fn jacobian(
+        &self,
+        params: &[f64],
+        base: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        fd_step: f64,
+        jac: &mut [f64],
+    ) -> Result<usize, String> {
+        (**self).jacobian(params, base, lo, hi, fd_step, jac)
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +204,68 @@ mod tests {
         });
         let mut out = vec![0.0];
         assert!(r.eval(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn bounded_step_respects_both_bounds() {
+        let inf = f64::INFINITY;
+        // Unconstrained: forward step.
+        assert_eq!(bounded_fd_step(2.0, -inf, inf, 1e-3).unwrap(), 2e-3);
+        // Pinned at the upper bound: flips backward.
+        assert_eq!(bounded_fd_step(2.0, 0.0, 2.0, 1e-3).unwrap(), -2e-3);
+        // Interval narrower than the step on both sides: clamps to the
+        // wider side instead of stepping below `lo` (the old bug).
+        let h = bounded_fd_step(2.0, 2.0 - 1e-4, 2.0 + 3e-4, 1e-3).unwrap();
+        assert!((h - 3e-4).abs() < 1e-12, "h = {h}");
+        let h = bounded_fd_step(2.0, 2.0 - 3e-4, 2.0 + 1e-4, 1e-3).unwrap();
+        assert!((h + 3e-4).abs() < 1e-12, "h = {h}");
+        // Degenerate interval: no step exists.
+        assert!(bounded_fd_step(1.0, 1.0, 1.0, 1e-3).is_err());
+        // Step at zero uses the absolute scale.
+        assert_eq!(bounded_fd_step(0.0, -1.0, 1.0, 1e-3).unwrap(), 1e-3);
+    }
+
+    #[test]
+    fn default_jacobian_matches_hand_derivatives() {
+        let r = FnResidual::new(2, 3, |p: &[f64], out: &mut [f64]| {
+            out[0] = p[0] * p[0];
+            out[1] = p[0] * p[1];
+            out[2] = 3.0 * p[1];
+            Ok(())
+        });
+        let p = [2.0, 5.0];
+        let mut base = vec![0.0; 3];
+        r.eval(&p, &mut base).unwrap();
+        let mut jac = vec![0.0; 6];
+        let inf = f64::INFINITY;
+        let evals = r
+            .jacobian(&p, &base, &[-inf, -inf], &[inf, inf], 1e-7, &mut jac)
+            .unwrap();
+        assert_eq!(evals, 2);
+        let expect = [4.0, 0.0, 5.0, 2.0, 0.0, 3.0];
+        for (got, want) in jac.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-4, "{jac:?}");
+        }
+    }
+
+    #[test]
+    fn default_jacobian_never_leaves_bounds() {
+        // Residual errors outside [lo, hi]; the default FD must stay in.
+        let lo = [1.999];
+        let hi = [2.0005];
+        let (l, h) = (lo[0], hi[0]);
+        let r = FnResidual::new(1, 1, move |p: &[f64], out: &mut [f64]| {
+            if p[0] < l || p[0] > h {
+                return Err(format!("evaluated outside bounds: {}", p[0]));
+            }
+            out[0] = p[0] - 2.0;
+            Ok(())
+        });
+        let p = [2.0];
+        let mut base = vec![0.0];
+        r.eval(&p, &mut base).unwrap();
+        let mut jac = vec![0.0];
+        r.jacobian(&p, &base, &lo, &hi, 1e-3, &mut jac).unwrap();
+        assert!((jac[0] - 1.0).abs() < 1e-6, "{jac:?}");
     }
 }

@@ -42,6 +42,12 @@ impl FitStatistics {
     /// the residual is not of the simple `model − observed` form.
     /// `fd_step` should match the step used during optimization (see
     /// [`crate::LmOptions::fd_step`]).
+    ///
+    /// Unbounded shorthand for [`evaluate_bounded`]; when the optimum may
+    /// sit on a bound, pass the real box so the Jacobian never evaluates
+    /// the residual outside it.
+    ///
+    /// [`evaluate_bounded`]: FitStatistics::evaluate_bounded
     pub fn evaluate<R: Residual>(
         residual: &R,
         params: &[f64],
@@ -49,11 +55,40 @@ impl FitStatistics {
         fd_step: f64,
     ) -> Result<FitStatistics, NloptError> {
         let n = residual.n_params();
+        let unbounded = vec![f64::NEG_INFINITY; n];
+        let unbounded_hi = vec![f64::INFINITY; n];
+        FitStatistics::evaluate_bounded(
+            residual,
+            params,
+            observed,
+            &unbounded,
+            &unbounded_hi,
+            fd_step,
+        )
+    }
+
+    /// [`evaluate`](FitStatistics::evaluate) with the optimizer's bound
+    /// box: the Jacobian at the optimum is obtained through
+    /// [`Residual::jacobian`], so it is analytic when the residual
+    /// provides sensitivities and a *bound-aware* finite difference
+    /// otherwise — post-fit statistics at a bound-pinned optimum no
+    /// longer evaluate the residual outside `[lo, hi]`.
+    pub fn evaluate_bounded<R: Residual>(
+        residual: &R,
+        params: &[f64],
+        observed: Option<&[f64]>,
+        lo: &[f64],
+        hi: &[f64],
+        fd_step: f64,
+    ) -> Result<FitStatistics, NloptError> {
+        let n = residual.n_params();
         let m = residual.n_residuals();
-        if params.len() != n {
+        if params.len() != n || lo.len() != n || hi.len() != n {
             return Err(NloptError::BadInput(format!(
-                "expected {n} parameters, got {}",
-                params.len()
+                "expected {n} parameters, got params={}, lo={}, hi={}",
+                params.len(),
+                lo.len(),
+                hi.len()
             )));
         }
         if m <= n {
@@ -69,24 +104,11 @@ impl FitStatistics {
         let dof = m - n;
         let sigma2 = sse / dof as f64;
 
-        // FD Jacobian at the optimum.
+        // Jacobian at the optimum (analytic override or bound-aware FD).
         let mut jac = Matrix::zeros(m, n);
-        let mut p = params.to_vec();
-        let mut r_pert = vec![0.0; m];
-        for j in 0..n {
-            let scale = if p[j] != 0.0 { p[j].abs() } else { 1.0 };
-            let h = fd_step * scale;
-            let saved = p[j];
-            p[j] += h;
-            let h_actual = p[j] - saved;
-            residual
-                .eval(&p, &mut r_pert)
-                .map_err(NloptError::InitialEvalFailed)?;
-            for i in 0..m {
-                jac[(i, j)] = (r_pert[i] - r[i]) / h_actual;
-            }
-            p[j] = saved;
-        }
+        residual
+            .jacobian(params, &r, lo, hi, fd_step, jac.data_mut())
+            .map_err(NloptError::InitialEvalFailed)?;
 
         // Covariance = σ² (JᵀJ)⁻¹.
         let mut jtj = Matrix::zeros(n, n);
@@ -261,6 +283,37 @@ mod tests {
         assert!(stats.sse < 1e-20);
         assert!(stats.standard_errors[0] < 1e-10);
         assert!(stats.r_squared.is_none());
+    }
+
+    #[test]
+    fn bound_pinned_statistics_stay_feasible() {
+        // Optimum pinned at the upper bound; the residual fails outside
+        // [lo, hi] (an ODE residual at invalid parameters). The old
+        // unbounded FD stepped past `hi` and errored; the bounded path
+        // must produce finite standard errors.
+        let lo = [0.0];
+        let hi = [2.0];
+        let r = FnResidual::new(1, 5, move |p: &[f64], out: &mut [f64]| {
+            if p[0] < 0.0 || p[0] > 2.0 {
+                return Err(format!("outside bounds: {}", p[0]));
+            }
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = p[0] - 5.0 + 0.01 * i as f64;
+            }
+            Ok(())
+        });
+        let result = optimize(&r, &[1.0], &lo, &hi, LmOptions::default()).unwrap();
+        assert!((result.params[0] - 2.0).abs() < 1e-9);
+        // Unbounded evaluation at the pinned optimum fails...
+        assert!(matches!(
+            FitStatistics::evaluate(&r, &result.params, None, 1e-3),
+            Err(NloptError::InitialEvalFailed(_))
+        ));
+        // ...the bounded one succeeds.
+        let stats =
+            FitStatistics::evaluate_bounded(&r, &result.params, None, &lo, &hi, 1e-3).unwrap();
+        assert!(stats.standard_errors[0].is_finite());
+        assert!(stats.standard_errors[0] > 0.0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use rms_nlopt::{optimize, LmOptions, LmResult, NloptError, Residual};
+use rms_nlopt::{fd_residual_jacobian, optimize, LmOptions, LmResult, NloptError, Residual};
 
 use crate::comm::{run_cluster_with, CommConfig, CommError, RankPanic};
 use crate::datafile::ExperimentFile;
@@ -48,6 +48,31 @@ pub trait Simulator: Sync {
         file_index: usize,
         times: &[f64],
     ) -> Result<Vec<f64>, String>;
+
+    /// Number of parameters for which the backend can produce analytic
+    /// sensitivities (0 = none, the default). The estimator only routes
+    /// Jacobian requests through
+    /// [`simulate_with_sensitivities`](Simulator::simulate_with_sensitivities)
+    /// when this matches the fit's parameter count; otherwise it falls
+    /// back to bound-aware finite differences.
+    fn sensitivity_params(&self) -> usize {
+        0
+    }
+
+    /// Simulate the property time series *and* its parameter
+    /// sensitivities: returns `(values, sens)` where `sens[r][k]` is
+    /// `∂values[r]/∂p_k`, obtained from one forward-sensitivity-augmented
+    /// ODE solve rather than `n_params` re-solves. The default errors;
+    /// backends with compiled sensitivity tapes override it.
+    fn simulate_with_sensitivities(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+        let _ = (rate_constants, file_index, times);
+        Err("simulator provides no analytic parameter sensitivities".to_string())
+    }
 }
 
 impl<F> Simulator for F
@@ -161,6 +186,44 @@ impl std::str::FromStr for FailurePolicy {
                 "unknown failure policy '{other}' (expected 'penalize' or 'abort')"
             )),
         }
+    }
+}
+
+/// How the optimizer obtains the residual Jacobian `∂r_i/∂p_j` during a
+/// fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualJacobianMode {
+    /// Forward sensitivity analysis: one sensitivity-augmented ODE solve
+    /// per file per Jacobian, independent of the parameter count. Falls
+    /// back to finite differences when the simulator provides no
+    /// sensitivities (or errors on a particular point).
+    #[default]
+    Analytic,
+    /// Bound-aware forward finite differences: one full objective
+    /// evaluation (every file re-solved) per parameter per Jacobian.
+    Fd,
+}
+
+impl std::str::FromStr for ResidualJacobianMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ResidualJacobianMode, String> {
+        match s {
+            "analytic" => Ok(ResidualJacobianMode::Analytic),
+            "fd" => Ok(ResidualJacobianMode::Fd),
+            other => Err(format!(
+                "unknown residual-jacobian mode '{other}' (expected analytic or fd)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ResidualJacobianMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResidualJacobianMode::Analytic => "analytic",
+            ResidualJacobianMode::Fd => "fd",
+        })
     }
 }
 
@@ -614,9 +677,122 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
         })
     }
 
+    /// The analytic counterpart of
+    /// [`objective`](ParallelEstimator::objective): build the residual
+    /// Jacobian `∂(error_vector)/∂p` from each file's forward
+    /// sensitivities. Each rank runs one sensitivity-augmented solve per
+    /// assigned file, accumulates `∂(simulated − experimental)_r/∂p_k`
+    /// into a local row-major `max_records × n_params` matrix, and the
+    /// local matrices are `MPI_Allreduce`-summed exactly like the error
+    /// vectors. A file that exhausts its retries aborts under
+    /// [`FailurePolicy::Abort`]; under [`FailurePolicy::Penalize`] it
+    /// contributes zeros — the exact derivative of its constant penalty
+    /// residual.
+    pub fn objective_jacobian(&self, rate_constants: &[f64]) -> Result<Vec<f64>, EstimatorError> {
+        let n_params = rate_constants.len();
+        let schedule = self.current_schedule();
+        let comm_config = CommConfig {
+            timeout: self.config.collective_timeout,
+        };
+        let per_rank = run_cluster_with(self.n_ranks, comm_config, |comm| {
+            let my_tasks = &schedule[comm.rank()];
+            let mut jac = vec![0.0; self.max_records * n_params];
+            let mut failures: Vec<FileFailure> = Vec::new();
+            let mut retries = 0;
+            for &file_idx in my_tasks {
+                let file = &self.files[file_idx];
+                let mut attempts = 0;
+                let outcome = loop {
+                    attempts += 1;
+                    match self.simulator.simulate_with_sensitivities(
+                        rate_constants,
+                        file_idx,
+                        &file.times,
+                    ) {
+                        Ok(out) => break Ok(out),
+                        Err(_) if attempts <= self.config.retry.max_retries => {
+                            retries += 1;
+                            let delay = self.config.retry.delay_for(attempts, file_idx as u64);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                match outcome {
+                    Ok((_values, sens)) => {
+                        for (r, row) in sens.iter().take(file.len()).enumerate() {
+                            for (k, dv) in row.iter().take(n_params).enumerate() {
+                                jac[r * n_params + k] += dv;
+                            }
+                        }
+                    }
+                    Err(error) => {
+                        failures.push(FileFailure {
+                            file: file_idx,
+                            label: file.label.clone(),
+                            attempts,
+                            error,
+                            penalized: self.config.on_failure == FailurePolicy::Penalize,
+                        });
+                    }
+                }
+            }
+            let global = comm.all_reduce_sum(&jac)?;
+            Ok::<(Vec<f64>, Vec<FileFailure>, usize), CommError>((global, failures, retries))
+        });
+
+        let mut health = HealthReport::default();
+        let mut global: Option<Vec<f64>> = None;
+        let mut first_comm_error: Option<CommError> = None;
+        let mut first_panic: Option<RankPanic> = None;
+        for (rank, outcome) in per_rank.into_iter().enumerate() {
+            match outcome {
+                Err(panic) => {
+                    health.rank_panics.push(panic.to_string());
+                    first_panic.get_or_insert(panic);
+                }
+                Ok(Err(comm_error)) => {
+                    health
+                        .comm_errors
+                        .push(format!("rank {rank}: {comm_error}"));
+                    first_comm_error.get_or_insert(comm_error);
+                }
+                Ok(Ok((jac, failures, retries))) => {
+                    health.retries += retries;
+                    health.file_failures.extend(failures);
+                    if global.is_none() {
+                        global = Some(jac);
+                    }
+                }
+            }
+        }
+        health.file_failures.sort_by_key(|f| f.file);
+        self.cumulative
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&health);
+
+        if let Some(panic) = first_panic {
+            return Err(EstimatorError::RankPanic(panic));
+        }
+        if let Some(comm_error) = first_comm_error {
+            return Err(EstimatorError::Comm(comm_error));
+        }
+        if self.config.on_failure == FailurePolicy::Abort && !health.file_failures.is_empty() {
+            return Err(EstimatorError::Simulation {
+                failures: health.file_failures,
+            });
+        }
+        Ok(global.expect("some rank succeeded"))
+    }
+
     /// Run the full bounded least-squares estimation (Fig. 8): optimize
     /// the rate constants within the chemist's bounds so the simulation
-    /// best matches the experimental files.
+    /// best matches the experimental files. Uses the default
+    /// [`ResidualJacobianMode::Analytic`], which falls back to finite
+    /// differences when the simulator provides no sensitivities.
     pub fn estimate(
         &self,
         initial: &[f64],
@@ -624,9 +800,23 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
         hi: &[f64],
         options: LmOptions,
     ) -> Result<LmResult, NloptError> {
+        self.estimate_with_jacobian(initial, lo, hi, options, ResidualJacobianMode::default())
+    }
+
+    /// [`estimate`](ParallelEstimator::estimate) with an explicit choice
+    /// of residual-Jacobian construction.
+    pub fn estimate_with_jacobian(
+        &self,
+        initial: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        options: LmOptions,
+        mode: ResidualJacobianMode,
+    ) -> Result<LmResult, NloptError> {
         let wrapper = ObjectiveResidual {
             estimator: self,
             n_params: initial.len(),
+            mode,
         };
         optimize(&wrapper, initial, lo, hi, options)
     }
@@ -635,6 +825,7 @@ impl<'a, S: Simulator> ParallelEstimator<'a, S> {
 struct ObjectiveResidual<'a, 'b, S: Simulator> {
     estimator: &'a ParallelEstimator<'b, S>,
     n_params: usize,
+    mode: ResidualJacobianMode,
 }
 
 impl<S: Simulator> Residual for ObjectiveResidual<'_, '_, S> {
@@ -653,6 +844,32 @@ impl<S: Simulator> Residual for ObjectiveResidual<'_, '_, S> {
             .map_err(|e| e.to_string())?;
         out.copy_from_slice(&result.error_vector);
         Ok(())
+    }
+
+    /// Analytic mode spends one sensitivity-augmented sweep over the
+    /// files (reported as 1 residual-evaluation-equivalent) instead of
+    /// `n_params` full objective evaluations; it falls back to the
+    /// bound-aware finite-difference sweep when the simulator has no
+    /// sensitivities for this parameter count or the analytic sweep
+    /// fails at this point.
+    fn jacobian(
+        &self,
+        params: &[f64],
+        base: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        fd_step: f64,
+        jac: &mut [f64],
+    ) -> Result<usize, String> {
+        if self.mode == ResidualJacobianMode::Analytic
+            && self.estimator.simulator.sensitivity_params() == self.n_params
+        {
+            if let Ok(values) = self.estimator.objective_jacobian(params) {
+                jac.copy_from_slice(&values);
+                return Ok(1);
+            }
+        }
+        fd_residual_jacobian(self, params, base, lo, hi, fd_step, jac)
     }
 }
 
@@ -843,6 +1060,125 @@ mod tests {
         assert!(out.health.file_failures.iter().all(|f| f.penalized));
         // Cumulative report tracks it too.
         assert_eq!(est.cumulative_health().file_failures.len(), 3);
+    }
+
+    /// The synthetic `model` with hand-derived parameter sensitivities:
+    /// `v(t) = e^{−p₀t} + p₁`, `∂v/∂p₀ = −t·e^{−p₀t}`, `∂v/∂p₁ = 1`.
+    struct SensModel;
+
+    impl Simulator for SensModel {
+        fn simulate(&self, p: &[f64], file: usize, times: &[f64]) -> Result<Vec<f64>, String> {
+            model(p, file, times)
+        }
+
+        fn sensitivity_params(&self) -> usize {
+            2
+        }
+
+        fn simulate_with_sensitivities(
+            &self,
+            p: &[f64],
+            file: usize,
+            times: &[f64],
+        ) -> Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+            let values = model(p, file, times)?;
+            let sens = times
+                .iter()
+                .map(|t| vec![-t * (-p[0] * t).exp(), 1.0])
+                .collect();
+            Ok((values, sens))
+        }
+    }
+
+    #[test]
+    fn analytic_objective_jacobian_matches_fd() {
+        let truth = [1.2, 0.3];
+        let files = make_files(3, 12, &truth);
+        let sim = SensModel;
+        let est = ParallelEstimator::new(&sim, files, 2, false);
+        let p = [0.9, 0.1];
+        let jac = est.objective_jacobian(&p).unwrap();
+        assert_eq!(jac.len(), 12 * 2);
+        // Central-difference reference over the objective itself.
+        let h = 1e-6;
+        for k in 0..2 {
+            let mut up = p;
+            up[k] += h;
+            let mut dn = p;
+            dn[k] -= h;
+            let fwd = est.objective(&up).unwrap().error_vector;
+            let bwd = est.objective(&dn).unwrap().error_vector;
+            for r in 0..12 {
+                let fd = (fwd[r] - bwd[r]) / (2.0 * h);
+                assert!(
+                    (jac[r * 2 + k] - fd).abs() < 1e-6 * fd.abs().max(1.0),
+                    "r={r} k={k}: analytic {} vs fd {fd}",
+                    jac[r * 2 + k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_estimate_matches_fd_and_spends_fewer_evals() {
+        let truth = [1.3, 0.25];
+        let files = make_files(4, 40, &truth);
+        let sim = SensModel;
+        let est = ParallelEstimator::new(&sim, files, 2, false);
+        let options = LmOptions::default();
+        let analytic = est
+            .estimate_with_jacobian(
+                &[0.5, 0.0],
+                &[0.0, 0.0],
+                &[5.0, 1.0],
+                options,
+                ResidualJacobianMode::Analytic,
+            )
+            .unwrap();
+        let fd = est
+            .estimate_with_jacobian(
+                &[0.5, 0.0],
+                &[0.0, 0.0],
+                &[5.0, 1.0],
+                options,
+                ResidualJacobianMode::Fd,
+            )
+            .unwrap();
+        for (k, &truth_k) in truth.iter().enumerate() {
+            assert!(
+                (analytic.params[k] - truth_k).abs() < 1e-5,
+                "{:?}",
+                analytic.params
+            );
+            assert!(
+                (analytic.params[k] - fd.params[k]).abs() < 1e-5,
+                "analytic {:?} vs fd {:?}",
+                analytic.params,
+                fd.params
+            );
+        }
+        // FD pays n_params objective evaluations per Jacobian; analytic
+        // pays one augmented sweep.
+        let analytic_per_jac = analytic.fevals as f64 / analytic.jevals.max(1) as f64;
+        let fd_per_jac = fd.fevals as f64 / fd.jevals.max(1) as f64;
+        assert!(
+            analytic_per_jac < fd_per_jac,
+            "analytic {analytic_per_jac} vs fd {fd_per_jac} evals per Jacobian"
+        );
+    }
+
+    #[test]
+    fn closure_simulators_fall_back_to_fd() {
+        // A plain closure has no sensitivities; the default analytic mode
+        // must silently use finite differences and still converge.
+        let truth = [1.1, 0.2];
+        let files = make_files(3, 30, &truth);
+        let est = ParallelEstimator::new(&model, files, 2, false);
+        let result = est
+            .estimate(&[0.6, 0.0], &[0.0, 0.0], &[5.0, 1.0], LmOptions::default())
+            .unwrap();
+        assert!((result.params[0] - truth[0]).abs() < 1e-5);
+        assert!((result.params[1] - truth[1]).abs() < 1e-5);
     }
 
     #[test]

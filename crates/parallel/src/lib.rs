@@ -33,7 +33,7 @@ pub use comm::{run_cluster, run_cluster_with, CommConfig, CommError, Communicato
 pub use datafile::{DataFileError, ExperimentFile};
 pub use estimator::{
     EstimatorConfig, EstimatorError, FailurePolicy, FileFailure, HealthReport, ObjectiveOutput,
-    ParallelEstimator, RetryPolicy, Simulator,
+    ParallelEstimator, ResidualJacobianMode, RetryPolicy, Simulator,
 };
 pub use fault::{FaultPlan, FaultySimulator};
 pub use loadbalance::{

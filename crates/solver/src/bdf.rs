@@ -16,7 +16,8 @@ use crate::coloring::{fd_jacobian_colored_into, SparsityPattern};
 use crate::jacobian::{fd_jacobian_into, AnalyticJacobian, FdWorkspace};
 use crate::linalg::{CsrMatrix, Lu, Matrix};
 use crate::problem::{
-    error_norm, CancelToken, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions,
+    error_norm, CancelToken, LinearSolver, OdeRhs, SensitivityRhs, SolveStats, SolverError,
+    SolverOptions,
 };
 use crate::sparse::SparseNewton;
 
@@ -44,6 +45,12 @@ pub const MAX_ORDER: usize = 5;
 
 const NEWTON_MAX_ITERS: usize = 8;
 const NEWTON_TOL: f64 = 0.1; // in units of the weighted error norm
+
+/// Refinement iterations for each sensitivity solve. The system is
+/// linear, so with an up-to-date factorization one pass suffices; the cap
+/// only matters when the factorization has gone stale against the fresh
+/// Jacobian the residual is formed with.
+const SENS_MAX_ITERS: usize = 10;
 
 /// Where the solver obtains its Jacobian.
 pub enum JacobianSource<'a> {
@@ -116,6 +123,20 @@ struct Scratch {
     spare: Vec<Vec<f64>>,
     /// Double buffer for history rescaling.
     history_alt: Vec<Vec<f64>>,
+    /// `∂f/∂p` at the accepted point, parameter-major.
+    dfdp: Vec<f64>,
+    /// Right-hand sides of the sensitivity systems, row-major `n × p`.
+    sens_b: Vec<f64>,
+    /// Iterates of the blocked sensitivity solve, row-major `n × p`.
+    sens_x: Vec<f64>,
+    /// `J·X` product scratch for sensitivity refinement.
+    jv: Vec<f64>,
+    /// Parameter indices still unconverged after the first refinement pass.
+    active: Vec<usize>,
+    /// Compacted iterate / right-hand-side blocks (`n × active.len()`)
+    /// for the continued refinement of the unconverged columns.
+    sens_xq: Vec<f64>,
+    sens_bq: Vec<f64>,
 }
 
 /// Gear BDF integrator state.
@@ -139,6 +160,9 @@ pub struct Bdf<'a, R: OdeRhs> {
     jac: Option<JacStore>,
     /// How Jacobians are produced: analytic tape, colored FD, or dense FD.
     source: JacSource<'a>,
+    /// Parameter coupling for forward sensitivity analysis; when set, the
+    /// history vectors carry `n_params` extra sensitivity blocks.
+    sens: Option<&'a dyn SensitivityRhs>,
     stats: SolveStats,
     /// Reusable step-loop buffers (taken with `mem::take` around the hot
     /// path to sidestep aliasing with `&mut self` helpers).
@@ -163,6 +187,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             full_pattern: None,
             jac: None,
             source: JacSource::Dense,
+            sens: None,
             stats: SolveStats::default(),
             scratch: Scratch::default(),
             cancel: None,
@@ -208,9 +233,35 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         self.full_pattern = None;
     }
 
-    /// Current state.
+    /// Attach a parameter-sensitivity source: the state is augmented with
+    /// `n_params` zero-initialized sensitivity blocks (`∂y0/∂p = 0` — the
+    /// initial condition does not depend on the rate constants) and every
+    /// accepted step advances `ṡ_k = J·s_k + ∂f/∂p_k` alongside `y`,
+    /// reusing the step's iteration-matrix factorization for all `k`.
+    ///
+    /// Must be called before the first step.
+    pub fn set_sensitivities(&mut self, sens: &'a dyn SensitivityRhs) {
+        assert!(
+            self.history.len() == 1 && self.stats.steps == 0,
+            "sensitivities must be attached before the first step"
+        );
+        let n = self.rhs.dim();
+        self.history[0].truncate(n);
+        self.history[0].resize(n * (1 + sens.n_params()), 0.0);
+        self.sens = Some(sens);
+    }
+
+    /// Current state. With sensitivities attached this is the *augmented*
+    /// state: the first `dim` entries are `y`, followed by the blocks of
+    /// [`sensitivities`](Bdf::sensitivities).
     pub fn y(&self) -> &[f64] {
         &self.history[0]
+    }
+
+    /// Current sensitivity blocks, parameter-major: entry `k*dim + i` is
+    /// `∂y_i/∂p_k`. Empty when no sensitivity source is attached.
+    pub fn sensitivities(&self) -> &[f64] {
+        &self.history[0][self.rhs.dim()..]
     }
 
     /// Work counters.
@@ -264,7 +315,11 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
 
     /// Take one step of size `self.h` at the current order.
     fn step(&mut self, s: &mut Scratch) -> Result<(), SolverError> {
-        let n = self.history[0].len();
+        // State dimension: the Newton corrector runs on the first `n`
+        // entries only; `ntot` includes the sensitivity blocks, which the
+        // predictor, error test, and history machinery treat uniformly.
+        let n = self.rhs.dim();
+        let ntot = self.history[0].len();
         loop {
             let k = self.order.min(self.history.len()).min(MAX_ORDER);
             let alpha = ALPHA[k];
@@ -277,14 +332,16 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             // Ensure a current iteration matrix. (Temporarily moves the
             // predictor out of the scratch so `s` stays lendable.)
             let y_pred = std::mem::take(&mut s.y_pred);
-            let ensured = self.ensure_iteration_matrix(beta, &y_pred, t_next, s);
+            let ensured = self.ensure_iteration_matrix(beta, &y_pred[..n], t_next, s);
             s.y_pred = y_pred;
             ensured?;
 
             // Constant part of the corrector equation:
-            // y − hβ f(t,y) − Σ αᵢ y_{n−i} = 0.
+            // y − hβ f(t,y) − Σ αᵢ y_{n−i} = 0. Accumulated over the full
+            // augmented history: block `k` is the constant part of the
+            // k-th sensitivity system.
             s.rhs_const.clear();
-            s.rhs_const.resize(n, 0.0);
+            s.rhs_const.resize(ntot, 0.0);
             for (i, &a) in alpha.iter().enumerate() {
                 for (dst, &h) in s.rhs_const.iter_mut().zip(&self.history[i]) {
                     *dst += a * h;
@@ -300,7 +357,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             s.residual.resize(n, 0.0);
             let mut converged = false;
             for _ in 0..NEWTON_MAX_ITERS {
-                self.rhs.eval(t_next, &s.y, &mut s.f);
+                self.rhs.eval(t_next, &s.y[..n], &mut s.f);
                 self.stats.fevals += 1;
                 for j in 0..n {
                     s.residual[j] = s.y[j] - beta * self.h * s.f[j] - s.rhs_const[j];
@@ -310,17 +367,12 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 }
                 s.delta.clear();
                 s.delta.extend_from_slice(&s.residual);
-                match &self.factor {
-                    Factor::Dense(lu) => lu.solve_in_place(&mut s.delta),
-                    Factor::Sparse(kernel) => kernel.solve_in_place(&mut s.delta),
-                    Factor::None => unreachable!("ensured above"),
-                }
-                .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })?;
+                self.solve_factor_in_place(&mut s.delta)?;
                 self.stats.newton_iters += 1;
                 for j in 0..n {
                     s.y[j] -= s.delta[j];
                 }
-                let norm = error_norm(&s.delta, &s.y, self.options.rtol, self.options.atol);
+                let norm = error_norm(&s.delta, &s.y[..n], self.options.rtol, self.options.atol);
                 if norm < NEWTON_TOL {
                     converged = true;
                     break;
@@ -330,7 +382,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             if !converged {
                 // Refresh Jacobian once; then cut the step.
                 let y_pred = std::mem::take(&mut s.y_pred);
-                let recovered = self.try_recover(t_next, &y_pred, beta, s);
+                let recovered = self.try_recover(t_next, &y_pred[..n], beta, s);
                 s.y_pred = y_pred;
                 if recovered? {
                     continue;
@@ -338,14 +390,36 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 return Err(SolverError::NewtonDivergence { t: self.t });
             }
 
+            // Advance the sensitivity blocks: each system shares the
+            // iteration matrix `I − hβJ`, so all of them reuse this
+            // step's factorization.
+            if self.sens.is_some() {
+                self.propagate_sensitivities(t_next, beta, s)?;
+            }
+
             // Error estimate: corrector minus predictor, scaled for order.
+            // By default only the state block participates (the CVODES
+            // convention), so sensitivity-augmented solves keep the plain
+            // solve's step sequence; `sens_error_control` widens the norm
+            // to the whole augmented vector.
+            let err_len = if self.options.sens_error_control {
+                s.y.len()
+            } else {
+                n
+            };
             s.err.clear();
             s.err.extend(
-                s.y.iter()
-                    .zip(&s.y_pred)
+                s.y[..err_len]
+                    .iter()
+                    .zip(&s.y_pred[..err_len])
                     .map(|(a, b)| (a - b) / (k as f64 + 1.0)),
             );
-            let err = error_norm(&s.err, &s.y, self.options.rtol, self.options.atol);
+            let err = error_norm(
+                &s.err,
+                &s.y[..err_len],
+                self.options.rtol,
+                self.options.atol,
+            );
 
             if err <= 1.0 {
                 // Accept: push the new state into the history, recycling a
@@ -546,7 +620,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             LinearSolver::Dense => false,
             LinearSolver::Sparse => true,
             LinearSolver::Auto => {
-                let n = self.history[0].len();
+                let n = self.rhs.dim();
                 let jac_nnz = match &self.source {
                     JacSource::Analytic(provider) => provider.pattern().nnz(),
                     JacSource::Colored { pattern, .. } => pattern.nnz(),
@@ -606,7 +680,7 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
             JacSource::Dense => {
                 // Forced sparse on a dense-FD source: treat every entry as
                 // structural. No fill advantage, but uniform semantics.
-                let n = self.history[0].len();
+                let n = self.rhs.dim();
                 let fits = matches!(&self.full_pattern, Some(p) if p.n_rows() == n);
                 if !fits {
                     let rows = vec![(0..n as u32).collect::<Vec<u32>>(); n];
@@ -629,6 +703,197 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
                 .map_err(singular)?,
         }
         self.stats.fill_nnz = kernel.fill_nnz();
+        Ok(())
+    }
+
+    /// Solve `(I − hβJ)v = v` in place with the current factorization.
+    fn solve_factor_in_place(&self, v: &mut [f64]) -> Result<(), SolverError> {
+        match &self.factor {
+            Factor::Dense(lu) => lu.solve_in_place(v),
+            Factor::Sparse(kernel) => kernel.solve_in_place(v),
+            Factor::None => unreachable!("factorization ensured before solves"),
+        }
+        .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })
+    }
+
+    /// Solve `(I − hβJ)X = B` in place with the current factorization for
+    /// `ncols` right-hand sides at once; `xs` is row-major `n × ncols`.
+    fn solve_factor_multi_in_place(&self, xs: &mut [f64], ncols: usize) -> Result<(), SolverError> {
+        match &self.factor {
+            Factor::Dense(lu) => lu.solve_multi_in_place(xs, ncols),
+            Factor::Sparse(kernel) => kernel.solve_multi_in_place(xs, ncols),
+            Factor::None => unreachable!("factorization ensured before solves"),
+        }
+        .map_err(|_| SolverError::SingularIterationMatrix { t: self.t })
+    }
+
+    /// `out = J·X` with the cached Jacobian for a row-major `n × ncols`
+    /// block `x`: each Jacobian entry is loaded once and streamed across
+    /// every column, allocation-free after warmup.
+    fn jac_matvec_multi(&self, x: &[f64], ncols: usize, out: &mut Vec<f64>) {
+        let n = x.len() / ncols.max(1);
+        out.clear();
+        out.resize(n * ncols, 0.0);
+        match self.jac.as_ref().expect("jacobian refreshed") {
+            JacStore::Dense(m) => {
+                for i in 0..n {
+                    let row_out = &mut out[i * ncols..(i + 1) * ncols];
+                    for j in 0..n {
+                        let v = m[(i, j)];
+                        if v != 0.0 {
+                            let row_x = &x[j * ncols..(j + 1) * ncols];
+                            for c in 0..ncols {
+                                row_out[c] += v * row_x[c];
+                            }
+                        }
+                    }
+                }
+            }
+            JacStore::Sparse(csr) => {
+                for i in 0..n {
+                    let (cols, vals) = csr.row(i);
+                    let row_out = &mut out[i * ncols..(i + 1) * ncols];
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        let row_x = &x[j as usize * ncols..(j as usize + 1) * ncols];
+                        for c in 0..ncols {
+                            row_out[c] += v * row_x[c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solve the discrete sensitivity systems at the accepted corrector
+    /// point, writing the results into the sensitivity blocks of `s.y`.
+    ///
+    /// Differentiating the corrector equation
+    /// `y_{n+1} − hβ f(t,y_{n+1}) = Σᵢ αᵢ y_{n−i}` with respect to `p_k`
+    /// gives a *linear* system per parameter,
+    /// `(I − hβJ)s_k = Σᵢ αᵢ s_{k,n−i} + hβ ∂f/∂p_k`, whose matrix is
+    /// exactly the Newton iteration matrix — so one factorization serves
+    /// the state and every sensitivity. The factorization may be lagged
+    /// (built at an earlier point); it is used as a preconditioner in a
+    /// residual-refinement loop against the *fresh* Jacobian, falling
+    /// back to an exact refactorization only if refinement stalls.
+    fn propagate_sensitivities(
+        &mut self,
+        t_next: f64,
+        beta: f64,
+        s: &mut Scratch,
+    ) -> Result<(), SolverError> {
+        let n = self.rhs.dim();
+        let sens = self.sens.expect("caller checked");
+        let p = sens.n_params();
+        if p == 0 {
+            return Ok(());
+        }
+        // Fresh Jacobian at the accepted point: the sensitivity equation
+        // is exact only with J evaluated where the corrector converged.
+        // (The refresh also benefits the next step's iteration matrix.)
+        let y_new = std::mem::take(&mut s.y);
+        self.refresh_jacobian(t_next, &y_new[..n], s);
+        s.dfdp.clear();
+        s.dfdp.resize(n * p, 0.0);
+        sens.eval_dfdp(t_next, &y_new[..n], &mut s.dfdp);
+        self.stats.fevals += 1;
+        s.y = y_new;
+        let hb = self.h * beta;
+        // Gather all p systems into row-major n×p blocks: the matvec and
+        // triangular solves then stream each matrix entry across every
+        // parameter at once instead of re-walking the factors p times.
+        s.sens_b.clear();
+        s.sens_b.resize(n * p, 0.0);
+        s.sens_x.clear();
+        s.sens_x.resize(n * p, 0.0);
+        for k in 0..p {
+            let off = n * (k + 1);
+            for i in 0..n {
+                s.sens_b[i * p + k] = s.rhs_const[off + i] + hb * s.dfdp[k * n + i];
+                s.sens_x[i * p + k] = s.y_pred[off + i];
+            }
+        }
+        // Start from the predictor blocks and refine: with the current
+        // factorization M ≈ (I − hβJ), one pass of
+        // X ← X − M⁻¹((I − hβJ)X − B) over all p columns. The predictor
+        // is close and M is at most one step stale, so most columns
+        // finish here.
+        let (rtol, atol) = (self.options.rtol, self.options.atol);
+        self.jac_matvec_multi(&s.sens_x, p, &mut s.jv);
+        s.delta.clear();
+        s.delta
+            .extend((0..n * p).map(|i| s.sens_x[i] - hb * s.jv[i] - s.sens_b[i]));
+        self.solve_factor_multi_in_place(&mut s.delta, p)?;
+        for i in 0..n * p {
+            s.sens_x[i] -= s.delta[i];
+        }
+        // Columns whose correction was already negligible are done; the
+        // rest are compacted into an `n × q` block and refined further,
+        // so the continued iteration pays only for the stragglers.
+        s.active.clear();
+        for k in 0..p {
+            let norm = column_norm(&s.delta, &s.sens_x, n, p, k, rtol, atol);
+            // A NaN norm keeps the column active: the continued
+            // iteration (or its refactor-and-solve fallback) deals
+            // with it.
+            if norm.is_nan() || norm >= NEWTON_TOL {
+                s.active.push(k);
+            }
+        }
+        if !s.active.is_empty() {
+            let q = s.active.len();
+            s.sens_xq.clear();
+            s.sens_xq.resize(n * q, 0.0);
+            s.sens_bq.clear();
+            s.sens_bq.resize(n * q, 0.0);
+            for (c, &k) in s.active.iter().enumerate() {
+                for i in 0..n {
+                    s.sens_xq[i * q + c] = s.sens_x[i * p + k];
+                    s.sens_bq[i * q + c] = s.sens_b[i * p + k];
+                }
+            }
+            let mut converged = false;
+            for _ in 1..SENS_MAX_ITERS {
+                self.jac_matvec_multi(&s.sens_xq, q, &mut s.jv);
+                s.delta.clear();
+                s.delta
+                    .extend((0..n * q).map(|i| s.sens_xq[i] - hb * s.jv[i] - s.sens_bq[i]));
+                self.solve_factor_multi_in_place(&mut s.delta, q)?;
+                for i in 0..n * q {
+                    s.sens_xq[i] -= s.delta[i];
+                }
+                let norm = max_column_norm(&s.delta, &s.sens_xq, n, q, rtol, atol);
+                if norm < NEWTON_TOL {
+                    converged = true;
+                    break;
+                }
+                if !norm.is_finite() {
+                    break;
+                }
+            }
+            if !converged {
+                // Refinement stalled on a stale factorization: rebuild it
+                // from the fresh Jacobian (making M exact) and solve the
+                // remaining systems directly.
+                self.build_lu(beta)?;
+                s.sens_xq.copy_from_slice(&s.sens_bq);
+                self.solve_factor_multi_in_place(&mut s.sens_xq, q)?;
+            }
+            for (c, &k) in s.active.iter().enumerate() {
+                for i in 0..n {
+                    s.sens_x[i * p + k] = s.sens_xq[i * q + c];
+                }
+            }
+        }
+        if s.sens_x.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::NonFiniteDerivative { t: self.t });
+        }
+        for k in 0..p {
+            let off = n * (k + 1);
+            for i in 0..n {
+                s.y[off + i] = s.sens_x[i * p + k];
+            }
+        }
         Ok(())
     }
 
@@ -658,6 +923,34 @@ impl<'a, R: OdeRhs> Bdf<'a, R> {
         self.change_step(new_h, s);
         Ok(true)
     }
+}
+
+/// The worst per-column weighted RMS norm over the `p` interleaved
+/// columns of row-major `n × p` blocks `err`/`y` — the blocked-solve
+/// analogue of [`error_norm`]. Returns a non-finite value as soon as one
+/// column produces one, so callers can bail out of refinement.
+fn max_column_norm(err: &[f64], y: &[f64], n: usize, p: usize, rtol: f64, atol: f64) -> f64 {
+    let mut worst = 0.0f64;
+    for k in 0..p {
+        let norm = column_norm(err, y, n, p, k, rtol, atol);
+        if !norm.is_finite() {
+            return norm;
+        }
+        worst = worst.max(norm);
+    }
+    worst
+}
+
+/// The weighted RMS norm of column `k` of row-major `n × p` blocks
+/// `err`/`y` — [`error_norm`] over one interleaved column.
+fn column_norm(err: &[f64], y: &[f64], n: usize, p: usize, k: usize, rtol: f64, atol: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..n {
+        let e = err[i * p + k];
+        let w = atol + rtol * y[i * p + k].abs();
+        sum += (e / w) * (e / w);
+    }
+    (sum / n.max(1) as f64).sqrt()
 }
 
 /// The dense Jacobian store, reused across refreshes (reallocated only if
@@ -701,6 +994,36 @@ pub fn solve_bdf_with_jacobian<'a, R: OdeRhs>(
         out.push(solver.y().to_vec());
     }
     Ok((out, solver.stats()))
+}
+
+/// [`solve_bdf_with_jacobian`] with forward sensitivities: integrates the
+/// state and `∂y/∂p` together, sampling both at the requested times.
+///
+/// Returns `(states, sensitivities, stats)`: `states[r]` is `y(times[r])`
+/// and `sensitivities[r]` the corresponding `∂y/∂p`, parameter-major
+/// (`k*dim + i` = `∂y_i/∂p_k`), starting from `∂y/∂p = 0` at `t0`.
+#[allow(clippy::type_complexity)]
+pub fn solve_bdf_sensitivities<'a, R: OdeRhs>(
+    rhs: &'a R,
+    sens: &'a dyn SensitivityRhs,
+    t0: f64,
+    y0: &[f64],
+    times: &[f64],
+    options: SolverOptions,
+    source: JacobianSource<'a>,
+) -> Result<(Vec<Vec<f64>>, Vec<Vec<f64>>, SolveStats), SolverError> {
+    let mut solver = Bdf::new(rhs, t0, y0, options);
+    solver.set_jacobian_source(source);
+    solver.set_sensitivities(sens);
+    let n = rhs.dim();
+    let mut states = Vec::with_capacity(times.len());
+    let mut sensitivities = Vec::with_capacity(times.len());
+    for &t in times {
+        solver.integrate_to(t)?;
+        states.push(solver.y()[..n].to_vec());
+        sensitivities.push(solver.sensitivities().to_vec());
+    }
+    Ok((states, sensitivities, solver.stats()))
 }
 
 #[cfg(test)]
@@ -940,6 +1263,181 @@ mod tests {
         assert!(
             an_stats.fevals + (n / 2) * an_stats.jevals <= fd_stats.fevals,
             "analytic {an_stats:?} vs fd {fd_stats:?}"
+        );
+    }
+
+    /// Dense `∂f/∂p` from a closure, for tests.
+    struct FnSens<F: Fn(f64, &[f64], &mut [f64])> {
+        n_params: usize,
+        f: F,
+    }
+    impl<F: Fn(f64, &[f64], &mut [f64])> crate::problem::SensitivityRhs for FnSens<F> {
+        fn n_params(&self) -> usize {
+            self.n_params
+        }
+        fn eval_dfdp(&self, t: f64, y: &[f64], out: &mut [f64]) {
+            (self.f)(t, y, out)
+        }
+    }
+
+    #[test]
+    fn decay_sensitivity_matches_closed_form() {
+        // y' = -k y, y(0) = 1: y = e^{-kt}, ∂y/∂k = -t e^{-kt}.
+        let k = 1.7;
+        let rhs = FnRhs::new(1, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -k * y[0]
+        });
+        let sens = FnSens {
+            n_params: 1,
+            f: |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0],
+        };
+        let options = SolverOptions {
+            rtol: 1e-9,
+            atol: 1e-12,
+            // Closed-form comparison: integrate the sensitivity itself to
+            // tolerance instead of riding the state's step sizes.
+            sens_error_control: true,
+            ..SolverOptions::default()
+        };
+        let times = [0.5, 1.0, 2.0];
+        let (states, sensitivities, stats) = solve_bdf_sensitivities(
+            &rhs,
+            &sens,
+            0.0,
+            &[1.0],
+            &times,
+            options,
+            JacobianSource::FdDense,
+        )
+        .unwrap();
+        for (r, &t) in times.iter().enumerate() {
+            let y_exact = (-k * t).exp();
+            let s_exact = -t * y_exact;
+            assert!(
+                (states[r][0] - y_exact).abs() < 1e-6,
+                "t={t}: y {} vs {y_exact}",
+                states[r][0]
+            );
+            assert!(
+                (sensitivities[r][0] - s_exact).abs() < 1e-5 * s_exact.abs().max(1e-3),
+                "t={t}: s {} vs {s_exact}",
+                sensitivities[r][0]
+            );
+        }
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn two_parameter_sensitivities_match_fd() {
+        // Robertson-like two-parameter system; cross-check ∂y/∂p against
+        // central differences of full solves at tight tolerance.
+        let solve = |p: &[f64], with_sens: bool| {
+            let (k1, k2) = (p[0], p[1]);
+            let rhs = FnRhs::new(2, move |_t, y: &[f64], ydot: &mut [f64]| {
+                ydot[0] = -k1 * y[0] * y[0] + k2 * y[1];
+                ydot[1] = k1 * y[0] * y[0] - k2 * y[1];
+            });
+            let options = SolverOptions {
+                rtol: 1e-10,
+                atol: 1e-13,
+                ..SolverOptions::default()
+            };
+            let times = [2.0];
+            if with_sens {
+                let sens = FnSens {
+                    n_params: 2,
+                    f: |_t, y: &[f64], out: &mut [f64]| {
+                        // Parameter-major: block 0 = ∂f/∂k1, block 1 = ∂f/∂k2.
+                        out[0] = -y[0] * y[0];
+                        out[1] = y[0] * y[0];
+                        out[2] = y[1];
+                        out[3] = -y[1];
+                    },
+                };
+                let (st, se, _) = solve_bdf_sensitivities(
+                    &rhs,
+                    &sens,
+                    0.0,
+                    &[1.0, 0.0],
+                    &times,
+                    options,
+                    JacobianSource::FdDense,
+                )
+                .unwrap();
+                (st[0].clone(), se[0].clone())
+            } else {
+                let (st, _) = solve_bdf(&rhs, 0.0, &[1.0, 0.0], &times, options).unwrap();
+                (st[0].clone(), Vec::new())
+            }
+        };
+        let p0 = [0.9, 0.4];
+        let (_, analytic) = solve(&p0, true);
+        for k in 0..2 {
+            // Step well above the solver noise floor (rtol/h amplifies
+            // the solve-to-solve error of the FD reference).
+            let h = 1e-4 * p0[k];
+            let mut pp = p0;
+            let mut pm = p0;
+            pp[k] += h;
+            pm[k] -= h;
+            let (yp, _) = solve(&pp, false);
+            let (ym, _) = solve(&pm, false);
+            for i in 0..2 {
+                let fd = (yp[i] - ym[i]) / (2.0 * h);
+                let got = analytic[k * 2 + i];
+                // The FD reference carries solve-to-solve noise (the step
+                // sequence itself depends on p), so its accuracy is a few
+                // orders above the solver tolerance.
+                assert!(
+                    (got - fd).abs() < 5e-5 * fd.abs().max(1e-2),
+                    "∂y{i}/∂p{k}: analytic {got} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivities_empty_without_source() {
+        let rhs = FnRhs::new(1, |_t, y: &[f64], ydot: &mut [f64]| ydot[0] = -y[0]);
+        let mut solver = Bdf::new(&rhs, 0.0, &[1.0], SolverOptions::default());
+        solver.integrate_to(1.0).unwrap();
+        assert!(solver.sensitivities().is_empty());
+    }
+
+    #[test]
+    fn sensitivity_with_sparse_factorization() {
+        // Force the sparse Newton kernel and make sure the shared
+        // factorization also serves the sensitivity solves.
+        let k = 2.5;
+        let rhs = FnRhs::new(1, move |_t, y: &[f64], ydot: &mut [f64]| {
+            ydot[0] = -k * y[0]
+        });
+        let sens = FnSens {
+            n_params: 1,
+            f: |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0],
+        };
+        let options = SolverOptions {
+            rtol: 1e-9,
+            atol: 1e-12,
+            linear_solver: LinearSolver::Sparse,
+            ..SolverOptions::default()
+        };
+        let (_, sensitivities, _) = solve_bdf_sensitivities(
+            &rhs,
+            &sens,
+            0.0,
+            &[1.0],
+            &[1.0],
+            options,
+            JacobianSource::FdDense,
+        )
+        .unwrap();
+        // ∂/∂k of y(t) = e^{−kt} at t = 1 is −t·e^{−kt} = −e^{−k}.
+        let s_exact = -((-k * 1.0f64).exp());
+        assert!(
+            (sensitivities[0][0] - s_exact).abs() < 1e-5,
+            "{} vs {s_exact}",
+            sensitivities[0][0]
         );
     }
 

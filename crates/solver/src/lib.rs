@@ -29,12 +29,15 @@ pub mod rk45;
 pub mod sparse;
 
 pub use adams::{solve_adams, Adams};
-pub use bdf::{solve_bdf, solve_bdf_with_jacobian, Bdf, JacobianSource, MAX_ORDER};
+pub use bdf::{
+    solve_bdf, solve_bdf_sensitivities, solve_bdf_with_jacobian, Bdf, JacobianSource, MAX_ORDER,
+};
 pub use coloring::{fd_jacobian_colored, fd_jacobian_colored_into, SparsityPattern};
 pub use jacobian::{fd_jacobian, fd_jacobian_into, fd_step, AnalyticJacobian, FdWorkspace};
 pub use linalg::{CsrMatrix, LinalgError, Lu, Matrix};
 pub use problem::{
-    error_norm, CancelToken, FnRhs, LinearSolver, OdeRhs, SolveStats, SolverError, SolverOptions,
+    error_norm, CancelToken, FnRhs, LinearSolver, OdeRhs, SensitivityRhs, SolveStats, SolverError,
+    SolverOptions,
 };
 pub use rk45::{solve_rk45, Rk45};
 pub use sparse::{iteration_matrix_pattern, CscMatrix, SparseLu, SparseNewton, SymbolicLu};

@@ -56,6 +56,33 @@ pub trait OdeRhs {
     }
 }
 
+/// The parameter coupling of a forward sensitivity problem: for
+/// parameters `p_1..p_m`, the sensitivity vectors `s_k = ∂y/∂p_k` obey
+/// `ṡ_k = J(t, y)·s_k + ∂f/∂p_k(t, y)`. The Jacobian part comes from the
+/// solver's existing [`crate::jacobian::AnalyticJacobian`] machinery;
+/// this trait supplies the inhomogeneous term `∂f/∂p_k`.
+pub trait SensitivityRhs {
+    /// Number of parameters `m`.
+    fn n_params(&self) -> usize;
+
+    /// Evaluate `∂f/∂p` at `(t, y)` into `out`, laid out parameter-major:
+    /// `out[k*dim + i] = ∂f_i/∂p_k` with `dim = y.len()`. `out` has
+    /// length `n_params() * y.len()`; its previous contents are
+    /// unspecified, so implementations must write every slot (zeroing
+    /// first when scattering a sparse pattern).
+    fn eval_dfdp(&self, t: f64, y: &[f64], out: &mut [f64]);
+}
+
+impl<T: SensitivityRhs + ?Sized> SensitivityRhs for &T {
+    fn n_params(&self) -> usize {
+        (**self).n_params()
+    }
+
+    fn eval_dfdp(&self, t: f64, y: &[f64], out: &mut [f64]) {
+        (**self).eval_dfdp(t, y, out)
+    }
+}
+
 /// Wrap a closure as an [`OdeRhs`].
 pub struct FnRhs<F: Fn(f64, &[f64], &mut [f64])> {
     dim: usize,
@@ -153,6 +180,13 @@ pub struct SolverOptions {
     pub max_steps: usize,
     /// Direct method for the Newton iteration matrix (implicit solvers).
     pub linear_solver: LinearSolver,
+    /// Include the forward-sensitivity blocks in the BDF step-error
+    /// estimate. Off by default (the CVODES convention): the state alone
+    /// drives step selection, so a sensitivity-augmented solve costs the
+    /// same step sequence as a plain one. Switch on when the
+    /// sensitivities themselves must be integrated to the requested
+    /// tolerance rather than riding the state's step sizes.
+    pub sens_error_control: bool,
 }
 
 impl Default for SolverOptions {
@@ -165,6 +199,7 @@ impl Default for SolverOptions {
             h_max: f64::INFINITY,
             max_steps: 1_000_000,
             linear_solver: LinearSolver::default(),
+            sens_error_control: false,
         }
     }
 }

@@ -586,6 +586,66 @@ impl SparseLu {
         }
         Ok(())
     }
+
+    /// Solve `A X = B` for `ncols` right-hand sides at once, overwriting
+    /// `bs` with the solutions. `bs` is row-major `n × ncols` (row `i`
+    /// occupies `bs[i*ncols..(i+1)*ncols]`), so each factor entry is
+    /// loaded once and applied to every column over contiguous memory —
+    /// much cheaper than `ncols` separate single-vector solves.
+    pub fn solve_multi_in_place(&self, bs: &mut [f64], ncols: usize) -> Result<(), LinalgError> {
+        let s = &self.symbolic;
+        let n = s.n;
+        if ncols == 0 || bs.len() != n * ncols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut scratch = self.solve_scratch.borrow_mut();
+        scratch.resize(n * ncols, 0.0);
+        let x = &mut scratch[..n * ncols];
+        for k in 0..n {
+            let src = s.perm[k] as usize;
+            x[k * ncols..(k + 1) * ncols].copy_from_slice(&bs[src * ncols..(src + 1) * ncols]);
+        }
+        // Forward: L Z = PB, columns of unit-lower L.
+        for j in 0..n {
+            for li in s.l_ptr[j]..s.l_ptr[j + 1] {
+                let l = self.l_vals[li];
+                let r = s.l_idx[li] as usize;
+                let (head, tail) = x.split_at_mut(r * ncols);
+                let row_j = &head[j * ncols..(j + 1) * ncols];
+                let row_r = &mut tail[..ncols];
+                for c in 0..ncols {
+                    row_r[c] -= l * row_j[c];
+                }
+            }
+        }
+        // Backward: U W = Z, columns of U with the diagonal stored last.
+        for j in (0..n).rev() {
+            let uspan = s.u_ptr[j]..s.u_ptr[j + 1];
+            let d = self.u_vals[uspan.end - 1];
+            for c in 0..ncols {
+                x[j * ncols + c] /= d;
+            }
+            for idx in uspan.start..uspan.end - 1 {
+                let u = self.u_vals[idx];
+                let r = s.u_idx[idx] as usize;
+                let (head, tail) = x.split_at_mut(j * ncols);
+                let row_r = &mut head[r * ncols..(r + 1) * ncols];
+                let row_j = &tail[..ncols];
+                for c in 0..ncols {
+                    row_r[c] -= u * row_j[c];
+                }
+            }
+        }
+        // Un-permute and restore the scratch invariant (zero, length n)
+        // for the single-vector path.
+        for k in 0..n {
+            bs[s.perm[k] as usize * ncols..][..ncols]
+                .copy_from_slice(&x[k * ncols..(k + 1) * ncols]);
+        }
+        scratch.clear();
+        scratch.resize(n, 0.0);
+        Ok(())
+    }
 }
 
 /// Debug-only membership test: is permuted row `ip` structurally present
@@ -743,6 +803,12 @@ impl SparseNewton {
     /// Solve with the last successful factorization.
     pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
         self.lu.solve_in_place(b)
+    }
+
+    /// Blocked multi-right-hand-side solve with the last successful
+    /// factorization; `bs` is row-major `n × ncols`.
+    pub fn solve_multi_in_place(&self, bs: &mut [f64], ncols: usize) -> Result<(), LinalgError> {
+        self.lu.solve_multi_in_place(bs, ncols)
     }
 }
 

@@ -11,7 +11,7 @@ use rms_parallel::{EstimatorConfig, ExperimentFile, FailurePolicy, RetryPolicy};
 
 use crate::{
     CompilerSession, EngineMode, JacobianMode, LinearSolver, LmOptions, OptLevel,
-    ParallelEstimator, SessionOptions, SolverOptions, Stage, SuiteModel,
+    ParallelEstimator, ResidualJacobianMode, SessionOptions, SolverOptions, Stage, SuiteModel,
 };
 
 /// A parsed CLI invocation.
@@ -84,6 +84,12 @@ pub enum Command {
         on_failure: FailurePolicy,
         /// Jacobian source for the BDF solver in each simulation.
         jacobian: JacobianMode,
+        /// How the optimizer builds the residual Jacobian `∂r/∂p`.
+        residual_jacobian: ResidualJacobianMode,
+        /// Relative finite-difference step for the residual Jacobian and
+        /// the fit statistics; `None` derives it from the solver
+        /// tolerance (`√rtol`).
+        fd_step: Option<f64>,
         /// Direct method for the Newton iteration matrix.
         linear_solver: LinearSolver,
         /// On-disk artifact cache directory.
@@ -197,6 +203,8 @@ USAGE:
                 [--collective-timeout SECS] [--max-retries N]
                 [--on-solver-failure penalize|abort]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-colored)
+                [--residual-jacobian analytic|fd]           (default analytic)
+                [--fd-step REL]                             (default sqrt(solver rtol))
                 [--linear-solver dense|sparse|auto]         (default auto)
                 [--cache-dir DIR]
   rmsc serve    [--workers N] [--queue-capacity N] [--cache-dir DIR]
@@ -226,6 +234,16 @@ The --jacobian modes: 'analytic' runs the compiler-emitted sparse
 Jacobian tapes (exact derivatives, CSE-shared with the RHS tape);
 'fd-colored' uses colored finite differences over the structural
 sparsity; 'fd-dense' perturbs every state variable.
+
+The --residual-jacobian modes select how the optimizer obtains the
+residual Jacobian ∂r/∂p: 'analytic' integrates the forward sensitivity
+ODEs alongside each simulation (one augmented solve per file per
+Jacobian, independent of the parameter count, falling back to finite
+differences when sensitivities are unavailable); 'fd' re-solves every
+file once per parameter with a bound-aware forward difference.
+--fd-step sets the relative finite-difference step used by the 'fd'
+mode, the fallback path, and the fit statistics; the default √rtol
+sits above the ODE solver's noise floor.
 
 The --linear-solver methods factor the Newton iteration matrix
 I − hβJ: 'dense' is LU with partial pivoting; 'sparse' is a
@@ -417,6 +435,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--max-retries",
                     "--on-solver-failure",
                     "--jacobian",
+                    "--residual-jacobian",
+                    "--fd-step",
                     "--linear-solver",
                     "--cache-dir",
                 ],
@@ -443,6 +463,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 None => FailurePolicy::Penalize,
                 Some(v) => v.parse().map_err(|e: String| usage_err(e))?,
             };
+            let residual_jacobian = match flag_value(args, "--residual-jacobian") {
+                None => ResidualJacobianMode::default(),
+                Some(v) => v.parse().map_err(|e: String| usage_err(e))?,
+            };
+            let fd_step = match flag_value(args, "--fd-step") {
+                None => None,
+                Some(v) => {
+                    let step: f64 = v
+                        .parse()
+                        .map_err(|_| usage_err(format!("--fd-step takes a number, got '{v}'")))?;
+                    if !step.is_finite() || step <= 0.0 {
+                        return Err(usage_err(format!(
+                            "--fd-step must be a positive relative step, got '{v}'"
+                        )));
+                    }
+                    Some(step)
+                }
+            };
             Ok(Command::Estimate {
                 input: input(1)?,
                 data_dir: flag_value(args, "--data")
@@ -454,6 +492,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_retries: parse_num(args, "--max-retries", 1)?,
                 on_failure,
                 jacobian: parse_jacobian(args, JacobianMode::FdColored)?,
+                residual_jacobian,
+                fd_step,
                 linear_solver: parse_linear_solver(args)?,
                 cache_dir: parse_cache_dir(args),
             })
@@ -539,6 +579,9 @@ struct LoadOptions<'a> {
     /// Run the *Deriv* stage so the artifact carries the analytic
     /// Jacobian tapes (set when `--jacobian analytic` will use them).
     deriv: bool,
+    /// Also compile the parameter-sensitivity tapes (set when
+    /// `--residual-jacobian analytic` will consume them).
+    sensitivity: bool,
 }
 
 /// Compile `path` through a [`CompilerSession`]. A missing or unreadable
@@ -556,6 +599,7 @@ fn load_model(
     session.cache_dir = opts.cache_dir.map(Path::to_path_buf);
     session.dump = opts.dump;
     session.deriv = opts.deriv;
+    session.sensitivity = opts.sensitivity;
     let compiled = CompilerSession::with_options(session)
         .compile_source(&filename, &source)
         .map_err(|d| CliError::Diagnostic(d.render(&filename, &source)))?;
@@ -638,6 +682,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     cache_dir: cache_dir.as_deref(),
                     dump: *dump,
                     deriv: *dump == Some(Stage::Deriv),
+                    sensitivity: false,
                 },
             )?;
             if dump.is_some() {
@@ -817,6 +862,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             max_retries,
             on_failure,
             jacobian,
+            residual_jacobian,
+            fd_step,
             linear_solver,
             cache_dir,
         } => {
@@ -826,6 +873,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 LoadOptions {
                     cache_dir: cache_dir.as_deref(),
                     deriv: *jacobian == JacobianMode::Analytic,
+                    sensitivity: *residual_jacobian == ResidualJacobianMode::Analytic,
                     ..LoadOptions::default()
                 },
             )?;
@@ -871,19 +919,24 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 .collect();
             let start = model.system.rate_values.clone();
             let (lo, hi) = model.rates.bounds_vectors();
+            // The residual is an adaptive ODE solve, so its
+            // finite-difference noise floor sits near the solver
+            // tolerance: derive the default step from it (√rtol) rather
+            // than LmOptions' analytically-smooth √ε default.
+            let step = fd_step.unwrap_or_else(|| simulator.options.rtol.sqrt());
             let options = LmOptions {
                 max_iters: 60,
-                fd_step: 1e-3,
+                fd_step: step,
                 ..LmOptions::default()
             };
             let result = estimator
-                .estimate(&start, &lo, &hi, options)
+                .estimate_with_jacobian(&start, &lo, &hi, options, *residual_jacobian)
                 .map_err(|e| err(format!("estimation: {e}")))?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
-                "converged: {:?} after {} iterations, {} residual evals",
-                result.stop, result.iterations, result.fevals
+                "converged: {:?} after {} iterations, {} residual evals, {} Jacobian builds ({residual_jacobian})",
+                result.stop, result.iterations, result.fevals, result.jevals
             );
             let _ = writeln!(out, "{:<14} {:>12} {:>12}", "parameter", "start", "fitted");
             for (i, name) in names.iter().enumerate() {
@@ -918,8 +971,14 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 n: start.len(),
                 m: result.residuals.len(),
             };
-            if let Ok(stats) = FitStatistics::evaluate(&wrap, &result.params, None, options.fd_step)
-            {
+            if let Ok(stats) = FitStatistics::evaluate_bounded(
+                &wrap,
+                &result.params,
+                None,
+                &lo,
+                &hi,
+                options.fd_step,
+            ) {
                 let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
                 let _ = writeln!(out, "{}", stats.report(&name_refs));
             }
@@ -1196,6 +1255,8 @@ mod tests {
                 jacobian: JacobianMode::FdColored,
                 linear_solver: LinearSolver::Auto,
                 cache_dir: None,
+                residual_jacobian: ResidualJacobianMode::Analytic,
+                fd_step: None,
             }
         );
         // Defaults: 2 workers, no deadline, 1 retry, penalize.
@@ -1213,8 +1274,26 @@ mod tests {
                 jacobian: JacobianMode::FdColored,
                 linear_solver: LinearSolver::Auto,
                 cache_dir: None,
+                residual_jacobian: ResidualJacobianMode::Analytic,
+                fd_step: None,
             }
         );
+        // The residual-Jacobian mode and FD step are tunable.
+        match parse_args(&argv(
+            "estimate m.rdl --data d --residual-jacobian fd --fd-step 5e-4",
+        ))
+        .unwrap()
+        {
+            Command::Estimate {
+                residual_jacobian,
+                fd_step,
+                ..
+            } => {
+                assert_eq!(residual_jacobian, ResidualJacobianMode::Fd);
+                assert_eq!(fd_step, Some(5e-4));
+            }
+            other => panic!("{other:?}"),
+        }
         // Malformed invocations are usage errors (exit 2).
         for bad in [
             "estimate m.rdl --data d --workers 0",
@@ -1234,6 +1313,11 @@ mod tests {
             // ... and bad --linear-solver values.
             "simulate m.rdl --linear-solver cholesky",
             "estimate m.rdl --data d --linear-solver qr",
+            // ... and bad residual-Jacobian flags.
+            "estimate m.rdl --data d --residual-jacobian wrong",
+            "estimate m.rdl --data d --fd-step nope",
+            "estimate m.rdl --data d --fd-step -1",
+            "simulate m.rdl --residual-jacobian analytic",
         ] {
             let error = parse_args(&argv(bad)).unwrap_err();
             assert_eq!(error.exit_code(), 2, "{bad}: {error}");

@@ -40,32 +40,37 @@ use std::sync::Arc;
 pub mod cli;
 
 pub use rms_core::{
-    compact_registers, compile_jacobian, differentiate_forest, emit_c, generic_compile,
-    generic_compile_best_effort, lower, optimize, optimize_with_passes, species_dependencies,
-    CompiledOde, CseOptions, ExecFrame, ExecTape, Expr, ExprForest, GenericError, GenericOptions,
-    JacobianTapes, OptLevel, Passes, Tape, FMA_CONTRACTS, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
+    compact_registers, compile_jacobian, compile_sensitivity, differentiate_forest, emit_c,
+    generic_compile, generic_compile_best_effort, lower, optimize, optimize_with_passes,
+    species_dependencies, CompiledOde, CseOptions, ExecFrame, ExecTape, Expr, ExprForest,
+    GenericError, GenericOptions, JacobianTapes, OptLevel, Passes, SensitivityTapes, Tape,
+    FMA_CONTRACTS, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
 pub use rms_driver::{
     cache, CacheMode, CacheStats, CacheStatus, Compiled, CompiledArtifact, CompilerSession,
     Diagnostic, PipelineReport, SessionOptions, Span, Stage, StageRecord,
 };
 pub use rms_molecule as molecule;
-pub use rms_nlopt::{LmOptions, LmResult, StopReason};
+pub use rms_nlopt::{bounded_fd_step, FitStatistics, LmOptions, LmResult, Residual, StopReason};
 pub use rms_odegen::{generate, GenerateOptions, OdeSystem, OpCounts};
 pub use rms_parallel::{
     block_schedule, lpt_schedule, makespan, run_cluster, run_cluster_with, CommConfig, CommError,
     EstimatorConfig, EstimatorError, ExperimentFile, FailurePolicy, FaultPlan, FaultySimulator,
-    HealthReport, ParallelEstimator, RankPanic, RetryPolicy, ScheduleError, Simulator,
+    HealthReport, ParallelEstimator, RankPanic, ResidualJacobianMode, RetryPolicy, ScheduleError,
+    Simulator,
 };
 pub use rms_rcip::RateTable;
 pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};
 pub use rms_solver::{
-    fd_jacobian, fd_jacobian_colored, fd_step, solve_adams, solve_bdf, solve_bdf_with_jacobian,
-    solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource, LinearSolver, OdeRhs,
-    SolveStats, SolverOptions, SparseLu, SparseNewton, SparsityPattern, SymbolicLu,
+    fd_jacobian, fd_jacobian_colored, fd_step, solve_adams, solve_bdf, solve_bdf_sensitivities,
+    solve_bdf_with_jacobian, solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource,
+    LinearSolver, OdeRhs, SensitivityRhs, SolveStats, SolverOptions, SparseLu, SparseNewton,
+    SparsityPattern, SymbolicLu,
 };
 pub use rms_workload as workload;
-pub use rms_workload::{EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSimulator};
+pub use rms_workload::{
+    EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSensitivity, TapeSimulator,
+};
 
 /// Any error from the end-to-end pipeline: a span-carrying diagnostic
 /// naming the [`Stage`] that rejected the model.
@@ -208,6 +213,18 @@ impl SuiteModel {
         match &self.artifact.jacobian {
             Some(tapes) => tapes.clone(),
             None => compile_jacobian(&self.compiled.forest, Some(CseOptions::default())),
+        }
+    }
+
+    /// The parameter-sensitivity tapes for this model (RHS + Jacobian +
+    /// `∂f/∂p` sharing one register file). Returns the artifact's cached
+    /// tapes when the session compiled them
+    /// ([`SessionOptions::sensitivity`]); compiles them on the fly
+    /// otherwise.
+    pub fn sensitivity(&self) -> SensitivityTapes {
+        match &self.artifact.sensitivity {
+            Some(tapes) => tapes.clone(),
+            None => compile_sensitivity(&self.compiled.forest, Some(CseOptions::default())),
         }
     }
 

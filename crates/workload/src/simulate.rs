@@ -6,11 +6,11 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, Tape};
+use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, SensitivityTapes, Tape};
 use rms_parallel::Simulator;
 use rms_solver::{
     AnalyticJacobian, Bdf, CancelToken, FnRhs, JacobianSource, LinearSolver, OdeRhs, Rk45,
-    SolverError, SolverOptions, SparsityPattern,
+    SensitivityRhs, SolverError, SolverOptions, SparsityPattern,
 };
 
 /// Which right-hand-side evaluator the simulator runs.
@@ -165,6 +165,85 @@ impl AnalyticJacobian for TapeJacobian<'_> {
     }
 }
 
+/// Combined [`AnalyticJacobian`] + [`SensitivityRhs`] provider over a
+/// compiled [`SensitivityTapes`] triple, bound to one rate-constant
+/// vector for the duration of a solve. The BDF solver pulls its Newton
+/// iteration matrix from the `jac` group and the forward-sensitivity
+/// forcing `∂f/∂p_k` from the `dfdp` group; all three groups share one
+/// register file and the CSE'd subexpressions of the RHS.
+pub struct TapeSensitivity<'a> {
+    tapes: &'a SensitivityTapes,
+    rates: &'a [f64],
+    pattern: SparsityPattern,
+    /// `(ydot, jac_vals, dfdp_vals, regs, last_y)` scratch reused across
+    /// steps. `last_y` is the state of the most recent rhs+jac pass:
+    /// when `∂f/∂p` is requested at the same point (the solver always
+    /// refreshes the Jacobian right before the sensitivity forcing), the
+    /// dfdp tape resumes over the already-filled register file instead
+    /// of re-running all three groups.
+    #[allow(clippy::type_complexity)]
+    scratch: RefCell<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> TapeSensitivity<'a> {
+    /// Bind `tapes` to `rates` and extract the Jacobian sparsity.
+    pub fn new(tapes: &'a SensitivityTapes, rates: &'a [f64]) -> TapeSensitivity<'a> {
+        let pattern = SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+        TapeSensitivity {
+            tapes,
+            rates,
+            pattern,
+            scratch: RefCell::new(Default::default()),
+        }
+    }
+}
+
+impl AnalyticJacobian for TapeSensitivity<'_> {
+    fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    fn eval_values(&self, _t: f64, y: &[f64], vals: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (ydot, _, _, regs, last_y) = &mut *scratch;
+        ydot.resize(self.tapes.n_species, 0.0);
+        self.tapes.eval_rhs_jac(self.rates, y, ydot, vals, regs);
+        last_y.clear();
+        last_y.extend_from_slice(y);
+    }
+}
+
+impl SensitivityRhs for TapeSensitivity<'_> {
+    fn n_params(&self) -> usize {
+        self.tapes.n_rates
+    }
+
+    fn eval_dfdp(&self, _t: f64, y: &[f64], out: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (ydot, jac_vals, dfdp_vals, regs, last_y) = &mut *scratch;
+        let n = self.tapes.n_species;
+        ydot.resize(n, 0.0);
+        jac_vals.resize(self.tapes.jac_nnz(), 0.0);
+        dfdp_vals.resize(self.tapes.dfdp_nnz(), 0.0);
+        if last_y.as_slice() == y {
+            // The rhs+jac groups just ran here; only the dfdp group is
+            // left to evaluate over the shared register file.
+            self.tapes.eval_dfdp_resumed(self.rates, y, dfdp_vals, regs);
+        } else {
+            self.tapes
+                .eval_all(self.rates, y, ydot, jac_vals, dfdp_vals, regs);
+            last_y.clear();
+            last_y.extend_from_slice(y);
+        }
+        // Scatter the sparse (species, rate) entries into the dense
+        // parameter-major layout the solver consumes.
+        out.fill(0.0);
+        for (e, &(i, k)) in self.tapes.dfdp_entries.iter().enumerate() {
+            out[k as usize * n + i as usize] = dfdp_vals[e];
+        }
+    }
+}
+
 /// Simulates the measured property (a weighted sum of species
 /// concentrations — e.g. crosslink density) by integrating the compiled
 /// tape with the Gear/BDF stiff solver.
@@ -186,6 +265,9 @@ pub struct TapeSimulator {
     sparsity: SparsityPattern,
     /// Compiler-emitted analytic Jacobian tapes, when compiled.
     jacobian: Option<JacobianTapes>,
+    /// Compiler-emitted parameter-sensitivity tapes, when compiled:
+    /// enable one-solve residual Jacobians in the estimator.
+    sensitivity: Option<SensitivityTapes>,
     /// Which Jacobian source the BDF solver uses.
     jacobian_mode: JacobianMode,
     /// Which right-hand-side evaluator the solvers call.
@@ -233,8 +315,12 @@ impl TapeSimulator {
             .clone()
             .unwrap_or_else(|| ExecTape::compile(&tape));
         let sim = TapeSimulator::with_exec(tape, exec, artifact.system.initial.clone(), observable);
-        match &artifact.jacobian {
+        let sim = match &artifact.jacobian {
             Some(tapes) => sim.with_analytic_jacobian(tapes.clone()),
+            None => sim,
+        };
+        match &artifact.sensitivity {
+            Some(tapes) => sim.with_sensitivities(tapes.clone()),
             None => sim,
         }
     }
@@ -263,6 +349,7 @@ impl TapeSimulator {
             },
             sparsity,
             jacobian: None,
+            sensitivity: None,
             jacobian_mode: JacobianMode::default(),
             engine: EngineMode::default(),
             cancel: None,
@@ -277,6 +364,25 @@ impl TapeSimulator {
         self.jacobian = Some(tapes);
         self.jacobian_mode = JacobianMode::Analytic;
         self
+    }
+
+    /// Attach compiled parameter-sensitivity tapes. With tapes attached,
+    /// [`Simulator::simulate_with_sensitivities`] integrates the forward
+    /// sensitivity system alongside the state (sharing the Newton
+    /// factorization), and the parallel estimator's analytic
+    /// residual-Jacobian path becomes available.
+    pub fn with_sensitivities(mut self, tapes: SensitivityTapes) -> TapeSimulator {
+        assert_eq!(
+            tapes.n_species, self.tape.n_species,
+            "sensitivity tapes compiled for a different system"
+        );
+        self.sensitivity = Some(tapes);
+        self
+    }
+
+    /// Whether parameter-sensitivity tapes are attached.
+    pub fn has_sensitivities(&self) -> bool {
+        self.sensitivity.is_some()
     }
 
     /// Select the Jacobian source. [`JacobianMode::Analytic`] falls back
@@ -400,6 +506,75 @@ impl TapeSimulator {
         Ok(out)
     }
 
+    /// Sensitivity-augmented BDF solve: dispatch on the engine.
+    fn integrate_bdf_sens(
+        &self,
+        tapes: &SensitivityTapes,
+        rate_constants: &[f64],
+        y0: &[f64],
+        times: &[f64],
+        options: SolverOptions,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SolverError> {
+        match self.engine {
+            EngineMode::Exec => {
+                let rhs = ExecRhs::new(&self.exec, rate_constants);
+                self.integrate_bdf_sens_with(&rhs, tapes, rate_constants, y0, times, options)
+            }
+            EngineMode::Interp => {
+                let dim = self.tape.n_species;
+                let scratch = RefCell::new(Vec::new());
+                let rhs = FnRhs::new(dim, |_t, y: &[f64], ydot: &mut [f64]| {
+                    self.tape
+                        .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
+                });
+                self.integrate_bdf_sens_with(&rhs, tapes, rate_constants, y0, times, options)
+            }
+        }
+    }
+
+    /// Engine-generic sensitivity-augmented BDF body: the state and every
+    /// sensitivity column `s_k = ∂y/∂p_k` advance together, reusing the
+    /// shared `I − hβJ` factorization, and the observable's derivative at
+    /// each output time is the weighted sum `Σ w_i s_k[i]`.
+    fn integrate_bdf_sens_with<R: OdeRhs>(
+        &self,
+        rhs: &R,
+        tapes: &SensitivityTapes,
+        rate_constants: &[f64],
+        y0: &[f64],
+        times: &[f64],
+        options: SolverOptions,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SolverError> {
+        // Declared before `solver` so the provider outlives the borrows.
+        let provider = TapeSensitivity::new(tapes, rate_constants);
+        let mut solver = Bdf::new(rhs, 0.0, y0, options);
+        if let Some(token) = &self.cancel {
+            solver.set_cancel(token.clone());
+        }
+        solver.set_jacobian_source(JacobianSource::AnalyticTape(&provider));
+        solver.set_sensitivities(&provider);
+        let n = rhs.dim();
+        let p = tapes.n_rates;
+        let mut values = Vec::with_capacity(times.len());
+        let mut sens_rows = Vec::with_capacity(times.len());
+        for &t in times {
+            solver.integrate_to(t)?;
+            values.push(self.measure(&solver.y()[..n]));
+            let s = solver.sensitivities();
+            let row: Vec<f64> = (0..p)
+                .map(|k| {
+                    self.observable
+                        .iter()
+                        .zip(&s[k * n..(k + 1) * n])
+                        .map(|(w, v)| w * v)
+                        .sum()
+                })
+                .collect();
+            sens_rows.push(row);
+        }
+        Ok((values, sens_rows))
+    }
+
     /// Integrate with the explicit RK45 last resort.
     fn integrate_rk45(
         &self,
@@ -492,6 +667,48 @@ impl Simulator for TapeSimulator {
                 "all solvers failed: BDF: {primary}; BDF (tightened): {tightened}; RK45: {rk45}"
             )),
         }
+    }
+
+    fn sensitivity_params(&self) -> usize {
+        match &self.sensitivity {
+            Some(tapes) => tapes.n_rates,
+            None => 0,
+        }
+    }
+
+    /// One forward-sensitivity-augmented solve per call, independent of
+    /// the parameter count. The fallback chain here is two-stage (primary
+    /// BDF, then BDF with tightened tolerances): RK45 integrates no
+    /// sensitivity system, so a total failure surfaces as an error and
+    /// the estimator falls back to finite differences for this point.
+    fn simulate_with_sensitivities(
+        &self,
+        rate_constants: &[f64],
+        file_index: usize,
+        times: &[f64],
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+        let tapes = self
+            .sensitivity
+            .as_ref()
+            .ok_or_else(|| "no parameter-sensitivity tapes compiled".to_string())?;
+        let y0 = &self.initials[file_index % self.initials.len()];
+        let primary = match self.integrate_bdf_sens(tapes, rate_constants, y0, times, self.options)
+        {
+            Ok(out) => return Ok(out),
+            Err(e) => e,
+        };
+        if primary.is_cancelled() {
+            return Err(primary.to_string());
+        }
+        let tightened_options = SolverOptions {
+            rtol: self.options.rtol * 1e-2,
+            atol: self.options.atol * 1e-2,
+            ..self.options
+        };
+        self.integrate_bdf_sens(tapes, rate_constants, y0, times, tightened_options)
+            .map_err(|tightened| {
+                format!("sensitivity solves failed: BDF: {primary}; BDF (tightened): {tightened}")
+            })
     }
 }
 
@@ -742,6 +959,133 @@ mod tests {
                 "artifact {x} vs direct {y}"
             );
         }
+    }
+
+    fn small_simulator_with_sensitivities() -> (TapeSimulator, Vec<f64>) {
+        let model = generate_model(VulcanizationSpec {
+            sites: 3,
+            max_chain: 3,
+            neighbourhood: 1,
+        });
+        let sys = generate(&model.network, &model.rates, GenerateOptions::default()).unwrap();
+        let compiled = optimize(&sys, OptLevel::Full);
+        let sens = rms_core::compile_sensitivity(&compiled.forest, Some(Default::default()));
+        let mut observable = vec![0.0; sys.len()];
+        for &x in &model.crosslink_species {
+            observable[x.0 as usize] = 1.0;
+        }
+        (
+            TapeSimulator::new(compiled.tape, sys.initial.clone(), observable)
+                .with_sensitivities(sens),
+            sys.rate_values.clone(),
+        )
+    }
+
+    #[test]
+    fn sensitivities_match_central_differences() {
+        let (mut sim, rates) = small_simulator_with_sensitivities();
+        // Tight tolerances push the FD reference's solve-to-solve noise
+        // floor well below the comparison threshold.
+        sim.options.rtol = 1e-10;
+        sim.options.atol = 1e-13;
+        assert_eq!(
+            rms_parallel::Simulator::sensitivity_params(&sim),
+            rates.len()
+        );
+        let times = [0.3, 0.9, 1.8];
+        let (values, sens) = sim.simulate_with_sensitivities(&rates, 0, &times).unwrap();
+        let plain = sim.simulate(&rates, 0, &times).unwrap();
+        for (a, b) in values.iter().zip(&plain) {
+            assert!((a - b).abs() < 1e-7 * a.abs().max(1e-9), "{a} vs {b}");
+        }
+        assert_eq!(sens.len(), times.len());
+        for k in 0..rates.len() {
+            let h = 1e-4 * rates[k].abs().max(1e-4);
+            let mut up = rates.clone();
+            up[k] += h;
+            let mut dn = rates.clone();
+            dn[k] -= h;
+            let fwd = sim.simulate(&up, 0, &times).unwrap();
+            let bwd = sim.simulate(&dn, 0, &times).unwrap();
+            for r in 0..times.len() {
+                let fd = (fwd[r] - bwd[r]) / (2.0 * h);
+                let got = sens[r][k];
+                assert!(
+                    (got - fd).abs() < 5e-4 * fd.abs().max(1e-2),
+                    "t={} k={k}: analytic {got} vs fd {fd}",
+                    times[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivities_run_on_both_engines() {
+        let (mut sim, rates) = small_simulator_with_sensitivities();
+        let times = [0.5, 1.0];
+        let (exec_v, exec_s) = sim.simulate_with_sensitivities(&rates, 0, &times).unwrap();
+        sim.set_engine(EngineMode::Interp);
+        let (interp_v, interp_s) = sim.simulate_with_sensitivities(&rates, 0, &times).unwrap();
+        for (a, b) in exec_v.iter().zip(&interp_v) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-9), "{a} vs {b}");
+        }
+        for (ra, rb) in exec_s.iter().zip(&interp_s) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert!((a - b).abs() <= 1e-4 * a.abs().max(1e-6), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_without_tapes_rejects_sensitivity_requests() {
+        let (sim, rates) = small_simulator();
+        assert_eq!(rms_parallel::Simulator::sensitivity_params(&sim), 0);
+        let err = sim
+            .simulate_with_sensitivities(&rates, 0, &[1.0])
+            .unwrap_err();
+        assert!(err.contains("no parameter-sensitivity tapes"), "{err}");
+    }
+
+    #[test]
+    fn artifact_with_sensitivity_stage_attaches_tapes() {
+        use rms_driver::{CompilerSession, SessionOptions};
+        let model = generate_model(VulcanizationSpec {
+            sites: 3,
+            max_chain: 3,
+            neighbourhood: 1,
+        });
+        let crosslinks = model.crosslink_species.clone();
+        let mut options = SessionOptions::new(OptLevel::Full);
+        options.deriv = true;
+        options.sensitivity = true;
+        let compiled = CompilerSession::with_options(options)
+            .compile_network("sensitivity-test", model.network, model.rates)
+            .unwrap();
+        let artifact = &compiled.artifact;
+        assert!(artifact.sensitivity.is_some());
+        // Deriv-stage metrics cover the dfdp group.
+        let deriv = artifact
+            .report
+            .stage(rms_driver::Stage::Deriv)
+            .expect("Deriv ran");
+        assert!(deriv
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "dfdp_nnz" && *v > 0.0));
+        assert!(deriv
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "dfdp_instrs" && *v > 0.0));
+        let mut observable = vec![0.0; artifact.system.len()];
+        for &x in &crosslinks {
+            observable[x.0 as usize] = 1.0;
+        }
+        let sim = TapeSimulator::from_artifact(artifact, observable);
+        assert!(sim.has_sensitivities());
+        assert_eq!(
+            rms_parallel::Simulator::sensitivity_params(&sim),
+            artifact.system.rate_values.len()
+        );
     }
 
     #[test]
