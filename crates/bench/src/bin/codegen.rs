@@ -1,0 +1,431 @@
+//! Native codegen backend against the execution engine: RHS evals/sec
+//! for the dlopened kernel (scalar and lane-batched) versus the decoded
+//! exec tape, at the (scaled) Table 1 case sizes. Prints a comparison
+//! table and writes a machine-readable `BENCH_codegen.json`.
+//!
+//! The native backend removes the execution engine's last per-instruction
+//! dispatch: the optimized tape is emitted as straight-line C, compiled
+//! by the system compiler with `-O2 -ffp-contract=off`, and dlopened.
+//! Because the emitted code replays the tape's exact association order
+//! without FMA contraction, the trajectories are expected to be
+//! bit-compatible with the exec engine — the benchmark integrates the
+//! largest case on both engines and reports the norm-relative deviation.
+//!
+//! Usage:
+//!   codegen [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke]
+//!
+//! `--smoke` shrinks everything for CI: the two smallest cases at a deep
+//! scale with a few iterations — enough to validate the toolchain probe,
+//! the differential trajectory and the JSON artifact, not timings.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rms_bench::{compile_case_native, fmt_secs, parse_or_exit, run_bench, write_artifact};
+use rms_core::{ExecFrame, ExecTape, NativeKernel, OptLevel, LANES};
+use rms_suite::{EngineMode, JacobianMode, SolverOptions, Stage};
+use rms_workload::{scaled_case, TABLE1};
+
+const USAGE: &str = "\
+codegen — RHS evals/sec: execution engine vs compiled native kernel
+
+USAGE:
+  codegen [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke] [--force]
+
+  --scale K     divide the Table 1 equation counts by K (default 150)
+  --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
+  --iters N     RHS evaluations per engine measurement (default 800)
+  --out FILE    JSON artifact path (default BENCH_codegen.json)
+  --smoke       CI preset: --scale 500 --cases 1,2 --iters 16
+  --force       let a --smoke run overwrite a full-run JSON artifact
+";
+
+struct CaseResult {
+    case: usize,
+    equations: usize,
+    tape_instrs: usize,
+    source_bytes: usize,
+    render_secs: f64,
+    cc_secs: f64,
+    exec_secs: f64,
+    exec_batched_secs: f64,
+    native_secs: f64,
+    native_batched_secs: f64,
+}
+
+struct Config {
+    smoke: bool,
+    force: bool,
+    scale: usize,
+    iters: usize,
+    cases: Vec<usize>,
+    out_path: String,
+}
+
+fn main() {
+    let args = parse_or_exit(
+        USAGE,
+        &["--scale", "--cases", "--iters", "--out"],
+        &["--smoke", "--force"],
+    );
+    run_bench(USAGE, args, parse, run);
+}
+
+fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
+    let smoke = args.switch("--smoke");
+    let default_cases: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    let config = Config {
+        smoke,
+        force: args.switch("--force"),
+        scale: args.num("--scale", if smoke { 500 } else { 150 })?,
+        iters: args.num("--iters", if smoke { 16 } else { 800 })?,
+        cases: args.num_list("--cases", default_cases)?,
+        out_path: args
+            .value("--out")
+            .unwrap_or("BENCH_codegen.json")
+            .to_string(),
+    };
+    if config.cases.is_empty() || config.cases.iter().any(|&c| c == 0 || c > TABLE1.len()) {
+        return Err(format!("--cases takes ids in 1..={}", TABLE1.len()));
+    }
+    if config.iters == 0 {
+        return Err("--iters must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+/// Timing repetitions per measurement; the minimum is reported. The
+/// first rep doubles as warm-up, and the min discards scheduler and
+/// frequency-transition noise that a single sample would bake in.
+const REPS: usize = 3;
+
+/// Best-of-[`REPS`] wrapper around one timed measurement.
+fn best_of(mut measure: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| measure()).fold(f64::INFINITY, f64::min)
+}
+
+/// Seconds per scalar RHS evaluation on the execution engine.
+fn time_exec(exec: &ExecTape, rates: &[f64], y: &mut [f64], ydot: &mut [f64], iters: usize) -> f64 {
+    let mut frame = ExecFrame::new();
+    best_of(|| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            exec.eval(rates, y, ydot, &mut frame);
+            // Feed a little of the output back so the work is not dead code.
+            y[0] = 0.1 + ydot[0].abs().min(1.0) * 1e-9;
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    })
+}
+
+/// Seconds per state on the batched execution engine (`4 * LANES` states
+/// per call, the colored-FD sweep shape).
+fn time_exec_batched(exec: &ExecTape, rates: &[f64], y: &[f64], iters: usize) -> f64 {
+    let n = exec.n_species();
+    let n_states = 4 * LANES;
+    let mut ys = Vec::with_capacity(n_states * n);
+    for s in 0..n_states {
+        ys.extend(y.iter().map(|v| v + 1e-6 * s as f64));
+    }
+    let mut ydots = vec![0.0; n_states * exec.n_outputs()];
+    let mut frame = ExecFrame::new();
+    let rounds = (iters / n_states).max(1);
+    best_of(|| {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            exec.eval_batch(rates, &ys, &mut ydots, &mut frame);
+            ys[0] = 0.1 + ydots[0].abs().min(1.0) * 1e-9;
+        }
+        t0.elapsed().as_secs_f64() / (rounds * n_states) as f64
+    })
+}
+
+/// Seconds per scalar RHS evaluation on the native kernel.
+fn time_native(
+    kernel: &NativeKernel,
+    rates: &[f64],
+    y: &mut [f64],
+    ydot: &mut [f64],
+    iters: usize,
+) -> f64 {
+    best_of(|| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            kernel.eval(rates, y, ydot);
+            y[0] = 0.1 + ydot[0].abs().min(1.0) * 1e-9;
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    })
+}
+
+/// Seconds per state on the native batched entry point, mirroring the
+/// exec measurement shape.
+fn time_native_batched(kernel: &NativeKernel, rates: &[f64], y: &[f64], iters: usize) -> f64 {
+    let n = kernel.n_species();
+    let n_states = 4 * LANES;
+    let mut ys = Vec::with_capacity(n_states * n);
+    for s in 0..n_states {
+        ys.extend(y.iter().map(|v| v + 1e-6 * s as f64));
+    }
+    let mut ydots = vec![0.0; n_states * n];
+    let rounds = (iters / n_states).max(1);
+    best_of(|| {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            kernel.eval_batch(rates, &ys, &mut ydots);
+            ys[0] = 0.1 + ydots[0].abs().min(1.0) * 1e-9;
+        }
+        t0.elapsed().as_secs_f64() / (rounds * n_states) as f64
+    })
+}
+
+fn run(config: Config) -> Result<(), String> {
+    let Config {
+        smoke,
+        force,
+        scale,
+        iters,
+        cases,
+        out_path,
+    } = config;
+    let out_path = out_path.as_str();
+
+    let toolchain = rms_suite::probe_toolchain()
+        .map_err(|e| format!("codegen bench needs a C toolchain: {e}"))?;
+    println!(
+        "native codegen benchmark (scale 1/{scale}, {iters} evals per engine, cc: {})",
+        toolchain.version
+    );
+    println!(
+        "{:>5} {:>6} {:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9}",
+        "case",
+        "eqs",
+        "instrs",
+        "render",
+        "cc",
+        "exec",
+        "batched",
+        "native",
+        "nbatched",
+        "nat/ex",
+        "nb/bat"
+    );
+
+    let mut results = Vec::new();
+    for &case in &cases {
+        let model = scaled_case(case, scale);
+        let suite = compile_case_native(&model, OptLevel::Full);
+        let kernel = match suite.artifact().native.as_ref() {
+            Some(kernel) => kernel.clone(),
+            None => {
+                let why = suite
+                    .artifact()
+                    .native_diag
+                    .as_deref()
+                    .unwrap_or("unknown codegen failure");
+                return Err(format!("case {case}: no native kernel: {why}"));
+            }
+        };
+        let record = suite.report.stage(Stage::Codegen);
+        let render_secs = record.and_then(|r| r.get("render_seconds")).unwrap_or(0.0);
+        let cc_secs = record.and_then(|r| r.get("cc_seconds")).unwrap_or(0.0);
+        let source_bytes = record.and_then(|r| r.get("source_bytes")).unwrap_or(0.0) as usize;
+
+        let system = &suite.system;
+        let tape = &suite.compiled.tape;
+        let exec: ExecTape = suite
+            .exec
+            .clone()
+            .unwrap_or_else(|| ExecTape::compile(tape));
+        let n = system.len();
+        let rates = &system.rate_values;
+        let y0: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.1).collect();
+        let mut ydot = vec![0.0; n];
+
+        let mut y = y0.clone();
+        let exec_secs = time_exec(&exec, rates, &mut y, &mut ydot, iters);
+        let exec_batched_secs = time_exec_batched(&exec, rates, &y0, iters);
+        let mut y = y0.clone();
+        let native_secs = time_native(&kernel, rates, &mut y, &mut ydot, iters);
+        let native_batched_secs = time_native_batched(&kernel, rates, &y0, iters);
+
+        println!(
+            "{case:>5} {n:>6} {:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>8.2}x {:>8.2}x",
+            tape.len(),
+            fmt_secs(render_secs),
+            fmt_secs(cc_secs),
+            fmt_secs(exec_secs),
+            fmt_secs(exec_batched_secs),
+            fmt_secs(native_secs),
+            fmt_secs(native_batched_secs),
+            exec_secs / native_secs,
+            exec_batched_secs / native_batched_secs
+        );
+        results.push(CaseResult {
+            case,
+            equations: n,
+            tape_instrs: tape.len(),
+            source_bytes,
+            render_secs,
+            cc_secs,
+            exec_secs,
+            exec_batched_secs,
+            native_secs,
+            native_batched_secs,
+        });
+    }
+
+    let largest_case = *cases
+        .iter()
+        .max_by_key(|&&c| {
+            results
+                .iter()
+                .find(|r| r.case == c)
+                .map(|r| r.equations)
+                .unwrap_or(0)
+        })
+        .expect("at least one case");
+
+    // Differential integration on the largest case: full BDF solves on
+    // the exec and native engines must tell the same story. Without FMA
+    // contraction both replay the tape's association order exactly, so
+    // the deviation is expected to be 0.0.
+    let model = scaled_case(largest_case, scale);
+    let suite = compile_case_native(&model, OptLevel::Full);
+    let times: Vec<f64> = (1..=8).map(|i| 0.25 * i as f64).collect();
+    let options = SolverOptions::default();
+    let reference = suite
+        .simulate_configured(&times, options, JacobianMode::FdColored, EngineMode::Exec)
+        .map_err(|e| format!("exec integration failed: {e}"))?;
+    let native_traj = suite
+        .simulate_configured(&times, options, JacobianMode::FdColored, EngineMode::Native)
+        .map_err(|e| format!("native integration failed: {e}"))?;
+    let mut traj_diff: f64 = 0.0;
+    for (a, b) in reference.iter().flatten().zip(native_traj.iter().flatten()) {
+        traj_diff = traj_diff.max((a - b).abs() / a.abs().max(1.0));
+    }
+
+    let largest = results
+        .iter()
+        .find(|r| r.case == largest_case)
+        .expect("largest case measured");
+    println!(
+        "\nlargest case ({} equations): native {:.2}x scalar exec, {:.2}x batched exec; \
+         trajectory deviation {traj_diff:.3e}",
+        largest.equations,
+        largest.exec_secs / largest.native_secs,
+        largest.exec_batched_secs / largest.native_batched_secs
+    );
+
+    let json = render_json(
+        scale,
+        iters,
+        smoke,
+        &toolchain.version,
+        &results,
+        largest,
+        traj_diff,
+    );
+    write_artifact(out_path, &json, smoke, force)?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// Hand-rolled JSON (the workspace has no serde): flat and line-oriented
+/// so `python3 -m json.tool` and jq both take it.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: usize,
+    iters: usize,
+    smoke: bool,
+    cc: &str,
+    results: &[CaseResult],
+    largest: &CaseResult,
+    traj_diff: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"codegen\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"lanes\": {LANES},");
+    let _ = writeln!(out, "  \"cc\": {},", rms_driver_json_string(cc));
+    let _ = writeln!(out, "  \"cases\": [");
+    for (k, r) in results.iter().enumerate() {
+        let comma = if k + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"case\": {},", r.case);
+        let _ = writeln!(out, "      \"equations\": {},", r.equations);
+        let _ = writeln!(out, "      \"tape_instrs\": {},", r.tape_instrs);
+        let _ = writeln!(out, "      \"source_bytes\": {},", r.source_bytes);
+        let _ = writeln!(out, "      \"render_seconds\": {:.6},", r.render_secs);
+        let _ = writeln!(out, "      \"cc_seconds\": {:.6},", r.cc_secs);
+        let _ = writeln!(
+            out,
+            "      \"exec_evals_per_sec\": {:.1},",
+            1.0 / r.exec_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"exec_batched_evals_per_sec\": {:.1},",
+            1.0 / r.exec_batched_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"native_evals_per_sec\": {:.1},",
+            1.0 / r.native_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"native_batched_evals_per_sec\": {:.1},",
+            1.0 / r.native_batched_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"native_speedup_vs_exec\": {:.3},",
+            r.exec_secs / r.native_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"native_batched_speedup_vs_batched_exec\": {:.3}",
+            r.exec_batched_secs / r.native_batched_secs
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"largest_case\": {},", largest.case);
+    let _ = writeln!(out, "  \"largest_equations\": {},", largest.equations);
+    let _ = writeln!(
+        out,
+        "  \"largest_native_speedup_vs_exec\": {:.3},",
+        largest.exec_secs / largest.native_secs
+    );
+    let _ = writeln!(
+        out,
+        "  \"largest_native_batched_speedup_vs_batched_exec\": {:.3},",
+        largest.exec_batched_secs / largest.native_batched_secs
+    );
+    let _ = writeln!(out, "  \"largest_trajectory_deviation\": {traj_diff:.3e}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Minimal JSON string quoting for the compiler-version banner.
+fn rms_driver_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

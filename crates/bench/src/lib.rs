@@ -42,6 +42,15 @@ pub fn compile_case_deriv(model: &VulcanizationModel, level: OptLevel) -> SuiteM
     compile_with(model, options)
 }
 
+/// [`compile_case`] with the *Codegen* stage on: the artifact carries
+/// the compiled-and-dlopened native kernel when a C toolchain is
+/// available, and a fallback diagnostic (`native_diag`) otherwise.
+pub fn compile_case_native(model: &VulcanizationModel, level: OptLevel) -> SuiteModel {
+    let mut options = SessionOptions::new(level);
+    options.native = true;
+    compile_with(model, options)
+}
+
 /// [`compile_case`] with the *Deriv* stage and the parameter-sensitivity
 /// tapes on: the artifact carries both the analytic sparse Jacobian and
 /// the `∂f/∂p` tapes the sensitivity-augmented BDF integration needs.

@@ -28,6 +28,7 @@ pub mod emit_c;
 pub mod exec;
 pub mod expr;
 pub mod generic;
+pub mod native;
 pub mod pipeline;
 pub mod simplify;
 pub mod tape;
@@ -38,12 +39,16 @@ pub use deriv::{
     JacobianTapes, SensitivityTapes,
 };
 pub use distopt::{distribute_expr, distribute_forest};
-pub use emit_c::emit_c;
+pub use emit_c::{c_f64, emit_c, emit_kernel, KernelSpec, KERNEL_ABI_VERSION, KERNEL_LANES};
 pub use exec::{ExecFrame, ExecInstr, ExecTape, FMA_CONTRACTS, LANES};
 pub use expr::{Coeff, Expr, ExprForest, TempId};
 pub use generic::{
     generic_compile, generic_compile_best_effort, GenericError, GenericOptions, GenericResult,
     IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
+};
+pub use native::{
+    compile_and_load, compile_kernel, probe_toolchain, KernelMeta, NativeError, NativeKernel,
+    Toolchain,
 };
 pub use pipeline::{
     optimize, optimize_traced, optimize_with_passes, CompiledOde, OptLevel, PassEvent, PassTrace,

@@ -1,0 +1,651 @@
+//! Native kernel compilation and loading.
+//!
+//! Takes the C source produced by [`emit_kernel`](crate::emit_c::emit_kernel),
+//! hands it to the platform C compiler (`$CC`, falling back to `cc`, `gcc`,
+//! `clang`) as `-O2 -fPIC -shared -ffp-contract=off`, and `dlopen`s the
+//! resulting shared object behind the safe [`NativeKernel`] wrapper. This is
+//! the last mile of the paper's pipeline: the optimized forest executing as
+//! real machine code rather than an interpreted tape.
+//!
+//! Every kernel object exports its artifact fingerprint and dimensions
+//! (`rms_key`, `rms_n_species`, …); [`NativeKernel::load`] validates them
+//! against the expected [`KernelMeta`] before trusting any function pointer,
+//! so a stale or truncated `.so` in the cache directory is detected and can
+//! be quarantined by the caller instead of corrupting a simulation.
+//!
+//! Nothing in this module panics on a missing toolchain: every failure is a
+//! diagnosable [`NativeError`] so the driver can fall back to the exec
+//! engine.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Why a native kernel could not be produced or loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NativeError {
+    /// No working C compiler was found on this machine.
+    NoToolchain(String),
+    /// The compiler ran but failed; payload holds its stderr.
+    CompileFailed(String),
+    /// `dlopen`/`dlsym` failed on the shared object.
+    LoadFailed(String),
+    /// The object loaded but its fingerprint or dimensions disagree with
+    /// the artifact (stale or foreign `.so`).
+    Mismatch(String),
+    /// Native kernels are not supported on this platform.
+    Unsupported(String),
+    /// Filesystem error while writing source or renaming objects.
+    Io(String),
+}
+
+impl fmt::Display for NativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeError::NoToolchain(m) => write!(f, "no C toolchain: {m}"),
+            NativeError::CompileFailed(m) => write!(f, "C compilation failed: {m}"),
+            NativeError::LoadFailed(m) => write!(f, "loading shared object failed: {m}"),
+            NativeError::Mismatch(m) => write!(f, "kernel object mismatch: {m}"),
+            NativeError::Unsupported(m) => write!(f, "native kernels unsupported: {m}"),
+            NativeError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeError {}
+
+/// A detected C compiler.
+#[derive(Debug, Clone)]
+pub struct Toolchain {
+    /// Command name or path (e.g. `cc`).
+    pub cc: String,
+    /// First line of `--version` output.
+    pub version: String,
+}
+
+/// Find a working C compiler.
+///
+/// Honors `$CC` when set and non-empty (and then tries *only* that, so an
+/// explicit override never silently falls back to a different compiler);
+/// otherwise probes `cc`, `gcc`, `clang` in order. Probing is a single
+/// `--version` spawn per candidate — cheap next to an actual compile, and
+/// deliberately uncached so tests and long-running services observe
+/// environment changes.
+pub fn probe_toolchain() -> Result<Toolchain, NativeError> {
+    let explicit = std::env::var("CC").ok().filter(|s| !s.trim().is_empty());
+    let candidates: Vec<String> = match &explicit {
+        Some(cc) => vec![cc.clone()],
+        None => ["cc", "gcc", "clang"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    for cand in &candidates {
+        if let Ok(out) = Command::new(cand).arg("--version").output() {
+            if out.status.success() {
+                let version = String::from_utf8_lossy(&out.stdout)
+                    .lines()
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                return Ok(Toolchain {
+                    cc: cand.clone(),
+                    version,
+                });
+            }
+        }
+    }
+    Err(NativeError::NoToolchain(format!(
+        "tried {} (set $CC to override)",
+        candidates.join(", ")
+    )))
+}
+
+/// Compile `source` to a shared object at `out_so`.
+///
+/// The source is kept next to the object as `<out_so>.c` for inspection;
+/// the object is built to a process-unique temporary and renamed into
+/// place, so concurrent builders of the same key race benignly.
+pub fn compile_kernel(
+    source: &str,
+    out_so: &Path,
+    toolchain: &Toolchain,
+) -> Result<(), NativeError> {
+    let c_path = out_so.with_extension("so.c");
+    std::fs::write(&c_path, source)
+        .map_err(|e| NativeError::Io(format!("{}: {e}", c_path.display())))?;
+    let tmp = out_so.with_extension(format!("so.{}.tmp", std::process::id()));
+    // -march=native lets the lane kernel's 512-bit vectors map onto the
+    // host's widest SIMD instead of being split into baseline-SSE2 halves
+    // (the cache directory is per-machine, so host-tuned objects are
+    // safe). -ffp-contract=off keeps the op-for-op rounding identical to
+    // the interpreter either way. Retried without -march=native for
+    // compilers that reject it.
+    let run = |march: bool| {
+        let mut cmd = Command::new(&toolchain.cc);
+        if march {
+            cmd.arg("-march=native");
+        }
+        cmd.args(["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o"])
+            .arg(&tmp)
+            .arg(&c_path)
+            .output()
+            .map_err(|e| NativeError::NoToolchain(format!("{}: {e}", toolchain.cc)))
+    };
+    let mut out = run(true)?;
+    if !out.status.success() {
+        out = run(false)?;
+    }
+    if !out.status.success() {
+        let _ = std::fs::remove_file(&tmp);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let first = stderr.lines().take(4).collect::<Vec<_>>().join("; ");
+        return Err(NativeError::CompileFailed(format!(
+            "{} exited with {}: {first}",
+            toolchain.cc, out.status
+        )));
+    }
+    std::fs::rename(&tmp, out_so).map_err(|e| NativeError::Io(format!("{}: {e}", out_so.display())))
+}
+
+/// Expected identity of a kernel object, validated on load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelMeta {
+    /// Content-addressed artifact fingerprint.
+    pub key: u128,
+    /// State dimension.
+    pub n_species: usize,
+    /// Rate-constant count.
+    pub n_rates: usize,
+    /// Analytic-Jacobian nnz when `ode_jac` is expected.
+    pub jac_nnz: Option<usize>,
+    /// `(jac_nnz, dfdp_nnz)` when `ode_sens` is expected.
+    pub sens_nnz: Option<(usize, usize)>,
+}
+
+type RhsFn = unsafe extern "C" fn(*const f64, *const f64, *mut f64);
+type BatchFn = unsafe extern "C" fn(*const f64, *const f64, *mut f64, std::os::raw::c_long);
+type JacFn = unsafe extern "C" fn(*const f64, *const f64, *mut f64, *mut f64);
+type SensFn = unsafe extern "C" fn(*const f64, *const f64, *mut f64, *mut f64, *mut f64);
+
+/// A loaded native kernel: a `dlopen`ed shared object whose exported
+/// functions evaluate the RHS (scalar and batched), and optionally the
+/// analytic Jacobian and sensitivity tails, of one compiled model.
+///
+/// All entry points take slices and assert dimensions, so no unsafety
+/// leaks to callers. The underlying handle is closed on drop.
+pub struct NativeKernel {
+    #[cfg(unix)]
+    handle: *mut std::os::raw::c_void,
+    rhs: RhsFn,
+    rhs_batch: BatchFn,
+    jac: Option<JacFn>,
+    sens: Option<SensFn>,
+    meta: KernelMeta,
+    path: PathBuf,
+}
+
+// Safety: the kernel functions are pure (read inputs, write the provided
+// output buffers, no global state), and the raw handle is only used by
+// `Drop`, which runs at most once after all borrows end.
+unsafe impl Send for NativeKernel {}
+unsafe impl Sync for NativeKernel {}
+
+impl fmt::Debug for NativeKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeKernel")
+            .field("path", &self.path)
+            .field("key", &format_args!("{:032x}", self.meta.key))
+            .field("n_species", &self.meta.n_species)
+            .field("n_rates", &self.meta.n_rates)
+            .field("jac", &self.jac.is_some())
+            .field("sens", &self.sens.is_some())
+            .finish()
+    }
+}
+
+#[cfg(unix)]
+mod dl {
+    use std::os::raw::{c_char, c_int, c_void};
+
+    #[link(name = "dl")]
+    extern "C" {
+        pub fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
+        pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        pub fn dlclose(handle: *mut c_void) -> c_int;
+        pub fn dlerror() -> *mut c_char;
+    }
+
+    pub const RTLD_NOW: c_int = 2;
+
+    /// Drain and render the thread's dlerror state.
+    pub fn last_error() -> String {
+        unsafe {
+            let p = dlerror();
+            if p.is_null() {
+                "unknown dl error".to_string()
+            } else {
+                std::ffi::CStr::from_ptr(p).to_string_lossy().into_owned()
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl NativeKernel {
+    /// Load and validate a kernel object.
+    ///
+    /// Returns [`NativeError::LoadFailed`] when the file is not a loadable
+    /// shared object, and [`NativeError::Mismatch`] when it loads but was
+    /// built for a different artifact (wrong fingerprint, dimensions, ABI,
+    /// or missing an expected function). Both cases mean the file should
+    /// be quarantined and rebuilt.
+    pub fn load(path: &Path, expect: &KernelMeta) -> Result<Self, NativeError> {
+        use std::ffi::CString;
+
+        let c_path = CString::new(path.as_os_str().as_encoded_bytes())
+            .map_err(|_| NativeError::LoadFailed("path contains NUL".to_string()))?;
+        let handle = unsafe { dl::dlopen(c_path.as_ptr(), dl::RTLD_NOW) };
+        if handle.is_null() {
+            return Err(NativeError::LoadFailed(dl::last_error()));
+        }
+        // From here on, close the handle on any failure path.
+        let close = |e: NativeError| -> NativeError {
+            unsafe { dl::dlclose(handle) };
+            e
+        };
+        let sym = |name: &str| -> Result<*mut std::os::raw::c_void, NativeError> {
+            let c_name = CString::new(name).expect("symbol names are NUL-free");
+            let p = unsafe { dl::dlsym(handle, c_name.as_ptr()) };
+            if p.is_null() {
+                Err(NativeError::Mismatch(format!("missing symbol {name}")))
+            } else {
+                Ok(p)
+            }
+        };
+        let read_i32 =
+            |name: &str| -> Result<i32, NativeError> { Ok(unsafe { *(sym(name)? as *const i32) }) };
+        let read_i64 =
+            |name: &str| -> Result<i64, NativeError> { Ok(unsafe { *(sym(name)? as *const i64) }) };
+
+        let result = (|| -> Result<Self, NativeError> {
+            let abi = read_i32("rms_abi_version")?;
+            if abi != crate::emit_c::KERNEL_ABI_VERSION {
+                return Err(NativeError::Mismatch(format!(
+                    "abi version {abi}, expected {}",
+                    crate::emit_c::KERNEL_ABI_VERSION
+                )));
+            }
+            let key_ptr = sym("rms_key")? as *const u64;
+            let key = unsafe { (*key_ptr as u128) | ((*key_ptr.add(1) as u128) << 64) };
+            if key != expect.key {
+                return Err(NativeError::Mismatch(format!(
+                    "fingerprint {key:032x}, expected {:032x}",
+                    expect.key
+                )));
+            }
+            let n_species = read_i32("rms_n_species")? as usize;
+            let n_rates = read_i32("rms_n_rates")? as usize;
+            if n_species != expect.n_species || n_rates != expect.n_rates {
+                return Err(NativeError::Mismatch(format!(
+                    "dimensions {n_species}x{n_rates}, expected {}x{}",
+                    expect.n_species, expect.n_rates
+                )));
+            }
+            let jac_nnz = read_i64("rms_jac_nnz")?;
+            let sens_jac_nnz = read_i64("rms_sens_jac_nnz")?;
+            let dfdp_nnz = read_i64("rms_dfdp_nnz")?;
+
+            let rhs: RhsFn = unsafe { std::mem::transmute(sym("ode_rhs")?) };
+            let rhs_batch: BatchFn = unsafe { std::mem::transmute(sym("ode_rhs_batch")?) };
+            let jac = match expect.jac_nnz {
+                None => None,
+                Some(n) => {
+                    if jac_nnz != n as i64 {
+                        return Err(NativeError::Mismatch(format!(
+                            "jacobian nnz {jac_nnz}, expected {n}"
+                        )));
+                    }
+                    Some(unsafe {
+                        std::mem::transmute::<*mut std::ffi::c_void, JacFn>(sym("ode_jac")?)
+                    })
+                }
+            };
+            let sens = match expect.sens_nnz {
+                None => None,
+                Some((jn, dn)) => {
+                    if sens_jac_nnz != jn as i64 || dfdp_nnz != dn as i64 {
+                        return Err(NativeError::Mismatch(format!(
+                            "sensitivity nnz ({sens_jac_nnz}, {dfdp_nnz}), expected ({jn}, {dn})"
+                        )));
+                    }
+                    Some(unsafe {
+                        std::mem::transmute::<*mut std::ffi::c_void, SensFn>(sym("ode_sens")?)
+                    })
+                }
+            };
+            Ok(NativeKernel {
+                handle,
+                rhs,
+                rhs_batch,
+                jac,
+                sens,
+                meta: *expect,
+                path: path.to_path_buf(),
+            })
+        })();
+        result.map_err(close)
+    }
+}
+
+#[cfg(not(unix))]
+impl NativeKernel {
+    /// Native kernels require `dlopen`; unsupported on this platform.
+    pub fn load(_path: &Path, _expect: &KernelMeta) -> Result<Self, NativeError> {
+        Err(NativeError::Unsupported(
+            "dlopen-based kernel loading is only implemented for unix".to_string(),
+        ))
+    }
+}
+
+impl NativeKernel {
+    /// State dimension.
+    pub fn n_species(&self) -> usize {
+        self.meta.n_species
+    }
+
+    /// Rate-constant count.
+    pub fn n_rates(&self) -> usize {
+        self.meta.n_rates
+    }
+
+    /// Fingerprint baked into the object.
+    pub fn key(&self) -> u128 {
+        self.meta.key
+    }
+
+    /// Path of the loaded shared object.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `ode_jac` was loaded.
+    pub fn has_jacobian(&self) -> bool {
+        self.jac.is_some()
+    }
+
+    /// Whether `ode_sens` was loaded.
+    pub fn has_sensitivity(&self) -> bool {
+        self.sens.is_some()
+    }
+
+    /// Analytic-Jacobian nnz (0 when absent).
+    pub fn jac_nnz(&self) -> usize {
+        self.meta.jac_nnz.unwrap_or(0)
+    }
+
+    /// `∂f/∂p` nnz (0 when absent).
+    pub fn dfdp_nnz(&self) -> usize {
+        self.meta.sens_nnz.map_or(0, |(_, d)| d)
+    }
+
+    /// Evaluate the RHS for one state.
+    pub fn eval(&self, rates: &[f64], y: &[f64], ydot: &mut [f64]) {
+        assert_eq!(rates.len(), self.meta.n_rates);
+        assert_eq!(y.len(), self.meta.n_species);
+        assert_eq!(ydot.len(), self.meta.n_species);
+        unsafe { (self.rhs)(rates.as_ptr(), y.as_ptr(), ydot.as_mut_ptr()) }
+    }
+
+    /// Evaluate the RHS for `ys.len() / n_species` row-major states at
+    /// once through the batched entry point.
+    pub fn eval_batch(&self, rates: &[f64], ys: &[f64], ydots: &mut [f64]) {
+        let n = self.meta.n_species;
+        assert_eq!(rates.len(), self.meta.n_rates);
+        assert_eq!(ys.len() % n, 0, "ys must hold whole states");
+        assert_eq!(ydots.len(), ys.len());
+        let n_states = (ys.len() / n) as std::os::raw::c_long;
+        unsafe { (self.rhs_batch)(rates.as_ptr(), ys.as_ptr(), ydots.as_mut_ptr(), n_states) }
+    }
+
+    /// Evaluate RHS + analytic Jacobian values (tape entry order).
+    ///
+    /// Panics if the kernel was built without `ode_jac`.
+    pub fn eval_rhs_jac(&self, rates: &[f64], y: &[f64], ydot: &mut [f64], jac_vals: &mut [f64]) {
+        let jac = self.jac.expect("kernel has no ode_jac");
+        assert_eq!(rates.len(), self.meta.n_rates);
+        assert_eq!(y.len(), self.meta.n_species);
+        assert_eq!(ydot.len(), self.meta.n_species);
+        assert_eq!(jac_vals.len(), self.meta.jac_nnz.unwrap_or(0));
+        unsafe {
+            jac(
+                rates.as_ptr(),
+                y.as_ptr(),
+                ydot.as_mut_ptr(),
+                jac_vals.as_mut_ptr(),
+            )
+        }
+    }
+
+    /// Evaluate RHS + Jacobian + `∂f/∂p` values (tape entry order).
+    ///
+    /// Panics if the kernel was built without `ode_sens`.
+    pub fn eval_all(
+        &self,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        jac_vals: &mut [f64],
+        dfdp_vals: &mut [f64],
+    ) {
+        let sens = self.sens.expect("kernel has no ode_sens");
+        let (jn, dn) = self.meta.sens_nnz.unwrap_or((0, 0));
+        assert_eq!(rates.len(), self.meta.n_rates);
+        assert_eq!(y.len(), self.meta.n_species);
+        assert_eq!(ydot.len(), self.meta.n_species);
+        assert_eq!(jac_vals.len(), jn);
+        assert_eq!(dfdp_vals.len(), dn);
+        unsafe {
+            sens(
+                rates.as_ptr(),
+                y.as_ptr(),
+                ydot.as_mut_ptr(),
+                jac_vals.as_mut_ptr(),
+                dfdp_vals.as_mut_ptr(),
+            )
+        }
+    }
+}
+
+impl Drop for NativeKernel {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            dl::dlclose(self.handle);
+        }
+    }
+}
+
+/// Probe the toolchain, compile `source` to `out_so`, and load it.
+pub fn compile_and_load(
+    source: &str,
+    out_so: &Path,
+    meta: &KernelMeta,
+) -> Result<NativeKernel, NativeError> {
+    if !cfg!(unix) {
+        return Err(NativeError::Unsupported(
+            "native kernels are only implemented for unix".to_string(),
+        ));
+    }
+    let toolchain = probe_toolchain()?;
+    compile_kernel(source, out_so, &toolchain)?;
+    NativeKernel::load(out_so, meta)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::deriv::{compile_jacobian, compile_sensitivity};
+    use crate::emit_c::{emit_kernel, KernelSpec};
+    use crate::expr::{Expr, ExprForest};
+    use crate::tape::lower;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rms-native-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toy_forest() -> ExprForest {
+        // ydot0 = -k0*y0*y1 + k1*y2 ; ydot1 = same ; ydot2 = k0*y0*y1 - k1*y2
+        let fwd = |c: f64| Expr::prod(c, vec![Expr::Rate(0), Expr::Species(0), Expr::Species(1)]);
+        let rev = |c: f64| Expr::prod(c, vec![Expr::Rate(1), Expr::Species(2)]);
+        ExprForest {
+            temps: vec![],
+            rhs: vec![
+                Expr::sum(vec![fwd(-1.0), rev(1.0)]),
+                Expr::sum(vec![fwd(-1.0), rev(1.0)]),
+                Expr::sum(vec![fwd(1.0), rev(-1.0)]),
+            ],
+            n_species: 3,
+            n_rates: 2,
+        }
+    }
+
+    fn skip_without_toolchain() -> Option<Toolchain> {
+        match probe_toolchain() {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("SKIP: {e}");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn compiles_loads_and_matches_interpreter() {
+        let Some(_) = skip_without_toolchain() else {
+            return;
+        };
+        let forest = toy_forest();
+        let tape = lower(&forest);
+        let jt = compile_jacobian(&forest, None);
+        let st = compile_sensitivity(&forest, None);
+        let key = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        let src = emit_kernel(&KernelSpec {
+            name: "toy",
+            rhs: &tape,
+            jacobian: Some(&jt),
+            sensitivity: Some(&st),
+            key,
+        });
+        let meta = KernelMeta {
+            key,
+            n_species: 3,
+            n_rates: 2,
+            jac_nnz: Some(jt.nnz()),
+            sens_nnz: Some((st.jac_nnz(), st.dfdp_nnz())),
+        };
+        let dir = tmpdir("roundtrip");
+        let so = dir.join("toy.so");
+        let kernel = compile_and_load(&src, &so, &meta).expect("compile+load");
+
+        let rates = [2.5, 0.75];
+        let y = [1.0, 0.25, 0.125];
+        let mut want = [0.0; 3];
+        let mut regs = Vec::new();
+        tape.eval_with_scratch(&rates, &y, &mut want, &mut regs);
+        let mut got = [0.0; 3];
+        kernel.eval(&rates, &y, &mut got);
+        assert_eq!(want, got, "scalar rhs must be bit-identical");
+
+        // Batched: 11 states (one vector block + scalar tail).
+        let n_states = 11;
+        let mut ys = Vec::new();
+        for s in 0..n_states {
+            for j in 0..3 {
+                ys.push(0.1 + 0.3 * s as f64 + 0.07 * j as f64);
+            }
+        }
+        let mut ydots = vec![0.0; ys.len()];
+        kernel.eval_batch(&rates, &ys, &mut ydots);
+        for s in 0..n_states {
+            let mut want = [0.0; 3];
+            tape.eval_with_scratch(&rates, &ys[s * 3..s * 3 + 3], &mut want, &mut regs);
+            assert_eq!(&ydots[s * 3..s * 3 + 3], &want, "state {s}");
+        }
+
+        // Jacobian + sensitivity agree with the interpreted tapes.
+        let mut ydot_a = [0.0; 3];
+        let mut vals_a = vec![0.0; jt.nnz()];
+        jt.eval_with_scratch(&rates, &y, &mut ydot_a, &mut vals_a, &mut regs);
+        let mut ydot_b = [0.0; 3];
+        let mut vals_b = vec![0.0; jt.nnz()];
+        kernel.eval_rhs_jac(&rates, &y, &mut ydot_b, &mut vals_b);
+        assert_eq!(vals_a, vals_b);
+        assert_eq!(ydot_a, ydot_b);
+
+        let mut jv_a = vec![0.0; st.jac_nnz()];
+        let mut dv_a = vec![0.0; st.dfdp_nnz()];
+        st.eval_all(&rates, &y, &mut ydot_a, &mut jv_a, &mut dv_a, &mut regs);
+        let mut jv_b = vec![0.0; st.jac_nnz()];
+        let mut dv_b = vec![0.0; st.dfdp_nnz()];
+        kernel.eval_all(&rates, &y, &mut ydot_b, &mut jv_b, &mut dv_b);
+        assert_eq!(jv_a, jv_b);
+        assert_eq!(dv_a, dv_b);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_and_corrupt_objects_are_rejected() {
+        let Some(_) = skip_without_toolchain() else {
+            return;
+        };
+        let forest = toy_forest();
+        let tape = lower(&forest);
+        let key = 42u128;
+        let src = emit_kernel(&KernelSpec {
+            name: "toy",
+            rhs: &tape,
+            jacobian: None,
+            sensitivity: None,
+            key,
+        });
+        let meta = KernelMeta {
+            key,
+            n_species: 3,
+            n_rates: 2,
+            jac_nnz: None,
+            sens_nnz: None,
+        };
+        let dir = tmpdir("stale");
+        let so = dir.join("toy.so");
+        compile_and_load(&src, &so, &meta).expect("compile+load");
+
+        // Wrong fingerprint → Mismatch (stale object for a different model).
+        let wrong = KernelMeta { key: 43, ..meta };
+        match NativeKernel::load(&so, &wrong) {
+            Err(NativeError::Mismatch(m)) => assert!(m.contains("fingerprint"), "{m}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // Expecting a Jacobian the object does not have → Mismatch.
+        let wants_jac = KernelMeta {
+            jac_nnz: Some(7),
+            ..meta
+        };
+        assert!(matches!(
+            NativeKernel::load(&so, &wants_jac),
+            Err(NativeError::Mismatch(_))
+        ));
+        // Garbage bytes → LoadFailed.
+        std::fs::write(&so, b"not an elf object").unwrap();
+        assert!(matches!(
+            NativeKernel::load(&so, &meta),
+            Err(NativeError::LoadFailed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

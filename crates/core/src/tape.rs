@@ -59,6 +59,33 @@ pub struct Tape {
     pub n_rates: usize,
 }
 
+impl Instr {
+    /// The instruction's input operands (destination registers and store
+    /// indices excluded).
+    pub fn operands(&self) -> impl Iterator<Item = Operand> {
+        let (a, b) = match *self {
+            Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } | Instr::Mul { a, b, .. } => {
+                (a, Some(b))
+            }
+            Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. } => (a, None),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// The destination register, when the instruction writes one
+    /// (`Store` writes an output slot instead).
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Instr::Add { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::Neg { dst, .. }
+            | Instr::Copy { dst, .. } => Some(dst),
+            Instr::Store { .. } => None,
+        }
+    }
+}
+
 impl std::fmt::Display for Operand {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -1,0 +1,105 @@
+//! The *Codegen* stage: native kernel build/load with a content-addressed
+//! `.so` cache.
+//!
+//! The emitted C source and compiled shared object live next to the
+//! serialized artifact in `--cache-dir` as `<key>.so.c` / `<key>.so`, so a
+//! second process compiling the same model reuses the machine code without
+//! re-invoking the C compiler. A `.so` that fails to `dlopen` or whose
+//! baked-in fingerprint disagrees with the artifact is quarantined
+//! (renamed `*.corrupt`, mirroring the serialized-artifact cache) and
+//! rebuilt.
+//!
+//! Codegen never fails a compile: every problem — no toolchain, compiler
+//! error, unloadable object — degrades to an artifact without a kernel
+//! plus a human-readable diagnostic, and the simulator falls back to the
+//! exec engine.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rms_core::native::{self, KernelMeta, NativeError, NativeKernel};
+
+use crate::cache;
+use crate::serial;
+
+/// What the Codegen stage produced, plus its instrumentation.
+#[derive(Debug, Default)]
+pub struct CodegenOutcome {
+    /// The loaded kernel, when everything worked.
+    pub kernel: Option<Arc<NativeKernel>>,
+    /// Why there is no kernel, when there isn't.
+    pub diag: Option<String>,
+    /// Seconds spent rendering C source (0 when a cached object loaded).
+    pub render_seconds: f64,
+    /// Seconds spent in the C compiler (0 when a cached object loaded).
+    pub cc_seconds: f64,
+    /// Rendered source size (0 when a cached object loaded).
+    pub source_bytes: usize,
+    /// A cached `.so` was reused without recompiling.
+    pub reused: bool,
+    /// A stale or corrupt cached `.so` was moved aside.
+    pub quarantined: bool,
+}
+
+/// Where the compiled object for `key` lives: beside the serialized
+/// artifact when a cache directory is configured, otherwise under a
+/// process-shared scratch directory in `$TMPDIR` (still content-addressed,
+/// so concurrent processes share it).
+pub fn kernel_path(cache_dir: Option<&Path>, key: u128) -> PathBuf {
+    let dir = match cache_dir {
+        Some(dir) => dir.to_path_buf(),
+        None => std::env::temp_dir().join("rms-native"),
+    };
+    dir.join(format!("{key:032x}.so"))
+}
+
+/// Load the cached kernel at `path`, or render (via `render`) and compile
+/// it. Validation failures quarantine the bad object and rebuild.
+pub fn build_kernel(
+    path: &Path,
+    meta: &KernelMeta,
+    render: impl FnOnce() -> String,
+) -> CodegenOutcome {
+    let mut outcome = CodegenOutcome::default();
+    if path.exists() {
+        match NativeKernel::load(path, meta) {
+            Ok(kernel) => {
+                outcome.kernel = Some(Arc::new(kernel));
+                outcome.reused = true;
+                return outcome;
+            }
+            Err(NativeError::LoadFailed(_) | NativeError::Mismatch(_)) => {
+                serial::quarantine(path);
+                cache::note_quarantine();
+                outcome.quarantined = true;
+            }
+            Err(e) => {
+                outcome.diag = Some(e.to_string());
+                return outcome;
+            }
+        }
+    }
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            outcome.diag = Some(format!("cannot create {}: {e}", dir.display()));
+            return outcome;
+        }
+    }
+    let clock = Instant::now();
+    let source = render();
+    outcome.render_seconds = clock.elapsed().as_secs_f64();
+    outcome.source_bytes = source.len();
+    let clock = Instant::now();
+    match native::compile_and_load(&source, path, meta) {
+        Ok(kernel) => {
+            outcome.cc_seconds = clock.elapsed().as_secs_f64();
+            outcome.kernel = Some(Arc::new(kernel));
+        }
+        Err(e) => {
+            outcome.cc_seconds = clock.elapsed().as_secs_f64();
+            outcome.diag = Some(e.to_string());
+        }
+    }
+    outcome
+}

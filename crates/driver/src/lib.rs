@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod codegen;
 pub mod diag;
 pub mod report;
 pub mod serial;
@@ -53,5 +54,8 @@ pub use report::{PipelineReport, StageRecord};
 pub use session::{Compiled, CompiledArtifact, CompilerSession, SessionOptions};
 pub use stage::Stage;
 
+pub use codegen::{build_kernel, kernel_path, CodegenOutcome};
+
 // Re-exported for callers configuring a session.
+pub use rms_core::native::{KernelMeta, NativeError, NativeKernel};
 pub use rms_core::{CseOptions, OptLevel, Passes};

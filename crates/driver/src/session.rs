@@ -52,6 +52,11 @@ pub struct SessionOptions {
     /// *ExecDecode* stage). On by default: the execution engine is the
     /// runtime default.
     pub decode: bool,
+    /// Emit C for the tape(s), compile it with the system C compiler, and
+    /// `dlopen` the result (the *Codegen* stage). Codegen failures never
+    /// fail the compile: the artifact carries a diagnostic instead of a
+    /// kernel and callers fall back to the exec engine.
+    pub native: bool,
     /// Cache participation.
     pub cache: CacheMode,
     /// On-disk cache directory (e.g. `.rms-cache/`); `None` keeps the
@@ -74,6 +79,7 @@ impl SessionOptions {
             deriv: false,
             sensitivity: false,
             decode: true,
+            native: false,
             cache: CacheMode::default(),
             cache_dir: None,
             dump: None,
@@ -124,6 +130,7 @@ impl SessionOptions {
         self.deriv.hash(h);
         self.sensitivity.hash(h);
         self.decode.hash(h);
+        self.native.hash(h);
     }
 }
 
@@ -149,6 +156,12 @@ pub struct CompiledArtifact {
     pub sensitivity: Option<SensitivityTapes>,
     /// Pre-decoded execution tape, when the *ExecDecode* stage ran.
     pub exec: Option<ExecTape>,
+    /// Loaded native kernel, when the *Codegen* stage ran and succeeded.
+    pub native: Option<Arc<rms_core::NativeKernel>>,
+    /// Why there is no native kernel although one was requested (missing
+    /// toolchain, compile failure, …); drives the engine-fallback
+    /// diagnostic.
+    pub native_diag: Option<String>,
     /// Per-stage instrumentation of the compile that built this artifact.
     pub report: PipelineReport,
     /// Content-address under which the artifact is cached.
@@ -546,6 +559,40 @@ impl CompilerSession {
             None
         };
 
+        let (native, native_diag) = if self.options.native {
+            let clock = Instant::now();
+            let meta = rms_core::KernelMeta {
+                key,
+                n_species: compiled.tape.n_species,
+                n_rates: compiled.tape.n_rates,
+                jac_nnz: jacobian.as_ref().map(|j| j.nnz()),
+                sens_nnz: sensitivity.as_ref().map(|s| (s.jac_nnz(), s.dfdp_nnz())),
+            };
+            let path = crate::codegen::kernel_path(self.options.cache_dir.as_deref(), key);
+            let render = || {
+                rms_core::emit_kernel(&rms_core::KernelSpec {
+                    name,
+                    rhs: &compiled.tape,
+                    jacobian: jacobian.as_ref(),
+                    sensitivity: sensitivity.as_ref(),
+                    key,
+                })
+            };
+            let outcome = crate::codegen::build_kernel(&path, &meta, render);
+            dump.offer(Stage::Codegen, render);
+            records.push(
+                StageRecord::new(Stage::Codegen, clock.elapsed().as_secs_f64())
+                    .metric("render_seconds", outcome.render_seconds)
+                    .metric("cc_seconds", outcome.cc_seconds)
+                    .metric("source_bytes", outcome.source_bytes as f64)
+                    .metric("reused", if outcome.reused { 1.0 } else { 0.0 })
+                    .metric("loaded", if outcome.kernel.is_some() { 1.0 } else { 0.0 }),
+            );
+            (outcome.kernel, outcome.diag)
+        } else {
+            (None, None)
+        };
+
         let mut report = PipelineReport {
             model: name.to_string(),
             level: self.options.level_name(),
@@ -567,6 +614,8 @@ impl CompilerSession {
             jacobian,
             sensitivity,
             exec,
+            native,
+            native_diag,
             report,
             key,
             gen_simplify,
@@ -615,6 +664,31 @@ impl CompilerSession {
             .options
             .decode
             .then(|| ExecTape::compile(&compiled.tape));
+        // Re-attach the native kernel: usually a straight dlopen of the
+        // `.so` cached beside the artifact, recompiling if it is missing
+        // or was quarantined.
+        let (native, native_diag) = if self.options.native {
+            let meta = rms_core::KernelMeta {
+                key,
+                n_species: compiled.tape.n_species,
+                n_rates: compiled.tape.n_rates,
+                jac_nnz: jacobian.as_ref().map(|j| j.nnz()),
+                sens_nnz: sensitivity.as_ref().map(|s| (s.jac_nnz(), s.dfdp_nnz())),
+            };
+            let path = crate::codegen::kernel_path(self.options.cache_dir.as_deref(), key);
+            let outcome = crate::codegen::build_kernel(&path, &meta, || {
+                rms_core::emit_kernel(&rms_core::KernelSpec {
+                    name: &name,
+                    rhs: &compiled.tape,
+                    jacobian: jacobian.as_ref(),
+                    sensitivity: sensitivity.as_ref(),
+                    key,
+                })
+            });
+            (outcome.kernel, outcome.diag)
+        } else {
+            (None, None)
+        };
         Some(CompiledArtifact {
             name,
             network,
@@ -624,6 +698,8 @@ impl CompilerSession {
             jacobian,
             sensitivity,
             exec,
+            native,
+            native_diag,
             report,
             key,
             gen_simplify,

@@ -34,11 +34,13 @@ pub enum Stage {
     Lower,
     /// Tape → pre-decoded fused execution tape.
     ExecDecode,
+    /// Tape → C source → shared object (native kernel).
+    Codegen,
 }
 
 impl Stage {
     /// All stages, execution order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Parse,
         Stage::Expand,
         Stage::Rcip,
@@ -50,6 +52,7 @@ impl Stage {
         Stage::Deriv,
         Stage::Lower,
         Stage::ExecDecode,
+        Stage::Codegen,
     ];
 
     /// Stable kebab-case name (CLI `--dump-ir=<stage>` and JSON key).
@@ -66,6 +69,7 @@ impl Stage {
             Stage::Deriv => "deriv",
             Stage::Lower => "lower",
             Stage::ExecDecode => "exec-decode",
+            Stage::Codegen => "codegen",
         }
     }
 }

@@ -127,7 +127,8 @@ pub enum Emit {
     Network,
     /// The ODE system in Fig. 5 form.
     Odes,
-    /// The generated C function.
+    /// The generated native kernel source (scalar + batched RHS,
+    /// analytic Jacobian, sensitivity tail).
     C,
     /// Optimizer stage statistics.
     Stats,
@@ -196,7 +197,7 @@ USAGE:
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
                 [--linear-solver dense|sparse|auto]         (default auto)
-                [--engine interp|exec]                      (default exec)
+                [--engine interp|exec|native]               (default exec)
                 [--cache-dir DIR]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
@@ -225,7 +226,7 @@ the optimizer's operation counts (the paper's Table 1 columns).
 
 --dump-ir prints one stage's intermediate representation and exits;
 STAGE is one of parse, expand, rcip, network, odegen, simplify,
-distribute, cse, deriv, lower, exec-decode.
+distribute, cse, deriv, lower, exec-decode, codegen.
 
 --cache-dir enables the on-disk artifact cache: recompiles of an
 unchanged model at the same options are served from DIR.
@@ -255,7 +256,16 @@ and sparse enough to win (n ≥ 64, density ≤ 10%).
 The --engine modes: 'exec' pre-decodes the tape into the fused
 execution engine (operands resolved to frame indices, FMA
 superinstructions, SIMD-batched Jacobian sweeps); 'interp' walks the
-legacy tape interpreter.
+legacy tape interpreter; 'native' compiles the optimized tape to C,
+builds a shared object with the system C compiler (honoring $CC),
+caches it by content address in --cache-dir, and dlopens it. When no
+toolchain is available the run degrades to 'exec' with a printed
+diagnostic rather than failing.
+
+'compile --emit c' prints the complete native kernel source: the
+specialized scalar ode_rhs, the batched ode_rhs_batch, the analytic
+Jacobian ode_jac and the sensitivity tail ode_sens — exactly what
+the native engine hands to the C compiler.
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -582,6 +592,11 @@ struct LoadOptions<'a> {
     /// Also compile the parameter-sensitivity tapes (set when
     /// `--residual-jacobian analytic` will consume them).
     sensitivity: bool,
+    /// Run the *Codegen* stage: emit C, invoke the system compiler and
+    /// attach the dlopened kernel (set when `--engine native`). Codegen
+    /// failures never fail the compile — the artifact carries a
+    /// diagnostic instead.
+    native: bool,
 }
 
 /// Compile `path` through a [`CompilerSession`]. A missing or unreadable
@@ -600,6 +615,7 @@ fn load_model(
     session.dump = opts.dump;
     session.deriv = opts.deriv;
     session.sensitivity = opts.sensitivity;
+    session.native = opts.native;
     let compiled = CompilerSession::with_options(session)
         .compile_source(&filename, &source)
         .map_err(|d| CliError::Diagnostic(d.render(&filename, &source)))?;
@@ -683,6 +699,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     dump: *dump,
                     deriv: *dump == Some(Stage::Deriv),
                     sensitivity: false,
+                    native: *dump == Some(Stage::Codegen),
                 },
             )?;
             if dump.is_some() {
@@ -693,7 +710,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(match emit {
                 Emit::Network => model.network.display_equations(),
                 Emit::Odes => model.system.display(),
-                Emit::C => model.emit_c("ode_rhs"),
+                Emit::C => model.emit_native_c(),
                 Emit::Report => {
                     let mut json = model.report.to_json();
                     json.push('\n');
@@ -772,6 +789,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 LoadOptions {
                     cache_dir: cache_dir.as_deref(),
                     deriv: *jacobian == JacobianMode::Analytic,
+                    native: *engine == EngineMode::Native,
                     ..LoadOptions::default()
                 },
             )?;
@@ -782,6 +800,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 linear_solver: *linear_solver,
                 ..SolverOptions::default()
             };
+            let mut out = String::new();
+            // Requested native but no kernel attached: say why and run
+            // on the exec engine anyway (exit 0 — degradation, not
+            // failure).
+            if *engine == EngineMode::Native && model.artifact().native.is_none() {
+                let why = model
+                    .artifact()
+                    .native_diag
+                    .as_deref()
+                    .unwrap_or("no compiled kernel on this artifact");
+                let _ = writeln!(out, "warning: native engine unavailable: {why}");
+                let _ = writeln!(out, "warning: falling back to the exec engine");
+            }
             let solution = model
                 .simulate_configured(&times, options, *jacobian, *engine)
                 .map_err(|e| err(format!("solver: {e}")))?;
@@ -802,7 +833,6 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         .ok_or_else(|| err(format!("unknown species '{n}'")))
                 })
                 .collect::<Result<_, _>>()?;
-            let mut out = String::new();
             let _ = write!(out, "{:>10}", "t");
             for n in &names {
                 let _ = write!(out, "{n:>16}");

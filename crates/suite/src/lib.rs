@@ -41,9 +41,10 @@ pub mod cli;
 
 pub use rms_core::{
     compact_registers, compile_jacobian, compile_sensitivity, differentiate_forest, emit_c,
-    generic_compile, generic_compile_best_effort, lower, optimize, optimize_with_passes,
-    species_dependencies, CompiledOde, CseOptions, ExecFrame, ExecTape, Expr, ExprForest,
-    GenericError, GenericOptions, JacobianTapes, OptLevel, Passes, SensitivityTapes, Tape,
+    emit_kernel, generic_compile, generic_compile_best_effort, lower, optimize,
+    optimize_with_passes, probe_toolchain, species_dependencies, CompiledOde, CseOptions,
+    ExecFrame, ExecTape, Expr, ExprForest, GenericError, GenericOptions, JacobianTapes, KernelMeta,
+    KernelSpec, NativeError, NativeKernel, OptLevel, Passes, SensitivityTapes, Tape, Toolchain,
     FMA_CONTRACTS, IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
 pub use rms_driver::{
@@ -69,7 +70,8 @@ pub use rms_solver::{
 };
 pub use rms_workload as workload;
 pub use rms_workload::{
-    EngineMode, ExecRhs, JacobianMode, TapeJacobian, TapeSensitivity, TapeSimulator,
+    EngineMode, ExecRhs, JacobianMode, NativeJacobian, NativeRhs, NativeSensitivity, TapeJacobian,
+    TapeSensitivity, TapeSimulator,
 };
 
 /// Any error from the end-to-end pipeline: a span-carrying diagnostic
@@ -107,6 +109,22 @@ impl SuiteModel {
     /// Emit the generated C function (the paper's backend output).
     pub fn emit_c(&self, name: &str) -> String {
         emit_c(&self.compiled.forest, name)
+    }
+
+    /// Emit the complete native kernel source for this model: scalar
+    /// `ode_rhs`, batched `ode_rhs_batch`, analytic-Jacobian `ode_jac`
+    /// and sensitivity `ode_sens` — exactly what the *Codegen* stage
+    /// hands to the system C compiler (`rmsc compile --emit c`).
+    pub fn emit_native_c(&self) -> String {
+        let jacobian = self.jacobian();
+        let sensitivity = self.sensitivity();
+        emit_kernel(&KernelSpec {
+            name: &self.name,
+            rhs: &self.compiled.tape,
+            jacobian: Some(&jacobian),
+            sensitivity: Some(&sensitivity),
+            key: self.key,
+        })
     }
 
     /// Simulate the system from its declared initial concentrations,
@@ -173,6 +191,17 @@ impl SuiteModel {
                     });
                 self.solve_bdf_configured(&rhs, times, options, mode)
             }
+            EngineMode::Native => match &self.artifact.native {
+                Some(kernel) => {
+                    let rhs = NativeRhs::new(kernel, &self.system.rate_values);
+                    self.solve_bdf_configured(&rhs, times, options, mode)
+                }
+                // Graceful degradation: no kernel on this artifact (native
+                // not requested at compile time, no toolchain, codegen
+                // failure) → the exec engine. The CLI renders
+                // `artifact.native_diag` so the fallback is visible.
+                None => self.simulate_configured(times, options, mode, EngineMode::Exec),
+            },
         }
     }
 

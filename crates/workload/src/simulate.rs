@@ -6,7 +6,11 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rms_core::{species_dependencies, ExecFrame, ExecTape, JacobianTapes, SensitivityTapes, Tape};
+use std::sync::Arc;
+
+use rms_core::{
+    species_dependencies, ExecFrame, ExecTape, JacobianTapes, NativeKernel, SensitivityTapes, Tape,
+};
 use rms_parallel::Simulator;
 use rms_solver::{
     AnalyticJacobian, Bdf, CancelToken, FnRhs, JacobianSource, LinearSolver, OdeRhs, Rk45,
@@ -24,6 +28,11 @@ pub enum EngineMode {
     /// Jacobian color sweeps evaluated in SIMD-batched lanes.
     #[default]
     Exec,
+    /// The `dlopen`ed native kernel (the *Codegen* stage output): the
+    /// tape compiled to machine code by the system C compiler. Falls
+    /// back to [`EngineMode::Exec`] when no kernel is attached (e.g. no
+    /// C toolchain on this machine).
+    Native,
 }
 
 impl FromStr for EngineMode {
@@ -33,8 +42,9 @@ impl FromStr for EngineMode {
         match s {
             "interp" => Ok(EngineMode::Interp),
             "exec" => Ok(EngineMode::Exec),
+            "native" => Ok(EngineMode::Native),
             other => Err(format!(
-                "unknown engine '{other}' (expected interp or exec)"
+                "unknown engine '{other}' (expected interp, exec or native)"
             )),
         }
     }
@@ -45,6 +55,7 @@ impl fmt::Display for EngineMode {
         f.write_str(match self {
             EngineMode::Interp => "interp",
             EngineMode::Exec => "exec",
+            EngineMode::Native => "native",
         })
     }
 }
@@ -88,6 +99,36 @@ impl OdeRhs for ExecRhs<'_> {
             self.tape
                 .eval_batch(self.rates, ys, ydots, &mut f.borrow_mut())
         });
+    }
+}
+
+/// [`OdeRhs`] adapter over a `dlopen`ed [`NativeKernel`] bound to one
+/// rate-constant vector. Scalar and batched entry points both dispatch
+/// straight into the compiled machine code; no per-call scratch is
+/// needed because the kernel's registers are C locals.
+pub struct NativeRhs<'a> {
+    kernel: &'a NativeKernel,
+    rates: &'a [f64],
+}
+
+impl<'a> NativeRhs<'a> {
+    /// Bind `kernel` to `rates` for the duration of a solve.
+    pub fn new(kernel: &'a NativeKernel, rates: &'a [f64]) -> NativeRhs<'a> {
+        NativeRhs { kernel, rates }
+    }
+}
+
+impl OdeRhs for NativeRhs<'_> {
+    fn dim(&self) -> usize {
+        self.kernel.n_species()
+    }
+
+    fn eval(&self, _t: f64, y: &[f64], ydot: &mut [f64]) {
+        self.kernel.eval(self.rates, y, ydot);
+    }
+
+    fn eval_batch(&self, _t: f64, ys: &[f64], ydots: &mut [f64]) {
+        self.kernel.eval_batch(self.rates, ys, ydots);
     }
 }
 
@@ -162,6 +203,49 @@ impl AnalyticJacobian for TapeJacobian<'_> {
         ydot.resize(self.tapes.n_species, 0.0);
         self.tapes
             .eval_with_scratch(self.rates, y, ydot, vals, regs);
+    }
+}
+
+/// [`AnalyticJacobian`] provider over a native kernel's `ode_jac` entry
+/// point. The sparsity pattern still comes from the compiled
+/// [`JacobianTapes`] (the kernel stores values in the same tape entry
+/// order), but the evaluation runs as machine code.
+pub struct NativeJacobian<'a> {
+    kernel: &'a NativeKernel,
+    rates: &'a [f64],
+    pattern: SparsityPattern,
+    /// `ydot` scratch reused across Newton iterations.
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl<'a> NativeJacobian<'a> {
+    /// Bind `kernel` (which must export `ode_jac`) to `rates`, taking the
+    /// sparsity pattern from the tapes the kernel was emitted from.
+    pub fn new(
+        kernel: &'a NativeKernel,
+        tapes: &JacobianTapes,
+        rates: &'a [f64],
+    ) -> NativeJacobian<'a> {
+        assert!(kernel.has_jacobian(), "kernel was built without ode_jac");
+        let pattern = SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+        NativeJacobian {
+            kernel,
+            rates,
+            pattern,
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl AnalyticJacobian for NativeJacobian<'_> {
+    fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    fn eval_values(&self, _t: f64, y: &[f64], vals: &mut [f64]) {
+        let mut ydot = self.scratch.borrow_mut();
+        ydot.resize(self.kernel.n_species(), 0.0);
+        self.kernel.eval_rhs_jac(self.rates, y, &mut ydot, vals);
     }
 }
 
@@ -244,6 +328,81 @@ impl SensitivityRhs for TapeSensitivity<'_> {
     }
 }
 
+/// Combined [`AnalyticJacobian`] + [`SensitivityRhs`] provider over a
+/// native kernel's `ode_sens` entry point. The pattern and the sparse
+/// `∂f/∂p` entry layout come from the compiled [`SensitivityTapes`]; the
+/// arithmetic runs as machine code. Unlike [`TapeSensitivity`] there is
+/// no register-file resume: the kernel's registers are C locals, so every
+/// call evaluates the full RHS + Jacobian + `∂f/∂p` group (still far
+/// cheaper than interpreting the same tapes).
+pub struct NativeSensitivity<'a> {
+    kernel: &'a NativeKernel,
+    tapes: &'a SensitivityTapes,
+    rates: &'a [f64],
+    pattern: SparsityPattern,
+    /// `(ydot, jac_vals, dfdp_vals)` scratch reused across steps.
+    scratch: RefCell<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> NativeSensitivity<'a> {
+    /// Bind `kernel` (which must export `ode_sens`) to `rates`.
+    pub fn new(
+        kernel: &'a NativeKernel,
+        tapes: &'a SensitivityTapes,
+        rates: &'a [f64],
+    ) -> NativeSensitivity<'a> {
+        assert!(
+            kernel.has_sensitivity(),
+            "kernel was built without ode_sens"
+        );
+        let pattern = SparsityPattern::new(tapes.pattern_rows(), tapes.n_species);
+        NativeSensitivity {
+            kernel,
+            tapes,
+            rates,
+            pattern,
+            scratch: RefCell::new(Default::default()),
+        }
+    }
+}
+
+impl AnalyticJacobian for NativeSensitivity<'_> {
+    fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    fn eval_values(&self, _t: f64, y: &[f64], vals: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (ydot, _, dfdp_vals) = &mut *scratch;
+        ydot.resize(self.tapes.n_species, 0.0);
+        dfdp_vals.resize(self.tapes.dfdp_nnz(), 0.0);
+        self.kernel.eval_all(self.rates, y, ydot, vals, dfdp_vals);
+    }
+}
+
+impl SensitivityRhs for NativeSensitivity<'_> {
+    fn n_params(&self) -> usize {
+        self.tapes.n_rates
+    }
+
+    fn eval_dfdp(&self, _t: f64, y: &[f64], out: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (ydot, jac_vals, dfdp_vals) = &mut *scratch;
+        let n = self.tapes.n_species;
+        ydot.resize(n, 0.0);
+        jac_vals.resize(self.tapes.jac_nnz(), 0.0);
+        dfdp_vals.resize(self.tapes.dfdp_nnz(), 0.0);
+        self.kernel
+            .eval_all(self.rates, y, ydot, jac_vals, dfdp_vals);
+        // Scatter the sparse (species, rate) entries into the dense
+        // parameter-major layout the solver consumes.
+        out.fill(0.0);
+        for (e, &(i, k)) in self.tapes.dfdp_entries.iter().enumerate() {
+            out[k as usize * n + i as usize] = dfdp_vals[e];
+        }
+    }
+}
+
 /// Simulates the measured property (a weighted sum of species
 /// concentrations — e.g. crosslink density) by integrating the compiled
 /// tape with the Gear/BDF stiff solver.
@@ -272,6 +431,10 @@ pub struct TapeSimulator {
     jacobian_mode: JacobianMode,
     /// Which right-hand-side evaluator the solvers call.
     engine: EngineMode,
+    /// Loaded native kernel (the *Codegen* stage output).
+    /// [`EngineMode::Native`] silently degrades to the exec engine when
+    /// absent; the CLI surfaces the artifact's codegen diagnostic.
+    native: Option<Arc<NativeKernel>>,
     /// Cooperative cancellation shared with every solver this simulator
     /// builds (deadline/shutdown supervision).
     cancel: Option<CancelToken>,
@@ -319,8 +482,12 @@ impl TapeSimulator {
             Some(tapes) => sim.with_analytic_jacobian(tapes.clone()),
             None => sim,
         };
-        match &artifact.sensitivity {
+        let sim = match &artifact.sensitivity {
             Some(tapes) => sim.with_sensitivities(tapes.clone()),
+            None => sim,
+        };
+        match &artifact.native {
+            Some(kernel) => sim.with_native_kernel(kernel.clone()),
             None => sim,
         }
     }
@@ -352,6 +519,7 @@ impl TapeSimulator {
             sensitivity: None,
             jacobian_mode: JacobianMode::default(),
             engine: EngineMode::default(),
+            native: None,
             cancel: None,
             bdf_failures: AtomicUsize::new(0),
             tightened_recoveries: AtomicUsize::new(0),
@@ -383,6 +551,23 @@ impl TapeSimulator {
     /// Whether parameter-sensitivity tapes are attached.
     pub fn has_sensitivities(&self) -> bool {
         self.sensitivity.is_some()
+    }
+
+    /// Attach a `dlopen`ed native kernel, making [`EngineMode::Native`]
+    /// run compiled machine code instead of degrading to exec.
+    pub fn with_native_kernel(mut self, kernel: Arc<NativeKernel>) -> TapeSimulator {
+        assert_eq!(
+            kernel.n_species(),
+            self.tape.n_species,
+            "native kernel compiled for a different system"
+        );
+        self.native = Some(kernel);
+        self
+    }
+
+    /// The attached native kernel, if any.
+    pub fn native_kernel(&self) -> Option<&Arc<NativeKernel>> {
+        self.native.as_ref()
     }
 
     /// Select the Jacobian source. [`JacobianMode::Analytic`] falls back
@@ -468,6 +653,18 @@ impl TapeSimulator {
                 });
                 self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
             }
+            EngineMode::Native => match &self.native {
+                Some(kernel) => {
+                    let rhs = NativeRhs::new(kernel, rate_constants);
+                    self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
+                }
+                // Graceful degradation: no kernel attached (no toolchain,
+                // codegen failure) → run the exec engine instead.
+                None => {
+                    let rhs = ExecRhs::new(&self.exec, rate_constants);
+                    self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
+                }
+            },
         }
     }
 
@@ -481,9 +678,35 @@ impl TapeSimulator {
         times: &[f64],
         options: SolverOptions,
     ) -> Result<Vec<f64>, SolverError> {
+        // Analytic Jacobian provider: native `ode_jac` when the native
+        // engine runs with a jacobian-bearing kernel, interpreted tapes
+        // otherwise. One enum so a single `Bdf` borrow covers both.
+        enum Provider<'a> {
+            Tape(TapeJacobian<'a>),
+            Native(NativeJacobian<'a>),
+        }
+        impl AnalyticJacobian for Provider<'_> {
+            fn pattern(&self) -> &SparsityPattern {
+                match self {
+                    Provider::Tape(p) => p.pattern(),
+                    Provider::Native(p) => p.pattern(),
+                }
+            }
+            fn eval_values(&self, t: f64, y: &[f64], vals: &mut [f64]) {
+                match self {
+                    Provider::Tape(p) => p.eval_values(t, y, vals),
+                    Provider::Native(p) => p.eval_values(t, y, vals),
+                }
+            }
+        }
         // Declared before `solver` so the provider outlives the borrow.
         let provider = match (self.jacobian_mode, &self.jacobian) {
-            (JacobianMode::Analytic, Some(tapes)) => Some(TapeJacobian::new(tapes, rate_constants)),
+            (JacobianMode::Analytic, Some(tapes)) => Some(match &self.native {
+                Some(kernel) if self.engine == EngineMode::Native && kernel.has_jacobian() => {
+                    Provider::Native(NativeJacobian::new(kernel, tapes, rate_constants))
+                }
+                _ => Provider::Tape(TapeJacobian::new(tapes, rate_constants)),
+            }),
             _ => None,
         };
         let mut solver = Bdf::new(rhs, 0.0, y0, options);
@@ -518,7 +741,8 @@ impl TapeSimulator {
         match self.engine {
             EngineMode::Exec => {
                 let rhs = ExecRhs::new(&self.exec, rate_constants);
-                self.integrate_bdf_sens_with(&rhs, tapes, rate_constants, y0, times, options)
+                let provider = TapeSensitivity::new(tapes, rate_constants);
+                self.integrate_bdf_sens_with(&rhs, &provider, tapes, y0, times, options)
             }
             EngineMode::Interp => {
                 let dim = self.tape.n_species;
@@ -527,8 +751,27 @@ impl TapeSimulator {
                     self.tape
                         .eval_with_scratch(rate_constants, y, ydot, &mut scratch.borrow_mut());
                 });
-                self.integrate_bdf_sens_with(&rhs, tapes, rate_constants, y0, times, options)
+                let provider = TapeSensitivity::new(tapes, rate_constants);
+                self.integrate_bdf_sens_with(&rhs, &provider, tapes, y0, times, options)
             }
+            EngineMode::Native => match &self.native {
+                Some(kernel) if kernel.has_sensitivity() => {
+                    let rhs = NativeRhs::new(kernel, rate_constants);
+                    let provider = NativeSensitivity::new(kernel, tapes, rate_constants);
+                    self.integrate_bdf_sens_with(&rhs, &provider, tapes, y0, times, options)
+                }
+                Some(kernel) => {
+                    // Kernel without ode_sens: native RHS, interpreted tail.
+                    let rhs = NativeRhs::new(kernel, rate_constants);
+                    let provider = TapeSensitivity::new(tapes, rate_constants);
+                    self.integrate_bdf_sens_with(&rhs, &provider, tapes, y0, times, options)
+                }
+                None => {
+                    let rhs = ExecRhs::new(&self.exec, rate_constants);
+                    let provider = TapeSensitivity::new(tapes, rate_constants);
+                    self.integrate_bdf_sens_with(&rhs, &provider, tapes, y0, times, options)
+                }
+            },
         }
     }
 
@@ -536,23 +779,21 @@ impl TapeSimulator {
     /// sensitivity column `s_k = ∂y/∂p_k` advance together, reusing the
     /// shared `I − hβJ` factorization, and the observable's derivative at
     /// each output time is the weighted sum `Σ w_i s_k[i]`.
-    fn integrate_bdf_sens_with<R: OdeRhs>(
+    fn integrate_bdf_sens_with<R: OdeRhs, P: AnalyticJacobian + SensitivityRhs>(
         &self,
         rhs: &R,
+        provider: &P,
         tapes: &SensitivityTapes,
-        rate_constants: &[f64],
         y0: &[f64],
         times: &[f64],
         options: SolverOptions,
     ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SolverError> {
-        // Declared before `solver` so the provider outlives the borrows.
-        let provider = TapeSensitivity::new(tapes, rate_constants);
         let mut solver = Bdf::new(rhs, 0.0, y0, options);
         if let Some(token) = &self.cancel {
             solver.set_cancel(token.clone());
         }
-        solver.set_jacobian_source(JacobianSource::AnalyticTape(&provider));
-        solver.set_sensitivities(&provider);
+        solver.set_jacobian_source(JacobianSource::AnalyticTape(provider));
+        solver.set_sensitivities(provider);
         let n = rhs.dim();
         let p = tapes.n_rates;
         let mut values = Vec::with_capacity(times.len());
@@ -596,6 +837,16 @@ impl TapeSimulator {
                 });
                 self.integrate_rk45_with(&rhs, y0, times)
             }
+            EngineMode::Native => match &self.native {
+                Some(kernel) => {
+                    let rhs = NativeRhs::new(kernel, rate_constants);
+                    self.integrate_rk45_with(&rhs, y0, times)
+                }
+                None => {
+                    let rhs = ExecRhs::new(&self.exec, rate_constants);
+                    self.integrate_rk45_with(&rhs, y0, times)
+                }
+            },
         }
     }
 
@@ -858,7 +1109,7 @@ mod tests {
 
     #[test]
     fn engine_mode_parses_round_trip() {
-        for mode in [EngineMode::Interp, EngineMode::Exec] {
+        for mode in [EngineMode::Interp, EngineMode::Exec, EngineMode::Native] {
             assert_eq!(mode.to_string().parse::<EngineMode>().unwrap(), mode);
         }
         assert!("jit".parse::<EngineMode>().is_err());

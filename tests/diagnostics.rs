@@ -111,6 +111,6 @@ fn unknown_dump_stage_is_a_usage_error() {
     assert_eq!(
         stderr(&out),
         "rmsc: unknown stage 'bogus' (expected one of: parse, expand, rcip, \
-         network, odegen, simplify, distribute, cse, deriv, lower, exec-decode)\n"
+         network, odegen, simplify, distribute, cse, deriv, lower, exec-decode, codegen)\n"
     );
 }
