@@ -1,38 +1,46 @@
 //! Native codegen backend against the execution engine: RHS evals/sec
 //! for the dlopened kernel (scalar and lane-batched) versus the decoded
-//! exec tape, at the (scaled) Table 1 case sizes. Prints a comparison
-//! table and writes a machine-readable `BENCH_codegen.json`.
+//! exec tape, at the (scaled) Table 1 case sizes, with the reroll pass
+//! both on and off. Prints a comparison table and writes a
+//! machine-readable `BENCH_codegen.json`.
 //!
-//! The native backend removes the execution engine's last per-instruction
-//! dispatch: the optimized tape is emitted as straight-line C, compiled
-//! by the system compiler with `-O2 -ffp-contract=off`, and dlopened.
-//! Because the emitted code replays the tape's exact association order
-//! without FMA contraction, the trajectories are expected to be
-//! bit-compatible with the exec engine — the benchmark integrates the
-//! largest case on both engines and reports the norm-relative deviation.
+//! The straight-line (unrolled) backend removes the execution engine's
+//! per-instruction dispatch but emits code that grows linearly with the
+//! tape, so past the I-cache it loses to the batched interpreter. The
+//! reroll pass collapses runs of structurally identical reaction stanzas
+//! into data-driven C `for` loops over static stride/index tables,
+//! shrinking the kernel superlinearly while replaying the exact same
+//! rounding sequence (`-ffp-contract=off`), so trajectories stay
+//! bit-compatible with the exec engine. The benchmark measures both
+//! kernel shapes per case and integrates the largest case on the interp,
+//! exec and rerolled-native engines, asserting the crossover acceptance:
+//! at a ≥250k-instruction case the rerolled kernel must beat batched
+//! exec with a ≥5x smaller source than unrolled emission.
 //!
 //! Usage:
 //!   codegen [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke]
 //!
 //! `--smoke` shrinks everything for CI: the two smallest cases at a deep
 //! scale with a few iterations — enough to validate the toolchain probe,
-//! the differential trajectory and the JSON artifact, not timings.
+//! the reroll differential trajectory and the JSON artifact, not timings.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rms_bench::{compile_case_native, fmt_secs, parse_or_exit, run_bench, write_artifact};
+use rms_bench::{compile_case_native_opt, fmt_secs, parse_or_exit, run_bench, write_artifact};
 use rms_core::{ExecFrame, ExecTape, NativeKernel, OptLevel, LANES};
-use rms_suite::{EngineMode, JacobianMode, SolverOptions, Stage};
+use rms_suite::{EngineMode, JacobianMode, SolverOptions, Stage, SuiteModel};
 use rms_workload::{scaled_case, TABLE1};
 
 const USAGE: &str = "\
-codegen — RHS evals/sec: execution engine vs compiled native kernel
+codegen — RHS evals/sec: execution engine vs compiled native kernel,
+reroll on vs off
 
 USAGE:
   codegen [--scale K] [--cases 1,2,3] [--iters N] [--out FILE] [--smoke] [--force]
 
-  --scale K     divide the Table 1 equation counts by K (default 150)
+  --scale K     divide the Table 1 equation counts by K (default 24,
+                which puts case 5 above 250k tape instructions)
   --cases LIST  comma-separated Table 1 case ids (default 1,2,3,4,5)
   --iters N     RHS evaluations per engine measurement (default 800)
   --out FILE    JSON artifact path (default BENCH_codegen.json)
@@ -40,17 +48,42 @@ USAGE:
   --force       let a --smoke run overwrite a full-run JSON artifact
 ";
 
+/// The acceptance threshold: a case this large must show the crossover.
+const ACCEPTANCE_INSTRS: usize = 250_000;
+
 struct CaseResult {
     case: usize,
     equations: usize,
     tape_instrs: usize,
+    /// Loop regions in the rerolled kernel (0 when nothing rolled).
+    loop_count: usize,
+    /// Flat instructions absorbed into those loops.
+    rolled_instrs: usize,
+    /// Rendered source size of the rerolled kernel.
     source_bytes: usize,
+    /// Rendered source size of the straight-line (reroll=off) kernel.
+    unrolled_source_bytes: usize,
     render_secs: f64,
     cc_secs: f64,
+    unrolled_cc_secs: f64,
+    /// Translation units of the rerolled build and their concurrent
+    /// compile/link split.
+    cc_units: usize,
+    cc_unit_max_secs: f64,
+    link_secs: f64,
     exec_secs: f64,
     exec_batched_secs: f64,
     native_secs: f64,
     native_batched_secs: f64,
+    unrolled_native_secs: f64,
+    unrolled_native_batched_secs: f64,
+}
+
+impl CaseResult {
+    /// Unrolled-to-rerolled source shrink factor.
+    fn size_reduction(&self) -> f64 {
+        self.unrolled_source_bytes as f64 / self.source_bytes.max(1) as f64
+    }
 }
 
 struct Config {
@@ -77,7 +110,7 @@ fn parse(args: &rms_bench::BenchArgs) -> Result<Config, String> {
     let config = Config {
         smoke,
         force: args.switch("--force"),
-        scale: args.num("--scale", if smoke { 500 } else { 150 })?,
+        scale: args.num("--scale", if smoke { 500 } else { 24 })?,
         iters: args.num("--iters", if smoke { 16 } else { 800 })?,
         cases: args.num_list("--cases", default_cases)?,
         out_path: args
@@ -140,7 +173,7 @@ fn time_exec_batched(exec: &ExecTape, rates: &[f64], y: &[f64], iters: usize) ->
     })
 }
 
-/// Seconds per scalar RHS evaluation on the native kernel.
+/// Seconds per scalar RHS evaluation on a native kernel.
 fn time_native(
     kernel: &NativeKernel,
     rates: &[f64],
@@ -158,7 +191,7 @@ fn time_native(
     })
 }
 
-/// Seconds per state on the native batched entry point, mirroring the
+/// Seconds per state on a native batched entry point, mirroring the
 /// exec measurement shape.
 fn time_native_batched(kernel: &NativeKernel, rates: &[f64], y: &[f64], iters: usize) -> f64 {
     let n = kernel.n_species();
@@ -176,6 +209,53 @@ fn time_native_batched(kernel: &NativeKernel, rates: &[f64], y: &[f64], iters: u
             ys[0] = 0.1 + ydots[0].abs().min(1.0) * 1e-9;
         }
         t0.elapsed().as_secs_f64() / (rounds * n_states) as f64
+    })
+}
+
+/// A compiled case and its Codegen stage instrumentation.
+struct Compiled {
+    suite: SuiteModel,
+    kernel: std::sync::Arc<NativeKernel>,
+    cc_secs: f64,
+    source_bytes: usize,
+    render_secs: f64,
+    cc_units: usize,
+    cc_unit_max_secs: f64,
+    link_secs: f64,
+}
+
+fn compile(
+    case: usize,
+    scale: usize,
+    reroll: bool,
+    cache_dir: &std::path::Path,
+) -> Result<Compiled, String> {
+    let model = scaled_case(case, scale);
+    let suite = compile_case_native_opt(&model, OptLevel::Full, reroll, Some(cache_dir));
+    let kernel = match suite.artifact().native.as_ref() {
+        Some(kernel) => kernel.clone(),
+        None => {
+            let why = suite
+                .artifact()
+                .native_diag
+                .as_deref()
+                .unwrap_or("unknown codegen failure");
+            return Err(format!(
+                "case {case} (reroll={reroll}): no native kernel: {why}"
+            ));
+        }
+    };
+    let record = suite.report.stage(Stage::Codegen);
+    let metric = |key: &str| record.and_then(|r| r.get(key)).unwrap_or(0.0);
+    Ok(Compiled {
+        cc_secs: metric("cc_seconds"),
+        source_bytes: metric("source_bytes") as usize,
+        render_secs: metric("render_seconds"),
+        cc_units: metric("cc_units") as usize,
+        cc_unit_max_secs: metric("cc_unit_max_seconds"),
+        link_secs: metric("link_seconds"),
+        suite,
+        kernel,
     })
 }
 
@@ -197,43 +277,36 @@ fn run(config: Config) -> Result<(), String> {
         toolchain.version
     );
     println!(
-        "{:>5} {:>6} {:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9}",
+        "{:>5} {:>6} {:>8} {:>6} {:>7} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8}",
         "case",
         "eqs",
         "instrs",
-        "render",
-        "cc",
-        "exec",
-        "batched",
-        "native",
-        "nbatched",
-        "nat/ex",
-        "nb/bat"
+        "loops",
+        "size-x",
+        "cc:roll",
+        "cc:flat",
+        "exbatch",
+        "nroll",
+        "nrollb",
+        "nflatb",
+        "nrb/exb",
+        "nfb/exb"
     );
+
+    // A fresh scratch cache per run: warm `.so` hits would skip the
+    // render/cc work and zero out the size and compile-time columns.
+    let scratch = std::env::temp_dir().join(format!("rms-codegen-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
 
     let mut results = Vec::new();
     for &case in &cases {
-        let model = scaled_case(case, scale);
-        let suite = compile_case_native(&model, OptLevel::Full);
-        let kernel = match suite.artifact().native.as_ref() {
-            Some(kernel) => kernel.clone(),
-            None => {
-                let why = suite
-                    .artifact()
-                    .native_diag
-                    .as_deref()
-                    .unwrap_or("unknown codegen failure");
-                return Err(format!("case {case}: no native kernel: {why}"));
-            }
-        };
-        let record = suite.report.stage(Stage::Codegen);
-        let render_secs = record.and_then(|r| r.get("render_seconds")).unwrap_or(0.0);
-        let cc_secs = record.and_then(|r| r.get("cc_seconds")).unwrap_or(0.0);
-        let source_bytes = record.and_then(|r| r.get("source_bytes")).unwrap_or(0.0) as usize;
+        let rolled = compile(case, scale, true, &scratch)?;
+        let unrolled = compile(case, scale, false, &scratch)?;
 
-        let system = &suite.system;
-        let tape = &suite.compiled.tape;
-        let exec: ExecTape = suite
+        let system = &rolled.suite.system;
+        let tape = &rolled.suite.compiled.tape;
+        let exec: ExecTape = rolled
+            .suite
             .exec
             .clone()
             .unwrap_or_else(|| ExecTape::compile(tape));
@@ -246,33 +319,48 @@ fn run(config: Config) -> Result<(), String> {
         let exec_secs = time_exec(&exec, rates, &mut y, &mut ydot, iters);
         let exec_batched_secs = time_exec_batched(&exec, rates, &y0, iters);
         let mut y = y0.clone();
-        let native_secs = time_native(&kernel, rates, &mut y, &mut ydot, iters);
-        let native_batched_secs = time_native_batched(&kernel, rates, &y0, iters);
+        let native_secs = time_native(&rolled.kernel, rates, &mut y, &mut ydot, iters);
+        let native_batched_secs = time_native_batched(&rolled.kernel, rates, &y0, iters);
+        let mut y = y0.clone();
+        let unrolled_native_secs = time_native(&unrolled.kernel, rates, &mut y, &mut ydot, iters);
+        let unrolled_native_batched_secs = time_native_batched(&unrolled.kernel, rates, &y0, iters);
 
-        println!(
-            "{case:>5} {n:>6} {:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>8.2}x {:>8.2}x",
-            tape.len(),
-            fmt_secs(render_secs),
-            fmt_secs(cc_secs),
-            fmt_secs(exec_secs),
-            fmt_secs(exec_batched_secs),
-            fmt_secs(native_secs),
-            fmt_secs(native_batched_secs),
-            exec_secs / native_secs,
-            exec_batched_secs / native_batched_secs
-        );
-        results.push(CaseResult {
+        let result = CaseResult {
             case,
             equations: n,
             tape_instrs: tape.len(),
-            source_bytes,
-            render_secs,
-            cc_secs,
+            loop_count: rolled.kernel.loop_count(),
+            rolled_instrs: rolled.kernel.rolled_instrs(),
+            source_bytes: rolled.source_bytes,
+            unrolled_source_bytes: unrolled.source_bytes,
+            render_secs: rolled.render_secs,
+            cc_secs: rolled.cc_secs,
+            unrolled_cc_secs: unrolled.cc_secs,
+            cc_units: rolled.cc_units,
+            cc_unit_max_secs: rolled.cc_unit_max_secs,
+            link_secs: rolled.link_secs,
             exec_secs,
             exec_batched_secs,
             native_secs,
             native_batched_secs,
-        });
+            unrolled_native_secs,
+            unrolled_native_batched_secs,
+        };
+        println!(
+            "{case:>5} {n:>6} {:>8} {:>6} {:>6.1}x {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} | {:>7.2}x {:>7.2}x",
+            result.tape_instrs,
+            result.loop_count,
+            result.size_reduction(),
+            fmt_secs(result.cc_secs),
+            fmt_secs(result.unrolled_cc_secs),
+            fmt_secs(result.exec_batched_secs),
+            fmt_secs(result.native_secs),
+            fmt_secs(result.native_batched_secs),
+            fmt_secs(result.unrolled_native_batched_secs),
+            result.exec_batched_secs / result.native_batched_secs,
+            result.exec_batched_secs / result.unrolled_native_batched_secs
+        );
+        results.push(result);
     }
 
     let largest_case = *cases
@@ -287,11 +375,12 @@ fn run(config: Config) -> Result<(), String> {
         .expect("at least one case");
 
     // Differential integration on the largest case: full BDF solves on
-    // the exec and native engines must tell the same story. Without FMA
-    // contraction both replay the tape's association order exactly, so
-    // the deviation is expected to be 0.0.
+    // the exec and rerolled-native engines must tell the same story.
+    // Without FMA contraction both replay the tape's association order
+    // exactly, so the deviation vs exec is expected to be 0.0; the
+    // interp engine shares the flat tape and gets the 1e-12 envelope.
     let model = scaled_case(largest_case, scale);
-    let suite = compile_case_native(&model, OptLevel::Full);
+    let suite = compile_case_native_opt(&model, OptLevel::Full, true, Some(&scratch));
     let times: Vec<f64> = (1..=8).map(|i| 0.25 * i as f64).collect();
     let options = SolverOptions::default();
     let reference = suite
@@ -300,22 +389,71 @@ fn run(config: Config) -> Result<(), String> {
     let native_traj = suite
         .simulate_configured(&times, options, JacobianMode::FdColored, EngineMode::Native)
         .map_err(|e| format!("native integration failed: {e}"))?;
-    let mut traj_diff: f64 = 0.0;
-    for (a, b) in reference.iter().flatten().zip(native_traj.iter().flatten()) {
-        traj_diff = traj_diff.max((a - b).abs() / a.abs().max(1.0));
-    }
+    let interp_traj = suite
+        .simulate_configured(&times, options, JacobianMode::FdColored, EngineMode::Interp)
+        .map_err(|e| format!("interp integration failed: {e}"))?;
+    let deviation = |a: &Vec<Vec<f64>>, b: &Vec<Vec<f64>>| -> f64 {
+        let mut worst: f64 = 0.0;
+        for (x, z) in a.iter().flatten().zip(b.iter().flatten()) {
+            worst = worst.max((x - z).abs() / x.abs().max(1.0));
+        }
+        worst
+    };
+    let traj_diff = deviation(&reference, &native_traj);
+    let traj_diff_interp = deviation(&interp_traj, &native_traj);
 
     let largest = results
         .iter()
         .find(|r| r.case == largest_case)
         .expect("largest case measured");
     println!(
-        "\nlargest case ({} equations): native {:.2}x scalar exec, {:.2}x batched exec; \
-         trajectory deviation {traj_diff:.3e}",
+        "\nlargest case ({} equations, {} instrs): rerolled native {:.2}x scalar exec, \
+         {:.2}x batched exec (unrolled: {:.2}x batched); kernel source {:.1}x smaller; \
+         trajectory deviation {traj_diff:.3e} vs exec, {traj_diff_interp:.3e} vs interp",
         largest.equations,
+        largest.tape_instrs,
         largest.exec_secs / largest.native_secs,
-        largest.exec_batched_secs / largest.native_batched_secs
+        largest.exec_batched_secs / largest.native_batched_secs,
+        largest.exec_batched_secs / largest.unrolled_native_batched_secs,
+        largest.size_reduction()
     );
+
+    // Crossover acceptance: at a ≥250k-instruction case the rerolled
+    // kernel must (a) beat the batched exec engine where the unrolled
+    // kernel historically lost, (b) shrink the rendered source ≥5x, and
+    // (c) keep the trajectory bit-identical to exec and within 1e-12 of
+    // interp. Smoke runs skip the check — their cases are far below the
+    // crossover.
+    if !smoke && largest.tape_instrs >= ACCEPTANCE_INSTRS {
+        let batched_speedup = largest.exec_batched_secs / largest.native_batched_secs;
+        let scalar_speedup = largest.exec_secs / largest.native_secs;
+        if batched_speedup < 1.0 || scalar_speedup < 1.0 {
+            return Err(format!(
+                "crossover acceptance failed: rerolled native at {} instrs is not faster than \
+                 exec (scalar {scalar_speedup:.3}x, batched {batched_speedup:.3}x)",
+                largest.tape_instrs
+            ));
+        }
+        if largest.size_reduction() < 5.0 {
+            return Err(format!(
+                "crossover acceptance failed: kernel source only {:.2}x smaller than unrolled \
+                 (need ≥5x)",
+                largest.size_reduction()
+            ));
+        }
+        if traj_diff != 0.0 {
+            return Err(format!(
+                "crossover acceptance failed: rerolled native deviates from exec by {traj_diff:e}"
+            ));
+        }
+        if traj_diff_interp > 1e-12 {
+            return Err(format!(
+                "crossover acceptance failed: rerolled native deviates from interp by \
+                 {traj_diff_interp:e}"
+            ));
+        }
+        println!("crossover acceptance: PASS");
+    }
 
     let json = render_json(
         scale,
@@ -325,9 +463,11 @@ fn run(config: Config) -> Result<(), String> {
         &results,
         largest,
         traj_diff,
+        traj_diff_interp,
     );
     write_artifact(out_path, &json, smoke, force)?;
     println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&scratch);
     Ok(())
 }
 
@@ -342,6 +482,7 @@ fn render_json(
     results: &[CaseResult],
     largest: &CaseResult,
     traj_diff: f64,
+    traj_diff_interp: f64,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -350,7 +491,7 @@ fn render_json(
     let _ = writeln!(out, "  \"iters\": {iters},");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"lanes\": {LANES},");
-    let _ = writeln!(out, "  \"cc\": {},", rms_driver_json_string(cc));
+    let _ = writeln!(out, "  \"cc\": {},", json_string(cc));
     let _ = writeln!(out, "  \"cases\": [");
     for (k, r) in results.iter().enumerate() {
         let comma = if k + 1 < results.len() { "," } else { "" };
@@ -358,9 +499,33 @@ fn render_json(
         let _ = writeln!(out, "      \"case\": {},", r.case);
         let _ = writeln!(out, "      \"equations\": {},", r.equations);
         let _ = writeln!(out, "      \"tape_instrs\": {},", r.tape_instrs);
+        let _ = writeln!(out, "      \"loop_count\": {},", r.loop_count);
+        let _ = writeln!(out, "      \"rolled_instrs\": {},", r.rolled_instrs);
         let _ = writeln!(out, "      \"source_bytes\": {},", r.source_bytes);
+        let _ = writeln!(
+            out,
+            "      \"unrolled_source_bytes\": {},",
+            r.unrolled_source_bytes
+        );
+        let _ = writeln!(
+            out,
+            "      \"kernel_size_reduction\": {:.3},",
+            r.size_reduction()
+        );
         let _ = writeln!(out, "      \"render_seconds\": {:.6},", r.render_secs);
         let _ = writeln!(out, "      \"cc_seconds\": {:.6},", r.cc_secs);
+        let _ = writeln!(
+            out,
+            "      \"unrolled_cc_seconds\": {:.6},",
+            r.unrolled_cc_secs
+        );
+        let _ = writeln!(out, "      \"cc_units\": {},", r.cc_units);
+        let _ = writeln!(
+            out,
+            "      \"cc_unit_max_seconds\": {:.6},",
+            r.cc_unit_max_secs
+        );
+        let _ = writeln!(out, "      \"link_seconds\": {:.6},", r.link_secs);
         let _ = writeln!(
             out,
             "      \"exec_evals_per_sec\": {:.1},",
@@ -383,19 +548,40 @@ fn render_json(
         );
         let _ = writeln!(
             out,
+            "      \"unrolled_native_evals_per_sec\": {:.1},",
+            1.0 / r.unrolled_native_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"unrolled_native_batched_evals_per_sec\": {:.1},",
+            1.0 / r.unrolled_native_batched_secs
+        );
+        let _ = writeln!(
+            out,
             "      \"native_speedup_vs_exec\": {:.3},",
             r.exec_secs / r.native_secs
         );
         let _ = writeln!(
             out,
-            "      \"native_batched_speedup_vs_batched_exec\": {:.3}",
+            "      \"native_batched_speedup_vs_batched_exec\": {:.3},",
             r.exec_batched_secs / r.native_batched_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"unrolled_native_speedup_vs_exec\": {:.3},",
+            r.exec_secs / r.unrolled_native_secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"unrolled_native_batched_speedup_vs_batched_exec\": {:.3}",
+            r.exec_batched_secs / r.unrolled_native_batched_secs
         );
         let _ = writeln!(out, "    }}{comma}");
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"largest_case\": {},", largest.case);
     let _ = writeln!(out, "  \"largest_equations\": {},", largest.equations);
+    let _ = writeln!(out, "  \"largest_tape_instrs\": {},", largest.tape_instrs);
     let _ = writeln!(
         out,
         "  \"largest_native_speedup_vs_exec\": {:.3},",
@@ -406,13 +592,27 @@ fn render_json(
         "  \"largest_native_batched_speedup_vs_batched_exec\": {:.3},",
         largest.exec_batched_secs / largest.native_batched_secs
     );
-    let _ = writeln!(out, "  \"largest_trajectory_deviation\": {traj_diff:.3e}");
+    let _ = writeln!(
+        out,
+        "  \"largest_unrolled_native_batched_speedup_vs_batched_exec\": {:.3},",
+        largest.exec_batched_secs / largest.unrolled_native_batched_secs
+    );
+    let _ = writeln!(
+        out,
+        "  \"largest_kernel_size_reduction\": {:.3},",
+        largest.size_reduction()
+    );
+    let _ = writeln!(out, "  \"largest_trajectory_deviation\": {traj_diff:.3e},");
+    let _ = writeln!(
+        out,
+        "  \"largest_trajectory_deviation_vs_interp\": {traj_diff_interp:.3e}"
+    );
     let _ = writeln!(out, "}}");
     out
 }
 
 /// Minimal JSON string quoting for the compiler-version banner.
-fn rms_driver_json_string(s: &str) -> String {
+fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

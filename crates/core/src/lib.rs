@@ -36,10 +36,13 @@ pub mod tape;
 pub use cse::{cse_forest, CseOptions};
 pub use deriv::{
     compile_jacobian, compile_sensitivity, differentiate_forest, differentiate_forest_sensitivity,
-    JacobianTapes, SensitivityTapes,
+    JacobianRolled, JacobianTapes, SensitivityRolled, SensitivityTapes,
 };
 pub use distopt::{distribute_expr, distribute_forest};
-pub use emit_c::{c_f64, emit_c, emit_kernel, KernelSpec, KERNEL_ABI_VERSION, KERNEL_LANES};
+pub use emit_c::{
+    c_f64, emit_c, emit_kernel, emit_kernel_units, EmitOptions, EmittedKernel, KernelSpec,
+    RolledViews, KERNEL_ABI_VERSION, KERNEL_LANES,
+};
 pub use exec::{ExecFrame, ExecInstr, ExecTape, FMA_CONTRACTS, LANES};
 pub use expr::{Coeff, Expr, ExprForest, TempId};
 pub use generic::{
@@ -47,8 +50,8 @@ pub use generic::{
     IR_BYTES_PER_OP, PAPER_MEMORY_BUDGET,
 };
 pub use native::{
-    compile_and_load, compile_kernel, probe_toolchain, KernelMeta, NativeError, NativeKernel,
-    Toolchain,
+    compile_and_load, compile_and_load_units, compile_kernel, compile_kernel_units,
+    probe_toolchain, CompileTiming, KernelMeta, NativeError, NativeKernel, Toolchain,
 };
 pub use pipeline::{
     optimize, optimize_traced, optimize_with_passes, CompiledOde, OptLevel, PassEvent, PassTrace,
@@ -56,6 +59,8 @@ pub use pipeline::{
 };
 pub use simplify::{simplify_expr, simplify_forest};
 pub use tape::{
-    compact_registers, compact_registers_multi, compact_registers_pair, forward_copies, lower,
-    lower_split, lower_split_multi, species_dependencies, validate_program, Instr, Operand, Tape,
+    compact_registers, compact_registers_multi, compact_registers_pair, forward_copies,
+    loop_slot_patterns, lower, lower_split, lower_split_multi, reroll, resolve_instr,
+    species_dependencies, validate_program, Instr, Operand, RerollOptions, RolledSegment,
+    RolledTape, SlotPattern, Tape, TapeLoop,
 };

@@ -112,24 +112,44 @@ pub fn compile_kernel(
     out_so: &Path,
     toolchain: &Toolchain,
 ) -> Result<(), NativeError> {
-    let c_path = out_so.with_extension("so.c");
-    std::fs::write(&c_path, source)
-        .map_err(|e| NativeError::Io(format!("{}: {e}", c_path.display())))?;
-    let tmp = out_so.with_extension(format!("so.{}.tmp", std::process::id()));
-    // -march=native lets the lane kernel's 512-bit vectors map onto the
-    // host's widest SIMD instead of being split into baseline-SSE2 halves
-    // (the cache directory is per-machine, so host-tuned objects are
-    // safe). -ffp-contract=off keeps the op-for-op rounding identical to
-    // the interpreter either way. Retried without -march=native for
-    // compilers that reject it.
+    compile_kernel_units(std::slice::from_ref(&source.to_string()), out_so, toolchain).map(|_| ())
+}
+
+/// Wall-clock breakdown of a (possibly multi-unit) kernel build, for the
+/// driver's pipeline report.
+#[derive(Debug, Clone, Default)]
+pub struct CompileTiming {
+    /// Seconds spent compiling each translation unit. Units compile
+    /// concurrently, so the build's compile wall-time is the maximum,
+    /// not the sum.
+    pub unit_seconds: Vec<f64>,
+    /// Seconds spent in the final link (0 for single-unit builds, which
+    /// compile and link in one compiler invocation).
+    pub link_seconds: f64,
+}
+
+impl CompileTiming {
+    /// Longest single unit compile.
+    pub fn max_unit_seconds(&self) -> f64 {
+        self.unit_seconds.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Invoke the C compiler once, retrying without `-march=native` for
+/// compilers that reject it.
+///
+/// `-march=native` lets the lane kernel's 512-bit vectors map onto the
+/// host's widest SIMD instead of being split into baseline-SSE2 halves
+/// (the cache directory is per-machine, so host-tuned objects are safe).
+/// `-ffp-contract=off` keeps the op-for-op rounding identical to the
+/// interpreter either way.
+fn run_cc(toolchain: &Toolchain, args: &[&std::ffi::OsStr]) -> Result<(), NativeError> {
     let run = |march: bool| {
         let mut cmd = Command::new(&toolchain.cc);
         if march {
             cmd.arg("-march=native");
         }
-        cmd.args(["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o"])
-            .arg(&tmp)
-            .arg(&c_path)
+        cmd.args(args)
             .output()
             .map_err(|e| NativeError::NoToolchain(format!("{}: {e}", toolchain.cc)))
     };
@@ -138,7 +158,6 @@ pub fn compile_kernel(
         out = run(false)?;
     }
     if !out.status.success() {
-        let _ = std::fs::remove_file(&tmp);
         let stderr = String::from_utf8_lossy(&out.stderr);
         let first = stderr.lines().take(4).collect::<Vec<_>>().join("; ");
         return Err(NativeError::CompileFailed(format!(
@@ -146,7 +165,112 @@ pub fn compile_kernel(
             toolchain.cc, out.status
         )));
     }
-    std::fs::rename(&tmp, out_so).map_err(|e| NativeError::Io(format!("{}: {e}", out_so.display())))
+    Ok(())
+}
+
+/// Compile one or more translation units to a shared object at `out_so`.
+///
+/// A single unit takes the historic compile-and-link-in-one path. With
+/// several units, each `cc -c` runs on its own thread — chunked kernels
+/// are embarrassingly parallel to compile — followed by a single
+/// `cc -shared` link. Sources stay next to the object (`<out_so>.c` or
+/// `<out_so>.u<i>.c`) for inspection; the object is built at a
+/// process-unique temporary and renamed into place, so concurrent
+/// builders of the same key race benignly.
+pub fn compile_kernel_units(
+    units: &[String],
+    out_so: &Path,
+    toolchain: &Toolchain,
+) -> Result<CompileTiming, NativeError> {
+    use std::time::Instant;
+    assert!(!units.is_empty(), "no translation units to compile");
+    let pid = std::process::id();
+    let tmp = out_so.with_extension(format!("so.{pid}.tmp"));
+    let fail_io = |p: &Path, e: std::io::Error| NativeError::Io(format!("{}: {e}", p.display()));
+
+    if units.len() == 1 {
+        let c_path = out_so.with_extension("so.c");
+        std::fs::write(&c_path, &units[0]).map_err(|e| fail_io(&c_path, e))?;
+        let clock = Instant::now();
+        let args = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o"];
+        let mut full: Vec<&std::ffi::OsStr> = args.iter().map(|s| s.as_ref()).collect();
+        full.push(tmp.as_os_str());
+        full.push(c_path.as_os_str());
+        if let Err(e) = run_cc(toolchain, &full) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let timing = CompileTiming {
+            unit_seconds: vec![clock.elapsed().as_secs_f64()],
+            link_seconds: 0.0,
+        };
+        std::fs::rename(&tmp, out_so).map_err(|e| fail_io(out_so, e))?;
+        return Ok(timing);
+    }
+
+    // Write every unit, then compile them concurrently.
+    let mut c_paths = Vec::with_capacity(units.len());
+    let mut obj_paths = Vec::with_capacity(units.len());
+    for (i, unit) in units.iter().enumerate() {
+        let c_path = out_so.with_extension(format!("so.u{i}.c"));
+        std::fs::write(&c_path, unit).map_err(|e| fail_io(&c_path, e))?;
+        obj_paths.push(out_so.with_extension(format!("so.u{i}.{pid}.o")));
+        c_paths.push(c_path);
+    }
+    let cleanup = |paths: &[PathBuf]| {
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    };
+    let compiled: Vec<Result<f64, NativeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..units.len())
+            .map(|i| {
+                let (c_path, obj_path) = (&c_paths[i], &obj_paths[i]);
+                scope.spawn(move || {
+                    let clock = Instant::now();
+                    let args = ["-O2", "-fPIC", "-c", "-ffp-contract=off", "-o"];
+                    let mut full: Vec<&std::ffi::OsStr> = args.iter().map(|s| s.as_ref()).collect();
+                    full.push(obj_path.as_os_str());
+                    full.push(c_path.as_os_str());
+                    run_cc(toolchain, &full).map(|()| clock.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("unit compile thread panicked"))
+            .collect()
+    });
+    let mut unit_seconds = Vec::with_capacity(units.len());
+    for r in compiled {
+        match r {
+            Ok(secs) => unit_seconds.push(secs),
+            Err(e) => {
+                cleanup(&obj_paths);
+                return Err(e);
+            }
+        }
+    }
+
+    let clock = Instant::now();
+    let args = ["-shared", "-o"];
+    let mut full: Vec<&std::ffi::OsStr> = args.iter().map(|s| s.as_ref()).collect();
+    full.push(tmp.as_os_str());
+    for obj in &obj_paths {
+        full.push(obj.as_os_str());
+    }
+    let linked = run_cc(toolchain, &full);
+    let link_seconds = clock.elapsed().as_secs_f64();
+    cleanup(&obj_paths);
+    if let Err(e) = linked {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, out_so).map_err(|e| fail_io(out_so, e))?;
+    Ok(CompileTiming {
+        unit_seconds,
+        link_seconds,
+    })
 }
 
 /// Expected identity of a kernel object, validated on load.
@@ -183,6 +307,8 @@ pub struct NativeKernel {
     jac: Option<JacFn>,
     sens: Option<SensFn>,
     meta: KernelMeta,
+    loop_count: usize,
+    rolled_instrs: usize,
     path: PathBuf,
 }
 
@@ -296,6 +422,10 @@ impl NativeKernel {
             let jac_nnz = read_i64("rms_jac_nnz")?;
             let sens_jac_nnz = read_i64("rms_sens_jac_nnz")?;
             let dfdp_nnz = read_i64("rms_dfdp_nnz")?;
+            // ABI v2 objects always export the reroll counters (0 when
+            // the kernel was emitted fully unrolled).
+            let loop_count = read_i64("rms_loop_count")?.max(0) as usize;
+            let rolled_instrs = read_i64("rms_rolled_instrs")?.max(0) as usize;
 
             let rhs: RhsFn = unsafe { std::mem::transmute(sym("ode_rhs")?) };
             let rhs_batch: BatchFn = unsafe { std::mem::transmute(sym("ode_rhs_batch")?) };
@@ -332,6 +462,8 @@ impl NativeKernel {
                 jac,
                 sens,
                 meta: *expect,
+                loop_count,
+                rolled_instrs,
                 path: path.to_path_buf(),
             })
         })();
@@ -368,6 +500,17 @@ impl NativeKernel {
     /// Path of the loaded shared object.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Loop regions the object's kernel was rendered with (0 when emitted
+    /// fully unrolled).
+    pub fn loop_count(&self) -> usize {
+        self.loop_count
+    }
+
+    /// Flat instructions the emitter absorbed into rendered loops.
+    pub fn rolled_instrs(&self) -> usize {
+        self.rolled_instrs
     }
 
     /// Whether `ode_jac` was loaded.
@@ -483,6 +626,23 @@ pub fn compile_and_load(
     NativeKernel::load(out_so, meta)
 }
 
+/// Probe the toolchain, compile the translation units (concurrently when
+/// there are several) to `out_so`, and load the linked object.
+pub fn compile_and_load_units(
+    units: &[String],
+    out_so: &Path,
+    meta: &KernelMeta,
+) -> Result<(NativeKernel, CompileTiming), NativeError> {
+    if !cfg!(unix) {
+        return Err(NativeError::Unsupported(
+            "native kernels are only implemented for unix".to_string(),
+        ));
+    }
+    let toolchain = probe_toolchain()?;
+    let timing = compile_kernel_units(units, out_so, &toolchain)?;
+    Ok((NativeKernel::load(out_so, meta)?, timing))
+}
+
 #[cfg(all(test, unix))]
 mod tests {
     use super::*;
@@ -539,6 +699,7 @@ mod tests {
             rhs: &tape,
             jacobian: Some(&jt),
             sensitivity: Some(&st),
+            rolled: None,
             key,
         });
         let meta = KernelMeta {
@@ -612,6 +773,7 @@ mod tests {
             rhs: &tape,
             jacobian: None,
             sensitivity: None,
+            rolled: None,
             key,
         });
         let meta = KernelMeta {
@@ -646,6 +808,132 @@ mod tests {
             NativeKernel::load(&so, &meta),
             Err(NativeError::LoadFailed(_))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Structurally identical reaction stanzas — the reroll pass's target.
+    fn stanza_forest(n_eq: usize) -> ExprForest {
+        let term = |c: f64, rate: u32, species: &[u32]| {
+            let mut f = vec![Expr::Rate(rate)];
+            f.extend(species.iter().map(|&s| Expr::Species(s)));
+            Expr::prod(c, f)
+        };
+        let rhs = (0..n_eq)
+            .map(|i| {
+                let i = i as u32;
+                Expr::sum(vec![
+                    term(1.0, i % 8, &[i % 5, (i + 1) % 5]),
+                    term(-2.5, (i + 3) % 8, &[(i + 2) % 5]),
+                ])
+            })
+            .collect();
+        ExprForest {
+            temps: vec![],
+            rhs,
+            n_species: n_eq.max(5),
+            n_rates: 8,
+        }
+    }
+
+    #[test]
+    fn rolled_multiunit_kernel_matches_interpreter_bitwise() {
+        use crate::emit_c::{emit_kernel_units, EmitOptions, RolledViews};
+        use crate::tape::{reroll, RerollOptions};
+        let Some(toolchain) = skip_without_toolchain() else {
+            return;
+        };
+        let forest = stanza_forest(96);
+        let tape = lower(&forest);
+        let jt = compile_jacobian(&forest, None);
+        let st = compile_sensitivity(&forest, None);
+        let opts = RerollOptions {
+            max_body: 64,
+            min_trips: 2,
+            min_savings: 1,
+        };
+        let rolled = reroll(&tape, &opts);
+        assert!(rolled.loop_count() > 0, "stanza forest must reroll");
+        let jr = jt.reroll(&opts);
+        let sr = st.reroll(&opts);
+        let key = 0xfeed_0000_0000_0000_0000_0000_0000_beefu128;
+        let emitted = emit_kernel_units(
+            &KernelSpec {
+                name: "stanzas",
+                rhs: &tape,
+                jacobian: Some(&jt),
+                sensitivity: Some(&st),
+                rolled: Some(RolledViews {
+                    rhs: &rolled,
+                    jacobian: Some(&jr),
+                    sensitivity: Some(&sr),
+                }),
+                key,
+            },
+            &EmitOptions { units: 3 },
+        );
+        assert!(emitted.units.len() > 1, "expected a multi-unit build");
+        let meta = KernelMeta {
+            key,
+            n_species: tape.n_species,
+            n_rates: tape.n_rates,
+            jac_nnz: Some(jt.nnz()),
+            sens_nnz: Some((st.jac_nnz(), st.dfdp_nnz())),
+        };
+        let dir = tmpdir("rolled");
+        let so = dir.join("stanzas.so");
+        let timing = compile_kernel_units(&emitted.units, &so, &toolchain).expect("compile units");
+        assert_eq!(timing.unit_seconds.len(), emitted.units.len());
+        assert!(
+            timing.link_seconds > 0.0,
+            "multi-unit builds link separately"
+        );
+        let kernel = NativeKernel::load(&so, &meta).expect("load");
+        assert_eq!(kernel.loop_count(), emitted.loop_count);
+        assert_eq!(kernel.rolled_instrs(), emitted.rolled_instrs);
+        assert!(kernel.loop_count() > 0);
+
+        let n = tape.n_species;
+        let rates: Vec<f64> = (0..tape.n_rates).map(|i| 0.3 + 0.17 * i as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| 0.05 + 0.011 * i as f64).collect();
+        let mut regs = Vec::new();
+        let mut want = vec![0.0; n];
+        tape.eval_with_scratch(&rates, &y, &mut want, &mut regs);
+        let mut got = vec![0.0; n];
+        kernel.eval(&rates, &y, &mut got);
+        assert_eq!(want, got, "rolled scalar rhs must be bit-identical");
+
+        // Batched (exercises the rolled lane kernel + scalar tail).
+        let n_states = 13;
+        let ys: Vec<f64> = (0..n_states * n)
+            .map(|i| 0.02 + 0.003 * (i % 37) as f64)
+            .collect();
+        let mut ydots = vec![0.0; ys.len()];
+        kernel.eval_batch(&rates, &ys, &mut ydots);
+        for s in 0..n_states {
+            tape.eval_with_scratch(&rates, &ys[s * n..(s + 1) * n], &mut want, &mut regs);
+            assert_eq!(&ydots[s * n..(s + 1) * n], &want[..], "state {s}");
+        }
+
+        // Rolled Jacobian and sensitivity groups, bit-for-bit.
+        let mut ydot_a = vec![0.0; n];
+        let mut vals_a = vec![0.0; jt.nnz()];
+        jt.eval_with_scratch(&rates, &y, &mut ydot_a, &mut vals_a, &mut regs);
+        let mut ydot_b = vec![0.0; n];
+        let mut vals_b = vec![0.0; jt.nnz()];
+        kernel.eval_rhs_jac(&rates, &y, &mut ydot_b, &mut vals_b);
+        assert_eq!(vals_a, vals_b);
+        assert_eq!(ydot_a, ydot_b);
+
+        let mut jv_a = vec![0.0; st.jac_nnz()];
+        let mut dv_a = vec![0.0; st.dfdp_nnz()];
+        st.eval_all(&rates, &y, &mut ydot_a, &mut jv_a, &mut dv_a, &mut regs);
+        let mut jv_b = vec![0.0; st.jac_nnz()];
+        let mut dv_b = vec![0.0; st.dfdp_nnz()];
+        kernel.eval_all(&rates, &y, &mut ydot_b, &mut jv_b, &mut dv_b);
+        assert_eq!(jv_a, jv_b);
+        assert_eq!(dv_a, dv_b);
+        assert_eq!(ydot_a, ydot_b);
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

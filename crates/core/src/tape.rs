@@ -912,6 +912,506 @@ impl Builder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Loop-structured tape IR (the reroll pass).
+//
+// The rate-law generator emits thousands of structurally identical stanzas
+// — same opcode/operand-kind pattern, differing only in species, rate,
+// register or constant payloads. The reroll pass detects maximal runs of
+// such stanzas and describes them as `Loop { trip_count, body }` regions
+// over the flat tape; per-slot payloads become fixed values, affine
+// `base + stride * trip` sequences, or explicit per-trip index tables.
+// The flat tape stays the single source of truth (a rolled view never
+// reorders or rewrites an instruction), so the degenerate case — no loops
+// found — is exactly the old flat form, and every consumer that replays
+// the loops trip-by-trip reproduces the flat execution bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the reroll pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RerollOptions {
+    /// Longest candidate loop body, in instructions. Large mechanisms
+    /// repeat whole per-species stanzas, so this is deliberately generous.
+    pub max_body: usize,
+    /// Minimum trip count for a run to become a loop.
+    pub min_trips: usize,
+    /// Minimum instructions saved (`(trips - 1) * body_len`) for a run to
+    /// become a loop; filters out tiny loops whose index tables would cost
+    /// more than the straight-line code they replace.
+    pub min_savings: usize,
+}
+
+impl Default for RerollOptions {
+    fn default() -> RerollOptions {
+        RerollOptions {
+            max_body: 256,
+            min_trips: 2,
+            min_savings: 8,
+        }
+    }
+}
+
+/// One rerolled region: `trips` consecutive stanzas of `body_len`
+/// instructions starting at flat index `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeLoop {
+    /// Flat index of the first instruction of trip 0 (the template).
+    pub start: usize,
+    /// Instructions per trip.
+    pub body_len: usize,
+    /// Number of trips (≥ 2).
+    pub trips: usize,
+}
+
+impl TapeLoop {
+    /// One past the last flat instruction covered by the loop.
+    pub fn end(&self) -> usize {
+        self.start + self.body_len * self.trips
+    }
+
+    /// Instructions this loop removes from the rolled form.
+    pub fn savings(&self) -> usize {
+        (self.trips - 1) * self.body_len
+    }
+}
+
+/// A loop-structured view over a flat [`Tape`]: sorted, disjoint
+/// [`TapeLoop`] regions; everything between them is straight-line code.
+/// An empty `loops` vector is the degenerate (fully straight) case.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RolledTape {
+    /// Flat instruction count of the tape this view was built for.
+    pub len: usize,
+    /// Rerolled regions, sorted by `start`, pairwise disjoint.
+    pub loops: Vec<TapeLoop>,
+}
+
+/// One element of a rolled walk: a straight range or a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolledSegment {
+    /// Straight-line instructions `start .. start + len`.
+    Straight {
+        /// First flat index.
+        start: usize,
+        /// Instruction count.
+        len: usize,
+    },
+    /// A rerolled loop region.
+    Loop(TapeLoop),
+}
+
+impl RolledTape {
+    /// The degenerate view: no loops, everything straight.
+    pub fn straight(len: usize) -> RolledTape {
+        RolledTape {
+            len,
+            loops: Vec::new(),
+        }
+    }
+
+    /// Number of loop regions.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Flat instructions eliminated by rerolling (bodies beyond trip 0).
+    pub fn rerolled_instrs(&self) -> usize {
+        self.loops.iter().map(TapeLoop::savings).sum()
+    }
+
+    /// Instruction count of the rolled form: straight instructions plus
+    /// one body per loop. This is what the native backend actually emits.
+    pub fn rolled_len(&self) -> usize {
+        self.len - self.rerolled_instrs()
+    }
+
+    /// The walk order: straight ranges interleaved with loops, covering
+    /// `0 .. self.len` exactly once.
+    pub fn segments(&self) -> Vec<RolledSegment> {
+        let mut out = Vec::with_capacity(2 * self.loops.len() + 1);
+        let mut at = 0usize;
+        for lp in &self.loops {
+            if lp.start > at {
+                out.push(RolledSegment::Straight {
+                    start: at,
+                    len: lp.start - at,
+                });
+            }
+            out.push(RolledSegment::Loop(*lp));
+            at = lp.end();
+        }
+        if at < self.len {
+            out.push(RolledSegment::Straight {
+                start: at,
+                len: self.len - at,
+            });
+        }
+        out
+    }
+
+    /// Check the view against its tape: loops sorted and disjoint, in
+    /// bounds, trip counts ≥ 2, and every trip shape-identical to the
+    /// template (same opcodes and operand kinds). A view that validates
+    /// replays the flat tape exactly when walked trip by trip.
+    pub fn validate(&self, tape: &Tape) -> Result<(), String> {
+        if self.len != tape.len() {
+            return Err(format!(
+                "rolled view built for {} instrs, tape has {}",
+                self.len,
+                tape.len()
+            ));
+        }
+        let mut at = 0usize;
+        for (i, lp) in self.loops.iter().enumerate() {
+            if lp.body_len == 0 || lp.trips < 2 {
+                return Err(format!(
+                    "loop {i}: degenerate shape (body_len {}, trips {})",
+                    lp.body_len, lp.trips
+                ));
+            }
+            if lp.start < at {
+                return Err(format!(
+                    "loop {i}: starts at {} inside the previous region (ends {at})",
+                    lp.start
+                ));
+            }
+            if lp.end() > self.len {
+                return Err(format!(
+                    "loop {i}: ends at {} past the tape ({} instrs)",
+                    lp.end(),
+                    self.len
+                ));
+            }
+            for t in 1..lp.trips {
+                for p in 0..lp.body_len {
+                    let a = &tape.instrs[lp.start + p];
+                    let b = &tape.instrs[lp.start + t * lp.body_len + p];
+                    if a.shape_key() != b.shape_key() {
+                        return Err(format!(
+                            "loop {i}: trip {t} position {p} ({b}) does not match \
+                             the template ({a})"
+                        ));
+                    }
+                }
+            }
+            at = lp.end();
+        }
+        Ok(())
+    }
+
+    /// Human-readable listing of the rolled structure (dump format): loop
+    /// headers with slot patterns, straight ranges elided to counts.
+    pub fn render(&self, tape: &Tape) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; rolled: {} loops, {} of {} instrs rerolled ({} emitted)",
+            self.loop_count(),
+            self.rerolled_instrs(),
+            self.len,
+            self.rolled_len()
+        );
+        for seg in self.segments() {
+            match seg {
+                RolledSegment::Straight { start, len } => {
+                    let _ = writeln!(out, "straight {start}..{} ({len} instrs)", start + len);
+                }
+                RolledSegment::Loop(lp) => {
+                    let _ = writeln!(
+                        out,
+                        "loop @{} trips={} body={} {{",
+                        lp.start, lp.trips, lp.body_len
+                    );
+                    let patterns = loop_slot_patterns(tape, &lp);
+                    for (p, pats) in patterns.iter().enumerate() {
+                        let tags: Vec<String> = pats
+                            .iter()
+                            .map(|sp| match sp {
+                                SlotPattern::Fixed => "fix".to_string(),
+                                SlotPattern::Affine { stride } => format!("aff{stride:+}"),
+                                SlotPattern::Table(_) => "tab".to_string(),
+                                SlotPattern::ConstTable(_) => "ctab".to_string(),
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "  {}   ; [{}]",
+                            tape.instrs[lp.start + p],
+                            tags.join(",")
+                        );
+                    }
+                    let _ = writeln!(out, "}}");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Instr {
+    /// Structural shape key: opcode plus operand kinds, payloads ignored.
+    /// Two instructions with equal keys differ only in species/rate/
+    /// register/constant payloads — the reroll equivalence.
+    pub(crate) fn shape_key(&self) -> u64 {
+        let kind = |o: &Operand| -> u64 {
+            match o {
+                Operand::Reg(_) => 0,
+                Operand::Species(_) => 1,
+                Operand::Rate(_) => 2,
+                Operand::Const(_) => 3,
+            }
+        };
+        match self {
+            Instr::Add { a, b, .. } => (1 << 8) | (kind(a) << 4) | kind(b),
+            Instr::Sub { a, b, .. } => (2 << 8) | (kind(a) << 4) | kind(b),
+            Instr::Mul { a, b, .. } => (3 << 8) | (kind(a) << 4) | kind(b),
+            Instr::Neg { a, .. } => (4 << 8) | kind(a),
+            Instr::Copy { a, .. } => (5 << 8) | kind(a),
+            Instr::Store { a, .. } => (6 << 8) | kind(a),
+        }
+    }
+
+    /// Number of payload slots (destination/store-index plus operands).
+    pub(crate) fn slot_count(&self) -> usize {
+        match self {
+            Instr::Add { .. } | Instr::Sub { .. } | Instr::Mul { .. } => 3,
+            Instr::Neg { .. } | Instr::Copy { .. } | Instr::Store { .. } => 2,
+        }
+    }
+
+    /// Payload of slot `s`: slot 0 is the destination register (or store
+    /// index), later slots are operand payloads in order. Constants are
+    /// returned as their bit pattern.
+    pub(crate) fn slot(&self, s: usize) -> u64 {
+        let op = |o: &Operand| -> u64 {
+            match o {
+                Operand::Reg(r) => *r as u64,
+                Operand::Species(i) => *i as u64,
+                Operand::Rate(i) => *i as u64,
+                Operand::Const(c) => c.to_bits(),
+            }
+        };
+        match (self, s) {
+            (Instr::Add { dst, .. } | Instr::Sub { dst, .. } | Instr::Mul { dst, .. }, 0) => {
+                *dst as u64
+            }
+            (Instr::Neg { dst, .. } | Instr::Copy { dst, .. }, 0) => *dst as u64,
+            (Instr::Store { idx, .. }, 0) => *idx as u64,
+            (Instr::Add { a, .. } | Instr::Sub { a, .. } | Instr::Mul { a, .. }, 1) => op(a),
+            (Instr::Add { b, .. } | Instr::Sub { b, .. } | Instr::Mul { b, .. }, 2) => op(b),
+            (Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. }, 1) => op(a),
+            _ => unreachable!("slot index out of range"),
+        }
+    }
+
+    /// Rewrite slot `s`'s payload, preserving the operand kind.
+    pub(crate) fn set_slot(&mut self, s: usize, v: u64) {
+        let patch = |o: &mut Operand| match o {
+            Operand::Reg(r) => *r = v as u32,
+            Operand::Species(i) => *i = v as u32,
+            Operand::Rate(i) => *i = v as u32,
+            Operand::Const(c) => *c = f64::from_bits(v),
+        };
+        match (self, s) {
+            (Instr::Add { dst, .. } | Instr::Sub { dst, .. } | Instr::Mul { dst, .. }, 0) => {
+                *dst = v as u32
+            }
+            (Instr::Neg { dst, .. } | Instr::Copy { dst, .. }, 0) => *dst = v as u32,
+            (Instr::Store { idx, .. }, 0) => *idx = v as u32,
+            (Instr::Add { a, .. } | Instr::Sub { a, .. } | Instr::Mul { a, .. }, 1) => patch(a),
+            (Instr::Add { b, .. } | Instr::Sub { b, .. } | Instr::Mul { b, .. }, 2) => patch(b),
+            (Instr::Neg { a, .. } | Instr::Copy { a, .. } | Instr::Store { a, .. }, 1) => patch(a),
+            _ => unreachable!("slot index out of range"),
+        }
+    }
+}
+
+/// How one payload slot of a loop body varies across trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotPattern {
+    /// Identical in every trip (rendered once, hoisted out of the loop).
+    Fixed,
+    /// `template + stride * trip` — rendered inline, no table needed.
+    Affine {
+        /// Per-trip index increment (may be negative).
+        stride: i64,
+    },
+    /// Arbitrary per-trip indices; consumers intern these tables.
+    Table(Vec<u32>),
+    /// Arbitrary per-trip constants (bit-exact values).
+    ConstTable(Vec<f64>),
+}
+
+/// Classify every payload slot of `lp`'s body: for each body position,
+/// one [`SlotPattern`] per slot. The loop must shape-validate first.
+pub fn loop_slot_patterns(tape: &Tape, lp: &TapeLoop) -> Vec<Vec<SlotPattern>> {
+    let mut out = Vec::with_capacity(lp.body_len);
+    for p in 0..lp.body_len {
+        let template = &tape.instrs[lp.start + p];
+        // Slot 0 is the destination/store index; slot s > 0 is operand s-1.
+        let ops: Vec<Operand> = template.operands().collect();
+        let is_const = |s: usize| s > 0 && matches!(ops[s - 1], Operand::Const(_));
+        let mut slots = Vec::with_capacity(template.slot_count());
+        for s in 0..template.slot_count() {
+            let vals: Vec<u64> = (0..lp.trips)
+                .map(|t| tape.instrs[lp.start + t * lp.body_len + p].slot(s))
+                .collect();
+            let fixed = vals.iter().all(|&v| v == vals[0]);
+            if fixed {
+                slots.push(SlotPattern::Fixed);
+            } else if is_const(s) {
+                slots.push(SlotPattern::ConstTable(
+                    vals.iter().map(|&v| f64::from_bits(v)).collect(),
+                ));
+            } else {
+                let stride = vals[1] as i64 - vals[0] as i64;
+                let affine = vals.windows(2).all(|w| w[1] as i64 - w[0] as i64 == stride);
+                if affine {
+                    slots.push(SlotPattern::Affine { stride });
+                } else {
+                    slots.push(SlotPattern::Table(vals.iter().map(|&v| v as u32).collect()));
+                }
+            }
+        }
+        out.push(slots);
+    }
+    out
+}
+
+/// Materialize trip `t` of a loop body instruction from its template and
+/// slot patterns — the inverse of [`loop_slot_patterns`].
+pub fn resolve_instr(template: &Instr, patterns: &[SlotPattern], t: usize) -> Instr {
+    let mut instr = *template;
+    for (s, pat) in patterns.iter().enumerate() {
+        match pat {
+            SlotPattern::Fixed => {}
+            SlotPattern::Affine { stride } => {
+                let base = template.slot(s) as i64;
+                instr.set_slot(s, (base + stride * t as i64) as u64);
+            }
+            SlotPattern::Table(tab) => instr.set_slot(s, tab[t] as u64),
+            SlotPattern::ConstTable(tab) => instr.set_slot(s, tab[t].to_bits()),
+        }
+    }
+    instr
+}
+
+/// Greedy run detection over a shape-key sequence. At each position the
+/// candidate body lengths `1..=max_body` compete on savings
+/// (`(trips - 1) * body_len`); the winner becomes a loop and the scan
+/// resumes past it. Shared by the tape-level pass and the exec engine's
+/// post-fusion reroll (which runs over fused superinstruction shapes).
+pub(crate) fn detect_runs(shapes: &[u64], opts: &RerollOptions) -> Vec<TapeLoop> {
+    let n = shapes.len();
+    let mut loops = Vec::new();
+    let mut s = 0usize;
+    while s < n {
+        let mut best: Option<TapeLoop> = None;
+        let max_body = opts.max_body.min((n - s) / 2);
+        for body in 1..=max_body {
+            // Trip 1 must open like trip 0 — cheap rejection before the
+            // full stanza comparison.
+            if shapes[s + body] != shapes[s] {
+                continue;
+            }
+            let mut trips = 1usize;
+            while s + (trips + 1) * body <= n
+                && (0..body).all(|p| shapes[s + trips * body + p] == shapes[s + p])
+            {
+                trips += 1;
+            }
+            let cand = TapeLoop {
+                start: s,
+                body_len: body,
+                trips,
+            };
+            if trips >= opts.min_trips
+                && cand.savings() >= opts.min_savings
+                && best.is_none_or(|b| cand.savings() > b.savings())
+            {
+                best = Some(cand);
+            }
+        }
+        match best {
+            Some(lp) => {
+                s = lp.end();
+                loops.push(lp);
+            }
+            None => s += 1,
+        }
+    }
+    loops
+}
+
+/// The reroll pass: detect runs of shape-identical stanzas in `tape` and
+/// return the loop-structured view. Pure structure recovery — the tape
+/// itself is untouched, so rolled and flat execution are bit-identical
+/// by construction.
+pub fn reroll(tape: &Tape, opts: &RerollOptions) -> RolledTape {
+    let shapes: Vec<u64> = tape.instrs.iter().map(Instr::shape_key).collect();
+    let rolled = RolledTape {
+        len: tape.len(),
+        loops: detect_runs(&shapes, opts),
+    };
+    debug_assert_eq!(rolled.validate(tape), Ok(()));
+    rolled
+}
+
+impl Tape {
+    /// Evaluate through a rolled view: straight segments interpret as
+    /// usual; loop segments execute the *template* trip by trip with
+    /// payloads resolved from the slot patterns. Exercises the genuine
+    /// loop walk (not a flat replay), and must be bit-identical to
+    /// [`Tape::eval_with_scratch`].
+    pub fn eval_rolled_with_scratch(
+        &self,
+        rolled: &RolledTape,
+        rates: &[f64],
+        y: &[f64],
+        ydot: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) {
+        if regs.len() < self.n_regs {
+            regs.resize(self.n_regs, 0.0);
+        }
+        let fetch = |regs: &[f64], op: Operand| -> f64 {
+            match op {
+                Operand::Reg(r) => regs[r as usize],
+                Operand::Species(i) => y[i as usize],
+                Operand::Rate(i) => rates[i as usize],
+                Operand::Const(v) => v,
+            }
+        };
+        let step = |regs: &mut [f64], ydot: &mut [f64], instr: &Instr| match *instr {
+            Instr::Add { dst, a, b } => regs[dst as usize] = fetch(regs, a) + fetch(regs, b),
+            Instr::Sub { dst, a, b } => regs[dst as usize] = fetch(regs, a) - fetch(regs, b),
+            Instr::Mul { dst, a, b } => regs[dst as usize] = fetch(regs, a) * fetch(regs, b),
+            Instr::Neg { dst, a } => regs[dst as usize] = -fetch(regs, a),
+            Instr::Copy { dst, a } => regs[dst as usize] = fetch(regs, a),
+            Instr::Store { idx, a } => ydot[idx as usize] = fetch(regs, a),
+        };
+        for seg in rolled.segments() {
+            match seg {
+                RolledSegment::Straight { start, len } => {
+                    for instr in &self.instrs[start..start + len] {
+                        step(regs, ydot, instr);
+                    }
+                }
+                RolledSegment::Loop(lp) => {
+                    let patterns = loop_slot_patterns(self, &lp);
+                    for t in 0..lp.trips {
+                        for (p, pats) in patterns.iter().enumerate() {
+                            let instr = resolve_instr(&self.instrs[lp.start + p], pats, t);
+                            step(regs, ydot, &instr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1581,5 +2081,196 @@ mod tests {
                 assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
             }
         }
+    }
+
+    // --- reroll -----------------------------------------------------------
+
+    /// A hand-built tape with an obvious rerollable run: 6 stanzas of
+    /// `r0 = k[j] * y[a]; ydot[j] = r0` with irregular species indices.
+    fn stanza_tape() -> Tape {
+        let species = [0u32, 3, 1, 7, 2, 5];
+        let mut instrs = Vec::new();
+        for (j, &sp) in species.iter().enumerate() {
+            instrs.push(Instr::Mul {
+                dst: 0,
+                a: Operand::Rate(j as u32),
+                b: Operand::Species(sp),
+            });
+            instrs.push(Instr::Store {
+                idx: j as u32,
+                a: Operand::Reg(0),
+            });
+        }
+        Tape {
+            instrs,
+            n_regs: 1,
+            n_species: 8,
+            n_rates: 6,
+        }
+    }
+
+    fn loose() -> RerollOptions {
+        RerollOptions {
+            max_body: 64,
+            min_trips: 2,
+            min_savings: 1,
+        }
+    }
+
+    #[test]
+    fn reroll_detects_stanza_runs() {
+        let tape = stanza_tape();
+        let rolled = reroll(&tape, &loose());
+        assert_eq!(rolled.validate(&tape), Ok(()));
+        assert_eq!(rolled.loop_count(), 1);
+        let lp = rolled.loops[0];
+        assert_eq!((lp.start, lp.body_len, lp.trips), (0, 2, 6));
+        assert_eq!(rolled.rerolled_instrs(), 10);
+        assert_eq!(rolled.rolled_len(), 2);
+    }
+
+    #[test]
+    fn reroll_slot_patterns_classify_fixed_affine_table() {
+        let tape = stanza_tape();
+        let rolled = reroll(&tape, &loose());
+        let patterns = loop_slot_patterns(&tape, &rolled.loops[0]);
+        // Mul: dst fixed, rate affine (+1), species a table.
+        assert_eq!(patterns[0][0], SlotPattern::Fixed);
+        assert_eq!(patterns[0][1], SlotPattern::Affine { stride: 1 });
+        assert_eq!(patterns[0][2], SlotPattern::Table(vec![0, 3, 1, 7, 2, 5]));
+        // Store: idx affine, source register fixed.
+        assert_eq!(patterns[1][0], SlotPattern::Affine { stride: 1 });
+        assert_eq!(patterns[1][1], SlotPattern::Fixed);
+        // Round trip: resolving every trip reproduces the flat instrs.
+        let lp = rolled.loops[0];
+        for t in 0..lp.trips {
+            for (p, pats) in patterns.iter().enumerate() {
+                assert_eq!(
+                    resolve_instr(&tape.instrs[lp.start + p], pats, t),
+                    tape.instrs[lp.start + t * lp.body_len + p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reroll_const_payloads_get_const_tables() {
+        let mut instrs = Vec::new();
+        for (j, c) in [2.0f64, 3.5, -1.25, 0.75].iter().enumerate() {
+            instrs.push(Instr::Mul {
+                dst: 0,
+                a: Operand::Species(j as u32),
+                b: Operand::Const(*c),
+            });
+            instrs.push(Instr::Store {
+                idx: j as u32,
+                a: Operand::Reg(0),
+            });
+        }
+        let tape = Tape {
+            instrs,
+            n_regs: 1,
+            n_species: 4,
+            n_rates: 0,
+        };
+        let rolled = reroll(&tape, &loose());
+        assert_eq!(rolled.loop_count(), 1);
+        let patterns = loop_slot_patterns(&tape, &rolled.loops[0]);
+        assert_eq!(
+            patterns[0][2],
+            SlotPattern::ConstTable(vec![2.0, 3.5, -1.25, 0.75])
+        );
+    }
+
+    #[test]
+    fn reroll_degenerate_and_thresholds() {
+        // No repetition: the degenerate straight view.
+        let tape = valid_tape();
+        let rolled = reroll(&tape, &RerollOptions::default());
+        assert_eq!(rolled.loops, Vec::new());
+        assert_eq!(rolled.rolled_len(), tape.len());
+        assert_eq!(rolled.validate(&tape), Ok(()));
+        // min_savings filters small runs out.
+        let tape = stanza_tape();
+        let strict = RerollOptions {
+            min_savings: 50,
+            ..RerollOptions::default()
+        };
+        assert_eq!(reroll(&tape, &strict).loop_count(), 0);
+    }
+
+    #[test]
+    fn rolled_validate_rejects_bad_views() {
+        let tape = stanza_tape();
+        let mut rolled = reroll(&tape, &loose());
+        rolled.loops[0].trips += 10; // runs past the end
+        assert!(rolled
+            .validate(&tape)
+            .unwrap_err()
+            .contains("past the tape"));
+
+        let bad = RolledTape {
+            len: tape.len(),
+            loops: vec![TapeLoop {
+                start: 0, // wrong period: trip 1 opens with a Store
+                body_len: 3,
+                trips: 2,
+            }],
+        };
+        assert!(bad.validate(&tape).unwrap_err().contains("does not match"));
+
+        let stale = RolledTape::straight(3);
+        assert!(stale.validate(&tape).unwrap_err().contains("built for"));
+    }
+
+    #[test]
+    fn eval_rolled_is_bit_identical_on_production_tapes() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n_eq = 4 + (trial % 5);
+            let f = forest(
+                (0..n_eq)
+                    .map(|_| {
+                        Expr::sum(
+                            (0..rng.gen_range(1..6))
+                                .map(|_| {
+                                    let sp: Vec<u32> = (0..rng.gen_range(1..4))
+                                        .map(|_| rng.gen_range(0..6))
+                                        .collect();
+                                    term(rng.gen_range(1..3) as f64, rng.gen_range(0..3), &sp)
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let tape = compact_registers(&lower(&f));
+            let rolled = reroll(&tape, &loose());
+            assert_eq!(rolled.validate(&tape), Ok(()));
+            let rates: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let y: Vec<f64> = (0..6).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let mut flat = vec![0.0; n_eq];
+            tape.eval(&rates, &y, &mut flat);
+            let mut rolled_out = vec![0.0; n_eq];
+            let mut regs = Vec::new();
+            tape.eval_rolled_with_scratch(&rolled, &rates, &y, &mut rolled_out, &mut regs);
+            assert_eq!(
+                flat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                rolled_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "rolled interpreter diverged on trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn rolled_render_lists_loops_and_patterns() {
+        let tape = stanza_tape();
+        let rolled = reroll(&tape, &loose());
+        let dump = rolled.render(&tape);
+        assert!(dump.contains("; rolled: 1 loops"));
+        assert!(dump.contains("loop @0 trips=6 body=2"));
+        assert!(dump.contains("tab"));
     }
 }

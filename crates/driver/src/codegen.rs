@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use rms_core::emit_c::EmittedKernel;
 use rms_core::native::{self, KernelMeta, NativeError, NativeKernel};
 
 use crate::cache;
@@ -36,10 +37,69 @@ pub struct CodegenOutcome {
     pub cc_seconds: f64,
     /// Rendered source size (0 when a cached object loaded).
     pub source_bytes: usize,
+    /// Translation units the source was split into (1 = historic
+    /// single-TU build; 0 when a cached object loaded).
+    pub cc_units: usize,
+    /// Per-unit compile wall-times. Units compile concurrently, so the
+    /// build's compile wall-clock is the maximum, not the sum.
+    pub cc_unit_seconds: Vec<f64>,
+    /// Seconds in the final link (0 for single-unit or cached builds).
+    pub link_seconds: f64,
+    /// Loop regions the reroll pass rendered into the kernel.
+    pub loop_count: usize,
+    /// Flat instructions absorbed into rendered loops.
+    pub rolled_instrs: usize,
     /// A cached `.so` was reused without recompiling.
     pub reused: bool,
     /// A stale or corrupt cached `.so` was moved aside.
     pub quarantined: bool,
+}
+
+/// Render the native kernel source for an artifact: reroll the tape
+/// groups into loop regions (when enabled), size the translation-unit
+/// split to the kernel, and emit.
+///
+/// Unit count scales with emitted work and is capped by the host's core
+/// count: small kernels keep the historic single-TU build, huge ones
+/// split so their chunks compile concurrently.
+pub fn render_kernel(
+    name: &str,
+    tape: &rms_core::Tape,
+    jacobian: Option<&rms_core::JacobianTapes>,
+    sensitivity: Option<&rms_core::SensitivityTapes>,
+    reroll: bool,
+    key: u128,
+) -> EmittedKernel {
+    use rms_core::{emit_kernel_units, EmitOptions, KernelSpec, RerollOptions, RolledViews};
+    let opts = RerollOptions::default();
+    let rolled_rhs = reroll.then(|| rms_core::reroll(tape, &opts));
+    let rolled_jac = reroll.then(|| jacobian.map(|j| j.reroll(&opts))).flatten();
+    let rolled_sens = reroll
+        .then(|| sensitivity.map(|s| s.reroll(&opts)))
+        .flatten();
+    let rolled = rolled_rhs.as_ref().map(|rhs| RolledViews {
+        rhs,
+        jacobian: rolled_jac.as_ref(),
+        sensitivity: rolled_sens.as_ref(),
+    });
+    let total = tape.instrs.len()
+        + jacobian.map_or(0, |j| j.rhs.instrs.len() + j.jac.instrs.len())
+        + sensitivity.map_or(0, |s| {
+            s.rhs.instrs.len() + s.jac.instrs.len() + s.dfdp.instrs.len()
+        });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let units = (total / 16_384).clamp(1, cores.min(8));
+    emit_kernel_units(
+        &KernelSpec {
+            name,
+            rhs: tape,
+            jacobian,
+            sensitivity,
+            rolled,
+            key,
+        },
+        &EmitOptions { units },
+    )
 }
 
 /// Where the compiled object for `key` lives: beside the serialized
@@ -56,15 +116,22 @@ pub fn kernel_path(cache_dir: Option<&Path>, key: u128) -> PathBuf {
 
 /// Load the cached kernel at `path`, or render (via `render`) and compile
 /// it. Validation failures quarantine the bad object and rebuild.
+///
+/// Multi-unit renders compile each translation unit concurrently and
+/// link once; the per-unit wall-times land in the outcome. When a cached
+/// object loads, the emitter never runs and the reroll counters come
+/// from the object's own metadata exports.
 pub fn build_kernel(
     path: &Path,
     meta: &KernelMeta,
-    render: impl FnOnce() -> String,
+    render: impl FnOnce() -> EmittedKernel,
 ) -> CodegenOutcome {
     let mut outcome = CodegenOutcome::default();
     if path.exists() {
         match NativeKernel::load(path, meta) {
             Ok(kernel) => {
+                outcome.loop_count = kernel.loop_count();
+                outcome.rolled_instrs = kernel.rolled_instrs();
                 outcome.kernel = Some(Arc::new(kernel));
                 outcome.reused = true;
                 return outcome;
@@ -87,13 +154,18 @@ pub fn build_kernel(
         }
     }
     let clock = Instant::now();
-    let source = render();
+    let emitted = render();
     outcome.render_seconds = clock.elapsed().as_secs_f64();
-    outcome.source_bytes = source.len();
+    outcome.source_bytes = emitted.source_bytes;
+    outcome.cc_units = emitted.units.len();
+    outcome.loop_count = emitted.loop_count;
+    outcome.rolled_instrs = emitted.rolled_instrs;
     let clock = Instant::now();
-    match native::compile_and_load(&source, path, meta) {
-        Ok(kernel) => {
+    match native::compile_and_load_units(&emitted.units, path, meta) {
+        Ok((kernel, timing)) => {
             outcome.cc_seconds = clock.elapsed().as_secs_f64();
+            outcome.cc_unit_seconds = timing.unit_seconds;
+            outcome.link_seconds = timing.link_seconds;
             outcome.kernel = Some(Arc::new(kernel));
         }
         Err(e) => {

@@ -57,6 +57,12 @@ pub struct SessionOptions {
     /// fail the compile: the artifact carries a diagnostic instead of a
     /// kernel and callers fall back to the exec engine.
     pub native: bool,
+    /// Reroll repeated reaction stanzas into data-driven loop regions
+    /// before emitting native code (`--opt reroll=on|off`). On by
+    /// default; affects only the rendered kernel (loops replay the exact
+    /// flat instruction sequence, so results stay bit-identical), but is
+    /// part of the cache key because it changes the emitted object.
+    pub reroll: bool,
     /// Cache participation.
     pub cache: CacheMode,
     /// On-disk cache directory (e.g. `.rms-cache/`); `None` keeps the
@@ -80,6 +86,7 @@ impl SessionOptions {
             sensitivity: false,
             decode: true,
             native: false,
+            reroll: true,
             cache: CacheMode::default(),
             cache_dir: None,
             dump: None,
@@ -131,6 +138,7 @@ impl SessionOptions {
         self.sensitivity.hash(h);
         self.decode.hash(h);
         self.native.hash(h);
+        self.reroll.hash(h);
     }
 }
 
@@ -570,21 +578,34 @@ impl CompilerSession {
             };
             let path = crate::codegen::kernel_path(self.options.cache_dir.as_deref(), key);
             let render = || {
-                rms_core::emit_kernel(&rms_core::KernelSpec {
+                crate::codegen::render_kernel(
                     name,
-                    rhs: &compiled.tape,
-                    jacobian: jacobian.as_ref(),
-                    sensitivity: sensitivity.as_ref(),
+                    &compiled.tape,
+                    jacobian.as_ref(),
+                    sensitivity.as_ref(),
+                    self.options.reroll,
                     key,
-                })
+                )
             };
             let outcome = crate::codegen::build_kernel(&path, &meta, render);
-            dump.offer(Stage::Codegen, render);
+            dump.offer(Stage::Codegen, || {
+                render()
+                    .units
+                    .join("\n/* ---------------- unit break ---------------- */\n")
+            });
             records.push(
                 StageRecord::new(Stage::Codegen, clock.elapsed().as_secs_f64())
                     .metric("render_seconds", outcome.render_seconds)
                     .metric("cc_seconds", outcome.cc_seconds)
                     .metric("source_bytes", outcome.source_bytes as f64)
+                    .metric("cc_units", outcome.cc_units as f64)
+                    .metric(
+                        "cc_unit_max_seconds",
+                        outcome.cc_unit_seconds.iter().copied().fold(0.0, f64::max),
+                    )
+                    .metric("link_seconds", outcome.link_seconds)
+                    .metric("loops", outcome.loop_count as f64)
+                    .metric("rolled_instrs", outcome.rolled_instrs as f64)
                     .metric("reused", if outcome.reused { 1.0 } else { 0.0 })
                     .metric("loaded", if outcome.kernel.is_some() { 1.0 } else { 0.0 }),
             );
@@ -677,13 +698,14 @@ impl CompilerSession {
             };
             let path = crate::codegen::kernel_path(self.options.cache_dir.as_deref(), key);
             let outcome = crate::codegen::build_kernel(&path, &meta, || {
-                rms_core::emit_kernel(&rms_core::KernelSpec {
-                    name: &name,
-                    rhs: &compiled.tape,
-                    jacobian: jacobian.as_ref(),
-                    sensitivity: sensitivity.as_ref(),
+                crate::codegen::render_kernel(
+                    &name,
+                    &compiled.tape,
+                    jacobian.as_ref(),
+                    sensitivity.as_ref(),
+                    self.options.reroll,
                     key,
-                })
+                )
             });
             (outcome.kernel, outcome.diag)
         } else {

@@ -27,6 +27,8 @@ pub enum Command {
         emit: Emit,
         /// Print this stage's IR instead of the `--emit` artifact.
         dump: Option<Stage>,
+        /// Reroll repeated tape stanzas into loop regions before codegen.
+        reroll: bool,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -48,6 +50,8 @@ pub enum Command {
         linear_solver: LinearSolver,
         /// Right-hand-side evaluator.
         engine: EngineMode,
+        /// Reroll repeated tape stanzas into loop regions before codegen.
+        reroll: bool,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -192,12 +196,13 @@ rmsc — Reaction Modeling Suite driver
 USAGE:
   rmsc compile  <model.rdl> [--level none|simplify|algebraic|full]
                 [--emit network|odes|c|stats|conservation|report]
-                [--dump-ir STAGE] [--cache-dir DIR]
+                [--dump-ir STAGE] [--opt reroll=on|off] [--cache-dir DIR]
   rmsc compile-report <model.rdl> [--level L] [--cache-dir DIR]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
                 [--linear-solver dense|sparse|auto]         (default auto)
-                [--engine interp|exec|native]               (default exec)
+                [--engine interp|exec|native|auto]          (default exec)
+                [--opt reroll=on|off]                       (default on)
                 [--cache-dir DIR]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
@@ -260,7 +265,18 @@ legacy tape interpreter; 'native' compiles the optimized tape to C,
 builds a shared object with the system C compiler (honoring $CC),
 caches it by content address in --cache-dir, and dlopens it. When no
 toolchain is available the run degrades to 'exec' with a printed
-diagnostic rather than failing.
+diagnostic rather than failing. 'auto' picks between exec and native
+by kernel shape: rerolled (loop-structured) kernels always win, flat
+kernels win only below the I-cache crossover (~32k instructions), and
+a missing kernel falls back to exec; the chosen engine and the reason
+are printed before the table.
+
+--opt reroll=off disables the tape reroll pass, so codegen emits the
+historic straight-line (unrolled) kernel; 'on' (the default) detects
+runs of structurally identical per-reaction stanzas and collapses them
+into data-driven C loops over static stride/index tables — the same
+trajectory bit for bit, from a far smaller kernel. The setting is part
+of the artifact cache key.
 
 'compile --emit c' prints the complete native kernel source: the
 specialized scalar ode_rhs, the batched ode_rhs_batch, the analytic
@@ -304,6 +320,28 @@ fn parse_engine(args: &[String]) -> Result<EngineMode, CliError> {
         None => Ok(EngineMode::default()),
         Some(v) => v.parse().map_err(|e: String| usage_err(e)),
     }
+}
+
+/// Parse `--opt reroll=on|off` (repeatable; last occurrence wins).
+/// Returns whether the reroll pass is enabled — the default is on.
+fn parse_opt_reroll(args: &[String]) -> Result<bool, CliError> {
+    let mut reroll = true;
+    for (i, a) in args.iter().enumerate() {
+        if a != "--opt" {
+            continue;
+        }
+        match args.get(i + 1).map(String::as_str) {
+            Some("reroll=on") => reroll = true,
+            Some("reroll=off") => reroll = false,
+            Some(other) => {
+                return Err(usage_err(format!(
+                    "unknown --opt '{other}' (expected reroll=on or reroll=off)"
+                )))
+            }
+            None => return Err(usage_err("--opt requires a value (reroll=on|off)")),
+        }
+    }
+    Ok(reroll)
 }
 
 fn parse_observe(args: &[String]) -> Vec<String> {
@@ -366,7 +404,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "compile" => Ok(Command::Compile {
             input: {
-                reject_unknown_flags(args, &["--level", "--emit", "--dump-ir", "--cache-dir"])?;
+                reject_unknown_flags(
+                    args,
+                    &["--level", "--emit", "--dump-ir", "--opt", "--cache-dir"],
+                )?;
                 input(1)?
             },
             level: parse_level(args)?,
@@ -380,6 +421,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some(other) => return Err(usage_err(format!("unknown --emit '{other}'"))),
             },
             dump: parse_dump(args)?,
+            reroll: parse_opt_reroll(args)?,
             cache_dir: parse_cache_dir(args),
         }),
         "compile-report" => Ok(Command::Compile {
@@ -390,6 +432,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             level: parse_level(args)?,
             emit: Emit::Report,
             dump: None,
+            reroll: true,
             cache_dir: parse_cache_dir(args),
         }),
         "simulate" => Ok(Command::Simulate {
@@ -404,6 +447,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         "--jacobian",
                         "--linear-solver",
                         "--engine",
+                        "--opt",
                         "--cache-dir",
                     ],
                 )?;
@@ -416,6 +460,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             jacobian: parse_jacobian(args, JacobianMode::FdDense)?,
             linear_solver: parse_linear_solver(args)?,
             engine: parse_engine(args)?,
+            reroll: parse_opt_reroll(args)?,
             cache_dir: parse_cache_dir(args),
         }),
         "synthesize" => Ok(Command::Synthesize {
@@ -582,7 +627,6 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 }
 
 /// Everything the CLI can ask of a compile beyond the level.
-#[derive(Default)]
 struct LoadOptions<'a> {
     cache_dir: Option<&'a Path>,
     dump: Option<Stage>,
@@ -593,10 +637,26 @@ struct LoadOptions<'a> {
     /// `--residual-jacobian analytic` will consume them).
     sensitivity: bool,
     /// Run the *Codegen* stage: emit C, invoke the system compiler and
-    /// attach the dlopened kernel (set when `--engine native`). Codegen
-    /// failures never fail the compile — the artifact carries a
-    /// diagnostic instead.
+    /// attach the dlopened kernel (set when `--engine native` or
+    /// `--engine auto`). Codegen failures never fail the compile — the
+    /// artifact carries a diagnostic instead.
     native: bool,
+    /// Reroll repeated tape stanzas into loop regions before codegen
+    /// (`--opt reroll=on|off`; on by default).
+    reroll: bool,
+}
+
+impl Default for LoadOptions<'_> {
+    fn default() -> Self {
+        LoadOptions {
+            cache_dir: None,
+            dump: None,
+            deriv: false,
+            sensitivity: false,
+            native: false,
+            reroll: true,
+        }
+    }
 }
 
 /// Compile `path` through a [`CompilerSession`]. A missing or unreadable
@@ -616,6 +676,7 @@ fn load_model(
     session.deriv = opts.deriv;
     session.sensitivity = opts.sensitivity;
     session.native = opts.native;
+    session.reroll = opts.reroll;
     let compiled = CompilerSession::with_options(session)
         .compile_source(&filename, &source)
         .map_err(|d| CliError::Diagnostic(d.render(&filename, &source)))?;
@@ -689,6 +750,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             level,
             emit,
             dump,
+            reroll,
             cache_dir,
         } => {
             let (model, dumped) = load_model(
@@ -700,6 +762,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     deriv: *dump == Some(Stage::Deriv),
                     sensitivity: false,
                     native: *dump == Some(Stage::Codegen),
+                    reroll: *reroll,
                 },
             )?;
             if dump.is_some() {
@@ -781,6 +844,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             jacobian,
             linear_solver,
             engine,
+            reroll,
             cache_dir,
         } => {
             let (model, _) = load_model(
@@ -789,7 +853,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 LoadOptions {
                     cache_dir: cache_dir.as_deref(),
                     deriv: *jacobian == JacobianMode::Analytic,
-                    native: *engine == EngineMode::Native,
+                    native: matches!(engine, EngineMode::Native | EngineMode::Auto),
+                    reroll: *reroll,
                     ..LoadOptions::default()
                 },
             )?;
@@ -812,6 +877,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     .unwrap_or("no compiled kernel on this artifact");
                 let _ = writeln!(out, "warning: native engine unavailable: {why}");
                 let _ = writeln!(out, "warning: falling back to the exec engine");
+            }
+            // Size-aware engine selection: record which engine auto
+            // picked and why, so the choice is auditable from the output.
+            if *engine == EngineMode::Auto {
+                let (chosen, why) = model.engine_choice(*engine);
+                let _ = writeln!(out, "engine: {chosen} ({why})");
             }
             let solution = model
                 .simulate_configured(&times, options, *jacobian, *engine)
@@ -1112,6 +1183,7 @@ mod tests {
                 level: OptLevel::Algebraic,
                 emit: Emit::C,
                 dump: None,
+                reroll: true,
                 cache_dir: None,
             }
         );
@@ -1124,6 +1196,7 @@ mod tests {
                 level: OptLevel::Full,
                 emit: Emit::Report,
                 dump: None,
+                reroll: true,
                 cache_dir: Some(PathBuf::from(".rms-cache")),
             }
         );
@@ -1340,6 +1413,10 @@ mod tests {
             "estimate m.rdl --data d --jacobian sparse",
             // ... and bad --engine values.
             "simulate m.rdl --engine jit",
+            // ... and bad --opt values.
+            "simulate m.rdl --opt reroll=maybe",
+            "compile m.rdl --opt unroll=off",
+            "compile m.rdl --opt",
             // ... and bad --linear-solver values.
             "simulate m.rdl --linear-solver cholesky",
             "estimate m.rdl --data d --linear-solver qr",
@@ -1421,6 +1498,32 @@ mod tests {
             Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Exec),
             other => panic!("{other:?}"),
         }
+        match parse_args(&argv("simulate m.rdl --engine auto")).unwrap() {
+            Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Auto),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt_reroll_flag_parses_on_compile_and_simulate() {
+        // Defaults to on everywhere.
+        match parse_args(&argv("simulate m.rdl")).unwrap() {
+            Command::Simulate { reroll, .. } => assert!(reroll),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --opt reroll=off")).unwrap() {
+            Command::Simulate { reroll, .. } => assert!(!reroll),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("compile m.rdl --opt reroll=off")).unwrap() {
+            Command::Compile { reroll, .. } => assert!(!reroll),
+            other => panic!("{other:?}"),
+        }
+        // Repeated: the last occurrence wins.
+        match parse_args(&argv("compile m.rdl --opt reroll=off --opt reroll=on")).unwrap() {
+            Command::Compile { reroll, .. } => assert!(reroll),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -1439,6 +1542,23 @@ mod tests {
         } else {
             assert_eq!(exec, interp);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_engine_auto_reports_its_choice() {
+        let dir = std::env::temp_dir().join("rmsc_cli_engine_auto");
+        let model = write_model(&dir);
+        let model_arg = model.display().to_string();
+        let base = format!("simulate {model_arg} --tend 0.5 --steps 4 --observe DiS");
+        let auto = run(&parse_args(&argv(&format!("{base} --engine auto"))).unwrap()).unwrap();
+        // The first line states which engine auto picked and why; the
+        // table below it has the same shape as an explicit-engine run.
+        let first = auto.lines().next().unwrap();
+        assert!(first.starts_with("engine: "), "{first}");
+        assert!(first.contains("auto"), "{first}");
+        let exec = run(&parse_args(&argv(&base)).unwrap()).unwrap();
+        assert_eq!(auto.lines().count(), exec.lines().count() + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

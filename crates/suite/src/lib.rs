@@ -70,8 +70,8 @@ pub use rms_solver::{
 };
 pub use rms_workload as workload;
 pub use rms_workload::{
-    EngineMode, ExecRhs, JacobianMode, NativeJacobian, NativeRhs, NativeSensitivity, TapeJacobian,
-    TapeSensitivity, TapeSimulator,
+    resolve_auto, EngineMode, ExecRhs, JacobianMode, NativeJacobian, NativeRhs, NativeSensitivity,
+    TapeJacobian, TapeSensitivity, TapeSimulator, NATIVE_CROSSOVER_INSTRS,
 };
 
 /// Any error from the end-to-end pipeline: a span-carrying diagnostic
@@ -123,6 +123,7 @@ impl SuiteModel {
             rhs: &self.compiled.tape,
             jacobian: Some(&jacobian),
             sensitivity: Some(&sensitivity),
+            rolled: None,
             key: self.key,
         })
     }
@@ -202,7 +203,28 @@ impl SuiteModel {
                 // `artifact.native_diag` so the fallback is visible.
                 None => self.simulate_configured(times, options, mode, EngineMode::Exec),
             },
+            EngineMode::Auto => {
+                let (resolved, _) = self.engine_choice(EngineMode::Auto);
+                self.simulate_configured(times, options, mode, resolved)
+            }
         }
+    }
+
+    /// Which engine a run at `engine` will actually use, with a
+    /// human-readable reason. Explicit modes resolve to themselves;
+    /// [`EngineMode::Auto`] applies the instruction-count/I-cache
+    /// crossover heuristic against the attached native kernel (see
+    /// [`resolve_auto`]).
+    pub fn engine_choice(&self, engine: EngineMode) -> (EngineMode, String) {
+        if engine != EngineMode::Auto {
+            return (engine, format!("{engine} engine explicitly selected"));
+        }
+        let instrs = self
+            .artifact
+            .exec
+            .as_ref()
+            .map_or(self.compiled.tape.len(), |e| e.len());
+        resolve_auto(instrs, self.artifact.native.as_deref())
     }
 
     /// Engine-generic BDF solve under a chosen Jacobian source.

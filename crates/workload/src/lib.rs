@@ -28,8 +28,8 @@ pub use expdata::{synthesize, ExpDataSpec};
 pub use rdl_model::VULCANIZATION_RDL;
 pub use rms_solver::LinearSolver;
 pub use simulate::{
-    EngineMode, ExecRhs, FallbackStats, JacobianMode, NativeJacobian, NativeRhs, NativeSensitivity,
-    TapeJacobian, TapeSensitivity, TapeSimulator,
+    resolve_auto, EngineMode, ExecRhs, FallbackStats, JacobianMode, NativeJacobian, NativeRhs,
+    NativeSensitivity, TapeJacobian, TapeSensitivity, TapeSimulator, NATIVE_CROSSOVER_INSTRS,
 };
 pub use testcases::{paper_case, scaled_case, Table1Reference, Table2Reference, TABLE1, TABLE2};
 pub use vulcanization::{

@@ -33,6 +33,54 @@ pub enum EngineMode {
     /// back to [`EngineMode::Exec`] when no kernel is attached (e.g. no
     /// C toolchain on this machine).
     Native,
+    /// Size-aware selection between [`EngineMode::Native`] and
+    /// [`EngineMode::Exec`]: native when a kernel is attached and its
+    /// code is compact enough to stay in the instruction cache (always
+    /// true for rerolled kernels), batched exec otherwise. Resolved per
+    /// simulator via [`resolve_auto`]; the chosen engine and the reason
+    /// are available through [`TapeSimulator::resolve_engine`].
+    Auto,
+}
+
+/// The instruction-count crossover for [`EngineMode::Auto`]: above this
+/// many emitted statements, an *unrolled* native kernel's straight-line
+/// code overruns the instruction cache and the SIMD-batched exec engine
+/// wins (measured on the scaled vulcanization family; see
+/// `BENCH_codegen.json`). Rerolled kernels compress the code stream by
+/// one to two orders of magnitude, so the crossover only applies to
+/// unrolled emission.
+pub const NATIVE_CROSSOVER_INSTRS: usize = 32_768;
+
+/// Resolve [`EngineMode::Auto`] for a tape of `instrs` flat instructions
+/// and an optionally attached native kernel. Returns the concrete engine
+/// plus a human-readable reason (surfaced by the CLI and reports).
+pub fn resolve_auto(instrs: usize, kernel: Option<&NativeKernel>) -> (EngineMode, String) {
+    match kernel {
+        None => (
+            EngineMode::Exec,
+            format!("auto: no native kernel attached; batched exec engine over {instrs} instructions"),
+        ),
+        Some(k) if k.loop_count() > 0 => (
+            EngineMode::Native,
+            format!(
+                "auto: native kernel rerolled into {} loops ({} instructions absorbed), compact enough for the I-cache",
+                k.loop_count(),
+                k.rolled_instrs()
+            ),
+        ),
+        Some(_) if instrs <= NATIVE_CROSSOVER_INSTRS => (
+            EngineMode::Native,
+            format!(
+                "auto: unrolled kernel ({instrs} instructions) under the {NATIVE_CROSSOVER_INSTRS}-instruction I-cache crossover"
+            ),
+        ),
+        Some(_) => (
+            EngineMode::Exec,
+            format!(
+                "auto: unrolled kernel ({instrs} instructions) past the {NATIVE_CROSSOVER_INSTRS}-instruction I-cache crossover; batched exec engine"
+            ),
+        ),
+    }
 }
 
 impl FromStr for EngineMode {
@@ -43,8 +91,9 @@ impl FromStr for EngineMode {
             "interp" => Ok(EngineMode::Interp),
             "exec" => Ok(EngineMode::Exec),
             "native" => Ok(EngineMode::Native),
+            "auto" => Ok(EngineMode::Auto),
             other => Err(format!(
-                "unknown engine '{other}' (expected interp, exec or native)"
+                "unknown engine '{other}' (expected interp, exec, native or auto)"
             )),
         }
     }
@@ -56,6 +105,7 @@ impl fmt::Display for EngineMode {
             EngineMode::Interp => "interp",
             EngineMode::Exec => "exec",
             EngineMode::Native => "native",
+            EngineMode::Auto => "auto",
         })
     }
 }
@@ -602,6 +652,21 @@ impl TapeSimulator {
         self.engine
     }
 
+    /// The engine a solve will actually run, with a human-readable
+    /// reason. [`EngineMode::Auto`] resolves here against the attached
+    /// kernel and the tape size; explicit selections pass through.
+    pub fn resolve_engine(&self) -> (EngineMode, String) {
+        match self.engine {
+            EngineMode::Auto => resolve_auto(self.exec.len(), self.native.as_deref()),
+            mode => (mode, format!("{mode} engine explicitly selected")),
+        }
+    }
+
+    /// The concrete engine dispatched by the solver bodies.
+    fn effective_engine(&self) -> EngineMode {
+        self.resolve_engine().0
+    }
+
     /// The pre-decoded execution-engine form of the right-hand side.
     pub fn exec_tape(&self) -> &ExecTape {
         &self.exec
@@ -639,7 +704,8 @@ impl TapeSimulator {
         times: &[f64],
         options: SolverOptions,
     ) -> Result<Vec<f64>, SolverError> {
-        match self.engine {
+        match self.effective_engine() {
+            EngineMode::Auto => unreachable!("auto resolves before dispatch"),
             EngineMode::Exec => {
                 let rhs = ExecRhs::new(&self.exec, rate_constants);
                 self.integrate_bdf_with(&rhs, rate_constants, y0, times, options)
@@ -702,7 +768,9 @@ impl TapeSimulator {
         // Declared before `solver` so the provider outlives the borrow.
         let provider = match (self.jacobian_mode, &self.jacobian) {
             (JacobianMode::Analytic, Some(tapes)) => Some(match &self.native {
-                Some(kernel) if self.engine == EngineMode::Native && kernel.has_jacobian() => {
+                Some(kernel)
+                    if self.effective_engine() == EngineMode::Native && kernel.has_jacobian() =>
+                {
                     Provider::Native(NativeJacobian::new(kernel, tapes, rate_constants))
                 }
                 _ => Provider::Tape(TapeJacobian::new(tapes, rate_constants)),
@@ -738,7 +806,8 @@ impl TapeSimulator {
         times: &[f64],
         options: SolverOptions,
     ) -> Result<(Vec<f64>, Vec<Vec<f64>>), SolverError> {
-        match self.engine {
+        match self.effective_engine() {
+            EngineMode::Auto => unreachable!("auto resolves before dispatch"),
             EngineMode::Exec => {
                 let rhs = ExecRhs::new(&self.exec, rate_constants);
                 let provider = TapeSensitivity::new(tapes, rate_constants);
@@ -823,7 +892,8 @@ impl TapeSimulator {
         y0: &[f64],
         times: &[f64],
     ) -> Result<Vec<f64>, SolverError> {
-        match self.engine {
+        match self.effective_engine() {
+            EngineMode::Auto => unreachable!("auto resolves before dispatch"),
             EngineMode::Exec => {
                 let rhs = ExecRhs::new(&self.exec, rate_constants);
                 self.integrate_rk45_with(&rhs, y0, times)
@@ -1109,11 +1179,45 @@ mod tests {
 
     #[test]
     fn engine_mode_parses_round_trip() {
-        for mode in [EngineMode::Interp, EngineMode::Exec, EngineMode::Native] {
+        for mode in [
+            EngineMode::Interp,
+            EngineMode::Exec,
+            EngineMode::Native,
+            EngineMode::Auto,
+        ] {
             assert_eq!(mode.to_string().parse::<EngineMode>().unwrap(), mode);
         }
         assert!("jit".parse::<EngineMode>().is_err());
         assert_eq!(EngineMode::default(), EngineMode::Exec);
+    }
+
+    #[test]
+    fn auto_engine_resolves_to_exec_without_a_kernel() {
+        let (mut sim, rates) = small_simulator();
+        sim.set_engine(EngineMode::Auto);
+        assert_eq!(sim.engine(), EngineMode::Auto);
+        let (resolved, reason) = sim.resolve_engine();
+        assert_eq!(resolved, EngineMode::Exec);
+        assert!(reason.contains("no native kernel"), "{reason}");
+        // Auto must dispatch (to exec) rather than panic.
+        let out = sim.simulate(&rates, 0, &[0.5]).unwrap();
+        assert!(out[0].is_finite());
+        // And match the explicit exec engine bitwise.
+        sim.set_engine(EngineMode::Exec);
+        assert_eq!(out, sim.simulate(&rates, 0, &[0.5]).unwrap());
+    }
+
+    #[test]
+    fn resolve_auto_applies_the_icache_crossover() {
+        let (small, r) = resolve_auto(100, None);
+        assert_eq!(small, EngineMode::Exec);
+        assert!(r.starts_with("auto:"), "{r}");
+        // Without a kernel the crossover is moot — even a huge model
+        // resolves to exec; kernel-bearing cases are covered end-to-end
+        // in tests/native_engine.rs (they need a C toolchain).
+        let (huge, r) = resolve_auto(NATIVE_CROSSOVER_INSTRS * 10, None);
+        assert_eq!(huge, EngineMode::Exec);
+        assert!(r.starts_with("auto:"), "{r}");
     }
 
     #[test]

@@ -114,6 +114,12 @@ fn native_trajectories_match_exec_and_interp_at_every_level() {
             assert!(d <= 1e-12, "{level}: native vs exec deviates by {d:e}");
             let d = deviation(&native, &interp);
             assert!(d <= 1e-12, "{level}: native vs interp deviates by {d:e}");
+            // Auto resolves to one of the engines above (a kernel is
+            // attached, so exec or native depending on size/shape) and
+            // must land inside the same envelope.
+            let auto = trajectory(&artifact, EngineMode::Auto);
+            let d = deviation(&auto, &exec);
+            assert!(d <= 1e-12, "{level}: auto vs exec deviates by {d:e}");
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
