@@ -22,25 +22,60 @@ pub struct Span {
     pub column: usize,
 }
 
-/// A pipeline error with provenance: which stage failed, where in the
-/// source (when known), and why.
+/// How serious a diagnostic is: errors abort the compile, warnings ride
+/// along on the produced artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// The compile failed.
+    #[default]
+    Error,
+    /// The compile succeeded but produced something the user should see
+    /// (e.g. closure stopped at the generation cap without a fixpoint).
+    Warning,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// A collection of diagnostics (the warnings attached to an artifact).
+pub type Diagnostics = Vec<Diagnostic>;
+
+/// A pipeline error or warning with provenance: which stage produced it,
+/// where in the source (when known), and why.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// The stage that rejected the input.
+    /// The stage that produced the diagnostic.
     pub stage: Stage,
     /// Human-readable description.
     pub message: String,
-    /// Source position, when the failing stage tracks one.
+    /// Source position, when the producing stage tracks one.
     pub span: Option<Span>,
+    /// Error (aborts the compile) or warning (carried on the artifact).
+    pub severity: Severity,
 }
 
 impl Diagnostic {
-    /// A spanless diagnostic.
+    /// A spanless error diagnostic.
     pub fn new(stage: Stage, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             stage,
             message: message.into(),
             span: None,
+            severity: Severity::Error,
+        }
+    }
+
+    /// A spanless warning diagnostic.
+    pub fn warning(stage: Stage, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::new(stage, message)
         }
     }
 
@@ -65,7 +100,12 @@ impl Diagnostic {
     ///
     /// Without a span only the header line is produced.
     pub fn render(&self, filename: &str, source: &str) -> String {
-        let mut out = format!("error[{}]: {}", self.stage, self.message);
+        let mut out = format!(
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.stage,
+            self.message
+        );
         let Some(span) = self.span else {
             return out;
         };
@@ -84,7 +124,13 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error[{}]: {}", self.stage, self.message)?;
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.stage,
+            self.message
+        )?;
         if let Some(span) = self.span {
             write!(f, " at {}:{}", span.line, span.column)?;
         }

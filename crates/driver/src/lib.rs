@@ -49,7 +49,7 @@ pub mod session;
 pub mod stage;
 
 pub use cache::{CacheMode, CacheStats, CacheStatus};
-pub use diag::{Diagnostic, Span};
+pub use diag::{Diagnostic, Diagnostics, Severity, Span};
 pub use report::{PipelineReport, StageRecord};
 pub use session::{Compiled, CompiledArtifact, CompilerSession, SessionOptions};
 pub use stage::Stage;

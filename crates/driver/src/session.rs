@@ -21,7 +21,9 @@ use rms_core::{
 };
 use rms_odegen::{generate, GenerateOptions, OdeSystem};
 use rms_rcip::RateTable;
-use rms_rdl::{compile_with, expand_program, parse_rdl, CompiledModel, ReactionNetwork};
+use rms_rdl::{
+    compile_with_options, expand_program, parse_rdl, CompiledModel, EngineOptions, ReactionNetwork,
+};
 
 use crate::cache::{self, CacheMode, CacheStatus};
 use crate::diag::Diagnostic;
@@ -63,6 +65,14 @@ pub struct SessionOptions {
     /// flat instruction sequence, so results stay bit-identical), but is
     /// part of the cache key because it changes the emitted object.
     pub reroll: bool,
+    /// Worker threads for the frontend's network-closure stage (match /
+    /// edit / canonicalize fan-out). `0` means one per available core;
+    /// `1` runs the serial path.
+    pub frontend_threads: usize,
+    /// Intern canonical keys as content hashes + symbols instead of
+    /// canonical-SMILES strings during network closure. On by default;
+    /// the off switch exists for A/B benchmarking.
+    pub frontend_intern: bool,
     /// Cache participation.
     pub cache: CacheMode,
     /// On-disk cache directory (e.g. `.rms-cache/`); `None` keeps the
@@ -87,6 +97,8 @@ impl SessionOptions {
             decode: true,
             native: false,
             reroll: true,
+            frontend_threads: 0,
+            frontend_intern: true,
             cache: CacheMode::default(),
             cache_dir: None,
             dump: None,
@@ -139,6 +151,13 @@ impl SessionOptions {
         self.decode.hash(h);
         self.native.hash(h);
         self.reroll.hash(h);
+        // The frontend options cannot change the produced network (the
+        // engine is bit-identical across thread counts and key
+        // representations), but they change the *reported* compile — stage
+        // metrics, warnings — so two configurations must not share a
+        // cached artifact.
+        self.frontend_threads.hash(h);
+        self.frontend_intern.hash(h);
     }
 }
 
@@ -170,6 +189,10 @@ pub struct CompiledArtifact {
     /// toolchain, compile failure, …); drives the engine-fallback
     /// diagnostic.
     pub native_diag: Option<String>,
+    /// Non-fatal diagnostics from the compile (e.g. the closure hit
+    /// `max_generations` while rules were still producing new species).
+    /// Not persisted; revived artifacts carry none.
+    pub warnings: Vec<Diagnostic>,
     /// Per-stage instrumentation of the compile that built this artifact.
     pub report: PipelineReport,
     /// Content-address under which the artifact is cached.
@@ -270,8 +293,12 @@ impl CompilerSession {
         self.run_cached(key, || {
             let mut dump = DumpSink::new(self.options.dump);
             let mut records = Vec::new();
-            let artifact =
-                self.build_from_network(name, key, network, rates, &mut records, &mut dump)?;
+            let frontend = FrontendOutput {
+                network,
+                rates,
+                warnings: Vec::new(),
+            };
+            let artifact = self.build_from_network(name, key, frontend, &mut records, &mut dump)?;
             Ok((artifact, dump.take()))
         })
     }
@@ -390,16 +417,56 @@ impl CompilerSession {
         dump.offer(Stage::Rcip, || render_rates(&rates));
 
         let clock = Instant::now();
-        let CompiledModel { network, rates } = compile_with(&program, rates, &seeds)?;
+        let engine_options = EngineOptions {
+            threads: self.options.frontend_threads,
+            intern: self.options.frontend_intern,
+            legacy_rescan: false,
+        };
+        let CompiledModel {
+            network,
+            rates,
+            stats,
+        } = compile_with_options(&program, rates, &seeds, &engine_options)?;
         records.push(
             StageRecord::new(Stage::Network, clock.elapsed().as_secs_f64())
                 .metric("species", network.species_count() as f64)
-                .metric("reactions", network.reaction_count() as f64),
+                .metric("reactions", network.reaction_count() as f64)
+                .metric("rule_applications", stats.rule_applications as f64)
+                .metric("canonicalizations", stats.canonicalizations as f64)
+                .metric("prefilter_hit_rate", stats.prefilter_hit_rate())
+                .metric("peak_frontier", stats.peak_frontier as f64)
+                .metric("generations", stats.generations as f64)
+                .metric(
+                    "gen_max_seconds",
+                    stats.generation_seconds.iter().copied().fold(0.0, f64::max),
+                )
+                .metric("threads", stats.threads as f64),
         );
-        dump.offer(Stage::Network, || network.display_equations());
+        dump.offer(Stage::Network, || render_network(&network));
 
-        let artifact =
-            self.build_from_network(name, key, network, rates, &mut records, &mut dump)?;
+        let mut warnings = Vec::new();
+        if !stats.fixpoint && !stats.growing_rules.is_empty() {
+            let mut warning = Diagnostic::warning(
+                Stage::Network,
+                format!(
+                    "network closure stopped at the generation cap ({}) without \
+                     reaching a fixpoint; still-growing rules: {}",
+                    program.limits.max_generations,
+                    stats.growing_rules.join(", ")
+                ),
+            );
+            if let Some((line, column)) = program.generations_span {
+                warning = warning.with_span(line, column);
+            }
+            warnings.push(warning);
+        }
+
+        let frontend = FrontendOutput {
+            network,
+            rates,
+            warnings,
+        };
+        let artifact = self.build_from_network(name, key, frontend, &mut records, &mut dump)?;
         Ok((artifact, dump.take()))
     }
 
@@ -409,11 +476,15 @@ impl CompilerSession {
         &self,
         name: &str,
         key: u128,
-        network: ReactionNetwork,
-        rates: RateTable,
+        frontend: FrontendOutput,
         records: &mut Vec<StageRecord>,
         dump: &mut DumpSink,
     ) -> Result<CompiledArtifact, Diagnostic> {
+        let FrontendOutput {
+            network,
+            rates,
+            warnings,
+        } = frontend;
         let gen_simplify = self.options.effective_gen_simplify();
         let clock = Instant::now();
         let system = generate(
@@ -637,6 +708,7 @@ impl CompilerSession {
             exec,
             native,
             native_diag,
+            warnings,
             report,
             key,
             gen_simplify,
@@ -722,11 +794,22 @@ impl CompilerSession {
             exec,
             native,
             native_diag,
+            warnings: Vec::new(),
             report,
             key,
             gen_simplify,
         })
     }
+}
+
+/// Frontend output handed to the shared backend stages: the closed
+/// network, evaluated rates, and any non-fatal diagnostics raised along
+/// the way (the network entry point has none — warnings are a source
+/// frontend concern).
+struct FrontendOutput {
+    network: ReactionNetwork,
+    rates: RateTable,
+    warnings: Vec<Diagnostic>,
 }
 
 /// Captures at most one stage's IR dump.
@@ -750,6 +833,25 @@ impl DumpSink {
     fn take(&mut self) -> Option<String> {
         self.text.take()
     }
+}
+
+/// Network listing for `--dump-ir=network`: every species in id order
+/// (name, canonical SMILES, initial concentration), then the reaction
+/// equations in insertion order.
+fn render_network(network: &ReactionNetwork) -> String {
+    let mut out = format!("; {} species\n", network.species_count());
+    for (id, species) in network.species_iter() {
+        let canonical = network
+            .canonical_smiles(id)
+            .unwrap_or_else(|| "?".to_string());
+        out.push_str(&format!(
+            "s{} {} = \"{}\" init {}\n",
+            id.0, species.name, canonical, species.initial_concentration
+        ));
+    }
+    out.push_str(&format!("; {} reactions\n", network.reaction_count()));
+    out.push_str(&network.display_equations());
+    out
 }
 
 /// Rate-table listing for `--dump-ir=rcip`: every name with its value and

@@ -12,7 +12,7 @@ use crate::graph::Molecule;
 
 /// Initial per-atom invariant (element, connectivity, hydrogen count,
 /// charge, radicals, aromaticity).
-fn initial_invariants(mol: &Molecule) -> Vec<u64> {
+pub(crate) fn initial_invariants(mol: &Molecule) -> Vec<u64> {
     mol.atoms()
         .map(|(i, a)| {
             let mut v: u64 = a.element.atomic_number() as u64;
@@ -76,7 +76,7 @@ fn refine_once(mol: &Molecule, ranks: &[u32]) -> Vec<u64> {
 }
 
 /// Refine ranks until the partition stops growing.
-fn refine_to_fixpoint(mol: &Molecule, start: Vec<u64>) -> (Vec<u32>, usize) {
+pub(crate) fn refine_to_fixpoint(mol: &Molecule, start: Vec<u64>) -> (Vec<u32>, usize) {
     let (mut ranks, mut classes) = densify(&start);
     loop {
         let next = refine_once(mol, &ranks);
@@ -165,7 +165,7 @@ fn smallest_tied_class(ranks: &[u32], n: usize) -> u32 {
 
 /// A canonical certificate: the adjacency relation rewritten in rank space.
 /// Two rank assignments of the same molecule compare meaningfully.
-fn certificate(mol: &Molecule, ranks: &[u32]) -> Vec<u64> {
+pub(crate) fn certificate(mol: &Molecule, ranks: &[u32]) -> Vec<u64> {
     let n = mol.atom_count() as u64;
     let mut edges: Vec<u64> = mol
         .bonds()

@@ -1,0 +1,233 @@
+//! Interned molecule identity: a cheap permutation-invariant content hash
+//! plus an exact canonical certificate, replacing canonical SMILES strings
+//! as the dedup key on the network-generation hot path.
+//!
+//! The rule engine produces the same fragment molecules over and over;
+//! deduplicating them through canonical SMILES means running full
+//! individualization-refinement *and* building a string for every
+//! candidate, then hashing that string. The interned path splits the work:
+//!
+//! 1. [`identify`] computes a 64-bit **invariant hash** from one
+//!    refinement fixpoint (no individualization, no strings) and, sharing
+//!    the same refinement, an **exact certificate** — the labelled graph
+//!    rewritten in canonical rank space. Only molecules whose refinement
+//!    partition is not discrete (symmetric molecules) pay for the full
+//!    individualization tie-break.
+//! 2. [`KeyTable`] interns identities into dense [`Sym`] symbols. The
+//!    hash acts as a prefilter: an empty bucket proves the molecule is
+//!    new without comparing any certificate; only hash-bucket collisions
+//!    compare certificates (almost always against the single isomorphic
+//!    occupant).
+//!
+//! Equal certificates ⇔ isomorphic molecules ⇔ equal canonical SMILES, so
+//! a network deduplicated through a `KeyTable` is identical to one
+//! deduplicated through [`crate::canonical_key`] strings.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::canon::{canonical_ranks, certificate, initial_invariants, refine_to_fixpoint};
+use crate::graph::Molecule;
+
+/// Dense symbol assigned by a [`KeyTable`], in first-seen order.
+pub type Sym = u32;
+
+/// Precomputed identity of a molecule: the prefilter hash and the exact
+/// canonical certificate. Cheap to compare, `Send` across worker threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MolIdentity {
+    /// Permutation-invariant 64-bit content hash (the prefilter key).
+    pub hash: u64,
+    /// Exact canonical certificate: atom count, per-rank atom invariants,
+    /// then the bond relation in rank space. Equal iff isomorphic.
+    pub cert: Vec<u64>,
+    /// Whether computing the certificate needed the individualization
+    /// tie-break (the refinement partition was not discrete).
+    pub slow_path: bool,
+}
+
+/// Compute a molecule's interned identity: one refinement fixpoint yields
+/// both the invariant hash and — when the partition is discrete, which it
+/// is for most generated fragments — the exact certificate. Symmetric
+/// molecules fall back to [`canonical_ranks`] for the certificate only.
+pub fn identify(mol: &Molecule) -> MolIdentity {
+    let n = mol.atom_count();
+    if n == 0 {
+        return MolIdentity {
+            hash: 0xcbf2_9ce4_8422_2325,
+            cert: Vec::new(),
+            slow_path: false,
+        };
+    }
+    let init = initial_invariants(mol);
+    let (ranks, classes) = refine_to_fixpoint(mol, init.clone());
+
+    // Prefilter hash: permutation-invariant fold over the atom count, the
+    // sorted (rank, initial invariant) pairs, and the rank-space edges.
+    let mut nodes: Vec<u64> = ranks
+        .iter()
+        .zip(&init)
+        .map(|(&r, &v)| ((r as u64) << 24) | v)
+        .collect();
+    nodes.sort_unstable();
+    let edges = certificate(mol, &ranks);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (n as u64);
+    for v in nodes
+        .iter()
+        .chain([0xa5a5_a5a5_a5a5_a5a5u64].iter())
+        .chain(&edges)
+    {
+        hash = (hash ^ v).wrapping_mul(0x1000_0000_01b3);
+    }
+
+    // Exact certificate: needs discrete ranks. The refinement fixpoint is
+    // already canonical when discrete; otherwise break ties.
+    let (final_ranks, slow_path) = if classes == n {
+        (ranks, false)
+    } else {
+        (canonical_ranks(mol), true)
+    };
+    let mut cert = Vec::with_capacity(1 + n + mol.bond_count());
+    cert.push(n as u64);
+    let mut labels = vec![0u64; n];
+    for (i, &r) in final_ranks.iter().enumerate() {
+        labels[r as usize] = init[i];
+    }
+    cert.extend(labels);
+    cert.extend(certificate(mol, &final_ranks));
+    MolIdentity {
+        hash,
+        cert,
+        slow_path,
+    }
+}
+
+/// Interned symbol table over molecule identities, with prefilter
+/// statistics. Symbols are dense and assigned in first-intern order, so a
+/// caller can map them 1:1 onto its own id space with a plain `Vec`.
+#[derive(Debug, Clone, Default)]
+pub struct KeyTable {
+    buckets: HashMap<u64, Vec<Sym>>,
+    certs: Vec<Vec<u64>>,
+    /// Total [`KeyTable::intern`] calls.
+    pub lookups: u64,
+    /// Lookups resolved as definitely-new by an empty hash bucket,
+    /// without comparing any certificate.
+    pub prefilter_hits: u64,
+    /// Certificate comparisons performed on bucket collisions.
+    pub cert_compares: u64,
+}
+
+impl KeyTable {
+    /// Empty table.
+    pub fn new() -> KeyTable {
+        KeyTable::default()
+    }
+
+    /// Number of distinct interned identities.
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+
+    /// Intern an identity: returns its symbol and whether it was new.
+    pub fn intern(&mut self, id: &MolIdentity) -> (Sym, bool) {
+        self.lookups += 1;
+        let next = self.certs.len() as Sym;
+        match self.buckets.entry(id.hash) {
+            Entry::Occupied(mut bucket) => {
+                for &sym in bucket.get().iter() {
+                    self.cert_compares += 1;
+                    if self.certs[sym as usize] == id.cert {
+                        return (sym, false);
+                    }
+                }
+                bucket.get_mut().push(next);
+            }
+            Entry::Vacant(slot) => {
+                self.prefilter_hits += 1;
+                slot.insert(vec![next]);
+            }
+        }
+        self.certs.push(id.cert.clone());
+        (next, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smiles::parse_smiles;
+
+    #[test]
+    fn isomorphic_molecules_share_identity() {
+        let a = parse_smiles("CCO").unwrap();
+        let b = parse_smiles("OCC").unwrap();
+        let (ia, ib) = (identify(&a), identify(&b));
+        assert_eq!(ia.hash, ib.hash);
+        assert_eq!(ia.cert, ib.cert);
+    }
+
+    #[test]
+    fn distinct_molecules_differ() {
+        let a = parse_smiles("CCO").unwrap();
+        let b = parse_smiles("COC").unwrap();
+        assert_ne!(identify(&a).cert, identify(&b).cert);
+    }
+
+    #[test]
+    fn symmetric_molecule_takes_slow_path_but_still_matches() {
+        // CSSC is mirror-symmetric: refinement alone cannot make the
+        // partition discrete.
+        let a = parse_smiles("CSSC").unwrap();
+        let ia = identify(&a);
+        assert!(ia.slow_path);
+        let b = parse_smiles("CSSC").unwrap();
+        assert_eq!(ia.cert, identify(&b).cert);
+    }
+
+    #[test]
+    fn asymmetric_chain_avoids_slow_path() {
+        let a = parse_smiles("CSSOC").unwrap();
+        assert!(!identify(&a).slow_path);
+    }
+
+    #[test]
+    fn table_interns_and_dedups() {
+        let mut t = KeyTable::new();
+        let a = identify(&parse_smiles("CCO").unwrap());
+        let b = identify(&parse_smiles("OCC").unwrap());
+        let c = identify(&parse_smiles("CCS").unwrap());
+        let (sa, new_a) = t.intern(&a);
+        let (sb, new_b) = t.intern(&b);
+        let (sc, new_c) = t.intern(&c);
+        assert!(new_a && !new_b && new_c);
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookups, 3);
+        // First sights of CCO and CCS hit the prefilter; the OCC lookup
+        // collided and compared one certificate.
+        assert_eq!(t.prefilter_hits, 2);
+        assert_eq!(t.cert_compares, 1);
+    }
+
+    #[test]
+    fn identity_matches_canonical_key_equality() {
+        // The interned identity and the canonical SMILES string must induce
+        // the same equivalence classes.
+        let pool = ["CSSC", "CSSSC", "CS", "CCO", "OCC", "CC(C)C", "CSC"];
+        for x in pool {
+            for y in pool {
+                let (mx, my) = (parse_smiles(x).unwrap(), parse_smiles(y).unwrap());
+                let by_string = crate::canonical_key(&mx) == crate::canonical_key(&my);
+                let by_cert = identify(&mx).cert == identify(&my).cert;
+                assert_eq!(by_string, by_cert, "{x} vs {y}");
+            }
+        }
+    }
+}

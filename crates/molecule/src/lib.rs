@@ -22,6 +22,7 @@ pub mod element;
 pub mod error;
 pub mod formula;
 pub mod graph;
+pub mod intern;
 pub mod pattern;
 pub mod smiles;
 
@@ -31,6 +32,7 @@ pub use element::Element;
 pub use error::{MoleculeError, Result};
 pub use formula::Formula;
 pub use graph::Molecule;
+pub use intern::{identify, KeyTable, MolIdentity, Sym};
 pub use pattern::{AtomPredicate, BondPredicate, QueryGraph};
 pub use smiles::{parse_smiles, write_smiles, write_smiles_canonical};
 

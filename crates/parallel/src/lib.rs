@@ -14,7 +14,9 @@
 //!   objective function and the Fig. 8 bounded least-squares driver,
 //!   with retry/penalty degradation and per-call health reports;
 //! * [`fault`]: deterministic fault injection (scripted simulator errors,
-//!   rank panics, slowdowns) for the fault-tolerance test suite.
+//!   rank panics, slowdowns) for the fault-tolerance test suite;
+//! * [`pool`]: a fork/join index-ordered `scoped_map` used by the
+//!   rule-closure frontend for deterministic parallel rule application.
 //!
 //! The runtime is panic-safe and deadline-capable: collectives return
 //! `Result<_, CommError>`, a panicking rank poisons the rendezvous so its
@@ -28,6 +30,7 @@ pub mod datafile;
 pub mod estimator;
 pub mod fault;
 pub mod loadbalance;
+pub mod pool;
 
 pub use comm::{run_cluster, run_cluster_with, CommConfig, CommError, Communicator, RankPanic};
 pub use datafile::{DataFileError, ExperimentFile};
@@ -39,3 +42,4 @@ pub use fault::{FaultPlan, FaultySimulator};
 pub use loadbalance::{
     block_schedule, lpt_schedule, makespan, makespan_lower_bound, ScheduleError,
 };
+pub use pool::{available_threads, scoped_map};

@@ -1,0 +1,107 @@
+//! Index-ordered parallel map over scoped threads.
+//!
+//! The rule-closure frontend fans match/edit/canonicalize work for one
+//! generation out over worker threads and merges the results **in work-item
+//! order**, so the generated network is bit-identical at any thread count.
+//! [`scoped_map`] provides exactly that primitive: workers grab contiguous
+//! chunks from an atomic cursor (so finishing early just means grabbing the
+//! next chunk), and the chunks are stitched back together by their start
+//! index before returning.
+//!
+//! Unlike the SPMD [`crate::comm`] cluster this is a fork/join helper: no
+//! collectives, no ranks, no fault containment — a panicking worker
+//! propagates the panic to the caller, matching what the same loop would do
+//! serially.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller asked for "auto" (0):
+/// the machine's available parallelism, or 1 if it cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` using `threads` scoped workers, returning results
+/// in item order. `threads == 0` means [`available_threads`]; a resolved
+/// thread count of 1 (or fewer than 2 items) runs serially on the caller's
+/// thread with no synchronization at all.
+pub fn scoped_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(n);
+    // Small chunks keep the tail balanced; large enough to amortize the
+    // cursor fetch. ~8 chunks per worker.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let chunks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<R> = items[start..end].iter().map(&f).collect();
+                chunks.lock().unwrap().push((start, out));
+            });
+        }
+    });
+    let mut chunks = chunks.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut result = Vec::with_capacity(n);
+    for (_, mut part) in chunks {
+        result.append(&mut part);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            assert_eq!(scoped_map(threads, &items, |&x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(scoped_map(8, &empty, |&x| x).is_empty());
+        assert_eq!(scoped_map(8, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items: Vec<usize> = (0..3).collect();
+        assert_eq!(scoped_map(16, &items, |&x| x * x), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn auto_threads_resolves() {
+        assert!(available_threads() >= 1);
+        let items: Vec<u32> = (0..100).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(scoped_map(0, &items, |&x| x + 1), expect);
+    }
+}

@@ -16,6 +16,9 @@ pub struct Program {
     pub rules: Vec<RuleDecl>,
     /// Constraints on network generation.
     pub limits: Limits,
+    /// 1-based (line, column) of the `limit generations N;` statement,
+    /// when one was written — used for the generation-cap warning span.
+    pub generations_span: Option<(usize, usize)>,
     /// Forbidden forms: generated molecules matching any of these are
     /// discarded together with the producing reaction.
     pub forbids: Vec<Forbid>,

@@ -2,16 +2,118 @@
 //! producing the reaction network (paper §2, "the chemical compiler
 //! automatically generates the reaction network that describes all
 //! possible reactions").
+//!
+//! The closure loop is **frontier-driven**: every rule keeps a cursor into
+//! the species list and each run scans only the species added since that
+//! rule last ran, eliminating the O(generations × species) rescan of the
+//! naive algorithm. Within one rule run the match/edit/canonicalize work
+//! fans out over an `rms-parallel` scoped worker pool and the results are
+//! merged strictly in work-item order, so the resulting network — species
+//! ids, names, reaction list, equation table — is bit-identical to the
+//! serial path at any thread count.
+//!
+//! Why the frontier is exact (not an approximation): rescanning a species
+//! a rule has already seen can only regenerate reactions that were
+//! recorded when the rule first saw it — sites, edits and products are
+//! pure functions of the unchanged molecule, and the network dedups both
+//! species and reactions — so the rescan contributes no state changes.
+//! Dropping it removes work whose only effect was to be deduplicated.
+//! For pair sites the same argument applies to pairs: only pairs with at
+//! least one not-yet-seen member can produce anything new, and they are
+//! visited in the same relative order the full scan would have used.
+//!
+//! Species dedup runs on interned identities ([`rms_molecule::intern`]):
+//! a u64 invariant-hash prefilter decides "definitely new" without any
+//! string work, and only hash-bucket collisions compare exact canonical
+//! certificates. `EngineOptions { intern: false }` falls back to canonical
+//! SMILES strings, and `legacy_rescan: true` restores the full
+//! rescan-every-generation schedule — together they reproduce the
+//! pre-frontier baseline for benchmarking and differential testing.
 
-use std::collections::HashMap;
+use std::time::Instant;
 
-use rms_molecule::{canonical_key, parse_smiles, Element, Formula, Molecule};
+use rms_molecule::{
+    canonical_key, identify, parse_smiles, AtomPredicate, BondOrder, BondPredicate, Element,
+    Formula, KeyTable, MolIdentity, Molecule,
+};
+use rms_parallel::{available_threads, scoped_map};
 use rms_rcip::RateTable;
 
-use crate::ast::{Action, Forbid, Program, RuleDecl, Scope, Site};
+use crate::ast::{Action, Forbid, Limits, Program, RuleDecl, Scope, Site};
 use crate::error::{RdlError, Result};
 use crate::expand::{expand_program, SeedVariant};
 use crate::network::{Reaction, ReactionNetwork, SpeciesId};
+
+/// How many work items (species or species pairs) each parallel dispatch
+/// processes before merging, bounding the number of un-merged candidate
+/// molecules held in memory at once.
+const WORK_BATCH: usize = 4096;
+
+/// Frontend execution options. The defaults are the fast path; the other
+/// combinations exist for benchmarking and differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads for rule application; `0` means one per core.
+    pub threads: usize,
+    /// Dedup species through interned certificates (hash prefilter + exact
+    /// certificate) instead of canonical SMILES strings.
+    pub intern: bool,
+    /// Restore the pre-frontier schedule: every rule rescans the full
+    /// species set every generation. Combined with `intern: false` and
+    /// `threads: 1` this is the measured baseline path.
+    pub legacy_rescan: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            threads: 0,
+            intern: true,
+            legacy_rescan: false,
+        }
+    }
+}
+
+/// Metrics from one network-generation run, surfaced in the driver's
+/// pipeline report.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Closure generations executed.
+    pub generations: usize,
+    /// Whether a generation completed with no new species or reactions
+    /// (the closure converged) before the generation cap.
+    pub fixpoint: bool,
+    /// Rules that still produced new species/reactions in the final
+    /// executed generation, when the cap was hit without a fixpoint.
+    pub growing_rules: Vec<String>,
+    /// Successful rule applications (candidate product molecules built).
+    pub rule_applications: u64,
+    /// Per-fragment canonical identity computations (certificates or
+    /// canonical SMILES, plus one per seed).
+    pub canonicalizations: u64,
+    /// Interned dedup lookups (0 when interning is off).
+    pub prefilter_lookups: u64,
+    /// Lookups settled by an empty hash bucket — no certificate compared.
+    pub prefilter_hits: u64,
+    /// Largest per-rule frontier (species not yet seen by a rule at the
+    /// start of one of its runs).
+    pub peak_frontier: usize,
+    /// Wall-clock seconds per executed generation.
+    pub generation_seconds: Vec<f64>,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+}
+
+impl NetworkStats {
+    /// Fraction of dedup lookups settled by the invariant-hash prefilter.
+    pub fn prefilter_hit_rate(&self) -> f64 {
+        if self.prefilter_lookups == 0 {
+            0.0
+        } else {
+            self.prefilter_hits as f64 / self.prefilter_lookups as f64
+        }
+    }
+}
 
 /// The chemical compiler's output: the reaction network plus the evaluated
 /// rate-constant table.
@@ -21,6 +123,8 @@ pub struct CompiledModel {
     pub network: ReactionNetwork,
     /// Evaluated, value-deduplicated rate constants.
     pub rates: RateTable,
+    /// Generation metrics for the pipeline report.
+    pub stats: NetworkStats,
 }
 
 /// Compile an RDL program: expand variants, evaluate rate constants, and
@@ -36,13 +140,25 @@ pub fn compile(program: &Program) -> Result<CompiledModel> {
     compile_with(program, rates, &seeds)
 }
 
-/// The *Network* phase alone: validate rules against an already-evaluated
-/// rate table, seed species from already-expanded variants, and apply
-/// rules to closure.
+/// The *Network* phase alone with default [`EngineOptions`].
 pub fn compile_with(
     program: &Program,
     rates: RateTable,
     seeds: &[SeedVariant],
+) -> Result<CompiledModel> {
+    compile_with_options(program, rates, seeds, &EngineOptions::default())
+}
+
+/// The *Network* phase alone: validate rules against an already-evaluated
+/// rate table, seed species from already-expanded variants, and apply
+/// rules to closure under the given execution options. The produced
+/// network is identical for every option combination (thread count,
+/// interning, frontier vs rescan); only the cost differs.
+pub fn compile_with_options(
+    program: &Program,
+    rates: RateTable,
+    seeds: &[SeedVariant],
+    options: &EngineOptions,
 ) -> Result<CompiledModel> {
     // Rule validation up front: rates and scope names must resolve.
     for rule in &program.rules {
@@ -64,11 +180,27 @@ pub fn compile_with(
         }
     }
 
+    let threads = if options.threads == 0 {
+        available_threads()
+    } else {
+        options.threads
+    };
     let mut engine = Engine {
         network: ReactionNetwork::new(),
-        families: HashMap::new(),
+        families: Vec::new(),
         limits: program.limits,
         forbids: program.forbids.clone(),
+        threads,
+        legacy: options.legacy_rescan,
+        intern: options.intern.then(InternState::default),
+        cursors: vec![0; program.rules.len()],
+        pair_caches: (0..program.rules.len())
+            .map(|_| PairCache::default())
+            .collect(),
+        stats: NetworkStats {
+            threads,
+            ..NetworkStats::default()
+        },
     };
 
     // Seed species from the expanded molecule declarations.
@@ -79,215 +211,541 @@ pub fn compile_with(
             cause,
         })?;
         let key = canonical_key(&mol);
+        engine.stats.canonicalizations += 1;
+        let before = engine.network.species_count();
         let id = engine
             .network
             .add_species(mol, key, &variant.name, variant.initial);
-        engine.families.insert(id, variant.family.clone());
+        if engine.network.species_count() > before {
+            engine.families.push(Some(variant.family.clone()));
+        } else {
+            // Duplicate seed structure: the later declaration's family
+            // wins, matching the pre-frontier engine.
+            engine.families[id.0 as usize] = Some(variant.family.clone());
+        }
+    }
+
+    // Prime the intern table so generated fragments identical to a seed
+    // dedup onto the seed's id.
+    if let Some(intern) = engine.intern.as_mut() {
+        for (id, sp) in engine.network.species_iter() {
+            let structure = sp.structure.as_ref().expect("seeds carry structures");
+            let (sym, is_new) = intern.table.intern(&identify(structure));
+            debug_assert_eq!((sym as usize, is_new), (id.0 as usize, true));
+            if is_new {
+                intern.sym_to_species.push(id);
+            }
+        }
     }
 
     // Closure: apply every rule each generation until no new species or
     // reactions appear (or the generation limit is reached).
+    let mut growing: Vec<String> = Vec::new();
     for _generation in 0..program.limits.max_generations {
-        let mut changed = false;
-        for rule in &program.rules {
-            changed |= engine.apply_rule(rule)?;
+        let started = Instant::now();
+        let mut changed_rules: Vec<String> = Vec::new();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if engine.run_rule(ri, rule)? {
+                changed_rules.push(rule.name.clone());
+            }
         }
-        if !changed {
+        engine
+            .stats
+            .generation_seconds
+            .push(started.elapsed().as_secs_f64());
+        engine.stats.generations += 1;
+        if changed_rules.is_empty() {
+            engine.stats.fixpoint = true;
             break;
         }
+        growing = changed_rules;
+    }
+    if !engine.stats.fixpoint {
+        engine.stats.growing_rules = growing;
+    }
+    if let Some(intern) = &engine.intern {
+        engine.stats.prefilter_lookups = intern.table.lookups;
+        engine.stats.prefilter_hits = intern.table.prefilter_hits;
     }
 
     Ok(CompiledModel {
         network: engine.network,
         rates,
+        stats: engine.stats,
     })
+}
+
+/// Interned dedup state: the certificate table plus the symbol → species
+/// mapping (symbols are dense and assigned in first-seen order, exactly
+/// like species ids, so the mapping is a plain `Vec`).
+#[derive(Default)]
+struct InternState {
+    table: KeyTable,
+    sym_to_species: Vec<SpeciesId>,
+}
+
+/// Cached pair-rule site selections, extended incrementally as species are
+/// added so old species are never re-scanned for sites.
+#[derive(Default)]
+struct PairCache {
+    /// Species ids `< scanned` have been classified into `xs`/`ys`.
+    scanned: usize,
+    /// Species (ascending id) with a non-empty first-position site list.
+    xs: Vec<(u32, Vec<usize>)>,
+    /// Species (ascending id) with a non-empty second-position site list.
+    ys: Vec<(u32, Vec<usize>)>,
 }
 
 struct Engine {
     network: ReactionNetwork,
-    /// species → declared family name (seeds only; generated species have
-    /// no family and match only `Scope::Any`).
-    families: HashMap<SpeciesId, String>,
-    limits: crate::ast::Limits,
+    /// species → declared family name, aligned with species ids (seeds
+    /// only; generated species have no family and match only `Scope::Any`).
+    families: Vec<Option<String>>,
+    limits: Limits,
     forbids: Vec<Forbid>,
+    threads: usize,
+    legacy: bool,
+    intern: Option<InternState>,
+    /// Per-rule frontier cursor: species ids below it have been scanned.
+    cursors: Vec<usize>,
+    pair_caches: Vec<PairCache>,
+    stats: NetworkStats,
+}
+
+/// A rule's site selector, resolved once per rule run.
+enum SitePred {
+    Bond(BondPredicate),
+    Atom(AtomPredicate),
+}
+
+/// A fragment's dedup identity, computed on worker threads.
+enum FragId {
+    Cert(MolIdentity),
+    Key(String),
+}
+
+/// One product fragment ready for the merge: structure, identity, and the
+/// formula-derived display-name hint.
+struct FragCand {
+    mol: Molecule,
+    ident: FragId,
+    name_hint: String,
+}
+
+/// One candidate reaction produced by a worker.
+struct Candidate {
+    reactants: Vec<SpeciesId>,
+    frags: Vec<FragCand>,
+}
+
+/// Per-work-item worker output.
+#[derive(Default)]
+struct WorkOut {
+    candidates: Vec<Candidate>,
+    applications: u64,
+    canonicalizations: u64,
 }
 
 impl Engine {
-    /// Apply one rule across the current species set. Returns whether
+    /// Apply one rule across its current frontier. Returns whether
     /// anything new was added.
-    fn apply_rule(&mut self, rule: &RuleDecl) -> Result<bool> {
+    fn run_rule(&mut self, ri: usize, rule: &RuleDecl) -> Result<bool> {
         match &rule.site {
-            Site::Bond { .. } | Site::Atom(_) => self.apply_unimolecular(rule),
+            Site::Bond { .. } | Site::Atom(_) => self.run_uni_rule(ri, rule),
             Site::Pair { first, second } => {
                 let (first, second) = (first.clone(), second.clone());
-                self.apply_bimolecular(rule, &first, &second)
+                self.run_pair_rule(ri, rule, &first, &second)
             }
         }
     }
 
-    fn in_scope(&self, id: SpeciesId, scope: &Scope, position: usize) -> bool {
-        match scope {
-            Scope::Any => true,
-            Scope::Named(names) => {
-                let Some(family) = self.families.get(&id) else {
-                    return false;
-                };
-                if names.len() >= 2 {
-                    // Positional scopes for pair sites.
-                    names.get(position).is_some_and(|n| n == family)
-                } else {
-                    names.iter().any(|n| n == family)
-                }
-            }
-        }
+    fn take_frontier(&mut self, ri: usize) -> (usize, usize) {
+        let count = self.network.species_count();
+        let cursor = if self.legacy { 0 } else { self.cursors[ri] };
+        self.cursors[ri] = count;
+        self.stats.peak_frontier = self.stats.peak_frontier.max(count - cursor);
+        (cursor, count)
     }
 
-    fn current_ids(&self) -> Vec<SpeciesId> {
-        self.network.species_iter().map(|(id, _)| id).collect()
-    }
-
-    fn apply_unimolecular(&mut self, rule: &RuleDecl) -> Result<bool> {
+    fn run_uni_rule(&mut self, ri: usize, rule: &RuleDecl) -> Result<bool> {
+        let (cursor, count) = self.take_frontier(ri);
+        let ids: Vec<u32> = (cursor..count)
+            .filter(|&i| {
+                in_scope(&self.families, SpeciesId(i as u32), &rule.scope, 0)
+                    && self
+                        .network
+                        .species(SpeciesId(i as u32))
+                        .structure
+                        .is_some()
+            })
+            .map(|i| i as u32)
+            .collect();
+        let site = match &rule.site {
+            Site::Bond { left, right, order } => SitePred::Bond(BondPredicate {
+                left: left.clone(),
+                right: right.clone(),
+                order: *order,
+            }),
+            Site::Atom(pred) => SitePred::Atom(pred.clone()),
+            Site::Pair { .. } => unreachable!("handled in run_pair_rule"),
+        };
         let mut changed = false;
-        for id in self.current_ids() {
-            if !self.in_scope(id, &rule.scope, 0) {
-                continue;
-            }
-            let Some(mol) = self.network.species(id).structure.clone() else {
-                continue;
+        for batch in ids.chunks(WORK_BATCH) {
+            let outs = {
+                let net = &self.network;
+                let limits = self.limits;
+                let forbids = &self.forbids[..];
+                let interned = self.intern.is_some();
+                scoped_map(self.threads, batch, |&id| {
+                    uni_work(net, &site, rule.action, limits, forbids, interned, id)
+                })
             };
-            let applications: Vec<MolEdit> = match &rule.site {
-                Site::Bond { left, right, order } => {
-                    let pred = rms_molecule::BondPredicate {
-                        left: left.clone(),
-                        right: right.clone(),
-                        order: *order,
-                    };
-                    pred.select(&mol)
-                        .into_iter()
-                        .map(|(a, b)| MolEdit::OnBond(a, b))
-                        .collect()
-                }
-                Site::Atom(pred) => pred.select(&mol).into_iter().map(MolEdit::OnAtom).collect(),
-                Site::Pair { .. } => unreachable!("handled in apply_bimolecular"),
-            };
-            for edit in applications {
-                let mut product = mol.clone();
-                let outcome = match (edit, rule.action) {
-                    (MolEdit::OnBond(a, b), Action::Disconnect) => product.disconnect(a, b),
-                    (MolEdit::OnBond(a, b), Action::IncreaseBond) => {
-                        product.increase_bond_order(a, b)
-                    }
-                    (MolEdit::OnBond(a, b), Action::DecreaseBond) => {
-                        product.decrease_bond_order(a, b)
-                    }
-                    (MolEdit::OnAtom(a), Action::RemoveHydrogen) => product.remove_hydrogen(a),
-                    (MolEdit::OnAtom(a), Action::AddHydrogen) => product.add_hydrogen(a),
-                    _ => unreachable!("validated at parse time"),
-                };
-                if outcome.is_err() {
-                    // Site matched but the edit is chemically impossible
-                    // (e.g. increase on a saturated atom): skip silently,
-                    // mirroring how rule application "can be forbidden" by
-                    // context.
-                    continue;
-                }
-                changed |= self.record_reaction(rule, vec![id], product)?;
-            }
+            changed |= self.merge_outputs(rule, outs)?;
         }
         Ok(changed)
     }
 
-    fn apply_bimolecular(
+    fn run_pair_rule(
         &mut self,
+        ri: usize,
         rule: &RuleDecl,
-        first: &rms_molecule::AtomPredicate,
-        second: &rms_molecule::AtomPredicate,
+        first: &AtomPredicate,
+        second: &AtomPredicate,
     ) -> Result<bool> {
         let Action::Connect(order) = rule.action else {
             unreachable!("validated at parse time")
         };
-        let mut changed = false;
-        let ids = self.current_ids();
-        for &x in &ids {
-            if !self.in_scope(x, &rule.scope, 0) {
-                continue;
-            }
-            let Some(mol_x) = self.network.species(x).structure.clone() else {
-                continue;
-            };
-            let sites_x = first.select(&mol_x);
-            if sites_x.is_empty() {
-                continue;
-            }
-            for &y in &ids {
-                if !self.in_scope(y, &rule.scope, 1) {
-                    continue;
-                }
-                let Some(mol_y) = self.network.species(y).structure.clone() else {
-                    continue;
+        let (cursor, count) = self.take_frontier(ri);
+
+        // Extend the cached site lists to cover new species. The legacy
+        // schedule recomputes them every run (matching baseline cost).
+        let mut cache = if self.legacy {
+            PairCache::default()
+        } else {
+            std::mem::take(&mut self.pair_caches[ri])
+        };
+        let new_ids: Vec<u32> = (cache.scanned..count).map(|i| i as u32).collect();
+        cache.scanned = count;
+        let selections = {
+            let net = &self.network;
+            let families = &self.families[..];
+            scoped_map(self.threads, &new_ids, |&id| {
+                let sid = SpeciesId(id);
+                let Some(mol) = net.species(sid).structure.as_ref() else {
+                    return (None, None);
                 };
-                let sites_y = second.select(&mol_y);
-                for &sx in &sites_x {
-                    for &sy in &sites_y {
-                        let mut merged = mol_x.clone();
-                        let offset = merged.merge(&mol_y);
-                        if merged.atom_count() > self.limits.max_atoms {
-                            continue;
-                        }
-                        if merged.connect(sx, sy + offset, order).is_err() {
-                            continue;
-                        }
-                        changed |= self.record_reaction(rule, vec![x, y], merged)?;
-                    }
+                let sx = in_scope(families, sid, &rule.scope, 0)
+                    .then(|| first.select(mol))
+                    .filter(|s| !s.is_empty());
+                let sy = in_scope(families, sid, &rule.scope, 1)
+                    .then(|| second.select(mol))
+                    .filter(|s| !s.is_empty());
+                (sx, sy)
+            })
+        };
+        for (id, (sx, sy)) in new_ids.iter().zip(selections) {
+            if let Some(s) = sx {
+                cache.xs.push((*id, s));
+            }
+            if let Some(s) = sy {
+                cache.ys.push((*id, s));
+            }
+        }
+
+        // New pairs in the order the full x-major scan would visit them:
+        // pairs where both members were already seen produced everything
+        // they can the last time this rule ran.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (xi, x_entry) in cache.xs.iter().enumerate() {
+            for (yi, y_entry) in cache.ys.iter().enumerate() {
+                if (x_entry.0 as usize) < cursor && (y_entry.0 as usize) < cursor {
+                    continue;
                 }
+                pairs.push((xi as u32, yi as u32));
+            }
+        }
+
+        let mut changed = false;
+        for batch in pairs.chunks(WORK_BATCH) {
+            let outs = {
+                let net = &self.network;
+                let limits = self.limits;
+                let forbids = &self.forbids[..];
+                let interned = self.intern.is_some();
+                let (xs, ys) = (&cache.xs[..], &cache.ys[..]);
+                scoped_map(self.threads, batch, |&(xi, yi)| {
+                    pair_work(net, xs, ys, xi, yi, order, limits, forbids, interned)
+                })
+            };
+            changed |= self.merge_outputs(rule, outs)?;
+        }
+        if !self.legacy {
+            self.pair_caches[ri] = cache;
+        }
+        Ok(changed)
+    }
+
+    /// Merge worker outputs into the network strictly in work-item order —
+    /// the single serialization point that makes parallel generation
+    /// deterministic.
+    fn merge_outputs(&mut self, rule: &RuleDecl, outs: Vec<WorkOut>) -> Result<bool> {
+        let mut changed = false;
+        for out in outs {
+            self.stats.rule_applications += out.applications;
+            self.stats.canonicalizations += out.canonicalizations;
+            for cand in out.candidates {
+                changed |= self.merge_candidate(rule, cand)?;
             }
         }
         Ok(changed)
     }
 
-    /// Split a product into fragments, register species, and add the
-    /// reaction. Returns whether anything new appeared.
-    fn record_reaction(
-        &mut self,
-        rule: &RuleDecl,
-        reactants: Vec<SpeciesId>,
-        product: Molecule,
-    ) -> Result<bool> {
-        let fragments = product.split_components();
-        // Forbidden-form and size filtering discards the whole reaction.
-        for frag in &fragments {
-            if frag.atom_count() > self.limits.max_atoms || self.is_forbidden(frag) {
-                return Ok(false);
-            }
-        }
-        let mut product_ids = Vec::with_capacity(fragments.len());
+    fn merge_candidate(&mut self, rule: &RuleDecl, cand: Candidate) -> Result<bool> {
+        let mut product_ids = Vec::with_capacity(cand.frags.len());
         let mut new_species = false;
-        for frag in fragments {
-            let key = canonical_key(&frag);
-            let before = self.network.species_count();
-            let name_hint = format!("{}", Formula::of(&frag));
-            let pid = self.network.add_species(frag, key, &name_hint, 0.0);
-            new_species |= self.network.species_count() > before;
+        for frag in cand.frags {
+            let pid = match frag.ident {
+                FragId::Cert(identity) => {
+                    let intern = self
+                        .intern
+                        .as_mut()
+                        .expect("certificate candidate without intern table");
+                    let (sym, is_new) = intern.table.intern(&identity);
+                    if is_new {
+                        let id =
+                            self.network
+                                .add_species_uncanonical(frag.mol, &frag.name_hint, 0.0);
+                        intern.sym_to_species.push(id);
+                        self.families.push(None);
+                        new_species = true;
+                        id
+                    } else {
+                        intern.sym_to_species[sym as usize]
+                    }
+                }
+                FragId::Key(key) => {
+                    let before = self.network.species_count();
+                    let id = self
+                        .network
+                        .add_species(frag.mol, key, &frag.name_hint, 0.0);
+                    if self.network.species_count() > before {
+                        self.families.push(None);
+                        new_species = true;
+                    }
+                    id
+                }
+            };
             product_ids.push(pid);
         }
         if self.network.species_count() > self.limits.max_species {
             return Err(RdlError::SpeciesLimitExceeded(self.limits.max_species));
         }
         let new_reaction = self.network.add_reaction(Reaction {
-            reactants,
+            reactants: cand.reactants,
             products: product_ids,
             rate: rule.rate.clone(),
             rule: rule.name.clone(),
         });
         Ok(new_species || new_reaction)
     }
+}
 
-    fn is_forbidden(&self, mol: &Molecule) -> bool {
-        self.forbids.iter().any(|f| match f {
-            Forbid::ChainLongerThan(elem, len) => max_chain(mol, *elem) > *len,
-            Forbid::AtomMatching(pred) => (0..mol.atom_count()).any(|i| pred.matches(mol, i)),
-        })
+fn in_scope(families: &[Option<String>], id: SpeciesId, scope: &Scope, position: usize) -> bool {
+    match scope {
+        Scope::Any => true,
+        Scope::Named(names) => {
+            let Some(Some(family)) = families.get(id.0 as usize) else {
+                return false;
+            };
+            if names.len() >= 2 {
+                // Positional scopes for pair sites.
+                names.get(position).is_some_and(|n| n == family)
+            } else {
+                names.iter().any(|n| n == family)
+            }
+        }
     }
+}
+
+fn uni_work(
+    net: &ReactionNetwork,
+    site: &SitePred,
+    action: Action,
+    limits: Limits,
+    forbids: &[Forbid],
+    interned: bool,
+    id: u32,
+) -> WorkOut {
+    let mut out = WorkOut::default();
+    let sid = SpeciesId(id);
+    let Some(mol) = net.species(sid).structure.as_ref() else {
+        return out;
+    };
+    let edits: Vec<MolEdit> = match site {
+        SitePred::Bond(pred) => pred
+            .select(mol)
+            .into_iter()
+            .map(|(a, b)| MolEdit::OnBond(a, b))
+            .collect(),
+        SitePred::Atom(pred) => pred.select(mol).into_iter().map(MolEdit::OnAtom).collect(),
+    };
+    for edit in edits {
+        // Feasibility precheck on the unmodified molecule: a matched site
+        // whose edit is chemically impossible (e.g. raising the order of a
+        // saturated bond) is rejected without paying for a clone.
+        if !edit_feasible(mol, edit, action) {
+            continue;
+        }
+        let mut product = mol.clone();
+        let outcome = match (edit, action) {
+            (MolEdit::OnBond(a, b), Action::Disconnect) => product.disconnect(a, b),
+            (MolEdit::OnBond(a, b), Action::IncreaseBond) => product.increase_bond_order(a, b),
+            (MolEdit::OnBond(a, b), Action::DecreaseBond) => product.decrease_bond_order(a, b),
+            (MolEdit::OnAtom(a), Action::RemoveHydrogen) => product.remove_hydrogen(a),
+            (MolEdit::OnAtom(a), Action::AddHydrogen) => product.add_hydrogen(a),
+            _ => unreachable!("validated at parse time"),
+        };
+        debug_assert!(outcome.is_ok(), "edit_feasible admitted an infeasible edit");
+        if outcome.is_err() {
+            continue;
+        }
+        out.applications += 1;
+        if let Some(cand) = build_candidate(product, vec![sid], limits, forbids, interned, &mut out)
+        {
+            out.candidates.push(cand);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pair_work(
+    net: &ReactionNetwork,
+    xs: &[(u32, Vec<usize>)],
+    ys: &[(u32, Vec<usize>)],
+    xi: u32,
+    yi: u32,
+    order: BondOrder,
+    limits: Limits,
+    forbids: &[Forbid],
+    interned: bool,
+) -> WorkOut {
+    let mut out = WorkOut::default();
+    let (x, sites_x) = &xs[xi as usize];
+    let (y, sites_y) = &ys[yi as usize];
+    let mol_x = net
+        .species(SpeciesId(*x))
+        .structure
+        .as_ref()
+        .expect("site cache only lists structured species");
+    let mol_y = net
+        .species(SpeciesId(*y))
+        .structure
+        .as_ref()
+        .expect("site cache only lists structured species");
+    if mol_x.atom_count() + mol_y.atom_count() > limits.max_atoms {
+        return out;
+    }
+    for &sx in sites_x {
+        for &sy in sites_y {
+            // Valence precheck on both endpoints before cloning + merging.
+            if !connect_feasible(mol_x, sx, order) || !connect_feasible(mol_y, sy, order) {
+                continue;
+            }
+            let mut merged = mol_x.clone();
+            let offset = merged.merge(mol_y);
+            if merged.connect(sx, sy + offset, order).is_err() {
+                continue;
+            }
+            out.applications += 1;
+            let reactants = vec![SpeciesId(*x), SpeciesId(*y)];
+            if let Some(cand) =
+                build_candidate(merged, reactants, limits, forbids, interned, &mut out)
+            {
+                out.candidates.push(cand);
+            }
+        }
+    }
+    out
+}
+
+/// Split a product into fragments, filter forbidden/oversized forms, and
+/// compute each fragment's dedup identity. `None` discards the whole
+/// reaction (matching the serial engine's whole-reaction filtering).
+fn build_candidate(
+    product: Molecule,
+    reactants: Vec<SpeciesId>,
+    limits: Limits,
+    forbids: &[Forbid],
+    interned: bool,
+    out: &mut WorkOut,
+) -> Option<Candidate> {
+    let fragments = product.split_components();
+    for frag in &fragments {
+        if frag.atom_count() > limits.max_atoms || is_forbidden(frag, forbids) {
+            return None;
+        }
+    }
+    let mut frags = Vec::with_capacity(fragments.len());
+    for frag in fragments {
+        out.canonicalizations += 1;
+        let ident = if interned {
+            FragId::Cert(identify(&frag))
+        } else {
+            FragId::Key(canonical_key(&frag))
+        };
+        let name_hint = format!("{}", Formula::of(&frag));
+        frags.push(FragCand {
+            mol: frag,
+            ident,
+            name_hint,
+        });
+    }
+    Some(Candidate { reactants, frags })
+}
+
+/// Exact mirror of the [`Molecule`] edit preconditions, evaluated without
+/// mutating (or cloning) the molecule.
+fn edit_feasible(mol: &Molecule, edit: MolEdit, action: Action) -> bool {
+    let capacity = |i: usize| {
+        mol.atom(i)
+            .map(|a| a.radicals.saturating_add(a.hydrogens))
+            .unwrap_or(0)
+    };
+    match (edit, action) {
+        (MolEdit::OnBond(a, b), Action::Disconnect) => mol.bond_between(a, b).is_some(),
+        (MolEdit::OnBond(a, b), Action::IncreaseBond) => {
+            mol.bond_between(a, b).is_some_and(|bond| {
+                bond.order.increased().is_some() && capacity(a) >= 1 && capacity(b) >= 1
+            })
+        }
+        (MolEdit::OnBond(a, b), Action::DecreaseBond) => mol
+            .bond_between(a, b)
+            .is_some_and(|bond| bond.order.decreased().is_some()),
+        (MolEdit::OnAtom(a), Action::RemoveHydrogen) => {
+            mol.atom(a).is_ok_and(|atom| atom.hydrogens > 0)
+        }
+        (MolEdit::OnAtom(a), Action::AddHydrogen) => mol.atom(a).is_ok_and(|atom| {
+            atom.radicals > 0 || {
+                let needed = mol.bond_order_sum(a) + atom.hydrogens + 1;
+                atom.element.default_valences().iter().any(|&v| v >= needed)
+            }
+        }),
+        _ => false,
+    }
+}
+
+/// Whether `connect` at this endpoint would fail its valence check.
+fn connect_feasible(mol: &Molecule, idx: usize, order: BondOrder) -> bool {
+    mol.atom(idx)
+        .is_ok_and(|a| a.radicals.saturating_add(a.hydrogens) >= order.valence_units())
+}
+
+fn is_forbidden(mol: &Molecule, forbids: &[Forbid]) -> bool {
+    forbids.iter().any(|f| match f {
+        Forbid::ChainLongerThan(elem, len) => max_chain(mol, *elem) > *len,
+        Forbid::AtomMatching(pred) => (0..mol.atom_count()).any(|i| pred.matches(mol, i)),
+    })
 }
 
 #[derive(Clone, Copy)]
@@ -558,5 +1016,198 @@ mod tests {
         assert_eq!(max_chain(&m, Element::S), 4);
         assert_eq!(max_chain(&m, Element::C), 1);
         assert_eq!(max_chain(&m, Element::O), 0);
+    }
+
+    // ---- frontier / parallel / interning equivalence --------------------
+
+    /// A cascading program exercising every rule kind, scopes, forbids,
+    /// and multi-generation closure.
+    const CASCADE: &str = r#"
+        rate K_sc = 1;
+        rate K_h = 2;
+        rate K_cl = 3;
+        molecule Sx = "CS{n}C" for n in 2..6 init 1.0;
+        molecule Rubber = "CC=CC" init 0.5;
+        rule scission { site bond S ~ S order single; action disconnect; rate K_sc; }
+        rule abstraction { on Rubber; site atom C & allylic & hydrogens >= 1; action remove_h; rate K_h; }
+        rule couple { site pair S & radical, C & radical; action connect single; rate K_cl; }
+        rule recombine { site pair S & radical, S & radical; action connect single; rate K_cl; }
+        forbid chain S > 6;
+        limit species 500;
+    "#;
+
+    /// Full observable serialization of a network: species (name, initial,
+    /// canonical structure) in id order plus the equation table.
+    fn serialize(network: &ReactionNetwork) -> String {
+        let mut out = String::new();
+        for (id, s) in network.species_iter() {
+            out.push_str(&format!(
+                "{}|{}|{}\n",
+                s.name,
+                s.initial_concentration,
+                network.canonical_smiles(id).unwrap_or_default()
+            ));
+        }
+        out.push_str(&network.display_equations());
+        out
+    }
+
+    fn compile_opts(src: &str, options: EngineOptions) -> Result<CompiledModel> {
+        let program = parse_rdl(src).unwrap();
+        let rates = RateTable::parse(&program.rate_source)?;
+        let seeds = expand_program(&program)?;
+        compile_with_options(&program, rates, &seeds, &options)
+    }
+
+    #[test]
+    fn frontier_matches_legacy_rescan() {
+        let baseline = compile_opts(
+            CASCADE,
+            EngineOptions {
+                threads: 1,
+                intern: false,
+                legacy_rescan: true,
+            },
+        )
+        .unwrap();
+        let frontier = compile_opts(
+            CASCADE,
+            EngineOptions {
+                threads: 1,
+                intern: true,
+                legacy_rescan: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(serialize(&baseline.network), serialize(&frontier.network));
+    }
+
+    #[test]
+    fn intern_on_off_identical() {
+        let on = compile_opts(
+            CASCADE,
+            EngineOptions {
+                threads: 1,
+                intern: true,
+                legacy_rescan: false,
+            },
+        )
+        .unwrap();
+        let off = compile_opts(
+            CASCADE,
+            EngineOptions {
+                threads: 1,
+                intern: false,
+                legacy_rescan: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(serialize(&on.network), serialize(&off.network));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_network() {
+        let reference = compile_opts(
+            CASCADE,
+            EngineOptions {
+                threads: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = compile_opts(
+                CASCADE,
+                EngineOptions {
+                    threads,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                serialize(&reference.network),
+                serialize(&parallel.network),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_populated_on_fixpoint() {
+        let model = compile_opts(CASCADE, EngineOptions::default()).unwrap();
+        let stats = &model.stats;
+        assert!(stats.fixpoint);
+        assert!(stats.growing_rules.is_empty());
+        assert!(stats.generations >= 2);
+        assert_eq!(stats.generation_seconds.len(), stats.generations);
+        assert!(stats.rule_applications > 0);
+        assert!(stats.canonicalizations > 0);
+        assert!(stats.prefilter_lookups > 0);
+        assert!(stats.prefilter_hits > 0);
+        assert!(stats.prefilter_hit_rate() > 0.0);
+        assert!(stats.peak_frontier > 0);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn generation_cap_reports_growing_rules() {
+        let model = compile_src(
+            r#"
+            rate K = 1;
+            molecule Sx = "CS{n}C" for n in 8..8 init 1.0;
+            rule scission { site bond S ~ S; action disconnect; rate K; }
+            limit generations 1;
+            "#,
+        );
+        assert!(!model.stats.fixpoint);
+        assert_eq!(model.stats.growing_rules, vec!["scission".to_string()]);
+        assert_eq!(model.stats.generations, 1);
+    }
+
+    #[test]
+    fn edit_feasibility_mirrors_graph_preconditions() {
+        // For every bond/atom of a few molecules and every unimolecular
+        // action, the precheck must agree exactly with attempting the edit.
+        let mut mols = vec![
+            parse_smiles("CSSC").unwrap(),
+            parse_smiles("CC=CC").unwrap(),
+            parse_smiles("C#CC").unwrap(),
+            parse_smiles("CS").unwrap(),
+        ];
+        let mut radical = parse_smiles("CSSC").unwrap();
+        radical.disconnect(1, 2).unwrap();
+        mols.extend(radical.split_components());
+        for mol in &mols {
+            let bonds: Vec<(usize, usize)> = mol.bonds().map(|b| (b.a, b.b)).collect();
+            for &(a, b) in &bonds {
+                for action in [
+                    Action::Disconnect,
+                    Action::IncreaseBond,
+                    Action::DecreaseBond,
+                ] {
+                    let edit = MolEdit::OnBond(a, b);
+                    let mut probe = mol.clone();
+                    let actual = match action {
+                        Action::Disconnect => probe.disconnect(a, b).is_ok(),
+                        Action::IncreaseBond => probe.increase_bond_order(a, b).is_ok(),
+                        Action::DecreaseBond => probe.decrease_bond_order(a, b).is_ok(),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(edit_feasible(mol, edit, action), actual);
+                }
+            }
+            for i in 0..mol.atom_count() {
+                for action in [Action::RemoveHydrogen, Action::AddHydrogen] {
+                    let edit = MolEdit::OnAtom(i);
+                    let mut probe = mol.clone();
+                    let actual = match action {
+                        Action::RemoveHydrogen => probe.remove_hydrogen(i).is_ok(),
+                        Action::AddHydrogen => probe.add_hydrogen(i).is_ok(),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(edit_feasible(mol, edit, action), actual);
+                }
+            }
+        }
     }
 }

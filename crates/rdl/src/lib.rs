@@ -33,7 +33,9 @@ pub mod network;
 pub mod parser;
 
 pub use ast::{Action, Forbid, Limits, MoleculeDecl, Program, RuleDecl, Scope, Site};
-pub use engine::{compile, compile_with, CompiledModel};
+pub use engine::{
+    compile, compile_with, compile_with_options, CompiledModel, EngineOptions, NetworkStats,
+};
 pub use error::{RdlError, Result};
 pub use expand::{expand, expand_program, SeedVariant, Variant};
 pub use network::{Reaction, ReactionNetwork, Species, SpeciesId};

@@ -50,8 +50,30 @@ pub struct ReactionNetwork {
     reactions: Vec<Reaction>,
     by_canonical: HashMap<String, SpeciesId>,
     by_name: HashMap<String, SpeciesId>,
-    /// Dedup key set for reactions (reactants/products sorted + rate).
-    reaction_keys: HashMap<String, usize>,
+    /// Reaction dedup index: hash of (sorted reactants, sorted products,
+    /// rate) → candidate reaction indices, compared exactly on collision.
+    /// Hash buckets instead of formatted string keys — reaction dedup sits
+    /// on the closure hot path and must not allocate per lookup.
+    reaction_buckets: HashMap<u64, Vec<usize>>,
+}
+
+fn reaction_dedup_hash(reaction: &Reaction) -> u64 {
+    // FNV-1a over the sorted id lists and the rate name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+    eat(reaction.reactants.len() as u64);
+    for id in &reaction.reactants {
+        eat(id.0 as u64);
+    }
+    eat(0xa5a5_a5a5);
+    for id in &reaction.products {
+        eat(id.0 as u64);
+    }
+    eat(0x5a5a_5a5a);
+    for b in reaction.rate.as_bytes() {
+        eat(*b as u64);
+    }
+    h
 }
 
 impl ReactionNetwork {
@@ -146,6 +168,46 @@ impl ReactionNetwork {
         id
     }
 
+    /// Add a structured species *without* a canonical string. The interned
+    /// frontend path dedups through `rms_molecule::KeyTable` certificates
+    /// before ever reaching the network, so computing canonical SMILES here
+    /// would be pure waste; [`ReactionNetwork::canonical_smiles`] computes
+    /// it on demand from the stored structure when a consumer (dump,
+    /// diffing tests) asks.
+    pub fn add_species_uncanonical(
+        &mut self,
+        structure: Molecule,
+        name_hint: &str,
+        initial: f64,
+    ) -> SpeciesId {
+        let mut name = name_hint.to_string();
+        let mut suffix = 1;
+        while self.by_name.contains_key(&name) {
+            name = format!("{name_hint}_{suffix}");
+            suffix += 1;
+        }
+        let id = SpeciesId(self.species.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.species.push(Species {
+            name,
+            structure: Some(structure),
+            canonical: None,
+            initial_concentration: initial,
+        });
+        id
+    }
+
+    /// Canonical SMILES for a species: the stored key when present,
+    /// otherwise computed from the structure. `None` for abstract species.
+    pub fn canonical_smiles(&self, id: SpeciesId) -> Option<String> {
+        let s = self.species(id);
+        match (&s.canonical, &s.structure) {
+            (Some(c), _) => Some(c.clone()),
+            (None, Some(m)) => Some(rms_molecule::canonical_key(m)),
+            (None, None) => None,
+        }
+    }
+
     /// Set a species' initial concentration.
     pub fn set_initial(&mut self, id: SpeciesId, value: f64) {
         self.species[id.0 as usize].initial_concentration = value;
@@ -164,14 +226,18 @@ impl ReactionNetwork {
     pub fn add_reaction(&mut self, mut reaction: Reaction) -> bool {
         reaction.reactants.sort_unstable();
         reaction.products.sort_unstable();
-        let key = format!(
-            "{:?}|{:?}|{}",
-            reaction.reactants, reaction.products, reaction.rate
-        );
-        if self.reaction_keys.contains_key(&key) {
-            return false;
+        let hash = reaction_dedup_hash(&reaction);
+        let bucket = self.reaction_buckets.entry(hash).or_default();
+        for &idx in bucket.iter() {
+            let r = &self.reactions[idx];
+            if r.reactants == reaction.reactants
+                && r.products == reaction.products
+                && r.rate == reaction.rate
+            {
+                return false;
+            }
         }
-        self.reaction_keys.insert(key, self.reactions.len());
+        bucket.push(self.reactions.len());
         self.reactions.push(reaction);
         true
     }

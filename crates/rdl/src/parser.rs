@@ -34,7 +34,7 @@
 
 use rms_molecule::{AtomPredicate, BondOrder, Element};
 
-use crate::ast::{Action, Forbid, Limits, MoleculeDecl, Program, RuleDecl, Scope, Site};
+use crate::ast::{Action, Forbid, MoleculeDecl, Program, RuleDecl, Scope, Site};
 use crate::error::{RdlError, Result};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -387,7 +387,7 @@ impl<'a> Parser<'a> {
                     }
                     program.rules.push(rule);
                 }
-                "limit" => self.parse_limit(&mut program.limits)?,
+                "limit" => self.parse_limit(&mut program)?,
                 "forbid" => {
                     let forbid = self.parse_forbid()?;
                     program.forbids.push(forbid);
@@ -706,15 +706,19 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| self.lexer.error(format!("unknown element '{sym}'")))
     }
 
-    fn parse_limit(&mut self, limits: &mut Limits) -> Result<()> {
+    fn parse_limit(&mut self, program: &mut Program) -> Result<()> {
+        let start = self.current_start;
         self.expect_keyword("limit")?;
         let what = self.expect_ident("limit kind")?;
         let value = self.expect_int("limit value")? as usize;
         self.expect(Tok::Semi, "';'")?;
         match what.as_str() {
-            "atoms" => limits.max_atoms = value,
-            "species" => limits.max_species = value,
-            "generations" => limits.max_generations = value,
+            "atoms" => program.limits.max_atoms = value,
+            "species" => program.limits.max_species = value,
+            "generations" => {
+                program.limits.max_generations = value;
+                program.generations_span = Some(line_col_at(self.src, start));
+            }
             other => return Err(self.lexer.error(format!("unknown limit '{other}'"))),
         }
         Ok(())
@@ -760,6 +764,14 @@ fn validate_site_action(rule: &str, site: &Site, action: Action) -> Result<()> {
             ),
         })
     }
+}
+
+/// 1-based (line, column) of a byte offset within `src`.
+fn line_col_at(src: &str, offset: usize) -> (usize, usize) {
+    let prefix = &src[..offset.min(src.len())];
+    let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+    let column = offset - prefix.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+    (line, column)
 }
 
 /// Parse an RDL program.
@@ -809,6 +821,16 @@ mod tests {
         assert_eq!(p.forbids.len(), 1);
         assert!(p.rate_source.contains("rate K_sc = 2;"));
         assert!(p.rate_source.contains("bound K_sc in [0.1, 10];"));
+    }
+
+    #[test]
+    fn generations_limit_records_span() {
+        let p = parse_rdl(EXAMPLE).unwrap();
+        // `limit generations 6;` sits on line 24, column 9 of EXAMPLE.
+        assert_eq!(p.generations_span, Some((24, 9)));
+        // A program without an explicit generations limit has no span.
+        let q = parse_rdl("molecule A = \"C\" init 1.0;").unwrap();
+        assert_eq!(q.generations_span, None);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum Command {
         dump: Option<Stage>,
         /// Reroll repeated tape stanzas into loop regions before codegen.
         reroll: bool,
+        /// Worker threads for network closure (0 = one per core).
+        frontend_threads: usize,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -52,6 +54,8 @@ pub enum Command {
         engine: EngineMode,
         /// Reroll repeated tape stanzas into loop regions before codegen.
         reroll: bool,
+        /// Worker threads for network closure (0 = one per core).
+        frontend_threads: usize,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -96,6 +100,8 @@ pub enum Command {
         fd_step: Option<f64>,
         /// Direct method for the Newton iteration matrix.
         linear_solver: LinearSolver,
+        /// Worker threads for network closure (0 = one per core).
+        frontend_threads: usize,
         /// On-disk artifact cache directory.
         cache_dir: Option<PathBuf>,
     },
@@ -196,14 +202,16 @@ rmsc — Reaction Modeling Suite driver
 USAGE:
   rmsc compile  <model.rdl> [--level none|simplify|algebraic|full]
                 [--emit network|odes|c|stats|conservation|report]
-                [--dump-ir STAGE] [--opt reroll=on|off] [--cache-dir DIR]
-  rmsc compile-report <model.rdl> [--level L] [--cache-dir DIR]
+                [--dump-ir STAGE] [--opt reroll=on|off]
+                [--frontend-threads N] [--cache-dir DIR]
+  rmsc compile-report <model.rdl> [--level L] [--frontend-threads N]
+                [--cache-dir DIR]
   rmsc simulate <model.rdl> [--tend T] [--steps N] [--observe A,B,...] [--level L]
                 [--jacobian analytic|fd-colored|fd-dense]   (default fd-dense)
                 [--linear-solver dense|sparse|auto]         (default auto)
                 [--engine interp|exec|native|auto]          (default exec)
                 [--opt reroll=on|off]                       (default on)
-                [--cache-dir DIR]
+                [--frontend-threads N] [--cache-dir DIR]
   rmsc synthesize <model.rdl> --observe A,B,... --out DIR [--files N] [--records N] [--tend T]
   rmsc estimate <model.rdl> --data DIR --observe A,B,... [--workers N]
                 [--collective-timeout SECS] [--max-retries N]
@@ -212,7 +220,7 @@ USAGE:
                 [--residual-jacobian analytic|fd]           (default analytic)
                 [--fd-step REL]                             (default sqrt(solver rtol))
                 [--linear-solver dense|sparse|auto]         (default auto)
-                [--cache-dir DIR]
+                [--frontend-threads N] [--cache-dir DIR]
   rmsc serve    [--workers N] [--queue-capacity N] [--cache-dir DIR]
                 [--memory-budget-mb N] [--max-retries N] [--retry-base-ms MS]
                 [--deadline-ms MS]
@@ -232,6 +240,12 @@ the optimizer's operation counts (the paper's Table 1 columns).
 --dump-ir prints one stage's intermediate representation and exits;
 STAGE is one of parse, expand, rcip, network, odegen, simplify,
 distribute, cse, deriv, lower, exec-decode, codegen.
+
+--frontend-threads sets the worker-thread count for the network-closure
+stage (rule matching, graph edits, canonicalization); 0 or omitted uses
+one thread per available core, 1 runs the serial path. The generated
+network is bit-identical at every thread count — the flag trades wall
+time only.
 
 --cache-dir enables the on-disk artifact cache: recompiles of an
 unchanged model at the same options are served from DIR.
@@ -406,7 +420,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             input: {
                 reject_unknown_flags(
                     args,
-                    &["--level", "--emit", "--dump-ir", "--opt", "--cache-dir"],
+                    &[
+                        "--level",
+                        "--emit",
+                        "--dump-ir",
+                        "--opt",
+                        "--frontend-threads",
+                        "--cache-dir",
+                    ],
                 )?;
                 input(1)?
             },
@@ -422,17 +443,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             },
             dump: parse_dump(args)?,
             reroll: parse_opt_reroll(args)?,
+            frontend_threads: parse_num(args, "--frontend-threads", 0)?,
             cache_dir: parse_cache_dir(args),
         }),
         "compile-report" => Ok(Command::Compile {
             input: {
-                reject_unknown_flags(args, &["--level", "--cache-dir"])?;
+                reject_unknown_flags(args, &["--level", "--frontend-threads", "--cache-dir"])?;
                 input(1)?
             },
             level: parse_level(args)?,
             emit: Emit::Report,
             dump: None,
             reroll: true,
+            frontend_threads: parse_num(args, "--frontend-threads", 0)?,
             cache_dir: parse_cache_dir(args),
         }),
         "simulate" => Ok(Command::Simulate {
@@ -448,6 +471,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         "--linear-solver",
                         "--engine",
                         "--opt",
+                        "--frontend-threads",
                         "--cache-dir",
                     ],
                 )?;
@@ -461,6 +485,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             linear_solver: parse_linear_solver(args)?,
             engine: parse_engine(args)?,
             reroll: parse_opt_reroll(args)?,
+            frontend_threads: parse_num(args, "--frontend-threads", 0)?,
             cache_dir: parse_cache_dir(args),
         }),
         "synthesize" => Ok(Command::Synthesize {
@@ -493,6 +518,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--residual-jacobian",
                     "--fd-step",
                     "--linear-solver",
+                    "--frontend-threads",
                     "--cache-dir",
                 ],
             )?;
@@ -550,6 +576,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 residual_jacobian,
                 fd_step,
                 linear_solver: parse_linear_solver(args)?,
+                frontend_threads: parse_num(args, "--frontend-threads", 0)?,
                 cache_dir: parse_cache_dir(args),
             })
         }
@@ -644,6 +671,9 @@ struct LoadOptions<'a> {
     /// Reroll repeated tape stanzas into loop regions before codegen
     /// (`--opt reroll=on|off`; on by default).
     reroll: bool,
+    /// Worker threads for the network-closure stage
+    /// (`--frontend-threads N`; 0 = one per available core).
+    frontend_threads: usize,
 }
 
 impl Default for LoadOptions<'_> {
@@ -655,6 +685,7 @@ impl Default for LoadOptions<'_> {
             sensitivity: false,
             native: false,
             reroll: true,
+            frontend_threads: 0,
         }
     }
 }
@@ -677,9 +708,15 @@ fn load_model(
     session.sensitivity = opts.sensitivity;
     session.native = opts.native;
     session.reroll = opts.reroll;
+    session.frontend_threads = opts.frontend_threads;
     let compiled = CompilerSession::with_options(session)
         .compile_source(&filename, &source)
         .map_err(|d| CliError::Diagnostic(d.render(&filename, &source)))?;
+    // Warnings (e.g. closure stopped at the generation cap while rules
+    // were still growing) go to stderr and do not change the exit code.
+    for warning in &compiled.artifact.warnings {
+        eprintln!("{}", warning.render(&filename, &source));
+    }
     Ok((SuiteModel::from_artifact(compiled.artifact), compiled.dump))
 }
 
@@ -751,6 +788,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             emit,
             dump,
             reroll,
+            frontend_threads,
             cache_dir,
         } => {
             let (model, dumped) = load_model(
@@ -763,6 +801,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     sensitivity: false,
                     native: *dump == Some(Stage::Codegen),
                     reroll: *reroll,
+                    frontend_threads: *frontend_threads,
                 },
             )?;
             if dump.is_some() {
@@ -845,6 +884,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             linear_solver,
             engine,
             reroll,
+            frontend_threads,
             cache_dir,
         } => {
             let (model, _) = load_model(
@@ -855,6 +895,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     deriv: *jacobian == JacobianMode::Analytic,
                     native: matches!(engine, EngineMode::Native | EngineMode::Auto),
                     reroll: *reroll,
+                    frontend_threads: *frontend_threads,
                     ..LoadOptions::default()
                 },
             )?;
@@ -966,6 +1007,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             residual_jacobian,
             fd_step,
             linear_solver,
+            frontend_threads,
             cache_dir,
         } => {
             let (model, _) = load_model(
@@ -975,6 +1017,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     cache_dir: cache_dir.as_deref(),
                     deriv: *jacobian == JacobianMode::Analytic,
                     sensitivity: *residual_jacobian == ResidualJacobianMode::Analytic,
+                    frontend_threads: *frontend_threads,
                     ..LoadOptions::default()
                 },
             )?;
@@ -1184,6 +1227,7 @@ mod tests {
                 emit: Emit::C,
                 dump: None,
                 reroll: true,
+                frontend_threads: 0,
                 cache_dir: None,
             }
         );
@@ -1197,6 +1241,7 @@ mod tests {
                 emit: Emit::Report,
                 dump: None,
                 reroll: true,
+                frontend_threads: 0,
                 cache_dir: Some(PathBuf::from(".rms-cache")),
             }
         );
@@ -1357,6 +1402,7 @@ mod tests {
                 on_failure: FailurePolicy::Abort,
                 jacobian: JacobianMode::FdColored,
                 linear_solver: LinearSolver::Auto,
+                frontend_threads: 0,
                 cache_dir: None,
                 residual_jacobian: ResidualJacobianMode::Analytic,
                 fd_step: None,
@@ -1376,6 +1422,7 @@ mod tests {
                 on_failure: FailurePolicy::Penalize,
                 jacobian: JacobianMode::FdColored,
                 linear_solver: LinearSolver::Auto,
+                frontend_threads: 0,
                 cache_dir: None,
                 residual_jacobian: ResidualJacobianMode::Analytic,
                 fd_step: None,
@@ -1502,6 +1549,44 @@ mod tests {
             Command::Simulate { engine, .. } => assert_eq!(engine, EngineMode::Auto),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn frontend_threads_flag_parses_everywhere() {
+        // Defaults to 0 (one thread per core) on every subcommand.
+        match parse_args(&argv("compile m.rdl")).unwrap() {
+            Command::Compile {
+                frontend_threads, ..
+            } => assert_eq!(frontend_threads, 0),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("compile m.rdl --frontend-threads 4")).unwrap() {
+            Command::Compile {
+                frontend_threads, ..
+            } => assert_eq!(frontend_threads, 4),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("compile-report m.rdl --frontend-threads 2")).unwrap() {
+            Command::Compile {
+                frontend_threads, ..
+            } => assert_eq!(frontend_threads, 2),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("simulate m.rdl --frontend-threads 8")).unwrap() {
+            Command::Simulate {
+                frontend_threads, ..
+            } => assert_eq!(frontend_threads, 8),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("estimate m.rdl --data d --frontend-threads 1")).unwrap() {
+            Command::Estimate {
+                frontend_threads, ..
+            } => assert_eq!(frontend_threads, 1),
+            other => panic!("{other:?}"),
+        }
+        // Non-numeric values are usage errors (exit 2).
+        let error = parse_args(&argv("compile m.rdl --frontend-threads lots")).unwrap_err();
+        assert_eq!(error.exit_code(), 2);
     }
 
     #[test]

@@ -55,13 +55,16 @@ pub use rms_molecule as molecule;
 pub use rms_nlopt::{bounded_fd_step, FitStatistics, LmOptions, LmResult, Residual, StopReason};
 pub use rms_odegen::{generate, GenerateOptions, OdeSystem, OpCounts};
 pub use rms_parallel::{
-    block_schedule, lpt_schedule, makespan, run_cluster, run_cluster_with, CommConfig, CommError,
-    EstimatorConfig, EstimatorError, ExperimentFile, FailurePolicy, FaultPlan, FaultySimulator,
-    HealthReport, ParallelEstimator, RankPanic, ResidualJacobianMode, RetryPolicy, ScheduleError,
-    Simulator,
+    available_threads, block_schedule, lpt_schedule, makespan, run_cluster, run_cluster_with,
+    CommConfig, CommError, EstimatorConfig, EstimatorError, ExperimentFile, FailurePolicy,
+    FaultPlan, FaultySimulator, HealthReport, ParallelEstimator, RankPanic, ResidualJacobianMode,
+    RetryPolicy, ScheduleError, Simulator,
 };
 pub use rms_rcip::RateTable;
-pub use rms_rdl::{compile as compile_network, parse_rdl, CompiledModel, ReactionNetwork};
+pub use rms_rdl::{
+    compile as compile_network, compile_with_options, expand_program, parse_rdl, CompiledModel,
+    EngineOptions, NetworkStats, Program, ReactionNetwork,
+};
 pub use rms_solver::{
     fd_jacobian, fd_jacobian_colored, fd_step, solve_adams, solve_bdf, solve_bdf_sensitivities,
     solve_bdf_with_jacobian, solve_rk45, AnalyticJacobian, CsrMatrix, FnRhs, JacobianSource,

@@ -1,0 +1,155 @@
+//! A frontend-scaling workload: RDL models whose network closure grows
+//! quadratically with one knob, for benchmarking the chemical compiler's
+//! network-generation stage past the 10k-species mark.
+//!
+//! The model is three families of dimethyl chalcogenide/amine chains —
+//! `CS{n}C`, `CO{n}C`, `CN{n}C` — with a family-scoped homolytic
+//! scission each, plus three cross-family radical couplings. Scission
+//! over the length-`n` seeds produces every terminal radical `C X{a}•`
+//! (`a ≤ arms − 1`); each coupling pair (S·O, S·N, O·N) then joins two
+//! radical pools combinatorially into mixed chains `C X{a} Y{b} C`.
+//! With `k = arms − 1` chain lengths per family the closed network holds
+//! exactly `3k` seeds, `3k` radicals and `3k²` mixed chains — species
+//! count `3k² + 6k`, reached at a fixpoint by generation 2. The mixed
+//! products belong to no named family and carry no radicals, so neither
+//! rule ever rewrites them: growth is entirely frontier-driven, which is
+//! exactly the access pattern the parallel closure engine optimizes.
+
+/// Shape of a frontier workload: `arms` is the longest seed chain
+/// (lengths run `2..=arms` per family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierSpec {
+    /// Longest chain length in each seed family (must be ≥ 2).
+    pub arms: usize,
+}
+
+impl FrontierSpec {
+    /// The smallest spec whose closed network holds at least `target`
+    /// species.
+    pub fn for_species(target: usize) -> FrontierSpec {
+        let mut k = 1;
+        while 3 * k * k + 6 * k < target {
+            k += 1;
+        }
+        FrontierSpec { arms: k + 1 }
+    }
+
+    /// Exact species count of the closed network: `3k² + 6k` with
+    /// `k = arms − 1` (seeds + radicals + cross-family coupled chains).
+    pub fn species_estimate(&self) -> usize {
+        let k = self.arms - 1;
+        3 * k * k + 6 * k
+    }
+
+    /// Render the RDL source for this spec.
+    pub fn rdl_source(&self) -> String {
+        assert!(self.arms >= 2, "arms must be at least 2");
+        format!(
+            r#"# frontier workload: 3 chain families, arms = {arms}
+rate K_sc_s = 4;
+rate K_sc_o = 3;
+rate K_sc_n = 2;
+rate K_cp_so = 2.5;
+rate K_cp_sn = 1.5;
+rate K_cp_on = 0.5;
+
+molecule SChain = "CS{{n}}C" for n in 2..{arms} init 1.0;
+molecule OChain = "CO{{n}}C" for n in 2..{arms} init 0.5;
+molecule NChain = "CN{{n}}C" for n in 2..{arms} init 0.25;
+
+rule scission_s {{
+    on SChain;
+    site bond S ~ S order single;
+    action disconnect;
+    rate K_sc_s;
+}}
+rule scission_o {{
+    on OChain;
+    site bond O ~ O order single;
+    action disconnect;
+    rate K_sc_o;
+}}
+rule scission_n {{
+    on NChain;
+    site bond N ~ N order single;
+    action disconnect;
+    rate K_sc_n;
+}}
+rule couple_so {{
+    site pair S & radical, O & radical;
+    action connect single;
+    rate K_cp_so;
+}}
+rule couple_sn {{
+    site pair S & radical, N & radical;
+    action connect single;
+    rate K_cp_sn;
+}}
+rule couple_on {{
+    site pair O & radical, N & radical;
+    action connect single;
+    rate K_cp_on;
+}}
+
+limit atoms {max_atoms};
+limit species {max_species};
+limit generations 4;
+"#,
+            arms = self.arms,
+            max_atoms = 2 * self.arms,
+            max_species = 2 * self.species_estimate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_rdl::{compile, parse_rdl};
+
+    #[test]
+    fn closure_hits_the_exact_species_estimate() {
+        for arms in [2, 3, 5, 8] {
+            let spec = FrontierSpec { arms };
+            let model = compile(&parse_rdl(&spec.rdl_source()).unwrap()).unwrap();
+            assert_eq!(
+                model.network.species_count(),
+                spec.species_estimate(),
+                "arms = {arms}"
+            );
+            assert!(model.stats.fixpoint, "arms = {arms} did not close");
+            assert!(model.stats.generations <= 3, "arms = {arms} ran long");
+        }
+    }
+
+    #[test]
+    fn for_species_meets_the_target() {
+        for target in [100, 10_000, 50_000] {
+            let spec = FrontierSpec::for_species(target);
+            assert!(spec.species_estimate() >= target);
+            // And the next size down would undershoot.
+            let smaller = FrontierSpec {
+                arms: spec.arms - 1,
+            };
+            assert!(smaller.species_estimate() < target);
+        }
+        // The 50k acceptance case: k = 129 gives 50 697 species.
+        let spec = FrontierSpec::for_species(50_000);
+        assert_eq!(spec.arms, 130);
+        assert_eq!(spec.species_estimate(), 50_697);
+    }
+
+    #[test]
+    fn mixed_chains_come_from_every_coupling_pair() {
+        let model = compile(&parse_rdl(&FrontierSpec { arms: 4 }.rdl_source()).unwrap()).unwrap();
+        for rule in ["couple_so", "couple_sn", "couple_on"] {
+            assert!(
+                model.network.reactions().iter().any(|r| r.rule == rule),
+                "no {rule} reactions"
+            );
+        }
+        // k = 3: every coupling pair contributes k² = 9 product chains.
+        let k = 3;
+        assert_eq!(model.network.species_count(), 3 * k * k + 6 * k);
+    }
+}

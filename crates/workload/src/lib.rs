@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod expdata;
+pub mod frontier;
 pub mod rdl_model;
 pub mod simulate;
 pub mod testcases;
 pub mod vulcanization;
 
 pub use expdata::{synthesize, ExpDataSpec};
+pub use frontier::FrontierSpec;
 pub use rdl_model::VULCANIZATION_RDL;
 pub use rms_solver::LinearSolver;
 pub use simulate::{

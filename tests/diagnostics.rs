@@ -86,6 +86,50 @@ fn diagnostics_are_consistent_across_subcommands() {
 }
 
 #[test]
+fn generation_cap_warning_renders_span_and_exits_zero() {
+    // One generation is not enough to close a cascading scission over a
+    // four-sulfur chain: the compile succeeds (exit 0, artifact emitted)
+    // but carries a warning naming the cap and the still-growing rule,
+    // anchored at the `limit generations` statement.
+    let path = fixture(
+        "capped.rdl",
+        "rate K_sc = 2;\n\
+         molecule Sx = \"CSSSSC\" init 1.0;\n\
+         rule scission { site bond S ~ S order single; action disconnect; rate K_sc; }\n\
+         limit generations 1;\n",
+    );
+    let path = path.display().to_string();
+    let out = rmsc(&["compile", &path, "--emit", "stats"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(stdout.contains("species:"), "{stdout}");
+    let expected = format!(
+        "warning[network]: network closure stopped at the generation cap (1) \
+         without reaching a fixpoint; still-growing rules: scission\n \
+         --> {path}:4:1\n  \
+         |\n\
+         4 | limit generations 1;\n  \
+         | ^\n"
+    );
+    assert_eq!(stderr(&out), expected);
+}
+
+#[test]
+fn generation_cap_without_growth_stays_silent() {
+    // The same model with room to finish reaches a fixpoint: no warning.
+    let path = fixture(
+        "uncapped.rdl",
+        "rate K_sc = 2;\n\
+         molecule Sx = \"CSSSSC\" init 1.0;\n\
+         rule scission { site bond S ~ S order single; action disconnect; rate K_sc; }\n\
+         limit generations 8;\n",
+    );
+    let out = rmsc(&["compile", &path.display().to_string(), "--emit", "stats"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stderr(&out), "");
+}
+
+#[test]
 fn runtime_errors_exit_1_with_prefix() {
     // A missing input is an environment failure, not a model diagnostic:
     // prefixed message, exit 1.
